@@ -1,0 +1,80 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section against the simulator.
+//
+// Usage:
+//
+//	experiments [-run name[,name...]] [-scale quick|full] [-seed N] [-list]
+//
+// With no -run flag every registered experiment runs in order. Output is
+// a text table per experiment, matching the rows/series the paper
+// reports.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"wearlock/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		runList   = flag.String("run", "", "comma-separated experiment names (default: all)")
+		scaleName = flag.String("scale", "full", "experiment scale: quick or full")
+		seed      = flag.Int64("seed", 42, "random seed")
+		list      = flag.Bool("list", false, "list experiment names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Println(name)
+		}
+		return 0
+	}
+	scale := experiments.ScaleFull
+	switch *scaleName {
+	case "full":
+	case "quick":
+		scale = experiments.ScaleQuick
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q (want quick or full)\n", *scaleName)
+		return 2
+	}
+
+	registry := experiments.Registry()
+	names := experiments.Names()
+	if *runList != "" {
+		names = strings.Split(*runList, ",")
+	}
+	failed := 0
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		runner, ok := registry[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", name)
+			failed++
+			continue
+		}
+		start := time.Now()
+		table, err := runner(scale, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			failed++
+			continue
+		}
+		fmt.Println(table.Render())
+		fmt.Printf("(%s completed in %s at scale %s)\n\n", name, time.Since(start).Round(time.Millisecond), scale)
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}

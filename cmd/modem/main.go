@@ -1,0 +1,312 @@
+// Command modem exposes the acoustic OFDM modem as a file tool: it
+// modulates hex payloads into WAV files and demodulates WAV recordings
+// back into bits, so the modem can be exercised against external audio
+// tooling.
+//
+// Usage:
+//
+//	modem tx -payload deadbeef -out frame.wav [-band audible] [-mod qpsk]
+//	modem rx -in recording.wav -bits 32 [-band audible] [-mod qpsk]
+//	modem analyze -in recording.wav [-band audible]
+//	modem info [-band audible] [-mod qpsk]
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"wearlock"
+	"wearlock/internal/audio"
+	"wearlock/internal/dsp"
+	"wearlock/internal/modem"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	if len(os.Args) < 2 {
+		usage()
+		return 2
+	}
+	switch os.Args[1] {
+	case "tx":
+		return runTx(os.Args[2:])
+	case "rx":
+		return runRx(os.Args[2:])
+	case "analyze":
+		return runAnalyze(os.Args[2:])
+	case "info":
+		return runInfo(os.Args[2:])
+	default:
+		usage()
+		return 2
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  modem tx -payload <hex> -out <file.wav> [-band audible|near-ultrasound] [-mod bask|qask|bpsk|qpsk|8psk|16qam]
+  modem rx -in <file.wav> -bits <n> [-band ...] [-mod ...]
+  modem analyze -in <file.wav> [-band ...]
+  modem info [-band ...] [-mod ...]`)
+}
+
+func parseCommon(fs *flag.FlagSet) (*string, *string) {
+	band := fs.String("band", "audible", "audible or near-ultrasound")
+	mod := fs.String("mod", "qpsk", "bask|qask|bpsk|qpsk|8psk|16qam")
+	return band, mod
+}
+
+func buildConfig(bandName, modName string) (wearlock.ModemConfig, error) {
+	var band wearlock.Band
+	switch bandName {
+	case "audible":
+		band = wearlock.BandAudible
+	case "near-ultrasound":
+		band = wearlock.BandNearUltrasound
+	default:
+		return wearlock.ModemConfig{}, fmt.Errorf("unknown band %q", bandName)
+	}
+	mods := map[string]wearlock.Modulation{
+		"bask": wearlock.BASK, "qask": wearlock.QASK, "bpsk": wearlock.BPSK,
+		"qpsk": wearlock.QPSK, "8psk": wearlock.PSK8, "16qam": wearlock.QAM16,
+	}
+	m, ok := mods[modName]
+	if !ok {
+		return wearlock.ModemConfig{}, fmt.Errorf("unknown modulation %q", modName)
+	}
+	return wearlock.DefaultModemConfig(band, m), nil
+}
+
+func runTx(args []string) int {
+	fs := flag.NewFlagSet("tx", flag.ExitOnError)
+	payload := fs.String("payload", "", "hex payload to modulate")
+	out := fs.String("out", "", "output WAV path")
+	band, modName := parseCommon(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *payload == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "modem tx: -payload and -out are required")
+		return 2
+	}
+	cfg, err := buildConfig(*band, *modName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "modem tx: %v\n", err)
+		return 2
+	}
+	data, err := hex.DecodeString(*payload)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "modem tx: decoding payload: %v\n", err)
+		return 2
+	}
+	modulator, err := wearlock.NewModulator(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "modem tx: %v\n", err)
+		return 1
+	}
+	payload2, err := modulator.Modulate(modem.BytesToBits(data))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "modem tx: %v\n", err)
+		return 1
+	}
+	// Real recordings always carry an ambient lead-in before the frame;
+	// the receiver's energy gate and ambient-floor checks rely on it.
+	frame, err := audio.NewBuffer(cfg.SampleRate, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "modem tx: %v\n", err)
+		return 1
+	}
+	frame.AppendSilence(cfg.SampleRate / 5)
+	if err := frame.Append(payload2); err != nil {
+		fmt.Fprintf(os.Stderr, "modem tx: %v\n", err)
+		return 1
+	}
+	frame.AppendSilence(cfg.SampleRate / 20)
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "modem tx: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "modem tx: closing %s: %v\n", *out, cerr)
+		}
+	}()
+	// Headroom below full scale keeps external playback chains linear.
+	frame.Gain(0.5)
+	if err := audio.WriteWAV(f, frame); err != nil {
+		fmt.Fprintf(os.Stderr, "modem tx: %v\n", err)
+		return 1
+	}
+	fmt.Printf("wrote %s: %d bits over %d samples (%.1f ms) at %s/%s\n",
+		*out, len(data)*8, frame.Len(), frame.Duration()*1000, *band, *modName)
+	return 0
+}
+
+func runRx(args []string) int {
+	fs := flag.NewFlagSet("rx", flag.ExitOnError)
+	in := fs.String("in", "", "input WAV path")
+	bits := fs.Int("bits", 0, "expected payload bit count")
+	band, modName := parseCommon(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *in == "" || *bits <= 0 {
+		fmt.Fprintln(os.Stderr, "modem rx: -in and -bits are required")
+		return 2
+	}
+	cfg, err := buildConfig(*band, *modName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "modem rx: %v\n", err)
+		return 2
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "modem rx: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "modem rx: closing %s: %v\n", *in, cerr)
+		}
+	}()
+	rec, err := audio.ReadWAV(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "modem rx: %v\n", err)
+		return 1
+	}
+	// External recorders often run at 48/96 kHz; bring the recording to
+	// the modem's rate first.
+	if rec.Rate != cfg.SampleRate {
+		resampled, err := dsp.Resample(rec.Samples, rec.Rate, cfg.SampleRate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "modem rx: resampling %d -> %d Hz: %v\n", rec.Rate, cfg.SampleRate, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "modem rx: resampled %d Hz recording to %d Hz\n", rec.Rate, cfg.SampleRate)
+		rec = &audio.Buffer{Rate: cfg.SampleRate, Samples: resampled}
+	}
+	demod, err := wearlock.NewDemodulator(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "modem rx: %v\n", err)
+		return 1
+	}
+	res, err := demod.Demodulate(rec, *bits)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "modem rx: %v\n", err)
+		return 1
+	}
+	padded := res.Bits
+	if rem := len(padded) % 8; rem != 0 {
+		padded = append(padded, make([]byte, 8-rem)...)
+	}
+	data, err := modem.BitsToBytes(padded)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "modem rx: %v\n", err)
+		return 1
+	}
+	fmt.Printf("decoded %d bits: %s\n", *bits, hex.EncodeToString(data))
+	fmt.Printf("detection: offset %d, score %.3f; PSNR %.1f dB; Eb/N0 %.1f dB\n",
+		res.Detection.PreambleStart, res.Detection.Score, res.PSNRdB, res.EbN0dB)
+	return 0
+}
+
+// runAnalyze runs the RTS/CTS probe analysis over a recording: preamble
+// detection, pilot SNR, per-bin noise and gain, and the NLOS verdict — a
+// field-debugging view of what the protocol's phase 1 would decide.
+func runAnalyze(args []string) int {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	in := fs.String("in", "", "input WAV path")
+	band, modName := parseCommon(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "modem analyze: -in is required")
+		return 2
+	}
+	cfg, err := buildConfig(*band, *modName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "modem analyze: %v\n", err)
+		return 2
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "modem analyze: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "modem analyze: closing %s: %v\n", *in, cerr)
+		}
+	}()
+	rec, err := audio.ReadWAV(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "modem analyze: %v\n", err)
+		return 1
+	}
+	demod, err := wearlock.NewDemodulator(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "modem analyze: %v\n", err)
+		return 1
+	}
+	pa, err := demod.AnalyzeProbe(rec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "modem analyze: %v\n", err)
+		return 1
+	}
+	fmt.Printf("recording       %d samples (%.1f ms) at %d Hz, overall %.1f dB SPL\n",
+		rec.Len(), rec.Duration()*1000, rec.Rate, audio.SPL(rec))
+	fmt.Printf("preamble        offset %d (%.1f ms), score %.3f\n",
+		pa.Detection.PreambleStart, float64(pa.Detection.PreambleStart)/float64(rec.Rate)*1000, pa.Detection.Score)
+	fmt.Printf("levels          noise floor %.1f dB, signal %.1f dB\n",
+		pa.Detection.NoiseFloorSPL, pa.Detection.SignalSPL)
+	fmt.Printf("pilot SNR       %.1f dB (Eb/N0 %.1f dB)\n", pa.PSNRdB, pa.EbN0dB)
+	nlos := "LOS"
+	if modem.IsNLOS(pa.RMSDelaySpread, 0) {
+		nlos = "NLOS (body blocking suspected)"
+	}
+	fmt.Printf("delay spread    %.2f ms -> %s\n", pa.RMSDelaySpread*1000, nlos)
+
+	fmt.Println("\nper-bin noise power / channel gain:")
+	bins := make([]int, 0, len(pa.ChannelGain))
+	for bin := range pa.ChannelGain {
+		bins = append(bins, bin)
+	}
+	sort.Ints(bins)
+	for _, bin := range bins {
+		fmt.Printf("  bin %3d (%5.0f Hz)  noise %10.3e  gain %8.5f\n",
+			bin, cfg.SubChannelHz(bin), pa.NoisePower[bin], pa.ChannelGain[bin])
+	}
+	return 0
+}
+
+func runInfo(args []string) int {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	band, modName := parseCommon(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	cfg, err := buildConfig(*band, *modName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "modem info: %v\n", err)
+		return 2
+	}
+	low, high := cfg.BandEdges()
+	fmt.Printf("band            %s (%.0f-%.0f Hz chirp preamble)\n", cfg.Band, low, high)
+	fmt.Printf("modulation      %s (%d bits/point)\n", cfg.Modulation, cfg.Modulation.BitsPerSymbol())
+	fmt.Printf("sample rate     %d Hz, FFT %d (%.1f Hz sub-channels)\n", cfg.SampleRate, cfg.FFTSize, cfg.SubChannelBandwidthHz())
+	fmt.Printf("frame geometry  preamble %d + guard %d; symbol = CP %d + body %d + guard %d\n",
+		cfg.PreambleLen, cfg.PostPreambleGuard, cfg.CPLen, cfg.FFTSize, cfg.SymbolGuard)
+	fmt.Printf("data channels   %v\n", cfg.DataChannels)
+	fmt.Printf("pilot channels  %v\n", cfg.PilotChannels)
+	fmt.Printf("null channels   %v\n", cfg.NullChannels())
+	fmt.Printf("bits/symbol     %d, data rate %.0f bit/s\n", cfg.BitsPerSymbol(), cfg.DataRate())
+	return 0
+}

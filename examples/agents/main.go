@@ -1,0 +1,125 @@
+// Agents: run the two WearLock Controllers as genuinely concurrent
+// message-passing agents — a reactive watch goroutine and a phone driver —
+// exchanging binary-framed protocol messages over a simulated Bluetooth
+// connection and audio over the shared acoustic medium. This is the
+// distributed deployment shape of Fig. 1/2; internal/core runs the same
+// protocol as a deterministic timeline for the experiments.
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+
+	"wearlock"
+	"wearlock/internal/audio"
+	"wearlock/internal/core"
+	"wearlock/internal/modem"
+	"wearlock/internal/motion"
+	"wearlock/internal/proto"
+	"wearlock/internal/wireless"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "agents: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(42))
+	sc := core.DefaultScenario()
+
+	// Control channel: a Bluetooth connection pair.
+	btLink, err := wireless.NewLink(wireless.Bluetooth, sc.Distance, rng)
+	if err != nil {
+		return err
+	}
+	phoneConn, watchConn := proto.Pair(btLink)
+
+	// Acoustic medium: the honest simulated air path.
+	acLink, err := sc.AcousticLink(modem.BandAudible, 44100, rng)
+	if err != nil {
+		return err
+	}
+	medium, err := proto.NewMedium(wearlock.NewLinkPath(acLink))
+	if err != nil {
+		return err
+	}
+
+	// Shared-body sensor feeds: each session draws one correlated pair.
+	var mu sync.Mutex
+	var phoneQ, watchQ [][]float64
+	refill := func() error {
+		p, w, err := motion.TracePair(sc.Activity, 100, true, rng)
+		if err != nil {
+			return err
+		}
+		phoneQ = append(phoneQ, p)
+		watchQ = append(watchQ, w)
+		return nil
+	}
+	take := func(q *[][]float64) ([]float64, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(*q) == 0 {
+			if err := refill(); err != nil {
+				return nil, err
+			}
+		}
+		out := (*q)[0]
+		*q = (*q)[1:]
+		return out, nil
+	}
+
+	// The reactive watch agent.
+	watch, err := proto.NewWatch(proto.WatchConfig{
+		Band:         modem.BandAudible,
+		Offload:      true,
+		SensorSource: func(n int) ([]float64, error) { return take(&watchQ) },
+	}, watchConn, medium)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	watchDone := make(chan error, 1)
+	go func() { watchDone <- watch.Run(ctx) }()
+
+	// The driving phone agent.
+	ambientRNG := rand.New(rand.NewSource(43))
+	cfg := proto.DefaultPhoneConfig()
+	cfg.SensorSource = func(n int) ([]float64, error) { return take(&phoneQ) }
+	cfg.AmbientSource = func(n int) (*audio.Buffer, error) { return sc.Env.Render(n, 44100, ambientRNG) }
+	phone, err := proto.NewPhone(cfg, phoneConn, medium, nil)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("watch agent listening; pressing the power button three times...")
+	for i := 1; i <= 3; i++ {
+		res, err := phone.Unlock(ctx)
+		if err != nil {
+			return err
+		}
+		verdict := "LOCKED"
+		if res.Unlocked {
+			verdict = "UNLOCKED"
+		}
+		fmt.Printf("session %d: %-8s mode=%-5v Eb/N0=%5.1f dB radio=%6.1fms on-air=%6.1fms %s\n",
+			res.Session, verdict, res.Mode, res.EbN0dB,
+			float64(res.RadioTime.Microseconds())/1000,
+			float64(res.OnAirTime.Microseconds())/1000, res.Reason)
+		phone.Keyguard().Relock()
+	}
+
+	cancel()
+	if err := <-watchDone; err != nil {
+		return fmt.Errorf("watch agent: %w", err)
+	}
+	fmt.Println("watch agent shut down cleanly")
+	return nil
+}

@@ -1,0 +1,153 @@
+// Noisy cafe: exercise adaptive modulation and sub-channel selection
+// against ambient noise and a deliberate tone jammer — the conditions of
+// Figs. 8 and 9. The modem probes the channel, avoids jammed
+// sub-channels, and drops to a robust modulation when the room gets loud.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"wearlock"
+	"wearlock/internal/acoustic"
+	"wearlock/internal/modem"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "noisycafe: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(21))
+	cfg := wearlock.DefaultModemConfig(wearlock.BandAudible, wearlock.QPSK)
+
+	fmt.Println("-- part 1: adaptive modulation across environments --")
+	table := modem.DefaultModeTable()
+	for _, env := range []*wearlock.Environment{
+		wearlock.QuietRoom(), wearlock.Office(), wearlock.Cafe(),
+	} {
+		link, err := wearlock.NewAcousticLink(cfg.SampleRate, 0.2, env, rng)
+		if err != nil {
+			return err
+		}
+		mod, err := wearlock.NewModulator(cfg)
+		if err != nil {
+			return err
+		}
+		demod, err := wearlock.NewDemodulator(cfg)
+		if err != nil {
+			return err
+		}
+		probe, err := mod.ProbeSymbol()
+		if err != nil {
+			return err
+		}
+		rec, err := link.Transmit(probe, 72)
+		if err != nil {
+			return err
+		}
+		pa, err := demod.AnalyzeProbe(rec)
+		if err != nil {
+			fmt.Printf("%-12s probe failed: %v\n", env.Name, err)
+			continue
+		}
+		mode, err := table.SelectMode(pa.EbN0dB, 0.1)
+		modeName := "none"
+		if err == nil {
+			modeName = mode.String()
+		}
+		fmt.Printf("%-12s noise %.0f dB SPL -> Eb/N0 %5.1f dB -> mode %s\n",
+			env.Name, env.NoiseSPL, pa.EbN0dB, modeName)
+	}
+
+	fmt.Println("\n-- part 2: a jammer occupies three data sub-channels --")
+	// Jam three of the default data channels, as the Fig. 9 experiment
+	// does with an external tone generator.
+	jammedBins := []int{cfg.DataChannels[2], cfg.DataChannels[5], cfg.DataChannels[9]}
+	freqs := make([]float64, len(jammedBins))
+	for i, bin := range jammedBins {
+		freqs[i] = cfg.SubChannelHz(bin)
+	}
+	jam, err := acoustic.NewJammer(56, freqs...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("jammed bins %v (%.0f, %.0f, %.0f Hz)\n", jammedBins, freqs[0], freqs[1], freqs[2])
+
+	for _, selection := range []bool{false, true} {
+		link, err := wearlock.NewAcousticLink(cfg.SampleRate, 0.15, wearlock.QuietRoom(), rng)
+		if err != nil {
+			return err
+		}
+		link.Jammer = jam
+		dataCfg := cfg
+		label := "selection off"
+		if selection {
+			// RTS/CTS probing ranks sub-channels by measured noise and
+			// relocates the data channels.
+			mod, err := wearlock.NewModulator(cfg)
+			if err != nil {
+				return err
+			}
+			demod, err := wearlock.NewDemodulator(cfg)
+			if err != nil {
+				return err
+			}
+			probe, err := mod.ProbeSymbol()
+			if err != nil {
+				return err
+			}
+			rec, err := link.Transmit(probe, 72)
+			if err != nil {
+				return err
+			}
+			pa, err := demod.AnalyzeProbe(rec)
+			if err != nil {
+				return err
+			}
+			candidates := modem.CandidateDataChannels(cfg)
+			ranks := modem.RankSubChannels(candidates, pa.NoisePower, pa.ChannelGain)
+			selected, err := modem.SelectDataChannels(ranks, len(cfg.DataChannels), 0.25)
+			if err != nil {
+				return err
+			}
+			dataCfg, err = modem.ApplySelection(cfg, selected)
+			if err != nil {
+				return err
+			}
+			label = fmt.Sprintf("selection on -> %v", dataCfg.DataChannels)
+		}
+		mod, err := wearlock.NewModulator(dataCfg)
+		if err != nil {
+			return err
+		}
+		demod, err := wearlock.NewDemodulator(dataCfg)
+		if err != nil {
+			return err
+		}
+		bits := wearlock.RandomBits(240, rng)
+		frame, err := mod.Modulate(bits)
+		if err != nil {
+			return err
+		}
+		rec, err := link.Transmit(frame, 72)
+		if err != nil {
+			return err
+		}
+		rx, err := demod.Demodulate(rec, len(bits))
+		if err != nil {
+			fmt.Printf("%-14s decode failed: %v\n", label, err)
+			continue
+		}
+		ber, err := wearlock.BER(rx.Bits, bits)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("BER %.4f  (%s)\n", ber, label)
+	}
+	return nil
+}

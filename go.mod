@@ -1,0 +1,3 @@
+module wearlock
+
+go 1.22

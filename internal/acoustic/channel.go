@@ -1,0 +1,216 @@
+package acoustic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wearlock/internal/audio"
+	"wearlock/internal/dsp"
+)
+
+// NLOSConfig models body blocking of the direct acoustic path — the paper's
+// "same hand" field-test configuration and the covered-speaker case study.
+// Blocking attenuates the direct path; energy still arrives via two kinds
+// of reflections: near diffraction paths around the obstruction (sub-CP
+// delays, which make the channel frequency-selective) and room reflections
+// (6-14 ms, which are weak but — once the direct path is attenuated —
+// become visible in the preamble delay profile and inflate the RMS delay
+// spread the NLOS detector measures, Sec. III "NLOS filtering").
+type NLOSConfig struct {
+	Enabled      bool
+	DirectLossDB float64 // extra attenuation on the direct path
+	// EchoLossDB is the loss of the strongest near (diffraction) echo
+	// relative to the unblocked direct path. Default 8.
+	EchoLossDB float64
+	// FarEchoLossDB is the loss of the strongest room reflection relative
+	// to the unblocked direct path. Default 18.
+	FarEchoLossDB float64
+}
+
+// Link is a one-way acoustic path from a transmitter to a receiver. It
+// composes, in order: speaker non-idealities, spherical-spreading loss and
+// propagation delay, optional NLOS multipath, jammer and ambient noise
+// injection at the receiver, and the receiving microphone's band limit,
+// clock jitter, self-noise, and quantization.
+type Link struct {
+	SampleRate  int
+	Distance    float64 // meters
+	Propagation Propagation
+	Speaker     SpeakerProfile
+	Mic         MicProfile
+	Env         *Environment // nil = silence
+	Jammer      *Jammer      // nil = none
+	NLOS        NLOSConfig
+
+	// LeadIn and TailOut are the lengths, in samples, of ambient-only
+	// recording captured before and after the transmitted frame. The
+	// protocol uses the lead-in to measure ambient noise (Sec. III
+	// "Ambient noise measurement").
+	LeadIn  int
+	TailOut int
+
+	rng *rand.Rand
+}
+
+// NewLink constructs a link with the default propagation model and the
+// supplied impairment profiles. rng drives every stochastic stage; pass a
+// seeded source for reproducible experiments.
+func NewLink(sampleRate int, distance float64, speaker SpeakerProfile, mic MicProfile, env *Environment, rng *rand.Rand) (*Link, error) {
+	if sampleRate <= 0 {
+		return nil, fmt.Errorf("acoustic: sample rate %d must be positive", sampleRate)
+	}
+	if distance <= 0 {
+		return nil, fmt.Errorf("acoustic: distance %.3f m must be positive", distance)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("acoustic: link requires a random source")
+	}
+	return &Link{
+		SampleRate:  sampleRate,
+		Distance:    distance,
+		Propagation: DefaultPropagation(),
+		Speaker:     speaker,
+		Mic:         mic,
+		Env:         env,
+		LeadIn:      sampleRate / 8, // 125 ms of ambient before the frame
+		TailOut:     sampleRate / 25,
+		rng:         rng,
+	}, nil
+}
+
+// Transmit plays tx through the link at the given speaker volume (SPL at
+// the propagation reference distance) and returns the receiver-side
+// recording: LeadIn samples of ambient, then the distorted frame, then
+// TailOut samples of ambient.
+func (l *Link) Transmit(tx *audio.Buffer, volumeSPL float64) (*audio.Buffer, error) {
+	if tx.Rate != l.SampleRate {
+		return nil, fmt.Errorf("acoustic: frame rate %d does not match link rate %d", tx.Rate, l.SampleRate)
+	}
+	if l.Speaker.MaxOutputDB > 0 && volumeSPL > l.Speaker.MaxOutputDB {
+		volumeSPL = l.Speaker.MaxOutputDB
+	}
+
+	// Speaker drive: scale so the active portion of the waveform sits at
+	// volumeSPL at the reference distance, then apply rise/ringing.
+	signal := tx.Clone()
+	active := activeRMS(signal.Samples)
+	if active > 0 {
+		signal.Gain(audio.PressureFromSPL(volumeSPL) / active)
+	}
+	l.Speaker.apply(signal)
+
+	// Path loss and delay.
+	loss, err := l.Propagation.AttenuationDB(l.Distance)
+	if err != nil {
+		return nil, err
+	}
+	signal.Gain(dsp.FromDBAmplitude(-loss))
+	delay := DelaySamples(l.Distance, l.SampleRate)
+
+	if l.NLOS.Enabled {
+		if err := l.applyNLOS(signal); err != nil {
+			return nil, err
+		}
+	}
+
+	// Assemble the receiver-side recording.
+	total := l.LeadIn + delay + signal.Len() + l.TailOut
+	rec, err := audio.NewBuffer(l.SampleRate, 0)
+	if err != nil {
+		return nil, err
+	}
+	rec.AppendSilence(total)
+	if err := rec.MixAt(l.LeadIn+delay, signal); err != nil {
+		return nil, err
+	}
+	if l.Env != nil {
+		ambient, err := l.Env.Render(total, l.SampleRate, l.rng)
+		if err != nil {
+			return nil, err
+		}
+		if err := rec.MixAt(0, ambient); err != nil {
+			return nil, err
+		}
+	}
+	if l.Jammer != nil {
+		jam, err := l.Jammer.Render(total, l.SampleRate, l.rng)
+		if err != nil {
+			return nil, err
+		}
+		if err := rec.MixAt(0, jam); err != nil {
+			return nil, err
+		}
+	}
+	if err := l.Mic.apply(rec, l.rng); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// applyNLOS attenuates the direct path and adds near (diffraction) and far
+// (room) reflection taps.
+func (l *Link) applyNLOS(signal *audio.Buffer) error {
+	cfg := l.NLOS
+	if cfg.EchoLossDB == 0 {
+		cfg.EchoLossDB = 8
+	}
+	if cfg.FarEchoLossDB == 0 {
+		cfg.FarEchoLossDB = 18
+	}
+	direct := signal.Clone()
+	signal.Gain(dsp.FromDBAmplitude(-cfg.DirectLossDB))
+
+	msToSamples := func(ms float64) int {
+		return int(ms / 1000 * float64(l.SampleRate))
+	}
+	type tap struct {
+		minDelayMS, maxDelayMS float64
+		lossDB                 float64
+	}
+	taps := []tap{
+		// Near diffraction paths: path differences of 7-45 cm, within the
+		// delay spread the pilot spacing can still equalize (~1/690 Hz).
+		{0.2, 0.7, cfg.EchoLossDB},
+		{0.6, 1.3, cfg.EchoLossDB + 3},
+		// Room reflections: walls and ceiling, several meters extra path.
+		{5.5, 9.0, cfg.FarEchoLossDB},
+		{9.5, 14.0, cfg.FarEchoLossDB + 4},
+	}
+	for _, tp := range taps {
+		delay := msToSamples(tp.minDelayMS) + l.rng.Intn(msToSamples(tp.maxDelayMS-tp.minDelayMS)+1)
+		echo := direct.Clone()
+		gain := dsp.FromDBAmplitude(-tp.lossDB)
+		if l.rng.Intn(2) == 0 {
+			gain = -gain // reflection phase flip
+		}
+		echo.Gain(gain)
+		if err := signal.MixAt(delay, echo); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// activeRMS computes RMS over samples that are not exact digital silence,
+// so zero-padded guard intervals do not dilute the drive level.
+func activeRMS(x []float64) float64 {
+	var sum float64
+	var n int
+	for _, v := range x {
+		if v != 0 {
+			sum += v * v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+// ReceiverSPL predicts the SPL of the frame at the receiver before noise,
+// for link-budget reporting.
+func (l *Link) ReceiverSPL(volumeSPL float64) (float64, error) {
+	return l.Propagation.SPLAt(volumeSPL, l.Distance)
+}

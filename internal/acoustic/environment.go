@@ -1,0 +1,157 @@
+package acoustic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wearlock/internal/audio"
+	"wearlock/internal/dsp"
+)
+
+// NoiseComponent is one texture in an environment's noise mix.
+type NoiseComponent struct {
+	Kind   audio.NoiseKind
+	Weight float64 // relative linear amplitude weight
+}
+
+// Environment describes the ambient noise at a test location. The presets
+// mirror the locations of the paper's field test (Table I): office,
+// classroom, cafe, and grocery store, plus the quiet room used for
+// controlled measurements (Figs. 4-5).
+type Environment struct {
+	Name     string
+	NoiseSPL float64 // ambient level in dB SPL
+	Mix      []NoiseComponent
+}
+
+// Preset environments.
+func QuietRoom() *Environment {
+	return &Environment{
+		Name:     "quiet-room",
+		NoiseSPL: 17, // paper: 15-20 dB SPL
+		Mix:      []NoiseComponent{{audio.NoisePink, 1}},
+	}
+}
+
+// Office reproduces keyboard typing over HVAC hum with light chatter.
+func Office() *Environment {
+	return &Environment{
+		Name:     "office",
+		NoiseSPL: 45,
+		Mix: []NoiseComponent{
+			{audio.NoiseImpulsive, 0.8},
+			{audio.NoiseHum, 0.6},
+			{audio.NoiseBabble, 0.4},
+		},
+	}
+}
+
+// Classroom reproduces overlapping speech in a reverberant room.
+func Classroom() *Environment {
+	return &Environment{
+		Name:     "classroom",
+		NoiseSPL: 52,
+		Mix: []NoiseComponent{
+			{audio.NoiseBabble, 1},
+			{audio.NoisePink, 0.3},
+		},
+	}
+}
+
+// Cafe reproduces dense chatter plus espresso-machine bursts.
+func Cafe() *Environment {
+	return &Environment{
+		Name:     "cafe",
+		NoiseSPL: 62,
+		Mix: []NoiseComponent{
+			{audio.NoiseBabble, 1},
+			{audio.NoiseImpulsive, 0.5},
+			{audio.NoiseHum, 0.4},
+		},
+	}
+}
+
+// GroceryStore reproduces refrigeration hum with announcements/chatter.
+func GroceryStore() *Environment {
+	return &Environment{
+		Name:     "grocery-store",
+		NoiseSPL: 58,
+		Mix: []NoiseComponent{
+			{audio.NoiseHum, 1},
+			{audio.NoiseBabble, 0.7},
+		},
+	}
+}
+
+// AllEnvironments returns the field-test locations in Table I order.
+func AllEnvironments() []*Environment {
+	return []*Environment{Office(), Classroom(), Cafe(), GroceryStore()}
+}
+
+// Render synthesizes n samples of the environment's ambient noise at its
+// configured SPL.
+func (e *Environment) Render(n, sampleRate int, rng *rand.Rand) (*audio.Buffer, error) {
+	buf, err := e.renderUnit(n, sampleRate, rng)
+	if err != nil {
+		return nil, err
+	}
+	audio.ScaleToSPL(buf, e.NoiseSPL)
+	return buf, nil
+}
+
+// renderUnit mixes the components at unit RMS.
+func (e *Environment) renderUnit(n, sampleRate int, rng *rand.Rand) (*audio.Buffer, error) {
+	if len(e.Mix) == 0 {
+		return nil, fmt.Errorf("acoustic: environment %q has an empty noise mix", e.Name)
+	}
+	out, err := audio.NewBuffer(sampleRate, n)
+	if err != nil {
+		return nil, err
+	}
+	for _, comp := range e.Mix {
+		part, err := audio.Noise(comp.Kind, n, sampleRate, rng)
+		if err != nil {
+			return nil, fmt.Errorf("acoustic: environment %q: %w", e.Name, err)
+		}
+		part.Gain(comp.Weight)
+		if err := out.MixAt(0, part); err != nil {
+			return nil, err
+		}
+	}
+	dsp.NormalizeRMS(out.Samples, 1)
+	return out, nil
+}
+
+// RenderPair synthesizes the ambient noise heard simultaneously by two
+// microphones. When colocated, both recordings share the same dominant
+// noise field plus small independent per-microphone residue, so their
+// spectra correlate strongly; when not colocated the fields are drawn
+// independently. The ambient-noise similarity pre-filter (Sec. V, after
+// Sound-Proof) depends on exactly this property.
+func (e *Environment) RenderPair(n, sampleRate int, colocated bool, rng *rand.Rand) (*audio.Buffer, *audio.Buffer, error) {
+	if colocated {
+		shared, err := e.renderUnit(n, sampleRate, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		a := shared.Clone()
+		b := shared.Clone()
+		const residue = 0.15 // independent mic-position residue
+		for _, buf := range []*audio.Buffer{a, b} {
+			for i := range buf.Samples {
+				buf.Samples[i] += residue * rng.NormFloat64()
+			}
+			audio.ScaleToSPL(buf, e.NoiseSPL)
+		}
+		return a, b, nil
+	}
+	a, err := e.Render(n, sampleRate, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := e.Render(n, sampleRate, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, b, nil
+}

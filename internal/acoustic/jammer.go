@@ -1,0 +1,83 @@
+package acoustic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wearlock/internal/audio"
+)
+
+// Jammer models the external tone generator used in the sub-channel
+// selection experiment (Fig. 9): an Audacity instance playing up to six
+// simultaneous mono tone tracks at randomly chosen sub-channel frequencies.
+type Jammer struct {
+	ToneHz []float64 // tone frequencies
+	SPL    float64   // level of each tone at the receiver
+}
+
+// MaxJammerTones matches the six mono tracks Audacity supports.
+const MaxJammerTones = 6
+
+// NewJammer creates a jammer with explicit tone frequencies.
+func NewJammer(spl float64, toneHz ...float64) (*Jammer, error) {
+	if len(toneHz) > MaxJammerTones {
+		return nil, fmt.Errorf("acoustic: jammer supports at most %d tones, got %d", MaxJammerTones, len(toneHz))
+	}
+	tones := make([]float64, len(toneHz))
+	copy(tones, toneHz)
+	return &Jammer{ToneHz: tones, SPL: spl}, nil
+}
+
+// RandomJammer picks numTones distinct frequencies from candidates, as the
+// paper does ("the jammed sub-channel index is randomly selected every
+// time").
+func RandomJammer(spl float64, numTones int, candidatesHz []float64, rng *rand.Rand) (*Jammer, error) {
+	if numTones < 0 || numTones > MaxJammerTones {
+		return nil, fmt.Errorf("acoustic: jammer tone count %d outside [0, %d]", numTones, MaxJammerTones)
+	}
+	if numTones > len(candidatesHz) {
+		return nil, fmt.Errorf("acoustic: jammer needs %d tones but only %d candidates", numTones, len(candidatesHz))
+	}
+	perm := rng.Perm(len(candidatesHz))
+	tones := make([]float64, numTones)
+	for i := 0; i < numTones; i++ {
+		tones[i] = candidatesHz[perm[i]]
+	}
+	return &Jammer{ToneHz: tones, SPL: spl}, nil
+}
+
+// Render synthesizes n samples of the combined jammer signal at the
+// receiver. Each tone individually sits at the jammer's SPL.
+func (j *Jammer) Render(n, sampleRate int, rng *rand.Rand) (*audio.Buffer, error) {
+	out, err := audio.NewBuffer(sampleRate, n)
+	if err != nil {
+		return nil, err
+	}
+	if len(j.ToneHz) == 0 {
+		return out, nil
+	}
+	// RMS of a sine is amp/sqrt(2); solve amp for the target SPL.
+	amp := audio.PressureFromSPL(j.SPL) * 1.4142135623730951
+	for _, freq := range j.ToneHz {
+		phase := 0.0
+		if rng != nil {
+			phase = rng.Float64() * 6.283185307179586
+		}
+		tone, err := audio.Tone(freq, amp, n, sampleRate)
+		if err != nil {
+			return nil, fmt.Errorf("acoustic: jammer tone %.1f Hz: %w", freq, err)
+		}
+		// Apply the random starting phase by rotating the tone.
+		if phase != 0 {
+			shift := int(phase / 6.283185307179586 * float64(sampleRate) / freq)
+			if shift > 0 && shift < len(tone.Samples) {
+				rotated := append(tone.Samples[shift:], tone.Samples[:shift]...)
+				tone.Samples = rotated
+			}
+		}
+		if err := out.MixAt(0, tone); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,94 @@
+// Package acoustic simulates the over-the-air path between a phone speaker
+// and a watch microphone: spherical-spreading attenuation, propagation
+// delay, speaker rise/ringing effects, microphone band limits, hardware
+// clock jitter, multipath/NLOS blocking, ambient noise environments, and
+// tonal jammers.
+//
+// It substitutes for the real speakers, microphones, and rooms of the
+// paper's testbed; every impairment modeled here is one the paper names in
+// Sec. III ("The Acoustic Channel") or Sec. VI (field test conditions).
+package acoustic
+
+import (
+	"fmt"
+	"math"
+)
+
+// SpeedOfSound is the propagation speed used for delay modeling, in m/s.
+const SpeedOfSound = 343.0
+
+// Propagation models open-air sound attenuation per the paper:
+// SPL_tx - SPL_rx = 20 * g * log10(d / d0), where g is a geometric constant
+// (1 for spherical spreading from a point source) and d0 the reference
+// distance between the transmitter's own microphone and speaker.
+type Propagation struct {
+	G           float64 // geometric constant; 1 = spherical
+	RefDistance float64 // d0 in meters
+}
+
+// DefaultPropagation matches the paper's measured behaviour (Fig. 4):
+// spherical spreading, ~6 dB loss per distance doubling, referenced to
+// 5 cm (roughly the phone's own mic-to-speaker distance).
+func DefaultPropagation() Propagation {
+	return Propagation{G: 1, RefDistance: 0.05}
+}
+
+// AttenuationDB returns the SPL loss in dB at the given distance in meters.
+// Distances inside the reference distance are clamped to zero loss.
+func (p Propagation) AttenuationDB(distance float64) (float64, error) {
+	if distance <= 0 {
+		return 0, fmt.Errorf("acoustic: distance %.3f m must be positive", distance)
+	}
+	if p.RefDistance <= 0 {
+		return 0, fmt.Errorf("acoustic: reference distance %.3f m must be positive", p.RefDistance)
+	}
+	if distance <= p.RefDistance {
+		return 0, nil
+	}
+	return 20 * p.G * math.Log10(distance/p.RefDistance), nil
+}
+
+// SPLAt returns the receiver SPL for a transmitter emitting at txSPL
+// (measured at the reference distance).
+func (p Propagation) SPLAt(txSPL, distance float64) (float64, error) {
+	loss, err := p.AttenuationDB(distance)
+	if err != nil {
+		return 0, err
+	}
+	return txSPL - loss, nil
+}
+
+// DelaySamples returns the integer propagation delay in samples for the
+// given distance and sample rate.
+func DelaySamples(distance float64, sampleRate int) int {
+	if distance <= 0 || sampleRate <= 0 {
+		return 0
+	}
+	return int(math.Round(distance / SpeedOfSound * float64(sampleRate)))
+}
+
+// RangeForSNR solves the link budget for the maximum distance at which the
+// receiver still sees at least minSNR dB, given the transmit SPL and the
+// ambient noise SPL. This implements the paper's transmission-range bound
+// (Sec. III "How adaptive modulation works"):
+//
+//	SPL_tx - 20*g*log10(d/d0) - SPL_noise > SNR_min
+func (p Propagation) RangeForSNR(txSPL, noiseSPL, minSNR float64) float64 {
+	headroom := txSPL - noiseSPL - minSNR
+	if headroom <= 0 {
+		return p.RefDistance
+	}
+	return p.RefDistance * math.Pow(10, headroom/(20*p.G))
+}
+
+// VolumeForRange solves the link budget for the transmit SPL needed so
+// that a receiver at the given distance sees at least minSNR dB over the
+// ambient noise. The protocol uses this to set the speaker volume so the
+// signal is decodable within ~1 m and fades quickly beyond.
+func (p Propagation) VolumeForRange(distance, noiseSPL, minSNR float64) (float64, error) {
+	loss, err := p.AttenuationDB(distance)
+	if err != nil {
+		return 0, err
+	}
+	return noiseSPL + minSNR + loss, nil
+}

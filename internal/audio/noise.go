@@ -1,0 +1,179 @@
+package audio
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wearlock/internal/dsp"
+)
+
+// NoiseKind identifies a synthetic noise color/texture.
+type NoiseKind int
+
+// Supported noise textures.
+const (
+	NoiseWhite     NoiseKind = iota + 1
+	NoisePink                // 1/f spectrum, approximates broadband room noise
+	NoiseBabble              // voice-band shaped, approximates crowd chatter
+	NoiseImpulsive           // sparse clicks, approximates keyboard typing
+	NoiseHum                 // low-frequency machinery hum with harmonics
+)
+
+// String implements fmt.Stringer.
+func (k NoiseKind) String() string {
+	switch k {
+	case NoiseWhite:
+		return "white"
+	case NoisePink:
+		return "pink"
+	case NoiseBabble:
+		return "babble"
+	case NoiseImpulsive:
+		return "impulsive"
+	case NoiseHum:
+		return "hum"
+	default:
+		return fmt.Sprintf("NoiseKind(%d)", int(k))
+	}
+}
+
+// Noise synthesizes n samples of the requested noise texture at unit RMS
+// using the supplied random source. Callers scale the result to the
+// desired SPL with ScaleToSPL.
+func Noise(kind NoiseKind, n, sampleRate int, rng *rand.Rand) (*Buffer, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("audio: noise requires a random source")
+	}
+	buf, err := NewBuffer(sampleRate, n)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return buf, nil
+	}
+	switch kind {
+	case NoiseWhite:
+		for i := range buf.Samples {
+			buf.Samples[i] = rng.NormFloat64()
+		}
+	case NoisePink:
+		pinkNoise(buf.Samples, rng)
+	case NoiseBabble:
+		if err := babbleNoise(buf, rng); err != nil {
+			return nil, err
+		}
+	case NoiseImpulsive:
+		impulsiveNoise(buf, rng)
+	case NoiseHum:
+		humNoise(buf, rng)
+	default:
+		return nil, fmt.Errorf("audio: unknown noise kind %d", int(kind))
+	}
+	dsp.NormalizeRMS(buf.Samples, 1)
+	return buf, nil
+}
+
+// pinkNoise fills x with 1/f noise using the Voss-McCartney algorithm.
+func pinkNoise(x []float64, rng *rand.Rand) {
+	const rows = 16
+	var values [rows]float64
+	var running float64
+	for i := range values {
+		values[i] = rng.NormFloat64()
+		running += values[i]
+	}
+	for i := range x {
+		// Choose the row whose bit flips at this index (trailing zeros).
+		row := 0
+		for n := i + 1; n&1 == 0 && row < rows-1; n >>= 1 {
+			row++
+		}
+		running -= values[row]
+		values[row] = rng.NormFloat64()
+		running += values[row]
+		x[i] = running / rows
+	}
+}
+
+// babbleNoise approximates overlapping human speech: white noise band-passed
+// to the 300 Hz - 3.4 kHz voice band with a stochastic syllabic amplitude
+// envelope (random control points every ~125 ms, linearly interpolated), so
+// two independent renders have uncorrelated envelopes — the property the
+// ambient-similarity filter distinguishes co-located recordings by.
+func babbleNoise(buf *Buffer, rng *rand.Rand) error {
+	for i := range buf.Samples {
+		buf.Samples[i] = rng.NormFloat64()
+	}
+	bp, err := dsp.BandPassFIR(300, 3400, float64(buf.Rate), 129)
+	if err != nil {
+		return err
+	}
+	filtered := bp.Apply(buf.Samples)
+	step := buf.Rate / 8
+	if step < 1 {
+		step = 1
+	}
+	numPoints := len(filtered)/step + 2
+	points := make([]float64, numPoints)
+	for i := range points {
+		points[i] = 0.55 + 0.4*rng.Float64()
+	}
+	for i := range filtered {
+		seg := i / step
+		t := float64(i%step) / float64(step)
+		envelope := points[seg]*(1-t) + points[seg+1]*t
+		buf.Samples[i] = filtered[i] * envelope
+	}
+	return nil
+}
+
+// impulsiveNoise produces sparse exponentially-decaying clicks, about eight
+// per second, over a low noise floor.
+func impulsiveNoise(buf *Buffer, rng *rand.Rand) {
+	for i := range buf.Samples {
+		buf.Samples[i] = 0.05 * rng.NormFloat64()
+	}
+	clickEvery := buf.Rate / 8
+	if clickEvery < 1 {
+		clickEvery = 1
+	}
+	decay := math.Exp(-1 / (0.002 * float64(buf.Rate))) // 2 ms time constant
+	for start := rng.Intn(clickEvery); start < len(buf.Samples); start += clickEvery/2 + rng.Intn(clickEvery) {
+		amp := 2 + rng.Float64()*3
+		sign := 1.0
+		if rng.Intn(2) == 0 {
+			sign = -1
+		}
+		for i := start; i < len(buf.Samples) && amp > 0.01; i++ {
+			buf.Samples[i] += sign * amp * rng.NormFloat64()
+			amp *= decay
+		}
+	}
+}
+
+// humNoise produces a 120 Hz machinery hum with harmonics plus low-level
+// broadband noise, approximating HVAC and refrigeration equipment.
+func humNoise(buf *Buffer, rng *rand.Rand) {
+	base := 120.0
+	harmonics := []float64{1, 0.5, 0.3, 0.15, 0.08}
+	for i := range buf.Samples {
+		t := float64(i) / float64(buf.Rate)
+		var v float64
+		for h, amp := range harmonics {
+			v += amp * math.Sin(2*math.Pi*base*float64(h+1)*t)
+		}
+		buf.Samples[i] = v + 0.1*rng.NormFloat64()
+	}
+}
+
+// ScaleToSPL rescales the buffer in place so its sound pressure level
+// equals the target, per the convention in spl.go.
+func ScaleToSPL(buf *Buffer, targetSPL float64) {
+	rms := dsp.RMS(buf.Samples)
+	if rms == 0 {
+		return
+	}
+	target := PressureFromSPL(targetSPL)
+	buf.Gain(target / rms)
+}

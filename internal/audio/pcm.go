@@ -1,0 +1,143 @@
+// Package audio provides the raw-audio substrate for WearLock: PCM buffers,
+// chirp and tone synthesis, noise generation, sound-pressure-level math, and
+// a minimal WAV codec. Samples are float64 in [-1, 1] unless stated
+// otherwise.
+package audio
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultSampleRate is the native rate of the COTS devices the paper
+// targets (44.1 kHz, Sec. VI "Implementation Details").
+const DefaultSampleRate = 44100
+
+// Buffer is a mono PCM signal with an associated sample rate.
+type Buffer struct {
+	Rate    int       // samples per second
+	Samples []float64 // amplitude samples, nominally in [-1, 1]
+}
+
+// NewBuffer allocates a zero-filled buffer of n samples at the given rate.
+func NewBuffer(rate, n int) (*Buffer, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("audio: sample rate %d must be positive", rate)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("audio: buffer length %d must be non-negative", n)
+	}
+	return &Buffer{Rate: rate, Samples: make([]float64, n)}, nil
+}
+
+// FromSamples wraps a sample slice as a buffer. The slice is copied.
+func FromSamples(rate int, samples []float64) (*Buffer, error) {
+	b, err := NewBuffer(rate, len(samples))
+	if err != nil {
+		return nil, err
+	}
+	copy(b.Samples, samples)
+	return b, nil
+}
+
+// Len reports the number of samples.
+func (b *Buffer) Len() int { return len(b.Samples) }
+
+// Duration reports the signal duration in seconds.
+func (b *Buffer) Duration() float64 {
+	return float64(len(b.Samples)) / float64(b.Rate)
+}
+
+// Clone returns a deep copy.
+func (b *Buffer) Clone() *Buffer {
+	out := &Buffer{Rate: b.Rate, Samples: make([]float64, len(b.Samples))}
+	copy(out.Samples, b.Samples)
+	return out
+}
+
+// Append concatenates other onto b. The sample rates must match.
+func (b *Buffer) Append(other *Buffer) error {
+	if other.Rate != b.Rate {
+		return fmt.Errorf("audio: cannot append rate %d onto %d", other.Rate, b.Rate)
+	}
+	b.Samples = append(b.Samples, other.Samples...)
+	return nil
+}
+
+// AppendSamples concatenates raw samples onto b.
+func (b *Buffer) AppendSamples(samples []float64) {
+	b.Samples = append(b.Samples, samples...)
+}
+
+// AppendSilence appends n zero samples.
+func (b *Buffer) AppendSilence(n int) {
+	b.Samples = append(b.Samples, make([]float64, n)...)
+}
+
+// Gain scales every sample by the (linear) factor, in place.
+func (b *Buffer) Gain(factor float64) {
+	for i := range b.Samples {
+		b.Samples[i] *= factor
+	}
+}
+
+// MixAt adds other into b starting at the given sample offset, extending b
+// if necessary. Negative offsets clip the head of other.
+func (b *Buffer) MixAt(offset int, other *Buffer) error {
+	if other.Rate != b.Rate {
+		return fmt.Errorf("audio: cannot mix rate %d into %d", other.Rate, b.Rate)
+	}
+	src := other.Samples
+	if offset < 0 {
+		if -offset >= len(src) {
+			return nil
+		}
+		src = src[-offset:]
+		offset = 0
+	}
+	if need := offset + len(src); need > len(b.Samples) {
+		b.Samples = append(b.Samples, make([]float64, need-len(b.Samples))...)
+	}
+	for i, v := range src {
+		b.Samples[offset+i] += v
+	}
+	return nil
+}
+
+// Slice returns a view buffer sharing samples [from, to) of b.
+func (b *Buffer) Slice(from, to int) (*Buffer, error) {
+	if from < 0 || to > len(b.Samples) || from > to {
+		return nil, fmt.Errorf("audio: slice [%d, %d) out of range for length %d", from, to, len(b.Samples))
+	}
+	return &Buffer{Rate: b.Rate, Samples: b.Samples[from:to]}, nil
+}
+
+// Clip limits every sample to [-1, 1], modeling DAC saturation.
+func (b *Buffer) Clip() {
+	for i, v := range b.Samples {
+		if v > 1 {
+			b.Samples[i] = 1
+		} else if v < -1 {
+			b.Samples[i] = -1
+		}
+	}
+}
+
+// Quantize rounds samples to the grid of a signed integer ADC with the
+// given bit depth (e.g. 16), modeling quantization noise.
+func (b *Buffer) Quantize(bitDepth int) error {
+	if bitDepth < 2 || bitDepth > 32 {
+		return fmt.Errorf("audio: bit depth %d outside [2, 32]", bitDepth)
+	}
+	levels := math.Pow(2, float64(bitDepth-1))
+	for i, v := range b.Samples {
+		b.Samples[i] = math.Round(v*levels) / levels
+	}
+	return nil
+}
+
+// SecondsToSamples converts a duration in seconds to a sample count at the
+// buffer's rate.
+func (b *Buffer) SecondsToSamples(seconds float64) int {
+	return int(math.Round(seconds * float64(b.Rate)))
+}

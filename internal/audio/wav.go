@@ -1,0 +1,122 @@
+package audio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// WAV support: a minimal, dependency-free 16-bit mono PCM codec so the
+// cmd/modem tool can interoperate with standard audio tooling.
+
+const (
+	_wavFormatPCM  = 1
+	_wavHeaderSize = 44
+)
+
+// WriteWAV encodes the buffer as a 16-bit mono PCM WAV stream. Samples are
+// clipped to [-1, 1] before conversion.
+func WriteWAV(w io.Writer, buf *Buffer) error {
+	if buf == nil || buf.Rate <= 0 {
+		return fmt.Errorf("audio: invalid buffer for WAV encoding")
+	}
+	dataLen := len(buf.Samples) * 2
+	header := make([]byte, _wavHeaderSize)
+	copy(header[0:4], "RIFF")
+	binary.LittleEndian.PutUint32(header[4:8], uint32(36+dataLen))
+	copy(header[8:12], "WAVE")
+	copy(header[12:16], "fmt ")
+	binary.LittleEndian.PutUint32(header[16:20], 16) // PCM fmt chunk size
+	binary.LittleEndian.PutUint16(header[20:22], _wavFormatPCM)
+	binary.LittleEndian.PutUint16(header[22:24], 1) // mono
+	binary.LittleEndian.PutUint32(header[24:28], uint32(buf.Rate))
+	binary.LittleEndian.PutUint32(header[28:32], uint32(buf.Rate*2)) // byte rate
+	binary.LittleEndian.PutUint16(header[32:34], 2)                  // block align
+	binary.LittleEndian.PutUint16(header[34:36], 16)                 // bits per sample
+	copy(header[36:40], "data")
+	binary.LittleEndian.PutUint32(header[40:44], uint32(dataLen))
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("audio: writing WAV header: %w", err)
+	}
+	data := make([]byte, dataLen)
+	for i, v := range buf.Samples {
+		if v > 1 {
+			v = 1
+		} else if v < -1 {
+			v = -1
+		}
+		binary.LittleEndian.PutUint16(data[i*2:], uint16(int16(math.Round(v*32767))))
+	}
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("audio: writing WAV data: %w", err)
+	}
+	return nil
+}
+
+// ReadWAV decodes a 16-bit mono PCM WAV stream produced by WriteWAV or
+// compatible tools. Extra chunks between "fmt " and "data" are skipped.
+func ReadWAV(r io.Reader) (*Buffer, error) {
+	var riff [12]byte
+	if _, err := io.ReadFull(r, riff[:]); err != nil {
+		return nil, fmt.Errorf("audio: reading RIFF header: %w", err)
+	}
+	if string(riff[0:4]) != "RIFF" || string(riff[8:12]) != "WAVE" {
+		return nil, fmt.Errorf("audio: not a RIFF/WAVE stream")
+	}
+	var (
+		rate     int
+		channels int
+		bits     int
+		haveFmt  bool
+	)
+	for {
+		var chunkHeader [8]byte
+		if _, err := io.ReadFull(r, chunkHeader[:]); err != nil {
+			return nil, fmt.Errorf("audio: reading chunk header: %w", err)
+		}
+		id := string(chunkHeader[0:4])
+		size := binary.LittleEndian.Uint32(chunkHeader[4:8])
+		switch id {
+		case "fmt ":
+			body := make([]byte, size)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return nil, fmt.Errorf("audio: reading fmt chunk: %w", err)
+			}
+			if len(body) < 16 {
+				return nil, fmt.Errorf("audio: fmt chunk too short (%d bytes)", len(body))
+			}
+			format := binary.LittleEndian.Uint16(body[0:2])
+			if format != _wavFormatPCM {
+				return nil, fmt.Errorf("audio: unsupported WAV format %d (want PCM)", format)
+			}
+			channels = int(binary.LittleEndian.Uint16(body[2:4]))
+			rate = int(binary.LittleEndian.Uint32(body[4:8]))
+			bits = int(binary.LittleEndian.Uint16(body[14:16]))
+			haveFmt = true
+		case "data":
+			if !haveFmt {
+				return nil, fmt.Errorf("audio: data chunk before fmt chunk")
+			}
+			if channels != 1 || bits != 16 {
+				return nil, fmt.Errorf("audio: unsupported layout %d ch / %d bit (want mono 16-bit)", channels, bits)
+			}
+			body := make([]byte, size)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return nil, fmt.Errorf("audio: reading data chunk: %w", err)
+			}
+			buf, err := NewBuffer(rate, len(body)/2)
+			if err != nil {
+				return nil, err
+			}
+			for i := range buf.Samples {
+				buf.Samples[i] = float64(int16(binary.LittleEndian.Uint16(body[i*2:]))) / 32767
+			}
+			return buf, nil
+		default:
+			if _, err := io.CopyN(io.Discard, r, int64(size)); err != nil {
+				return nil, fmt.Errorf("audio: skipping %q chunk: %w", id, err)
+			}
+		}
+	}
+}

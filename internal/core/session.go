@@ -1,0 +1,666 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"wearlock/internal/acoustic"
+	"wearlock/internal/dsp"
+	"wearlock/internal/keyguard"
+	"wearlock/internal/modem"
+	"wearlock/internal/motion"
+	"wearlock/internal/otp"
+	"wearlock/internal/wireless"
+)
+
+// Outcome classifies how an unlock session ended.
+type Outcome int
+
+// Session outcomes. Aborts before phase 2 skip the OTP entirely and do not
+// count against the keyguard failure budget; a decoded-but-wrong token
+// does.
+const (
+	OutcomeUnlocked Outcome = iota + 1
+	// OutcomeSkipUnlocked: Alg. 1 found the motion similarity so strong
+	// that phase 2 was skipped and the phone unlocked on the pre-filter.
+	OutcomeSkipUnlocked
+	OutcomeAbortedLinkDown
+	OutcomeAbortedMotion
+	OutcomeAbortedNoiseMismatch
+	OutcomeAbortedNoSignal
+	OutcomeAbortedNoMode
+	OutcomeAbortedTiming
+	// OutcomeAbortedRange: the distance-bounding extension measured an
+	// acoustic time of flight implying the transmitter is outside the
+	// secure boundary (a relay's store-and-forward delay shows up here).
+	OutcomeAbortedRange
+	OutcomeTokenMismatch
+	OutcomeLockedOut
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeUnlocked:
+		return "unlocked"
+	case OutcomeSkipUnlocked:
+		return "unlocked-by-motion-filter"
+	case OutcomeAbortedLinkDown:
+		return "aborted-link-down"
+	case OutcomeAbortedMotion:
+		return "aborted-motion-mismatch"
+	case OutcomeAbortedNoiseMismatch:
+		return "aborted-noise-mismatch"
+	case OutcomeAbortedNoSignal:
+		return "aborted-no-signal"
+	case OutcomeAbortedNoMode:
+		return "aborted-no-usable-mode"
+	case OutcomeAbortedTiming:
+		return "aborted-timing-window"
+	case OutcomeAbortedRange:
+		return "aborted-distance-bound"
+	case OutcomeTokenMismatch:
+		return "token-mismatch"
+	case OutcomeLockedOut:
+		return "locked-out"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Result reports everything a session learned, including the full delay
+// timeline and energy ledger the performance experiments consume.
+type Result struct {
+	Outcome  Outcome
+	Unlocked bool
+	Detail   string // human-readable reason for aborts
+
+	// Modem diagnostics.
+	Mode         modem.Modulation // selected transmission mode (0 if none)
+	BER          float64          // decoded-vs-sent BER; -1 when unknown
+	PSNRdB       float64
+	EbN0dB       float64
+	VolumeSPL    float64
+	DataChannels []int
+
+	// Filter diagnostics.
+	MotionScore     float64
+	MotionDecision  motion.FilterDecision
+	NoiseSimilarity float64
+	NLOSDetected    bool
+	DelaySpread     time.Duration
+	// EstimatedDistance is the acoustic time-of-flight range estimate
+	// (meters) from the probe's arrival position; -1 when unmeasured.
+	EstimatedDistance float64
+
+	Timeline *Timeline
+	Energy   *EnergyLedger
+}
+
+// System is a paired phone + watch running the WearLock controllers: it
+// owns the shared OTP state, the keyguard, and the deployment
+// configuration, and executes unlock sessions against scenarios.
+type System struct {
+	cfg   Config
+	gen   *otp.Generator
+	ver   *otp.Verifier
+	guard *keyguard.Keyguard
+	rng   *rand.Rand
+	now   time.Time // simulated wall clock, advanced by each session
+}
+
+// NewSystem pairs a phone and watch: generates the shared OTP key (over
+// the secure wireless channel, per the threat model) and initializes the
+// keyguard to locked.
+func NewSystem(cfg Config, rng *rand.Rand) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("core: system requires a random source")
+	}
+	key := cfg.OTPKey
+	if key == nil {
+		var err error
+		key, err = otp.GenerateKey()
+		if err != nil {
+			return nil, err
+		}
+	}
+	gen, err := otp.NewGenerator(key, 0)
+	if err != nil {
+		return nil, err
+	}
+	ver, err := otp.NewVerifier(key, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		cfg:   cfg,
+		gen:   gen,
+		ver:   ver,
+		guard: keyguard.New(),
+		rng:   rng,
+		now:   time.Unix(1700000000, 0),
+	}, nil
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Keyguard exposes the lock state machine (read-mostly; examples and the
+// attack harness inspect it).
+func (s *System) Keyguard() *keyguard.Keyguard { return s.guard }
+
+// Fixed platform overheads on the session timeline.
+const (
+	_osWakeup       = 30 * time.Millisecond // power button to app wakeup
+	_recordingSetup = 25 * time.Millisecond // AudioRecord start latency
+	_speakerPowerW  = 0.09                  // phone speaker drive power
+	_micPowerW      = 0.02                  // watch recording power
+)
+
+// Unlock runs one full protocol session for the scenario over its honest
+// acoustic path.
+func (s *System) Unlock(sc Scenario) (*Result, error) {
+	cfg := modem.DefaultConfig(s.cfg.Band, modem.QPSK)
+	link, err := sc.AcousticLink(s.cfg.Band, cfg.SampleRate, s.rng)
+	if err != nil {
+		return nil, err
+	}
+	return s.UnlockVia(sc, NewLinkPath(link))
+}
+
+// UnlockVia runs one session with an explicit acoustic path (the attack
+// harness passes adversarial paths).
+func (s *System) UnlockVia(sc Scenario, path AcousticPath) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if path == nil {
+		return nil, fmt.Errorf("core: nil acoustic path")
+	}
+	res := &Result{
+		BER:               -1,
+		EstimatedDistance: -1,
+		Timeline:          &Timeline{},
+		Energy:            NewEnergyLedger(),
+	}
+	if s.guard.State() == keyguard.StateLockedOut {
+		res.Outcome = OutcomeLockedOut
+		res.Detail = "keyguard locked out; manual authentication required"
+		return res, nil
+	}
+	s.now = s.now.Add(time.Second) // sessions are seconds apart at minimum
+
+	phone := s.cfg.Phone
+	watch := s.cfg.Watch
+	res.Timeline.Add("wakeup/power-button", StepCompute, phone.Name, _osWakeup)
+
+	// Step 1: wireless link presence — the cheapest filter.
+	wl, err := wireless.NewLink(s.cfg.Transport, sc.Distance, s.rng)
+	if err != nil {
+		return nil, err
+	}
+	if !wl.Connected() {
+		res.Outcome = OutcomeAbortedLinkDown
+		res.Detail = fmt.Sprintf("no %s link at %.1f m", s.cfg.Transport, sc.Distance)
+		return res, nil
+	}
+	// Handshake: start-protocol message out, ack + begin-recording back.
+	if err := s.exchange(res, wl, "handshake/start+ack", 64, 2); err != nil {
+		res.Outcome = OutcomeAbortedLinkDown
+		res.Detail = err.Error()
+		return res, nil
+	}
+	res.Timeline.Add("watch/recording-setup", StepCompute, watch.Name, _recordingSetup)
+
+	// Step 2: motion pre-filter (Alg. 1). The watch ships its buffered
+	// accelerometer window; the phone runs DTW.
+	if s.cfg.EnableMotionFilter {
+		if done, err := s.motionFilter(sc, res, wl); err != nil {
+			return nil, err
+		} else if done {
+			return res, nil
+		}
+	}
+
+	// Step 3: phase 1 — RTS/CTS channel probing.
+	probeCfg := modem.DefaultConfig(s.cfg.Band, modem.QPSK)
+	pa, dataCfg, done, err := s.phase1(sc, res, wl, path, probeCfg)
+	if err != nil {
+		return nil, err
+	}
+	if done {
+		return res, nil
+	}
+
+	// Step 4: mode selection. The strict MaxBER target is tried first;
+	// when body blocking is detected and nothing satisfies it, fall back
+	// to the most robust mode under the relaxed NLOS bound (the case
+	// study's "relaxing the corresponding required BER of NLOS cases").
+	// The relaxation only applies when the time-of-flight estimate puts
+	// the transmitter inside the boundary: a hand over the speaker is a
+	// close-range phenomenon, and extending the accommodation to distant
+	// signals would hand the relaxed bound to a co-located attacker.
+	nlosInRange := res.NLOSDetected &&
+		res.EstimatedDistance >= 0 && res.EstimatedDistance <= 2*s.cfg.TargetRange
+	mode, err := s.cfg.ModeTable.SelectMode(pa.EbN0dB, s.cfg.MaxBER)
+	if err != nil && nlosInRange {
+		mode, err = s.cfg.ModeTable.SelectMostRobust(pa.EbN0dB, s.cfg.NLOSRelaxedMaxBER)
+	}
+	if err != nil {
+		res.Outcome = OutcomeAbortedNoMode
+		res.Detail = err.Error()
+		return res, nil
+	}
+	res.Mode = mode
+	dataCfg.Modulation = mode
+	// CTS: the watch reports the probing verdict (or the phone pushes the
+	// chosen configuration back), one small message each way.
+	if err := s.exchange(res, wl, "phase1/cts-config", 128, 2); err != nil {
+		res.Outcome = OutcomeAbortedLinkDown
+		res.Detail = err.Error()
+		return res, nil
+	}
+
+	// Step 5: phase 2 — OTP transmission and validation.
+	return res, s.phase2(sc, res, wl, path, dataCfg)
+}
+
+// exchange sends count control messages over the link, charging timeline
+// and radio energy to both devices.
+func (s *System) exchange(res *Result, wl *wireless.Link, name string, payload, count int) error {
+	for i := 0; i < count; i++ {
+		d, err := wl.SendMessage(payload)
+		if err != nil {
+			return err
+		}
+		res.Timeline.Add(name, StepComm, "link", d)
+		res.Energy.AddRadio(s.cfg.Phone.Name, s.cfg.Phone.RadioEnergy(d))
+		res.Energy.AddRadio(s.cfg.Watch.Name, s.cfg.Watch.RadioEnergy(d))
+	}
+	return nil
+}
+
+// motionFilter runs Alg. 1. It returns done=true when the session ended
+// here (abort or skip-unlock).
+func (s *System) motionFilter(sc Scenario, res *Result, wl *wireless.Link) (bool, error) {
+	const traceLen = 100 // ~2 s at 50 Hz, the paper's 50-150 sample range
+	phoneTrace, watchTrace, err := motion.TracePair(sc.Activity, traceLen, sc.SameBody, s.rng)
+	if err != nil {
+		return false, err
+	}
+	// The watch ships its trace (12 bytes per sample serialized).
+	d, err := wl.SendMessage(traceLen * 12)
+	if err != nil {
+		res.Outcome = OutcomeAbortedLinkDown
+		res.Detail = err.Error()
+		return true, nil
+	}
+	res.Timeline.Add("prefilter/sensor-transfer", StepComm, "link", d)
+	res.Energy.AddRadio(s.cfg.Watch.Name, s.cfg.Watch.RadioEnergy(d))
+	res.Energy.AddRadio(s.cfg.Phone.Name, s.cfg.Phone.RadioEnergy(d))
+
+	fr, err := motion.Filter(phoneTrace, watchTrace, s.cfg.MotionThresholds)
+	if err != nil {
+		return false, err
+	}
+	dtwTime := s.cfg.Phone.DTWTime(fr.DTWCells)
+	res.Timeline.Add("prefilter/dtw", StepCompute, s.cfg.Phone.Name, dtwTime)
+	res.Energy.AddCompute(s.cfg.Phone.Name, s.cfg.Phone.ComputeEnergy(dtwTime))
+	res.MotionScore = fr.Score
+	res.MotionDecision = fr.Decision
+
+	switch fr.Decision {
+	case motion.DecisionAbort:
+		res.Outcome = OutcomeAbortedMotion
+		res.Detail = fmt.Sprintf("DTW score %.3f above threshold %.3f", fr.Score, s.cfg.MotionThresholds.High)
+		return true, nil
+	case motion.DecisionSkip:
+		if err := s.guard.ReportSuccess(s.now); err != nil {
+			res.Outcome = OutcomeLockedOut
+			res.Detail = err.Error()
+			return true, nil
+		}
+		res.Outcome = OutcomeSkipUnlocked
+		res.Unlocked = true
+		res.Detail = fmt.Sprintf("DTW score %.4f below skip threshold %.4f", fr.Score, s.cfg.MotionThresholds.Low)
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
+// phase1 performs RTS/CTS channel probing: volume planning, probe
+// transmission, ambient-noise similarity, NLOS detection, sub-channel
+// selection. It returns the probe analysis and the adapted data
+// configuration; done=true means the session ended here.
+func (s *System) phase1(sc Scenario, res *Result, wl *wireless.Link, path AcousticPath, probeCfg modem.Config) (*modem.ProbeAnalysis, modem.Config, bool, error) {
+	phone := s.cfg.Phone
+	watch := s.cfg.Watch
+
+	// Volume planning: drive the speaker so a receiver inside TargetRange
+	// clears the minimum usable Eb/N0 over the measured ambient noise —
+	// measured inside the occupied band from the phone's self-recording,
+	// since only in-band noise competes with the sub-channels. Beyond the
+	// boundary the per-bit SNR falls under the adaptive floor and the
+	// token becomes undecodable, which is the whole security argument.
+	noiseSPL := 10.0
+	if sc.Env != nil {
+		ambient, err := sc.Env.Render(probeCfg.SampleRate/2, probeCfg.SampleRate, s.rng)
+		if err != nil {
+			return nil, probeCfg, false, err
+		}
+		// The phone's own microphone hears any interferer in the room;
+		// the volume plan must compete with it.
+		if sc.Jammer != nil {
+			jam, err := sc.Jammer.Render(ambient.Len(), probeCfg.SampleRate, s.rng)
+			if err != nil {
+				return nil, probeCfg, false, err
+			}
+			if err := ambient.MixAt(0, jam); err != nil {
+				return nil, probeCfg, false, err
+			}
+		}
+		// Measure over the pilot span — the same band the probe's pilot
+		// SNR estimate will integrate, so planned and measured Eb/N0
+		// agree.
+		pilots := probeCfg.SortedPilots()
+		lowHz := probeCfg.SubChannelHz(pilots[0])
+		highHz := probeCfg.SubChannelHz(pilots[len(pilots)-1])
+		inBand, ops, err := InBandNoiseSPL(ambient, lowHz, highHz)
+		if err != nil {
+			return nil, probeCfg, false, err
+		}
+		noiseSPL = inBand
+		measureTime := phone.ComputeTime(modem.Cost{ScalarOps: ops})
+		res.Timeline.Add("phase1/noise-measurement", StepCompute, phone.Name, measureTime)
+		res.Energy.AddCompute(phone.Name, phone.ComputeEnergy(measureTime))
+	}
+	minEbN0 := s.cfg.ModeTable.MinEbN0(s.cfg.MaxBER)
+	minSNR := minEbN0 - dsp.DB(probeCfg.OccupiedBandwidthHz()/probeCfg.DataRate())
+	const planningHeadroomDB = 4 // keep nominal in-range unlocks reliable
+	prop := acoustic.DefaultPropagation()
+	volume, err := prop.VolumeForRange(s.cfg.TargetRange, noiseSPL, minSNR+planningHeadroomDB)
+	if err != nil {
+		return nil, probeCfg, false, err
+	}
+	if max := acoustic.PhoneSpeaker().MaxOutputDB; volume > max {
+		volume = max
+	}
+	res.VolumeSPL = volume
+
+	// Build and play the probe (RTS).
+	modulator, err := modem.NewModulator(probeCfg)
+	if err != nil {
+		return nil, probeCfg, false, err
+	}
+	probe, err := modulator.ProbeSymbol()
+	if err != nil {
+		return nil, probeCfg, false, err
+	}
+	rec, err := path.Transmit(probe, volume)
+	if err != nil {
+		return nil, probeCfg, false, fmt.Errorf("core: probe transmission: %w", err)
+	}
+	airTime := time.Duration(rec.Duration() * float64(time.Second))
+	res.Timeline.Add("phase1/probe-on-air", StepAcoustic, phone.Name, airTime)
+	res.Energy.AddCompute(phone.Name, _speakerPowerW*airTime.Seconds())
+	res.Energy.AddCompute(watch.Name, _micPowerW*airTime.Seconds())
+
+	// Ambient-noise similarity: the phone self-records while the watch
+	// records; compare the noise-only heads (Sound-Proof-style filter).
+	if s.cfg.EnableNoiseFilter && sc.Env != nil {
+		done, err := s.noiseFilter(sc, res, probeCfg)
+		if err != nil || done {
+			return nil, probeCfg, done, err
+		}
+	}
+
+	// Probe analysis runs on the phone when offloading (after a file
+	// transfer), otherwise on the watch.
+	demod, err := modem.NewDemodulator(probeCfg)
+	if err != nil {
+		return nil, probeCfg, false, err
+	}
+	if s.cfg.NLOSThreshold > 0 {
+		// Threshold override plumbed below via IsNLOS call.
+		_ = s.cfg.NLOSThreshold
+	}
+	analysisDevice := watch
+	if s.cfg.Offload {
+		d, err := wl.TransferFile(rec.Len() * 2) // 16-bit PCM
+		if err != nil {
+			res.Outcome = OutcomeAbortedLinkDown
+			res.Detail = err.Error()
+			return nil, probeCfg, true, nil
+		}
+		res.Timeline.Add("phase1/probe-upload", StepComm, "link", d)
+		res.Energy.AddRadio(watch.Name, watch.RadioEnergy(d))
+		res.Energy.AddRadio(phone.Name, phone.RadioEnergy(d))
+		analysisDevice = phone
+	}
+	pa, err := demod.AnalyzeProbe(rec)
+	probeTime := analysisDevice.ComputeTime(pa.Cost)
+	res.Timeline.Add("phase1/probe-processing", StepCompute, analysisDevice.Name, probeTime)
+	res.Energy.AddCompute(analysisDevice.Name, analysisDevice.ComputeEnergy(probeTime))
+	if err != nil {
+		res.Outcome = OutcomeAbortedNoSignal
+		res.Detail = err.Error()
+		return nil, probeCfg, true, nil
+	}
+	res.PSNRdB = pa.PSNRdB
+	res.EbN0dB = pa.EbN0dB
+	res.DelaySpread = time.Duration(pa.RMSDelaySpread * float64(time.Second))
+	res.NLOSDetected = modem.IsNLOS(pa.RMSDelaySpread, s.cfg.NLOSThreshold)
+
+	// Distance bounding (extension, Sec. IV-4): the preamble's position
+	// past the recording head is the acoustic time of flight. Recording
+	// timestamps are good to about a millisecond on Android audio
+	// pipelines, so the estimate carries ~0.35 m of slop.
+	arrival := pa.Detection.PreambleStart - path.NominalLeadIn()
+	if arrival >= 0 {
+		tof := float64(arrival) / float64(probeCfg.SampleRate)
+		tof += 0.001 * s.rng.NormFloat64() // recording-timestamp jitter
+		res.EstimatedDistance = tof * acoustic.SpeedOfSound
+		if res.EstimatedDistance < 0 {
+			res.EstimatedDistance = 0
+		}
+	} else {
+		res.EstimatedDistance = -1
+	}
+	if s.cfg.EnableDistanceBounding && res.EstimatedDistance > 2*s.cfg.TargetRange+0.5 {
+		res.Outcome = OutcomeAbortedRange
+		res.Detail = fmt.Sprintf("acoustic time of flight implies %.1f m, boundary is %.1f m", res.EstimatedDistance, s.cfg.TargetRange)
+		return nil, probeCfg, true, nil
+	}
+
+	// The paper also aborts when the preamble correlation score is under
+	// 0.05 — already enforced inside AnalyzeProbe's detector.
+
+	dataCfg := probeCfg
+	if s.cfg.EnableSubChannelSelection {
+		candidates := modem.CandidateDataChannels(probeCfg)
+		ranks := modem.RankSubChannels(candidates, pa.NoisePower, pa.ChannelGain)
+		selected, err := modem.SelectDataChannels(ranks, len(probeCfg.DataChannels), 0.25)
+		if err == nil {
+			if applied, err := modem.ApplySelection(probeCfg, selected); err == nil {
+				dataCfg = applied
+			}
+		}
+		res.Timeline.Add("phase1/subchannel-selection", StepCompute, analysisDevice.Name, analysisDevice.ComputeTime(modem.Cost{ScalarOps: int64(len(candidates) * 16)}))
+	}
+	res.DataChannels = append([]int(nil), dataCfg.DataChannels...)
+	return pa, dataCfg, false, nil
+}
+
+// noiseFilter compares simultaneous ambient recordings from both devices.
+func (s *System) noiseFilter(sc Scenario, res *Result, probeCfg modem.Config) (bool, error) {
+	phone := s.cfg.Phone
+	const ambientSeconds = 0.4
+	n := int(ambientSeconds * float64(probeCfg.SampleRate))
+	phoneAmb, watchAmb, err := sc.Env.RenderPair(n, probeCfg.SampleRate, sc.SameRoom, s.rng)
+	if err != nil {
+		return false, err
+	}
+	score, ops, err := NoiseSimilarity(phoneAmb, watchAmb)
+	if err != nil {
+		return false, err
+	}
+	simTime := phone.ComputeTime(modem.Cost{ScalarOps: ops})
+	res.Timeline.Add("phase1/noise-similarity", StepCompute, phone.Name, simTime)
+	res.Energy.AddCompute(phone.Name, phone.ComputeEnergy(simTime))
+	res.NoiseSimilarity = score
+	if score < s.cfg.NoiseSimilarityThreshold {
+		res.Outcome = OutcomeAbortedNoiseMismatch
+		res.Detail = fmt.Sprintf("ambient similarity %.3f below threshold %.3f", score, s.cfg.NoiseSimilarityThreshold)
+		return true, nil
+	}
+	return false, nil
+}
+
+// phase2 transmits the OTP token, demodulates (offloaded or local),
+// enforces the replay timing window, verifies, and drives the keyguard.
+func (s *System) phase2(sc Scenario, res *Result, wl *wireless.Link, path AcousticPath, dataCfg modem.Config) error {
+	phone := s.cfg.Phone
+	watch := s.cfg.Watch
+
+	token, err := s.gen.Next()
+	if err != nil {
+		return err
+	}
+	coded, err := modem.EncodeRepetition(otp.TokenBits(token), s.cfg.Repetition)
+	if err != nil {
+		return err
+	}
+	modulator, err := modem.NewModulator(dataCfg)
+	if err != nil {
+		return err
+	}
+	frame, err := modulator.Modulate(coded)
+	if err != nil {
+		return err
+	}
+	// Modulation is fast and partially precomputable (Sec. VI); charge
+	// the (small) IFFT synthesis cost onto the phone profile.
+	res.Timeline.Add("phase2/modulate", StepCompute, phone.Name, phone.ComputeTime(modem.Cost{FFTButterflies: int64(dataCfg.NumSymbols(len(coded))) * 1024, ScalarOps: int64(frame.Len())}))
+
+	rec, err := path.Transmit(frame, res.VolumeSPL)
+	if err != nil {
+		return fmt.Errorf("core: token transmission: %w", err)
+	}
+	airTime := time.Duration(rec.Duration() * float64(time.Second))
+	res.Timeline.Add("phase2/token-on-air", StepAcoustic, phone.Name, airTime)
+	res.Energy.AddCompute(phone.Name, _speakerPowerW*airTime.Seconds())
+	res.Energy.AddCompute(watch.Name, _micPowerW*airTime.Seconds())
+
+	// Stop-recording control message.
+	if err := s.exchange(res, wl, "phase2/stop-recording", 64, 1); err != nil {
+		res.Outcome = OutcomeAbortedLinkDown
+		res.Detail = err.Error()
+		return nil
+	}
+
+	// Replay timing window: the phone knows when it started playing and
+	// the expected on-air duration; a store-and-forward path inserts
+	// latency the Bluetooth-bracketed recording window exposes.
+	if extra := path.ExtraLatency(); extra > s.cfg.TimingSlack {
+		res.Outcome = OutcomeAbortedTiming
+		res.Detail = fmt.Sprintf("acoustic path delayed %.0f ms, window allows %.0f ms", float64(extra.Milliseconds()), float64(s.cfg.TimingSlack.Milliseconds()))
+		return nil
+	}
+
+	// Demodulation: offloaded to the phone or local on the watch.
+	demod, err := modem.NewDemodulator(dataCfg)
+	if err != nil {
+		return err
+	}
+	execDevice := watch
+	if s.cfg.Offload {
+		d, err := wl.TransferFile(rec.Len() * 2)
+		if err != nil {
+			res.Outcome = OutcomeAbortedLinkDown
+			res.Detail = err.Error()
+			return nil
+		}
+		res.Timeline.Add("phase2/recording-upload", StepComm, "link", d)
+		res.Energy.AddRadio(watch.Name, watch.RadioEnergy(d))
+		res.Energy.AddRadio(phone.Name, phone.RadioEnergy(d))
+		execDevice = phone
+	}
+	rx, err := demod.Demodulate(rec, len(coded))
+	// The receive pipeline cost splits into pre-processing (silence gate
+	// + preamble search) and demodulation proper (sync, FFT, equalize,
+	// de-map) for the Fig. 10 breakdown.
+	preTime := execDevice.ComputeTime(rx.DetectCost)
+	demodTime := execDevice.ComputeTime(rx.DecodeCost)
+	res.Timeline.Add("phase2/pre-processing", StepCompute, execDevice.Name, preTime)
+	res.Timeline.Add("phase2/demodulation", StepCompute, execDevice.Name, demodTime)
+	res.Energy.AddCompute(execDevice.Name, execDevice.ComputeEnergy(preTime+demodTime))
+	if err != nil {
+		res.Outcome = OutcomeAbortedNoSignal
+		res.Detail = err.Error()
+		return nil
+	}
+	// res.BER is the raw channel BER over the coded stream — what the
+	// paper's tables report; majority voting then recovers the token.
+	if ber, err := modem.BER(rx.Bits, coded); err == nil {
+		res.BER = ber
+	}
+	decoded, err := modem.DecodeRepetition(rx.Bits, s.cfg.Repetition)
+	if err != nil {
+		return err
+	}
+	if !s.cfg.Offload {
+		// The watch returns the decoded token over the control channel.
+		if err := s.exchange(res, wl, "phase2/token-return", 64, 1); err != nil {
+			res.Outcome = OutcomeAbortedLinkDown
+			res.Detail = err.Error()
+			return nil
+		}
+	}
+
+	got, err := otp.TokenFromBits(decoded)
+	if err != nil {
+		res.Outcome = OutcomeTokenMismatch
+		res.Detail = err.Error()
+		s.guard.ReportFailure()
+		return nil
+	}
+	ok, err := s.ver.Verify(got)
+	res.Timeline.Add("phase2/otp-verify", StepCompute, phone.Name, 200*time.Microsecond)
+	if err != nil {
+		res.Outcome = OutcomeLockedOut
+		res.Detail = err.Error()
+		return nil
+	}
+	if !ok {
+		s.guard.ReportFailure()
+		if s.guard.State() == keyguard.StateLockedOut {
+			res.Outcome = OutcomeLockedOut
+			res.Detail = "token mismatch; keyguard locked out"
+		} else {
+			res.Outcome = OutcomeTokenMismatch
+			res.Detail = fmt.Sprintf("decoded token %08x failed verification (BER %.3f)", got, res.BER)
+		}
+		return nil
+	}
+	if err := s.guard.ReportSuccess(s.now); err != nil {
+		res.Outcome = OutcomeLockedOut
+		res.Detail = err.Error()
+		return nil
+	}
+	res.Outcome = OutcomeUnlocked
+	res.Unlocked = true
+	return nil
+}
+
+// ManualUnlock models the PIN fallback: clears lockout and resynchronizes
+// the OTP counter state.
+func (s *System) ManualUnlock() {
+	s.now = s.now.Add(time.Second)
+	s.guard.ManualAuthenticate(s.now)
+	s.ver.Reset(s.gen.Counter())
+}

@@ -1,0 +1,151 @@
+// Package device models the computation speed and power draw of the
+// paper's testbed hardware — the Moto 360 smartwatch, the low-end Galaxy
+// Nexus, and the high-end Nexus 6 — so the offloading experiments (Figs. 6
+// and 10) can compare where DSP work should run without physical power
+// meters. DSP stages report primitive-operation counts (modem.Cost and DTW
+// cell counts); a profile converts counts to execution time and energy.
+package device
+
+import (
+	"fmt"
+	"time"
+
+	"wearlock/internal/modem"
+)
+
+// Profile describes one device's compute throughput and power draw. Rates
+// are in primitive operations per second for each operation class; the
+// ratios between devices are what the offloading trade-off depends on.
+type Profile struct {
+	Name string
+
+	// Throughputs, operations per second.
+	CorrMACRate float64 // sliding-correlator multiply-accumulates
+	FFTRate     float64 // complex butterflies
+	FilterRate  float64 // FIR multiply-accumulates
+	ScalarRate  float64 // per-sample scalar passes
+	DTWCellRate float64 // DTW dynamic-programming cells
+
+	// Power draw in watts.
+	ActivePower float64 // CPU busy
+	IdlePower   float64 // screen-off baseline
+	RadioPower  float64 // radio active (send/receive)
+
+	// BatteryWh is the battery capacity in watt-hours, for drain
+	// percentages.
+	BatteryWh float64
+}
+
+// The profiles below are calibrated so that (a) the watch is roughly an
+// order of magnitude slower than the high-end phone and several times
+// slower than the low-end phone, matching the delay ratios in Fig. 10, and
+// (b) watch-side energy per unlock is several times the phone-side cost,
+// matching Fig. 6. The JAVA DSP library of the prototype (no SIMD, no
+// native code) is why absolute throughputs are modest.
+
+// Moto360 returns the smartwatch profile (TI OMAP 3630, single Cortex-A8,
+// interpreted/JIT JAVA DSP). Its DTW rate puts a 100x100 warp at ~46 ms,
+// matching Table II's measured cost.
+func Moto360() Profile {
+	return Profile{
+		Name:        "moto-360",
+		CorrMACRate: 1.4e6,
+		FFTRate:     0.9e6,
+		FilterRate:  1.4e6,
+		ScalarRate:  4e6,
+		DTWCellRate: 2.2e5,
+		ActivePower: 0.45,
+		IdlePower:   0.02,
+		RadioPower:  0.12,
+		BatteryWh:   1.2, // 320 mAh @ 3.8 V
+	}
+}
+
+// GalaxyNexus returns the low-end phone profile (TI OMAP 4460, dual
+// Cortex-A9), roughly 4x the watch.
+func GalaxyNexus() Profile {
+	return Profile{
+		Name:        "galaxy-nexus",
+		CorrMACRate: 5.5e6,
+		FFTRate:     3.6e6,
+		FilterRate:  5.5e6,
+		ScalarRate:  16e6,
+		DTWCellRate: 0.9e6,
+		ActivePower: 1.1,
+		IdlePower:   0.05,
+		RadioPower:  0.25,
+		BatteryWh:   6.7, // 1750 mAh @ 3.8 V
+	}
+}
+
+// Nexus6 returns the high-end phone profile (Snapdragon 805, quad Krait),
+// roughly 20x the watch.
+func Nexus6() Profile {
+	return Profile{
+		Name:        "nexus-6",
+		CorrMACRate: 26e6,
+		FFTRate:     17e6,
+		FilterRate:  26e6,
+		ScalarRate:  70e6,
+		DTWCellRate: 4e6,
+		ActivePower: 1.9,
+		IdlePower:   0.08,
+		RadioPower:  0.3,
+		BatteryWh:   12.4, // 3220 mAh @ 3.85 V
+	}
+}
+
+// AllProfiles returns the three testbed devices, watch first.
+func AllProfiles() []Profile {
+	return []Profile{Moto360(), GalaxyNexus(), Nexus6()}
+}
+
+// Validate checks that every rate and power figure is positive.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("device: profile missing name")
+	}
+	for _, v := range []float64{p.CorrMACRate, p.FFTRate, p.FilterRate, p.ScalarRate, p.DTWCellRate, p.ActivePower, p.BatteryWh} {
+		if v <= 0 {
+			return fmt.Errorf("device: profile %s has non-positive parameter", p.Name)
+		}
+	}
+	return nil
+}
+
+// ComputeTime converts a DSP cost tally into execution time on this
+// device.
+func (p Profile) ComputeTime(cost modem.Cost) time.Duration {
+	seconds := float64(cost.CorrelationMACs)/p.CorrMACRate +
+		float64(cost.FFTButterflies)/p.FFTRate +
+		float64(cost.FilterMACs)/p.FilterRate +
+		float64(cost.ScalarOps)/p.ScalarRate
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// DTWTime converts a DTW cell count into execution time.
+func (p Profile) DTWTime(cells int64) time.Duration {
+	return time.Duration(float64(cells) / p.DTWCellRate * float64(time.Second))
+}
+
+// ComputeEnergy returns the energy in joules consumed by keeping the CPU
+// active for the given duration.
+func (p Profile) ComputeEnergy(d time.Duration) float64 {
+	return p.ActivePower * d.Seconds()
+}
+
+// RadioEnergy returns the energy in joules consumed by radio activity for
+// the given duration.
+func (p Profile) RadioEnergy(d time.Duration) float64 {
+	return p.RadioPower * d.Seconds()
+}
+
+// BatteryDrainPercent converts joules to a percentage of this device's
+// battery, the unit the Android battery-status API reports in (Sec. V).
+func (p Profile) BatteryDrainPercent(joules float64) float64 {
+	capacityJ := p.BatteryWh * 3600
+	if capacityJ <= 0 {
+		return 0
+	}
+	return joules / capacityJ * 100
+}

@@ -1,0 +1,90 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"wearlock/internal/modem"
+)
+
+func TestProfilesValidate(t *testing.T) {
+	for _, p := range AllProfiles() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	bad := Moto360()
+	bad.Name = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted empty name")
+	}
+	bad = Moto360()
+	bad.FFTRate = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted zero rate")
+	}
+}
+
+// The offloading trade-off requires strict speed ordering: watch < low-end
+// phone < high-end phone on every operation class (Fig. 10).
+func TestDeviceSpeedOrdering(t *testing.T) {
+	cost := modem.Cost{
+		CorrelationMACs: 5_000_000,
+		FFTButterflies:  1_000_000,
+		FilterMACs:      2_000_000,
+		ScalarOps:       3_000_000,
+	}
+	watch := Moto360().ComputeTime(cost)
+	low := GalaxyNexus().ComputeTime(cost)
+	high := Nexus6().ComputeTime(cost)
+	if !(watch > low && low > high) {
+		t.Errorf("speed ordering violated: watch %s, low %s, high %s", watch, low, high)
+	}
+	// Roughly an order of magnitude between watch and high-end phone.
+	if ratio := float64(watch) / float64(high); ratio < 8 || ratio > 40 {
+		t.Errorf("watch/high-end ratio %.1f outside [8, 40]", ratio)
+	}
+}
+
+// Table II: a 100x100 DTW on the watch costs about 46 ms.
+func TestDTWTimeMatchesTable2(t *testing.T) {
+	got := Moto360().DTWTime(100 * 100)
+	if got < 40*time.Millisecond || got > 55*time.Millisecond {
+		t.Errorf("watch DTW(100x100) = %s, want ~46 ms (Table II: 45.9)", got)
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	p := Nexus6()
+	j := p.ComputeEnergy(2 * time.Second)
+	if j != p.ActivePower*2 {
+		t.Errorf("ComputeEnergy = %f J", j)
+	}
+	r := p.RadioEnergy(500 * time.Millisecond)
+	if r != p.RadioPower*0.5 {
+		t.Errorf("RadioEnergy = %f J", r)
+	}
+}
+
+func TestBatteryDrainPercent(t *testing.T) {
+	p := Moto360()
+	fullBattery := p.BatteryWh * 3600
+	if got := p.BatteryDrainPercent(fullBattery); got != 100 {
+		t.Errorf("full-battery drain = %f%%", got)
+	}
+	if got := p.BatteryDrainPercent(0); got != 0 {
+		t.Errorf("zero-joule drain = %f%%", got)
+	}
+	// The same joules drain the small watch battery far more than the
+	// phone's — the asymmetry offloading exploits (Fig. 6).
+	j := 10.0
+	if Moto360().BatteryDrainPercent(j) <= Nexus6().BatteryDrainPercent(j)*5 {
+		t.Error("watch battery drain not much larger than phone for equal joules")
+	}
+}
+
+func TestComputeTimeZeroCost(t *testing.T) {
+	if got := Nexus6().ComputeTime(modem.Cost{}); got != 0 {
+		t.Errorf("zero cost took %s", got)
+	}
+}

@@ -1,0 +1,196 @@
+// Package dsp implements the digital signal processing primitives the
+// WearLock acoustic modem is built on: fast Fourier transforms,
+// cross-correlation, FIR filtering, windowing, interpolation, and basic
+// signal statistics.
+//
+// Everything here operates on float64 samples or complex128 spectra and is
+// written against the standard library only. All transforms are
+// deterministic; none of the functions start goroutines or retain references
+// to caller-owned slices beyond the duration of the call.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// Plan caches the bit-reversal permutation and twiddle factors for a fixed
+// power-of-two FFT size so that repeated transforms avoid recomputing
+// trigonometry. A Plan is safe for concurrent use after creation.
+type Plan struct {
+	n        int
+	rev      []int        // bit-reversal permutation
+	twiddles []complex128 // e^{-2πik/n} for k in [0, n/2)
+}
+
+// NewPlan creates an FFT plan for transforms of length n. It returns an
+// error if n is not a positive power of two.
+func NewPlan(n int) (*Plan, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("dsp: FFT size %d is not a positive power of two", n)
+	}
+	p := &Plan{
+		n:        n,
+		rev:      make([]int, n),
+		twiddles: make([]complex128, n/2),
+	}
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := range p.rev {
+		p.rev[i] = int(bits.Reverse64(uint64(i)) >> shift)
+	}
+	for k := range p.twiddles {
+		angle := -2 * math.Pi * float64(k) / float64(n)
+		p.twiddles[k] = complex(math.Cos(angle), math.Sin(angle))
+	}
+	return p, nil
+}
+
+// Size reports the transform length the plan was created for.
+func (p *Plan) Size() int { return p.n }
+
+// Forward computes the discrete Fourier transform of src into dst. The two
+// slices must both have the plan's length; dst and src may be the same
+// slice. The transform is unnormalized: Forward followed by Inverse
+// reproduces the input.
+func (p *Plan) Forward(dst, src []complex128) error {
+	if err := p.check(dst, src); err != nil {
+		return err
+	}
+	p.permute(dst, src)
+	p.butterflies(dst, false)
+	return nil
+}
+
+// Inverse computes the inverse discrete Fourier transform of src into dst,
+// including the 1/n normalization.
+func (p *Plan) Inverse(dst, src []complex128) error {
+	if err := p.check(dst, src); err != nil {
+		return err
+	}
+	p.permute(dst, src)
+	p.butterflies(dst, true)
+	scale := complex(1/float64(p.n), 0)
+	for i := range dst {
+		dst[i] *= scale
+	}
+	return nil
+}
+
+func (p *Plan) check(dst, src []complex128) error {
+	if len(dst) != p.n || len(src) != p.n {
+		return fmt.Errorf("dsp: plan size %d does not match dst %d / src %d", p.n, len(dst), len(src))
+	}
+	return nil
+}
+
+// permute copies src into dst in bit-reversed order. It handles the aliased
+// (dst == &src) case by swapping in place.
+func (p *Plan) permute(dst, src []complex128) {
+	if &dst[0] == &src[0] {
+		for i, j := range p.rev {
+			if i < j {
+				dst[i], dst[j] = dst[j], dst[i]
+			}
+		}
+		return
+	}
+	for i, j := range p.rev {
+		dst[i] = src[j]
+	}
+}
+
+func (p *Plan) butterflies(data []complex128, inverse bool) {
+	n := p.n
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := p.twiddles[k*step]
+				if inverse {
+					w = complex(real(w), -imag(w))
+				}
+				a := data[start+k]
+				b := data[start+k+half] * w
+				data[start+k] = a + b
+				data[start+k+half] = a - b
+			}
+		}
+	}
+}
+
+var (
+	_planMu    sync.Mutex
+	_planCache = make(map[int]*Plan)
+)
+
+// planFor returns a cached plan for size n, creating one on first use.
+func planFor(n int) (*Plan, error) {
+	_planMu.Lock()
+	defer _planMu.Unlock()
+	if p, ok := _planCache[n]; ok {
+		return p, nil
+	}
+	p, err := NewPlan(n)
+	if err != nil {
+		return nil, err
+	}
+	_planCache[n] = p
+	return p, nil
+}
+
+// FFT returns the discrete Fourier transform of x. The length of x must be
+// a positive power of two.
+func FFT(x []complex128) ([]complex128, error) {
+	p, err := planFor(len(x))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, len(x))
+	if err := p.Forward(out, x); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// IFFT returns the inverse discrete Fourier transform of x, normalized by
+// 1/len(x). The length of x must be a positive power of two.
+func IFFT(x []complex128) ([]complex128, error) {
+	p, err := planFor(len(x))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, len(x))
+	if err := p.Inverse(out, x); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FFTReal transforms a real-valued signal. The result has the same length
+// as the input and exhibits Hermitian symmetry: X[n-k] = conj(X[k]).
+func FFTReal(x []float64) ([]complex128, error) {
+	buf := make([]complex128, len(x))
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	p, err := planFor(len(buf))
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Forward(buf, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// NextPow2 returns the smallest power of two that is >= n, with a minimum
+// of 1.
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}

@@ -1,0 +1,46 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Goertzel computes the power of a single frequency component of x using
+// the Goertzel algorithm, which is cheaper than a full FFT when only a few
+// bins are needed. The sub-channel ranking stage uses it to measure noise
+// power on candidate sub-channels during probing. freqHz is the target
+// frequency and sampleRate the sampling rate, both in Hz.
+func Goertzel(x []float64, freqHz, sampleRate float64) (float64, error) {
+	if len(x) == 0 {
+		return 0, fmt.Errorf("dsp: Goertzel on empty signal")
+	}
+	if sampleRate <= 0 {
+		return 0, fmt.Errorf("dsp: Goertzel sample rate %.2f must be positive", sampleRate)
+	}
+	if freqHz < 0 || freqHz > sampleRate/2 {
+		return 0, fmt.Errorf("dsp: Goertzel frequency %.1f outside [0, %.1f]", freqHz, sampleRate/2)
+	}
+	omega := 2 * math.Pi * freqHz / sampleRate
+	coeff := 2 * math.Cos(omega)
+	var s0, s1, s2 float64
+	for _, v := range x {
+		s0 = v + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	power := s1*s1 + s2*s2 - coeff*s1*s2
+	// Normalize so the result is comparable to |X(k)|^2 / N of an FFT bin.
+	return power / float64(len(x)), nil
+}
+
+// GoertzelBin computes the power of FFT bin k of an n-point transform over
+// the first n samples of x.
+func GoertzelBin(x []float64, k, n int) (float64, error) {
+	if n <= 0 || len(x) < n {
+		return 0, fmt.Errorf("dsp: GoertzelBin needs %d samples, have %d", n, len(x))
+	}
+	if k < 0 || k > n/2 {
+		return 0, fmt.Errorf("dsp: GoertzelBin index %d outside [0, %d]", k, n/2)
+	}
+	return Goertzel(x[:n], float64(k)/float64(n), 1)
+}

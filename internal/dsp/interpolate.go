@@ -1,0 +1,133 @@
+package dsp
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// InterpolateFFT expands a sequence of n complex samples to length m >= n
+// using FFT-based (periodic band-limited) interpolation: transform, zero-pad
+// the spectrum symmetrically, inverse-transform, and rescale. The WearLock
+// equalizer uses this to expand the channel estimate observed on the
+// equally-spaced pilot sub-channels to the full set of data sub-channels
+// (Sec. III-6). Both n and m must be powers of two.
+func InterpolateFFT(x []complex128, m int) ([]complex128, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, fmt.Errorf("dsp: cannot interpolate empty sequence")
+	}
+	if m < n {
+		return nil, fmt.Errorf("dsp: interpolation target %d shorter than input %d", m, n)
+	}
+	if n&(n-1) != 0 || m&(m-1) != 0 {
+		return nil, fmt.Errorf("dsp: interpolation sizes %d -> %d must be powers of two", n, m)
+	}
+	if m == n {
+		out := make([]complex128, n)
+		copy(out, x)
+		return out, nil
+	}
+	spec, err := FFT(x)
+	if err != nil {
+		return nil, err
+	}
+	padded := make([]complex128, m)
+	half := n / 2
+	copy(padded[:half], spec[:half])
+	copy(padded[m-half:], spec[half:])
+	// Split the Nyquist bin across the two halves to keep the interpolated
+	// sequence consistent with a real-valued underlying spectrum envelope.
+	padded[half] = spec[half] / 2
+	padded[m-half] = spec[half] / 2
+	out, err := IFFT(padded)
+	if err != nil {
+		return nil, err
+	}
+	scale := complex(float64(m)/float64(n), 0)
+	for i := range out {
+		out[i] *= scale
+	}
+	return out, nil
+}
+
+// InterpolateLinearComplex linearly interpolates known complex values at
+// the given strictly-increasing integer positions onto every integer in
+// [0, length). Positions outside the known range are clamped to the nearest
+// known value. It is the simpler alternative the equalizer ablation
+// compares against.
+func InterpolateLinearComplex(positions []int, values []complex128, length int) ([]complex128, error) {
+	if len(positions) == 0 || len(positions) != len(values) {
+		return nil, fmt.Errorf("dsp: interpolation needs matching positions (%d) and values (%d)", len(positions), len(values))
+	}
+	for i := 1; i < len(positions); i++ {
+		if positions[i] <= positions[i-1] {
+			return nil, fmt.Errorf("dsp: interpolation positions must be strictly increasing")
+		}
+	}
+	out := make([]complex128, length)
+	seg := 0
+	for i := 0; i < length; i++ {
+		switch {
+		case i <= positions[0]:
+			out[i] = values[0]
+		case i >= positions[len(positions)-1]:
+			out[i] = values[len(values)-1]
+		default:
+			for positions[seg+1] < i {
+				seg++
+			}
+			lo, hi := positions[seg], positions[seg+1]
+			t := complex(float64(i-lo)/float64(hi-lo), 0)
+			out[i] = values[seg]*(1-t) + values[seg+1]*t
+		}
+	}
+	return out, nil
+}
+
+// NearestComplex maps each integer in [0, length) to the value of the
+// nearest known position (ties go to the lower position). Used by the
+// nearest-pilot equalizer ablation.
+func NearestComplex(positions []int, values []complex128, length int) ([]complex128, error) {
+	if len(positions) == 0 || len(positions) != len(values) {
+		return nil, fmt.Errorf("dsp: interpolation needs matching positions (%d) and values (%d)", len(positions), len(values))
+	}
+	out := make([]complex128, length)
+	for i := 0; i < length; i++ {
+		best := 0
+		bestDist := absInt(i - positions[0])
+		for j := 1; j < len(positions); j++ {
+			if d := absInt(i - positions[j]); d < bestDist {
+				best, bestDist = j, d
+			}
+		}
+		out[i] = values[best]
+	}
+	return out, nil
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// UnwrapPhase returns the phases of the complex sequence with 2π jumps
+// removed, useful when inspecting channel estimates.
+func UnwrapPhase(x []complex128) []float64 {
+	out := make([]float64, len(x))
+	var offset float64
+	for i, v := range x {
+		phase := cmplx.Phase(v)
+		if i > 0 {
+			for phase+offset-out[i-1] > 3.141592653589793 {
+				offset -= 2 * 3.141592653589793
+			}
+			for phase+offset-out[i-1] < -3.141592653589793 {
+				offset += 2 * 3.141592653589793
+			}
+		}
+		out[i] = phase + offset
+	}
+	return out
+}

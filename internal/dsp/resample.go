@@ -1,0 +1,71 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Resample converts a signal from one sample rate to another using
+// windowed-sinc interpolation (a Hann-windowed 16-tap-per-side kernel).
+// Downsampling first band-limits the input below the target Nyquist to
+// prevent aliasing. The cmd/modem tool uses this to accept recordings
+// from external audio chains that do not run at the modem's 44.1/96 kHz.
+func Resample(x []float64, fromRate, toRate int) ([]float64, error) {
+	if fromRate <= 0 || toRate <= 0 {
+		return nil, fmt.Errorf("dsp: resample rates %d -> %d must be positive", fromRate, toRate)
+	}
+	if len(x) == 0 {
+		return nil, nil
+	}
+	if fromRate == toRate {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out, nil
+	}
+	src := x
+	if toRate < fromRate {
+		// Anti-aliasing: keep content below ~90% of the target Nyquist.
+		cutoff := 0.45 * float64(toRate)
+		lp, err := LowPassFIR(cutoff, float64(fromRate), 63)
+		if err != nil {
+			return nil, fmt.Errorf("dsp: resample anti-alias filter: %w", err)
+		}
+		src = lp.Apply(x)
+	}
+	ratio := float64(fromRate) / float64(toRate)
+	outLen := int(math.Floor(float64(len(src)-1)/ratio)) + 1
+	if outLen < 1 {
+		outLen = 1
+	}
+	out := make([]float64, outLen)
+	const halfTaps = 16
+	for i := range out {
+		pos := float64(i) * ratio
+		center := int(math.Floor(pos))
+		var sum, wsum float64
+		for j := center - halfTaps + 1; j <= center+halfTaps; j++ {
+			if j < 0 || j >= len(src) {
+				continue
+			}
+			t := pos - float64(j)
+			w := hannSinc(t, halfTaps)
+			sum += src[j] * w
+			wsum += w
+		}
+		if wsum != 0 {
+			out[i] = sum / wsum
+		}
+	}
+	return out, nil
+}
+
+// hannSinc is the interpolation kernel: sinc(t) tapered by a Hann window
+// spanning +/- halfTaps.
+func hannSinc(t float64, halfTaps int) float64 {
+	at := math.Abs(t)
+	if at >= float64(halfTaps) {
+		return 0
+	}
+	window := 0.5 + 0.5*math.Cos(math.Pi*at/float64(halfTaps))
+	return sinc(t) * window
+}

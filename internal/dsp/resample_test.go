@@ -1,0 +1,105 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+// measureToneError resamples a pure tone and reports the RMS error
+// against the ideal resampled tone (steady-state section only).
+func measureToneError(t *testing.T, freqHz float64, fromRate, toRate int) float64 {
+	t.Helper()
+	n := fromRate / 5
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * freqHz * float64(i) / float64(fromRate))
+	}
+	y, err := Resample(x, fromRate, toRate)
+	if err != nil {
+		t.Fatalf("Resample: %v", err)
+	}
+	var sum float64
+	count := 0
+	for i := len(y) / 4; i < 3*len(y)/4; i++ {
+		want := math.Sin(2 * math.Pi * freqHz * float64(i) / float64(toRate))
+		d := y[i] - want
+		sum += d * d
+		count++
+	}
+	return math.Sqrt(sum / float64(count))
+}
+
+func TestResampleUpPreservesTone(t *testing.T) {
+	if rms := measureToneError(t, 3000, 44100, 96000); rms > 0.01 {
+		t.Errorf("44.1k -> 96k tone error RMS %.5f", rms)
+	}
+}
+
+func TestResampleDownPreservesTone(t *testing.T) {
+	// 3 kHz survives a 96k -> 44.1k conversion intact.
+	if rms := measureToneError(t, 3000, 96000, 44100); rms > 0.02 {
+		t.Errorf("96k -> 44.1k tone error RMS %.5f", rms)
+	}
+}
+
+// Downsampling must suppress content above the target Nyquist rather than
+// alias it into the band.
+func TestResampleAntiAliasing(t *testing.T) {
+	const fromRate, toRate = 96000, 44100
+	n := fromRate / 5
+	x := make([]float64, n)
+	for i := range x {
+		// 30 kHz: above the 22.05 kHz target Nyquist.
+		x[i] = math.Sin(2 * math.Pi * 30000 * float64(i) / float64(fromRate))
+	}
+	y, err := Resample(x, fromRate, toRate)
+	if err != nil {
+		t.Fatalf("Resample: %v", err)
+	}
+	if rms := RMS(y[len(y)/4 : 3*len(y)/4]); rms > 0.03 {
+		t.Errorf("30 kHz content leaked through at RMS %.4f", rms)
+	}
+}
+
+func TestResampleIdentityAndValidation(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y, err := Resample(x, 44100, 44100)
+	if err != nil {
+		t.Fatalf("Resample: %v", err)
+	}
+	if len(y) != 3 || y[1] != 2 {
+		t.Errorf("identity resample changed data: %v", y)
+	}
+	y[0] = 99
+	if x[0] == 99 {
+		t.Error("identity resample aliased the input slice")
+	}
+	if _, err := Resample(x, 0, 44100); err == nil {
+		t.Error("accepted zero source rate")
+	}
+	if _, err := Resample(x, 44100, -1); err == nil {
+		t.Error("accepted negative target rate")
+	}
+	empty, err := Resample(nil, 44100, 48000)
+	if err != nil || empty != nil {
+		t.Errorf("empty input: %v, %v", empty, err)
+	}
+}
+
+func TestResampleLengthScaling(t *testing.T) {
+	x := make([]float64, 44100)
+	y, err := Resample(x, 44100, 22050)
+	if err != nil {
+		t.Fatalf("Resample: %v", err)
+	}
+	if got, want := len(y), 22050; got < want-2 || got > want+2 {
+		t.Errorf("downsampled length %d, want ~%d", got, want)
+	}
+	z, err := Resample(x, 44100, 88200)
+	if err != nil {
+		t.Fatalf("Resample: %v", err)
+	}
+	if got, want := len(z), 88199; got < want-2 || got > want+2 {
+		t.Errorf("upsampled length %d, want ~%d", got, want)
+	}
+}

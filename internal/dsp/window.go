@@ -1,0 +1,91 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// WindowKind selects a tapering window shape.
+type WindowKind int
+
+// Supported window shapes.
+const (
+	WindowRectangular WindowKind = iota + 1
+	WindowHann
+	WindowHamming
+	WindowBlackman
+)
+
+// String implements fmt.Stringer.
+func (w WindowKind) String() string {
+	switch w {
+	case WindowRectangular:
+		return "rectangular"
+	case WindowHann:
+		return "hann"
+	case WindowHamming:
+		return "hamming"
+	case WindowBlackman:
+		return "blackman"
+	default:
+		return fmt.Sprintf("WindowKind(%d)", int(w))
+	}
+}
+
+// Window returns the n coefficients of the requested window shape.
+func Window(kind WindowKind, n int) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dsp: window length %d must be positive", n)
+	}
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = 1
+		return out, nil
+	}
+	den := float64(n - 1)
+	for i := range out {
+		x := float64(i) / den
+		switch kind {
+		case WindowRectangular:
+			out[i] = 1
+		case WindowHann:
+			out[i] = 0.5 - 0.5*math.Cos(2*math.Pi*x)
+		case WindowHamming:
+			out[i] = 0.54 - 0.46*math.Cos(2*math.Pi*x)
+		case WindowBlackman:
+			out[i] = 0.42 - 0.5*math.Cos(2*math.Pi*x) + 0.08*math.Cos(4*math.Pi*x)
+		default:
+			return nil, fmt.Errorf("dsp: unknown window kind %d", int(kind))
+		}
+	}
+	return out, nil
+}
+
+// ApplyWindow multiplies x element-wise by the window coefficients in place.
+func ApplyWindow(x, window []float64) error {
+	if len(x) != len(window) {
+		return fmt.Errorf("dsp: window length %d does not match signal %d", len(window), len(x))
+	}
+	for i := range x {
+		x[i] *= window[i]
+	}
+	return nil
+}
+
+// FadeEdges applies a raised-cosine fade-in over the first rampLen samples
+// and a fade-out over the last rampLen samples of x, in place. The paper
+// applies this fading to combat the speaker rise effect (Sec. III). rampLen
+// is clamped to half the signal length.
+func FadeEdges(x []float64, rampLen int) {
+	if rampLen <= 0 || len(x) == 0 {
+		return
+	}
+	if rampLen > len(x)/2 {
+		rampLen = len(x) / 2
+	}
+	for i := 0; i < rampLen; i++ {
+		gain := 0.5 - 0.5*math.Cos(math.Pi*float64(i)/float64(rampLen))
+		x[i] *= gain
+		x[len(x)-1-i] *= gain
+	}
+}

@@ -1,0 +1,131 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. VI): each Fig*/Table* function runs the corresponding
+// workload against the simulator and returns structured rows plus a
+// rendered text table. The cmd/experiments binary prints them; the
+// repository-root benchmarks wrap them; EXPERIMENTS.md records
+// paper-versus-measured values.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Scale selects how much work an experiment performs. Quick keeps unit
+// tests and benchmarks fast; Full produces smoother curves for the
+// published numbers.
+type Scale int
+
+// Experiment scales.
+const (
+	ScaleQuick Scale = iota + 1
+	ScaleFull
+)
+
+// trials returns the per-point trial count for the scale.
+func (s Scale) trials(quick, full int) int {
+	if s == ScaleFull {
+		return full
+	}
+	return quick
+}
+
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	if s == ScaleFull {
+		return "full"
+	}
+	return "quick"
+}
+
+// Table is a rendered experiment result: a title, column headers, and
+// rows of cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes carries reproduction commentary (paper value vs measured).
+	Notes []string
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// newRNG returns a deterministic per-experiment random source.
+func newRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// _otpKey fixes the HOTP secret across experiment runs so a seed fully
+// determines every session (the key's randomness is irrelevant to the
+// measurements).
+var _otpKey = []byte("wearlock-experiments-key-000")
+
+// mean returns the arithmetic mean, or 0 for no samples.
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// median returns the middle value, or 0 for no samples.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	tmp := append([]float64(nil), xs...)
+	sort.Float64s(tmp)
+	mid := len(tmp) / 2
+	if len(tmp)%2 == 1 {
+		return tmp[mid]
+	}
+	return (tmp[mid-1] + tmp[mid]) / 2
+}
+
+// ms formats a duration in seconds as milliseconds with one decimal.
+func ms(seconds float64) string {
+	return fmt.Sprintf("%.1f", seconds*1000)
+}

@@ -1,0 +1,455 @@
+package experiments
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"wearlock/internal/modem"
+	"wearlock/internal/wireless"
+)
+
+// These tests run every experiment at quick scale and assert the *shape*
+// each paper figure/table establishes — who wins, rough factors, where
+// crossovers fall — not absolute values.
+
+func TestFig4SphericalSlope(t *testing.T) {
+	res, err := Fig4(ScaleQuick, 1)
+	if err != nil {
+		t.Fatalf("Fig4: %v", err)
+	}
+	for _, vol := range []float64{60, 70, 80} {
+		slope := res.SlopePerDoubling(vol)
+		if slope < 5 || slope > 7 {
+			t.Errorf("volume %.0f: slope %.2f dB per doubling, want ~6 (spherical)", vol, slope)
+		}
+	}
+	if len(res.Table().Rows) != 15 {
+		t.Errorf("expected 15 rows (3 volumes x 5 distances), got %d", len(res.Table().Rows))
+	}
+}
+
+func TestFig5OrderingAndFloors(t *testing.T) {
+	res, err := Fig5(ScaleQuick, 1)
+	if err != nil {
+		t.Fatalf("Fig5: %v", err)
+	}
+	if len(res.Curves) != 6 {
+		t.Fatalf("curves for %d modulations, want 6", len(res.Curves))
+	}
+	// Every curve must broadly decrease from its lowest to its highest
+	// Eb/N0 bucket.
+	for m, pts := range res.Curves {
+		if len(pts) < 2 {
+			t.Errorf("%s: only %d buckets", m, len(pts))
+			continue
+		}
+		first, last := pts[0], pts[len(pts)-1]
+		if last.BER > first.BER {
+			t.Errorf("%s: BER rose from %.3f to %.3f across Eb/N0", m, first.BER, last.BER)
+		}
+	}
+	// The binary schemes must reach low BER somewhere.
+	for _, m := range []modem.Modulation{modem.BPSK, modem.QPSK} {
+		best := 1.0
+		for _, p := range res.Curves[m] {
+			if p.BER < best {
+				best = p.BER
+			}
+		}
+		if best > 0.02 {
+			t.Errorf("%s best BER %.3f, want < 0.02", m, best)
+		}
+	}
+	// 16QAM must keep a noticeable floor (unusable, per the paper).
+	floor := 1.0
+	for _, p := range res.Curves[modem.QAM16] {
+		if p.BER < floor {
+			floor = p.BER
+		}
+	}
+	if floor < 0.005 {
+		t.Errorf("16QAM floor %.4f — too clean for this hardware model", floor)
+	}
+}
+
+func TestFig6OffloadingWins(t *testing.T) {
+	res, err := Fig6(ScaleQuick, 1)
+	if err != nil {
+		t.Fatalf("Fig6: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(res.Rows))
+	}
+	local, offloaded := res.Rows[0], res.Rows[1]
+	if strings.Contains(local.Placement, "offload") {
+		local, offloaded = offloaded, local
+	}
+	if offloaded.WatchEnergyJ >= local.WatchEnergyJ {
+		t.Errorf("offloading did not save watch energy: %.2f vs %.2f J", offloaded.WatchEnergyJ, local.WatchEnergyJ)
+	}
+	if offloaded.WatchEnergyJ*1.5 > local.WatchEnergyJ {
+		t.Errorf("watch energy saving under 1.5x: %.2f vs %.2f J", offloaded.WatchEnergyJ, local.WatchEnergyJ)
+	}
+}
+
+func TestFig7RangeDegradation(t *testing.T) {
+	res, err := Fig7(ScaleQuick, 1)
+	if err != nil {
+		t.Fatalf("Fig7: %v", err)
+	}
+	for _, m := range modem.TransmissionModes() {
+		near := res.BERAt(m, 0.2)
+		far := res.BERAt(m, 2.0)
+		if near < 0 || far < 0 {
+			t.Fatalf("%s: missing cells", m)
+		}
+		if near > 0.12 {
+			t.Errorf("%s near BER %.3f too high", m, near)
+		}
+		if far < near {
+			t.Errorf("%s: BER did not grow with distance (%.3f -> %.3f)", m, near, far)
+		}
+	}
+	// Beyond the boundary at least one mode must be effectively broken.
+	broken := 0
+	for _, m := range modem.TransmissionModes() {
+		if res.BERAt(m, 2.0) > 0.15 {
+			broken++
+		}
+	}
+	if broken == 0 {
+		t.Error("no mode degraded past BER 0.15 at 2 m — the security boundary is gone")
+	}
+}
+
+func TestFig8ConstraintRespected(t *testing.T) {
+	res, err := Fig8(ScaleQuick, 1)
+	if err != nil {
+		t.Fatalf("Fig8: %v", err)
+	}
+	for _, row := range res.Rows {
+		if row.MaxBER == 0.01 && row.DistanceM <= 0.5 {
+			// Within range under a tight constraint, the adaptive
+			// controller must pick low-order modes and stay near the
+			// constraint.
+			if row.ModeCounts[modem.PSK8] > 0 {
+				t.Errorf("8PSK chosen under MaxBER 0.01 at %.1f m", row.DistanceM)
+			}
+			if row.BER > 0.05 {
+				t.Errorf("achieved BER %.3f under constraint 0.01 at %.1f m", row.BER, row.DistanceM)
+			}
+		}
+	}
+}
+
+func TestFig9SelectionDefeatsJamming(t *testing.T) {
+	res, err := Fig9(ScaleQuick, 1)
+	if err != nil {
+		t.Fatalf("Fig9: %v", err)
+	}
+	// With two jammed tones, selection must dramatically beat no
+	// selection (the paper's stable-BER claim).
+	off := res.BERAt(2, false)
+	on := res.BERAt(2, true)
+	if off < 0.05 {
+		t.Errorf("jamming with selection off only reached BER %.3f — jammer too weak", off)
+	}
+	if on > off/2 {
+		t.Errorf("selection on BER %.3f not clearly below off %.3f", on, off)
+	}
+	// Unjammed baseline must be clean either way.
+	if base := res.BERAt(0, false); base > 0.05 {
+		t.Errorf("unjammed baseline BER %.3f", base)
+	}
+}
+
+func TestFig10DeviceOrdering(t *testing.T) {
+	res, err := Fig10(ScaleQuick, 1)
+	if err != nil {
+		t.Fatalf("Fig10: %v", err)
+	}
+	phases := []string{"phase1-probing", "phase2-preprocessing", "phase2-demodulation"}
+	for _, phase := range phases {
+		watch := res.DelayFor(phase, "moto-360")
+		low := res.DelayFor(phase, "galaxy-nexus")
+		high := res.DelayFor(phase, "nexus-6")
+		if watch <= 0 || low <= 0 || high <= 0 {
+			t.Fatalf("%s: missing cells", phase)
+		}
+		if !(watch > low && low > high) {
+			t.Errorf("%s: ordering violated (%s, %s, %s)", phase, watch, low, high)
+		}
+	}
+}
+
+func TestFig11TransportOrdering(t *testing.T) {
+	res, err := Fig11(ScaleQuick, 1)
+	if err != nil {
+		t.Fatalf("Fig11: %v", err)
+	}
+	btMsg := res.MedianFor(wireless.Bluetooth, "message")
+	wifiMsg := res.MedianFor(wireless.WiFi, "message")
+	btFile := res.MedianFor(wireless.Bluetooth, "file-transfer(105KiB)")
+	wifiFile := res.MedianFor(wireless.WiFi, "file-transfer(105KiB)")
+	if wifiMsg >= btMsg {
+		t.Errorf("WiFi message %s not faster than Bluetooth %s", wifiMsg, btMsg)
+	}
+	if wifiFile >= btFile {
+		t.Errorf("WiFi file %s not faster than Bluetooth %s", wifiFile, btFile)
+	}
+	if btFile < 10*btMsg {
+		t.Errorf("Bluetooth file transfer %s does not dominate messages %s", btFile, btMsg)
+	}
+}
+
+// Fig. 12's headline: Config1 beats the 4-digit PIN by a wide margin;
+// every config beats the 6-digit PIN; ordering Config1 < Config2/3.
+func TestFig12Speedups(t *testing.T) {
+	res, err := Fig12(ScaleQuick, 1)
+	if err != nil {
+		t.Fatalf("Fig12: %v", err)
+	}
+	c1 := res.RowFor("Config1")
+	c2 := res.RowFor("Config2")
+	c3 := res.RowFor("Config3")
+	if c1 == nil || c2 == nil || c3 == nil {
+		t.Fatal("missing config rows")
+	}
+	if c1.SpeedupPIN4 < 0.45 {
+		t.Errorf("Config1 speedup vs PIN4 %.1f%%, paper reports at least 58.6%%", c1.SpeedupPIN4*100)
+	}
+	if c2.SpeedupPIN4 < 0.15 {
+		t.Errorf("Config2 speedup vs PIN4 %.1f%%, paper reports at least 17.7%%", c2.SpeedupPIN4*100)
+	}
+	if c1.Median >= c2.Median {
+		t.Errorf("Config1 (%s) not faster than Config2 (%s)", c1.Median, c2.Median)
+	}
+	for _, c := range []*Fig12Row{c1, c2, c3} {
+		if c.SpeedupPIN6 <= 0 {
+			t.Errorf("%s not faster than the 6-digit PIN", c.Name)
+		}
+	}
+}
+
+func TestTable1FieldShapes(t *testing.T) {
+	res, err := Table1(ScaleQuick, 1)
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	if len(res.Rows) != 16 {
+		t.Fatalf("%d rows, want 16 (2 bands x 2 hands x 4 locations)", len(res.Rows))
+	}
+	// Same-hand cells must carry higher BER than diff-hand cells on
+	// average, and the grand average should sit near the paper's 0.08.
+	var diffSum, sameSum float64
+	var diffN, sameN int
+	for _, row := range res.Rows {
+		if row.BER <= 0 {
+			continue
+		}
+		if row.SameHand {
+			sameSum += row.BER
+			sameN++
+		} else {
+			diffSum += row.BER
+			diffN++
+		}
+	}
+	if diffN == 0 || sameN == 0 {
+		t.Fatal("missing measurements")
+	}
+	if sameSum/float64(sameN) <= diffSum/float64(diffN) {
+		t.Errorf("same-hand BER %.3f not above diff-hand %.3f", sameSum/float64(sameN), diffSum/float64(diffN))
+	}
+	if avg := res.AverageBER(); avg < 0.02 || avg > 0.2 {
+		t.Errorf("average BER %.3f far from the paper's ~0.08", avg)
+	}
+}
+
+func TestTable2Shapes(t *testing.T) {
+	res, err := Table2(ScaleQuick, 1)
+	if err != nil {
+		t.Fatalf("Table2: %v", err)
+	}
+	for _, cond := range []string{"sitting", "walking", "running"} {
+		score := res.ScoreFor(cond)
+		if score < 0 {
+			t.Fatalf("missing %s", cond)
+		}
+		if score >= 0.1 {
+			t.Errorf("%s score %.3f above the 0.1 threshold", cond, score)
+		}
+	}
+	diff := res.ScoreFor("different")
+	if diff <= 0.1 {
+		t.Errorf("different-activities score %.3f not above the 0.1 threshold", diff)
+	}
+	// DTW cost near the paper's 45.9 ms.
+	if res.Cost < 35*time.Millisecond || res.Cost > 60*time.Millisecond {
+		t.Errorf("DTW cost %s, want ~46 ms", res.Cost)
+	}
+}
+
+func TestCaseStudyShapes(t *testing.T) {
+	res, err := CaseStudy(ScaleQuick, 1)
+	if err != nil {
+		t.Fatalf("CaseStudy: %v", err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("%d participants, want 5", len(res.Rows))
+	}
+	if res.AverageSuccessRate < 0.6 {
+		t.Errorf("average success %.0f%%, paper reports ~90%%", res.AverageSuccessRate*100)
+	}
+	// The covered-speaker control must be much worse than nominal use.
+	succ, attempts, err := CoveredSpeakerTrial(ScaleQuick, 2)
+	if err != nil {
+		t.Fatalf("CoveredSpeakerTrial: %v", err)
+	}
+	if float64(succ)/float64(attempts) > 0.5 {
+		t.Errorf("covered speaker succeeded %d/%d — blocking too weak", succ, attempts)
+	}
+}
+
+func TestAblationShapes(t *testing.T) {
+	eq, err := AblationEqualizer(ScaleQuick, 1)
+	if err != nil {
+		t.Fatalf("AblationEqualizer: %v", err)
+	}
+	byName := map[string]float64{}
+	for _, row := range eq.Rows {
+		byName[row.Variant] = row.Value
+	}
+	if byName["none"] <= byName["fft-interpolation"] {
+		t.Errorf("no-equalization BER %.4f not above FFT-interpolation %.4f", byName["none"], byName["fft-interpolation"])
+	}
+
+	mf, err := AblationMotionFilter(ScaleQuick, 1)
+	if err != nil {
+		t.Fatalf("AblationMotionFilter: %v", err)
+	}
+	vals := map[string]map[string]float64{}
+	for _, row := range mf.Rows {
+		if vals[row.Variant] == nil {
+			vals[row.Variant] = map[string]float64{}
+		}
+		vals[row.Variant][row.Metric] = row.Value
+	}
+	if vals["filter-on"]["acoustic-transmissions"] >= vals["filter-off"]["acoustic-transmissions"] {
+		t.Error("motion filter saved no acoustic transmissions")
+	}
+	if vals["filter-on"]["attacker-unlocks"] != 0 {
+		t.Errorf("motion filter let %d attacker unlocks through", int(vals["filter-on"]["attacker-unlocks"]))
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	want := []string{
+		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+		"table1", "table2", "casestudy",
+		"ablation-finesync", "ablation-equalizer", "ablation-motionfilter",
+		"ext-distancebound", "ext-ultrasound96k",
+	}
+	got := map[string]bool{}
+	for _, n := range names {
+		got[n] = true
+	}
+	for _, n := range want {
+		if !got[n] {
+			t.Errorf("registry missing %q", n)
+		}
+	}
+	if len(names) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(names), len(want))
+	}
+}
+
+func TestPINModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewPINEntryModel(5, rng); err == nil {
+		t.Error("accepted 5-digit PIN")
+	}
+	if _, err := NewPINEntryModel(4, nil); err == nil {
+		t.Error("accepted nil rng")
+	}
+	pin4, err := NewPINEntryModel(4, rng)
+	if err != nil {
+		t.Fatalf("NewPINEntryModel: %v", err)
+	}
+	pin6, err := NewPINEntryModel(6, rng)
+	if err != nil {
+		t.Fatalf("NewPINEntryModel: %v", err)
+	}
+	if pin6.Median() <= pin4.Median() {
+		t.Error("6-digit median not above 4-digit")
+	}
+	var sum time.Duration
+	const n = 200
+	for i := 0; i < n; i++ {
+		d := pin4.Sample()
+		if d < pin4.Median()/2 || d > pin4.Median()*3 {
+			t.Fatalf("sample %s wildly off median %s", d, pin4.Median())
+		}
+		sum += d
+	}
+	avg := sum / n
+	if avg < pin4.Median()*9/10 || avg > pin4.Median()*13/10 {
+		t.Errorf("mean %s too far from median %s", avg, pin4.Median())
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:   "test",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"1", "2"}},
+		Notes:   []string{"note"},
+	}
+	out := tbl.Render()
+	for _, want := range []string{"== test ==", "long-column", "note:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExtDistanceBoundingCatchesFastRelays(t *testing.T) {
+	res, err := ExtDistanceBounding(ScaleQuick, 1)
+	if err != nil {
+		t.Fatalf("ExtDistanceBounding: %v", err)
+	}
+	for _, row := range res.Rows {
+		if row.Unlocked != 0 {
+			t.Errorf("relay with %s delay unlocked %d times", row.RelayDelay, row.Unlocked)
+		}
+		caught := row.CaughtRange + row.CaughtTime
+		if caught < row.Attempts {
+			t.Errorf("relay with %s delay: only %d/%d attempts caught", row.RelayDelay, caught, row.Attempts)
+		}
+		// Sub-window relays must be caught by range, since timing cannot
+		// see them.
+		if row.RelayDelay < 150*time.Millisecond && row.CaughtRange == 0 {
+			t.Errorf("sub-window relay (%s) not caught by distance bounding", row.RelayDelay)
+		}
+	}
+}
+
+func TestExtUltrasound96kWins(t *testing.T) {
+	res, err := ExtUltrasound96k(ScaleQuick, 1)
+	if err != nil {
+		t.Fatalf("ExtUltrasound96k: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(res.Rows))
+	}
+	base, ext := res.Rows[0], res.Rows[1]
+	if ext.DataRateBps <= base.DataRateBps {
+		t.Errorf("96 kHz data rate %.0f not above baseline %.0f", ext.DataRateBps, base.DataRateBps)
+	}
+	if ext.BER20cm > 0.05 {
+		t.Errorf("96 kHz short-range BER %.4f too high", ext.BER20cm)
+	}
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"wearlock/internal/acoustic"
+	"wearlock/internal/device"
+	"wearlock/internal/modem"
+	"wearlock/internal/otp"
+)
+
+// Fig10Row is one (phase, device) computation-delay cell.
+type Fig10Row struct {
+	Phase  string
+	Device string
+	Delay  time.Duration
+}
+
+// Fig10Result holds the per-phase computation-delay breakdown.
+type Fig10Result struct {
+	Rows []Fig10Row
+}
+
+// Fig10 reproduces Fig. 10: the computation delay of phase-1 channel
+// probing processing, phase-2 pre-processing, and phase-2 demodulation,
+// as executed on each testbed device. The same recordings are processed
+// once; the op counts are converted through each device's profile —
+// exactly how our simulator substitutes for the paper's per-device
+// stopwatch measurements.
+func Fig10(scale Scale, seed int64) (*Fig10Result, error) {
+	rng := newRNG(seed)
+	trials := scale.trials(2, 8)
+	res := &Fig10Result{}
+
+	var probeCost, preCost, demodCost modem.Cost
+	for trial := 0; trial < trials; trial++ {
+		pc, dc, dd, err := measureCosts(rng)
+		if err != nil {
+			return nil, err
+		}
+		probeCost.Add(pc)
+		preCost.Add(dc)
+		demodCost.Add(dd)
+	}
+	scaleCost := func(c modem.Cost, n int) modem.Cost {
+		return modem.Cost{
+			CorrelationMACs: c.CorrelationMACs / int64(n),
+			FFTButterflies:  c.FFTButterflies / int64(n),
+			FilterMACs:      c.FilterMACs / int64(n),
+			ScalarOps:       c.ScalarOps / int64(n),
+		}
+	}
+	probeCost = scaleCost(probeCost, trials)
+	preCost = scaleCost(preCost, trials)
+	demodCost = scaleCost(demodCost, trials)
+
+	for _, dev := range device.AllProfiles() {
+		res.Rows = append(res.Rows,
+			Fig10Row{Phase: "phase1-probing", Device: dev.Name, Delay: dev.ComputeTime(probeCost)},
+			Fig10Row{Phase: "phase2-preprocessing", Device: dev.Name, Delay: dev.ComputeTime(preCost)},
+			Fig10Row{Phase: "phase2-demodulation", Device: dev.Name, Delay: dev.ComputeTime(demodCost)},
+		)
+	}
+	return res, nil
+}
+
+// measureCosts runs one probe + one token round through the modem and
+// returns the three cost tallies.
+func measureCosts(rng *rand.Rand) (probe, pre, demod modem.Cost, err error) {
+	cfg := modem.DefaultConfig(modem.BandAudible, modem.QPSK)
+	mod, err := modem.NewModulator(cfg)
+	if err != nil {
+		return probe, pre, demod, err
+	}
+	dem, err := modem.NewDemodulator(cfg)
+	if err != nil {
+		return probe, pre, demod, err
+	}
+	link, err := acoustic.NewLink(cfg.SampleRate, 0.15, acoustic.PhoneSpeaker(), acoustic.WatchMic(), acoustic.Office(), rng)
+	if err != nil {
+		return probe, pre, demod, err
+	}
+
+	probeFrame, err := mod.ProbeSymbol()
+	if err != nil {
+		return probe, pre, demod, err
+	}
+	probeRec, err := link.Transmit(probeFrame, 75)
+	if err != nil {
+		return probe, pre, demod, err
+	}
+	pa, err := dem.AnalyzeProbe(probeRec)
+	if err != nil {
+		return probe, pre, demod, fmt.Errorf("experiments: probe analysis: %w", err)
+	}
+	probe = pa.Cost
+
+	coded, err := modem.EncodeRepetition(modem.RandomBits(otp.BitLength, rng), modem.DefaultRepetition)
+	if err != nil {
+		return probe, pre, demod, err
+	}
+	frame, err := mod.Modulate(coded)
+	if err != nil {
+		return probe, pre, demod, err
+	}
+	rec, err := link.Transmit(frame, 75)
+	if err != nil {
+		return probe, pre, demod, err
+	}
+	rx, err := dem.Demodulate(rec, len(coded))
+	if err != nil {
+		return probe, pre, demod, fmt.Errorf("experiments: token demodulation: %w", err)
+	}
+	return probe, rx.DetectCost, rx.DecodeCost, nil
+}
+
+// DelayFor returns the delay for a phase/device cell, or -1.
+func (r *Fig10Result) DelayFor(phase, deviceName string) time.Duration {
+	for _, row := range r.Rows {
+		if row.Phase == phase && row.Device == deviceName {
+			return row.Delay
+		}
+	}
+	return -1
+}
+
+// Table renders the figure data.
+func (r *Fig10Result) Table() *Table {
+	t := &Table{
+		Title:   "Fig. 10 — Computation delay of each phase on each device",
+		Columns: []string{"phase", "device", "delay(ms)"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{row.Phase, row.Device, ms(row.Delay.Seconds())})
+	}
+	t.Notes = append(t.Notes, "paper: the watch is roughly an order of magnitude slower than the high-end phone on every phase")
+	return t
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"wearlock/internal/wireless"
+)
+
+// Fig11Row is one (transport, operation) communication-delay cell.
+type Fig11Row struct {
+	Transport wireless.Transport
+	Operation string
+	Median    time.Duration
+	Mean      time.Duration
+	Trials    int
+}
+
+// Fig11Result holds the communication-delay measurements.
+type Fig11Result struct {
+	Rows []Fig11Row
+}
+
+// Fig11 reproduces Fig. 11: the delay of control messages and of audio-
+// clip file transfer between the phone and the watch over Bluetooth and
+// WiFi, each repeated at least 20 times as in the paper.
+func Fig11(scale Scale, seed int64) (*Fig11Result, error) {
+	rng := newRNG(seed)
+	trials := scale.trials(20, 60)
+	res := &Fig11Result{}
+	// A phase-2 recording: ~1.2 s of 16-bit 44.1 kHz mono audio.
+	const clipBytes = 105 * 1024
+
+	for _, transport := range []wireless.Transport{wireless.Bluetooth, wireless.WiFi} {
+		link, err := wireless.NewLink(transport, 0.5, rng)
+		if err != nil {
+			return nil, err
+		}
+		var msgs, files []float64
+		for i := 0; i < trials; i++ {
+			m, err := link.SendMessage(64)
+			if err != nil {
+				return nil, err
+			}
+			msgs = append(msgs, m.Seconds())
+			f, err := link.TransferFile(clipBytes)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f.Seconds())
+		}
+		res.Rows = append(res.Rows,
+			Fig11Row{
+				Transport: transport,
+				Operation: "message",
+				Median:    time.Duration(median(msgs) * float64(time.Second)),
+				Mean:      time.Duration(mean(msgs) * float64(time.Second)),
+				Trials:    trials,
+			},
+			Fig11Row{
+				Transport: transport,
+				Operation: "file-transfer(105KiB)",
+				Median:    time.Duration(median(files) * float64(time.Second)),
+				Mean:      time.Duration(mean(files) * float64(time.Second)),
+				Trials:    trials,
+			},
+		)
+	}
+	return res, nil
+}
+
+// MedianFor returns the median for a transport/operation cell, or -1.
+func (r *Fig11Result) MedianFor(transport wireless.Transport, op string) time.Duration {
+	for _, row := range r.Rows {
+		if row.Transport == transport && row.Operation == op {
+			return row.Median
+		}
+	}
+	return -1
+}
+
+// Table renders the figure data.
+func (r *Fig11Result) Table() *Table {
+	t := &Table{
+		Title:   "Fig. 11 — Communication delay between phone and watch",
+		Columns: []string{"transport", "operation", "median(ms)", "mean(ms)", "trials"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Transport.String(),
+			row.Operation,
+			ms(row.Median.Seconds()),
+			ms(row.Mean.Seconds()),
+			fmt.Sprintf("%d", row.Trials),
+		})
+	}
+	t.Notes = append(t.Notes, "paper: WiFi messages are several times faster than Bluetooth; file transfer dominates the offloaded path on Bluetooth")
+	return t
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wearlock/internal/acoustic"
+	"wearlock/internal/audio"
+	"wearlock/internal/dsp"
+)
+
+// Fig4Row is one (volume, distance) cell of Fig. 4: the SPL measured at
+// the receiver in a quiet room, LOS, alongside the spherical-propagation
+// prediction.
+type Fig4Row struct {
+	VolumeSPL   float64
+	DistanceM   float64
+	MeasuredSPL float64
+	TheorySPL   float64
+}
+
+// Fig4Result holds the receiver-SPL-versus-distance sweep.
+type Fig4Result struct {
+	Rows []Fig4Row
+}
+
+// Fig4 reproduces Fig. 4: receiver SPL over distance for several volume
+// settings, measured in a quiet room (ambient 15-20 dB SPL) under LOS.
+// The validation target is the slope: about -6 dB per distance doubling
+// (spherical spreading, g = 1).
+func Fig4(scale Scale, seed int64) (*Fig4Result, error) {
+	rng := newRNG(seed)
+	volumes := []float64{60, 70, 80}
+	distances := []float64{0.25, 0.5, 1, 2, 4}
+	prop := acoustic.DefaultPropagation()
+	res := &Fig4Result{}
+	trials := scale.trials(2, 6)
+
+	for _, vol := range volumes {
+		for _, dist := range distances {
+			var measured []float64
+			for trial := 0; trial < trials; trial++ {
+				link, err := acoustic.NewLink(audio.DefaultSampleRate, dist, acoustic.PhoneSpeaker(), acoustic.WatchMic(), acoustic.QuietRoom(), rng)
+				if err != nil {
+					return nil, err
+				}
+				// A 4 kHz calibration tone, 0.25 s.
+				tone, err := audio.Tone(4000, 1, audio.DefaultSampleRate/4, audio.DefaultSampleRate)
+				if err != nil {
+					return nil, err
+				}
+				rec, err := link.Transmit(tone, vol)
+				if err != nil {
+					return nil, err
+				}
+				// Measure over the steady middle of the received tone,
+				// skipping the ambient lead-in.
+				start := link.LeadIn + acoustic.DelaySamples(dist, rec.Rate) + rec.Rate/50
+				end := start + rec.Rate/10
+				if end > rec.Len() {
+					end = rec.Len()
+				}
+				seg, err := rec.Slice(start, end)
+				if err != nil {
+					return nil, err
+				}
+				measured = append(measured, audio.SPL(seg))
+			}
+			theory, err := prop.SPLAt(vol, dist)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, Fig4Row{
+				VolumeSPL:   vol,
+				DistanceM:   dist,
+				MeasuredSPL: mean(measured),
+				TheorySPL:   theory,
+			})
+		}
+	}
+	return res, nil
+}
+
+// SlopePerDoubling estimates the measured SPL drop per distance doubling
+// for a volume setting, the quantity Fig. 4 validates (~6 dB).
+func (r *Fig4Result) SlopePerDoubling(volume float64) float64 {
+	var pts []Fig4Row
+	for _, row := range r.Rows {
+		if row.VolumeSPL == volume {
+			pts = append(pts, row)
+		}
+	}
+	if len(pts) < 2 {
+		return 0
+	}
+	// Least-squares of SPL against log2(distance).
+	var sx, sy, sxx, sxy float64
+	for _, p := range pts {
+		x := log2(p.DistanceM)
+		sx += x
+		sy += p.MeasuredSPL
+		sxx += x * x
+		sxy += x * p.MeasuredSPL
+	}
+	n := float64(len(pts))
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return 0
+	}
+	return -(n*sxy - sx*sy) / denom
+}
+
+func log2(x float64) float64 {
+	return dsp.DB(x) / dsp.DB(2)
+}
+
+// Table renders the figure data.
+func (r *Fig4Result) Table() *Table {
+	t := &Table{
+		Title:   "Fig. 4 — Receiver SPL vs distance (quiet room, LOS)",
+		Columns: []string{"volume(dB)", "distance(m)", "measured SPL(dB)", "theory SPL(dB)"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f", row.VolumeSPL),
+			fmt.Sprintf("%.2f", row.DistanceM),
+			fmt.Sprintf("%.1f", row.MeasuredSPL),
+			fmt.Sprintf("%.1f", row.TheorySPL),
+		})
+	}
+	for _, vol := range []float64{60, 70, 80} {
+		t.Notes = append(t.Notes, fmt.Sprintf("volume %.0f dB: measured slope %.2f dB per distance doubling (paper: ~6)", vol, r.SlopePerDoubling(vol)))
+	}
+	return t
+}

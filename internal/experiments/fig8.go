@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wearlock/internal/acoustic"
+	"wearlock/internal/modem"
+)
+
+// Fig8Row is one (MaxBER constraint, distance) cell of the adaptive-
+// modulation figure.
+type Fig8Row struct {
+	MaxBER     float64
+	DistanceM  float64
+	BER        float64
+	ModeCounts map[modem.Modulation]int
+	Aborted    int // probes that found no mode meeting the constraint
+	Trials     int
+}
+
+// Fig8Result holds the adaptive-modulation sweep.
+type Fig8Result struct {
+	Rows []Fig8Row
+}
+
+// Fig8 reproduces Fig. 8: with adaptive modulation enabled, the probing
+// phase measures Eb/N0 and picks the fastest mode predicted to satisfy
+// the BER constraint; tighter constraints force lower-order modes (or
+// aborts) and keep the achieved BER bounded.
+func Fig8(scale Scale, seed int64) (*Fig8Result, error) {
+	rng := newRNG(seed)
+	res := &Fig8Result{}
+	distances := []float64{0.2, 0.5, 1.0, 1.5}
+	constraints := []float64{0.1, 0.01}
+	trials := scale.trials(3, 10)
+	payload := 192
+	table := modem.DefaultModeTable()
+	const volume = 60
+
+	probeCfg := modem.DefaultConfig(modem.BandNearUltrasound, modem.QPSK)
+	probeMod, err := modem.NewModulator(probeCfg)
+	if err != nil {
+		return nil, err
+	}
+	probeDemod, err := modem.NewDemodulator(probeCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, maxBER := range constraints {
+		for _, dist := range distances {
+			row := Fig8Row{
+				MaxBER:     maxBER,
+				DistanceM:  dist,
+				ModeCounts: make(map[modem.Modulation]int),
+				Trials:     trials,
+			}
+			var bers []float64
+			for trial := 0; trial < trials; trial++ {
+				link, err := acoustic.NewLink(probeCfg.SampleRate, dist, acoustic.PhoneSpeaker(), acoustic.PhoneMic(), acoustic.Office(), rng)
+				if err != nil {
+					return nil, err
+				}
+				// RTS/CTS probing.
+				probe, err := probeMod.ProbeSymbol()
+				if err != nil {
+					return nil, err
+				}
+				rec, err := link.Transmit(probe, volume)
+				if err != nil {
+					return nil, err
+				}
+				pa, err := probeDemod.AnalyzeProbe(rec)
+				if err != nil {
+					row.Aborted++
+					continue
+				}
+				mode, err := table.SelectMode(pa.EbN0dB, maxBER)
+				if err != nil {
+					row.Aborted++
+					continue
+				}
+				row.ModeCounts[mode]++
+
+				// Data transmission with the selected mode.
+				dataCfg := probeCfg
+				dataCfg.Modulation = mode
+				mod, err := modem.NewModulator(dataCfg)
+				if err != nil {
+					return nil, err
+				}
+				demod, err := modem.NewDemodulator(dataCfg)
+				if err != nil {
+					return nil, err
+				}
+				bits := modem.RandomBits(payload, rng)
+				frame, err := mod.Modulate(bits)
+				if err != nil {
+					return nil, err
+				}
+				dataRec, err := link.Transmit(frame, volume)
+				if err != nil {
+					return nil, err
+				}
+				rx, err := demod.Demodulate(dataRec, payload)
+				if err != nil {
+					bers = append(bers, 0.5)
+					continue
+				}
+				ber, err := modem.BER(rx.Bits, bits)
+				if err != nil {
+					return nil, err
+				}
+				bers = append(bers, ber)
+			}
+			row.BER = mean(bers)
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Table renders the figure data.
+func (r *Fig8Result) Table() *Table {
+	t := &Table{
+		Title:   "Fig. 8 — BER under adaptive modulation per BER constraint (near-ultrasound)",
+		Columns: []string{"MaxBER", "distance(m)", "achieved BER", "modes chosen", "aborted"},
+	}
+	for _, row := range r.Rows {
+		modes := ""
+		for _, m := range modem.TransmissionModes() {
+			if c := row.ModeCounts[m]; c > 0 {
+				if modes != "" {
+					modes += " "
+				}
+				modes += fmt.Sprintf("%s:%d", m, c)
+			}
+		}
+		if modes == "" {
+			modes = "-"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", row.MaxBER),
+			fmt.Sprintf("%.1f", row.DistanceM),
+			fmt.Sprintf("%.4f", row.BER),
+			modes,
+			fmt.Sprintf("%d/%d", row.Aborted, row.Trials),
+		})
+	}
+	t.Notes = append(t.Notes, "paper: constraining BER switches modes adaptively; an eavesdropper farther away sees higher BER because higher-order modes are more fragile")
+	return t
+}

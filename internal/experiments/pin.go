@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// PINEntryModel reproduces the manual-unlock baseline of Fig. 12: the time
+// a user needs to wake the phone and enter a 4- or 6-digit PIN. The paper
+// measures entry "using a similar method as [Harbach et al., SOUPS 2014]"
+// and aligns to that study's medians; we use the same medians with
+// lognormal-ish per-attempt variation.
+type PINEntryModel struct {
+	Digits int
+	rng    *rand.Rand
+}
+
+// Median unlock-by-PIN durations, aligned to the field-study medians the
+// paper calibrates against (wake + prompt + typing + confirmation).
+const (
+	_pin4Median = 2600 * time.Millisecond
+	_pin6Median = 3300 * time.Millisecond
+)
+
+// NewPINEntryModel builds the baseline for 4- or 6-digit PINs.
+func NewPINEntryModel(digits int, rng *rand.Rand) (*PINEntryModel, error) {
+	if digits != 4 && digits != 6 {
+		return nil, fmt.Errorf("experiments: PIN model supports 4 or 6 digits, got %d", digits)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("experiments: PIN model requires a random source")
+	}
+	return &PINEntryModel{Digits: digits, rng: rng}, nil
+}
+
+// Median returns the model's median entry time.
+func (m *PINEntryModel) Median() time.Duration {
+	if m.Digits == 6 {
+		return _pin6Median
+	}
+	return _pin4Median
+}
+
+// Sample draws one attempt duration: multiplicative jitter around the
+// median plus an occasional mistype that forces re-entry of the suffix.
+func (m *PINEntryModel) Sample() time.Duration {
+	base := float64(m.Median())
+	jitter := 1 + 0.18*m.rng.NormFloat64()
+	if jitter < 0.6 {
+		jitter = 0.6
+	}
+	d := time.Duration(base * jitter)
+	if m.rng.Float64() < 0.08 { // ~8% of entries contain a typo
+		d += time.Duration(float64(m.Median()) * 0.6)
+	}
+	return d
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one named experiment and renders its table.
+type Runner func(scale Scale, seed int64) (*Table, error)
+
+// Registry maps experiment names (as accepted by cmd/experiments -run) to
+// runners covering every table and figure of the paper plus the extra
+// ablations.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig4": func(s Scale, seed int64) (*Table, error) {
+			r, err := Fig4(s, seed)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+		"fig5": func(s Scale, seed int64) (*Table, error) {
+			r, err := Fig5(s, seed)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+		"fig6": func(s Scale, seed int64) (*Table, error) {
+			r, err := Fig6(s, seed)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+		"fig7": func(s Scale, seed int64) (*Table, error) {
+			r, err := Fig7(s, seed)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+		"fig8": func(s Scale, seed int64) (*Table, error) {
+			r, err := Fig8(s, seed)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+		"fig9": func(s Scale, seed int64) (*Table, error) {
+			r, err := Fig9(s, seed)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+		"fig10": func(s Scale, seed int64) (*Table, error) {
+			r, err := Fig10(s, seed)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+		"fig11": func(s Scale, seed int64) (*Table, error) {
+			r, err := Fig11(s, seed)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+		"fig12": func(s Scale, seed int64) (*Table, error) {
+			r, err := Fig12(s, seed)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+		"table1": func(s Scale, seed int64) (*Table, error) {
+			r, err := Table1(s, seed)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+		"table2": func(s Scale, seed int64) (*Table, error) {
+			r, err := Table2(s, seed)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+		"casestudy": func(s Scale, seed int64) (*Table, error) {
+			r, err := CaseStudy(s, seed)
+			if err != nil {
+				return nil, err
+			}
+			t := r.Table()
+			succ, att, err := CoveredSpeakerTrial(s, seed+1)
+			if err != nil {
+				return nil, err
+			}
+			t.Notes = append(t.Notes, fmt.Sprintf("covered-speaker control: %d/%d successes (paper: 3/10)", succ, att))
+			return t, nil
+		},
+		"ablation-finesync": func(s Scale, seed int64) (*Table, error) {
+			r, err := AblationFineSync(s, seed)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+		"ablation-equalizer": func(s Scale, seed int64) (*Table, error) {
+			r, err := AblationEqualizer(s, seed)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+		"ablation-motionfilter": func(s Scale, seed int64) (*Table, error) {
+			r, err := AblationMotionFilter(s, seed)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+		"ext-distancebound": func(s Scale, seed int64) (*Table, error) {
+			r, err := ExtDistanceBounding(s, seed)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+		"ext-ultrasound96k": func(s Scale, seed int64) (*Table, error) {
+			r, err := ExtUltrasound96k(s, seed)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+	}
+}
+
+// Names returns the registry keys in stable order.
+func Names() []string {
+	reg := Registry()
+	out := make([]string, 0, len(reg))
+	for name := range reg {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,154 @@
+package keyguard
+
+import (
+	"testing"
+	"time"
+)
+
+func TestInitialState(t *testing.T) {
+	k := New()
+	if k.State() != StateLocked {
+		t.Errorf("initial state %s, want locked", k.State())
+	}
+}
+
+func TestSuccessUnlocks(t *testing.T) {
+	k := New()
+	at := time.Unix(100, 0)
+	if err := k.ReportSuccess(at); err != nil {
+		t.Fatalf("ReportSuccess: %v", err)
+	}
+	if k.State() != StateUnlocked {
+		t.Errorf("state %s after success", k.State())
+	}
+	if !k.UnlockedAt().Equal(at) {
+		t.Errorf("UnlockedAt = %v", k.UnlockedAt())
+	}
+	unlocks, manual := k.Stats()
+	if unlocks != 1 || manual != 0 {
+		t.Errorf("stats %d/%d", unlocks, manual)
+	}
+}
+
+func TestFailureLockout(t *testing.T) {
+	k := New()
+	for i := 0; i < DefaultMaxFailures-1; i++ {
+		k.ReportFailure()
+		if k.State() != StateLocked {
+			t.Fatalf("locked out after only %d failures", i+1)
+		}
+	}
+	k.ReportFailure()
+	if k.State() != StateLockedOut {
+		t.Errorf("state %s after %d failures, want locked-out", k.State(), DefaultMaxFailures)
+	}
+	// Automatic unlocking refuses while locked out.
+	if err := k.ReportSuccess(time.Unix(1, 0)); err == nil {
+		t.Error("ReportSuccess allowed while locked out")
+	}
+	// Further failures are absorbed without panicking.
+	k.ReportFailure()
+	if k.Failures() != DefaultMaxFailures {
+		t.Errorf("failure count %d after lockout", k.Failures())
+	}
+}
+
+func TestSuccessResetsFailures(t *testing.T) {
+	k := New()
+	k.ReportFailure()
+	k.ReportFailure()
+	if err := k.ReportSuccess(time.Unix(1, 0)); err != nil {
+		t.Fatalf("ReportSuccess: %v", err)
+	}
+	if k.Failures() != 0 {
+		t.Errorf("failures %d after success", k.Failures())
+	}
+}
+
+func TestManualAuthenticateClearsLockout(t *testing.T) {
+	k := New()
+	for i := 0; i < DefaultMaxFailures; i++ {
+		k.ReportFailure()
+	}
+	k.ManualAuthenticate(time.Unix(5, 0))
+	if k.State() != StateUnlocked {
+		t.Errorf("state %s after manual auth", k.State())
+	}
+	if k.Failures() != 0 {
+		t.Errorf("failures %d after manual auth", k.Failures())
+	}
+	_, manual := k.Stats()
+	if manual != 1 {
+		t.Errorf("manual auth count %d", manual)
+	}
+}
+
+func TestRelock(t *testing.T) {
+	k := New()
+	if err := k.ReportSuccess(time.Unix(1, 0)); err != nil {
+		t.Fatalf("ReportSuccess: %v", err)
+	}
+	k.Relock()
+	if k.State() != StateLocked {
+		t.Errorf("state %s after relock", k.State())
+	}
+	// Relock while already locked is a no-op.
+	k.Relock()
+	if k.State() != StateLocked {
+		t.Error("relock changed a locked keyguard")
+	}
+	// Relock must not clear a lockout.
+	for i := 0; i < DefaultMaxFailures; i++ {
+		k.ReportFailure()
+	}
+	k.Relock()
+	if k.State() != StateLockedOut {
+		t.Error("relock cleared lockout")
+	}
+}
+
+func TestSetMaxFailures(t *testing.T) {
+	k := New()
+	if err := k.SetMaxFailures(0); err == nil {
+		t.Error("accepted zero budget")
+	}
+	if err := k.SetMaxFailures(1); err != nil {
+		t.Fatalf("SetMaxFailures: %v", err)
+	}
+	k.ReportFailure()
+	if k.State() != StateLockedOut {
+		t.Error("custom budget of 1 not enforced")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	names := map[State]string{
+		StateLocked:    "locked",
+		StateUnlocked:  "unlocked",
+		StateLockedOut: "locked-out",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	k := New()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			k.ReportFailure()
+			k.ManualAuthenticate(time.Unix(int64(i), 0))
+			k.Relock()
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		_ = k.State()
+		_ = k.Failures()
+		_, _ = k.Stats()
+	}
+	<-done
+}

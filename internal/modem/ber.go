@@ -1,0 +1,70 @@
+package modem
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// BitErrors counts positions where got differs from want. The slices must
+// have equal length.
+func BitErrors(got, want []byte) (int, error) {
+	if len(got) != len(want) {
+		return 0, fmt.Errorf("modem: bit length mismatch %d vs %d", len(got), len(want))
+	}
+	errs := 0
+	for i := range got {
+		if got[i] != want[i] {
+			errs++
+		}
+	}
+	return errs, nil
+}
+
+// BER returns the bit error rate between two equal-length bit slices.
+func BER(got, want []byte) (float64, error) {
+	if len(want) == 0 {
+		return 0, fmt.Errorf("modem: BER of empty bit sequence")
+	}
+	errs, err := BitErrors(got, want)
+	if err != nil {
+		return 0, err
+	}
+	return float64(errs) / float64(len(want)), nil
+}
+
+// RandomBits generates n random bits (bytes valued 0 or 1) from rng, the
+// standard payload for BER experiments.
+func RandomBits(n int, rng *rand.Rand) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(rng.Intn(2))
+	}
+	return out
+}
+
+// BytesToBits expands bytes into bits, most significant bit first.
+func BytesToBits(data []byte) []byte {
+	out := make([]byte, 0, len(data)*8)
+	for _, b := range data {
+		for shift := 7; shift >= 0; shift-- {
+			out = append(out, (b>>shift)&1)
+		}
+	}
+	return out
+}
+
+// BitsToBytes packs bits (MSB first) into bytes. The bit count must be a
+// multiple of 8.
+func BitsToBytes(bits []byte) ([]byte, error) {
+	if len(bits)%8 != 0 {
+		return nil, fmt.Errorf("modem: %d bits not a multiple of 8", len(bits))
+	}
+	out := make([]byte, len(bits)/8)
+	for i, b := range bits {
+		if b > 1 {
+			return nil, fmt.Errorf("modem: bit value %d is not 0 or 1", b)
+		}
+		out[i/8] = out[i/8]<<1 | b
+	}
+	return out, nil
+}

@@ -1,0 +1,227 @@
+// Package modem implements WearLock's acoustic OFDM modem (Sec. III of the
+// paper): constellation mapping for six modulations, chirp-preamble
+// framing, energy-based signal detection, coarse and cyclic-prefix-based
+// fine synchronization, pilot-tone channel estimation with FFT
+// interpolation, equalization, pilot-based SNR estimation, sub-channel
+// selection, NLOS detection, and adaptive modulation.
+package modem
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Modulation identifies a constellation scheme. WearLock supports
+// BASK/QASK, BPSK/QPSK, 8PSK and 16QAM (Sec. III-7); the deployed system
+// uses the QASK/QPSK/8PSK subset as its transmission modes.
+type Modulation int
+
+// Supported modulations, ordered roughly by the SNR they demand.
+const (
+	BASK  Modulation = iota + 1 // binary amplitude-shift keying
+	QASK                        // quaternary amplitude-shift keying
+	BPSK                        // binary phase-shift keying
+	QPSK                        // quaternary phase-shift keying
+	PSK8                        // 8-ary phase-shift keying
+	QAM16                       // 16-ary quadrature amplitude modulation
+)
+
+// AllModulations lists every supported scheme in Fig. 5 order.
+func AllModulations() []Modulation {
+	return []Modulation{BASK, QASK, BPSK, QPSK, PSK8, QAM16}
+}
+
+// TransmissionModes lists the modes the deployed system adapts between
+// (Sec. III-7: "we setup three transmission modes in total"), ordered from
+// most robust to fastest.
+func TransmissionModes() []Modulation {
+	return []Modulation{QASK, QPSK, PSK8}
+}
+
+// String implements fmt.Stringer.
+func (m Modulation) String() string {
+	switch m {
+	case BASK:
+		return "BASK"
+	case QASK:
+		return "QASK"
+	case BPSK:
+		return "BPSK"
+	case QPSK:
+		return "QPSK"
+	case PSK8:
+		return "8PSK"
+	case QAM16:
+		return "16QAM"
+	default:
+		return fmt.Sprintf("Modulation(%d)", int(m))
+	}
+}
+
+// BitsPerSymbol reports how many bits one constellation point carries.
+func (m Modulation) BitsPerSymbol() int {
+	switch m {
+	case BASK, BPSK:
+		return 1
+	case QASK, QPSK:
+		return 2
+	case PSK8:
+		return 3
+	case QAM16:
+		return 4
+	default:
+		return 0
+	}
+}
+
+// Valid reports whether m is a known modulation.
+func (m Modulation) Valid() bool {
+	return m.BitsPerSymbol() > 0
+}
+
+// Constellation geometry constants. Points are scaled for unit average
+// power within each scheme so a fair Eb/N0 comparison holds.
+var (
+	// _askLevels2 and _askLevels4 are uniformly spaced positive amplitude
+	// levels ({1,3} and {1,3,5,7}) normalized to unit mean symbol power.
+	_askLevels2 = []float64{0.4472135954999579, 1.3416407864998738} // {1,3}/sqrt(5)
+	_askLevels4 = []float64{
+		0.2182178902359924, // 1/sqrt(21)
+		0.6546536707079772, // 3/sqrt(21)
+		1.091089451179962,  // 5/sqrt(21)
+		1.5275252316519468, // 7/sqrt(21)
+	}
+	_qam16Level = 0.31622776601683794 // 1/sqrt(10)
+)
+
+// Map converts bits (grouped BitsPerSymbol at a time, MSB first within the
+// group) into constellation points. len(bits) must be a multiple of
+// BitsPerSymbol.
+func (m Modulation) Map(bits []byte) ([]complex128, error) {
+	bps := m.BitsPerSymbol()
+	if bps == 0 {
+		return nil, fmt.Errorf("modem: unknown modulation %d", int(m))
+	}
+	if len(bits)%bps != 0 {
+		return nil, fmt.Errorf("modem: %d bits not a multiple of %d for %s", len(bits), bps, m)
+	}
+	out := make([]complex128, len(bits)/bps)
+	for i := range out {
+		group := bits[i*bps : (i+1)*bps]
+		var idx int
+		for _, b := range group {
+			if b > 1 {
+				return nil, fmt.Errorf("modem: bit value %d is not 0 or 1", b)
+			}
+			idx = idx<<1 | int(b)
+		}
+		out[i] = m.point(idx)
+	}
+	return out, nil
+}
+
+// point returns the constellation point for a symbol index. Phase schemes
+// use Gray coding so adjacent points differ by one bit.
+func (m Modulation) point(idx int) complex128 {
+	switch m {
+	case BASK:
+		return complex(_askLevels2[idx], 0)
+	case QASK:
+		return complex(_askLevels4[grayDecode(idx)], 0)
+	case BPSK:
+		if idx == 0 {
+			return 1
+		}
+		return -1
+	case QPSK:
+		angle := math.Pi/4 + float64(grayDecode(idx))*math.Pi/2
+		return cmplx.Rect(1, angle)
+	case PSK8:
+		angle := math.Pi/8 + float64(grayDecode(idx))*math.Pi/4
+		return cmplx.Rect(1, angle)
+	case QAM16:
+		// Gray-coded 4x4 grid: high two bits select I, low two select Q.
+		i := grayLevel4(idx >> 2)
+		q := grayLevel4(idx & 3)
+		return complex(float64(i)*_qam16Level, float64(q)*_qam16Level)
+	default:
+		return 0
+	}
+}
+
+// Demap converts received (equalized) constellation points back to bits by
+// maximum-likelihood (nearest point) decision.
+func (m Modulation) Demap(points []complex128) ([]byte, error) {
+	bps := m.BitsPerSymbol()
+	if bps == 0 {
+		return nil, fmt.Errorf("modem: unknown modulation %d", int(m))
+	}
+	out := make([]byte, 0, len(points)*bps)
+	size := 1 << bps
+	for _, p := range points {
+		best := 0
+		bestDist := math.Inf(1)
+		for idx := 0; idx < size; idx++ {
+			ref := m.point(idx)
+			d := distanceFor(m, p, ref)
+			if d < bestDist {
+				best, bestDist = idx, d
+			}
+		}
+		for b := bps - 1; b >= 0; b-- {
+			out = append(out, byte(best>>b)&1)
+		}
+	}
+	return out, nil
+}
+
+// distanceFor returns the decision metric between a received point and a
+// reference point. ASK schemes decide on the envelope (magnitude),
+// discarding carrier phase entirely — this is what makes them robust to
+// the uneven phase response of real audio hardware (Fig. 5).
+func distanceFor(m Modulation, p, ref complex128) float64 {
+	switch m {
+	case BASK, QASK:
+		d := cmplx.Abs(p) - real(ref)
+		return d * d
+	default:
+		d := p - ref
+		return real(d)*real(d) + imag(d)*imag(d)
+	}
+}
+
+// grayDecode converts a Gray code back to its binary index. Bit patterns
+// are Gray codes of constellation positions (position p carries bits
+// p ^ (p >> 1)), so mapping bits to a position requires the inverse: then
+// physically adjacent positions always carry bit patterns differing in
+// exactly one bit.
+func grayDecode(gray int) int {
+	n := gray
+	for mask := n >> 1; mask != 0; mask >>= 1 {
+		n ^= mask
+	}
+	return n
+}
+
+// grayLevel4 maps 2 Gray-coded bits to an amplitude level in
+// {-3, -1, 1, 3}, used for each 16QAM axis.
+func grayLevel4(bits int) int {
+	return -3 + 2*grayDecode(bits)
+}
+
+// AveragePower returns the mean symbol power of the constellation, used by
+// tests to verify the unit-power normalization.
+func (m Modulation) AveragePower() float64 {
+	bps := m.BitsPerSymbol()
+	if bps == 0 {
+		return 0
+	}
+	size := 1 << bps
+	var sum float64
+	for idx := 0; idx < size; idx++ {
+		p := m.point(idx)
+		sum += real(p)*real(p) + imag(p)*imag(p)
+	}
+	return sum / float64(size)
+}

@@ -1,0 +1,200 @@
+package modem
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestModulationBitsPerSymbol(t *testing.T) {
+	want := map[Modulation]int{
+		BASK: 1, BPSK: 1, QASK: 2, QPSK: 2, PSK8: 3, QAM16: 4,
+	}
+	for mod, bits := range want {
+		if got := mod.BitsPerSymbol(); got != bits {
+			t.Errorf("%s.BitsPerSymbol() = %d, want %d", mod, got, bits)
+		}
+	}
+	if got := Modulation(0).BitsPerSymbol(); got != 0 {
+		t.Errorf("invalid modulation BitsPerSymbol() = %d, want 0", got)
+	}
+}
+
+func TestModulationString(t *testing.T) {
+	names := map[Modulation]string{
+		BASK: "BASK", QASK: "QASK", BPSK: "BPSK", QPSK: "QPSK", PSK8: "8PSK", QAM16: "16QAM",
+	}
+	for mod, want := range names {
+		if got := mod.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestMapDemapRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, mod := range AllModulations() {
+		bits := RandomBits(mod.BitsPerSymbol()*64, rng)
+		points, err := mod.Map(bits)
+		if err != nil {
+			t.Fatalf("%s.Map: %v", mod, err)
+		}
+		got, err := mod.Demap(points)
+		if err != nil {
+			t.Fatalf("%s.Demap: %v", mod, err)
+		}
+		if errs, _ := BitErrors(got, bits); errs != 0 {
+			t.Errorf("%s round trip: %d bit errors", mod, errs)
+		}
+	}
+}
+
+// Property: map/demap is the identity for every modulation and any bit
+// pattern.
+func TestMapDemapRoundTripProperty(t *testing.T) {
+	for _, mod := range AllModulations() {
+		mod := mod
+		f := func(seed int64, nSymbols uint8) bool {
+			rng := rand.New(rand.NewSource(seed))
+			n := (int(nSymbols)%32 + 1) * mod.BitsPerSymbol()
+			bits := RandomBits(n, rng)
+			points, err := mod.Map(bits)
+			if err != nil {
+				return false
+			}
+			got, err := mod.Demap(points)
+			if err != nil {
+				return false
+			}
+			errs, err := BitErrors(got, bits)
+			return err == nil && errs == 0
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", mod, err)
+		}
+	}
+}
+
+func TestConstellationUnitPower(t *testing.T) {
+	for _, mod := range AllModulations() {
+		power := mod.AveragePower()
+		if math.Abs(power-1) > 1e-9 {
+			t.Errorf("%s average power = %.6f, want 1", mod, power)
+		}
+	}
+}
+
+// Gray coding: constellation points at adjacent phases/levels must differ
+// in exactly one bit, which bounds the BER cost of a near-miss decision.
+func TestGrayCodingAdjacency(t *testing.T) {
+	hamming := func(a, b int) int {
+		x := a ^ b
+		n := 0
+		for x != 0 {
+			n += x & 1
+			x >>= 1
+		}
+		return n
+	}
+	for _, mod := range []Modulation{QPSK, PSK8} {
+		size := 1 << mod.BitsPerSymbol()
+		// Order symbol indices by phase angle; neighbors must be 1 bit apart.
+		type entry struct {
+			idx   int
+			angle float64
+		}
+		entries := make([]entry, size)
+		for idx := 0; idx < size; idx++ {
+			entries[idx] = entry{idx, cmplx.Phase(mod.point(idx))}
+		}
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				if entries[j].angle < entries[i].angle {
+					entries[i], entries[j] = entries[j], entries[i]
+				}
+			}
+		}
+		for i := range entries {
+			next := entries[(i+1)%size]
+			if d := hamming(entries[i].idx, next.idx); d != 1 {
+				t.Errorf("%s: adjacent points %d and %d differ in %d bits", mod, entries[i].idx, next.idx, d)
+			}
+		}
+	}
+	// QASK levels sorted ascending must also be Gray-adjacent.
+	size := 1 << QASK.BitsPerSymbol()
+	type lv struct {
+		idx int
+		amp float64
+	}
+	levels := make([]lv, size)
+	for idx := 0; idx < size; idx++ {
+		levels[idx] = lv{idx, real(QASK.point(idx))}
+	}
+	for i := 0; i < size; i++ {
+		for j := i + 1; j < size; j++ {
+			if levels[j].amp < levels[i].amp {
+				levels[i], levels[j] = levels[j], levels[i]
+			}
+		}
+	}
+	for i := 0; i+1 < size; i++ {
+		if d := levels[i].idx ^ levels[i+1].idx; d&(d-1) != 0 || d == 0 {
+			t.Errorf("QASK: adjacent levels %d and %d not Gray-adjacent", levels[i].idx, levels[i+1].idx)
+		}
+	}
+}
+
+func TestMapRejectsBadInput(t *testing.T) {
+	if _, err := QPSK.Map([]byte{1}); err == nil {
+		t.Error("Map accepted bit count not multiple of BitsPerSymbol")
+	}
+	if _, err := QPSK.Map([]byte{1, 2}); err == nil {
+		t.Error("Map accepted bit value 2")
+	}
+	if _, err := Modulation(99).Map([]byte{1}); err == nil {
+		t.Error("Map accepted invalid modulation")
+	}
+	if _, err := Modulation(99).Demap([]complex128{1}); err == nil {
+		t.Error("Demap accepted invalid modulation")
+	}
+}
+
+// ASK decisions are envelope-based: an arbitrary phase rotation of the
+// received point must not disturb the decision, because amplitude keying
+// is exactly what survives a channel with unstable phase response.
+func TestASKIgnoresPhaseRotation(t *testing.T) {
+	for _, mod := range []Modulation{BASK, QASK} {
+		bits := RandomBits(mod.BitsPerSymbol()*8, rand.New(rand.NewSource(5)))
+		points, err := mod.Map(bits)
+		if err != nil {
+			t.Fatalf("%s.Map: %v", mod, err)
+		}
+		for i := range points {
+			angle := float64(i) * 0.7 // arbitrary rotations, up to >pi
+			points[i] *= complex(math.Cos(angle), math.Sin(angle))
+		}
+		got, err := mod.Demap(points)
+		if err != nil {
+			t.Fatalf("%s.Demap: %v", mod, err)
+		}
+		if errs, _ := BitErrors(got, bits); errs != 0 {
+			t.Errorf("%s decision disturbed by phase rotation: %d errors", mod, errs)
+		}
+	}
+}
+
+func TestTransmissionModesSubset(t *testing.T) {
+	modes := TransmissionModes()
+	if len(modes) != 3 {
+		t.Fatalf("TransmissionModes() returned %d modes, want 3", len(modes))
+	}
+	want := []Modulation{QASK, QPSK, PSK8}
+	for i, m := range modes {
+		if m != want[i] {
+			t.Errorf("TransmissionModes()[%d] = %s, want %s", i, m, want[i])
+		}
+	}
+}

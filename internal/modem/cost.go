@@ -1,0 +1,59 @@
+package modem
+
+// Cost tallies the signal-processing work a receive pipeline performed,
+// expressed in primitive-operation counts rather than wall-clock time. The
+// device model (internal/device) converts these counts into per-device
+// execution time and energy, which is how the offloading experiments
+// (Figs. 6 and 10) compare the Moto 360 against the phones without the
+// paper's physical power meter.
+type Cost struct {
+	CorrelationMACs int64 // multiply-accumulates in sliding correlators
+	FFTButterflies  int64 // complex butterflies across all transforms
+	FilterMACs      int64 // FIR filtering multiply-accumulates
+	ScalarOps       int64 // per-sample scalar passes (energy, demap, etc.)
+}
+
+// Add accumulates another cost into c.
+func (c *Cost) Add(other Cost) {
+	c.CorrelationMACs += other.CorrelationMACs
+	c.FFTButterflies += other.FFTButterflies
+	c.FilterMACs += other.FilterMACs
+	c.ScalarOps += other.ScalarOps
+}
+
+// Total returns the grand total of primitive operations.
+func (c Cost) Total() int64 {
+	return c.CorrelationMACs + c.FFTButterflies + c.FilterMACs + c.ScalarOps
+}
+
+// fftCost returns the butterfly count of one n-point FFT (n/2 * log2 n).
+func fftCost(n int) int64 {
+	if n <= 1 {
+		return 0
+	}
+	log := 0
+	for v := n; v > 1; v >>= 1 {
+		log++
+	}
+	return int64(n/2) * int64(log)
+}
+
+// correlationCost returns the MAC count of sliding a template of length m
+// over a signal of length n. When the FFT fast path applies, the effective
+// cost is three transforms plus the pointwise product.
+func correlationCost(n, m int) int64 {
+	lags := int64(n - m + 1)
+	if lags <= 0 {
+		return 0
+	}
+	direct := lags * int64(m)
+	size := 1
+	for size < n+m {
+		size <<= 1
+	}
+	fast := 3*fftCost(size) + int64(size)
+	if fast < direct {
+		return fast
+	}
+	return direct
+}

@@ -1,0 +1,333 @@
+package modem
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"wearlock/internal/audio"
+	"wearlock/internal/dsp"
+)
+
+// Demodulator runs the full receive pipeline of Fig. 3: energy-based
+// silence detection, preamble detection (coarse synchronization), per-
+// symbol cyclic-prefix fine synchronization, FFT, pilot channel estimation
+// and equalization, and constellation de-mapping.
+type Demodulator struct {
+	cfg      Config
+	plan     *dsp.Plan
+	preamble *audio.Buffer
+	detector DetectorConfig
+	eqMethod EqualizerMethod
+
+	// FineSyncEnabled gates Eq. 2 fine synchronization (on by default;
+	// the ablation benchmark switches it off).
+	FineSyncEnabled bool
+	// FineSyncRange is the +/- sample search window for fine sync.
+	FineSyncRange int
+}
+
+// NewDemodulator validates the configuration and precomputes the FFT plan
+// and reference preamble.
+func NewDemodulator(cfg Config) (*Demodulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	plan, err := dsp.NewPlan(cfg.FFTSize)
+	if err != nil {
+		return nil, err
+	}
+	preamble, err := Preamble(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// The energy gate measures level inside the occupied band only:
+	// broadband ambient noise outside the band (speech, HVAC) would
+	// otherwise swamp it — fatal for the near-ultrasound band, whose
+	// signals sit far above the ambient spectrum.
+	detector := DefaultDetectorConfig()
+	detector.BandLowHz, detector.BandHighHz = cfg.BandEdges()
+	return &Demodulator{
+		cfg:             cfg,
+		plan:            plan,
+		preamble:        preamble,
+		detector:        detector,
+		eqMethod:        EqualizeFFTInterp,
+		FineSyncEnabled: true,
+		FineSyncRange:   DefaultFineSyncRange,
+	}, nil
+}
+
+// Config returns the demodulator's configuration.
+func (d *Demodulator) Config() Config { return d.cfg }
+
+// SetDetectorConfig overrides the signal-detection front end parameters.
+func (d *Demodulator) SetDetectorConfig(cfg DetectorConfig) { d.detector = cfg }
+
+// SetEqualizerMethod overrides the pilot interpolation method (ablations).
+func (d *Demodulator) SetEqualizerMethod(m EqualizerMethod) { d.eqMethod = m }
+
+// RxResult reports everything the receive pipeline learned from one frame.
+type RxResult struct {
+	Bits      []byte       // decoded payload bits (numBits of them)
+	Detection *Detection   // where and how confidently the frame was found
+	Points    []complex128 // equalized constellation points, symbol-major
+
+	PSNR   float64 // pilot-based SNR (linear), averaged over symbols
+	PSNRdB float64
+	EbN0dB float64 // normalized per-bit SNR for adaptive modulation
+
+	FineSyncOffsets []int     // per-symbol fine sync adjustment
+	SymbolPSNR      []float64 // per-symbol pilot SNR (linear)
+
+	// Cost is the total DSP work; DetectCost covers the silence gate and
+	// preamble search (the "pre-processing" of Fig. 10), DecodeCost the
+	// per-symbol fine sync, FFTs, equalization, and de-mapping.
+	Cost       Cost
+	DetectCost Cost
+	DecodeCost Cost
+}
+
+// Demodulate decodes numBits payload bits from a recording. It returns an
+// *ErrNoSignal error when no frame is present.
+func (d *Demodulator) Demodulate(rec *audio.Buffer, numBits int) (*RxResult, error) {
+	if numBits <= 0 {
+		return nil, fmt.Errorf("modem: numBits %d must be positive", numBits)
+	}
+	if rec.Rate != d.cfg.SampleRate {
+		return nil, fmt.Errorf("modem: recording rate %d does not match modem rate %d", rec.Rate, d.cfg.SampleRate)
+	}
+	res := &RxResult{}
+	det, cost, err := DetectPreamble(rec, d.preamble, d.detector)
+	res.Cost.Add(cost)
+	res.DetectCost.Add(cost)
+	if err != nil {
+		return res, err
+	}
+	res.Detection = det
+
+	numSymbols := d.cfg.NumSymbols(numBits)
+	base := det.PreambleStart + d.cfg.PreambleLen + d.cfg.PostPreambleGuard
+	bits := make([]byte, 0, numSymbols*d.cfg.BitsPerSymbol())
+	var psnrSum float64
+	var psnrCount int
+	drift := 0
+	for s := 0; s < numSymbols; s++ {
+		cpStart := base + s*d.cfg.SymbolLen() + drift
+		if d.FineSyncEnabled {
+			offset, _, syncCost := FineSync(rec.Samples, cpStart, d.cfg, d.FineSyncRange)
+			res.Cost.Add(syncCost)
+			res.DecodeCost.Add(syncCost)
+			cpStart += offset
+			// Clock drift accumulates across symbols, but a spurious
+			// offset must not derail the rest of the frame: cap the
+			// cumulative correction at one cyclic prefix.
+			drift += offset
+			if drift > d.cfg.CPLen {
+				drift = d.cfg.CPLen
+			} else if drift < -d.cfg.CPLen {
+				drift = -d.cfg.CPLen
+			}
+			res.FineSyncOffsets = append(res.FineSyncOffsets, offset)
+		}
+		spectrum, err := d.symbolSpectrum(rec.Samples, cpStart, res)
+		if err != nil {
+			return res, fmt.Errorf("modem: symbol %d: %w", s, err)
+		}
+		if psnr, err := PilotSNR(spectrum, d.cfg); err == nil {
+			res.SymbolPSNR = append(res.SymbolPSNR, psnr)
+			psnrSum += psnr
+			psnrCount++
+		}
+		est, eqCost, err := EstimateChannel(spectrum, d.cfg, d.eqMethod)
+		res.Cost.Add(eqCost)
+		res.DecodeCost.Add(eqCost)
+		if err != nil {
+			return res, fmt.Errorf("modem: symbol %d: %w", s, err)
+		}
+		points, eqCost2, err := Equalize(spectrum, est, d.cfg)
+		res.Cost.Add(eqCost2)
+		res.DecodeCost.Add(eqCost2)
+		if err != nil {
+			return res, fmt.Errorf("modem: symbol %d: %w", s, err)
+		}
+		res.Points = append(res.Points, points...)
+		symBits, err := d.cfg.Modulation.Demap(points)
+		if err != nil {
+			return res, fmt.Errorf("modem: symbol %d: %w", s, err)
+		}
+		demapOps := int64(len(points) * (1 << d.cfg.Modulation.BitsPerSymbol()))
+		res.Cost.ScalarOps += demapOps
+		res.DecodeCost.ScalarOps += demapOps
+		bits = append(bits, symBits...)
+	}
+	if len(bits) < numBits {
+		return res, fmt.Errorf("modem: decoded %d bits, need %d", len(bits), numBits)
+	}
+	res.Bits = bits[:numBits]
+	if psnrCount > 0 {
+		res.PSNR = psnrSum / float64(psnrCount)
+		res.PSNRdB = dsp.DB(res.PSNR)
+		res.EbN0dB = EbN0FromPSNR(res.PSNR, d.cfg)
+	}
+	return res, nil
+}
+
+// symbolSpectrum extracts one OFDM symbol body starting after the cyclic
+// prefix and transforms it to the frequency domain.
+func (d *Demodulator) symbolSpectrum(samples []float64, cpStart int, res *RxResult) ([]complex128, error) {
+	bodyStart := cpStart + d.cfg.CPLen
+	bodyEnd := bodyStart + d.cfg.FFTSize
+	if bodyStart < 0 || bodyEnd > len(samples) {
+		return nil, fmt.Errorf("symbol body [%d, %d) outside recording of %d samples", bodyStart, bodyEnd, len(samples))
+	}
+	buf := make([]complex128, d.cfg.FFTSize)
+	for i := 0; i < d.cfg.FFTSize; i++ {
+		buf[i] = complex(samples[bodyStart+i], 0)
+	}
+	if err := d.plan.Forward(buf, buf); err != nil {
+		return nil, err
+	}
+	res.Cost.FFTButterflies += fftCost(d.cfg.FFTSize)
+	res.DecodeCost.FFTButterflies += fftCost(d.cfg.FFTSize)
+	return buf, nil
+}
+
+// ProbeAnalysis is the receiver-side result of the RTS/CTS channel-probing
+// phase (Sec. III "Channel probing and sub-channel selection"): per-bin
+// ambient noise power, per-bin channel gain observed on the block pilot
+// symbol, the pilot SNR, and the delay-spread NLOS verdict inputs.
+type ProbeAnalysis struct {
+	Detection *Detection
+	// NoisePower maps every in-band bin to the ambient noise power
+	// measured on the pre-signal recording head. Long-lived interferers
+	// (AC hum, jammer tones) show up here.
+	NoisePower map[int]float64
+	// ChannelGain maps every probed bin to |H(k)| observed on the block
+	// pilot symbol; dead bins (e.g. above the watch low-pass) are near 0.
+	ChannelGain map[int]float64
+	PSNR        float64 // linear pilot SNR of the probe symbol
+	PSNRdB      float64
+	EbN0dB      float64
+	// DelayProfile and RMSDelaySpread support NLOS detection (see nlos.go).
+	DelayProfile   []float64
+	RMSDelaySpread float64 // seconds
+	Cost           Cost
+}
+
+// AnalyzeProbe processes a recorded probe frame (built by
+// Modulator.ProbeSymbol).
+func (d *Demodulator) AnalyzeProbe(rec *audio.Buffer) (*ProbeAnalysis, error) {
+	if rec.Rate != d.cfg.SampleRate {
+		return nil, fmt.Errorf("modem: recording rate %d does not match modem rate %d", rec.Rate, d.cfg.SampleRate)
+	}
+	pa := &ProbeAnalysis{}
+	det, cost, err := DetectPreamble(rec, d.preamble, d.detector)
+	pa.Cost.Add(cost)
+	if err != nil {
+		return pa, err
+	}
+	pa.Detection = det
+
+	// Ambient noise spectrum from the recording head.
+	ambient, err := AmbientSegment(rec, det)
+	if err != nil {
+		return pa, err
+	}
+	noise, noiseCost, err := d.averageBinPower(ambient.Samples)
+	pa.Cost.Add(noiseCost)
+	if err != nil {
+		return pa, fmt.Errorf("modem: ambient noise analysis: %w", err)
+	}
+	pa.NoisePower = noise
+
+	// Probe symbol spectrum: fine-sync, FFT, per-bin gain, pilot SNR.
+	cpStart := det.PreambleStart + d.cfg.PreambleLen + d.cfg.PostPreambleGuard
+	if d.FineSyncEnabled {
+		offset, _, syncCost := FineSync(rec.Samples, cpStart, d.cfg, d.FineSyncRange)
+		pa.Cost.Add(syncCost)
+		cpStart += offset
+	}
+	dummy := &RxResult{}
+	spectrum, err := d.symbolSpectrum(rec.Samples, cpStart, dummy)
+	pa.Cost.Add(dummy.Cost)
+	if err != nil {
+		return pa, fmt.Errorf("modem: probe symbol: %w", err)
+	}
+	pa.ChannelGain = make(map[int]float64, len(d.cfg.DataChannels)+len(d.cfg.PilotChannels))
+	for _, k := range append(append([]int(nil), d.cfg.DataChannels...), d.cfg.PilotChannels...) {
+		pa.ChannelGain[k] = cmplx.Abs(spectrum[k])
+	}
+	if psnr, err := PilotSNR(spectrum, d.cfg); err == nil {
+		pa.PSNR = psnr
+		pa.PSNRdB = dsp.DB(psnr)
+		pa.EbN0dB = EbN0FromPSNR(psnr, d.cfg)
+	}
+
+	// Delay profile of the preamble for NLOS detection.
+	profile, profCost, err := PreambleDelayProfile(rec, d.preamble, det)
+	pa.Cost.Add(profCost)
+	if err != nil {
+		return pa, fmt.Errorf("modem: delay profile: %w", err)
+	}
+	pa.DelayProfile = profile
+	pa.RMSDelaySpread = RMSDelaySpread(profile, d.cfg.SampleRate)
+	return pa, nil
+}
+
+// averageBinPower estimates per-bin noise power by averaging FFT window
+// powers over a noise-only segment. Bins outside the pilot span are
+// skipped; at least one full window is required.
+func (d *Demodulator) averageBinPower(samples []float64) (map[int]float64, Cost, error) {
+	var cost Cost
+	n := d.cfg.FFTSize
+	if len(samples) < n {
+		return nil, cost, fmt.Errorf("noise segment of %d samples shorter than one FFT window (%d)", len(samples), n)
+	}
+	pilots := d.cfg.sortedPilots()
+	lo, hi := pilots[0], pilots[len(pilots)-1]
+	acc := make(map[int]float64, hi-lo+1)
+	windows := 0
+	buf := make([]complex128, n)
+	for start := 0; start+n <= len(samples); start += n {
+		for i := 0; i < n; i++ {
+			buf[i] = complex(samples[start+i], 0)
+		}
+		if err := d.plan.Forward(buf, buf); err != nil {
+			return nil, cost, err
+		}
+		cost.FFTButterflies += fftCost(n)
+		for k := lo; k <= hi; k++ {
+			v := buf[k]
+			acc[k] += real(v)*real(v) + imag(v)*imag(v)
+		}
+		windows++
+	}
+	for k := range acc {
+		acc[k] /= float64(windows)
+	}
+	return acc, cost, nil
+}
+
+// EVM returns the RMS error-vector magnitude of equalized points against
+// the ideal constellation of the configured modulation, a quality metric
+// used in diagnostics and tests.
+func EVM(points []complex128, mod Modulation) (float64, error) {
+	if len(points) == 0 {
+		return 0, fmt.Errorf("modem: EVM of empty point set")
+	}
+	bits, err := mod.Demap(points)
+	if err != nil {
+		return 0, err
+	}
+	ideal, err := mod.Map(bits)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for i := range points {
+		d := points[i] - ideal[i]
+		sum += real(d)*real(d) + imag(d)*imag(d)
+	}
+	return math.Sqrt(sum / float64(len(points))), nil
+}

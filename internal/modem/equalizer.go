@@ -1,0 +1,156 @@
+package modem
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"wearlock/internal/dsp"
+)
+
+// EqualizerMethod selects how the pilot-tone channel estimate is expanded
+// to the data sub-channels. The paper uses FFT-based interpolation
+// (Sec. III-6); the alternatives exist for the ablation benchmarks.
+type EqualizerMethod int
+
+// Supported equalizer interpolation methods.
+const (
+	EqualizeFFTInterp EqualizerMethod = iota + 1 // paper's method
+	EqualizeLinear                               // linear interpolation ablation
+	EqualizeNearest                              // nearest-pilot ablation
+	EqualizeNone                                 // no equalization ablation
+)
+
+// String implements fmt.Stringer.
+func (e EqualizerMethod) String() string {
+	switch e {
+	case EqualizeFFTInterp:
+		return "fft-interpolation"
+	case EqualizeLinear:
+		return "linear"
+	case EqualizeNearest:
+		return "nearest-pilot"
+	case EqualizeNone:
+		return "none"
+	default:
+		return fmt.Sprintf("EqualizerMethod(%d)", int(e))
+	}
+}
+
+// ChannelEstimate holds the frequency response estimated from one OFDM
+// symbol's pilots, covering the contiguous bin range [FirstBin,
+// FirstBin+len(H)).
+type ChannelEstimate struct {
+	FirstBin int
+	H        []complex128
+}
+
+// At returns the channel response at bin k.
+func (c *ChannelEstimate) At(k int) (complex128, error) {
+	idx := k - c.FirstBin
+	if idx < 0 || idx >= len(c.H) {
+		return 0, fmt.Errorf("modem: bin %d outside channel estimate [%d, %d)", k, c.FirstBin, c.FirstBin+len(c.H))
+	}
+	return c.H[idx], nil
+}
+
+// EstimateChannel extracts the pilot tones from a demodulated spectrum and
+// interpolates them to a full channel estimate over the pilot span. The
+// transmitted pilots are the known unit-power values from pilotValue, so
+// H(k) = z(k) / pilot(k) = z(k) * pilot(k) for our +/-1 pilots.
+func EstimateChannel(spectrum []complex128, cfg Config, method EqualizerMethod) (*ChannelEstimate, Cost, error) {
+	var cost Cost
+	pilots := cfg.sortedPilots()
+	observed := make([]complex128, len(pilots))
+	for i, k := range pilots {
+		if k >= len(spectrum) {
+			return nil, cost, fmt.Errorf("modem: pilot bin %d outside spectrum of %d bins", k, len(spectrum))
+		}
+		observed[i] = spectrum[k] * pilotValue(k) // divide by +/-1 pilot
+	}
+	first := pilots[0]
+	span := pilots[len(pilots)-1] - first + 1
+	spacing := pilots[1] - pilots[0]
+
+	switch method {
+	case EqualizeFFTInterp:
+		// Expand the P equally spaced pilots to P*spacing points by
+		// band-limited interpolation; both sizes are powers of two with
+		// the default layout (8 pilots, spacing 4 -> 32 points).
+		target := len(observed) * spacing
+		interp, err := dsp.InterpolateFFT(observed, target)
+		if err != nil {
+			return nil, cost, fmt.Errorf("modem: pilot interpolation: %w", err)
+		}
+		cost.FFTButterflies += fftCost(len(observed)) + fftCost(target)
+		if len(interp) < span {
+			return nil, cost, fmt.Errorf("modem: interpolated estimate of %d bins does not cover span %d", len(interp), span)
+		}
+		return &ChannelEstimate{FirstBin: first, H: interp[:span]}, cost, nil
+
+	case EqualizeLinear:
+		positions := make([]int, len(pilots))
+		for i, k := range pilots {
+			positions[i] = k - first
+		}
+		h, err := dsp.InterpolateLinearComplex(positions, observed, span)
+		if err != nil {
+			return nil, cost, fmt.Errorf("modem: linear pilot interpolation: %w", err)
+		}
+		cost.ScalarOps += int64(span)
+		return &ChannelEstimate{FirstBin: first, H: h}, cost, nil
+
+	case EqualizeNearest:
+		positions := make([]int, len(pilots))
+		for i, k := range pilots {
+			positions[i] = k - first
+		}
+		h, err := dsp.NearestComplex(positions, observed, span)
+		if err != nil {
+			return nil, cost, fmt.Errorf("modem: nearest pilot interpolation: %w", err)
+		}
+		cost.ScalarOps += int64(span * len(pilots))
+		return &ChannelEstimate{FirstBin: first, H: h}, cost, nil
+
+	case EqualizeNone:
+		// Flat unit channel scaled by the mean pilot magnitude, so the
+		// overall gain is still tracked but per-bin distortion is not.
+		var mean complex128
+		for _, v := range observed {
+			mean += v
+		}
+		mean /= complex(float64(len(observed)), 0)
+		h := make([]complex128, span)
+		for i := range h {
+			h[i] = mean
+		}
+		cost.ScalarOps += int64(len(observed))
+		return &ChannelEstimate{FirstBin: first, H: h}, cost, nil
+
+	default:
+		return nil, cost, fmt.Errorf("modem: unknown equalizer method %d", int(method))
+	}
+}
+
+// Equalize divides the received data-channel observations by the channel
+// estimate, returning one complex point per configured data channel:
+// s_hat(k) = z(k) / H(k) (Sec. III-6).
+func Equalize(spectrum []complex128, est *ChannelEstimate, cfg Config) ([]complex128, Cost, error) {
+	var cost Cost
+	out := make([]complex128, len(cfg.DataChannels))
+	for i, k := range cfg.DataChannels {
+		if k >= len(spectrum) {
+			return nil, cost, fmt.Errorf("modem: data bin %d outside spectrum", k)
+		}
+		h, err := est.At(k)
+		if err != nil {
+			return nil, cost, err
+		}
+		if h == 0 || cmplx.IsNaN(h) {
+			out[i] = 0
+			continue
+		}
+		out[i] = spectrum[k] / h
+	}
+	cost.ScalarOps += int64(len(out))
+	return out, cost, nil
+}

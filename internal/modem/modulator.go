@@ -1,0 +1,180 @@
+package modem
+
+import (
+	"fmt"
+	"math"
+
+	"wearlock/internal/audio"
+	"wearlock/internal/dsp"
+)
+
+// Modulator converts payload bits into an acoustic OFDM frame:
+//
+//	[ chirp preamble | guard | symbol 1 | ... | symbol n ]
+//
+// where each symbol is [ cyclic prefix | IFFT body | zero guard ]. Pilot
+// sub-channels carry known unit-power tones; the base-band IFFT output's
+// real part is emitted directly as the speaker waveform (Sec. III-1).
+type Modulator struct {
+	cfg      Config
+	plan     *dsp.Plan
+	preamble *audio.Buffer
+}
+
+// NewModulator validates the configuration and precomputes the FFT plan
+// and preamble waveform.
+func NewModulator(cfg Config) (*Modulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	plan, err := dsp.NewPlan(cfg.FFTSize)
+	if err != nil {
+		return nil, err
+	}
+	preamble, err := Preamble(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Modulator{cfg: cfg, plan: plan, preamble: preamble}, nil
+}
+
+// Config returns the modulator's configuration.
+func (m *Modulator) Config() Config { return m.cfg }
+
+// Preamble synthesizes the frame preamble: an LFM chirp sweeping the
+// configured band, edge-faded against the speaker rise effect.
+func Preamble(cfg Config) (*audio.Buffer, error) {
+	low, high := cfg.BandEdges()
+	return audio.Chirp(audio.ChirpConfig{
+		StartHz:    low,
+		EndHz:      high,
+		Samples:    cfg.PreambleLen,
+		SampleRate: cfg.SampleRate,
+		Amplitude:  1,
+		FadeLen:    cfg.PreambleLen / 16,
+	})
+}
+
+// PreambleWaveform returns a copy of the precomputed preamble.
+func (m *Modulator) PreambleWaveform() *audio.Buffer {
+	return m.preamble.Clone()
+}
+
+// Modulate builds the full frame waveform for the given payload bits
+// (values 0/1). Bits that do not fill the last OFDM symbol are padded with
+// zeros.
+func (m *Modulator) Modulate(bits []byte) (*audio.Buffer, error) {
+	if len(bits) == 0 {
+		return nil, fmt.Errorf("modem: empty payload")
+	}
+	numSymbols := m.cfg.NumSymbols(len(bits))
+	frame, err := audio.NewBuffer(m.cfg.SampleRate, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := frame.Append(m.preamble); err != nil {
+		return nil, err
+	}
+	frame.AppendSilence(m.cfg.PostPreambleGuard)
+
+	padded := make([]byte, numSymbols*m.cfg.BitsPerSymbol())
+	copy(padded, bits)
+	bitsPerOFDM := m.cfg.BitsPerSymbol()
+	for s := 0; s < numSymbols; s++ {
+		symbolBits := padded[s*bitsPerOFDM : (s+1)*bitsPerOFDM]
+		wave, err := m.modulateSymbol(symbolBits)
+		if err != nil {
+			return nil, fmt.Errorf("modem: symbol %d: %w", s, err)
+		}
+		frame.AppendSamples(wave)
+		frame.AppendSilence(m.cfg.SymbolGuard)
+	}
+	return frame, nil
+}
+
+// ProbeSymbol builds the RTS channel-probing frame: the preamble followed
+// by one block-type pilot symbol in which every pilot AND data sub-channel
+// carries a known unit-power pilot. The receiver uses it for sub-channel
+// noise ranking and pilot-SNR estimation (Sec. III "Channel probing").
+func (m *Modulator) ProbeSymbol() (*audio.Buffer, error) {
+	frame, err := audio.NewBuffer(m.cfg.SampleRate, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := frame.Append(m.preamble); err != nil {
+		return nil, err
+	}
+	frame.AppendSilence(m.cfg.PostPreambleGuard)
+	spec := make([]complex128, m.cfg.FFTSize)
+	for _, k := range m.cfg.PilotChannels {
+		spec[k] = pilotValue(k)
+	}
+	for _, k := range m.cfg.DataChannels {
+		spec[k] = pilotValue(k)
+	}
+	wave, err := m.synthesize(spec)
+	if err != nil {
+		return nil, err
+	}
+	frame.AppendSamples(wave)
+	frame.AppendSilence(m.cfg.SymbolGuard)
+	return frame, nil
+}
+
+// modulateSymbol maps one OFDM symbol's bits onto the data sub-channels,
+// inserts pilots, and synthesizes the time-domain waveform.
+func (m *Modulator) modulateSymbol(bits []byte) ([]float64, error) {
+	points, err := m.cfg.Modulation.Map(bits)
+	if err != nil {
+		return nil, err
+	}
+	if len(points) != len(m.cfg.DataChannels) {
+		return nil, fmt.Errorf("modem: %d constellation points for %d data channels", len(points), len(m.cfg.DataChannels))
+	}
+	spec := make([]complex128, m.cfg.FFTSize)
+	for i, k := range m.cfg.DataChannels {
+		spec[k] = points[i]
+	}
+	for _, k := range m.cfg.PilotChannels {
+		spec[k] = pilotValue(k)
+	}
+	return m.synthesize(spec)
+}
+
+// synthesize converts a sub-channel spectrum into the on-wire symbol:
+// IFFT, take the real part, prepend the cyclic prefix, fade the edges.
+func (m *Modulator) synthesize(spec []complex128) ([]float64, error) {
+	timeDomain := make([]complex128, m.cfg.FFTSize)
+	if err := m.plan.Inverse(timeDomain, spec); err != nil {
+		return nil, err
+	}
+	body := make([]float64, m.cfg.FFTSize)
+	var peak float64
+	for i, v := range timeDomain {
+		body[i] = real(v)
+		if a := math.Abs(body[i]); a > peak {
+			peak = a
+		}
+	}
+	// Normalize the symbol so its peak is comparable across modulations;
+	// the link applies the actual speaker drive level.
+	if peak > 0 {
+		for i := range body {
+			body[i] /= peak
+		}
+	}
+	out := make([]float64, 0, m.cfg.CPLen+len(body))
+	out = append(out, body[len(body)-m.cfg.CPLen:]...) // cyclic prefix
+	out = append(out, body...)
+	return out, nil
+}
+
+// pilotValue returns the known unit-power pilot for sub-channel k. Phases
+// alternate with the bin index to keep the time-domain peak-to-average
+// power ratio low.
+func pilotValue(k int) complex128 {
+	if k%2 == 0 {
+		return 1
+	}
+	return -1
+}

@@ -1,0 +1,82 @@
+package modem_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"wearlock/internal/acoustic"
+	"wearlock/internal/modem"
+)
+
+func TestUltrasoundConfigValidation(t *testing.T) {
+	if _, err := modem.UltrasoundConfig(44100, modem.QPSK); err == nil {
+		t.Error("accepted 44.1 kHz for the ultrasound band")
+	}
+	cfg, err := modem.UltrasoundConfig(96000, modem.QPSK)
+	if err != nil {
+		t.Fatalf("UltrasoundConfig: %v", err)
+	}
+	low, high := cfg.BandEdges()
+	if low < 20000 {
+		t.Errorf("band starts at %.0f Hz — audible to young ears", low)
+	}
+	if high > 48000*0.98 {
+		t.Errorf("band ends at %.0f Hz — above usable Nyquist margin", high)
+	}
+	// Wider sub-channels than the 44.1 kHz configuration.
+	base := modem.DefaultConfig(modem.BandAudible, modem.QPSK)
+	if cfg.SubChannelBandwidthHz() <= base.SubChannelBandwidthHz() {
+		t.Errorf("96 kHz sub-channel bandwidth %.1f Hz not above the 44.1 kHz %.1f Hz",
+			cfg.SubChannelBandwidthHz(), base.SubChannelBandwidthHz())
+	}
+	if cfg.DataRate() <= base.DataRate() {
+		t.Errorf("96 kHz data rate %.0f not above 44.1 kHz %.0f", cfg.DataRate(), base.DataRate())
+	}
+}
+
+// A 96 kHz phone-phone pair must round-trip through the channel simulator
+// in the fully inaudible band — the paper's anticipated upgrade path.
+func TestUltrasound96kRoundTrip(t *testing.T) {
+	cfg, err := modem.UltrasoundConfig(96000, modem.QPSK)
+	if err != nil {
+		t.Fatalf("UltrasoundConfig: %v", err)
+	}
+	mod, err := modem.NewModulator(cfg)
+	if err != nil {
+		t.Fatalf("NewModulator: %v", err)
+	}
+	demod, err := modem.NewDemodulator(cfg)
+	if err != nil {
+		t.Fatalf("NewDemodulator: %v", err)
+	}
+	var sum float64
+	const trials = 3
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(30 + int64(trial)))
+		link, err := acoustic.NewLink(cfg.SampleRate, 0.2, acoustic.PhoneSpeaker(), acoustic.PhoneMic(), acoustic.Office(), rng)
+		if err != nil {
+			t.Fatalf("NewLink: %v", err)
+		}
+		bits := modem.RandomBits(240, rng)
+		frame, err := mod.Modulate(bits)
+		if err != nil {
+			t.Fatalf("Modulate: %v", err)
+		}
+		rec, err := link.Transmit(frame, 70)
+		if err != nil {
+			t.Fatalf("Transmit: %v", err)
+		}
+		rx, err := demod.Demodulate(rec, len(bits))
+		if err != nil {
+			t.Fatalf("Demodulate: %v", err)
+		}
+		ber, err := modem.BER(rx.Bits, bits)
+		if err != nil {
+			t.Fatalf("BER: %v", err)
+		}
+		sum += ber
+	}
+	if avg := sum / trials; avg > 0.08 {
+		t.Errorf("96 kHz ultrasound BER %.4f at 20 cm, want <= 0.08", avg)
+	}
+}

@@ -1,0 +1,279 @@
+package otp
+
+import (
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// RFC 4226 Appendix D test vectors for the 20-byte ASCII key
+// "12345678901234567890".
+var _rfc4226Key = []byte("12345678901234567890")
+
+func TestTokenRFC4226Vectors(t *testing.T) {
+	// Full 31-bit truncated values from RFC 4226 Appendix D.
+	want := []uint32{
+		1284755224, 1094287082, 137359152, 1726969429, 1640338314,
+		868254676, 1918287922, 82162583, 673399871, 645520489,
+	}
+	for counter, expected := range want {
+		got, err := Token(_rfc4226Key, uint64(counter))
+		if err != nil {
+			t.Fatalf("Token(%d): %v", counter, err)
+		}
+		if got != expected {
+			t.Errorf("Token(%d) = %d, want %d", counter, got, expected)
+		}
+	}
+}
+
+func TestDigitsRFC4226Vectors(t *testing.T) {
+	want := []string{
+		"755224", "287082", "359152", "969429", "338314",
+		"254676", "287922", "162583", "399871", "520489",
+	}
+	for counter, expected := range want {
+		token, err := Token(_rfc4226Key, uint64(counter))
+		if err != nil {
+			t.Fatalf("Token(%d): %v", counter, err)
+		}
+		got, err := Digits(token, 6)
+		if err != nil {
+			t.Fatalf("Digits: %v", err)
+		}
+		if got != expected {
+			t.Errorf("Digits(Token(%d)) = %s, want %s", counter, got, expected)
+		}
+	}
+}
+
+func TestDigitsValidation(t *testing.T) {
+	if _, err := Digits(123, 0); err == nil {
+		t.Error("Digits accepted 0 digits")
+	}
+	if _, err := Digits(123, 10); err == nil {
+		t.Error("Digits accepted 10 digits")
+	}
+	got, err := Digits(42, 6)
+	if err != nil {
+		t.Fatalf("Digits: %v", err)
+	}
+	if got != "000042" {
+		t.Errorf("Digits(42, 6) = %s, want 000042 (zero padded)", got)
+	}
+}
+
+func TestTokenEmptyKey(t *testing.T) {
+	if _, err := Token(nil, 0); err == nil {
+		t.Error("Token accepted empty key")
+	}
+}
+
+func TestTokenBitsRoundTrip(t *testing.T) {
+	f := func(token uint32) bool {
+		token &= 0x7fffffff // HOTP tokens have the top bit clear
+		bits := TokenBits(token)
+		if len(bits) != BitLength {
+			return false
+		}
+		got, err := TokenFromBits(bits)
+		return err == nil && got == token
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenFromBitsValidation(t *testing.T) {
+	if _, err := TokenFromBits(make([]byte, 31)); err == nil {
+		t.Error("TokenFromBits accepted short input")
+	}
+	bad := make([]byte, BitLength)
+	bad[5] = 2
+	if _, err := TokenFromBits(bad); err == nil {
+		t.Error("TokenFromBits accepted bit value 2")
+	}
+}
+
+func TestGenerateKey(t *testing.T) {
+	a, err := GenerateKey()
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	b, err := GenerateKey()
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	if len(a) != KeySize {
+		t.Errorf("key length %d, want %d", len(a), KeySize)
+	}
+	if hex.EncodeToString(a) == hex.EncodeToString(b) {
+		t.Error("two generated keys are identical")
+	}
+}
+
+func TestVerifierAcceptsAndAdvances(t *testing.T) {
+	gen, err := NewGenerator(_rfc4226Key, 0)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	ver, err := NewVerifier(_rfc4226Key, 0)
+	if err != nil {
+		t.Fatalf("NewVerifier: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		token, err := gen.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		ok, err := ver.Verify(token)
+		if err != nil {
+			t.Fatalf("Verify: %v", err)
+		}
+		if !ok {
+			t.Fatalf("round %d: valid token rejected", i)
+		}
+	}
+	if got := ver.Counter(); got != 5 {
+		t.Errorf("verifier counter = %d, want 5", got)
+	}
+}
+
+// A verified token must not verify twice — the core replay defense.
+func TestVerifierRejectsReplay(t *testing.T) {
+	gen, _ := NewGenerator(_rfc4226Key, 0)
+	ver, _ := NewVerifier(_rfc4226Key, 0)
+	token, _ := gen.Next()
+	if ok, _ := ver.Verify(token); !ok {
+		t.Fatal("fresh token rejected")
+	}
+	if ok, _ := ver.Verify(token); ok {
+		t.Fatal("replayed token accepted")
+	}
+}
+
+func TestVerifierLookAhead(t *testing.T) {
+	gen, _ := NewGenerator(_rfc4226Key, 0)
+	ver, _ := NewVerifier(_rfc4226Key, 0)
+	// Skip three generations (transmissions the watch never decoded).
+	for i := 0; i < 3; i++ {
+		if _, err := gen.Next(); err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+	}
+	token, _ := gen.Next() // counter 3, inside the default look-ahead of 4
+	if ok, _ := ver.Verify(token); !ok {
+		t.Fatal("token within look-ahead window rejected")
+	}
+	if got := ver.Counter(); got != 4 {
+		t.Errorf("counter after resync = %d, want 4", got)
+	}
+}
+
+func TestVerifierBeyondLookAhead(t *testing.T) {
+	gen, _ := NewGenerator(_rfc4226Key, 0)
+	ver, _ := NewVerifier(_rfc4226Key, 0)
+	if err := ver.SetLookAhead(1); err != nil {
+		t.Fatalf("SetLookAhead: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := gen.Next(); err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+	}
+	token, _ := gen.Next() // counter 3, outside look-ahead 1
+	if ok, _ := ver.Verify(token); ok {
+		t.Fatal("token beyond look-ahead window accepted")
+	}
+	if err := ver.SetLookAhead(-1); err == nil {
+		t.Error("SetLookAhead accepted negative window")
+	}
+}
+
+// Three consecutive failures must lock the verifier out (Sec. IV "Brutal
+// Force Attack"), and a success before the third failure must reset the
+// count.
+func TestVerifierLockout(t *testing.T) {
+	ver, _ := NewVerifier(_rfc4226Key, 0)
+	bogus := uint32(0x12345678)
+	for i := 0; i < DefaultMaxFailures; i++ {
+		if ver.LockedOut() {
+			t.Fatalf("locked out after only %d failures", i)
+		}
+		if ok, err := ver.Verify(bogus); ok || err != nil {
+			t.Fatalf("bogus token accepted or errored: %v", err)
+		}
+	}
+	if !ver.LockedOut() {
+		t.Fatal("not locked out after max failures")
+	}
+	if _, err := ver.Verify(bogus); err != ErrLockedOut {
+		t.Fatalf("Verify while locked out returned %v, want ErrLockedOut", err)
+	}
+	// Reset restores service.
+	ver.Reset(0)
+	gen, _ := NewGenerator(_rfc4226Key, 0)
+	token, _ := gen.Next()
+	if ok, _ := ver.Verify(token); !ok {
+		t.Fatal("valid token rejected after reset")
+	}
+}
+
+func TestVerifierFailureCountResets(t *testing.T) {
+	gen, _ := NewGenerator(_rfc4226Key, 0)
+	ver, _ := NewVerifier(_rfc4226Key, 0)
+	if ok, _ := ver.Verify(0x7fffffff); ok {
+		t.Fatal("bogus token accepted")
+	}
+	if got := ver.Failures(); got != 1 {
+		t.Fatalf("failures = %d, want 1", got)
+	}
+	token, _ := gen.Next()
+	if ok, _ := ver.Verify(token); !ok {
+		t.Fatal("valid token rejected")
+	}
+	if got := ver.Failures(); got != 0 {
+		t.Errorf("failures after success = %d, want 0", got)
+	}
+}
+
+// Property: tokens for distinct counters under the same key are (nearly
+// always) distinct — the uniform distribution claim the paper relies on.
+func TestTokenDistribution(t *testing.T) {
+	seen := make(map[uint32]bool)
+	collisions := 0
+	const n = 2000
+	for c := uint64(0); c < n; c++ {
+		tok, err := Token(_rfc4226Key, c)
+		if err != nil {
+			t.Fatalf("Token: %v", err)
+		}
+		if seen[tok] {
+			collisions++
+		}
+		seen[tok] = true
+	}
+	// Birthday bound for 2000 draws from 2^31 is ~0.1% — allow a couple.
+	if collisions > 2 {
+		t.Errorf("%d token collisions in %d draws", collisions, n)
+	}
+}
+
+func TestGeneratorCounter(t *testing.T) {
+	gen, _ := NewGenerator(_rfc4226Key, 7)
+	if got := gen.Counter(); got != 7 {
+		t.Errorf("Counter() = %d, want 7", got)
+	}
+	if _, err := gen.Next(); err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if got := gen.Counter(); got != 8 {
+		t.Errorf("Counter() after Next = %d, want 8", got)
+	}
+	if _, err := NewGenerator(nil, 0); err == nil {
+		t.Error("NewGenerator accepted empty key")
+	}
+	if _, err := NewVerifier(nil, 0); err == nil {
+		t.Error("NewVerifier accepted empty key")
+	}
+}

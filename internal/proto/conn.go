@@ -1,0 +1,196 @@
+package proto
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"wearlock/internal/audio"
+	"wearlock/internal/core"
+	"wearlock/internal/wireless"
+)
+
+// Conn is one endpoint of a bidirectional control-channel connection
+// between the phone and watch agents. Messages are framed with
+// Message.Encode, carried over in-memory channels, and each Send reports
+// the simulated radio latency of the underlying wireless link so agents
+// can account protocol time without sleeping.
+type Conn struct {
+	name string
+	link *wireless.Link
+	out  chan<- []byte
+	in   <-chan []byte
+
+	mu      sync.Mutex
+	simTime time.Duration // accumulated simulated radio time at this endpoint
+	closed  bool
+	closeCh chan struct{}
+}
+
+// Pair creates the two connected endpoints over one wireless link.
+func Pair(link *wireless.Link) (phone, watch *Conn) {
+	a := make(chan []byte, 32)
+	b := make(chan []byte, 32)
+	closeCh := make(chan struct{})
+	phone = &Conn{name: "phone", link: link, out: a, in: b, closeCh: closeCh}
+	watch = &Conn{name: "watch", link: link, out: b, in: a, closeCh: closeCh}
+	return phone, watch
+}
+
+// Send frames and transmits a message, returning the simulated latency
+// charged to the radio.
+func (c *Conn) Send(ctx context.Context, msg *Message) (time.Duration, error) {
+	data, err := msg.Encode()
+	if err != nil {
+		return 0, err
+	}
+	var latency time.Duration
+	// Bulk payloads ride the ChannelAPI (file transfer); control
+	// messages ride the MessageAPI.
+	if len(data) > 4096 {
+		latency, err = c.link.TransferFile(len(data))
+	} else {
+		latency, err = c.link.SendMessage(len(data))
+	}
+	if err != nil {
+		return 0, fmt.Errorf("proto: %s send %s: %w", c.name, msg.Type, err)
+	}
+	c.mu.Lock()
+	c.simTime += latency
+	c.mu.Unlock()
+	select {
+	case c.out <- data:
+		return latency, nil
+	case <-c.closeCh:
+		return 0, fmt.Errorf("proto: %s send %s: connection closed", c.name, msg.Type)
+	case <-ctx.Done():
+		return 0, fmt.Errorf("proto: %s send %s: %w", c.name, msg.Type, ctx.Err())
+	}
+}
+
+// Recv blocks for the next message or context cancellation.
+func (c *Conn) Recv(ctx context.Context) (*Message, error) {
+	select {
+	case data, ok := <-c.in:
+		if !ok {
+			return nil, fmt.Errorf("proto: %s recv: connection closed", c.name)
+		}
+		msg, err := Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("proto: %s recv: %w", c.name, err)
+		}
+		return msg, nil
+	case <-c.closeCh:
+		return nil, fmt.Errorf("proto: %s recv: connection closed", c.name)
+	case <-ctx.Done():
+		return nil, fmt.Errorf("proto: %s recv: %w", c.name, ctx.Err())
+	}
+}
+
+// PeerAbortError reports that the remote side aborted the session. The
+// receiver must not answer it with another abort.
+type PeerAbortError struct {
+	Reason string
+}
+
+// Error implements error.
+func (e *PeerAbortError) Error() string {
+	return fmt.Sprintf("proto: peer aborted: %s", e.Reason)
+}
+
+// Expect receives the next message for the given session and checks its
+// type. Stragglers from earlier (lower-numbered) sessions are discarded —
+// an aborted session's tail must not poison the next one.
+func (c *Conn) Expect(ctx context.Context, session uint64, want MsgType) (*Message, error) {
+	for {
+		msg, err := c.Recv(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if msg.Session < session {
+			continue // stale message from a finished/aborted session
+		}
+		if msg.Session != session {
+			return nil, fmt.Errorf("proto: %s expected session %d, got %d", c.name, session, msg.Session)
+		}
+		if msg.Type == MsgAbort {
+			return nil, &PeerAbortError{Reason: DecodeAbortPayload(msg.Payload).Reason}
+		}
+		if msg.Type != want {
+			return nil, fmt.Errorf("proto: %s expected %s, got %s", c.name, want, msg.Type)
+		}
+		return msg, nil
+	}
+}
+
+// SimTime reports the simulated radio time accumulated at this endpoint.
+func (c *Conn) SimTime() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.simTime
+}
+
+// Close tears down both endpoints; pending and future operations fail.
+func (c *Conn) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		close(c.closeCh)
+	}
+}
+
+// Medium is the shared acoustic channel between the agents: the phone
+// plays frames into it, and the watch captures the receiver-side
+// recordings the channel simulator produces.
+type Medium struct {
+	path core.AcousticPath
+	rx   chan *audio.Buffer
+}
+
+// NewMedium wraps an acoustic path (honest or adversarial) as the shared
+// medium.
+func NewMedium(path core.AcousticPath) (*Medium, error) {
+	if path == nil {
+		return nil, fmt.Errorf("proto: medium requires an acoustic path")
+	}
+	return &Medium{path: path, rx: make(chan *audio.Buffer, 4)}, nil
+}
+
+// Play transmits a frame from the phone speaker; the watch-side recording
+// becomes available to Capture. It returns the on-air duration.
+func (m *Medium) Play(ctx context.Context, frame *audio.Buffer, volumeSPL float64) (time.Duration, error) {
+	rec, err := m.path.Transmit(frame, volumeSPL)
+	if err != nil {
+		return 0, fmt.Errorf("proto: acoustic transmission: %w", err)
+	}
+	onAir := time.Duration(rec.Duration() * float64(time.Second))
+	select {
+	case m.rx <- rec:
+		return onAir, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// Capture blocks for the next recording at the watch microphone.
+func (m *Medium) Capture(ctx context.Context) (*audio.Buffer, error) {
+	select {
+	case rec := <-m.rx:
+		return rec, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("proto: capture: %w", ctx.Err())
+	}
+}
+
+// ExtraLatency exposes the path's store-and-forward delay for the timing
+// window.
+func (m *Medium) ExtraLatency() time.Duration {
+	return m.path.ExtraLatency()
+}
+
+// NominalLeadIn exposes the recording head length for distance bounding.
+func (m *Medium) NominalLeadIn() int {
+	return m.path.NominalLeadIn()
+}

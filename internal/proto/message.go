@@ -1,0 +1,327 @@
+// Package proto implements WearLock's control-channel wire protocol and
+// runs the two WearLock Controllers of Fig. 1 as concurrent agents: a
+// phone agent that drives the two-phase unlocking protocol and a reactive
+// watch agent, exchanging typed, binary-encoded messages over a simulated
+// Bluetooth/WiFi connection and audio over a shared acoustic medium.
+//
+// internal/core executes the same protocol as a single deterministic
+// timeline for the performance experiments; this package is the
+// distributed implementation — goroutines, channels, timeouts, explicit
+// message framing — a deployment would actually run on two devices.
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// MsgType identifies a protocol message.
+type MsgType uint8
+
+// Protocol messages, in rough protocol order.
+const (
+	MsgStartProtocol MsgType = iota + 1 // phone -> watch: begin session, start phase-1 recording
+	MsgAckRecording                     // watch -> phone: recording + sensor capture started
+	MsgSensorData                       // watch -> phone: buffered accelerometer magnitudes
+	MsgProbeSent                        // phone -> watch: probe playback finished, process phase 1
+	MsgProbeAudio                       // watch -> phone: phase-1 recording (offload mode)
+	MsgCTSReport                        // watch -> phone: phase-1 analysis results (local mode)
+	MsgChannelConfig                    // phone -> watch: adapted channel config; start phase-2 recording
+	MsgTokenSent                        // phone -> watch: token playback finished
+	MsgTokenAudio                       // watch -> phone: phase-2 recording (offload mode)
+	MsgTokenResult                      // watch -> phone: decoded token bits (local mode)
+	MsgDecision                         // phone -> watch: final unlock decision
+	MsgAbort                            // either direction: session aborted
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MsgStartProtocol:
+		return "start-protocol"
+	case MsgAckRecording:
+		return "ack-recording"
+	case MsgSensorData:
+		return "sensor-data"
+	case MsgProbeSent:
+		return "probe-sent"
+	case MsgProbeAudio:
+		return "probe-audio"
+	case MsgCTSReport:
+		return "cts-report"
+	case MsgChannelConfig:
+		return "channel-config"
+	case MsgTokenSent:
+		return "token-sent"
+	case MsgTokenAudio:
+		return "token-audio"
+	case MsgTokenResult:
+		return "token-result"
+	case MsgDecision:
+		return "decision"
+	case MsgAbort:
+		return "abort"
+	default:
+		return fmt.Sprintf("MsgType(%d)", int(t))
+	}
+}
+
+// Wire framing constants.
+const (
+	_magic   = 0x574C // "WL"
+	_version = 1
+	// MaxPayload bounds a frame so a corrupted length field cannot drive
+	// a huge allocation. Audio clips (~1.5 s of 16-bit PCM) dominate.
+	MaxPayload = 4 << 20
+)
+
+// Message is one framed protocol message.
+type Message struct {
+	Type    MsgType
+	Session uint64 // session identifier, echoed by every message
+	Payload []byte // type-specific binary payload
+}
+
+// Encode frames the message:
+//
+//	magic(2) version(1) type(1) session(8) payloadLen(4) payload(...)
+func (m *Message) Encode() ([]byte, error) {
+	if len(m.Payload) > MaxPayload {
+		return nil, fmt.Errorf("proto: payload of %d bytes exceeds limit", len(m.Payload))
+	}
+	out := make([]byte, 16+len(m.Payload))
+	binary.BigEndian.PutUint16(out[0:2], _magic)
+	out[2] = _version
+	out[3] = byte(m.Type)
+	binary.BigEndian.PutUint64(out[4:12], m.Session)
+	binary.BigEndian.PutUint32(out[12:16], uint32(len(m.Payload)))
+	copy(out[16:], m.Payload)
+	return out, nil
+}
+
+// Decode parses a framed message, rejecting bad magic, unknown versions,
+// and truncated or oversized frames.
+func Decode(data []byte) (*Message, error) {
+	if len(data) < 16 {
+		return nil, fmt.Errorf("proto: frame of %d bytes shorter than header", len(data))
+	}
+	if binary.BigEndian.Uint16(data[0:2]) != _magic {
+		return nil, fmt.Errorf("proto: bad magic %#x", binary.BigEndian.Uint16(data[0:2]))
+	}
+	if data[2] != _version {
+		return nil, fmt.Errorf("proto: unsupported version %d", data[2])
+	}
+	payloadLen := binary.BigEndian.Uint32(data[12:16])
+	if payloadLen > MaxPayload {
+		return nil, fmt.Errorf("proto: declared payload %d exceeds limit", payloadLen)
+	}
+	if len(data) != 16+int(payloadLen) {
+		return nil, fmt.Errorf("proto: frame length %d does not match declared payload %d", len(data), payloadLen)
+	}
+	msg := &Message{
+		Type:    MsgType(data[3]),
+		Session: binary.BigEndian.Uint64(data[4:12]),
+	}
+	if payloadLen > 0 {
+		msg.Payload = make([]byte, payloadLen)
+		copy(msg.Payload, data[16:])
+	}
+	return msg, nil
+}
+
+// --- Typed payloads -----------------------------------------------------
+
+// SensorPayload carries the watch's buffered accelerometer magnitude trace.
+type SensorPayload struct {
+	Samples []float64
+}
+
+// Encode implements the payload wire format.
+func (p *SensorPayload) Encode() []byte {
+	out := make([]byte, 4+8*len(p.Samples))
+	binary.BigEndian.PutUint32(out[0:4], uint32(len(p.Samples)))
+	for i, v := range p.Samples {
+		binary.BigEndian.PutUint64(out[4+8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// DecodeSensorPayload parses a SensorPayload.
+func DecodeSensorPayload(data []byte) (*SensorPayload, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("proto: sensor payload too short")
+	}
+	n := binary.BigEndian.Uint32(data[0:4])
+	if int(n) > (MaxPayload-4)/8 || len(data) != 4+8*int(n) {
+		return nil, fmt.Errorf("proto: sensor payload length mismatch (%d samples, %d bytes)", n, len(data))
+	}
+	p := &SensorPayload{Samples: make([]float64, n)}
+	for i := range p.Samples {
+		p.Samples[i] = math.Float64frombits(binary.BigEndian.Uint64(data[4+8*i:]))
+	}
+	return p, nil
+}
+
+// AudioPayload ships a recording as 16-bit PCM — the ChannelAPI file
+// transfer of the offloading path.
+type AudioPayload struct {
+	Rate    uint32
+	Samples []int16
+}
+
+// AudioFromFloats quantizes float samples into an AudioPayload.
+func AudioFromFloats(rate int, samples []float64) *AudioPayload {
+	out := &AudioPayload{Rate: uint32(rate), Samples: make([]int16, len(samples))}
+	for i, v := range samples {
+		if v > 1 {
+			v = 1
+		} else if v < -1 {
+			v = -1
+		}
+		out.Samples[i] = int16(math.Round(v * 32767))
+	}
+	return out
+}
+
+// Floats expands the PCM back to float samples.
+func (p *AudioPayload) Floats() []float64 {
+	out := make([]float64, len(p.Samples))
+	for i, v := range p.Samples {
+		out[i] = float64(v) / 32767
+	}
+	return out
+}
+
+// Encode implements the payload wire format.
+func (p *AudioPayload) Encode() []byte {
+	out := make([]byte, 8+2*len(p.Samples))
+	binary.BigEndian.PutUint32(out[0:4], p.Rate)
+	binary.BigEndian.PutUint32(out[4:8], uint32(len(p.Samples)))
+	for i, v := range p.Samples {
+		binary.BigEndian.PutUint16(out[8+2*i:], uint16(v))
+	}
+	return out
+}
+
+// DecodeAudioPayload parses an AudioPayload.
+func DecodeAudioPayload(data []byte) (*AudioPayload, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("proto: audio payload too short")
+	}
+	rate := binary.BigEndian.Uint32(data[0:4])
+	n := binary.BigEndian.Uint32(data[4:8])
+	if rate == 0 {
+		return nil, fmt.Errorf("proto: audio payload has zero sample rate")
+	}
+	if int(n) > (MaxPayload-8)/2 || len(data) != 8+2*int(n) {
+		return nil, fmt.Errorf("proto: audio payload length mismatch (%d samples, %d bytes)", n, len(data))
+	}
+	p := &AudioPayload{Rate: rate, Samples: make([]int16, n)}
+	for i := range p.Samples {
+		p.Samples[i] = int16(binary.BigEndian.Uint16(data[8+2*i:]))
+	}
+	return p, nil
+}
+
+// ChannelConfigPayload carries the adapted transmission parameters the
+// phone pushes to the watch before phase 2.
+type ChannelConfigPayload struct {
+	Modulation   uint8
+	Repetition   uint8
+	DataChannels []uint16
+}
+
+// Encode implements the payload wire format.
+func (p *ChannelConfigPayload) Encode() []byte {
+	out := make([]byte, 4+2*len(p.DataChannels))
+	out[0] = p.Modulation
+	out[1] = p.Repetition
+	binary.BigEndian.PutUint16(out[2:4], uint16(len(p.DataChannels)))
+	for i, c := range p.DataChannels {
+		binary.BigEndian.PutUint16(out[4+2*i:], c)
+	}
+	return out
+}
+
+// DecodeChannelConfigPayload parses a ChannelConfigPayload.
+func DecodeChannelConfigPayload(data []byte) (*ChannelConfigPayload, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("proto: channel config payload too short")
+	}
+	n := binary.BigEndian.Uint16(data[2:4])
+	if len(data) != 4+2*int(n) {
+		return nil, fmt.Errorf("proto: channel config length mismatch")
+	}
+	p := &ChannelConfigPayload{
+		Modulation:   data[0],
+		Repetition:   data[1],
+		DataChannels: make([]uint16, n),
+	}
+	for i := range p.DataChannels {
+		p.DataChannels[i] = binary.BigEndian.Uint16(data[4+2*i:])
+	}
+	return p, nil
+}
+
+// TokenResultPayload carries the watch-side decode in local-processing
+// mode: the raw decoded token and the watch's pilot-SNR estimate.
+type TokenResultPayload struct {
+	Token  uint32
+	EbN0dB float64
+}
+
+// Encode implements the payload wire format.
+func (p *TokenResultPayload) Encode() []byte {
+	out := make([]byte, 12)
+	binary.BigEndian.PutUint32(out[0:4], p.Token)
+	binary.BigEndian.PutUint64(out[4:12], math.Float64bits(p.EbN0dB))
+	return out
+}
+
+// DecodeTokenResultPayload parses a TokenResultPayload.
+func DecodeTokenResultPayload(data []byte) (*TokenResultPayload, error) {
+	if len(data) != 12 {
+		return nil, fmt.Errorf("proto: token result payload is %d bytes, want 12", len(data))
+	}
+	return &TokenResultPayload{
+		Token:  binary.BigEndian.Uint32(data[0:4]),
+		EbN0dB: math.Float64frombits(binary.BigEndian.Uint64(data[4:12])),
+	}, nil
+}
+
+// AbortPayload explains a session abort.
+type AbortPayload struct {
+	Reason string
+}
+
+// Encode implements the payload wire format.
+func (p *AbortPayload) Encode() []byte {
+	return []byte(p.Reason)
+}
+
+// DecodeAbortPayload parses an AbortPayload.
+func DecodeAbortPayload(data []byte) *AbortPayload {
+	return &AbortPayload{Reason: string(data)}
+}
+
+// DecisionPayload carries the final verdict to the watch.
+type DecisionPayload struct {
+	Unlocked bool
+}
+
+// Encode implements the payload wire format.
+func (p *DecisionPayload) Encode() []byte {
+	if p.Unlocked {
+		return []byte{1}
+	}
+	return []byte{0}
+}
+
+// DecodeDecisionPayload parses a DecisionPayload.
+func DecodeDecisionPayload(data []byte) (*DecisionPayload, error) {
+	if len(data) != 1 {
+		return nil, fmt.Errorf("proto: decision payload is %d bytes, want 1", len(data))
+	}
+	return &DecisionPayload{Unlocked: data[0] == 1}, nil
+}

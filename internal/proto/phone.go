@@ -1,0 +1,427 @@
+package proto
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"wearlock/internal/acoustic"
+	"wearlock/internal/audio"
+	"wearlock/internal/core"
+	"wearlock/internal/dsp"
+	"wearlock/internal/keyguard"
+	"wearlock/internal/modem"
+	"wearlock/internal/motion"
+	"wearlock/internal/otp"
+)
+
+// PhoneConfig parameterizes the phone agent.
+type PhoneConfig struct {
+	Band              modem.Band
+	Offload           bool
+	MaxBER            float64
+	NLOSRelaxedMaxBER float64
+	Repetition        int
+	TargetRange       float64 // meters
+	TimingSlack       time.Duration
+	// EnableDistanceBounding aborts sessions whose acoustic time of
+	// flight implies a transmitter outside the boundary (the Sec. IV-4
+	// relay counter-measure).
+	EnableDistanceBounding bool
+	ModeTable              *modem.ModeTable
+	MotionThresholds       motion.Thresholds
+	// SensorSource supplies the phone's own accelerometer window.
+	SensorSource func(n int) ([]float64, error)
+	// AmbientSource supplies a phone-side self-recording for volume
+	// planning.
+	AmbientSource func(samples int) (*audio.Buffer, error)
+	// SessionTimeout bounds one protocol round trip.
+	SessionTimeout time.Duration
+}
+
+// DefaultPhoneConfig mirrors core.DefaultConfig for the agent runtime.
+func DefaultPhoneConfig() PhoneConfig {
+	return PhoneConfig{
+		Band:              modem.BandAudible,
+		Offload:           true,
+		MaxBER:            0.1,
+		NLOSRelaxedMaxBER: 0.25,
+		Repetition:        modem.DefaultRepetition,
+		TargetRange:       1.0,
+		TimingSlack:       150 * time.Millisecond,
+		ModeTable:         modem.DefaultModeTable(),
+		MotionThresholds:  motion.DefaultThresholds(),
+		SessionTimeout:    10 * time.Second,
+	}
+}
+
+// SessionResult is the phone agent's verdict for one unlock attempt.
+type SessionResult struct {
+	Session  uint64
+	Unlocked bool
+	Reason   string
+	Mode     modem.Modulation
+	EbN0dB   float64
+	// RadioTime is the simulated control-channel time this session spent;
+	// OnAirTime the acoustic playback time.
+	RadioTime time.Duration
+	OnAirTime time.Duration
+}
+
+// Phone is the initiating WearLock Controller: it owns the OTP generator
+// and verifier, the keyguard, and drives sessions against the watch agent.
+type Phone struct {
+	cfg    PhoneConfig
+	conn   *Conn
+	medium *Medium
+	gen    *otp.Generator
+	ver    *otp.Verifier
+	guard  *keyguard.Keyguard
+	base   modem.Config
+	mod    *modem.Modulator
+	demod  *modem.Demodulator
+	seq    uint64
+}
+
+// NewPhone builds a phone agent with a fresh (or provided) OTP pairing.
+func NewPhone(cfg PhoneConfig, conn *Conn, medium *Medium, otpKey []byte) (*Phone, error) {
+	if conn == nil || medium == nil {
+		return nil, fmt.Errorf("proto: phone requires a connection and a medium")
+	}
+	if cfg.SensorSource == nil || cfg.AmbientSource == nil {
+		return nil, fmt.Errorf("proto: phone requires sensor and ambient sources")
+	}
+	if cfg.ModeTable == nil {
+		return nil, fmt.Errorf("proto: phone requires a mode table")
+	}
+	if cfg.Repetition <= 0 || cfg.Repetition%2 == 0 {
+		return nil, fmt.Errorf("proto: repetition %d must be odd and positive", cfg.Repetition)
+	}
+	if cfg.SessionTimeout <= 0 {
+		cfg.SessionTimeout = 10 * time.Second
+	}
+	if otpKey == nil {
+		var err error
+		otpKey, err = otp.GenerateKey()
+		if err != nil {
+			return nil, err
+		}
+	}
+	gen, err := otp.NewGenerator(otpKey, 0)
+	if err != nil {
+		return nil, err
+	}
+	ver, err := otp.NewVerifier(otpKey, 0)
+	if err != nil {
+		return nil, err
+	}
+	base := modem.DefaultConfig(cfg.Band, modem.QPSK)
+	mod, err := modem.NewModulator(base)
+	if err != nil {
+		return nil, err
+	}
+	demod, err := modem.NewDemodulator(base)
+	if err != nil {
+		return nil, err
+	}
+	return &Phone{
+		cfg:    cfg,
+		conn:   conn,
+		medium: medium,
+		gen:    gen,
+		ver:    ver,
+		guard:  keyguard.New(),
+		base:   base,
+		mod:    mod,
+		demod:  demod,
+	}, nil
+}
+
+// Keyguard exposes the phone's lock state machine.
+func (p *Phone) Keyguard() *keyguard.Keyguard { return p.guard }
+
+// abort notifies the watch and returns a failed result.
+func (p *Phone) abort(ctx context.Context, session uint64, reason string) *SessionResult {
+	msg := &Message{Type: MsgAbort, Session: session, Payload: (&AbortPayload{Reason: reason}).Encode()}
+	_, _ = p.conn.Send(ctx, msg)
+	return &SessionResult{Session: session, Reason: reason}
+}
+
+// Unlock drives one full session: power button to keyguard decision.
+func (p *Phone) Unlock(ctx context.Context) (*SessionResult, error) {
+	if p.guard.State() == keyguard.StateLockedOut {
+		return &SessionResult{Reason: "keyguard locked out; manual authentication required"}, nil
+	}
+	ctx, cancel := context.WithTimeout(ctx, p.cfg.SessionTimeout)
+	defer cancel()
+
+	p.seq++
+	session := p.seq
+	res := &SessionResult{Session: session}
+	radioStart := p.conn.SimTime()
+	defer func() { res.RadioTime = p.conn.SimTime() - radioStart }()
+
+	// Handshake + sensor exchange.
+	if _, err := p.conn.Send(ctx, &Message{Type: MsgStartProtocol, Session: session}); err != nil {
+		return nil, err
+	}
+	if _, err := p.conn.Expect(ctx, session, MsgAckRecording); err != nil {
+		return res, fmt.Errorf("proto: handshake: %w", err)
+	}
+	sensorMsg, err := p.conn.Expect(ctx, session, MsgSensorData)
+	if err != nil {
+		return res, fmt.Errorf("proto: sensor exchange: %w", err)
+	}
+	watchTrace, err := DecodeSensorPayload(sensorMsg.Payload)
+	if err != nil {
+		return res, err
+	}
+	phoneTrace, err := p.cfg.SensorSource(len(watchTrace.Samples))
+	if err != nil {
+		return res, err
+	}
+	filter, err := motion.Filter(phoneTrace, watchTrace.Samples, p.cfg.MotionThresholds)
+	if err != nil {
+		return res, err
+	}
+	switch filter.Decision {
+	case motion.DecisionAbort:
+		return p.abort(ctx, session, fmt.Sprintf("motion mismatch (DTW %.3f)", filter.Score)), nil
+	case motion.DecisionSkip:
+		if err := p.guard.ReportSuccess(time.Now()); err != nil {
+			return res, err
+		}
+		res.Unlocked = true
+		res.Reason = "motion similarity skip"
+		decision := &Message{Type: MsgDecision, Session: session, Payload: (&DecisionPayload{Unlocked: true}).Encode()}
+		if _, err := p.conn.Send(ctx, decision); err != nil {
+			return res, err
+		}
+		return res, nil
+	}
+
+	// Volume planning from the phone's own ambient recording.
+	volume, err := p.planVolume()
+	if err != nil {
+		return res, err
+	}
+
+	// Phase 1: probe.
+	probe, err := p.mod.ProbeSymbol()
+	if err != nil {
+		return res, err
+	}
+	onAir, err := p.medium.Play(ctx, probe, volume)
+	if err != nil {
+		return res, err
+	}
+	res.OnAirTime += onAir
+	if _, err := p.conn.Send(ctx, &Message{Type: MsgProbeSent, Session: session}); err != nil {
+		return res, err
+	}
+	report, err := p.receiveProbeReport(ctx, session)
+	if err != nil {
+		res.Reason = err.Error()
+		return res, nil
+	}
+
+	// Distance bounding from the preamble's position in the recording.
+	estDistance := -1.0
+	if arrival := int(report.PreambleStart) - p.medium.NominalLeadIn(); arrival >= 0 {
+		estDistance = float64(arrival) / float64(p.base.SampleRate) * acoustic.SpeedOfSound
+	}
+	if p.cfg.EnableDistanceBounding && estDistance > 2*p.cfg.TargetRange+0.5 {
+		return p.abort(ctx, session, fmt.Sprintf("acoustic time of flight implies %.1f m", estDistance)), nil
+	}
+
+	// Mode selection (strict target first; NLOS-relaxed robust fallback,
+	// only for in-range signals).
+	nlos := modem.IsNLOS(report.DelaySpreadSec, 0) &&
+		estDistance >= 0 && estDistance <= 2*p.cfg.TargetRange
+	mode, err := p.cfg.ModeTable.SelectMode(report.EbN0dB, p.cfg.MaxBER)
+	if err != nil && nlos {
+		mode, err = p.cfg.ModeTable.SelectMostRobust(report.EbN0dB, p.cfg.NLOSRelaxedMaxBER)
+	}
+	if err != nil {
+		return p.abort(ctx, session, fmt.Sprintf("no usable mode at Eb/N0 %.1f dB", report.EbN0dB)), nil
+	}
+	res.Mode = mode
+	res.EbN0dB = report.EbN0dB
+
+	// Sub-channel selection from the probe's noise/gain measurements.
+	dataCfg := p.base
+	candidates := modem.CandidateDataChannels(p.base)
+	ranks := modem.RankSubChannels(candidates, report.NoisePower, report.ChannelGain)
+	if selected, err := modem.SelectDataChannels(ranks, len(p.base.DataChannels), 0.25); err == nil {
+		if adapted, err := modem.ApplySelection(p.base, selected); err == nil {
+			dataCfg = adapted
+		}
+	}
+	dataCfg.Modulation = mode
+
+	// Push the configuration.
+	chPayload := &ChannelConfigPayload{
+		Modulation: uint8(mode),
+		Repetition: uint8(p.cfg.Repetition),
+	}
+	for _, c := range dataCfg.DataChannels {
+		chPayload.DataChannels = append(chPayload.DataChannels, uint16(c))
+	}
+	cfgMsg := &Message{Type: MsgChannelConfig, Session: session, Payload: chPayload.Encode()}
+	if _, err := p.conn.Send(ctx, cfgMsg); err != nil {
+		return res, err
+	}
+
+	// Phase 2: token.
+	token, err := p.gen.Next()
+	if err != nil {
+		return res, err
+	}
+	coded, err := modem.EncodeRepetition(otp.TokenBits(token), p.cfg.Repetition)
+	if err != nil {
+		return res, err
+	}
+	modulator, err := modem.NewModulator(dataCfg)
+	if err != nil {
+		return res, err
+	}
+	frame, err := modulator.Modulate(coded)
+	if err != nil {
+		return res, err
+	}
+	onAir, err = p.medium.Play(ctx, frame, volume)
+	if err != nil {
+		return res, err
+	}
+	res.OnAirTime += onAir
+	if _, err := p.conn.Send(ctx, &Message{Type: MsgTokenSent, Session: session}); err != nil {
+		return res, err
+	}
+
+	// Replay timing window.
+	if extra := p.medium.ExtraLatency(); extra > p.cfg.TimingSlack {
+		return p.abort(ctx, session, fmt.Sprintf("acoustic path delayed %v beyond the timing window", extra)), nil
+	}
+
+	// Receive and verify the token.
+	got, err := p.receiveToken(ctx, session, dataCfg, len(coded))
+	if err != nil {
+		res.Reason = err.Error()
+		return res, nil
+	}
+	ok, err := p.ver.Verify(got)
+	if err != nil {
+		res.Reason = err.Error()
+		return res, nil
+	}
+	if ok {
+		if err := p.guard.ReportSuccess(time.Now()); err != nil {
+			return res, err
+		}
+		res.Unlocked = true
+	} else {
+		p.guard.ReportFailure()
+		res.Reason = "token verification failed"
+	}
+	decision := &Message{Type: MsgDecision, Session: session, Payload: (&DecisionPayload{Unlocked: res.Unlocked}).Encode()}
+	if _, err := p.conn.Send(ctx, decision); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// planVolume derives the speaker drive from the measured in-band noise.
+func (p *Phone) planVolume() (float64, error) {
+	ambient, err := p.cfg.AmbientSource(p.base.SampleRate / 2)
+	if err != nil {
+		return 0, err
+	}
+	pilots := p.base.SortedPilots()
+	lowHz := p.base.SubChannelHz(pilots[0])
+	highHz := p.base.SubChannelHz(pilots[len(pilots)-1])
+	noiseSPL, _, err := core.InBandNoiseSPL(ambient, lowHz, highHz)
+	if err != nil {
+		return 0, err
+	}
+	minEbN0 := p.cfg.ModeTable.MinEbN0(p.cfg.MaxBER)
+	minSNR := minEbN0 - dsp.DB(p.base.OccupiedBandwidthHz()/p.base.DataRate())
+	const headroomDB = 4
+	prop := acoustic.DefaultPropagation()
+	volume, err := prop.VolumeForRange(p.cfg.TargetRange, noiseSPL, minSNR+headroomDB)
+	if err != nil {
+		return 0, err
+	}
+	if max := acoustic.PhoneSpeaker().MaxOutputDB; volume > max {
+		volume = max
+	}
+	return volume, nil
+}
+
+// receiveProbeReport collects the phase-1 verdict: either raw audio to
+// analyze here (offload) or the watch's CTS report.
+func (p *Phone) receiveProbeReport(ctx context.Context, session uint64) (*CTSReportPayload, error) {
+	if p.cfg.Offload {
+		msg, err := p.conn.Expect(ctx, session, MsgProbeAudio)
+		if err != nil {
+			return nil, err
+		}
+		payload, err := DecodeAudioPayload(msg.Payload)
+		if err != nil {
+			return nil, err
+		}
+		pa, err := p.demod.AnalyzeProbe(buffersFromAudioPayload(payload))
+		if err != nil {
+			return nil, fmt.Errorf("probe analysis: %w", err)
+		}
+		return &CTSReportPayload{
+			EbN0dB:         pa.EbN0dB,
+			DelaySpreadSec: pa.RMSDelaySpread,
+			DetectScore:    pa.Detection.Score,
+			PreambleStart:  int32(pa.Detection.PreambleStart),
+			NoisePower:     pa.NoisePower,
+			ChannelGain:    pa.ChannelGain,
+		}, nil
+	}
+	msg, err := p.conn.Expect(ctx, session, MsgCTSReport)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeCTSReportPayload(msg.Payload)
+}
+
+// receiveToken collects the phase-2 token: demodulated here (offload) or
+// decoded by the watch.
+func (p *Phone) receiveToken(ctx context.Context, session uint64, dataCfg modem.Config, codedBits int) (uint32, error) {
+	if p.cfg.Offload {
+		msg, err := p.conn.Expect(ctx, session, MsgTokenAudio)
+		if err != nil {
+			return 0, err
+		}
+		payload, err := DecodeAudioPayload(msg.Payload)
+		if err != nil {
+			return 0, err
+		}
+		demod, err := modem.NewDemodulator(dataCfg)
+		if err != nil {
+			return 0, err
+		}
+		rx, err := demod.Demodulate(buffersFromAudioPayload(payload), codedBits)
+		if err != nil {
+			return 0, fmt.Errorf("token demodulation: %w", err)
+		}
+		bits, err := modem.DecodeRepetition(rx.Bits, p.cfg.Repetition)
+		if err != nil {
+			return 0, err
+		}
+		return otp.TokenFromBits(bits)
+	}
+	msg, err := p.conn.Expect(ctx, session, MsgTokenResult)
+	if err != nil {
+		return 0, err
+	}
+	result, err := DecodeTokenResultPayload(msg.Payload)
+	if err != nil {
+		return 0, err
+	}
+	return result.Token, nil
+}

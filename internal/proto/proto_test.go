@@ -1,0 +1,654 @@
+package proto_test
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"wearlock/internal/audio"
+	"wearlock/internal/core"
+	"wearlock/internal/keyguard"
+	"wearlock/internal/modem"
+	"wearlock/internal/motion"
+	"wearlock/internal/proto"
+	"wearlock/internal/wireless"
+)
+
+// --- Wire format -------------------------------------------------------
+
+// Property: every message round-trips through Encode/Decode.
+func TestMessageRoundTripProperty(t *testing.T) {
+	f := func(typeRaw uint8, session uint64, payload []byte) bool {
+		msg := &proto.Message{
+			Type:    proto.MsgType(typeRaw%12 + 1),
+			Session: session,
+			Payload: payload,
+		}
+		data, err := msg.Encode()
+		if err != nil {
+			return len(payload) > proto.MaxPayload
+		}
+		back, err := proto.Decode(data)
+		if err != nil {
+			return false
+		}
+		if back.Type != msg.Type || back.Session != msg.Session || len(back.Payload) != len(msg.Payload) {
+			return false
+		}
+		for i := range payload {
+			if back.Payload[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		make([]byte, 16), // zero magic
+		{0x57, 0x4C, 99, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, // bad version
+	}
+	for i, data := range cases {
+		if _, err := proto.Decode(data); err == nil {
+			t.Errorf("case %d: decoded garbage", i)
+		}
+	}
+	// Truncated payload.
+	msg := &proto.Message{Type: proto.MsgSensorData, Session: 1, Payload: []byte{1, 2, 3, 4}}
+	data, err := msg.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if _, err := proto.Decode(data[:len(data)-2]); err == nil {
+		t.Error("decoded truncated frame")
+	}
+}
+
+func TestSensorPayloadRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw) % 200
+		p := &proto.SensorPayload{Samples: make([]float64, n)}
+		for i := range p.Samples {
+			p.Samples[i] = rng.NormFloat64() * 10
+		}
+		back, err := proto.DecodeSensorPayload(p.Encode())
+		if err != nil || len(back.Samples) != n {
+			return false
+		}
+		for i := range p.Samples {
+			if back.Samples[i] != p.Samples[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := proto.DecodeSensorPayload([]byte{1, 2}); err == nil {
+		t.Error("decoded truncated sensor payload")
+	}
+}
+
+func TestAudioPayloadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]float64, 500)
+	for i := range samples {
+		samples[i] = rng.Float64()*2 - 1
+	}
+	p := proto.AudioFromFloats(44100, samples)
+	back, err := proto.DecodeAudioPayload(p.Encode())
+	if err != nil {
+		t.Fatalf("DecodeAudioPayload: %v", err)
+	}
+	if back.Rate != 44100 || len(back.Samples) != len(samples) {
+		t.Fatal("metadata mismatch")
+	}
+	floats := back.Floats()
+	for i := range samples {
+		if diff := floats[i] - samples[i]; diff > 1.0/32000 || diff < -1.0/32000 {
+			t.Fatalf("sample %d off by %f", i, diff)
+		}
+	}
+	if _, err := proto.DecodeAudioPayload([]byte{0, 0, 0, 0, 0, 0, 0, 9}); err == nil {
+		t.Error("decoded audio payload with zero rate / bad length")
+	}
+}
+
+func TestChannelConfigPayloadRoundTrip(t *testing.T) {
+	p := &proto.ChannelConfigPayload{
+		Modulation:   uint8(modem.PSK8),
+		Repetition:   5,
+		DataChannels: []uint16{8, 9, 10, 16, 20, 30},
+	}
+	back, err := proto.DecodeChannelConfigPayload(p.Encode())
+	if err != nil {
+		t.Fatalf("DecodeChannelConfigPayload: %v", err)
+	}
+	if back.Modulation != p.Modulation || back.Repetition != 5 || len(back.DataChannels) != 6 {
+		t.Fatal("round trip mismatch")
+	}
+	for i := range p.DataChannels {
+		if back.DataChannels[i] != p.DataChannels[i] {
+			t.Fatal("channel mismatch")
+		}
+	}
+}
+
+func TestCTSReportPayloadRoundTrip(t *testing.T) {
+	p := &proto.CTSReportPayload{
+		EbN0dB:         23.5,
+		DelaySpreadSec: 0.0031,
+		DetectScore:    0.87,
+		NoisePower:     map[int]float64{8: 1e-9, 16: 2e-8, 30: 5e-7},
+		ChannelGain:    map[int]float64{16: 0.8, 20: 0.75},
+	}
+	back, err := proto.DecodeCTSReportPayload(p.Encode())
+	if err != nil {
+		t.Fatalf("DecodeCTSReportPayload: %v", err)
+	}
+	if back.EbN0dB != p.EbN0dB || back.DelaySpreadSec != p.DelaySpreadSec || back.DetectScore != p.DetectScore {
+		t.Fatal("scalar mismatch")
+	}
+	for k, v := range p.NoisePower {
+		if back.NoisePower[k] != v {
+			t.Fatalf("noise[%d] mismatch", k)
+		}
+	}
+	for k, v := range p.ChannelGain {
+		if back.ChannelGain[k] != v {
+			t.Fatalf("gain[%d] mismatch", k)
+		}
+	}
+	if _, err := proto.DecodeCTSReportPayload([]byte{1, 2, 3}); err == nil {
+		t.Error("decoded truncated CTS report")
+	}
+}
+
+// --- Conn ----------------------------------------------------------------
+
+func TestConnSendRecv(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	link, err := wireless.NewLink(wireless.Bluetooth, 0.5, rng)
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	phone, watch := proto.Pair(link)
+	ctx := context.Background()
+	msg := &proto.Message{Type: proto.MsgStartProtocol, Session: 7}
+	latency, err := phone.Send(ctx, msg)
+	if err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if latency <= 0 {
+		t.Error("no simulated latency reported")
+	}
+	got, err := watch.Recv(ctx)
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if got.Type != proto.MsgStartProtocol || got.Session != 7 {
+		t.Errorf("received %s session %d", got.Type, got.Session)
+	}
+	if phone.SimTime() != latency {
+		t.Errorf("SimTime %s, want %s", phone.SimTime(), latency)
+	}
+}
+
+func TestConnRecvTimeout(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	link, err := wireless.NewLink(wireless.WiFi, 0.5, rng)
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	phone, _ := proto.Pair(link)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := phone.Recv(ctx); err == nil {
+		t.Error("Recv returned without a message")
+	}
+}
+
+func TestConnClose(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	link, err := wireless.NewLink(wireless.WiFi, 0.5, rng)
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	phone, watch := proto.Pair(link)
+	phone.Close()
+	if _, err := watch.Recv(context.Background()); err == nil {
+		t.Error("Recv on closed connection succeeded")
+	}
+	phone.Close() // idempotent
+}
+
+func TestExpectRejectsWrongTypeAndSession(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	link, err := wireless.NewLink(wireless.WiFi, 0.5, rng)
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	phone, watch := proto.Pair(link)
+	ctx := context.Background()
+	if _, err := phone.Send(ctx, &proto.Message{Type: proto.MsgAckRecording, Session: 1}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if _, err := watch.Expect(ctx, 1, proto.MsgSensorData); err == nil {
+		t.Error("Expect accepted wrong type")
+	}
+	if _, err := phone.Send(ctx, &proto.Message{Type: proto.MsgAckRecording, Session: 9}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if _, err := watch.Expect(ctx, 1, proto.MsgAckRecording); err == nil {
+		t.Error("Expect accepted wrong session")
+	}
+	// Abort surfaces as an error with the reason.
+	abort := &proto.Message{Type: proto.MsgAbort, Session: 2, Payload: (&proto.AbortPayload{Reason: "testing"}).Encode()}
+	if _, err := phone.Send(ctx, abort); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if _, err := watch.Expect(ctx, 2, proto.MsgAckRecording); err == nil {
+		t.Error("Expect swallowed an abort")
+	}
+}
+
+// --- End-to-end agents ---------------------------------------------------
+
+// harness wires a phone and watch agent over a shared scenario.
+type harness struct {
+	phone  *proto.Phone
+	cancel context.CancelFunc
+	done   chan error
+}
+
+func newHarness(t *testing.T, seed int64, offload bool, sc core.Scenario, activityShared bool) *harness {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	link, err := wireless.NewLink(wireless.Bluetooth, sc.Distance, rng)
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	phoneConn, watchConn := proto.Pair(link)
+
+	acLink, err := sc.AcousticLink(modem.BandAudible, 44100, rng)
+	if err != nil {
+		t.Fatalf("AcousticLink: %v", err)
+	}
+	medium, err := proto.NewMedium(core.NewLinkPath(acLink))
+	if err != nil {
+		t.Fatalf("NewMedium: %v", err)
+	}
+
+	// Sensor feeds: one shared pair per session, handed to both agents.
+	// A mutex-protected generator keeps the two sources consistent.
+	var mu sync.Mutex
+	var phonePending, watchPending [][]float64
+	refill := func() error {
+		p, w, err := motion.TracePair(sc.Activity, 100, activityShared, rng)
+		if err != nil {
+			return err
+		}
+		phonePending = append(phonePending, p)
+		watchPending = append(watchPending, w)
+		return nil
+	}
+	phoneSensor := func(n int) ([]float64, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(phonePending) == 0 {
+			if err := refill(); err != nil {
+				return nil, err
+			}
+		}
+		out := phonePending[0]
+		phonePending = phonePending[1:]
+		return out, nil
+	}
+	watchSensor := func(n int) ([]float64, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(watchPending) == 0 {
+			if err := refill(); err != nil {
+				return nil, err
+			}
+		}
+		out := watchPending[0]
+		watchPending = watchPending[1:]
+		return out, nil
+	}
+	ambientRng := rand.New(rand.NewSource(seed + 1))
+	ambient := func(n int) (*audio.Buffer, error) {
+		return sc.Env.Render(n, 44100, ambientRng)
+	}
+
+	watchCfg := proto.WatchConfig{Band: modem.BandAudible, Offload: offload, SensorSource: watchSensor}
+	watch, err := proto.NewWatch(watchCfg, watchConn, medium)
+	if err != nil {
+		t.Fatalf("NewWatch: %v", err)
+	}
+	phoneCfg := proto.DefaultPhoneConfig()
+	phoneCfg.Offload = offload
+	phoneCfg.SensorSource = phoneSensor
+	phoneCfg.AmbientSource = ambient
+	phone, err := proto.NewPhone(phoneCfg, phoneConn, medium, []byte("proto-test-key-0123456789abc"))
+	if err != nil {
+		t.Fatalf("NewPhone: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- watch.Run(ctx) }()
+	return &harness{phone: phone, cancel: cancel, done: done}
+}
+
+func (h *harness) shutdown(t *testing.T) {
+	t.Helper()
+	h.cancel()
+	select {
+	case err := <-h.done:
+		if err != nil {
+			t.Errorf("watch agent: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("watch agent did not shut down")
+	}
+}
+
+// The async agents must complete a nominal unlock in both offload and
+// local modes.
+func TestAgentsUnlockNominal(t *testing.T) {
+	for _, offload := range []bool{true, false} {
+		sc := core.DefaultScenario()
+		h := newHarness(t, 11, offload, sc, true)
+		unlocked := false
+		for i := 0; i < 4 && !unlocked; i++ {
+			res, err := h.phone.Unlock(context.Background())
+			if err != nil {
+				t.Fatalf("offload=%v Unlock: %v", offload, err)
+			}
+			unlocked = res.Unlocked
+			if !unlocked {
+				t.Logf("offload=%v attempt %d: %s", offload, i, res.Reason)
+			}
+			if res.RadioTime <= 0 {
+				t.Errorf("offload=%v: no radio time accounted", offload)
+			}
+		}
+		if !unlocked {
+			t.Errorf("offload=%v: never unlocked", offload)
+		}
+		if h.phone.Keyguard().State() != keyguard.StateUnlocked {
+			t.Errorf("offload=%v: keyguard %s", offload, h.phone.Keyguard().State())
+		}
+		h.shutdown(t)
+	}
+}
+
+// An attacker's phone (independent motion) must be aborted by the motion
+// filter and the watch agent must survive to serve the next session.
+func TestAgentsRejectAttackerThenRecover(t *testing.T) {
+	sc := core.DefaultScenario()
+	sc.Activity = motion.Walking
+	h := newHarness(t, 12, true, sc, false) // independent motion
+	res, err := h.phone.Unlock(context.Background())
+	if err != nil {
+		t.Fatalf("Unlock: %v", err)
+	}
+	if res.Unlocked {
+		t.Fatal("attacker session unlocked")
+	}
+	h.shutdown(t)
+
+	// Fresh harness with shared motion: the agents recover/serve fine.
+	h2 := newHarness(t, 13, true, core.DefaultScenario(), true)
+	defer h2.shutdown(t)
+	unlocked := false
+	for i := 0; i < 4 && !unlocked; i++ {
+		res, err := h2.phone.Unlock(context.Background())
+		if err != nil {
+			t.Fatalf("Unlock: %v", err)
+		}
+		unlocked = res.Unlocked
+	}
+	if !unlocked {
+		t.Error("legitimate session after attacker never unlocked")
+	}
+}
+
+// A session against a silent peer must time out, not hang.
+func TestPhoneTimesOutWithoutWatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	link, err := wireless.NewLink(wireless.Bluetooth, 0.5, rng)
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	phoneConn, _ := proto.Pair(link)
+	sc := core.DefaultScenario()
+	acLink, err := sc.AcousticLink(modem.BandAudible, 44100, rng)
+	if err != nil {
+		t.Fatalf("AcousticLink: %v", err)
+	}
+	medium, err := proto.NewMedium(core.NewLinkPath(acLink))
+	if err != nil {
+		t.Fatalf("NewMedium: %v", err)
+	}
+	cfg := proto.DefaultPhoneConfig()
+	cfg.SessionTimeout = 50 * time.Millisecond
+	cfg.SensorSource = func(n int) ([]float64, error) { return make([]float64, n), nil }
+	cfg.AmbientSource = func(n int) (*audio.Buffer, error) { return audio.NewBuffer(44100, n) }
+	phone, err := proto.NewPhone(cfg, phoneConn, medium, nil)
+	if err != nil {
+		t.Fatalf("NewPhone: %v", err)
+	}
+	start := time.Now()
+	res, err := phone.Unlock(context.Background())
+	if err == nil && res.Unlocked {
+		t.Fatal("unlocked without a watch")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("timeout did not bound the session")
+	}
+}
+
+func TestAgentConstructorValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	link, _ := wireless.NewLink(wireless.Bluetooth, 0.5, rng)
+	conn, _ := proto.Pair(link)
+	sc := core.DefaultScenario()
+	acLink, _ := sc.AcousticLink(modem.BandAudible, 44100, rng)
+	medium, _ := proto.NewMedium(core.NewLinkPath(acLink))
+
+	if _, err := proto.NewWatch(proto.WatchConfig{}, conn, medium); err == nil {
+		t.Error("watch accepted missing sensor source")
+	}
+	if _, err := proto.NewWatch(proto.WatchConfig{SensorSource: func(int) ([]float64, error) { return nil, nil }}, nil, medium); err == nil {
+		t.Error("watch accepted nil conn")
+	}
+	cfg := proto.DefaultPhoneConfig()
+	if _, err := proto.NewPhone(cfg, conn, medium, nil); err == nil {
+		t.Error("phone accepted missing sources")
+	}
+	cfg.SensorSource = func(int) ([]float64, error) { return nil, nil }
+	cfg.AmbientSource = func(int) (*audio.Buffer, error) { return nil, nil }
+	cfg.Repetition = 4
+	if _, err := proto.NewPhone(cfg, conn, medium, nil); err == nil {
+		t.Error("phone accepted even repetition")
+	}
+	if _, err := proto.NewMedium(nil); err == nil {
+		t.Error("medium accepted nil path")
+	}
+}
+
+// The agents' distance bounding must catch a sub-window relay — the same
+// extension the deterministic core carries, exercised over the wire
+// protocol.
+func TestAgentsDistanceBounding(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	sc := core.DefaultScenario()
+	link, err := wireless.NewLink(wireless.Bluetooth, sc.Distance, rng)
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	phoneConn, watchConn := proto.Pair(link)
+	acLink, err := sc.AcousticLink(modem.BandAudible, 44100, rng)
+	if err != nil {
+		t.Fatalf("AcousticLink: %v", err)
+	}
+	relay := &shiftedPath{inner: core.NewLinkPath(acLink), shift: 100 * time.Millisecond}
+	medium, err := proto.NewMedium(relay)
+	if err != nil {
+		t.Fatalf("NewMedium: %v", err)
+	}
+	watch, err := proto.NewWatch(proto.WatchConfig{
+		Band:         modem.BandAudible,
+		Offload:      true,
+		SensorSource: func(n int) ([]float64, error) { return sharedTrace(rng, n), nil },
+	}, watchConn, medium)
+	if err != nil {
+		t.Fatalf("NewWatch: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- watch.Run(ctx) }()
+
+	cfg := proto.DefaultPhoneConfig()
+	cfg.EnableDistanceBounding = true
+	cfg.MotionThresholds.High = 10 // motion filter out of the way
+	cfg.SensorSource = func(n int) ([]float64, error) { return sharedTrace(rng, n), nil }
+	cfg.AmbientSource = func(n int) (*audio.Buffer, error) { return sc.Env.Render(n, 44100, rng) }
+	phone, err := proto.NewPhone(cfg, phoneConn, medium, nil)
+	if err != nil {
+		t.Fatalf("NewPhone: %v", err)
+	}
+	res, err := phone.Unlock(context.Background())
+	if err != nil {
+		t.Fatalf("Unlock: %v", err)
+	}
+	if res.Unlocked {
+		t.Fatal("relayed session unlocked through the agents")
+	}
+	if res.Reason == "" {
+		t.Error("no abort reason recorded")
+	}
+	cancel()
+	<-done
+}
+
+// shiftedPath delays the recorded signal content (a store-and-forward rig)
+// without advertising extra latency metadata.
+type shiftedPath struct {
+	inner core.AcousticPath
+	shift time.Duration
+}
+
+func (p *shiftedPath) Transmit(frame *audio.Buffer, vol float64) (*audio.Buffer, error) {
+	rec, err := p.inner.Transmit(frame, vol)
+	if err != nil {
+		return nil, err
+	}
+	pad := make([]float64, int(p.shift.Seconds()*float64(rec.Rate)))
+	rec.Samples = append(pad, rec.Samples...)
+	return rec, nil
+}
+func (p *shiftedPath) ExtraLatency() time.Duration { return 0 } // hides from the timing window
+func (p *shiftedPath) NominalLeadIn() int          { return p.inner.NominalLeadIn() }
+
+// sharedTrace hands both agents near-identical motion.
+func sharedTrace(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 9.81 + 0.1*rng.NormFloat64()
+	}
+	return out
+}
+
+// The watch agent must ignore stale non-start messages while idle and
+// survive a phone-side abort mid-session, serving subsequent sessions.
+func TestWatchSurvivesPhoneAbort(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	link, err := wireless.NewLink(wireless.Bluetooth, 0.2, rng)
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	phoneConn, watchConn := proto.Pair(link)
+	sc := core.DefaultScenario()
+	acLink, err := sc.AcousticLink(modem.BandAudible, 44100, rng)
+	if err != nil {
+		t.Fatalf("AcousticLink: %v", err)
+	}
+	medium, err := proto.NewMedium(core.NewLinkPath(acLink))
+	if err != nil {
+		t.Fatalf("NewMedium: %v", err)
+	}
+	watch, err := proto.NewWatch(proto.WatchConfig{
+		Band:         modem.BandAudible,
+		Offload:      true,
+		SensorSource: func(n int) ([]float64, error) { return sharedTrace(rng, n), nil },
+	}, watchConn, medium)
+	if err != nil {
+		t.Fatalf("NewWatch: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- watch.Run(ctx) }()
+
+	// Stale message while idle: the watch must ignore it.
+	if _, err := phoneConn.Send(ctx, &proto.Message{Type: proto.MsgTokenSent, Session: 99}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+
+	// Start a session, then abort it mid-way from the phone side.
+	if _, err := phoneConn.Send(ctx, &proto.Message{Type: proto.MsgStartProtocol, Session: 1}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if _, err := phoneConn.Expect(ctx, 1, proto.MsgAckRecording); err != nil {
+		t.Fatalf("Expect ack: %v", err)
+	}
+	if _, err := phoneConn.Expect(ctx, 1, proto.MsgSensorData); err != nil {
+		t.Fatalf("Expect sensor: %v", err)
+	}
+	abort := &proto.Message{Type: proto.MsgAbort, Session: 1, Payload: (&proto.AbortPayload{Reason: "test abort"}).Encode()}
+	if _, err := phoneConn.Send(ctx, abort); err != nil {
+		t.Fatalf("Send abort: %v", err)
+	}
+
+	// A full session afterwards must still work.
+	cfg := proto.DefaultPhoneConfig()
+	cfg.MotionThresholds.High = 10
+	cfg.SensorSource = func(n int) ([]float64, error) { return sharedTrace(rng, n), nil }
+	cfg.AmbientSource = func(n int) (*audio.Buffer, error) { return sc.Env.Render(n, 44100, rng) }
+	phone, err := proto.NewPhone(cfg, phoneConn, medium, []byte("proto-test-key-0123456789abc"))
+	if err != nil {
+		t.Fatalf("NewPhone: %v", err)
+	}
+	unlocked := false
+	for i := 0; i < 4 && !unlocked; i++ {
+		res, err := phone.Unlock(context.Background())
+		if err != nil {
+			t.Fatalf("Unlock: %v", err)
+		}
+		unlocked = res.Unlocked
+	}
+	if !unlocked {
+		t.Error("watch did not serve a session after an aborted one")
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Error("watch agent did not shut down")
+	}
+}

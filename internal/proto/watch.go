@@ -1,0 +1,319 @@
+package proto
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"wearlock/internal/audio"
+	"wearlock/internal/modem"
+	"wearlock/internal/otp"
+)
+
+// errorsAs reports whether err's chain contains a *PeerAbortError.
+func errorsAs(err error, target **PeerAbortError) bool {
+	return errors.As(err, target)
+}
+
+// CTSReportPayload is the watch's phase-1 analysis in local-processing
+// mode: everything the phone needs for NLOS detection, sub-channel
+// selection, and mode selection.
+type CTSReportPayload struct {
+	EbN0dB         float64
+	DelaySpreadSec float64
+	DetectScore    float64
+	// PreambleStart is the detected preamble onset in samples from the
+	// start of the recording; with the known recording head it yields
+	// the acoustic time of flight for distance bounding.
+	PreambleStart int32
+	NoisePower    map[int]float64
+	ChannelGain   map[int]float64
+}
+
+// Encode implements the payload wire format.
+func (p *CTSReportPayload) Encode() []byte {
+	out := make([]byte, 0, 28+10*(len(p.NoisePower)+len(p.ChannelGain)))
+	var scratch [8]byte
+	putF := func(v float64) {
+		binary.BigEndian.PutUint64(scratch[:], math.Float64bits(v))
+		out = append(out, scratch[:]...)
+	}
+	putF(p.EbN0dB)
+	putF(p.DelaySpreadSec)
+	putF(p.DetectScore)
+	binary.BigEndian.PutUint32(scratch[:4], uint32(p.PreambleStart))
+	out = append(out, scratch[:4]...)
+	putMap := func(m map[int]float64) {
+		binary.BigEndian.PutUint16(scratch[:2], uint16(len(m)))
+		out = append(out, scratch[:2]...)
+		// Deterministic order: ascending bin.
+		bins := make([]int, 0, len(m))
+		for bin := range m {
+			bins = append(bins, bin)
+		}
+		for i := 1; i < len(bins); i++ {
+			for j := i; j > 0 && bins[j] < bins[j-1]; j-- {
+				bins[j], bins[j-1] = bins[j-1], bins[j]
+			}
+		}
+		for _, bin := range bins {
+			binary.BigEndian.PutUint16(scratch[:2], uint16(bin))
+			out = append(out, scratch[:2]...)
+			putF(m[bin])
+		}
+	}
+	putMap(p.NoisePower)
+	putMap(p.ChannelGain)
+	return out
+}
+
+// DecodeCTSReportPayload parses a CTSReportPayload.
+func DecodeCTSReportPayload(data []byte) (*CTSReportPayload, error) {
+	if len(data) < 26 {
+		return nil, fmt.Errorf("proto: CTS report too short")
+	}
+	pos := 0
+	getF := func() float64 {
+		v := math.Float64frombits(binary.BigEndian.Uint64(data[pos:]))
+		pos += 8
+		return v
+	}
+	p := &CTSReportPayload{}
+	p.EbN0dB = getF()
+	p.DelaySpreadSec = getF()
+	p.DetectScore = getF()
+	if pos+4 > len(data) {
+		return nil, fmt.Errorf("proto: CTS report truncated")
+	}
+	p.PreambleStart = int32(binary.BigEndian.Uint32(data[pos:]))
+	pos += 4
+	getMap := func() (map[int]float64, error) {
+		if pos+2 > len(data) {
+			return nil, fmt.Errorf("proto: CTS report truncated")
+		}
+		n := int(binary.BigEndian.Uint16(data[pos:]))
+		pos += 2
+		if pos+10*n > len(data) {
+			return nil, fmt.Errorf("proto: CTS report truncated map")
+		}
+		m := make(map[int]float64, n)
+		for i := 0; i < n; i++ {
+			bin := int(binary.BigEndian.Uint16(data[pos:]))
+			pos += 2
+			m[bin] = getF()
+		}
+		return m, nil
+	}
+	var err error
+	if p.NoisePower, err = getMap(); err != nil {
+		return nil, err
+	}
+	if p.ChannelGain, err = getMap(); err != nil {
+		return nil, err
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("proto: CTS report has %d trailing bytes", len(data)-pos)
+	}
+	return p, nil
+}
+
+// WatchConfig parameterizes the watch agent.
+type WatchConfig struct {
+	Band modem.Band
+	// Offload ships raw recordings to the phone instead of processing
+	// locally.
+	Offload bool
+	// SensorSource supplies the buffered accelerometer magnitude trace
+	// (the watch keeps a rolling window in deployment).
+	SensorSource func(n int) ([]float64, error)
+	// SensorTraceLen is the trace length shipped per session.
+	SensorTraceLen int
+}
+
+// Watch is the reactive watch-side WearLock Controller: it follows orders
+// from the phone, records from the acoustic medium, and either uploads
+// recordings (offload) or runs the DSP locally.
+type Watch struct {
+	cfg    WatchConfig
+	conn   *Conn
+	medium *Medium
+	demod  *modem.Demodulator
+	base   modem.Config
+}
+
+// NewWatch builds a watch agent.
+func NewWatch(cfg WatchConfig, conn *Conn, medium *Medium) (*Watch, error) {
+	if conn == nil || medium == nil {
+		return nil, fmt.Errorf("proto: watch requires a connection and a medium")
+	}
+	if cfg.SensorSource == nil {
+		return nil, fmt.Errorf("proto: watch requires a sensor source")
+	}
+	if cfg.SensorTraceLen <= 0 {
+		cfg.SensorTraceLen = 100
+	}
+	base := modem.DefaultConfig(cfg.Band, modem.QPSK)
+	demod, err := modem.NewDemodulator(base)
+	if err != nil {
+		return nil, err
+	}
+	return &Watch{cfg: cfg, conn: conn, medium: medium, demod: demod, base: base}, nil
+}
+
+// Run processes sessions until the context is cancelled or the connection
+// closes. Each completed or aborted session loops back to idle.
+func (w *Watch) Run(ctx context.Context) error {
+	for {
+		msg, err := w.conn.Recv(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil // orderly shutdown
+			}
+			return err
+		}
+		if msg.Type != MsgStartProtocol {
+			// Stale message from an aborted session; ignore.
+			continue
+		}
+		if err := w.session(ctx, msg.Session); err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			// Report and keep serving: a failed session must not kill
+			// the agent. A peer abort needs no reply — the phone already
+			// knows.
+			var peerAbort *PeerAbortError
+			if !errorsAs(err, &peerAbort) {
+				w.abort(ctx, msg.Session, err.Error())
+			}
+		}
+	}
+}
+
+// abort best-effort notifies the phone.
+func (w *Watch) abort(ctx context.Context, session uint64, reason string) {
+	msg := &Message{Type: MsgAbort, Session: session, Payload: (&AbortPayload{Reason: reason}).Encode()}
+	_, _ = w.conn.Send(ctx, msg)
+}
+
+// session executes one unlock session from the watch's perspective.
+func (w *Watch) session(ctx context.Context, session uint64) error {
+	// Ack and ship the sensor window.
+	if _, err := w.conn.Send(ctx, &Message{Type: MsgAckRecording, Session: session}); err != nil {
+		return err
+	}
+	trace, err := w.cfg.SensorSource(w.cfg.SensorTraceLen)
+	if err != nil {
+		return fmt.Errorf("sensor source: %w", err)
+	}
+	sensorMsg := &Message{Type: MsgSensorData, Session: session, Payload: (&SensorPayload{Samples: trace}).Encode()}
+	if _, err := w.conn.Send(ctx, sensorMsg); err != nil {
+		return err
+	}
+
+	// Phase 1: await the probe.
+	if _, err := w.conn.Expect(ctx, session, MsgProbeSent); err != nil {
+		return err
+	}
+	probeRec, err := w.medium.Capture(ctx)
+	if err != nil {
+		return err
+	}
+	if w.cfg.Offload {
+		payload := AudioFromFloats(probeRec.Rate, probeRec.Samples)
+		msg := &Message{Type: MsgProbeAudio, Session: session, Payload: payload.Encode()}
+		if _, err := w.conn.Send(ctx, msg); err != nil {
+			return err
+		}
+	} else {
+		pa, err := w.demod.AnalyzeProbe(probeRec)
+		if err != nil {
+			return fmt.Errorf("probe analysis: %w", err)
+		}
+		report := &CTSReportPayload{
+			EbN0dB:         pa.EbN0dB,
+			DelaySpreadSec: pa.RMSDelaySpread,
+			DetectScore:    pa.Detection.Score,
+			PreambleStart:  int32(pa.Detection.PreambleStart),
+			NoisePower:     pa.NoisePower,
+			ChannelGain:    pa.ChannelGain,
+		}
+		msg := &Message{Type: MsgCTSReport, Session: session, Payload: report.Encode()}
+		if _, err := w.conn.Send(ctx, msg); err != nil {
+			return err
+		}
+	}
+
+	// Phase 2: receive the adapted configuration, then the token.
+	cfgMsg, err := w.conn.Expect(ctx, session, MsgChannelConfig)
+	if err != nil {
+		return err
+	}
+	chCfg, err := DecodeChannelConfigPayload(cfgMsg.Payload)
+	if err != nil {
+		return err
+	}
+	dataCfg := w.base
+	dataCfg.Modulation = modem.Modulation(chCfg.Modulation)
+	if len(chCfg.DataChannels) > 0 {
+		channels := make([]int, len(chCfg.DataChannels))
+		for i, c := range chCfg.DataChannels {
+			channels[i] = int(c)
+		}
+		dataCfg.DataChannels = channels
+	}
+	if err := dataCfg.Validate(); err != nil {
+		return fmt.Errorf("pushed channel config invalid: %w", err)
+	}
+
+	if _, err := w.conn.Expect(ctx, session, MsgTokenSent); err != nil {
+		return err
+	}
+	tokenRec, err := w.medium.Capture(ctx)
+	if err != nil {
+		return err
+	}
+	if w.cfg.Offload {
+		payload := AudioFromFloats(tokenRec.Rate, tokenRec.Samples)
+		msg := &Message{Type: MsgTokenAudio, Session: session, Payload: payload.Encode()}
+		if _, err := w.conn.Send(ctx, msg); err != nil {
+			return err
+		}
+	} else {
+		demod, err := modem.NewDemodulator(dataCfg)
+		if err != nil {
+			return err
+		}
+		coded := otp.BitLength * int(chCfg.Repetition)
+		rx, err := demod.Demodulate(tokenRec, coded)
+		if err != nil {
+			return fmt.Errorf("token demodulation: %w", err)
+		}
+		bits, err := modem.DecodeRepetition(rx.Bits, int(chCfg.Repetition))
+		if err != nil {
+			return err
+		}
+		token, err := otp.TokenFromBits(bits)
+		if err != nil {
+			return err
+		}
+		result := &TokenResultPayload{Token: token, EbN0dB: rx.EbN0dB}
+		msg := &Message{Type: MsgTokenResult, Session: session, Payload: result.Encode()}
+		if _, err := w.conn.Send(ctx, msg); err != nil {
+			return err
+		}
+	}
+
+	// Final decision closes the session.
+	if _, err := w.conn.Expect(ctx, session, MsgDecision); err != nil {
+		return err
+	}
+	return nil
+}
+
+// buffersFromAudioPayload converts a received AudioPayload into a Buffer.
+func buffersFromAudioPayload(p *AudioPayload) *audio.Buffer {
+	return &audio.Buffer{Rate: int(p.Rate), Samples: p.Floats()}
+}

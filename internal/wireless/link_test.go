@@ -1,0 +1,163 @@
+package wireless
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestNewLinkValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewLink(Transport(99), 1, rng); err == nil {
+		t.Error("accepted unknown transport")
+	}
+	if _, err := NewLink(Bluetooth, -1, rng); err == nil {
+		t.Error("accepted negative distance")
+	}
+	if _, err := NewLink(Bluetooth, 1, nil); err == nil {
+		t.Error("accepted nil rng")
+	}
+}
+
+func TestTransportStrings(t *testing.T) {
+	if Bluetooth.String() != "bluetooth" || WiFi.String() != "wifi" {
+		t.Error("transport names wrong")
+	}
+	if Transport(99).Valid() {
+		t.Error("invalid transport reported valid")
+	}
+}
+
+// Connectivity follows the paper's measured Bluetooth range: present at
+// 10 m LOS, absent past ~12-15 m.
+func TestConnectivityRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	near, err := NewLink(Bluetooth, 10, rng)
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	if !near.Connected() {
+		t.Error("Bluetooth at 10 m should be connected (the paper's over-broad boundary)")
+	}
+	far, err := NewLink(Bluetooth, 20, rng)
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	if far.Connected() {
+		t.Error("Bluetooth at 20 m should be disconnected")
+	}
+	down, err := NewLink(Bluetooth, 1, rng)
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	down.Down = true
+	if down.Connected() {
+		t.Error("forced-down link reported connected")
+	}
+	if _, err := down.SendMessage(10); err != ErrLinkDown {
+		t.Errorf("SendMessage on down link: %v, want ErrLinkDown", err)
+	}
+	if _, err := down.TransferFile(10); err != ErrLinkDown {
+		t.Errorf("TransferFile on down link: %v, want ErrLinkDown", err)
+	}
+}
+
+// WiFi messages must be several times faster than Bluetooth and file
+// transfer must dominate messages, matching Fig. 11's ordering.
+func TestLatencyOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bt, err := NewLink(Bluetooth, 1, rng)
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	wifi, err := NewLink(WiFi, 1, rng)
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	avg := func(f func() (time.Duration, error)) time.Duration {
+		var sum time.Duration
+		const n = 40
+		for i := 0; i < n; i++ {
+			d, err := f()
+			if err != nil {
+				t.Fatalf("latency sample: %v", err)
+			}
+			sum += d
+		}
+		return sum / n
+	}
+	btMsg := avg(func() (time.Duration, error) { return bt.SendMessage(64) })
+	wifiMsg := avg(func() (time.Duration, error) { return wifi.SendMessage(64) })
+	btFile := avg(func() (time.Duration, error) { return bt.TransferFile(100 * 1024) })
+	wifiFile := avg(func() (time.Duration, error) { return wifi.TransferFile(100 * 1024) })
+
+	if wifiMsg*2 > btMsg {
+		t.Errorf("WiFi message %s not clearly faster than Bluetooth %s", wifiMsg, btMsg)
+	}
+	if btFile < btMsg*5 {
+		t.Errorf("Bluetooth file transfer %s should dwarf message latency %s", btFile, btMsg)
+	}
+	if wifiFile >= btFile {
+		t.Errorf("WiFi file transfer %s not faster than Bluetooth %s", wifiFile, btFile)
+	}
+	// The Bluetooth audio-clip transfer is the second-scale cost the
+	// offloading trade-off hinges on.
+	if btFile < 500*time.Millisecond || btFile > 4*time.Second {
+		t.Errorf("Bluetooth 100 KiB transfer %s outside the plausible 0.5-4 s window", btFile)
+	}
+}
+
+func TestMessageSizeValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	link, err := NewLink(WiFi, 1, rng)
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	if _, err := link.SendMessage(-1); err == nil {
+		t.Error("accepted negative payload")
+	}
+	if _, err := link.TransferFile(-1); err == nil {
+		t.Error("accepted negative file size")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	link, err := NewLink(Bluetooth, 1, rng)
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	rtt, err := link.RoundTrip()
+	if err != nil {
+		t.Fatalf("RoundTrip: %v", err)
+	}
+	if rtt < 20*time.Millisecond || rtt > 400*time.Millisecond {
+		t.Errorf("Bluetooth RTT %s outside plausible range", rtt)
+	}
+}
+
+// Larger payloads must take longer (serialization is not free).
+func TestPayloadScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	link, err := NewLink(Bluetooth, 1, rng)
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	var small, large time.Duration
+	const n = 40
+	for i := 0; i < n; i++ {
+		s, err := link.SendMessage(16)
+		if err != nil {
+			t.Fatalf("SendMessage: %v", err)
+		}
+		l, err := link.SendMessage(64 * 1024)
+		if err != nil {
+			t.Fatalf("SendMessage: %v", err)
+		}
+		small += s
+		large += l
+	}
+	if large <= small {
+		t.Errorf("64 KiB message (%s avg) not slower than 16 B (%s avg)", large/n, small/n)
+	}
+}

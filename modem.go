@@ -1,0 +1,116 @@
+package wearlock
+
+import (
+	"math/rand"
+
+	"wearlock/internal/acoustic"
+	"wearlock/internal/audio"
+	"wearlock/internal/modem"
+	"wearlock/internal/otp"
+)
+
+// Modem-level types, re-exported for direct use of the acoustic OFDM
+// modem (Sec. III of the paper) without the unlocking protocol around it.
+type (
+	// ModemConfig describes the OFDM frame geometry and channel
+	// assignment.
+	ModemConfig = modem.Config
+	// Modulation is a constellation scheme (BASK ... 16QAM).
+	Modulation = modem.Modulation
+	// Band selects audible (phone-watch) or near-ultrasound
+	// (phone-phone) operation.
+	Band = modem.Band
+	// Modulator converts payload bits into acoustic OFDM frames.
+	Modulator = modem.Modulator
+	// Demodulator runs the receive pipeline of Fig. 3.
+	Demodulator = modem.Demodulator
+	// RxResult reports decoded bits plus detection/SNR diagnostics.
+	RxResult = modem.RxResult
+	// ModeTable holds BER-vs-Eb/N0 calibration curves for adaptive
+	// modulation.
+	ModeTable = modem.ModeTable
+	// Buffer is a mono PCM signal with a sample rate.
+	Buffer = audio.Buffer
+	// Link is a simulated one-way acoustic path with all channel
+	// impairments.
+	Link = acoustic.Link
+	// SpeakerProfile and MicProfile model the transducers.
+	SpeakerProfile = acoustic.SpeakerProfile
+	MicProfile     = acoustic.MicProfile
+)
+
+// Modulations.
+const (
+	BASK  = modem.BASK
+	QASK  = modem.QASK
+	BPSK  = modem.BPSK
+	QPSK  = modem.QPSK
+	PSK8  = modem.PSK8
+	QAM16 = modem.QAM16
+)
+
+// Bands.
+const (
+	BandAudible        = modem.BandAudible
+	BandNearUltrasound = modem.BandNearUltrasound
+)
+
+// DefaultModemConfig returns the paper's default OFDM parameterization
+// for a band and modulation: 44.1 kHz, FFT 256, CP 128, data channels
+// {16..30}, pilots {7,11,...,35} (shifted up for near-ultrasound).
+func DefaultModemConfig(band Band, mod Modulation) ModemConfig {
+	return modem.DefaultConfig(band, mod)
+}
+
+// UltrasoundModemConfig returns the 96 kHz true-ultrasound configuration
+// (21.5-27 kHz) the paper's Discussion anticipates for newer hardware.
+// sampleRate must be at least 64 kHz.
+func UltrasoundModemConfig(sampleRate int, mod Modulation) (ModemConfig, error) {
+	return modem.UltrasoundConfig(sampleRate, mod)
+}
+
+// NewModulator builds a transmitter for the configuration.
+func NewModulator(cfg ModemConfig) (*Modulator, error) { return modem.NewModulator(cfg) }
+
+// NewDemodulator builds a receiver for the configuration.
+func NewDemodulator(cfg ModemConfig) (*Demodulator, error) { return modem.NewDemodulator(cfg) }
+
+// NewAcousticLink builds a simulated phone-speaker-to-watch-microphone
+// path at the given distance through the given environment.
+func NewAcousticLink(sampleRate int, distance float64, env *Environment, rng *rand.Rand) (*Link, error) {
+	return acoustic.NewLink(sampleRate, distance, acoustic.PhoneSpeaker(), acoustic.WatchMic(), env, rng)
+}
+
+// BER returns the bit error rate between two equal-length bit slices.
+func BER(got, want []byte) (float64, error) { return modem.BER(got, want) }
+
+// RandomBits generates n random payload bits.
+func RandomBits(n int, rng *rand.Rand) []byte { return modem.RandomBits(n, rng) }
+
+// HOTP (RFC 4226) one-time-password façade.
+type (
+	// OTPGenerator is the phone-side token source.
+	OTPGenerator = otp.Generator
+	// OTPVerifier validates tokens with a look-ahead window and
+	// three-strike lockout.
+	OTPVerifier = otp.Verifier
+)
+
+// NewOTPKey returns a fresh random shared secret.
+func NewOTPKey() ([]byte, error) { return otp.GenerateKey() }
+
+// NewOTPGenerator creates a generator starting at the given counter.
+func NewOTPGenerator(key []byte, counter uint64) (*OTPGenerator, error) {
+	return otp.NewGenerator(key, counter)
+}
+
+// NewOTPVerifier creates a verifier starting at the given counter.
+func NewOTPVerifier(key []byte, counter uint64) (*OTPVerifier, error) {
+	return otp.NewVerifier(key, counter)
+}
+
+// HOTPToken computes the 31-bit RFC 4226 token for a key and counter.
+func HOTPToken(key []byte, counter uint64) (uint32, error) { return otp.Token(key, counter) }
+
+// HOTPDigits renders a token as an n-digit decimal code.
+func HOTPDigits(token uint32, n int) (string, error) { return otp.Digits(token, n) }
