@@ -1,0 +1,38 @@
+# WearLock CI targets. `make ci` is the gate: vet, build, race-enabled
+# tests, and a benchmark smoke run.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench fuzz-smoke bench-sim
+
+ci: vet build race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One short iteration of every paper-figure benchmark plus the DSP and
+# sim microbenchmarks — a smoke test that the bench harness still runs,
+# not a measurement.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Brief run of each fuzz target against its checked-in corpus plus a few
+# seconds of mutation.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzReadWAV -fuzztime=10s ./internal/audio
+	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=10s ./internal/proto
+	$(GO) test -run='^$$' -fuzz=FuzzPayloadDecoders -fuzztime=10s ./internal/proto
+
+# Regenerate the serial-vs-parallel sweep timings recorded in
+# BENCH_sim.json (see that file for the capture environment).
+bench-sim:
+	$(GO) run ./cmd/benchsim -out BENCH_sim.json

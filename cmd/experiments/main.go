@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	experiments [-run name[,name...]] [-scale quick|full] [-seed N] [-list]
+//	experiments [-run name[,name...]] [-scale quick|full] [-seed N]
+//	            [-parallel N] [-list]
 //
 // With no -run flag every registered experiment runs in order. Output is
 // a text table per experiment, matching the rows/series the paper
-// reports.
+// reports. -parallel fans each figure's grid sweep across N workers on
+// the batch-simulation engine; results are bit-identical to -parallel 1.
 package main
 
 import (
@@ -29,6 +31,7 @@ func run() int {
 		runList   = flag.String("run", "", "comma-separated experiment names (default: all)")
 		scaleName = flag.String("scale", "full", "experiment scale: quick or full")
 		seed      = flag.Int64("seed", 42, "random seed")
+		parallel  = flag.Int("parallel", 1, "worker count for figure grid sweeps (results identical for any value)")
 		list      = flag.Bool("list", false, "list experiment names and exit")
 	)
 	flag.Parse()
@@ -49,22 +52,25 @@ func run() int {
 		return 2
 	}
 
-	registry := experiments.Registry()
+	known := make(map[string]bool)
+	for _, name := range experiments.Names() {
+		known[name] = true
+	}
 	names := experiments.Names()
 	if *runList != "" {
 		names = strings.Split(*runList, ",")
 	}
+	opts := experiments.Options{Scale: scale, Seed: *seed, Parallel: *parallel}
 	failed := 0
 	for _, name := range names {
 		name = strings.TrimSpace(name)
-		runner, ok := registry[name]
-		if !ok {
+		if !known[name] {
 			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", name)
 			failed++
 			continue
 		}
 		start := time.Now()
-		table, err := runner(scale, *seed)
+		table, err := experiments.Run(name, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
 			failed++

@@ -7,6 +7,13 @@
 //	wearlock-sim [-n 5] [-distance 0.15] [-env office] [-activity sitting]
 //	             [-band audible] [-transport bluetooth] [-offload=true]
 //	             [-same-hand] [-attacker] [-other-room] [-seed 1] [-v]
+//	             [-batch] [-parallel N]
+//
+// With -batch the -n sessions run as independent jobs on the
+// batch-simulation engine (each with a fresh system seeded from the
+// session index) and only the aggregate summary is printed; -parallel
+// fans the jobs across N workers without changing any number in the
+// summary.
 package main
 
 import (
@@ -37,6 +44,8 @@ func run() int {
 		otherRoom = flag.Bool("other-room", false, "watch in a different room")
 		seed      = flag.Int64("seed", 1, "random seed")
 		verbose   = flag.Bool("v", false, "print the full per-session timeline")
+		batch     = flag.Bool("batch", false, "run sessions as a batch on the simulation engine and print aggregates")
+		parallel  = flag.Int("parallel", 1, "batch worker count (aggregates identical for any value)")
 	)
 	flag.Parse()
 
@@ -98,13 +107,30 @@ func run() int {
 		return 2
 	}
 
+	fmt.Printf("scenario: d=%.2fm env=%s activity=%s band=%s transport=%s offload=%v same-hand=%v attacker=%v\n\n",
+		sc.Distance, sc.Env.Name, sc.Activity, cfg.Band, cfg.Transport, cfg.Offload, sc.SameHand, !sc.SameBody)
+
+	if *batch {
+		res, err := wearlock.RunBatch(wearlock.BatchSpec{
+			Config:   cfg,
+			Scenario: sc,
+			Sessions: *n,
+			Seed:     *seed,
+			Parallel: *parallel,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wearlock-sim: %v\n", err)
+			return 1
+		}
+		fmt.Println(res)
+		return 0
+	}
+
 	sys, err := wearlock.NewSystem(cfg, rand.New(rand.NewSource(*seed)))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wearlock-sim: %v\n", err)
 		return 1
 	}
-	fmt.Printf("scenario: d=%.2fm env=%s activity=%s band=%s transport=%s offload=%v same-hand=%v attacker=%v\n\n",
-		sc.Distance, sc.Env.Name, sc.Activity, cfg.Band, cfg.Transport, cfg.Offload, sc.SameHand, !sc.SameBody)
 
 	unlocked := 0
 	for i := 0; i < *n; i++ {

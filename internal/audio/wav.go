@@ -13,6 +13,11 @@ import (
 const (
 	_wavFormatPCM  = 1
 	_wavHeaderSize = 44
+	// _wavMaxChunk bounds a declared chunk size so a corrupted header
+	// (the field is a uint32, nominally up to 4 GiB) cannot drive a
+	// multi-gigabyte allocation. 64 MiB is ~11 minutes of 48 kHz mono
+	// PCM, far beyond any clip the modem tools exchange.
+	_wavMaxChunk = 64 << 20
 )
 
 // WriteWAV encodes the buffer as a 16-bit mono PCM WAV stream. Samples are
@@ -77,6 +82,9 @@ func ReadWAV(r io.Reader) (*Buffer, error) {
 		}
 		id := string(chunkHeader[0:4])
 		size := binary.LittleEndian.Uint32(chunkHeader[4:8])
+		if size > _wavMaxChunk {
+			return nil, fmt.Errorf("audio: %q chunk of %d bytes exceeds the %d-byte limit", id, size, _wavMaxChunk)
+		}
 		switch id {
 		case "fmt ":
 			body := make([]byte, size)

@@ -1,0 +1,60 @@
+package audio
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadWAV hammers the WAV decoder with arbitrary bytes. Any input
+// may be rejected, but none may panic or allocate unboundedly, and any
+// accepted input must survive a write/read round trip: re-encoding the
+// decoded buffer and decoding it again reproduces the same rate and
+// samples. The one exception is a stored -32768, which decodes below
+// -1.0 and therefore clips to -32767 on re-encode.
+func FuzzReadWAV(f *testing.F) {
+	tone, err := NewBuffer(16000, 32)
+	if err != nil {
+		f.Fatalf("building seed buffer: %v", err)
+	}
+	for i := range tone.Samples {
+		tone.Samples[i] = float64(i%7)/7 - 0.5
+	}
+	var valid bytes.Buffer
+	if err := WriteWAV(&valid, tone); err != nil {
+		f.Fatalf("encoding seed: %v", err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:20])                 // truncated inside the fmt chunk
+	f.Add([]byte("RIFF\x24\x00\x00\x00WAVE")) // header with no chunks
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		buf, err := ReadWAV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteWAV(&out, buf); err != nil {
+			t.Fatalf("ReadWAV accepted a buffer WriteWAV rejects: %v", err)
+		}
+		again, err := ReadWAV(&out)
+		if err != nil {
+			t.Fatalf("re-decoding our own encoder's output: %v", err)
+		}
+		if again.Rate != buf.Rate {
+			t.Errorf("round trip changed rate: %d -> %d", buf.Rate, again.Rate)
+		}
+		if len(again.Samples) != len(buf.Samples) {
+			t.Fatalf("round trip changed length: %d -> %d", len(buf.Samples), len(again.Samples))
+		}
+		for i, v := range buf.Samples {
+			want := v
+			if want < -1 {
+				want = -1
+			}
+			if again.Samples[i] != want {
+				t.Errorf("sample %d: %v round-tripped to %v", i, v, again.Samples[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestRunBatchDeterminism pins the batch contract: the aggregate summary
+// of N unlock sessions must be bit-identical for every worker count,
+// because sessions are seeded from (base seed, session index) and folded
+// in session order.
+func TestRunBatchDeterminism(t *testing.T) {
+	spec := BatchSpec{
+		Config:   DefaultConfig(),
+		Scenario: DefaultScenario(),
+		Sessions: 6,
+		Seed:     11,
+		Parallel: 1,
+	}
+	serial, err := RunBatch(spec)
+	if err != nil {
+		t.Fatalf("serial batch: %v", err)
+	}
+	if serial.Sessions != 6 {
+		t.Fatalf("Sessions = %d, want 6", serial.Sessions)
+	}
+	total := 0
+	for _, c := range serial.Outcomes {
+		total += c
+	}
+	if total != serial.Sessions {
+		t.Errorf("outcome counts sum to %d, want %d", total, serial.Sessions)
+	}
+	if serial.LatencyMS.Count != serial.Sessions {
+		t.Errorf("latency observations = %d, want one per session", serial.LatencyMS.Count)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		spec.Parallel = workers
+		par, err := RunBatch(spec)
+		if err != nil {
+			t.Fatalf("parallel=%d batch: %v", workers, err)
+		}
+		if !reflect.DeepEqual(par, serial) {
+			t.Errorf("parallel=%d batch differs from serial:\nserial:   %+v\nparallel: %+v", workers, serial, par)
+		}
+	}
+}
+
+// TestRunBatchUnlocksNominal sanity-checks that the nominal scenario
+// unlocks most sessions, matching the single-System behavior the rest of
+// the suite pins.
+func TestRunBatchUnlocksNominal(t *testing.T) {
+	res, err := RunBatch(BatchSpec{
+		Config:   DefaultConfig(),
+		Scenario: DefaultScenario(),
+		Sessions: 8,
+		Seed:     3,
+		Parallel: 4,
+	})
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	if res.UnlockRate() < 0.5 {
+		t.Errorf("nominal unlock rate %.2f below 0.5: %+v", res.UnlockRate(), res.Outcomes)
+	}
+}
+
+// TestRunBatchValidation rejects malformed specs and honors an already
+// canceled context.
+func TestRunBatchValidation(t *testing.T) {
+	if _, err := RunBatch(BatchSpec{Config: DefaultConfig(), Scenario: DefaultScenario()}); err == nil {
+		t.Error("RunBatch accepted zero sessions")
+	}
+	bad := DefaultScenario()
+	bad.Distance = -1
+	if _, err := RunBatch(BatchSpec{Config: DefaultConfig(), Scenario: bad, Sessions: 1}); err == nil {
+		t.Error("RunBatch accepted a negative distance")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunBatch(BatchSpec{
+		Config:   DefaultConfig(),
+		Scenario: DefaultScenario(),
+		Sessions: 4,
+		Ctx:      ctx,
+	}); err == nil {
+		t.Error("RunBatch ignored a canceled context")
+	}
+}

@@ -122,10 +122,14 @@ func NewSystem(cfg Config, rng *rand.Rand) (*System, error) {
 	}
 	key := cfg.OTPKey
 	if key == nil {
-		var err error
-		key, err = otp.GenerateKey()
-		if err != nil {
-			return nil, err
+		// Derive the shared secret from the session RNG, not
+		// crypto/rand: rng is documented to drive every stochastic
+		// element, and a hidden entropy source here would make two
+		// systems built from the same seed transmit different tokens.
+		// Deployments supply a real negotiated secret via cfg.OTPKey.
+		key = make([]byte, otp.KeySize)
+		for i := range key {
+			key[i] = byte(rng.Intn(256))
 		}
 	}
 	gen, err := otp.NewGenerator(key, 0)

@@ -45,8 +45,10 @@ func crossCorrelateFFT(signal, template []float64) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	a := make([]complex128, n)
-	b := make([]complex128, n)
+	a := GetComplex(n)
+	defer PutComplex(a)
+	b := GetComplex(n)
+	defer PutComplex(b)
 	for i, v := range signal {
 		a[i] = complex(v, 0)
 	}

@@ -121,25 +121,31 @@ func (p *Plan) butterflies(data []complex128, inverse bool) {
 	}
 }
 
-var (
-	_planMu    sync.Mutex
-	_planCache = make(map[int]*Plan)
-)
+// _planCache maps FFT size -> *Plan. The working set is a handful of
+// sizes hit millions of times from every worker goroutine of a batch
+// sweep, so the cache is a sync.Map: loads after the first miss are
+// lock-free, and a racing double-create is harmless (one plan wins, the
+// loser is garbage-collected).
+var _planCache sync.Map
 
 // planFor returns a cached plan for size n, creating one on first use.
+// Safe for concurrent use.
 func planFor(n int) (*Plan, error) {
-	_planMu.Lock()
-	defer _planMu.Unlock()
-	if p, ok := _planCache[n]; ok {
-		return p, nil
+	if p, ok := _planCache.Load(n); ok {
+		return p.(*Plan), nil
 	}
 	p, err := NewPlan(n)
 	if err != nil {
 		return nil, err
 	}
-	_planCache[n] = p
-	return p, nil
+	actual, _ := _planCache.LoadOrStore(n, p)
+	return actual.(*Plan), nil
 }
+
+// PlanFor returns the shared cached plan for transforms of length n (a
+// positive power of two). Callers must treat the plan as read-only; it is
+// safe for concurrent use.
+func PlanFor(n int) (*Plan, error) { return planFor(n) }
 
 // FFT returns the discrete Fourier transform of x. The length of x must be
 // a positive power of two.

@@ -30,19 +30,37 @@ type Fig10Result struct {
 // exactly how our simulator substitutes for the paper's per-device
 // stopwatch measurements.
 func Fig10(scale Scale, seed int64) (*Fig10Result, error) {
-	rng := newRNG(seed)
-	trials := scale.trials(2, 8)
+	return Fig10Opts(serialOpts(scale, seed))
+}
+
+// fig10Costs carries one trial's three cost tallies between jobs.
+type fig10Costs struct {
+	probe, pre, demod modem.Cost
+}
+
+// Fig10Opts is Fig10 with explicit run options; each trial is an
+// independent job on the batch engine and the cost tallies are summed in
+// trial order, so results are bit-identical for every Parallel value.
+func Fig10Opts(opts Options) (*Fig10Result, error) {
+	opts = opts.normalized()
+	trials := opts.Scale.trials(2, 8)
 	res := &Fig10Result{}
 
-	var probeCost, preCost, demodCost modem.Cost
-	for trial := 0; trial < trials; trial++ {
+	costs, err := runPoints(opts, "fig10", trials, func(_ int, rng *rand.Rand) (fig10Costs, error) {
 		pc, dc, dd, err := measureCosts(rng)
 		if err != nil {
-			return nil, err
+			return fig10Costs{}, err
 		}
-		probeCost.Add(pc)
-		preCost.Add(dc)
-		demodCost.Add(dd)
+		return fig10Costs{probe: pc, pre: dc, demod: dd}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var probeCost, preCost, demodCost modem.Cost
+	for _, c := range costs {
+		probeCost.Add(c.probe)
+		preCost.Add(c.pre)
+		demodCost.Add(c.demod)
 	}
 	scaleCost := func(c modem.Cost, n int) modem.Cost {
 		return modem.Cost{

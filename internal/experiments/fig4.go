@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 
 	"wearlock/internal/acoustic"
 	"wearlock/internal/audio"
@@ -28,56 +29,71 @@ type Fig4Result struct {
 // The validation target is the slope: about -6 dB per distance doubling
 // (spherical spreading, g = 1).
 func Fig4(scale Scale, seed int64) (*Fig4Result, error) {
-	rng := newRNG(seed)
+	return Fig4Opts(serialOpts(scale, seed))
+}
+
+// Fig4Opts is Fig4 with explicit run options; each (volume, distance)
+// grid point is an independent job on the batch engine, so results are
+// bit-identical for every Parallel value.
+func Fig4Opts(opts Options) (*Fig4Result, error) {
+	opts = opts.normalized()
 	volumes := []float64{60, 70, 80}
 	distances := []float64{0.25, 0.5, 1, 2, 4}
 	prop := acoustic.DefaultPropagation()
-	res := &Fig4Result{}
-	trials := scale.trials(2, 6)
+	trials := opts.Scale.trials(2, 6)
 
+	type point struct{ vol, dist float64 }
+	var pts []point
 	for _, vol := range volumes {
 		for _, dist := range distances {
-			var measured []float64
-			for trial := 0; trial < trials; trial++ {
-				link, err := acoustic.NewLink(audio.DefaultSampleRate, dist, acoustic.PhoneSpeaker(), acoustic.WatchMic(), acoustic.QuietRoom(), rng)
-				if err != nil {
-					return nil, err
-				}
-				// A 4 kHz calibration tone, 0.25 s.
-				tone, err := audio.Tone(4000, 1, audio.DefaultSampleRate/4, audio.DefaultSampleRate)
-				if err != nil {
-					return nil, err
-				}
-				rec, err := link.Transmit(tone, vol)
-				if err != nil {
-					return nil, err
-				}
-				// Measure over the steady middle of the received tone,
-				// skipping the ambient lead-in.
-				start := link.LeadIn + acoustic.DelaySamples(dist, rec.Rate) + rec.Rate/50
-				end := start + rec.Rate/10
-				if end > rec.Len() {
-					end = rec.Len()
-				}
-				seg, err := rec.Slice(start, end)
-				if err != nil {
-					return nil, err
-				}
-				measured = append(measured, audio.SPL(seg))
-			}
-			theory, err := prop.SPLAt(vol, dist)
-			if err != nil {
-				return nil, err
-			}
-			res.Rows = append(res.Rows, Fig4Row{
-				VolumeSPL:   vol,
-				DistanceM:   dist,
-				MeasuredSPL: mean(measured),
-				TheorySPL:   theory,
-			})
+			pts = append(pts, point{vol, dist})
 		}
 	}
-	return res, nil
+	rows, err := runPoints(opts, "fig4", len(pts), func(i int, rng *rand.Rand) (Fig4Row, error) {
+		p := pts[i]
+		var measured []float64
+		for trial := 0; trial < trials; trial++ {
+			link, err := acoustic.NewLink(audio.DefaultSampleRate, p.dist, acoustic.PhoneSpeaker(), acoustic.WatchMic(), acoustic.QuietRoom(), rng)
+			if err != nil {
+				return Fig4Row{}, err
+			}
+			// A 4 kHz calibration tone, 0.25 s.
+			tone, err := audio.Tone(4000, 1, audio.DefaultSampleRate/4, audio.DefaultSampleRate)
+			if err != nil {
+				return Fig4Row{}, err
+			}
+			rec, err := link.Transmit(tone, p.vol)
+			if err != nil {
+				return Fig4Row{}, err
+			}
+			// Measure over the steady middle of the received tone,
+			// skipping the ambient lead-in.
+			start := link.LeadIn + acoustic.DelaySamples(p.dist, rec.Rate) + rec.Rate/50
+			end := start + rec.Rate/10
+			if end > rec.Len() {
+				end = rec.Len()
+			}
+			seg, err := rec.Slice(start, end)
+			if err != nil {
+				return Fig4Row{}, err
+			}
+			measured = append(measured, audio.SPL(seg))
+		}
+		theory, err := prop.SPLAt(p.vol, p.dist)
+		if err != nil {
+			return Fig4Row{}, err
+		}
+		return Fig4Row{
+			VolumeSPL:   p.vol,
+			DistanceM:   p.dist,
+			MeasuredSPL: mean(measured),
+			TheorySPL:   theory,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig4Result{Rows: rows}, nil
 }
 
 // SlopePerDoubling estimates the measured SPL drop per distance doubling

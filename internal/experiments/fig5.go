@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 
 	"wearlock/internal/acoustic"
@@ -30,14 +31,37 @@ type Fig5Result struct {
 // hardware; phase schemes keep a residual floor that amplitude schemes
 // avoid — not the absolute axis range.
 func Fig5(scale Scale, seed int64) (*Fig5Result, error) {
-	rng := newRNG(seed)
+	return Fig5Opts(serialOpts(scale, seed))
+}
+
+// fig5Sample is one (Eb/N0, BER) scatter observation.
+type fig5Sample struct{ eb, ber float64 }
+
+// Fig5Opts is Fig5 with explicit run options; each (modulation, noise
+// level) grid point is an independent job on the batch engine and the
+// per-modulation scatter is folded back in point order, so the bucketed
+// curves are bit-identical for every Parallel value.
+func Fig5Opts(opts Options) (*Fig5Result, error) {
+	opts = opts.normalized()
 	res := &Fig5Result{Curves: make(map[modem.Modulation][]Fig5Point)}
 	noiseLevels := []float64{70, 65, 60, 55, 50, 45, 38, 30, 22}
-	trials := scale.trials(2, 8)
+	trials := opts.Scale.trials(2, 8)
 	payload := 240
+	mods := modem.AllModulations()
 
-	for _, m := range modem.AllModulations() {
-		cfg := modem.DefaultConfig(modem.BandAudible, m)
+	type point struct {
+		mod      modem.Modulation
+		noiseSPL float64
+	}
+	var pts []point
+	for _, m := range mods {
+		for _, noiseSPL := range noiseLevels {
+			pts = append(pts, point{m, noiseSPL})
+		}
+	}
+	samples, err := runPoints(opts, "fig5", len(pts), func(i int, rng *rand.Rand) ([]fig5Sample, error) {
+		p := pts[i]
+		cfg := modem.DefaultConfig(modem.BandAudible, p.mod)
 		mod, err := modem.NewModulator(cfg)
 		if err != nil {
 			return nil, err
@@ -46,41 +70,50 @@ func Fig5(scale Scale, seed int64) (*Fig5Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		type sample struct{ eb, ber float64 }
-		var scatter []sample
-		for _, noiseSPL := range noiseLevels {
-			for trial := 0; trial < trials; trial++ {
-				env := &acoustic.Environment{
-					Name:     "white-noise-speaker",
-					NoiseSPL: noiseSPL,
-					Mix:      []acoustic.NoiseComponent{{Kind: audio.NoiseWhite, Weight: 1}},
-				}
-				link, err := acoustic.NewLink(cfg.SampleRate, 0.2, acoustic.PhoneSpeaker(), acoustic.WatchMic(), env, rng)
-				if err != nil {
-					return nil, err
-				}
-				bits := modem.RandomBits(payload, rng)
-				frame, err := mod.Modulate(bits)
-				if err != nil {
-					return nil, err
-				}
-				rec, err := link.Transmit(frame, 78)
-				if err != nil {
-					return nil, err
-				}
-				rx, err := demod.Demodulate(rec, payload)
-				if err != nil {
-					continue // no detection at the lowest SNRs
-				}
-				ber, err := modem.BER(rx.Bits, bits)
-				if err != nil {
-					return nil, err
-				}
-				scatter = append(scatter, sample{eb: rx.EbN0dB, ber: ber})
+		var scatter []fig5Sample
+		for trial := 0; trial < trials; trial++ {
+			env := &acoustic.Environment{
+				Name:     "white-noise-speaker",
+				NoiseSPL: p.noiseSPL,
+				Mix:      []acoustic.NoiseComponent{{Kind: audio.NoiseWhite, Weight: 1}},
 			}
+			link, err := acoustic.NewLink(cfg.SampleRate, 0.2, acoustic.PhoneSpeaker(), acoustic.WatchMic(), env, rng)
+			if err != nil {
+				return nil, err
+			}
+			bits := modem.RandomBits(payload, rng)
+			frame, err := mod.Modulate(bits)
+			if err != nil {
+				return nil, err
+			}
+			rec, err := link.Transmit(frame, 78)
+			if err != nil {
+				return nil, err
+			}
+			rx, err := demod.Demodulate(rec, payload)
+			if err != nil {
+				continue // no detection at the lowest SNRs
+			}
+			ber, err := modem.BER(rx.Bits, bits)
+			if err != nil {
+				return nil, err
+			}
+			scatter = append(scatter, fig5Sample{eb: rx.EbN0dB, ber: ber})
 		}
+		return scatter, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for mi, m := range mods {
 		// Bucket the scatter into 4 dB Eb/N0 bins, as the paper fits
-		// trend lines through its scatter.
+		// trend lines through its scatter. Points are concatenated in
+		// noise-level order, matching the serial sweep.
+		var scatter []fig5Sample
+		for ni := range noiseLevels {
+			scatter = append(scatter, samples[mi*len(noiseLevels)+ni]...)
+		}
 		buckets := make(map[int][]float64)
 		for _, s := range scatter {
 			buckets[int(s.eb/4)] = append(buckets[int(s.eb/4)], s.ber)

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 
 	"wearlock/internal/acoustic"
 	"wearlock/internal/modem"
@@ -27,63 +28,81 @@ type Fig7Result struct {
 // BER is workable, and it degrades sharply beyond — higher-order modes
 // degrade soonest.
 func Fig7(scale Scale, seed int64) (*Fig7Result, error) {
-	rng := newRNG(seed)
-	res := &Fig7Result{}
+	return Fig7Opts(serialOpts(scale, seed))
+}
+
+// Fig7Opts is Fig7 with explicit run options; each (mode, distance) grid
+// point is an independent job on the batch engine, so results are
+// bit-identical for every Parallel value.
+func Fig7Opts(opts Options) (*Fig7Result, error) {
+	opts = opts.normalized()
 	distances := []float64{0.2, 0.5, 1.0, 1.5, 2.0}
-	trials := scale.trials(3, 10)
+	trials := opts.Scale.trials(3, 10)
 	payload := 192
 	const volume = 60 // fixed volume planned for a ~1 m boundary
 
+	type point struct {
+		mode modem.Modulation
+		dist float64
+	}
+	var pts []point
 	for _, m := range modem.TransmissionModes() {
-		cfg := modem.DefaultConfig(modem.BandNearUltrasound, m)
+		for _, dist := range distances {
+			pts = append(pts, point{m, dist})
+		}
+	}
+	rows, err := runPoints(opts, "fig7", len(pts), func(i int, rng *rand.Rand) (Fig7Row, error) {
+		p := pts[i]
+		cfg := modem.DefaultConfig(modem.BandNearUltrasound, p.mode)
 		mod, err := modem.NewModulator(cfg)
 		if err != nil {
-			return nil, err
+			return Fig7Row{}, err
 		}
 		demod, err := modem.NewDemodulator(cfg)
 		if err != nil {
-			return nil, err
+			return Fig7Row{}, err
 		}
-		for _, dist := range distances {
-			var bers []float64
-			detected := 0
-			for trial := 0; trial < trials; trial++ {
-				link, err := acoustic.NewLink(cfg.SampleRate, dist, acoustic.PhoneSpeaker(), acoustic.PhoneMic(), acoustic.Office(), rng)
-				if err != nil {
-					return nil, err
-				}
-				bits := modem.RandomBits(payload, rng)
-				frame, err := mod.Modulate(bits)
-				if err != nil {
-					return nil, err
-				}
-				rec, err := link.Transmit(frame, volume)
-				if err != nil {
-					return nil, err
-				}
-				rx, err := demod.Demodulate(rec, payload)
-				if err != nil {
-					// Lost frames count as chance-level BER, the way a
-					// receiver that can't sync experiences them.
-					bers = append(bers, 0.5)
-					continue
-				}
-				detected++
-				ber, err := modem.BER(rx.Bits, bits)
-				if err != nil {
-					return nil, err
-				}
-				bers = append(bers, ber)
+		var bers []float64
+		detected := 0
+		for trial := 0; trial < trials; trial++ {
+			link, err := acoustic.NewLink(cfg.SampleRate, p.dist, acoustic.PhoneSpeaker(), acoustic.PhoneMic(), acoustic.Office(), rng)
+			if err != nil {
+				return Fig7Row{}, err
 			}
-			res.Rows = append(res.Rows, Fig7Row{
-				Mode:      m,
-				DistanceM: dist,
-				BER:       mean(bers),
-				Detected:  float64(detected) / float64(trials),
-			})
+			bits := modem.RandomBits(payload, rng)
+			frame, err := mod.Modulate(bits)
+			if err != nil {
+				return Fig7Row{}, err
+			}
+			rec, err := link.Transmit(frame, volume)
+			if err != nil {
+				return Fig7Row{}, err
+			}
+			rx, err := demod.Demodulate(rec, payload)
+			if err != nil {
+				// Lost frames count as chance-level BER, the way a
+				// receiver that can't sync experiences them.
+				bers = append(bers, 0.5)
+				continue
+			}
+			detected++
+			ber, err := modem.BER(rx.Bits, bits)
+			if err != nil {
+				return Fig7Row{}, err
+			}
+			bers = append(bers, ber)
 		}
+		return Fig7Row{
+			Mode:      p.mode,
+			DistanceM: p.dist,
+			BER:       mean(bers),
+			Detected:  float64(detected) / float64(trials),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig7Result{Rows: rows}, nil
 }
 
 // BERAt returns the measured BER for a mode/distance cell, or -1.

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 
 	"wearlock/internal/acoustic"
 	"wearlock/internal/modem"
@@ -28,96 +29,113 @@ type Fig8Result struct {
 // the BER constraint; tighter constraints force lower-order modes (or
 // aborts) and keep the achieved BER bounded.
 func Fig8(scale Scale, seed int64) (*Fig8Result, error) {
-	rng := newRNG(seed)
-	res := &Fig8Result{}
+	return Fig8Opts(serialOpts(scale, seed))
+}
+
+// Fig8Opts is Fig8 with explicit run options; each (constraint, distance)
+// grid point is an independent job on the batch engine, so results are
+// bit-identical for every Parallel value.
+func Fig8Opts(opts Options) (*Fig8Result, error) {
+	opts = opts.normalized()
 	distances := []float64{0.2, 0.5, 1.0, 1.5}
 	constraints := []float64{0.1, 0.01}
-	trials := scale.trials(3, 10)
+	trials := opts.Scale.trials(3, 10)
 	payload := 192
 	table := modem.DefaultModeTable()
 	const volume = 60
-
 	probeCfg := modem.DefaultConfig(modem.BandNearUltrasound, modem.QPSK)
-	probeMod, err := modem.NewModulator(probeCfg)
-	if err != nil {
-		return nil, err
-	}
-	probeDemod, err := modem.NewDemodulator(probeCfg)
-	if err != nil {
-		return nil, err
-	}
 
+	type point struct {
+		maxBER float64
+		dist   float64
+	}
+	var pts []point
 	for _, maxBER := range constraints {
 		for _, dist := range distances {
-			row := Fig8Row{
-				MaxBER:     maxBER,
-				DistanceM:  dist,
-				ModeCounts: make(map[modem.Modulation]int),
-				Trials:     trials,
-			}
-			var bers []float64
-			for trial := 0; trial < trials; trial++ {
-				link, err := acoustic.NewLink(probeCfg.SampleRate, dist, acoustic.PhoneSpeaker(), acoustic.PhoneMic(), acoustic.Office(), rng)
-				if err != nil {
-					return nil, err
-				}
-				// RTS/CTS probing.
-				probe, err := probeMod.ProbeSymbol()
-				if err != nil {
-					return nil, err
-				}
-				rec, err := link.Transmit(probe, volume)
-				if err != nil {
-					return nil, err
-				}
-				pa, err := probeDemod.AnalyzeProbe(rec)
-				if err != nil {
-					row.Aborted++
-					continue
-				}
-				mode, err := table.SelectMode(pa.EbN0dB, maxBER)
-				if err != nil {
-					row.Aborted++
-					continue
-				}
-				row.ModeCounts[mode]++
-
-				// Data transmission with the selected mode.
-				dataCfg := probeCfg
-				dataCfg.Modulation = mode
-				mod, err := modem.NewModulator(dataCfg)
-				if err != nil {
-					return nil, err
-				}
-				demod, err := modem.NewDemodulator(dataCfg)
-				if err != nil {
-					return nil, err
-				}
-				bits := modem.RandomBits(payload, rng)
-				frame, err := mod.Modulate(bits)
-				if err != nil {
-					return nil, err
-				}
-				dataRec, err := link.Transmit(frame, volume)
-				if err != nil {
-					return nil, err
-				}
-				rx, err := demod.Demodulate(dataRec, payload)
-				if err != nil {
-					bers = append(bers, 0.5)
-					continue
-				}
-				ber, err := modem.BER(rx.Bits, bits)
-				if err != nil {
-					return nil, err
-				}
-				bers = append(bers, ber)
-			}
-			row.BER = mean(bers)
-			res.Rows = append(res.Rows, row)
+			pts = append(pts, point{maxBER, dist})
 		}
 	}
-	return res, nil
+	rows, err := runPoints(opts, "fig8", len(pts), func(i int, rng *rand.Rand) (Fig8Row, error) {
+		p := pts[i]
+		probeMod, err := modem.NewModulator(probeCfg)
+		if err != nil {
+			return Fig8Row{}, err
+		}
+		probeDemod, err := modem.NewDemodulator(probeCfg)
+		if err != nil {
+			return Fig8Row{}, err
+		}
+		row := Fig8Row{
+			MaxBER:     p.maxBER,
+			DistanceM:  p.dist,
+			ModeCounts: make(map[modem.Modulation]int),
+			Trials:     trials,
+		}
+		var bers []float64
+		for trial := 0; trial < trials; trial++ {
+			link, err := acoustic.NewLink(probeCfg.SampleRate, p.dist, acoustic.PhoneSpeaker(), acoustic.PhoneMic(), acoustic.Office(), rng)
+			if err != nil {
+				return Fig8Row{}, err
+			}
+			// RTS/CTS probing.
+			probe, err := probeMod.ProbeSymbol()
+			if err != nil {
+				return Fig8Row{}, err
+			}
+			rec, err := link.Transmit(probe, volume)
+			if err != nil {
+				return Fig8Row{}, err
+			}
+			pa, err := probeDemod.AnalyzeProbe(rec)
+			if err != nil {
+				row.Aborted++
+				continue
+			}
+			mode, err := table.SelectMode(pa.EbN0dB, p.maxBER)
+			if err != nil {
+				row.Aborted++
+				continue
+			}
+			row.ModeCounts[mode]++
+
+			// Data transmission with the selected mode.
+			dataCfg := probeCfg
+			dataCfg.Modulation = mode
+			mod, err := modem.NewModulator(dataCfg)
+			if err != nil {
+				return Fig8Row{}, err
+			}
+			demod, err := modem.NewDemodulator(dataCfg)
+			if err != nil {
+				return Fig8Row{}, err
+			}
+			bits := modem.RandomBits(payload, rng)
+			frame, err := mod.Modulate(bits)
+			if err != nil {
+				return Fig8Row{}, err
+			}
+			dataRec, err := link.Transmit(frame, volume)
+			if err != nil {
+				return Fig8Row{}, err
+			}
+			rx, err := demod.Demodulate(dataRec, payload)
+			if err != nil {
+				bers = append(bers, 0.5)
+				continue
+			}
+			ber, err := modem.BER(rx.Bits, bits)
+			if err != nil {
+				return Fig8Row{}, err
+			}
+			bers = append(bers, ber)
+		}
+		row.BER = mean(bers)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig8Result{Rows: rows}, nil
 }
 
 // Table renders the figure data.

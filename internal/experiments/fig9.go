@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 
 	"wearlock/internal/acoustic"
 	"wearlock/internal/modem"
@@ -26,9 +27,15 @@ type Fig9Result struct {
 // sub-channel selection enabled the probing phase detects the occupied
 // bins and relocates data channels, holding the BER stable.
 func Fig9(scale Scale, seed int64) (*Fig9Result, error) {
-	rng := newRNG(seed)
-	res := &Fig9Result{}
-	trials := scale.trials(3, 12)
+	return Fig9Opts(serialOpts(scale, seed))
+}
+
+// Fig9Opts is Fig9 with explicit run options; each (selection, tone
+// count) grid point is an independent job on the batch engine, so results
+// are bit-identical for every Parallel value.
+func Fig9Opts(opts Options) (*Fig9Result, error) {
+	opts = opts.normalized()
+	trials := opts.Scale.trials(3, 12)
 	payload := 192
 	const volume = 72
 	baseCfg := modem.DefaultConfig(modem.BandAudible, modem.QPSK)
@@ -39,66 +46,78 @@ func Fig9(scale Scale, seed int64) (*Fig9Result, error) {
 		candidates[i] = baseCfg.SubChannelHz(bin)
 	}
 
+	type point struct {
+		selection bool
+		tones     int
+	}
+	var pts []point
 	for _, selection := range []bool{false, true} {
 		for tones := 0; tones <= acoustic.MaxJammerTones; tones++ {
-			var bers []float64
-			var relocated []float64
-			for trial := 0; trial < trials; trial++ {
-				jam, err := acoustic.RandomJammer(56, tones, candidates, rng)
-				if err != nil {
-					return nil, err
-				}
-				link, err := acoustic.NewLink(baseCfg.SampleRate, 0.15, acoustic.PhoneSpeaker(), acoustic.WatchMic(), acoustic.QuietRoom(), rng)
-				if err != nil {
-					return nil, err
-				}
-				link.Jammer = jam
-
-				dataCfg := baseCfg
-				if selection {
-					adapted, moved, err := adaptChannels(baseCfg, link, volume)
-					if err == nil {
-						dataCfg = adapted
-						relocated = append(relocated, float64(moved))
-					}
-				}
-				mod, err := modem.NewModulator(dataCfg)
-				if err != nil {
-					return nil, err
-				}
-				demod, err := modem.NewDemodulator(dataCfg)
-				if err != nil {
-					return nil, err
-				}
-				bits := modem.RandomBits(payload, rng)
-				frame, err := mod.Modulate(bits)
-				if err != nil {
-					return nil, err
-				}
-				rec, err := link.Transmit(frame, volume)
-				if err != nil {
-					return nil, err
-				}
-				rx, err := demod.Demodulate(rec, payload)
-				if err != nil {
-					bers = append(bers, 0.5)
-					continue
-				}
-				ber, err := modem.BER(rx.Bits, bits)
-				if err != nil {
-					return nil, err
-				}
-				bers = append(bers, ber)
-			}
-			res.Rows = append(res.Rows, Fig9Row{
-				JammedTones: tones,
-				Selection:   selection,
-				BER:         mean(bers),
-				Relocated:   mean(relocated),
-			})
+			pts = append(pts, point{selection, tones})
 		}
 	}
-	return res, nil
+	rows, err := runPoints(opts, "fig9", len(pts), func(i int, rng *rand.Rand) (Fig9Row, error) {
+		p := pts[i]
+		var bers []float64
+		var relocated []float64
+		for trial := 0; trial < trials; trial++ {
+			jam, err := acoustic.RandomJammer(56, p.tones, candidates, rng)
+			if err != nil {
+				return Fig9Row{}, err
+			}
+			link, err := acoustic.NewLink(baseCfg.SampleRate, 0.15, acoustic.PhoneSpeaker(), acoustic.WatchMic(), acoustic.QuietRoom(), rng)
+			if err != nil {
+				return Fig9Row{}, err
+			}
+			link.Jammer = jam
+
+			dataCfg := baseCfg
+			if p.selection {
+				adapted, moved, err := adaptChannels(baseCfg, link, volume)
+				if err == nil {
+					dataCfg = adapted
+					relocated = append(relocated, float64(moved))
+				}
+			}
+			mod, err := modem.NewModulator(dataCfg)
+			if err != nil {
+				return Fig9Row{}, err
+			}
+			demod, err := modem.NewDemodulator(dataCfg)
+			if err != nil {
+				return Fig9Row{}, err
+			}
+			bits := modem.RandomBits(payload, rng)
+			frame, err := mod.Modulate(bits)
+			if err != nil {
+				return Fig9Row{}, err
+			}
+			rec, err := link.Transmit(frame, volume)
+			if err != nil {
+				return Fig9Row{}, err
+			}
+			rx, err := demod.Demodulate(rec, payload)
+			if err != nil {
+				bers = append(bers, 0.5)
+				continue
+			}
+			ber, err := modem.BER(rx.Bits, bits)
+			if err != nil {
+				return Fig9Row{}, err
+			}
+			bers = append(bers, ber)
+		}
+		return Fig9Row{
+			JammedTones: p.tones,
+			Selection:   p.selection,
+			BER:         mean(bers),
+			Relocated:   mean(relocated),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig9Result{Rows: rows}, nil
 }
 
 // adaptChannels runs one RTS/CTS probing round and returns the

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"wearlock/internal/sim"
+)
+
+// Options configures one experiment run. The zero value means quick
+// scale, seed 0, serial execution, background context.
+type Options struct {
+	Scale Scale
+	Seed  int64
+	// Parallel is the worker count for the experiment's point sweep;
+	// values <= 1 run the same job graph on a single worker. Results are
+	// bit-identical for every worker count (see internal/sim).
+	Parallel int
+	// Ctx cancels a sweep mid-batch; nil means context.Background().
+	Ctx context.Context
+}
+
+// normalized fills in the zero-value defaults.
+func (o Options) normalized() Options {
+	if o.Scale != ScaleFull {
+		o.Scale = ScaleQuick
+	}
+	if o.Parallel < 1 {
+		o.Parallel = 1
+	}
+	if o.Ctx == nil {
+		o.Ctx = context.Background()
+	}
+	return o
+}
+
+// serialOpts reproduces the pre-Options call convention.
+func serialOpts(scale Scale, seed int64) Options {
+	return Options{Scale: scale, Seed: seed}
+}
+
+// labelSeed folds an experiment label into a seed coordinate so distinct
+// figures draw uncorrelated streams from one base seed.
+func labelSeed(label string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	return int64(h.Sum64())
+}
+
+// runPoints executes fn once per grid point of a figure sweep through the
+// batch-simulation engine. Each point receives a private RNG derived from
+// (opts.Seed, label, point index) — never from a sibling point — so the
+// per-point results, returned in point order, do not depend on the worker
+// count or on scheduling. fn must not touch shared mutable state.
+func runPoints[T any](opts Options, label string, numPoints int, fn func(point int, rng *rand.Rand) (T, error)) ([]T, error) {
+	opts = opts.normalized()
+	tag := labelSeed(label)
+	jobs := make([]sim.Job, numPoints)
+	for i := range jobs {
+		i := i
+		jobs[i] = sim.Job{
+			Name: fmt.Sprintf("%s/point-%d", label, i),
+			Seed: sim.SeedFor(opts.Seed, tag, int64(i)),
+			Run: func(_ context.Context, rng *rand.Rand) (any, error) {
+				return fn(i, rng)
+			},
+		}
+	}
+	results, err := sim.NewRunner(opts.Parallel).Run(opts.Ctx, jobs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", label, err)
+	}
+	out := make([]T, numPoints)
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", r.Name, r.Err)
+		}
+		out[i] = r.Value.(T)
+	}
+	return out, nil
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestFigureParallelDeterminism is the tentpole acceptance check: a
+// figure sweep run through the batch engine at several worker counts must
+// render byte-identical tables, because every grid point's RNG derives
+// from (seed, figure, point) and aggregation folds in point order.
+func TestFigureParallelDeterminism(t *testing.T) {
+	for _, name := range []string{"fig4", "fig7", "fig10"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			serial, err := Run(name, Options{Scale: ScaleQuick, Seed: 7, Parallel: 1})
+			if err != nil {
+				t.Fatalf("%s serial: %v", name, err)
+			}
+			for _, workers := range []int{4, 8} {
+				par, err := Run(name, Options{Scale: ScaleQuick, Seed: 7, Parallel: workers})
+				if err != nil {
+					t.Fatalf("%s parallel=%d: %v", name, workers, err)
+				}
+				if got, want := par.Render(), serial.Render(); got != want {
+					t.Errorf("%s: parallel=%d table differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", name, workers, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestRunUnknownName rejects unregistered experiments.
+func TestRunUnknownName(t *testing.T) {
+	if _, err := Run("fig99", Options{}); err == nil {
+		t.Fatal("Run accepted an unknown experiment name")
+	}
+}
+
+// TestLabelSeedDistinct guards the per-figure seed separation: two
+// figures sharing a base seed must not share point seeds.
+func TestLabelSeedDistinct(t *testing.T) {
+	if labelSeed("fig4") == labelSeed("fig5") {
+		t.Fatal("labelSeed collision between fig4 and fig5")
+	}
+}

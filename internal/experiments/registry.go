@@ -5,134 +5,139 @@ import (
 	"sort"
 )
 
-// Runner executes one named experiment and renders its table.
+// Runner executes one named experiment and renders its table. Retained
+// for callers that predate Options; Run is the options-aware entry point.
 type Runner func(scale Scale, seed int64) (*Table, error)
 
-// Registry maps experiment names (as accepted by cmd/experiments -run) to
-// runners covering every table and figure of the paper plus the extra
-// ablations.
-func Registry() map[string]Runner {
-	return map[string]Runner{
-		"fig4": func(s Scale, seed int64) (*Table, error) {
-			r, err := Fig4(s, seed)
+// optsRunner executes one named experiment under explicit Options.
+type optsRunner func(Options) (*Table, error)
+
+// registryOpts maps experiment names to options-aware runners covering
+// every table and figure of the paper plus the extra ablations. The grid
+// sweeps (fig4/5/7/8/9/10) honor Options.Parallel through the batch
+// engine; the sequential protocol studies run serially regardless.
+func registryOpts() map[string]optsRunner {
+	return map[string]optsRunner{
+		"fig4": func(o Options) (*Table, error) {
+			r, err := Fig4Opts(o)
 			if err != nil {
 				return nil, err
 			}
 			return r.Table(), nil
 		},
-		"fig5": func(s Scale, seed int64) (*Table, error) {
-			r, err := Fig5(s, seed)
+		"fig5": func(o Options) (*Table, error) {
+			r, err := Fig5Opts(o)
 			if err != nil {
 				return nil, err
 			}
 			return r.Table(), nil
 		},
-		"fig6": func(s Scale, seed int64) (*Table, error) {
-			r, err := Fig6(s, seed)
+		"fig6": func(o Options) (*Table, error) {
+			r, err := Fig6(o.Scale, o.Seed)
 			if err != nil {
 				return nil, err
 			}
 			return r.Table(), nil
 		},
-		"fig7": func(s Scale, seed int64) (*Table, error) {
-			r, err := Fig7(s, seed)
+		"fig7": func(o Options) (*Table, error) {
+			r, err := Fig7Opts(o)
 			if err != nil {
 				return nil, err
 			}
 			return r.Table(), nil
 		},
-		"fig8": func(s Scale, seed int64) (*Table, error) {
-			r, err := Fig8(s, seed)
+		"fig8": func(o Options) (*Table, error) {
+			r, err := Fig8Opts(o)
 			if err != nil {
 				return nil, err
 			}
 			return r.Table(), nil
 		},
-		"fig9": func(s Scale, seed int64) (*Table, error) {
-			r, err := Fig9(s, seed)
+		"fig9": func(o Options) (*Table, error) {
+			r, err := Fig9Opts(o)
 			if err != nil {
 				return nil, err
 			}
 			return r.Table(), nil
 		},
-		"fig10": func(s Scale, seed int64) (*Table, error) {
-			r, err := Fig10(s, seed)
+		"fig10": func(o Options) (*Table, error) {
+			r, err := Fig10Opts(o)
 			if err != nil {
 				return nil, err
 			}
 			return r.Table(), nil
 		},
-		"fig11": func(s Scale, seed int64) (*Table, error) {
-			r, err := Fig11(s, seed)
+		"fig11": func(o Options) (*Table, error) {
+			r, err := Fig11(o.Scale, o.Seed)
 			if err != nil {
 				return nil, err
 			}
 			return r.Table(), nil
 		},
-		"fig12": func(s Scale, seed int64) (*Table, error) {
-			r, err := Fig12(s, seed)
+		"fig12": func(o Options) (*Table, error) {
+			r, err := Fig12(o.Scale, o.Seed)
 			if err != nil {
 				return nil, err
 			}
 			return r.Table(), nil
 		},
-		"table1": func(s Scale, seed int64) (*Table, error) {
-			r, err := Table1(s, seed)
+		"table1": func(o Options) (*Table, error) {
+			r, err := Table1(o.Scale, o.Seed)
 			if err != nil {
 				return nil, err
 			}
 			return r.Table(), nil
 		},
-		"table2": func(s Scale, seed int64) (*Table, error) {
-			r, err := Table2(s, seed)
+		"table2": func(o Options) (*Table, error) {
+			r, err := Table2(o.Scale, o.Seed)
 			if err != nil {
 				return nil, err
 			}
 			return r.Table(), nil
 		},
-		"casestudy": func(s Scale, seed int64) (*Table, error) {
-			r, err := CaseStudy(s, seed)
+		"casestudy": func(o Options) (*Table, error) {
+			r, err := CaseStudy(o.Scale, o.Seed)
 			if err != nil {
 				return nil, err
 			}
 			t := r.Table()
-			succ, att, err := CoveredSpeakerTrial(s, seed+1)
+			succ, att, err := CoveredSpeakerTrial(o.Scale, o.Seed+1)
 			if err != nil {
 				return nil, err
 			}
 			t.Notes = append(t.Notes, fmt.Sprintf("covered-speaker control: %d/%d successes (paper: 3/10)", succ, att))
 			return t, nil
 		},
-		"ablation-finesync": func(s Scale, seed int64) (*Table, error) {
-			r, err := AblationFineSync(s, seed)
+		"ablation-finesync": func(o Options) (*Table, error) {
+			r, err := AblationFineSync(o.Scale, o.Seed)
 			if err != nil {
 				return nil, err
 			}
 			return r.Table(), nil
 		},
-		"ablation-equalizer": func(s Scale, seed int64) (*Table, error) {
-			r, err := AblationEqualizer(s, seed)
+		"ablation-equalizer": func(o Options) (*Table, error) {
+			r, err := AblationEqualizer(o.Scale, o.Seed)
 			if err != nil {
 				return nil, err
 			}
 			return r.Table(), nil
 		},
-		"ablation-motionfilter": func(s Scale, seed int64) (*Table, error) {
-			r, err := AblationMotionFilter(s, seed)
+		"ablation-motionfilter": func(o Options) (*Table, error) {
+			r, err := AblationMotionFilter(o.Scale, o.Seed)
 			if err != nil {
 				return nil, err
 			}
 			return r.Table(), nil
 		},
-		"ext-distancebound": func(s Scale, seed int64) (*Table, error) {
-			r, err := ExtDistanceBounding(s, seed)
+		"ext-distancebound": func(o Options) (*Table, error) {
+			r, err := ExtDistanceBounding(o.Scale, o.Seed)
 			if err != nil {
 				return nil, err
 			}
 			return r.Table(), nil
 		},
-		"ext-ultrasound96k": func(s Scale, seed int64) (*Table, error) {
-			r, err := ExtUltrasound96k(s, seed)
+		"ext-ultrasound96k": func(o Options) (*Table, error) {
+			r, err := ExtUltrasound96k(o.Scale, o.Seed)
 			if err != nil {
 				return nil, err
 			}
@@ -141,9 +146,33 @@ func Registry() map[string]Runner {
 	}
 }
 
+// Run executes one named experiment under the given options.
+func Run(name string, opts Options) (*Table, error) {
+	r, ok := registryOpts()[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q", name)
+	}
+	return r(opts.normalized())
+}
+
+// Registry maps experiment names (as accepted by cmd/experiments -run) to
+// legacy two-argument runners; each delegates to the options-aware
+// registry with serial execution.
+func Registry() map[string]Runner {
+	reg := registryOpts()
+	out := make(map[string]Runner, len(reg))
+	for name, r := range reg {
+		r := r
+		out[name] = func(s Scale, seed int64) (*Table, error) {
+			return r(serialOpts(s, seed))
+		}
+	}
+	return out
+}
+
 // Names returns the registry keys in stable order.
 func Names() []string {
-	reg := Registry()
+	reg := registryOpts()
 	out := make([]string, 0, len(reg))
 	for name := range reg {
 		out = append(out, name)

@@ -33,7 +33,7 @@ func NewDemodulator(cfg Config) (*Demodulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	plan, err := dsp.NewPlan(cfg.FFTSize)
+	plan, err := dsp.PlanFor(cfg.FFTSize)
 	if err != nil {
 		return nil, err
 	}
@@ -109,6 +109,10 @@ func (d *Demodulator) Demodulate(rec *audio.Buffer, numBits int) (*RxResult, err
 	numSymbols := d.cfg.NumSymbols(numBits)
 	base := det.PreambleStart + d.cfg.PreambleLen + d.cfg.PostPreambleGuard
 	bits := make([]byte, 0, numSymbols*d.cfg.BitsPerSymbol())
+	// One pooled spectrum scratch serves every symbol of the frame; each
+	// symbolSpectrum call overwrites it completely.
+	scratch := dsp.GetComplex(d.cfg.FFTSize)
+	defer dsp.PutComplex(scratch)
 	var psnrSum float64
 	var psnrCount int
 	drift := 0
@@ -130,7 +134,7 @@ func (d *Demodulator) Demodulate(rec *audio.Buffer, numBits int) (*RxResult, err
 			}
 			res.FineSyncOffsets = append(res.FineSyncOffsets, offset)
 		}
-		spectrum, err := d.symbolSpectrum(rec.Samples, cpStart, res)
+		spectrum, err := d.symbolSpectrum(scratch, rec.Samples, cpStart, res)
 		if err != nil {
 			return res, fmt.Errorf("modem: symbol %d: %w", s, err)
 		}
@@ -174,14 +178,17 @@ func (d *Demodulator) Demodulate(rec *audio.Buffer, numBits int) (*RxResult, err
 }
 
 // symbolSpectrum extracts one OFDM symbol body starting after the cyclic
-// prefix and transforms it to the frequency domain.
-func (d *Demodulator) symbolSpectrum(samples []float64, cpStart int, res *RxResult) ([]complex128, error) {
+// prefix and transforms it to the frequency domain. buf is caller-owned
+// scratch of the plan's size; it is completely overwritten and returned.
+func (d *Demodulator) symbolSpectrum(buf []complex128, samples []float64, cpStart int, res *RxResult) ([]complex128, error) {
 	bodyStart := cpStart + d.cfg.CPLen
 	bodyEnd := bodyStart + d.cfg.FFTSize
 	if bodyStart < 0 || bodyEnd > len(samples) {
 		return nil, fmt.Errorf("symbol body [%d, %d) outside recording of %d samples", bodyStart, bodyEnd, len(samples))
 	}
-	buf := make([]complex128, d.cfg.FFTSize)
+	if len(buf) != d.cfg.FFTSize {
+		return nil, fmt.Errorf("spectrum scratch of %d samples, want %d", len(buf), d.cfg.FFTSize)
+	}
 	for i := 0; i < d.cfg.FFTSize; i++ {
 		buf[i] = complex(samples[bodyStart+i], 0)
 	}
@@ -249,7 +256,9 @@ func (d *Demodulator) AnalyzeProbe(rec *audio.Buffer) (*ProbeAnalysis, error) {
 		cpStart += offset
 	}
 	dummy := &RxResult{}
-	spectrum, err := d.symbolSpectrum(rec.Samples, cpStart, dummy)
+	scratch := dsp.GetComplex(d.cfg.FFTSize)
+	defer dsp.PutComplex(scratch)
+	spectrum, err := d.symbolSpectrum(scratch, rec.Samples, cpStart, dummy)
 	pa.Cost.Add(dummy.Cost)
 	if err != nil {
 		return pa, fmt.Errorf("modem: probe symbol: %w", err)
@@ -288,7 +297,8 @@ func (d *Demodulator) averageBinPower(samples []float64) (map[int]float64, Cost,
 	lo, hi := pilots[0], pilots[len(pilots)-1]
 	acc := make(map[int]float64, hi-lo+1)
 	windows := 0
-	buf := make([]complex128, n)
+	buf := dsp.GetComplex(n)
+	defer dsp.PutComplex(buf)
 	for start := 0; start+n <= len(samples); start += n {
 		for i := 0; i < n; i++ {
 			buf[i] = complex(samples[start+i], 0)

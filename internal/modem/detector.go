@@ -218,7 +218,7 @@ func bandLevels(rec *audio.Buffer, window int, lowHz, highHz float64) ([]float64
 	if window <= 0 || rec.Len() < window {
 		return nil, cost, nil
 	}
-	plan, err := dsp.NewPlan(dsp.NextPow2(window))
+	plan, err := dsp.PlanFor(dsp.NextPow2(window))
 	if err != nil {
 		return nil, cost, err
 	}
@@ -232,7 +232,8 @@ func bandLevels(rec *audio.Buffer, window int, lowHz, highHz float64) ([]float64
 	if hiBin > n/2-1 {
 		hiBin = n/2 - 1
 	}
-	buf := make([]complex128, n)
+	buf := dsp.GetComplex(n)
+	defer dsp.PutComplex(buf)
 	numWindows := rec.Len() / window
 	out := make([]float64, 0, numWindows)
 	for w := 0; w < numWindows; w++ {

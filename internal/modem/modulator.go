@@ -27,7 +27,7 @@ func NewModulator(cfg Config) (*Modulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	plan, err := dsp.NewPlan(cfg.FFTSize)
+	plan, err := dsp.PlanFor(cfg.FFTSize)
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +105,8 @@ func (m *Modulator) ProbeSymbol() (*audio.Buffer, error) {
 		return nil, err
 	}
 	frame.AppendSilence(m.cfg.PostPreambleGuard)
-	spec := make([]complex128, m.cfg.FFTSize)
+	spec := dsp.GetComplex(m.cfg.FFTSize)
+	defer dsp.PutComplex(spec)
 	for _, k := range m.cfg.PilotChannels {
 		spec[k] = pilotValue(k)
 	}
@@ -131,7 +132,8 @@ func (m *Modulator) modulateSymbol(bits []byte) ([]float64, error) {
 	if len(points) != len(m.cfg.DataChannels) {
 		return nil, fmt.Errorf("modem: %d constellation points for %d data channels", len(points), len(m.cfg.DataChannels))
 	}
-	spec := make([]complex128, m.cfg.FFTSize)
+	spec := dsp.GetComplex(m.cfg.FFTSize)
+	defer dsp.PutComplex(spec)
 	for i, k := range m.cfg.DataChannels {
 		spec[k] = points[i]
 	}
@@ -144,11 +146,13 @@ func (m *Modulator) modulateSymbol(bits []byte) ([]float64, error) {
 // synthesize converts a sub-channel spectrum into the on-wire symbol:
 // IFFT, take the real part, prepend the cyclic prefix, fade the edges.
 func (m *Modulator) synthesize(spec []complex128) ([]float64, error) {
-	timeDomain := make([]complex128, m.cfg.FFTSize)
+	timeDomain := dsp.GetComplex(m.cfg.FFTSize)
+	defer dsp.PutComplex(timeDomain)
 	if err := m.plan.Inverse(timeDomain, spec); err != nil {
 		return nil, err
 	}
-	body := make([]float64, m.cfg.FFTSize)
+	body := dsp.GetFloat(m.cfg.FFTSize)
+	defer dsp.PutFloat(body)
 	var peak float64
 	for i, v := range timeDomain {
 		body[i] = real(v)

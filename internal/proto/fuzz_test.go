@@ -1,0 +1,127 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives the frame parser with arbitrary bytes. Malformed
+// frames must be rejected without panicking; any accepted frame must
+// re-encode to exactly the input bytes, and its payload must be safe to
+// hand to the type-specific decoder the dispatch loop would pick.
+func FuzzDecode(f *testing.F) {
+	seed := func(typ MsgType, payload []byte) {
+		data, err := (&Message{Type: typ, Session: 42, Payload: payload}).Encode()
+		if err != nil {
+			f.Fatalf("encoding %v seed: %v", typ, err)
+		}
+		f.Add(data)
+	}
+	seed(MsgStartProtocol, nil)
+	seed(MsgSensorData, (&SensorPayload{Samples: []float64{0, 1.5, -2.25}}).Encode())
+	seed(MsgProbeAudio, AudioFromFloats(16000, []float64{0, 0.5, -0.5, 1}).Encode())
+	seed(MsgChannelConfig, (&ChannelConfigPayload{Modulation: 2, Repetition: 1, DataChannels: []uint16{3, 5, 7}}).Encode())
+	seed(MsgTokenResult, (&TokenResultPayload{Token: 0x1234beef, EbN0dB: 12.5}).Encode())
+	seed(MsgDecision, (&DecisionPayload{Unlocked: true}).Encode())
+	seed(MsgAbort, (&AbortPayload{Reason: "noise mismatch"}).Encode())
+	f.Add([]byte{})
+	f.Add([]byte("WL not a frame, just sixteen-plus bytes"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Decode(data)
+		if err != nil {
+			return
+		}
+		out, err := msg.Encode()
+		if err != nil {
+			t.Fatalf("Decode accepted a frame Encode rejects: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Errorf("re-encoded frame differs from input:\n in: %x\nout: %x", data, out)
+		}
+		switch msg.Type {
+		case MsgSensorData:
+			if p, err := DecodeSensorPayload(msg.Payload); err == nil {
+				if enc := p.Encode(); !bytes.Equal(enc, msg.Payload) {
+					t.Errorf("sensor payload round trip differs:\n in: %x\nout: %x", msg.Payload, enc)
+				}
+			}
+		case MsgProbeAudio, MsgTokenAudio:
+			if p, err := DecodeAudioPayload(msg.Payload); err == nil {
+				if enc := p.Encode(); !bytes.Equal(enc, msg.Payload) {
+					t.Errorf("audio payload round trip differs:\n in: %x\nout: %x", msg.Payload, enc)
+				}
+			}
+		case MsgChannelConfig:
+			if p, err := DecodeChannelConfigPayload(msg.Payload); err == nil {
+				if enc := p.Encode(); !bytes.Equal(enc, msg.Payload) {
+					t.Errorf("channel config round trip differs:\n in: %x\nout: %x", msg.Payload, enc)
+				}
+			}
+		case MsgTokenResult:
+			if p, err := DecodeTokenResultPayload(msg.Payload); err == nil {
+				if enc := p.Encode(); !bytes.Equal(enc, msg.Payload) {
+					t.Errorf("token result round trip differs:\n in: %x\nout: %x", msg.Payload, enc)
+				}
+			}
+		case MsgDecision:
+			// Any non-1 byte decodes as locked, so only the decoded
+			// value round-trips, not the raw byte.
+			if p, err := DecodeDecisionPayload(msg.Payload); err == nil {
+				q, err := DecodeDecisionPayload(p.Encode())
+				if err != nil || q.Unlocked != p.Unlocked {
+					t.Errorf("decision value did not round-trip: %+v -> (%+v, %v)", p, q, err)
+				}
+			}
+		case MsgAbort:
+			if p := DecodeAbortPayload(msg.Payload); !bytes.Equal(p.Encode(), msg.Payload) {
+				t.Errorf("abort payload round trip differs")
+			}
+		}
+	})
+}
+
+// FuzzPayloadDecoders feeds the same raw bytes to every typed payload
+// decoder directly, without the frame around them: each must reject or
+// accept without panicking, and each accepted parse must re-encode to
+// the input (values, for the decision byte).
+func FuzzPayloadDecoders(f *testing.F) {
+	f.Add((&SensorPayload{Samples: []float64{1, 2, 3}}).Encode())
+	f.Add(AudioFromFloats(44100, []float64{0.25, -0.25}).Encode())
+	f.Add((&ChannelConfigPayload{Modulation: 1, Repetition: 3, DataChannels: []uint16{9}}).Encode())
+	f.Add((&TokenResultPayload{Token: 7, EbN0dB: -3.5}).Encode())
+	f.Add((&DecisionPayload{Unlocked: false}).Encode())
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if p, err := DecodeSensorPayload(data); err == nil {
+			if enc := p.Encode(); !bytes.Equal(enc, data) {
+				t.Errorf("sensor round trip differs:\n in: %x\nout: %x", data, enc)
+			}
+		}
+		if p, err := DecodeAudioPayload(data); err == nil {
+			if enc := p.Encode(); !bytes.Equal(enc, data) {
+				t.Errorf("audio round trip differs:\n in: %x\nout: %x", data, enc)
+			}
+		}
+		if p, err := DecodeChannelConfigPayload(data); err == nil {
+			if enc := p.Encode(); !bytes.Equal(enc, data) {
+				t.Errorf("channel config round trip differs:\n in: %x\nout: %x", data, enc)
+			}
+		}
+		if p, err := DecodeTokenResultPayload(data); err == nil {
+			if enc := p.Encode(); !bytes.Equal(enc, data) {
+				t.Errorf("token result round trip differs:\n in: %x\nout: %x", data, enc)
+			}
+		}
+		if p, err := DecodeDecisionPayload(data); err == nil {
+			q, err := DecodeDecisionPayload(p.Encode())
+			if err != nil || q.Unlocked != p.Unlocked {
+				t.Errorf("decision value did not round-trip: %+v -> (%+v, %v)", p, q, err)
+			}
+		}
+		if p := DecodeAbortPayload(data); !bytes.Equal(p.Encode(), data) {
+			t.Errorf("abort round trip differs")
+		}
+	})
+}

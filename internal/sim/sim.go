@@ -1,0 +1,159 @@
+// Package sim is the deterministic batch-simulation engine the evaluation
+// sweeps run on. It fans (scenario, seed) jobs across a bounded worker
+// pool, gives every job its own seeded random source (no shared math/rand
+// state anywhere in a batch), honors context cancellation, and collects
+// results in job-submission order so aggregation is bit-identical no
+// matter how many workers executed the batch.
+//
+// The determinism contract: a job's output may depend only on its inputs
+// and on the *rand.Rand it is handed. Runner.Run derives that source from
+// Job.Seed alone, and reassembles results by job index, so running the
+// same batch with 1 worker or GOMAXPROCS workers yields identical results
+// slices. See DESIGN.md "Seeding contract".
+package sim
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Job is one unit of simulation work: a named, seeded closure. Run
+// receives a private random source created from Seed; it must not touch
+// any other source of randomness or shared mutable state.
+type Job struct {
+	Name string
+	Seed int64
+	Run  func(ctx context.Context, rng *rand.Rand) (any, error)
+}
+
+// Result is the outcome of one job, reported at the job's submission
+// index regardless of which worker finished it when.
+type Result struct {
+	Index   int
+	Name    string
+	Value   any
+	Err     error
+	Elapsed time.Duration
+}
+
+// Runner executes batches of jobs on a worker pool.
+type Runner struct {
+	// Workers is the goroutine count; <= 0 means GOMAXPROCS.
+	Workers int
+	// Queue bounds the dispatch channel; <= 0 means 2x workers. A full
+	// queue blocks the feeder (backpressure) instead of buffering the
+	// whole batch.
+	Queue int
+}
+
+// NewRunner returns a Runner with the given worker count (<= 0 for
+// GOMAXPROCS).
+func NewRunner(workers int) *Runner { return &Runner{Workers: workers} }
+
+func (r *Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes every job and returns one Result per job, in submission
+// order. Job failures are reported per-result, not as a Run error.
+// When ctx is canceled mid-batch, jobs not yet started are marked with
+// the context error and Run returns it; jobs already running finish.
+func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]Result, len(jobs))
+	workers := r.workers()
+	if workers > len(jobs) && len(jobs) > 0 {
+		workers = len(jobs)
+	}
+	queue := r.Queue
+	if queue <= 0 {
+		queue = 2 * workers
+	}
+
+	type indexed struct {
+		idx int
+		job Job
+	}
+	feed := make(chan indexed, queue)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range feed {
+				res := Result{Index: it.idx, Name: it.job.Name}
+				if err := ctx.Err(); err != nil {
+					res.Err = err
+				} else {
+					start := time.Now()
+					rng := rand.New(rand.NewSource(it.job.Seed))
+					res.Value, res.Err = it.job.Run(ctx, rng)
+					res.Elapsed = time.Since(start)
+				}
+				results[it.idx] = res
+			}
+		}()
+	}
+
+feeding:
+	for i, job := range jobs {
+		select {
+		case feed <- indexed{idx: i, job: job}:
+		case <-ctx.Done():
+			// Mark everything not handed to a worker; the select may have
+			// raced, so only fill results the workers will never touch.
+			for j := i; j < len(jobs); j++ {
+				select {
+				case feed <- indexed{idx: j, job: jobs[j]}:
+					// Worker will record the ctx error itself.
+				default:
+					results[j] = Result{Index: j, Name: jobs[j].Name, Err: ctx.Err()}
+				}
+			}
+			break feeding
+		}
+	}
+	close(feed)
+	wg.Wait()
+	return results, ctx.Err()
+}
+
+// FirstError returns the first per-job error in a result set, or nil.
+func FirstError(results []Result) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}
+
+// SeedFor derives a statistically independent, reproducible seed for a
+// job from the batch's base seed and the job's integer coordinates
+// (figure index, grid point, trial, ...). Equal inputs always produce the
+// same seed; nearby coordinates produce uncorrelated streams (SplitMix64
+// finalizer).
+func SeedFor(base int64, coords ...int64) int64 {
+	x := uint64(base)
+	for _, c := range coords {
+		x = splitmix64(x ^ splitmix64(uint64(c)))
+	}
+	return int64(splitmix64(x))
+}
+
+// splitmix64 is the SplitMix64 finalizer (Steele et al.), a bijective
+// avalanche mix over uint64.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

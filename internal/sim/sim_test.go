@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// batchJobs builds a batch whose jobs consume their private RNG heavily,
+// so any shared-state leak between workers would change the values.
+func batchJobs(n int, base int64) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{
+			Name: fmt.Sprintf("job-%d", i),
+			Seed: SeedFor(base, int64(i)),
+			Run: func(ctx context.Context, rng *rand.Rand) (any, error) {
+				var sum float64
+				for k := 0; k < 1000; k++ {
+					sum += rng.NormFloat64()
+				}
+				return sum, nil
+			},
+		}
+	}
+	return jobs
+}
+
+func TestRunnerDeterminism(t *testing.T) {
+	jobs := batchJobs(64, 42)
+	serial, err := NewRunner(1).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	parallel, err := NewRunner(8).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].Index != i || parallel[i].Index != i {
+			t.Fatalf("result %d not at its submission index", i)
+		}
+		if serial[i].Name != parallel[i].Name {
+			t.Errorf("result %d name %q vs %q", i, serial[i].Name, parallel[i].Name)
+		}
+		sv := serial[i].Value.(float64)
+		pv := parallel[i].Value.(float64)
+		if sv != pv {
+			t.Errorf("job %d: serial %v != parallel %v (bit-exact required)", i, sv, pv)
+		}
+	}
+}
+
+func TestRunnerAggregateDeterminism(t *testing.T) {
+	// The aggregate statistics — folded in result order — must also be
+	// bit-identical across worker counts, since result order is fixed.
+	fold := func(workers int) Summary {
+		res, err := NewRunner(workers).Run(context.Background(), batchJobs(40, 7))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var s Stats
+		for _, r := range res {
+			s.Add(r.Value.(float64))
+		}
+		return s.Summarize()
+	}
+	want := fold(1)
+	for _, workers := range []int{2, 4, 8} {
+		if got := fold(workers); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: summary %+v != serial %+v", workers, got, want)
+		}
+	}
+}
+
+func TestRunnerJobErrorsAreLocal(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := batchJobs(8, 1)
+	jobs[3].Run = func(ctx context.Context, rng *rand.Rand) (any, error) { return nil, boom }
+	res, err := NewRunner(4).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("batch error: %v", err)
+	}
+	if !errors.Is(FirstError(res), boom) {
+		t.Errorf("FirstError = %v, want boom", FirstError(res))
+	}
+	for i, r := range res {
+		if i == 3 {
+			if r.Err == nil {
+				t.Error("failing job reported no error")
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Errorf("job %d: unexpected error %v", i, r.Err)
+		}
+	}
+}
+
+func TestRunnerCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	release := make(chan struct{})
+	jobs := make([]Job, 32)
+	for i := range jobs {
+		jobs[i] = Job{
+			Name: fmt.Sprintf("blocked-%d", i),
+			Seed: int64(i),
+			Run: func(ctx context.Context, rng *rand.Rand) (any, error) {
+				started.Add(1)
+				select {
+				case <-release:
+					return "done", nil
+				case <-time.After(5 * time.Second):
+					return nil, errors.New("test stalled")
+				}
+			},
+		}
+	}
+	runner := &Runner{Workers: 2, Queue: 2}
+	done := make(chan struct{})
+	var res []Result
+	var runErr error
+	go func() {
+		res, runErr = runner.Run(ctx, jobs)
+		close(done)
+	}()
+	// Let the pool pick up the first jobs, cancel, then release them.
+	for started.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(release)
+	<-done
+	if !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", runErr)
+	}
+	finished, canceled := 0, 0
+	for _, r := range res {
+		switch {
+		case r.Err == nil && r.Value == "done":
+			finished++
+		case errors.Is(r.Err, context.Canceled):
+			canceled++
+		default:
+			t.Errorf("job %q: unexpected state value=%v err=%v", r.Name, r.Value, r.Err)
+		}
+	}
+	if finished == 0 {
+		t.Error("no in-flight job ran to completion")
+	}
+	if canceled == 0 {
+		t.Error("no queued job observed cancellation")
+	}
+}
+
+func TestRunnerBoundedQueueCompletes(t *testing.T) {
+	// A queue far smaller than the batch must still drain every job.
+	runner := &Runner{Workers: 3, Queue: 1}
+	res, err := runner.Run(context.Background(), batchJobs(100, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FirstError(res); got != nil {
+		t.Fatal(got)
+	}
+	for i, r := range res {
+		if r.Value == nil {
+			t.Fatalf("job %d never ran", i)
+		}
+	}
+}
+
+func TestRunnerEmptyBatch(t *testing.T) {
+	res, err := NewRunner(4).Run(context.Background(), nil)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty batch: res=%v err=%v", res, err)
+	}
+}
+
+func TestSeedForProperties(t *testing.T) {
+	if SeedFor(1, 2, 3) != SeedFor(1, 2, 3) {
+		t.Error("SeedFor not deterministic")
+	}
+	seen := map[int64]bool{}
+	for base := int64(0); base < 4; base++ {
+		for i := int64(0); i < 256; i++ {
+			s := SeedFor(base, i)
+			if seen[s] {
+				t.Fatalf("seed collision at base=%d i=%d", base, i)
+			}
+			seen[s] = true
+		}
+	}
+	// Coordinate order must matter (a (2,3) grid cell differs from (3,2)).
+	if SeedFor(5, 2, 3) == SeedFor(5, 3, 2) {
+		t.Error("SeedFor ignores coordinate order")
+	}
+}
+
+func TestStatsSummary(t *testing.T) {
+	var s Stats
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	sm := s.Summarize()
+	if sm.Count != 100 || sm.Min != 1 || sm.Max != 100 {
+		t.Fatalf("bad extremes: %+v", sm)
+	}
+	if math.Abs(sm.Mean-50.5) > 1e-12 {
+		t.Errorf("mean %v, want 50.5", sm.Mean)
+	}
+	if math.Abs(sm.P50-50.5) > 1e-9 {
+		t.Errorf("p50 %v, want 50.5", sm.P50)
+	}
+	if sm.P90 < 90 || sm.P90 > 91 {
+		t.Errorf("p90 %v, want in [90, 91]", sm.P90)
+	}
+	if sm.P99 < 99 || sm.P99 > 100 {
+		t.Errorf("p99 %v, want in [99, 100]", sm.P99)
+	}
+
+	var empty Stats
+	if got := empty.Summarize(); got.Count != 0 || got.Mean != 0 || got.P99 != 0 {
+		t.Errorf("empty summary not zero: %+v", got)
+	}
+}
+
+func TestAggregator(t *testing.T) {
+	a := NewAggregator()
+	a.Observe("ber", 0.1)
+	a.Observe("latency_s", 1.5)
+	a.Observe("ber", 0.3)
+	if got := a.Metrics(); !reflect.DeepEqual(got, []string{"ber", "latency_s"}) {
+		t.Errorf("metric order %v", got)
+	}
+	if got := a.Stats("ber").Mean(); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("ber mean %v", got)
+	}
+	if a.Stats("missing") != nil {
+		t.Error("unknown metric not nil")
+	}
+}

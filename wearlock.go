@@ -53,6 +53,11 @@ type (
 	// AcousticPath abstracts the speaker-to-microphone transmission; the
 	// attack harness substitutes adversarial implementations.
 	AcousticPath = core.AcousticPath
+	// BatchSpec configures a batch of independent unlock sessions on the
+	// batch-simulation engine.
+	BatchSpec = core.BatchSpec
+	// BatchResult aggregates a batch of unlock sessions.
+	BatchResult = core.BatchResult
 	// Environment is an ambient-noise preset (office, cafe, ...).
 	Environment = acoustic.Environment
 	// Activity labels the user's motion context.
@@ -110,6 +115,12 @@ func DefaultScenario() Scenario { return core.DefaultScenario() }
 // NewLinkPath wraps a simulated acoustic link as the honest transmission
 // path for UnlockVia.
 func NewLinkPath(link *acoustic.Link) AcousticPath { return core.NewLinkPath(link) }
+
+// RunBatch executes a batch of independent unlock sessions across
+// spec.Parallel workers; aggregates are bit-identical for every worker
+// count because each session is seeded from (spec.Seed, session index)
+// and results fold in session order.
+func RunBatch(spec BatchSpec) (*BatchResult, error) { return core.RunBatch(spec) }
 
 // Ambient environment presets (the field-test locations of Table I plus
 // the controlled quiet room).
