@@ -1,0 +1,378 @@
+// Command loadgen drives a wearlockd daemon with concurrent unlock
+// traffic and prints a latency/outcome summary. It speaks the real HTTP
+// API (synchronous POST /v1/unlock), honors 429 backpressure with
+// Retry-After, and afterwards scrapes /metrics to cross-check the
+// daemon's outcome counters against what the clients observed — the
+// consistency bit in the report is the acceptance gate for the service's
+// accounting.
+//
+// With -selfhost it boots an in-process daemon on a loopback port first,
+// so a one-command smoke run needs no separate server:
+//
+//	loadgen -selfhost -n 512 -c 64 -out BENCH_service.json
+//
+// Against a running daemon:
+//
+//	loadgen -addr http://localhost:8547 -n 1000 -c 32 -rate 200 \
+//	        -mix "default=4,cafe=2,samehand=1,out-of-range=1"
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wearlock/internal/service"
+	"wearlock/internal/sim"
+)
+
+type latencySummary struct {
+	Count  int     `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+type record struct {
+	Date           string         `json:"date"`
+	GOMAXPROCS     int            `json:"gomaxprocs"`
+	Requests       int            `json:"requests"`
+	Concurrency    int            `json:"concurrency"`
+	RatePerSec     float64        `json:"rate_per_sec"` // 0 = closed loop
+	Mix            string         `json:"mix"`
+	Selfhost       bool           `json:"selfhost"`
+	WallSeconds    float64        `json:"wall_seconds"`
+	Throughput     float64        `json:"sessions_per_sec"`
+	Outcomes       map[string]int `json:"outcomes"`
+	Rejected429    int64          `json:"rejected_429"`
+	HTTPErrors     int64          `json:"http_errors"`
+	Latency        latencySummary `json:"latency"`
+	UnlockDelay    latencySummary `json:"unlock_delay"`
+	MetricsMatch   bool           `json:"metrics_match_observed"`
+	MetricsDetail  string         `json:"metrics_detail,omitempty"`
+	DaemonOutcomes map[string]int `json:"daemon_outcomes"`
+	Note           string         `json:"note"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr     = flag.String("addr", "http://localhost:8547", "daemon base URL")
+		selfhost = flag.Bool("selfhost", false, "boot an in-process daemon on a loopback port")
+		n        = flag.Int("n", 256, "total requests")
+		c        = flag.Int("c", 32, "concurrent client workers")
+		rate     = flag.Float64("rate", 0, "open-loop arrival rate per second (0 = closed loop)")
+		mixSpec  = flag.String("mix", "default=4,quiet=2,cafe=2,samehand=1,walking=1,out-of-range=1", "weighted scenario mix")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-request client timeout")
+		out      = flag.String("out", "", "also write the report JSON to this path")
+		devices  = flag.Int("devices", 0, "selfhost: fleet size (0 = default)")
+		queue    = flag.Int("queue", 0, "selfhost: admission queue bound (0 = default)")
+		seed     = flag.Int64("seed", 42, "selfhost: daemon seed")
+	)
+	flag.Parse()
+
+	mix, err := service.ParseMix(*mixSpec, service.BuiltinScenarios())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		return 1
+	}
+
+	base := *addr
+	if *selfhost {
+		cfg := service.DefaultConfig()
+		cfg.Seed = *seed
+		if *devices > 0 {
+			cfg.Devices = *devices
+		}
+		if *queue > 0 {
+			cfg.QueueDepth = *queue
+		}
+		svc, err := service.New(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: selfhost: %v\n", err)
+			return 1
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: selfhost: %v\n", err)
+			return 1
+		}
+		server := &http.Server{Handler: svc.Handler()}
+		go func() { _ = server.Serve(ln) }()
+		defer func() { _ = server.Close() }()
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("selfhost daemon on %s (%d devices, queue %d)\n", base, cfg.Devices, cfg.QueueDepth)
+	}
+	base = strings.TrimSuffix(base, "/")
+
+	client := &http.Client{Timeout: *timeout}
+
+	// Open-loop pacing: a ticker feeds request permits; closed loop hands
+	// out permits immediately. Workers pull the next request index from a
+	// shared counter so the scenario mix is exact regardless of
+	// interleaving.
+	var pace <-chan time.Time
+	if *rate > 0 {
+		ticker := time.NewTicker(time.Duration(float64(time.Second) / *rate))
+		defer ticker.Stop()
+		pace = ticker.C
+	}
+
+	var (
+		next      atomic.Int64
+		rejected  atomic.Int64
+		httpErrs  atomic.Int64
+		mu        sync.Mutex
+		outcomes  = map[string]int{}
+		latencies sim.Stats
+		delays    sim.Stats
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(*n) {
+					return
+				}
+				if pace != nil {
+					<-pace
+				}
+				scenario := mix.Pick(uint64(i))
+				view, code, err := doUnlock(client, base, scenario)
+				for err == nil && code == http.StatusTooManyRequests {
+					rejected.Add(1)
+					time.Sleep(retryAfter(view.retryAfter))
+					view, code, err = doUnlock(client, base, scenario)
+				}
+				if err != nil || code != http.StatusOK {
+					httpErrs.Add(1)
+					continue
+				}
+				mu.Lock()
+				key := view.Outcome
+				if view.State == "failed" || key == "" {
+					key = "error"
+				}
+				outcomes[key]++
+				latencies.Add(view.WallMS)
+				if view.UnlockDelayMS > 0 {
+					delays.Add(view.UnlockDelayMS)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	daemonOutcomes, detail, err := scrapeOutcomes(client, base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: metrics scrape: %v\n", err)
+		return 1
+	}
+	match, diff := compareOutcomes(outcomes, daemonOutcomes)
+
+	completed := 0
+	for _, v := range outcomes {
+		completed += v
+	}
+	rec := record{
+		Date:           time.Now().UTC().Format("2006-01-02"),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Requests:       *n,
+		Concurrency:    *c,
+		RatePerSec:     *rate,
+		Mix:            *mixSpec,
+		Selfhost:       *selfhost,
+		WallSeconds:    wall.Seconds(),
+		Throughput:     float64(completed) / wall.Seconds(),
+		Outcomes:       outcomes,
+		Rejected429:    rejected.Load(),
+		HTTPErrors:     httpErrs.Load(),
+		Latency:        summarize(&latencies),
+		UnlockDelay:    summarize(&delays),
+		MetricsMatch:   match,
+		MetricsDetail:  diff,
+		DaemonOutcomes: daemonOutcomes,
+		Note: "Closed-loop (or -rate paced) synchronous unlock sessions against wearlockd's HTTP API. " +
+			"latency = client-observed wall clock incl. queueing; unlock_delay = simulated protocol timeline. " +
+			"metrics_match_observed compares /metrics outcome counters to client-side counts. " + detail,
+	}
+
+	printReport(rec)
+	if *out != "" {
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if !match {
+		fmt.Fprintf(os.Stderr, "loadgen: daemon metrics disagree with observed outcomes: %s\n", diff)
+		// Only a freshly-booted daemon's counters must match exactly; an
+		// external daemon may carry traffic from before this run.
+		if *selfhost {
+			return 1
+		}
+	}
+	return 0
+}
+
+// unlockView is the slice of service.View loadgen needs, plus transport
+// detail.
+type unlockView struct {
+	State         string  `json:"state"`
+	Outcome       string  `json:"outcome"`
+	WallMS        float64 `json:"wall_ms"`
+	UnlockDelayMS float64 `json:"unlock_delay_ms"`
+	retryAfter    string
+}
+
+func doUnlock(client *http.Client, base, scenario string) (unlockView, int, error) {
+	body, _ := json.Marshal(map[string]any{"scenario": scenario})
+	resp, err := client.Post(base+"/v1/unlock", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return unlockView{}, 0, err
+	}
+	defer resp.Body.Close()
+	var view unlockView
+	view.retryAfter = resp.Header.Get("Retry-After")
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			return unlockView{}, resp.StatusCode, err
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return view, resp.StatusCode, nil
+}
+
+func retryAfter(header string) time.Duration {
+	if secs, err := strconv.Atoi(header); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 100 * time.Millisecond
+}
+
+// scrapeOutcomes parses wearlockd_sessions_total{outcome="..."} counters
+// out of the Prometheus text exposition.
+func scrapeOutcomes(client *http.Client, base string) (map[string]int, string, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	const prefix = `wearlockd_sessions_total{outcome="`
+	counts := map[string]int{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		rest := line[len(prefix):]
+		name, valStr, ok := strings.Cut(rest, `"} `)
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(valStr), 64)
+		if err != nil {
+			return nil, "", fmt.Errorf("bad counter line %q: %w", line, err)
+		}
+		counts[name] = int(v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, "", err
+	}
+	return counts, fmt.Sprintf("%d outcome counters scraped.", len(counts)), nil
+}
+
+// compareOutcomes checks the daemon's counters cover exactly the
+// client-observed counts (both directions).
+func compareOutcomes(observed, daemon map[string]int) (bool, string) {
+	var diffs []string
+	for k, v := range observed {
+		if daemon[k] != v {
+			diffs = append(diffs, fmt.Sprintf("%s: observed %d, daemon %d", k, v, daemon[k]))
+		}
+	}
+	for k, v := range daemon {
+		if _, ok := observed[k]; !ok && v != 0 {
+			diffs = append(diffs, fmt.Sprintf("%s: observed 0, daemon %d", k, v))
+		}
+	}
+	if len(diffs) == 0 {
+		return true, ""
+	}
+	sort.Strings(diffs)
+	return false, strings.Join(diffs, "; ")
+}
+
+func summarize(s *sim.Stats) latencySummary {
+	sum := s.Summarize()
+	return latencySummary{
+		Count:  sum.Count,
+		MeanMS: sum.Mean,
+		P50MS:  sum.P50,
+		P90MS:  sum.P90,
+		P99MS:  sum.P99,
+		MaxMS:  sum.Max,
+	}
+}
+
+func printReport(rec record) {
+	fmt.Printf("\n%d requests, %d workers", rec.Requests, rec.Concurrency)
+	if rec.RatePerSec > 0 {
+		fmt.Printf(", %.0f req/s pacing", rec.RatePerSec)
+	}
+	fmt.Printf("  →  %.2fs wall, %.1f sessions/s\n", rec.WallSeconds, rec.Throughput)
+	names := make([]string, 0, len(rec.Outcomes))
+	for k := range rec.Outcomes {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Printf("  %-22s %d\n", k, rec.Outcomes[k])
+	}
+	if rec.Rejected429 > 0 {
+		fmt.Printf("  %-22s %d (retried)\n", "429 backpressure", rec.Rejected429)
+	}
+	if rec.HTTPErrors > 0 {
+		fmt.Printf("  %-22s %d\n", "http errors", rec.HTTPErrors)
+	}
+	fmt.Printf("  latency      p50 %.1fms  p90 %.1fms  p99 %.1fms  max %.1fms\n",
+		rec.Latency.P50MS, rec.Latency.P90MS, rec.Latency.P99MS, rec.Latency.MaxMS)
+	fmt.Printf("  unlock delay p50 %.1fms  p90 %.1fms  p99 %.1fms\n",
+		rec.UnlockDelay.P50MS, rec.UnlockDelay.P90MS, rec.UnlockDelay.P99MS)
+	fmt.Printf("  metrics consistency: %v\n", rec.MetricsMatch)
+	if rec.MetricsDetail != "" && !rec.MetricsMatch {
+		fmt.Printf("    %s\n", rec.MetricsDetail)
+	}
+}

@@ -1,0 +1,110 @@
+// Command wearlockd serves concurrent WearLock unlock sessions over
+// HTTP. It owns a fleet of simulated phone↔watch pairs, admits requests
+// through a bounded queue (answering 429 under overload), and exposes
+// live Prometheus metrics. On SIGINT/SIGTERM it stops admitting work,
+// drains in-flight sessions, and exits.
+//
+// Usage:
+//
+//	wearlockd [-addr :8547] [-devices 64] [-workers 0] [-queue 128]
+//	          [-session-ttl 2m] [-request-timeout 30s] [-seed 42]
+//
+// API:
+//
+//	POST /v1/unlock           {"scenario":"cafe","wait":false,...}
+//	GET  /v1/sessions/{id}    poll an asynchronous session
+//	GET  /healthz             liveness + capacity + scenario catalog
+//	GET  /metrics             Prometheus text exposition
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"wearlock/internal/service"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	def := service.DefaultConfig()
+	var (
+		addr       = flag.String("addr", ":8547", "listen address")
+		devices    = flag.Int("devices", def.Devices, "simulated phone↔watch fleet size")
+		workers    = flag.Int("workers", def.Workers, "session worker pool size (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", def.QueueDepth, "admission queue bound (beyond it: HTTP 429)")
+		sessionTTL = flag.Duration("session-ttl", def.SessionTTL, "how long finished sessions stay queryable")
+		reqTimeout = flag.Duration("request-timeout", def.RequestTimeout, "per-session deadline")
+		seed       = flag.Int64("seed", def.Seed, "base seed for the device fleet's random streams")
+		drainGrace = flag.Duration("drain-grace", 30*time.Second, "max wait for in-flight sessions on shutdown")
+	)
+	flag.Parse()
+
+	cfg := def
+	cfg.Devices = *devices
+	cfg.Workers = *workers
+	cfg.QueueDepth = *queue
+	cfg.SessionTTL = *sessionTTL
+	cfg.RequestTimeout = *reqTimeout
+	cfg.Seed = *seed
+
+	logger := log.New(os.Stderr, "wearlockd: ", log.LstdFlags)
+	svc, err := service.New(cfg)
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+	server := &http.Server{Handler: svc.Handler()}
+	logger.Printf("listening on %s (%d devices, queue %d, scenarios: %s)",
+		ln.Addr(), cfg.Devices, cfg.QueueDepth, strings.Join(svc.Scenarios(), " "))
+
+	// Serve until a termination signal, then drain before exiting so
+	// admitted sessions finish and clients polling them get answers.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		logger.Printf("serve: %v", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+	logger.Printf("signal received, draining (grace %s)", *drainGrace)
+
+	grace, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	if err := svc.Shutdown(grace); err != nil {
+		logger.Printf("drain incomplete: %v", err)
+	}
+	if err := server.Shutdown(grace); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("http shutdown: %v", err)
+	}
+	<-errCh // Serve has returned ErrServerClosed
+
+	h := svc.Health()
+	fmt.Printf("drained; served %d tracked sessions, uptime %.1fs\n",
+		h.TrackedSessions, h.UptimeSeconds)
+	return 0
+}

@@ -80,12 +80,12 @@ func RunBatch(spec BatchSpec) (*BatchResult, error) {
 		jobs[i] = sim.Job{
 			Name: fmt.Sprintf("session-%d", i),
 			Seed: sim.SeedFor(spec.Seed, int64(i)),
-			Run: func(_ context.Context, rng *rand.Rand) (any, error) {
+			Run: func(ctx context.Context, rng *rand.Rand) (any, error) {
 				sys, err := NewSystem(spec.Config, rng)
 				if err != nil {
 					return nil, err
 				}
-				return sys.Unlock(spec.Scenario)
+				return sys.UnlockCtx(ctx, spec.Scenario)
 			},
 		}
 	}

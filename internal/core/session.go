@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -168,17 +169,39 @@ const (
 // Unlock runs one full protocol session for the scenario over its honest
 // acoustic path.
 func (s *System) Unlock(sc Scenario) (*Result, error) {
+	return s.UnlockCtx(context.Background(), sc)
+}
+
+// UnlockCtx is Unlock with a cancellation context: the session aborts
+// with ctx's error at the next phase boundary once ctx is done. The
+// service layer uses it to enforce per-request deadlines.
+func (s *System) UnlockCtx(ctx context.Context, sc Scenario) (*Result, error) {
 	cfg := modem.DefaultConfig(s.cfg.Band, modem.QPSK)
 	link, err := sc.AcousticLink(s.cfg.Band, cfg.SampleRate, s.rng)
 	if err != nil {
 		return nil, err
 	}
-	return s.UnlockVia(sc, NewLinkPath(link))
+	return s.UnlockViaCtx(ctx, sc, NewLinkPath(link))
 }
 
 // UnlockVia runs one session with an explicit acoustic path (the attack
 // harness passes adversarial paths).
 func (s *System) UnlockVia(sc Scenario, path AcousticPath) (*Result, error) {
+	return s.UnlockViaCtx(context.Background(), sc, path)
+}
+
+// UnlockViaCtx runs one session with an explicit acoustic path under a
+// cancellation context. Cancellation is checked between protocol phases
+// (never mid-DSP), so a canceled session returns promptly with ctx's
+// error and the system state stays consistent: the keyguard and OTP
+// counters only advance in phases that ran to completion.
+func (s *System) UnlockViaCtx(ctx context.Context, sc Scenario, path AcousticPath) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -231,6 +254,9 @@ func (s *System) UnlockVia(sc Scenario, path AcousticPath) (*Result, error) {
 	}
 
 	// Step 3: phase 1 — RTS/CTS channel probing.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	probeCfg := modem.DefaultConfig(s.cfg.Band, modem.QPSK)
 	pa, dataCfg, done, err := s.phase1(sc, res, wl, path, probeCfg)
 	if err != nil {
@@ -269,7 +295,12 @@ func (s *System) UnlockVia(sc Scenario, path AcousticPath) (*Result, error) {
 		return res, nil
 	}
 
-	// Step 5: phase 2 — OTP transmission and validation.
+	// Step 5: phase 2 — OTP transmission and validation. The OTP counter
+	// advances inside; checking cancellation here keeps a canceled
+	// session from desynchronizing the generator/verifier pair.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return res, s.phase2(sc, res, wl, path, dataCfg)
 }
 

@@ -24,23 +24,42 @@ type Conn struct {
 
 	mu      sync.Mutex
 	simTime time.Duration // accumulated simulated radio time at this endpoint
-	closed  bool
-	closeCh chan struct{}
+
+	// shut is shared by both endpoints of a Pair: closing either side
+	// tears down the connection. The sync.Once makes Close idempotent
+	// across endpoints and concurrent callers — the per-endpoint closed
+	// flag this replaces let phone.Close and watch.Close each close the
+	// shared channel once, panicking on the second.
+	shut *shutdown
 }
+
+// shutdown is the shared teardown state of a connection pair.
+type shutdown struct {
+	once sync.Once
+	ch   chan struct{}
+}
+
+func (s *shutdown) close() { s.once.Do(func() { close(s.ch) }) }
 
 // Pair creates the two connected endpoints over one wireless link.
 func Pair(link *wireless.Link) (phone, watch *Conn) {
 	a := make(chan []byte, 32)
 	b := make(chan []byte, 32)
-	closeCh := make(chan struct{})
-	phone = &Conn{name: "phone", link: link, out: a, in: b, closeCh: closeCh}
-	watch = &Conn{name: "watch", link: link, out: b, in: a, closeCh: closeCh}
+	shut := &shutdown{ch: make(chan struct{})}
+	phone = &Conn{name: "phone", link: link, out: a, in: b, shut: shut}
+	watch = &Conn{name: "watch", link: link, out: b, in: a, shut: shut}
 	return phone, watch
 }
 
 // Send frames and transmits a message, returning the simulated latency
 // charged to the radio.
 func (c *Conn) Send(ctx context.Context, msg *Message) (time.Duration, error) {
+	// Checked up front: the out channel is buffered, so the select below
+	// could otherwise pick the ready send over the ready closed case and
+	// let a post-close Send "succeed" into a channel nobody drains.
+	if c.Closed() {
+		return 0, fmt.Errorf("proto: %s send %s: connection closed", c.name, msg.Type)
+	}
 	data, err := msg.Encode()
 	if err != nil {
 		return 0, err
@@ -62,15 +81,20 @@ func (c *Conn) Send(ctx context.Context, msg *Message) (time.Duration, error) {
 	select {
 	case c.out <- data:
 		return latency, nil
-	case <-c.closeCh:
+	case <-c.shut.ch:
 		return 0, fmt.Errorf("proto: %s send %s: connection closed", c.name, msg.Type)
 	case <-ctx.Done():
 		return 0, fmt.Errorf("proto: %s send %s: %w", c.name, msg.Type, ctx.Err())
 	}
 }
 
-// Recv blocks for the next message or context cancellation.
+// Recv blocks for the next message or context cancellation. After Close
+// it fails immediately, discarding any messages still buffered in flight
+// — a torn-down session's tail is never delivered.
 func (c *Conn) Recv(ctx context.Context) (*Message, error) {
+	if c.Closed() {
+		return nil, fmt.Errorf("proto: %s recv: connection closed", c.name)
+	}
 	select {
 	case data, ok := <-c.in:
 		if !ok {
@@ -81,7 +105,7 @@ func (c *Conn) Recv(ctx context.Context) (*Message, error) {
 			return nil, fmt.Errorf("proto: %s recv: %w", c.name, err)
 		}
 		return msg, nil
-	case <-c.closeCh:
+	case <-c.shut.ch:
 		return nil, fmt.Errorf("proto: %s recv: connection closed", c.name)
 	case <-ctx.Done():
 		return nil, fmt.Errorf("proto: %s recv: %w", c.name, ctx.Err())
@@ -132,12 +156,19 @@ func (c *Conn) SimTime() time.Duration {
 }
 
 // Close tears down both endpoints; pending and future operations fail.
+// It is idempotent and safe to call from either endpoint, from both, and
+// concurrently with in-flight Send/Recv calls.
 func (c *Conn) Close() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.closed {
-		c.closed = true
-		close(c.closeCh)
+	c.shut.close()
+}
+
+// Closed reports whether either endpoint has torn the connection down.
+func (c *Conn) Closed() bool {
+	select {
+	case <-c.shut.ch:
+		return true
+	default:
+		return false
 	}
 }
 

@@ -1,0 +1,100 @@
+package proto_test
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"wearlock/internal/proto"
+	"wearlock/internal/wireless"
+)
+
+// Regression test for the double-close race: both endpoints of a Pair
+// share one teardown channel, and the old per-endpoint closed flag let
+// phone.Close and watch.Close each close it once — the second panicked.
+// Closing both endpoints, repeatedly and concurrently, while senders and
+// receivers are in flight must be safe (run with -race).
+func TestConnCloseBothEndpointsConcurrently(t *testing.T) {
+	for iter := 0; iter < 25; iter++ {
+		rng := rand.New(rand.NewSource(int64(iter)))
+		link, err := wireless.NewLink(wireless.WiFi, 0.5, rng)
+		if err != nil {
+			t.Fatalf("NewLink: %v", err)
+		}
+		phone, watch := proto.Pair(link)
+		ctx := context.Background()
+		var wg sync.WaitGroup
+
+		// Senders and receivers on both endpoints keep traffic in flight
+		// through the teardown. Errors are expected once the connection
+		// closes; panics and races are the failure mode under test.
+		for _, c := range []*proto.Conn{phone, watch} {
+			c := c
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					if _, err := c.Send(ctx, &proto.Message{Type: proto.MsgStartProtocol, Session: uint64(i)}); err != nil {
+						return
+					}
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				for {
+					if _, err := c.Recv(ctx); err != nil {
+						return
+					}
+				}
+			}()
+		}
+
+		// Both endpoints close, twice each, racing one another and the
+		// traffic above.
+		for _, c := range []*proto.Conn{phone, watch, phone, watch} {
+			c := c
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c.Close()
+			}()
+		}
+		wg.Wait()
+
+		if !phone.Closed() || !watch.Closed() {
+			t.Fatal("endpoints not closed after Close")
+		}
+		// Post-close operations fail cleanly instead of blocking.
+		if _, err := phone.Send(ctx, &proto.Message{Type: proto.MsgStartProtocol, Session: 1}); err == nil {
+			t.Fatal("Send on closed connection succeeded")
+		}
+		if _, err := watch.Recv(ctx); err == nil {
+			t.Fatal("Recv on closed connection succeeded")
+		}
+	}
+}
+
+// Closing one endpoint must release a peer blocked in Recv and fail
+// subsequent operations on both sides — the clean-shutdown contract the
+// service layer relies on when it tears down a device pair.
+func TestConnCloseReleasesBlockedPeer(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	link, err := wireless.NewLink(wireless.Bluetooth, 0.5, rng)
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	phone, watch := proto.Pair(link)
+	recvErr := make(chan error, 1)
+	go func() {
+		_, err := watch.Recv(context.Background())
+		recvErr <- err
+	}()
+	phone.Close()
+	if err := <-recvErr; err == nil {
+		t.Fatal("blocked Recv returned no error after peer Close")
+	}
+	if !watch.Closed() {
+		t.Error("watch endpoint not closed after phone Close")
+	}
+}

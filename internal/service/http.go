@@ -1,0 +1,120 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// UnlockRequest is the POST /v1/unlock body. All fields are optional; an
+// empty body requests one synchronous "default"-scenario session.
+type UnlockRequest struct {
+	// Scenario names a catalog entry (see GET /healthz for the list).
+	Scenario string `json:"scenario,omitempty"`
+	// Device pins a device pair; omitted or negative picks round-robin.
+	Device *int `json:"device,omitempty"`
+	// Wait selects synchronous mode (default true): the response carries
+	// the terminal session state. With wait=false the daemon answers 202
+	// immediately and the caller polls GET /v1/sessions/{id}.
+	Wait *bool `json:"wait,omitempty"`
+	// TimeoutMS overrides the daemon's per-request deadline.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/unlock           run an unlock session (429 on backpressure)
+//	GET  /v1/sessions/{id}    session status/result
+//	GET  /healthz             liveness, capacity, scenario catalog
+//	GET  /metrics             Prometheus text exposition
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/unlock", s.handleUnlock)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSession)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Service) handleUnlock(w http.ResponseWriter, r *http.Request) {
+	var req UnlockRequest
+	if r.Body != nil && r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
+			return
+		}
+	}
+	device := -1
+	if req.Device != nil {
+		device = *req.Device
+	}
+	sess, err := s.Submit(Request{
+		Scenario: req.Scenario,
+		Device:   device,
+		Timeout:  time.Duration(req.TimeoutMS) * time.Millisecond,
+	})
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrQueueFull):
+		// The queue drains at session pace — tell the client when a slot
+		// is plausibly free rather than inviting an immediate retry.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+		return
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	default: // unknown scenario/device
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+
+	if req.Wait != nil && !*req.Wait {
+		writeJSON(w, http.StatusAccepted, sess.Snapshot())
+		return
+	}
+	// Synchronous mode: the session owns its deadline, so waiting on the
+	// request context alone is enough — if the client disconnects the
+	// session still finishes and stays queryable.
+	if err := sess.Wait(r.Context()); err != nil {
+		writeJSON(w, http.StatusAccepted, sess.Snapshot())
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.Snapshot())
+}
+
+func (s *Service) handleSession(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown session (finished sessions expire after the TTL)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.Snapshot())
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	h := s.Health()
+	status := http.StatusOK
+	if h.Status != "ok" {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}

@@ -1,0 +1,139 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"wearlock/internal/acoustic"
+	"wearlock/internal/core"
+	"wearlock/internal/motion"
+)
+
+// BuiltinScenarios returns the named physical situations the daemon
+// serves out of the box. The mix covers every interesting terminal
+// outcome: nominal unlocks, NLOS accommodation, filter aborts for
+// off-body attackers, and the out-of-range link-down path.
+func BuiltinScenarios() map[string]core.Scenario {
+	quiet := core.DefaultScenario()
+	quiet.Name = "quiet"
+	quiet.Env = acoustic.QuietRoom()
+
+	cafe := core.DefaultScenario()
+	cafe.Name = "cafe"
+	cafe.Env = acoustic.Cafe()
+	cafe.Distance = 0.3
+
+	classroom := core.DefaultScenario()
+	classroom.Name = "classroom"
+	classroom.Env = acoustic.Classroom()
+	classroom.Activity = motion.Sitting
+
+	samehand := core.DefaultScenario()
+	samehand.Name = "samehand"
+	samehand.SameHand = true
+
+	cover := core.DefaultScenario()
+	cover.Name = "cover-speaker"
+	cover.CoverSpeaker = true
+
+	walking := core.DefaultScenario()
+	walking.Name = "walking"
+	walking.Activity = motion.Walking
+	walking.Env = acoustic.GroceryStore()
+	walking.Distance = 0.25
+
+	far := core.DefaultScenario()
+	far.Name = "far"
+	far.Distance = 1.5 // past the 1 m secure boundary: mostly undecodable
+
+	attacker := core.DefaultScenario()
+	attacker.Name = "attacker"
+	attacker.SameBody = false // off-body phone: the motion filter's target
+	attacker.Activity = motion.Walking
+
+	outofrange := core.DefaultScenario()
+	outofrange.Name = "out-of-range"
+	outofrange.Distance = 20 // beyond Bluetooth presence: link down
+
+	return map[string]core.Scenario{
+		"default":       core.DefaultScenario(),
+		"quiet":         quiet,
+		"cafe":          cafe,
+		"classroom":     classroom,
+		"samehand":      samehand,
+		"cover-speaker": cover,
+		"walking":       walking,
+		"far":           far,
+		"attacker":      attacker,
+		"out-of-range":  outofrange,
+	}
+}
+
+// ScenarioNames lists the keys of a scenario map in sorted order.
+func ScenarioNames(m map[string]core.Scenario) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Mix is a weighted scenario mix, e.g. the load generator's
+// "default=4,samehand=1" traffic model.
+type Mix struct {
+	names   []string
+	weights []int
+	total   int
+}
+
+// ParseMix parses "name=weight,name=weight,..." (a bare "name" means
+// weight 1) and validates every name against the available scenarios.
+func ParseMix(spec string, available map[string]core.Scenario) (*Mix, error) {
+	m := &Mix{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weightStr, found := strings.Cut(part, "=")
+		weight := 1
+		if found {
+			w, err := strconv.Atoi(weightStr)
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("service: mix weight %q must be a positive integer", weightStr)
+			}
+			weight = w
+		}
+		if _, ok := available[name]; !ok {
+			return nil, fmt.Errorf("service: unknown scenario %q (available: %s)",
+				name, strings.Join(ScenarioNames(available), ", "))
+		}
+		m.names = append(m.names, name)
+		m.weights = append(m.weights, weight)
+		m.total += weight
+	}
+	if m.total == 0 {
+		return nil, fmt.Errorf("service: empty scenario mix %q", spec)
+	}
+	return m, nil
+}
+
+// Pick deterministically maps a request index onto a scenario name with
+// the configured weights (round-robin over the weighted expansion, so
+// every prefix of the request stream approximates the mix).
+func (m *Mix) Pick(i uint64) string {
+	slot := int(i % uint64(m.total))
+	for j, w := range m.weights {
+		if slot < w {
+			return m.names[j]
+		}
+		slot -= w
+	}
+	return m.names[len(m.names)-1] // unreachable
+}
+
+// Names lists the distinct scenario names in the mix.
+func (m *Mix) Names() []string { return append([]string(nil), m.names...) }

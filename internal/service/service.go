@@ -1,0 +1,625 @@
+// Package service is wearlockd's core: a long-running unlock-session
+// daemon over the deterministic protocol stack. It owns a fleet of
+// simulated phone↔watch device pairs, admits unlock requests through a
+// bounded worker pool (queue-full submissions are rejected so the HTTP
+// layer can answer 429), serializes sessions per device (each
+// core.System carries live OTP/keyguard state), enforces per-request
+// deadlines through context, garbage-collects finished sessions after a
+// TTL, drains gracefully on shutdown, and publishes live metrics through
+// an internal/telemetry registry.
+//
+// The layering mirrors the batch side: core.RunBatch fans one-shot jobs
+// over a transient sim.Pool, while Service keeps one sim.Pool alive for
+// the daemon's lifetime and feeds it request-by-request.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wearlock/internal/core"
+	"wearlock/internal/sim"
+	"wearlock/internal/telemetry"
+)
+
+// Service errors the HTTP layer maps onto status codes.
+var (
+	// ErrQueueFull is the admission-control rejection: every worker is
+	// busy and the queue is at its bound. HTTP: 429 + Retry-After.
+	ErrQueueFull = errors.New("service: session queue full")
+	// ErrDraining rejects submissions during graceful shutdown. HTTP: 503.
+	ErrDraining = errors.New("service: draining")
+	// ErrUnknownScenario rejects requests naming no configured scenario.
+	// HTTP: 400.
+	ErrUnknownScenario = errors.New("service: unknown scenario")
+	// ErrUnknownDevice rejects requests pinning an out-of-range device
+	// index. HTTP: 400.
+	ErrUnknownDevice = errors.New("service: unknown device")
+)
+
+// Config parameterizes the daemon.
+type Config struct {
+	// Devices is the simulated phone↔watch fleet size. Sessions on one
+	// device serialize; the fleet bound is therefore also the maximum
+	// unlock parallelism.
+	Devices int
+	// Workers is the worker-pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds queued-but-not-running sessions; beyond it,
+	// Submit returns ErrQueueFull. <= 0 means 2x workers.
+	QueueDepth int
+	// SessionTTL is how long finished sessions stay queryable before the
+	// garbage collector drops them.
+	SessionTTL time.Duration
+	// GCInterval is the sweep period; <= 0 derives SessionTTL/4.
+	GCInterval time.Duration
+	// RequestTimeout bounds each session's wall clock when the request
+	// carries no explicit deadline.
+	RequestTimeout time.Duration
+	// Seed derives every device's private random stream.
+	Seed int64
+	// Core is the WearLock deployment configuration every device runs.
+	Core core.Config
+	// Scenarios is the named scenario catalog; nil means
+	// BuiltinScenarios().
+	Scenarios map[string]core.Scenario
+}
+
+// DefaultConfig returns a daemon sized for the acceptance load: 64
+// devices so 64 sessions can be in flight, a queue of 128 behind them.
+func DefaultConfig() Config {
+	return Config{
+		Devices:        64,
+		Workers:        0, // GOMAXPROCS
+		QueueDepth:     128,
+		SessionTTL:     2 * time.Minute,
+		RequestTimeout: 30 * time.Second,
+		Seed:           42,
+		Core:           core.DefaultConfig(),
+	}
+}
+
+// Request asks for one unlock session.
+type Request struct {
+	// Scenario names an entry of the catalog; empty means "default".
+	Scenario string
+	// Device pins the session to a device pair; negative picks
+	// round-robin.
+	Device int
+	// Timeout overrides Config.RequestTimeout when positive.
+	Timeout time.Duration
+}
+
+// SessionState is a session's lifecycle position.
+type SessionState int
+
+// Session lifecycle states.
+const (
+	StateQueued SessionState = iota + 1
+	StateRunning
+	StateDone   // session ran to a terminal core.Outcome
+	StateFailed // session errored (deadline, cancellation, internal)
+)
+
+// String implements fmt.Stringer.
+func (s SessionState) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("SessionState(%d)", int(s))
+	}
+}
+
+// Session tracks one unlock request from admission to GC.
+type Session struct {
+	ID       string
+	Scenario string
+	Device   int
+
+	mu        sync.Mutex
+	state     SessionState
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	result    *core.Result
+	err       error
+
+	done chan struct{}
+}
+
+// View is an immutable snapshot of a session for serialization.
+type View struct {
+	ID       string  `json:"id"`
+	Scenario string  `json:"scenario"`
+	Device   int     `json:"device"`
+	State    string  `json:"state"`
+	Outcome  string  `json:"outcome,omitempty"`
+	Unlocked bool    `json:"unlocked"`
+	Detail   string  `json:"detail,omitempty"`
+	Error    string  `json:"error,omitempty"`
+	BER      float64 `json:"ber"`
+	EbN0dB   float64 `json:"ebn0_db"`
+	// UnlockDelayMS is the simulated end-to-end protocol delay (the
+	// paper's Fig. 12 metric); WallMS is daemon wall clock including
+	// queueing.
+	UnlockDelayMS float64 `json:"unlock_delay_ms"`
+	WallMS        float64 `json:"wall_ms"`
+}
+
+// Snapshot renders the session's current state.
+func (sess *Session) Snapshot() View {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	v := View{
+		ID:       sess.ID,
+		Scenario: sess.Scenario,
+		Device:   sess.Device,
+		State:    sess.state.String(),
+		BER:      -1,
+	}
+	if sess.err != nil {
+		v.Error = sess.err.Error()
+	}
+	if res := sess.result; res != nil {
+		v.Outcome = res.Outcome.String()
+		v.Unlocked = res.Unlocked
+		v.Detail = res.Detail
+		v.BER = res.BER
+		v.EbN0dB = res.EbN0dB
+		v.UnlockDelayMS = float64(res.Timeline.Total().Microseconds()) / 1000
+	}
+	if !sess.finished.IsZero() {
+		v.WallMS = float64(sess.finished.Sub(sess.submitted).Microseconds()) / 1000
+	}
+	return v
+}
+
+// Wait blocks until the session reaches a terminal state or ctx ends.
+func (sess *Session) Wait(ctx context.Context) error {
+	select {
+	case <-sess.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Outcome returns the terminal result, nil while unfinished or failed.
+func (sess *Session) Outcome() *core.Result {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.result
+}
+
+// Err returns the session's terminal error, if any.
+func (sess *Session) Err() error {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.err
+}
+
+// devicePair is one simulated phone↔watch pairing. mu serializes unlock
+// sessions: a System's OTP counters, keyguard, and clock are stateful.
+type devicePair struct {
+	id  int
+	mu  sync.Mutex
+	sys *core.System
+}
+
+// metrics bundles the registry handles the hot path updates.
+type metrics struct {
+	sessions      *telemetry.CounterVec
+	rejected      *telemetry.CounterVec
+	queueDepth    *telemetry.Gauge
+	inflight      *telemetry.Gauge
+	tracked       *telemetry.Gauge
+	gced          *telemetry.Counter
+	manualUnlocks *telemetry.Counter
+	wallSeconds   *telemetry.Histogram
+	unlockDelay   *telemetry.Histogram
+	decodeSeconds *telemetry.Histogram
+	ber           *telemetry.Histogram
+	ebn0          *telemetry.Histogram
+}
+
+func newMetrics(reg *telemetry.Registry) *metrics {
+	return &metrics{
+		sessions: reg.CounterVec("wearlockd_sessions_total",
+			"Finished unlock sessions by terminal outcome ('error' for failed sessions).", "outcome"),
+		rejected: reg.CounterVec("wearlockd_rejected_total",
+			"Submissions rejected before running, by reason.", "reason"),
+		queueDepth: reg.Gauge("wearlockd_queue_depth",
+			"Sessions admitted but not yet picked up by a worker."),
+		inflight: reg.Gauge("wearlockd_inflight_sessions",
+			"Sessions currently executing on a worker."),
+		tracked: reg.Gauge("wearlockd_tracked_sessions",
+			"Sessions currently held in the store (pre-GC)."),
+		gced: reg.Counter("wearlockd_sessions_gced_total",
+			"Finished sessions dropped by the TTL garbage collector."),
+		manualUnlocks: reg.Counter("wearlockd_manual_unlocks_total",
+			"Simulated PIN fallbacks clearing a locked-out keyguard."),
+		wallSeconds: reg.Histogram("wearlockd_session_wall_seconds",
+			"Daemon wall clock per session, admission to finish.",
+			telemetry.ExponentialBuckets(0.001, 2, 14)),
+		unlockDelay: reg.Histogram("wearlockd_unlock_delay_seconds",
+			"Simulated end-to-end unlock delay (protocol timeline total).",
+			telemetry.ExponentialBuckets(0.05, 1.5, 12)),
+		decodeSeconds: reg.Histogram("wearlockd_decode_seconds",
+			"Simulated phase-2 receive-pipeline time (pre-processing + demodulation).",
+			telemetry.ExponentialBuckets(0.0005, 2, 12)),
+		ber: reg.Histogram("wearlockd_ber",
+			"Raw channel BER over sessions that reached demodulation.",
+			telemetry.LinearBuckets(0, 0.05, 11)),
+		ebn0: reg.Histogram("wearlockd_ebn0_db",
+			"Probe-estimated Eb/N0 over sessions that measured one.",
+			telemetry.LinearBuckets(-5, 5, 12)),
+	}
+}
+
+// Service is the daemon core.
+type Service struct {
+	cfg       Config
+	scenarios map[string]core.Scenario
+	pool      *sim.Pool
+	devices   []*devicePair
+	nextDev   atomic.Uint64
+	reg       *telemetry.Registry
+	m         *metrics
+	started   time.Time
+
+	// unlock runs one session on a device; tests swap it to control
+	// timing precisely.
+	unlock func(ctx context.Context, dev *devicePair, sc core.Scenario) (*core.Result, error)
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	seq      uint64
+	draining bool
+
+	inflight sync.WaitGroup
+	gcStop   chan struct{}
+	gcDone   chan struct{}
+}
+
+// New builds the device fleet, starts the worker pool and the session
+// garbage collector, and returns a serving Service.
+func New(cfg Config) (*Service, error) {
+	if cfg.Devices <= 0 {
+		return nil, fmt.Errorf("service: device fleet size %d must be positive", cfg.Devices)
+	}
+	if cfg.SessionTTL <= 0 {
+		return nil, fmt.Errorf("service: session TTL must be positive")
+	}
+	if cfg.RequestTimeout <= 0 {
+		return nil, fmt.Errorf("service: request timeout must be positive")
+	}
+	if err := cfg.Core.Validate(); err != nil {
+		return nil, fmt.Errorf("service: core config: %w", err)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 2 * cfg.Workers
+	}
+	if cfg.GCInterval <= 0 {
+		cfg.GCInterval = cfg.SessionTTL / 4
+	}
+	scenarios := cfg.Scenarios
+	if scenarios == nil {
+		scenarios = BuiltinScenarios()
+	}
+	for name, sc := range scenarios {
+		if err := sc.Validate(); err != nil {
+			return nil, fmt.Errorf("service: scenario %q: %w", name, err)
+		}
+	}
+
+	s := &Service{
+		cfg:       cfg,
+		scenarios: scenarios,
+		pool:      sim.NewPool(cfg.Workers, cfg.QueueDepth),
+		reg:       telemetry.NewRegistry(),
+		started:   time.Now(),
+		sessions:  make(map[string]*Session),
+		gcStop:    make(chan struct{}),
+		gcDone:    make(chan struct{}),
+	}
+	s.m = newMetrics(s.reg)
+	s.unlock = s.runOnDevice
+
+	s.devices = make([]*devicePair, cfg.Devices)
+	for i := range s.devices {
+		// Every device gets a private stream derived from (Seed, device):
+		// the same contract batch jobs use, so a device's session
+		// sequence is reproducible regardless of traffic interleaving on
+		// other devices.
+		rng := rand.New(rand.NewSource(sim.SeedFor(cfg.Seed, int64(i))))
+		sys, err := core.NewSystem(cfg.Core, rng)
+		if err != nil {
+			return nil, fmt.Errorf("service: device %d: %w", i, err)
+		}
+		s.devices[i] = &devicePair{id: i, sys: sys}
+	}
+
+	go s.gcLoop()
+	return s, nil
+}
+
+// Registry exposes the metrics registry (the /metrics endpoint renders
+// it).
+func (s *Service) Registry() *telemetry.Registry { return s.reg }
+
+// Scenarios lists the configured scenario names.
+func (s *Service) Scenarios() []string { return ScenarioNames(s.scenarios) }
+
+// runOnDevice is the production unlock path: serialize on the device,
+// run the protocol session, and clear lockouts like a user typing their
+// PIN would, so a device pair survives hostile traffic.
+func (s *Service) runOnDevice(ctx context.Context, dev *devicePair, sc core.Scenario) (*core.Result, error) {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
+	res, err := dev.sys.UnlockCtx(ctx, sc)
+	if err == nil && res.Outcome == core.OutcomeLockedOut {
+		dev.sys.ManualUnlock()
+		s.m.manualUnlocks.Inc()
+	}
+	return res, err
+}
+
+// Submit admits one unlock request. On success the session is queued and
+// trackable; rejection returns ErrQueueFull (back off and retry),
+// ErrDraining, ErrUnknownScenario, or ErrUnknownDevice without side
+// effects.
+func (s *Service) Submit(req Request) (*Session, error) {
+	name := req.Scenario
+	if name == "" {
+		name = "default"
+	}
+	sc, ok := s.scenarios[name]
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownScenario, name)
+	}
+	if req.Device >= len(s.devices) {
+		return nil, fmt.Errorf("%w %d (fleet size %d)", ErrUnknownDevice, req.Device, len(s.devices))
+	}
+	dev := s.pickDevice(req.Device)
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.RequestTimeout
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.m.rejected.With("draining").Inc()
+		return nil, ErrDraining
+	}
+	s.seq++
+	sess := &Session{
+		ID:        fmt.Sprintf("s-%08d", s.seq),
+		Scenario:  name,
+		Device:    dev.id,
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	// The inflight count covers queued work too, and is raised under mu
+	// so Drain (which flips draining under the same lock before waiting)
+	// can never miss an admitted session.
+	s.inflight.Add(1)
+	s.mu.Unlock()
+
+	if err := s.pool.TrySubmit(func() { s.run(sess, dev, sc, timeout) }); err != nil {
+		s.inflight.Done()
+		s.m.rejected.With("queue_full").Inc()
+		return nil, ErrQueueFull
+	}
+
+	s.mu.Lock()
+	s.sessions[sess.ID] = sess
+	s.m.tracked.Set(int64(len(s.sessions)))
+	s.mu.Unlock()
+	s.m.queueDepth.Set(int64(s.pool.Depth()))
+	return sess, nil
+}
+
+// pickDevice resolves a pinned device or rotates round-robin.
+func (s *Service) pickDevice(pinned int) *devicePair {
+	if pinned >= 0 {
+		return s.devices[pinned]
+	}
+	return s.devices[s.nextDev.Add(1)%uint64(len(s.devices))]
+}
+
+// run executes one admitted session on a pool worker.
+func (s *Service) run(sess *Session, dev *devicePair, sc core.Scenario, timeout time.Duration) {
+	defer s.inflight.Done()
+	s.m.queueDepth.Set(int64(s.pool.Depth()))
+	s.m.inflight.Add(1)
+	defer s.m.inflight.Add(-1)
+
+	sess.mu.Lock()
+	sess.state = StateRunning
+	sess.started = time.Now()
+	sess.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	res, err := s.unlock(ctx, dev, sc)
+	cancel()
+
+	now := time.Now()
+	sess.mu.Lock()
+	sess.finished = now
+	sess.result = res
+	sess.err = err
+	if err != nil {
+		sess.state = StateFailed
+	} else {
+		sess.state = StateDone
+	}
+	wall := now.Sub(sess.submitted)
+	sess.mu.Unlock()
+	close(sess.done)
+
+	s.m.wallSeconds.Observe(wall.Seconds())
+	if err != nil {
+		s.m.sessions.With("error").Inc()
+		return
+	}
+	s.m.sessions.With(res.Outcome.String()).Inc()
+	s.m.unlockDelay.Observe(res.Timeline.Total().Seconds())
+	if decode := res.Timeline.TotalFor("phase2/pre-processing") +
+		res.Timeline.TotalFor("phase2/demodulation"); decode > 0 {
+		s.m.decodeSeconds.Observe(decode.Seconds())
+	}
+	if res.BER >= 0 {
+		s.m.ber.Observe(res.BER)
+	}
+	if res.EbN0dB != 0 {
+		s.m.ebn0.Observe(res.EbN0dB)
+	}
+}
+
+// Get looks a session up by ID.
+func (s *Service) Get(id string) (*Session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	return sess, ok
+}
+
+// Draining reports whether the service has stopped admitting work.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain stops admission and waits for every in-flight session (queued or
+// running) to finish, or for ctx to end. Idempotent; finished sessions
+// stay queryable until Shutdown.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain: %w", ctx.Err())
+	}
+}
+
+// Shutdown drains, then stops the worker pool and the garbage collector.
+// The service cannot be restarted afterwards.
+func (s *Service) Shutdown(ctx context.Context) error {
+	err := s.Drain(ctx)
+	s.pool.Close()
+	s.mu.Lock()
+	stopped := s.gcStop
+	s.gcStop = nil
+	s.mu.Unlock()
+	if stopped != nil {
+		close(stopped)
+		<-s.gcDone
+	}
+	return err
+}
+
+// gcLoop drops finished sessions SessionTTL after they complete.
+func (s *Service) gcLoop() {
+	defer close(s.gcDone)
+	ticker := time.NewTicker(s.cfg.GCInterval)
+	defer ticker.Stop()
+	s.mu.Lock()
+	stop := s.gcStop
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			s.gcOnce(time.Now())
+		}
+	}
+}
+
+// gcOnce sweeps sessions whose finish time is older than the TTL.
+func (s *Service) gcOnce(now time.Time) {
+	cutoff := now.Add(-s.cfg.SessionTTL)
+	s.mu.Lock()
+	var dropped uint64
+	for id, sess := range s.sessions {
+		sess.mu.Lock()
+		expired := (sess.state == StateDone || sess.state == StateFailed) &&
+			sess.finished.Before(cutoff)
+		sess.mu.Unlock()
+		if expired {
+			delete(s.sessions, id)
+			dropped++
+		}
+	}
+	s.m.tracked.Set(int64(len(s.sessions)))
+	s.mu.Unlock()
+	if dropped > 0 {
+		s.m.gced.Add(dropped)
+	}
+}
+
+// Health is the /healthz snapshot.
+type Health struct {
+	Status          string   `json:"status"` // "ok" or "draining"
+	Devices         int      `json:"devices"`
+	Workers         int      `json:"workers"`
+	QueueDepth      int      `json:"queue_depth"`
+	QueueBound      int      `json:"queue_bound"`
+	Inflight        int64    `json:"inflight"`
+	TrackedSessions int      `json:"tracked_sessions"`
+	UptimeSeconds   float64  `json:"uptime_seconds"`
+	Scenarios       []string `json:"scenarios"`
+}
+
+// Health reports liveness and capacity.
+func (s *Service) Health() Health {
+	s.mu.Lock()
+	draining := s.draining
+	tracked := len(s.sessions)
+	s.mu.Unlock()
+	status := "ok"
+	if draining {
+		status = "draining"
+	}
+	return Health{
+		Status:          status,
+		Devices:         len(s.devices),
+		Workers:         s.cfg.Workers,
+		QueueDepth:      s.pool.Depth(),
+		QueueBound:      s.cfg.QueueDepth,
+		Inflight:        s.m.inflight.Value(),
+		TrackedSessions: tracked,
+		UptimeSeconds:   time.Since(s.started).Seconds(),
+		Scenarios:       s.Scenarios(),
+	}
+}

@@ -1,0 +1,390 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wearlock/internal/core"
+)
+
+// testConfig returns a small deterministic daemon configuration.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Devices = 4
+	cfg.Workers = 2
+	cfg.QueueDepth = 2
+	cfg.SessionTTL = time.Minute
+	cfg.GCInterval = 10 * time.Millisecond
+	cfg.RequestTimeout = 5 * time.Second
+	return cfg
+}
+
+// blockableService swaps the unlock hook for a gate the test controls,
+// so admission and drain states can be pinned precisely.
+func blockableService(t *testing.T, cfg Config) (*Service, chan struct{}) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	release := make(chan struct{})
+	s.unlock = func(ctx context.Context, dev *devicePair, sc core.Scenario) (*core.Result, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return &core.Result{Outcome: core.OutcomeUnlocked, Unlocked: true, BER: -1, Timeline: &core.Timeline{}}, nil
+	}
+	return s, release
+}
+
+// Admission control: with every worker and queue slot occupied, Submit
+// must reject with ErrQueueFull and count the rejection; free capacity
+// admits again.
+func TestAdmissionControlRejectsWhenFull(t *testing.T) {
+	s, release := blockableService(t, testConfig())
+	defer func() { _ = s.Shutdown(context.Background()) }()
+
+	// Fill the 2 workers first and wait until both hold a session, so
+	// the queue is empty and its 2 slots are the only capacity left.
+	var admitted []*Session
+	for i := 0; i < 2; i++ {
+		sess, err := s.Submit(Request{Device: -1})
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		admitted = append(admitted, sess)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.m.inflight.Value() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.m.inflight.Value() != 2 {
+		t.Fatalf("workers did not pick up sessions: inflight %d", s.m.inflight.Value())
+	}
+	// Fill both queue slots.
+	for i := 0; i < 2; i++ {
+		sess, err := s.Submit(Request{Device: -1})
+		if err != nil {
+			t.Fatalf("queue Submit %d: %v", i, err)
+		}
+		admitted = append(admitted, sess)
+	}
+	if _, err := s.Submit(Request{Device: -1}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-capacity Submit: %v, want ErrQueueFull", err)
+	}
+	if got := s.m.rejected.With("queue_full").Value(); got != 1 {
+		t.Errorf("queue_full rejections %d, want 1", got)
+	}
+
+	// Released sessions all finish; every admitted session completes,
+	// and freed capacity admits new work again.
+	close(release)
+	for i, sess := range admitted {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := sess.Wait(ctx); err != nil {
+			t.Fatalf("session %d never finished: %v", i, err)
+		}
+		cancel()
+	}
+	for i := 0; i < 2; i++ {
+		sess, err := s.Submit(Request{Device: -1})
+		if err != nil {
+			t.Fatalf("post-release Submit %d: %v", i, err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := sess.Wait(ctx); err != nil {
+			t.Fatalf("post-release session %d: %v", i, err)
+		}
+		cancel()
+		admitted = append(admitted, sess)
+	}
+	if got := s.m.sessions.With("unlocked").Value(); got != 6 {
+		t.Errorf("unlocked counter %d, want 6", got)
+	}
+}
+
+// Graceful drain: in-flight sessions finish, new submissions are
+// rejected with ErrDraining, and Drain returns only once the fleet is
+// idle.
+func TestGracefulDrain(t *testing.T) {
+	s, release := blockableService(t, testConfig())
+	sess, err := s.Submit(Request{Device: -1})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+
+	// Drain must flip the admission gate quickly even while a session is
+	// in flight.
+	deadline := time.Now().Add(2 * time.Second)
+	for !s.Draining() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := s.Submit(Request{Device: -1}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Submit while draining: %v, want ErrDraining", err)
+	}
+	if got := s.m.rejected.With("draining").Value(); got != 1 {
+		t.Errorf("draining rejections %d, want 1", got)
+	}
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned with a session in flight: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("Drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain did not return after sessions finished")
+	}
+	if err := sess.Wait(context.Background()); err != nil {
+		t.Fatalf("drained session: %v", err)
+	}
+	if v := sess.Snapshot(); v.State != "done" || !v.Unlocked {
+		t.Errorf("drained session state %s unlocked=%v, want done/true", v.State, v.Unlocked)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+// A Drain bounded by an already-short context must give up and report
+// the context error while a session is stuck in flight.
+func TestDrainTimeout(t *testing.T) {
+	s, release := blockableService(t, testConfig())
+	defer func() { close(release); _ = s.Shutdown(context.Background()) }()
+	if _, err := s.Submit(Request{Device: -1}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err == nil {
+		t.Fatal("Drain returned nil with a blocked session")
+	}
+}
+
+// Session GC: finished sessions expire after the TTL; unfinished ones
+// are never collected.
+func TestSessionGC(t *testing.T) {
+	cfg := testConfig()
+	cfg.SessionTTL = 30 * time.Millisecond
+	cfg.GCInterval = 5 * time.Millisecond
+	s, release := blockableService(t, cfg)
+	defer func() { _ = s.Shutdown(context.Background()) }()
+
+	blocked, err := s.Submit(Request{Device: -1})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// The blocked session must survive arbitrarily many sweeps.
+	time.Sleep(60 * time.Millisecond)
+	if _, ok := s.Get(blocked.ID); !ok {
+		t.Fatal("GC collected a session still in flight")
+	}
+
+	close(release)
+	if err := blocked.Wait(context.Background()); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, ok := s.Get(blocked.ID); !ok {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, ok := s.Get(blocked.ID); ok {
+		t.Fatal("finished session not collected after TTL")
+	}
+	if s.m.gced.Value() == 0 {
+		t.Error("GC counter not incremented")
+	}
+}
+
+// Unknown scenarios and out-of-range device pins are rejected without
+// side effects.
+func TestSubmitValidation(t *testing.T) {
+	s, release := blockableService(t, testConfig())
+	defer func() { close(release); _ = s.Shutdown(context.Background()) }()
+	if _, err := s.Submit(Request{Scenario: "no-such-scenario", Device: -1}); !errors.Is(err, ErrUnknownScenario) {
+		t.Errorf("unknown scenario: %v", err)
+	}
+	if _, err := s.Submit(Request{Device: 99}); !errors.Is(err, ErrUnknownDevice) {
+		t.Errorf("out-of-range device: %v", err)
+	}
+	if n := len(s.sessions); n != 0 {
+		t.Errorf("rejected submissions left %d tracked sessions", n)
+	}
+}
+
+// Per-request deadlines thread into the session run: a blocked unlock
+// ends as a failed session with the deadline error, and the fleet keeps
+// serving afterwards.
+func TestRequestDeadline(t *testing.T) {
+	s, release := blockableService(t, testConfig())
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	sess, err := s.Submit(Request{Device: -1, Timeout: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := sess.Wait(context.Background()); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if v := sess.Snapshot(); v.State != "failed" || !strings.Contains(v.Error, "deadline") {
+		t.Errorf("timed-out session state %s error %q, want failed/deadline", v.State, v.Error)
+	}
+	if got := s.m.sessions.With("error").Value(); got != 1 {
+		t.Errorf("error counter %d, want 1", got)
+	}
+	close(release)
+	next, err := s.Submit(Request{Device: -1})
+	if err != nil {
+		t.Fatalf("Submit after timeout: %v", err)
+	}
+	if err := next.Wait(context.Background()); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if v := next.Snapshot(); v.State != "done" {
+		t.Errorf("follow-up session state %s, want done", v.State)
+	}
+}
+
+// The real protocol under concurrent load: outcome counters must equal
+// the observed per-outcome totals exactly, with zero data races (run
+// with -race) — the /metrics consistency contract loadgen checks against
+// the live daemon.
+func TestConcurrentRealSessionsMetricsConsistent(t *testing.T) {
+	cfg := testConfig()
+	cfg.Devices = 8
+	cfg.Workers = 4
+	cfg.QueueDepth = 512 // no backpressure in this test: every session runs
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() { _ = s.Shutdown(context.Background()) }()
+
+	scenarios := []string{"default", "quiet", "samehand", "attacker", "out-of-range", "far"}
+	const total = 60
+	var (
+		mu       sync.Mutex
+		observed = map[string]uint64{}
+		wg       sync.WaitGroup
+	)
+	for i := 0; i < total; i++ {
+		sess, err := s.Submit(Request{Scenario: scenarios[i%len(scenarios)], Device: -1})
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := sess.Wait(ctx); err != nil {
+				t.Errorf("session %s: %v", sess.ID, err)
+				return
+			}
+			v := sess.Snapshot()
+			key := v.Outcome
+			if v.State == "failed" {
+				key = "error"
+			}
+			mu.Lock()
+			observed[key]++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	counted := s.m.sessions.Values()
+	var sum uint64
+	for outcome, n := range counted {
+		sum += n
+		if observed[outcome] != n {
+			t.Errorf("outcome %q: metrics %d, observed %d", outcome, n, observed[outcome])
+		}
+	}
+	for outcome, n := range observed {
+		if counted[outcome] != n {
+			t.Errorf("outcome %q: observed %d, metrics %d", outcome, n, counted[outcome])
+		}
+	}
+	if sum != total {
+		t.Errorf("metrics counted %d sessions, want %d", sum, total)
+	}
+	// The out-of-range scenario must have exercised the link-down path.
+	if counted[core.OutcomeAbortedLinkDown.String()] == 0 {
+		t.Error("no aborted-link-down outcomes from the out-of-range scenario")
+	}
+	// Prometheus export carries the same numbers.
+	text := s.reg.String()
+	for outcome, n := range counted {
+		want := fmt.Sprintf("wearlockd_sessions_total{outcome=%q} %d", outcome, n)
+		if !strings.Contains(text, want) {
+			t.Errorf("export missing %q", want)
+		}
+	}
+}
+
+// Pinning a device serializes its sessions: the OTP stream on one device
+// advances session-by-session regardless of request interleaving.
+func TestDevicePinning(t *testing.T) {
+	cfg := testConfig()
+	cfg.QueueDepth = 64
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	var sessions []*Session
+	for i := 0; i < 6; i++ {
+		sess, err := s.Submit(Request{Scenario: "quiet", Device: 1})
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		if sess.Device != 1 {
+			t.Fatalf("session on device %d, want 1", sess.Device)
+		}
+		sessions = append(sessions, sess)
+	}
+	for _, sess := range sessions {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := sess.Wait(ctx); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+		cancel()
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{}, // zero devices
+		func() Config { c := DefaultConfig(); c.SessionTTL = 0; return c }(),
+		func() Config { c := DefaultConfig(); c.RequestTimeout = 0; return c }(),
+		func() Config { c := DefaultConfig(); c.Core.MaxBER = 5; return c }(),
+		func() Config {
+			c := DefaultConfig()
+			c.Scenarios = map[string]core.Scenario{"bad": {Distance: -1}}
+			return c
+		}(),
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// Pool errors.
+var (
+	// ErrPoolFull reports that TrySubmit found the queue at its bound;
+	// callers doing admission control turn it into backpressure.
+	ErrPoolFull = errors.New("sim: pool queue full")
+	// ErrPoolClosed reports a submission after Close.
+	ErrPoolClosed = errors.New("sim: pool closed")
+)
+
+// Pool is a long-lived bounded worker pool. Runner builds a transient
+// Pool per batch; the service layer keeps one alive for the daemon's
+// lifetime and uses TrySubmit's queue bound as its admission control.
+//
+// The zero value is not usable; construct with NewPool.
+type Pool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+
+	// mu guards closed and, held shared, any send on jobs: a sender
+	// holding mu.RLock can never race the close(jobs) in Close, which
+	// requires the exclusive lock.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// NewPool starts a pool with the given worker count (<= 0 means
+// GOMAXPROCS) and queue bound (<= 0 means 2x workers).
+func NewPool(workers, queue int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queue <= 0 {
+		queue = 2 * workers
+	}
+	p := &Pool{jobs: make(chan func(), queue)}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.jobs {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues fn without blocking. It returns ErrPoolFull when the
+// queue is at its bound and ErrPoolClosed after Close.
+func (p *Pool) TrySubmit(fn func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.jobs <- fn:
+		return nil
+	default:
+		return ErrPoolFull
+	}
+}
+
+// Submit enqueues fn, blocking while the queue is full (backpressure)
+// until the send succeeds or ctx is canceled.
+func (p *Pool) Submit(ctx context.Context, fn func()) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.jobs <- fn:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Depth reports how many jobs are queued but not yet picked up by a
+// worker.
+func (p *Pool) Depth() int { return len(p.jobs) }
+
+// Close stops accepting work, drains the queue, and waits for every
+// worker to finish. It is idempotent and safe to call concurrently with
+// submitters: late submissions get ErrPoolClosed.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

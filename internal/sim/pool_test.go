@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TrySubmit must reject with ErrPoolFull exactly when worker slots and
+// queue slots are all taken, and accept again once they free up.
+func TestPoolAdmissionBound(t *testing.T) {
+	pool := NewPool(1, 2)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var done atomic.Int32
+	blocker := func() {
+		close(started)
+		<-release
+		done.Add(1)
+	}
+	if err := pool.TrySubmit(blocker); err != nil {
+		t.Fatalf("first TrySubmit: %v", err)
+	}
+	<-started // the worker holds the blocker; the queue is empty
+	for i := 0; i < 2; i++ {
+		if err := pool.TrySubmit(func() { done.Add(1) }); err != nil {
+			t.Fatalf("queue slot %d: %v", i, err)
+		}
+	}
+	if err := pool.TrySubmit(func() {}); err != ErrPoolFull {
+		t.Fatalf("over-bound TrySubmit: %v, want ErrPoolFull", err)
+	}
+	if d := pool.Depth(); d != 2 {
+		t.Errorf("Depth %d, want 2", d)
+	}
+	close(release)
+	pool.Close()
+	if done.Load() != 3 {
+		t.Errorf("ran %d jobs, want 3", done.Load())
+	}
+	if err := pool.TrySubmit(func() {}); err != ErrPoolClosed {
+		t.Errorf("TrySubmit after Close: %v, want ErrPoolClosed", err)
+	}
+	if err := pool.Submit(context.Background(), func() {}); err != ErrPoolClosed {
+		t.Errorf("Submit after Close: %v, want ErrPoolClosed", err)
+	}
+	pool.Close() // idempotent
+}
+
+// A blocking Submit must respect context cancellation while the queue is
+// full.
+func TestPoolSubmitCancel(t *testing.T) {
+	pool := NewPool(1, 1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if err := pool.TrySubmit(func() { close(started); <-release }); err != nil {
+		t.Fatalf("TrySubmit: %v", err)
+	}
+	<-started
+	if err := pool.TrySubmit(func() {}); err != nil {
+		t.Fatalf("queue fill: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := pool.Submit(ctx, func() {}); err != context.DeadlineExceeded {
+		t.Errorf("Submit on full queue: %v, want DeadlineExceeded", err)
+	}
+	close(release)
+	pool.Close()
+}
+
+// Hammer the pool from many producers racing Close; run under -race.
+func TestPoolConcurrentSubmitClose(t *testing.T) {
+	pool := NewPool(4, 8)
+	var accepted atomic.Int64
+	var executed atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				err := pool.TrySubmit(func() { executed.Add(1) })
+				switch err {
+				case nil:
+					accepted.Add(1)
+				case ErrPoolClosed:
+					return
+				case ErrPoolFull:
+					time.Sleep(time.Microsecond)
+				}
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	pool.Close()
+	close(stop)
+	wg.Wait()
+	if accepted.Load() != executed.Load() {
+		t.Errorf("accepted %d but executed %d", accepted.Load(), executed.Load())
+	}
+	if accepted.Load() == 0 {
+		t.Error("no jobs ran")
+	}
+}

@@ -16,7 +16,6 @@ import (
 	"context"
 	"math/rand"
 	"runtime"
-	"sync"
 	"time"
 )
 
@@ -64,6 +63,10 @@ func (r *Runner) workers() int {
 // order. Job failures are reported per-result, not as a Run error.
 // When ctx is canceled mid-batch, jobs not yet started are marked with
 // the context error and Run returns it; jobs already running finish.
+//
+// Each batch runs on a transient Pool — the same worker pool the
+// long-running service layer keeps alive — so batch and daemon share one
+// execution substrate.
 func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -73,56 +76,38 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	if workers > len(jobs) && len(jobs) > 0 {
 		workers = len(jobs)
 	}
-	queue := r.Queue
-	if queue <= 0 {
-		queue = 2 * workers
-	}
 
-	type indexed struct {
-		idx int
-		job Job
-	}
-	feed := make(chan indexed, queue)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for it := range feed {
-				res := Result{Index: it.idx, Name: it.job.Name}
-				if err := ctx.Err(); err != nil {
-					res.Err = err
-				} else {
-					start := time.Now()
-					rng := rand.New(rand.NewSource(it.job.Seed))
-					res.Value, res.Err = it.job.Run(ctx, rng)
-					res.Elapsed = time.Since(start)
-				}
-				results[it.idx] = res
+	pool := NewPool(workers, r.Queue)
+	run := func(idx int) func() {
+		return func() {
+			job := jobs[idx]
+			res := Result{Index: idx, Name: job.Name}
+			if err := ctx.Err(); err != nil {
+				res.Err = err
+			} else {
+				start := time.Now()
+				rng := rand.New(rand.NewSource(job.Seed))
+				res.Value, res.Err = job.Run(ctx, rng)
+				res.Elapsed = time.Since(start)
 			}
-		}()
+			results[idx] = res
+		}
 	}
 
-feeding:
-	for i, job := range jobs {
-		select {
-		case feed <- indexed{idx: i, job: job}:
-		case <-ctx.Done():
-			// Mark everything not handed to a worker; the select may have
-			// raced, so only fill results the workers will never touch.
+	for i := range jobs {
+		if err := pool.Submit(ctx, run(i)); err != nil {
+			// Canceled mid-feed: try to hand the remainder to workers so
+			// they record the ctx error; whatever doesn't fit in the
+			// queue is marked here, where no worker will ever touch it.
 			for j := i; j < len(jobs); j++ {
-				select {
-				case feed <- indexed{idx: j, job: jobs[j]}:
-					// Worker will record the ctx error itself.
-				default:
+				if pool.TrySubmit(run(j)) != nil {
 					results[j] = Result{Index: j, Name: jobs[j].Name, Err: ctx.Err()}
 				}
 			}
-			break feeding
+			break
 		}
 	}
-	close(feed)
-	wg.Wait()
+	pool.Close()
 	return results, ctx.Err()
 }
 

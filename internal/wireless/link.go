@@ -13,6 +13,7 @@ package wireless
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 )
 
@@ -89,6 +90,12 @@ type Link struct {
 	// disabled), the first filter of the unlocking protocol.
 	Down bool
 
+	// mu serializes rng: one link is shared by both protocol endpoints,
+	// and concurrent sends (an abort racing in-flight traffic) would
+	// otherwise race on the non-thread-safe source. Jitter draw order —
+	// and so exact latencies — stays deterministic only for serialized
+	// use; concurrent senders get scheduling-ordered draws.
+	mu  sync.Mutex
 	rng *rand.Rand
 }
 
@@ -128,7 +135,9 @@ func (l *Link) Connected() bool {
 // jittered draws a latency sample around the median with multiplicative
 // jitter, never less than half the median.
 func (l *Link) jittered(median time.Duration, frac float64) time.Duration {
+	l.mu.Lock()
 	mult := 1 + frac*l.rng.NormFloat64()
+	l.mu.Unlock()
 	if mult < 0.5 {
 		mult = 0.5
 	}

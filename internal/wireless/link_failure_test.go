@@ -1,0 +1,141 @@
+package wireless
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The jitter multiplier is floored at 0.5: no message ever beats half
+// the transport's median latency, however lucky the draw. The protocol's
+// replay-defense window leans on that lower bound.
+func TestJitterFloor(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	link, err := NewLink(Bluetooth, 1, rng)
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	m, err := Bluetooth.model()
+	if err != nil {
+		t.Fatalf("model: %v", err)
+	}
+	floor := m.msgLatency / 2
+	var minSeen time.Duration
+	for i := 0; i < 2000; i++ {
+		d, err := link.SendMessage(0)
+		if err != nil {
+			t.Fatalf("SendMessage: %v", err)
+		}
+		if d < floor {
+			t.Fatalf("sample %d: latency %s below floor %s", i, d, floor)
+		}
+		if minSeen == 0 || d < minSeen {
+			minSeen = d
+		}
+	}
+	// With 2000 normal draws at 35% jitter the floor must actually bind
+	// at least once; if it never does the clamp is dead code.
+	if minSeen > floor*11/10 {
+		t.Errorf("minimum observed latency %s never approached the %s floor", minSeen, floor)
+	}
+}
+
+// A link that drops mid-session fails subsequent operations with
+// ErrLinkDown — the condition the protocol surfaces as
+// OutcomeAbortedLinkDown (covered end-to-end in internal/core).
+func TestMidStreamLinkDown(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	link, err := NewLink(Bluetooth, 1, rng)
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	if _, err := link.SendMessage(64); err != nil {
+		t.Fatalf("send on healthy link: %v", err)
+	}
+
+	// Bearer switched off (the paper's "Bluetooth disabled" filter).
+	link.Down = true
+	if _, err := link.SendMessage(64); !errors.Is(err, ErrLinkDown) {
+		t.Errorf("send after Down flip: %v, want ErrLinkDown", err)
+	}
+	if _, err := link.RoundTrip(); !errors.Is(err, ErrLinkDown) {
+		t.Errorf("RoundTrip after Down flip: %v, want ErrLinkDown", err)
+	}
+	if _, err := link.TransferFile(1024); !errors.Is(err, ErrLinkDown) {
+		t.Errorf("TransferFile after Down flip: %v, want ErrLinkDown", err)
+	}
+
+	// Bearer back, but the watch walked out of range.
+	link.Down = false
+	link.Distance = 20
+	if _, err := link.SendMessage(64); !errors.Is(err, ErrLinkDown) {
+		t.Errorf("send out of range: %v, want ErrLinkDown", err)
+	}
+
+	// Recovery: back in range, traffic flows again.
+	link.Distance = 1
+	if _, err := link.RoundTrip(); err != nil {
+		t.Errorf("recovered link still failing: %v", err)
+	}
+}
+
+// One Link is shared by both protocol endpoints; concurrent sends must
+// not race on the jitter source (run under -race).
+func TestConcurrentSends(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	link, err := NewLink(WiFi, 1, rng)
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, err := link.SendMessage(64); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := link.TransferFile(4096); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent op: %v", err)
+	}
+}
+
+// Jitter draws come from the provided source only: two links seeded
+// identically produce identical latency sequences.
+func TestJitterDeterminism(t *testing.T) {
+	a, err := NewLink(Bluetooth, 1, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	b, err := NewLink(Bluetooth, 1, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		da, err := a.SendMessage(64)
+		if err != nil {
+			t.Fatalf("SendMessage: %v", err)
+		}
+		db, err := b.SendMessage(64)
+		if err != nil {
+			t.Fatalf("SendMessage: %v", err)
+		}
+		if da != db {
+			t.Fatalf("draw %d diverged: %s vs %s", i, da, db)
+		}
+	}
+}
