@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test race bench fuzz-smoke bench-sim bench-service
+.PHONY: ci vet lint build test race bench test-chaos fuzz-smoke bench-sim bench-service bench-chaos
 
-ci: vet lint build race bench bench-service
+ci: vet lint build race bench test-chaos bench-service
 
 vet:
 	$(GO) vet ./...
@@ -34,12 +34,22 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
+# The chaos & conformance suite: fault-schedule validation and fuzz
+# seeds, backoff/ladder properties, the HOTP half-delivery regression,
+# the serial-vs-parallel golden replay, and the daemon-level chaos
+# integration tests — all race-enabled.
+test-chaos:
+	$(GO) test -race -count=1 ./internal/fault
+	$(GO) test -race -count=1 ./internal/core -run 'TestChaosGoldenReplay|TestBackoff|TestResilien|TestHOTP'
+	$(GO) test -race -count=1 ./internal/service -run 'TestChaos'
+
 # Brief run of each fuzz target against its checked-in corpus plus a few
 # seconds of mutation.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadWAV -fuzztime=10s ./internal/audio
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=10s ./internal/proto
 	$(GO) test -run='^$$' -fuzz=FuzzPayloadDecoders -fuzztime=10s ./internal/proto
+	$(GO) test -run='^$$' -fuzz=FuzzFaultSchedule -fuzztime=10s ./internal/fault
 
 # Regenerate the serial-vs-parallel sweep timings recorded in
 # BENCH_sim.json (see that file for the capture environment).
@@ -48,6 +58,15 @@ bench-sim:
 
 # Drive an in-process wearlockd with the load generator and record the
 # throughput/latency/consistency report. Exits non-zero if the daemon's
-# /metrics outcome counters disagree with client-observed outcomes.
+# /metrics outcome counters disagree with client-observed outcomes. The
+# second run repeats a shorter burst with the builtin chaos schedule
+# armed, so CI exercises the retry/degradation paths end to end (its
+# consistency gate applies there too; no artifact is written).
 bench-service:
 	$(GO) run ./cmd/loadgen -selfhost -n 512 -c 64 -out BENCH_service.json
+	$(GO) run ./cmd/loadgen -selfhost -n 128 -c 16 -chaos builtin
+
+# Regenerate the success-rate / latency vs fault-intensity curves in
+# BENCH_chaos.json.
+bench-chaos:
+	$(GO) run ./cmd/experiments -run chaos -scale full -chaos-out BENCH_chaos.json

@@ -33,6 +33,7 @@ func run() int {
 		seed      = flag.Int64("seed", 42, "random seed")
 		parallel  = flag.Int("parallel", 1, "worker count for figure grid sweeps (results identical for any value)")
 		list      = flag.Bool("list", false, "list experiment names and exit")
+		chaosOut  = flag.String("chaos-out", "BENCH_chaos.json", "where -run chaos also writes its JSON curve ('' = table only)")
 	)
 	flag.Parse()
 
@@ -70,7 +71,25 @@ func run() int {
 			continue
 		}
 		start := time.Now()
-		table, err := experiments.Run(name, opts)
+		var table *experiments.Table
+		var err error
+		if name == "chaos" && *chaosOut != "" {
+			// The chaos sweep doubles as a recorded benchmark: alongside
+			// the table it writes the success/latency-vs-intensity curve
+			// (the committed BENCH_chaos.json).
+			var r *experiments.ChaosResult
+			r, err = experiments.ChaosOpts(opts)
+			if err == nil {
+				table = r.Table()
+				if werr := r.WriteJSON(*chaosOut); werr != nil {
+					err = werr
+				} else {
+					table.Notes = append(table.Notes, "curve written to "+*chaosOut)
+				}
+			}
+		} else {
+			table, err = experiments.Run(name, opts)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
 			failed++

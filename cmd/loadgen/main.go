@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wearlock/internal/fault"
 	"wearlock/internal/service"
 	"wearlock/internal/sim"
 )
@@ -55,6 +56,7 @@ type record struct {
 	Concurrency    int            `json:"concurrency"`
 	RatePerSec     float64        `json:"rate_per_sec"` // 0 = closed loop
 	Mix            string         `json:"mix"`
+	Chaos          string         `json:"chaos,omitempty"`
 	Selfhost       bool           `json:"selfhost"`
 	WallSeconds    float64        `json:"wall_seconds"`
 	Throughput     float64        `json:"sessions_per_sec"`
@@ -80,12 +82,13 @@ func run() int {
 		n        = flag.Int("n", 256, "total requests")
 		c        = flag.Int("c", 32, "concurrent client workers")
 		rate     = flag.Float64("rate", 0, "open-loop arrival rate per second (0 = closed loop)")
-		mixSpec  = flag.String("mix", "default=4,quiet=2,cafe=2,samehand=1,walking=1,out-of-range=1", "weighted scenario mix")
+		mixSpec  = flag.String("mix", "default=4,quiet=2,cafe=2,samehand=1,walking=1,jammed=1,out-of-range=1", "weighted scenario mix")
 		timeout  = flag.Duration("timeout", 60*time.Second, "per-request client timeout")
 		out      = flag.String("out", "", "also write the report JSON to this path")
 		devices  = flag.Int("devices", 0, "selfhost: fleet size (0 = default)")
 		queue    = flag.Int("queue", 0, "selfhost: admission queue bound (0 = default)")
 		seed     = flag.Int64("seed", 42, "selfhost: daemon seed")
+		chaos    = flag.String("chaos", "", "selfhost: fault schedule ('builtin' or JSON file path, empty = off)")
 	)
 	flag.Parse()
 
@@ -104,6 +107,18 @@ func run() int {
 		}
 		if *queue > 0 {
 			cfg.QueueDepth = *queue
+		}
+		if *chaos != "" {
+			if *chaos == "builtin" {
+				cfg.Chaos = fault.DefaultChaosSchedule()
+			} else {
+				sch, err := fault.LoadSchedule(*chaos)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+					return 1
+				}
+				cfg.Chaos = sch
+			}
 		}
 		svc, err := service.New(cfg)
 		if err != nil {
@@ -205,6 +220,7 @@ func run() int {
 		Concurrency:    *c,
 		RatePerSec:     *rate,
 		Mix:            *mixSpec,
+		Chaos:          *chaos,
 		Selfhost:       *selfhost,
 		WallSeconds:    wall.Seconds(),
 		Throughput:     float64(completed) / wall.Seconds(),

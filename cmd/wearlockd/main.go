@@ -8,6 +8,13 @@
 //
 //	wearlockd [-addr :8547] [-devices 64] [-workers 0] [-queue 128]
 //	          [-session-ttl 2m] [-request-timeout 30s] [-seed 42]
+//	          [-chaos builtin | -chaos schedule.json]
+//
+// With -chaos the daemon arms a deterministic fault schedule ("builtin"
+// for the default mix, or a JSON schedule file) and runs every session
+// under the core resilience policy; /metrics grows
+// wearlockd_retries_total, wearlockd_degraded_total, and
+// wearlockd_fallback_total.
 //
 // API:
 //
@@ -31,11 +38,21 @@ import (
 	"syscall"
 	"time"
 
+	"wearlock/internal/fault"
 	"wearlock/internal/service"
 )
 
 func main() {
 	os.Exit(run())
+}
+
+// loadChaos resolves the -chaos flag: the builtin schedule by name, or a
+// JSON schedule file.
+func loadChaos(spec string) (*fault.Schedule, error) {
+	if spec == "builtin" {
+		return fault.DefaultChaosSchedule(), nil
+	}
+	return fault.LoadSchedule(spec)
 }
 
 func run() int {
@@ -49,6 +66,7 @@ func run() int {
 		reqTimeout = flag.Duration("request-timeout", def.RequestTimeout, "per-session deadline")
 		seed       = flag.Int64("seed", def.Seed, "base seed for the device fleet's random streams")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "max wait for in-flight sessions on shutdown")
+		chaos      = flag.String("chaos", "", "fault schedule: 'builtin' or a JSON schedule file path (empty = off)")
 	)
 	flag.Parse()
 
@@ -59,6 +77,14 @@ func run() int {
 	cfg.SessionTTL = *sessionTTL
 	cfg.RequestTimeout = *reqTimeout
 	cfg.Seed = *seed
+	if *chaos != "" {
+		sch, err := loadChaos(*chaos)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wearlockd: %v\n", err)
+			return 1
+		}
+		cfg.Chaos = sch
+	}
 
 	logger := log.New(os.Stderr, "wearlockd: ", log.LstdFlags)
 	svc, err := service.New(cfg)
@@ -75,6 +101,9 @@ func run() int {
 	server := &http.Server{Handler: svc.Handler()}
 	logger.Printf("listening on %s (%d devices, queue %d, scenarios: %s)",
 		ln.Addr(), cfg.Devices, cfg.QueueDepth, strings.Join(svc.Scenarios(), " "))
+	if cfg.Chaos != nil {
+		logger.Printf("chaos schedule %q armed (%d rules)", cfg.Chaos.Name, len(cfg.Chaos.Rules))
+	}
 
 	// Serve until a termination signal, then drain before exiting so
 	// admitted sessions finish and clients polling them get answers.

@@ -28,6 +28,14 @@ type NLOSConfig struct {
 	FarEchoLossDB float64
 }
 
+// Interferer renders an additional receiver-side noise source the channel
+// mixes on top of the ambient environment — transient bursts, a second
+// jammer. The fault layer's burst generator satisfies it structurally.
+// (*Jammer also satisfies it via Render.)
+type Interferer interface {
+	Render(n, sampleRate int, rng *rand.Rand) (*audio.Buffer, error)
+}
+
 // Link is a one-way acoustic path from a transmitter to a receiver. It
 // composes, in order: speaker non-idealities, spherical-spreading loss and
 // propagation delay, optional NLOS multipath, jammer and ambient noise
@@ -42,6 +50,13 @@ type Link struct {
 	Env         *Environment // nil = silence
 	Jammer      *Jammer      // nil = none
 	NLOS        NLOSConfig
+	// Extra holds additional receiver-side interference sources (chaos
+	// bursts) mixed after Env and Jammer.
+	Extra []Interferer
+	// ExtraLossDB is flat additional path loss on the transmitted signal —
+	// the fault layer's SNR-collapse knob. Ambient noise is unaffected, so
+	// the received SNR genuinely collapses.
+	ExtraLossDB float64
 
 	// LeadIn and TailOut are the lengths, in samples, of ambient-only
 	// recording captured before and after the transmitted frame. The
@@ -106,6 +121,9 @@ func (l *Link) Transmit(tx *audio.Buffer, volumeSPL float64) (*audio.Buffer, err
 		return nil, err
 	}
 	signal.Gain(dsp.FromDBAmplitude(-loss))
+	if l.ExtraLossDB > 0 {
+		signal.Gain(dsp.FromDBAmplitude(-l.ExtraLossDB))
+	}
 	delay := DelaySamples(l.Distance, l.SampleRate)
 
 	if l.NLOS.Enabled {
@@ -139,6 +157,18 @@ func (l *Link) Transmit(tx *audio.Buffer, volumeSPL float64) (*audio.Buffer, err
 			return nil, err
 		}
 		if err := rec.MixAt(0, jam); err != nil {
+			return nil, err
+		}
+	}
+	for _, itf := range l.Extra {
+		if itf == nil {
+			continue
+		}
+		extra, err := itf.Render(total, l.SampleRate, l.rng)
+		if err != nil {
+			return nil, err
+		}
+		if err := rec.MixAt(0, extra); err != nil {
 			return nil, err
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"wearlock/internal/fault"
 	"wearlock/internal/sim"
 )
 
@@ -24,6 +25,11 @@ type BatchSpec struct {
 	Parallel int
 	// Ctx cancels the batch mid-run; nil means context.Background().
 	Ctx context.Context
+	// Chaos, when non-nil, arms each session's faults from (Seed, session
+	// index) — the same derivation wearlockd uses per admission — so a
+	// chaos batch replays bit-identically at any Parallel value. Sessions
+	// run the resilient ladder when Config.Resilience is enabled.
+	Chaos *fault.Schedule
 }
 
 // BatchResult aggregates one batch of unlock sessions.
@@ -41,6 +47,10 @@ type BatchResult struct {
 	// LatencyMS summarizes each session's total timeline in
 	// milliseconds.
 	LatencyMS sim.Summary
+	// OutcomeSeq is each session's terminal outcome in session order —
+	// the replay-comparison artifact: two runs of the same spec must
+	// produce identical sequences regardless of Parallel.
+	OutcomeSeq []Outcome
 }
 
 // UnlockRate is the fraction of sessions that ended unlocked.
@@ -70,6 +80,11 @@ func RunBatch(spec BatchSpec) (*BatchResult, error) {
 	if err := spec.Scenario.Validate(); err != nil {
 		return nil, fmt.Errorf("core: batch scenario: %w", err)
 	}
+	if spec.Chaos != nil {
+		if err := spec.Chaos.Validate(); err != nil {
+			return nil, fmt.Errorf("core: batch chaos schedule: %w", err)
+		}
+	}
 	ctx := spec.Ctx
 	if ctx == nil {
 		ctx = context.Background()
@@ -85,7 +100,14 @@ func RunBatch(spec BatchSpec) (*BatchResult, error) {
 				if err != nil {
 					return nil, err
 				}
-				return sys.UnlockCtx(ctx, spec.Scenario)
+				sc := spec.Scenario
+				if spec.Chaos != nil {
+					sc.Faults = fault.ForSession(spec.Chaos, spec.Seed, int64(i))
+				}
+				if spec.Config.Resilience.Enabled {
+					return sys.UnlockResilientCtx(ctx, sc)
+				}
+				return sys.UnlockCtx(ctx, sc)
 			},
 		}
 	}
@@ -104,6 +126,7 @@ func RunBatch(spec BatchSpec) (*BatchResult, error) {
 			return nil, fmt.Errorf("core: batch %s: %w", r.Name, r.Err)
 		}
 		res := r.Value.(*Result)
+		out.OutcomeSeq = append(out.OutcomeSeq, res.Outcome)
 		out.Outcomes[res.Outcome]++
 		if res.Unlocked {
 			out.Unlocked++

@@ -72,6 +72,11 @@ type Config struct {
 	// experiments and tests set it so whole sessions are reproducible
 	// from a seed.
 	OTPKey []byte
+
+	// Resilience parameterizes the retry/degradation policy used by
+	// UnlockResilient. The zero value (disabled) keeps the classic
+	// single-attempt behavior everywhere.
+	Resilience ResilienceConfig
 }
 
 // DefaultConfig returns the paper's deployed configuration: audible band
@@ -135,6 +140,9 @@ func (c Config) Validate() error {
 	}
 	if c.Repetition <= 0 || c.Repetition%2 == 0 {
 		return fmt.Errorf("core: repetition factor %d must be odd and positive", c.Repetition)
+	}
+	if err := c.Resilience.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

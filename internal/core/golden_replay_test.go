@@ -1,0 +1,114 @@
+package core_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wearlock/internal/core"
+	"wearlock/internal/fault"
+)
+
+// goldenReplay pins the full determinism contract of a chaos batch: the
+// canonical schedule and seed are checked in, and the per-session outcome
+// sequence they produce is the golden artifact. Any drift — across
+// refactors, worker counts, or platforms — fails here first.
+type goldenReplay struct {
+	Schedule string   `json:"schedule"`
+	Seed     int64    `json:"seed"`
+	Sessions int      `json:"sessions"`
+	Outcomes []string `json:"outcomes"`
+}
+
+const (
+	goldenSeed     = 20250805
+	goldenSessions = 32
+)
+
+func runGoldenBatch(t *testing.T, parallel int) []string {
+	t.Helper()
+	sch, err := fault.LoadSchedule(filepath.Join("testdata", "chaos_schedule.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Resilience = core.DefaultResilience()
+	res, err := core.RunBatch(core.BatchSpec{
+		Config:   cfg,
+		Scenario: core.DefaultScenario(),
+		Sessions: goldenSessions,
+		Seed:     goldenSeed,
+		Parallel: parallel,
+		Chaos:    sch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OutcomeSeq) != goldenSessions {
+		t.Fatalf("batch returned %d outcomes, want %d", len(res.OutcomeSeq), goldenSessions)
+	}
+	out := make([]string, len(res.OutcomeSeq))
+	for i, o := range res.OutcomeSeq {
+		if o == 0 {
+			t.Fatalf("session %d ended in an undefined outcome", i)
+		}
+		out[i] = o.String()
+	}
+	return out
+}
+
+// TestChaosGoldenReplay runs the canonical chaos batch serially and with
+// eight workers and requires a bit-identical outcome sequence, matching
+// the checked-in golden file. Regenerate with
+// WEARLOCK_UPDATE_GOLDEN=1 go test ./internal/core/ -run TestChaosGoldenReplay
+func TestChaosGoldenReplay(t *testing.T) {
+	serial := runGoldenBatch(t, 1)
+	parallel := runGoldenBatch(t, 8)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("session %d: serial %q vs parallel %q — chaos replay is schedule-dependent",
+				i, serial[i], parallel[i])
+		}
+	}
+
+	goldenPath := filepath.Join("testdata", "chaos_golden.json")
+	if os.Getenv("WEARLOCK_UPDATE_GOLDEN") != "" {
+		data, err := json.MarshalIndent(goldenReplay{
+			Schedule: "chaos_schedule.json",
+			Seed:     goldenSeed,
+			Sessions: goldenSessions,
+			Outcomes: serial,
+		}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file regenerated: %s", goldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with WEARLOCK_UPDATE_GOLDEN=1): %v", err)
+	}
+	var want goldenReplay
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if want.Seed != goldenSeed || want.Sessions != goldenSessions {
+		t.Fatalf("golden file pins seed %d / %d sessions, test uses %d / %d — regenerate",
+			want.Seed, want.Sessions, goldenSeed, goldenSessions)
+	}
+	if len(want.Outcomes) != len(serial) {
+		t.Fatalf("golden file has %d outcomes, run produced %d", len(want.Outcomes), len(serial))
+	}
+	for i := range serial {
+		if serial[i] != want.Outcomes[i] {
+			t.Fatalf("session %d: outcome %q, golden %q — chaos replay drifted from the checked-in sequence",
+				i, serial[i], want.Outcomes[i])
+		}
+	}
+}

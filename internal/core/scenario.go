@@ -7,6 +7,7 @@ import (
 
 	"wearlock/internal/acoustic"
 	"wearlock/internal/audio"
+	"wearlock/internal/fault"
 	"wearlock/internal/modem"
 	"wearlock/internal/motion"
 )
@@ -40,6 +41,11 @@ type Scenario struct {
 
 	// Jammer optionally injects interfering tones (Fig. 9).
 	Jammer *acoustic.Jammer
+
+	// Faults carries this session's armed chaos faults (nil outside chaos
+	// runs). The scenario wires them into the acoustic link it builds; the
+	// session wires them into the wireless link and device profiles.
+	Faults *fault.SessionFaults
 }
 
 // Validate checks scenario plausibility.
@@ -97,6 +103,12 @@ func (s Scenario) AcousticLink(band modem.Band, sampleRate int, rng *rand.Rand) 
 		link.NLOS = acoustic.NLOSConfig{Enabled: true, DirectLossDB: loss, EchoLossDB: 12, FarEchoLossDB: 13}
 	}
 	link.Jammer = s.Jammer
+	if s.Faults != nil {
+		link.ExtraLossDB = s.Faults.ExtraLossDB()
+		if burst := s.Faults.BurstInterferer(); burst != nil {
+			link.Extra = append(link.Extra, burst)
+		}
+	}
 	return link, nil
 }
 

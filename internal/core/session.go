@@ -3,10 +3,13 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
 	"wearlock/internal/acoustic"
+	"wearlock/internal/audio"
+	"wearlock/internal/device"
 	"wearlock/internal/dsp"
 	"wearlock/internal/keyguard"
 	"wearlock/internal/modem"
@@ -38,6 +41,13 @@ const (
 	OutcomeAbortedRange
 	OutcomeTokenMismatch
 	OutcomeLockedOut
+	// OutcomeDegradedUnlocked: the resilience ladder succeeded, but only
+	// after stepping down to the robust-modulation or tone-ACK rung.
+	OutcomeDegradedUnlocked
+	// OutcomeFallbackPIN: the resilience ladder exhausted its retries and
+	// the keyguard fell back to manual PIN entry (the phone ends usable,
+	// but WearLock did not unlock it).
+	OutcomeFallbackPIN
 )
 
 // String implements fmt.Stringer.
@@ -65,6 +75,10 @@ func (o Outcome) String() string {
 		return "token-mismatch"
 	case OutcomeLockedOut:
 		return "locked-out"
+	case OutcomeDegradedUnlocked:
+		return "unlocked-degraded"
+	case OutcomeFallbackPIN:
+		return "fallback-pin"
 	default:
 		return fmt.Sprintf("Outcome(%d)", int(o))
 	}
@@ -97,6 +111,12 @@ type Result struct {
 
 	Timeline *Timeline
 	Energy   *EnergyLedger
+
+	// Resilience diagnostics (left at zero values outside UnlockResilient).
+	// Attempts counts unlock attempts including the first; Degradation is
+	// the deepest ladder rung the session reached.
+	Attempts    int
+	Degradation DegradationLevel
 }
 
 // System is a paired phone + watch running the WearLock controllers: it
@@ -172,11 +192,53 @@ func (s *System) Unlock(sc Scenario) (*Result, error) {
 	return s.UnlockCtx(context.Background(), sc)
 }
 
+// dataConfig returns the band's baseline modem configuration.
+func (s *System) dataConfig() modem.Config {
+	return modem.DefaultConfig(s.cfg.Band, modem.QPSK)
+}
+
+// profiles returns the session's effective device profiles: the scenario's
+// armed compute slowdown (thermal throttling, background load) divides the
+// throughput of both devices. Radio and power figures are untouched.
+func (s *System) profiles(sc Scenario) (phone, watch device.Profile) {
+	phone, watch = s.cfg.Phone, s.cfg.Watch
+	if factor := sc.Faults.ComputeSlowdown(); factor > 1 {
+		phone = phone.Slowed(factor)
+		watch = watch.Slowed(factor)
+	}
+	return phone, watch
+}
+
+// phaseTimeout reports the per-operation simulated-time bound (0 = none).
+func (s *System) phaseTimeout() time.Duration {
+	if !s.cfg.Resilience.Enabled {
+		return 0
+	}
+	return s.cfg.Resilience.PhaseTimeout
+}
+
+// isFinite reports whether v is a real number (not NaN or ±Inf).
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// boundPhase enforces the per-phase timeout on one wireless operation.
+// The returned duration is what the devices actually spend: capped at
+// the timeout, because both sides stop waiting when the timer fires —
+// a chaos-inflated 30 s transfer must not charge 30 s of simulated
+// time. The error reports the overrun.
+func (s *System) boundPhase(name string, d time.Duration) (time.Duration, error) {
+	if pt := s.phaseTimeout(); pt > 0 && d > pt {
+		return pt, fmt.Errorf("core: %s ran past the %v phase timeout", name, pt)
+	}
+	return d, nil
+}
+
 // UnlockCtx is Unlock with a cancellation context: the session aborts
 // with ctx's error at the next phase boundary once ctx is done. The
 // service layer uses it to enforce per-request deadlines.
 func (s *System) UnlockCtx(ctx context.Context, sc Scenario) (*Result, error) {
-	cfg := modem.DefaultConfig(s.cfg.Band, modem.QPSK)
+	cfg := s.dataConfig()
 	link, err := sc.AcousticLink(s.cfg.Band, cfg.SampleRate, s.rng)
 	if err != nil {
 		return nil, err
@@ -196,6 +258,23 @@ func (s *System) UnlockVia(sc Scenario, path AcousticPath) (*Result, error) {
 // error and the system state stays consistent: the keyguard and OTP
 // counters only advance in phases that ran to completion.
 func (s *System) UnlockViaCtx(ctx context.Context, sc Scenario, path AcousticPath) (*Result, error) {
+	return s.unlockAttempt(ctx, sc, path, attemptOpts{})
+}
+
+// attemptOpts parameterizes one attempt for the degradation ladder.
+type attemptOpts struct {
+	// forceRobust skips the strict MaxBER pass of mode selection and goes
+	// straight to the most robust mode under the relaxed bound.
+	forceRobust bool
+	// repetition overrides the configured repetition factor when > 0.
+	repetition int
+	// toneOnly replaces the OFDM phase 2 with the tone-ACK rung.
+	toneOnly bool
+}
+
+// unlockAttempt is one pass of the protocol — the body behind UnlockViaCtx
+// and each rung of the resilient ladder.
+func (s *System) unlockAttempt(ctx context.Context, sc Scenario, path AcousticPath, opts attemptOpts) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -221,14 +300,16 @@ func (s *System) UnlockViaCtx(ctx context.Context, sc Scenario, path AcousticPat
 	}
 	s.now = s.now.Add(time.Second) // sessions are seconds apart at minimum
 
-	phone := s.cfg.Phone
-	watch := s.cfg.Watch
+	phone, watch := s.profiles(sc)
 	res.Timeline.Add("wakeup/power-button", StepCompute, phone.Name, _osWakeup)
 
 	// Step 1: wireless link presence — the cheapest filter.
 	wl, err := wireless.NewLink(s.cfg.Transport, sc.Distance, s.rng)
 	if err != nil {
 		return nil, err
+	}
+	if sc.Faults != nil {
+		wl.Faults = sc.Faults
 	}
 	if !wl.Connected() {
 		res.Outcome = OutcomeAbortedLinkDown
@@ -258,6 +339,24 @@ func (s *System) UnlockViaCtx(ctx context.Context, sc Scenario, path AcousticPat
 		return nil, err
 	}
 	probeCfg := modem.DefaultConfig(s.cfg.Band, modem.QPSK)
+	if opts.toneOnly {
+		// Tone-ACK rung: OFDM probing is typically what just failed on the
+		// earlier rungs, so the desperate rung skips phase 1 — full speaker
+		// volume, the band's default pilot layout, and only "tone heard
+		// inside the timing window" + the wireless OTP to prove
+		// co-presence. Volume planning and range estimation are lost; that
+		// is the documented cost of sitting one rung above the PIN.
+		res.VolumeSPL = acoustic.PhoneSpeaker().MaxOutputDB
+		if err := s.exchange(res, wl, "phase1/cts-config", 128, 2); err != nil {
+			res.Outcome = OutcomeAbortedLinkDown
+			res.Detail = err.Error()
+			return res, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return res, s.phase2ToneOnly(sc, res, wl, path, probeCfg)
+	}
 	pa, dataCfg, done, err := s.phase1(sc, res, wl, path, probeCfg)
 	if err != nil {
 		return nil, err
@@ -276,9 +375,16 @@ func (s *System) UnlockViaCtx(ctx context.Context, sc Scenario, path AcousticPat
 	// signals would hand the relaxed bound to a co-located attacker.
 	nlosInRange := res.NLOSDetected &&
 		res.EstimatedDistance >= 0 && res.EstimatedDistance <= 2*s.cfg.TargetRange
-	mode, err := s.cfg.ModeTable.SelectMode(pa.EbN0dB, s.cfg.MaxBER)
-	if err != nil && nlosInRange {
+	var mode modem.Modulation
+	if opts.forceRobust {
+		// Robust rung of the degradation ladder: skip the strict pass and
+		// take the most robust mode under the relaxed bound outright.
 		mode, err = s.cfg.ModeTable.SelectMostRobust(pa.EbN0dB, s.cfg.NLOSRelaxedMaxBER)
+	} else {
+		mode, err = s.cfg.ModeTable.SelectMode(pa.EbN0dB, s.cfg.MaxBER)
+		if err != nil && nlosInRange {
+			mode, err = s.cfg.ModeTable.SelectMostRobust(pa.EbN0dB, s.cfg.NLOSRelaxedMaxBER)
+		}
 	}
 	if err != nil {
 		res.Outcome = OutcomeAbortedNoMode
@@ -301,7 +407,10 @@ func (s *System) UnlockViaCtx(ctx context.Context, sc Scenario, path AcousticPat
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return res, s.phase2(sc, res, wl, path, dataCfg)
+	if opts.toneOnly {
+		return res, s.phase2ToneOnly(sc, res, wl, path, dataCfg)
+	}
+	return res, s.phase2(sc, res, wl, path, dataCfg, opts)
 }
 
 // exchange sends count control messages over the link, charging timeline
@@ -312,9 +421,16 @@ func (s *System) exchange(res *Result, wl *wireless.Link, name string, payload, 
 		if err != nil {
 			return err
 		}
-		res.Timeline.Add(name, StepComm, "link", d)
-		res.Energy.AddRadio(s.cfg.Phone.Name, s.cfg.Phone.RadioEnergy(d))
-		res.Energy.AddRadio(s.cfg.Watch.Name, s.cfg.Watch.RadioEnergy(d))
+		// Time and energy are spent even when the operation runs past the
+		// phase timeout — but only up to the timeout, where both devices
+		// give up; the overrun itself surfaces as a link error.
+		charged, timeoutErr := s.boundPhase(name, d)
+		res.Timeline.Add(name, StepComm, "link", charged)
+		res.Energy.AddRadio(s.cfg.Phone.Name, s.cfg.Phone.RadioEnergy(charged))
+		res.Energy.AddRadio(s.cfg.Watch.Name, s.cfg.Watch.RadioEnergy(charged))
+		if timeoutErr != nil {
+			return timeoutErr
+		}
 	}
 	return nil
 }
@@ -342,9 +458,10 @@ func (s *System) motionFilter(sc Scenario, res *Result, wl *wireless.Link) (bool
 	if err != nil {
 		return false, err
 	}
-	dtwTime := s.cfg.Phone.DTWTime(fr.DTWCells)
-	res.Timeline.Add("prefilter/dtw", StepCompute, s.cfg.Phone.Name, dtwTime)
-	res.Energy.AddCompute(s.cfg.Phone.Name, s.cfg.Phone.ComputeEnergy(dtwTime))
+	phone, _ := s.profiles(sc)
+	dtwTime := phone.DTWTime(fr.DTWCells)
+	res.Timeline.Add("prefilter/dtw", StepCompute, phone.Name, dtwTime)
+	res.Energy.AddCompute(phone.Name, phone.ComputeEnergy(dtwTime))
 	res.MotionScore = fr.Score
 	res.MotionDecision = fr.Decision
 
@@ -373,8 +490,7 @@ func (s *System) motionFilter(sc Scenario, res *Result, wl *wireless.Link) (bool
 // selection. It returns the probe analysis and the adapted data
 // configuration; done=true means the session ended here.
 func (s *System) phase1(sc Scenario, res *Result, wl *wireless.Link, path AcousticPath, probeCfg modem.Config) (*modem.ProbeAnalysis, modem.Config, bool, error) {
-	phone := s.cfg.Phone
-	watch := s.cfg.Watch
+	phone, watch := s.profiles(sc)
 
 	// Volume planning: drive the speaker so a receiver inside TargetRange
 	// clears the minimum usable Eb/N0 over the measured ambient noise —
@@ -472,9 +588,15 @@ func (s *System) phase1(sc Scenario, res *Result, wl *wireless.Link, path Acoust
 			res.Detail = err.Error()
 			return nil, probeCfg, true, nil
 		}
-		res.Timeline.Add("phase1/probe-upload", StepComm, "link", d)
-		res.Energy.AddRadio(watch.Name, watch.RadioEnergy(d))
-		res.Energy.AddRadio(phone.Name, phone.RadioEnergy(d))
+		charged, timeoutErr := s.boundPhase("phase1/probe-upload", d)
+		res.Timeline.Add("phase1/probe-upload", StepComm, "link", charged)
+		res.Energy.AddRadio(watch.Name, watch.RadioEnergy(charged))
+		res.Energy.AddRadio(phone.Name, phone.RadioEnergy(charged))
+		if timeoutErr != nil {
+			res.Outcome = OutcomeAbortedLinkDown
+			res.Detail = timeoutErr.Error()
+			return nil, probeCfg, true, nil
+		}
 		analysisDevice = phone
 	}
 	pa, err := demod.AnalyzeProbe(rec)
@@ -486,8 +608,17 @@ func (s *System) phase1(sc Scenario, res *Result, wl *wireless.Link, path Acoust
 		res.Detail = err.Error()
 		return nil, probeCfg, true, nil
 	}
-	res.PSNRdB = pa.PSNRdB
-	res.EbN0dB = pa.EbN0dB
+	// A collapsed channel yields PSNR 0 → Eb/N0 = -Inf from the modem.
+	// Result keeps the "unmeasured" zero sentinel instead: non-finite
+	// values poison downstream stats and are unrepresentable in JSON
+	// (encoding/json refuses NaN/Inf, which would truncate API responses
+	// mid-body). Mode selection still sees the raw pa.EbN0dB and aborts.
+	if isFinite(pa.PSNRdB) {
+		res.PSNRdB = pa.PSNRdB
+	}
+	if isFinite(pa.EbN0dB) {
+		res.EbN0dB = pa.EbN0dB
+	}
 	res.DelaySpread = time.Duration(pa.RMSDelaySpread * float64(time.Second))
 	res.NLOSDetected = modem.IsNLOS(pa.RMSDelaySpread, s.cfg.NLOSThreshold)
 
@@ -533,7 +664,7 @@ func (s *System) phase1(sc Scenario, res *Result, wl *wireless.Link, path Acoust
 
 // noiseFilter compares simultaneous ambient recordings from both devices.
 func (s *System) noiseFilter(sc Scenario, res *Result, probeCfg modem.Config) (bool, error) {
-	phone := s.cfg.Phone
+	phone, _ := s.profiles(sc)
 	const ambientSeconds = 0.4
 	n := int(ambientSeconds * float64(probeCfg.SampleRate))
 	phoneAmb, watchAmb, err := sc.Env.RenderPair(n, probeCfg.SampleRate, sc.SameRoom, s.rng)
@@ -558,15 +689,18 @@ func (s *System) noiseFilter(sc Scenario, res *Result, probeCfg modem.Config) (b
 
 // phase2 transmits the OTP token, demodulates (offloaded or local),
 // enforces the replay timing window, verifies, and drives the keyguard.
-func (s *System) phase2(sc Scenario, res *Result, wl *wireless.Link, path AcousticPath, dataCfg modem.Config) error {
-	phone := s.cfg.Phone
-	watch := s.cfg.Watch
+func (s *System) phase2(sc Scenario, res *Result, wl *wireless.Link, path AcousticPath, dataCfg modem.Config, opts attemptOpts) error {
+	phone, watch := s.profiles(sc)
 
+	repetition := s.cfg.Repetition
+	if opts.repetition > 0 {
+		repetition = opts.repetition
+	}
 	token, err := s.gen.Next()
 	if err != nil {
 		return err
 	}
-	coded, err := modem.EncodeRepetition(otp.TokenBits(token), s.cfg.Repetition)
+	coded, err := modem.EncodeRepetition(otp.TokenBits(token), repetition)
 	if err != nil {
 		return err
 	}
@@ -620,9 +754,15 @@ func (s *System) phase2(sc Scenario, res *Result, wl *wireless.Link, path Acoust
 			res.Detail = err.Error()
 			return nil
 		}
-		res.Timeline.Add("phase2/recording-upload", StepComm, "link", d)
-		res.Energy.AddRadio(watch.Name, watch.RadioEnergy(d))
-		res.Energy.AddRadio(phone.Name, phone.RadioEnergy(d))
+		charged, timeoutErr := s.boundPhase("phase2/recording-upload", d)
+		res.Timeline.Add("phase2/recording-upload", StepComm, "link", charged)
+		res.Energy.AddRadio(watch.Name, watch.RadioEnergy(charged))
+		res.Energy.AddRadio(phone.Name, phone.RadioEnergy(charged))
+		if timeoutErr != nil {
+			res.Outcome = OutcomeAbortedLinkDown
+			res.Detail = timeoutErr.Error()
+			return nil
+		}
 		execDevice = phone
 	}
 	rx, err := demod.Demodulate(rec, len(coded))
@@ -644,7 +784,7 @@ func (s *System) phase2(sc Scenario, res *Result, wl *wireless.Link, path Acoust
 	if ber, err := modem.BER(rx.Bits, coded); err == nil {
 		res.BER = ber
 	}
-	decoded, err := modem.DecodeRepetition(rx.Bits, s.cfg.Repetition)
+	decoded, err := modem.DecodeRepetition(rx.Bits, repetition)
 	if err != nil {
 		return err
 	}
@@ -689,6 +829,109 @@ func (s *System) phase2(sc Scenario, res *Result, wl *wireless.Link, path Acoust
 	}
 	res.Outcome = OutcomeUnlocked
 	res.Unlocked = true
+	return nil
+}
+
+// phase2ToneOnly is the tone-ACK rung of the degradation ladder: instead
+// of the OFDM token, the phone plays a single pilot tone — detectable by a
+// Goertzel filter at SNRs far below what a data frame needs — and the OTP
+// rides the wireless control link. Acoustic co-presence is still proven
+// (the tone must be heard, inside the replay timing window), but range
+// precision degrades from "token decodable" to "tone audible", which is
+// why this rung sits below robust mode and above the PIN on the ladder.
+func (s *System) phase2ToneOnly(sc Scenario, res *Result, wl *wireless.Link, path AcousticPath, dataCfg modem.Config) error {
+	phone, watch := s.profiles(sc)
+
+	token, err := s.gen.Next()
+	if err != nil {
+		return err
+	}
+
+	// The ACK tone sits on a pilot sub-channel: inside the planned volume
+	// budget and the mic's passband.
+	pilots := dataCfg.SortedPilots()
+	toneHz := dataCfg.SubChannelHz(pilots[len(pilots)/2])
+	toneSamples := dataCfg.SampleRate * 3 / 20 // 150 ms
+	tone, err := audio.Tone(toneHz, 0.5, toneSamples, dataCfg.SampleRate)
+	if err != nil {
+		return err
+	}
+	rec, err := path.Transmit(tone, res.VolumeSPL)
+	if err != nil {
+		return fmt.Errorf("core: tone transmission: %w", err)
+	}
+	airTime := time.Duration(rec.Duration() * float64(time.Second))
+	res.Timeline.Add("phase2-tone/ack-on-air", StepAcoustic, phone.Name, airTime)
+	res.Energy.AddCompute(phone.Name, _speakerPowerW*airTime.Seconds())
+	res.Energy.AddCompute(watch.Name, _micPowerW*airTime.Seconds())
+
+	if err := s.exchange(res, wl, "phase2-tone/stop-recording", 64, 1); err != nil {
+		res.Outcome = OutcomeAbortedLinkDown
+		res.Detail = err.Error()
+		return nil
+	}
+
+	// Replay timing window applies to the tone exactly as to the token.
+	if extra := path.ExtraLatency(); extra > s.cfg.TimingSlack {
+		res.Outcome = OutcomeAbortedTiming
+		res.Detail = fmt.Sprintf("acoustic path delayed %.0f ms, window allows %.0f ms", float64(extra.Milliseconds()), float64(s.cfg.TimingSlack.Milliseconds()))
+		return nil
+	}
+
+	// Goertzel detection on the watch: tone power must clearly beat two
+	// off-tone guard frequencies.
+	tonePower, err := dsp.Goertzel(rec.Samples, toneHz, float64(dataCfg.SampleRate))
+	if err != nil {
+		return err
+	}
+	var guardPower float64
+	for _, guardHz := range []float64{toneHz - 450, toneHz + 450} {
+		p, err := dsp.Goertzel(rec.Samples, guardHz, float64(dataCfg.SampleRate))
+		if err != nil {
+			return err
+		}
+		if p > guardPower {
+			guardPower = p
+		}
+	}
+	detectTime := watch.ComputeTime(modem.Cost{ScalarOps: int64(rec.Len() * 3)})
+	res.Timeline.Add("phase2-tone/goertzel-detect", StepCompute, watch.Name, detectTime)
+	res.Energy.AddCompute(watch.Name, watch.ComputeEnergy(detectTime))
+	const detectRatio = 4 // ~6 dB over the strongest guard bin
+	if guardPower > 0 && tonePower < detectRatio*guardPower {
+		res.Outcome = OutcomeAbortedNoSignal
+		res.Detail = fmt.Sprintf("ack tone not detected (tone/guard power ratio %.2f)", tonePower/guardPower)
+		return nil
+	}
+
+	// The OTP rides the control link (two small messages: token out, ack
+	// back), still subject to link faults.
+	if err := s.exchange(res, wl, "phase2-tone/otp-over-link", 64, 2); err != nil {
+		res.Outcome = OutcomeAbortedLinkDown
+		res.Detail = err.Error()
+		return nil
+	}
+	ok, err := s.ver.Verify(token)
+	res.Timeline.Add("phase2-tone/otp-verify", StepCompute, phone.Name, 200*time.Microsecond)
+	if err != nil {
+		res.Outcome = OutcomeLockedOut
+		res.Detail = err.Error()
+		return nil
+	}
+	if !ok {
+		s.guard.ReportFailure()
+		res.Outcome = OutcomeTokenMismatch
+		res.Detail = "tone-ack token failed verification"
+		return nil
+	}
+	if err := s.guard.ReportSuccess(s.now); err != nil {
+		res.Outcome = OutcomeLockedOut
+		res.Detail = err.Error()
+		return nil
+	}
+	res.Outcome = OutcomeDegradedUnlocked
+	res.Unlocked = true
+	res.Detail = fmt.Sprintf("tone-ack rung: %.0f Hz pilot detected, OTP over %s", toneHz, s.cfg.Transport)
 	return nil
 }
 

@@ -22,6 +22,10 @@ const (
 	StepCompute StepKind = iota + 1
 	StepComm
 	StepAcoustic
+	// StepWait is idle simulated time: resilience backoff delays and the
+	// user typing a fallback PIN. It counts toward the end-to-end unlock
+	// delay but burns no device energy.
+	StepWait
 )
 
 // String implements fmt.Stringer.
@@ -33,6 +37,8 @@ func (k StepKind) String() string {
 		return "comm"
 	case StepAcoustic:
 		return "acoustic"
+	case StepWait:
+		return "wait"
 	default:
 		return fmt.Sprintf("StepKind(%d)", int(k))
 	}
@@ -58,6 +64,16 @@ func (t *Timeline) Add(name string, kind StepKind, deviceName string, d time.Dur
 		d = 0
 	}
 	t.steps = append(t.steps, Step{Name: name, Kind: kind, Device: deviceName, Duration: d})
+}
+
+// Append concatenates another timeline's steps onto this one — the
+// resilient session accumulates per-attempt timelines into a single
+// end-to-end schedule.
+func (t *Timeline) Append(other *Timeline) {
+	if other == nil {
+		return
+	}
+	t.steps = append(t.steps, other.steps...)
 }
 
 // Steps returns a copy of the recorded steps.
@@ -131,6 +147,19 @@ func (e *EnergyLedger) AddCompute(deviceName string, joules float64) {
 // AddRadio charges radio energy to a device.
 func (e *EnergyLedger) AddRadio(deviceName string, joules float64) {
 	e.radioJ[deviceName] += joules
+}
+
+// Merge adds another ledger's charges into this one.
+func (e *EnergyLedger) Merge(other *EnergyLedger) {
+	if other == nil {
+		return
+	}
+	for name, j := range other.computeJ {
+		e.computeJ[name] += j
+	}
+	for name, j := range other.radioJ {
+		e.radioJ[name] += j
+	}
 }
 
 // Compute returns compute joules charged to a device.

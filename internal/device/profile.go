@@ -113,6 +113,23 @@ func (p Profile) Validate() error {
 	return nil
 }
 
+// Slowed returns a copy of the profile with every compute throughput
+// divided by factor — a thermally-throttled or background-loaded device.
+// Power draw and radio figures are untouched: a throttled CPU takes longer
+// at the same wattage, which is exactly why slowdowns also cost energy.
+// Factors below 1 return the profile unchanged.
+func (p Profile) Slowed(factor float64) Profile {
+	if factor <= 1 {
+		return p
+	}
+	p.CorrMACRate /= factor
+	p.FFTRate /= factor
+	p.FilterRate /= factor
+	p.ScalarRate /= factor
+	p.DTWCellRate /= factor
+	return p
+}
+
 // ComputeTime converts a DSP cost tally into execution time on this
 // device.
 func (p Profile) ComputeTime(cost modem.Cost) time.Duration {

@@ -357,6 +357,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "table2", "casestudy",
 		"ablation-finesync", "ablation-equalizer", "ablation-motionfilter",
 		"ext-distancebound", "ext-ultrasound96k",
+		"chaos",
 	}
 	got := map[string]bool{}
 	for _, n := range names {

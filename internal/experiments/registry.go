@@ -95,6 +95,13 @@ func registryOpts() map[string]optsRunner {
 			}
 			return r.Table(), nil
 		},
+		"chaos": func(o Options) (*Table, error) {
+			r, err := ChaosOpts(o)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
 		"casestudy": func(o Options) (*Table, error) {
 			r, err := CaseStudy(o.Scale, o.Seed)
 			if err != nil {

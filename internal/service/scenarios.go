@@ -57,6 +57,14 @@ func BuiltinScenarios() map[string]core.Scenario {
 	outofrange.Name = "out-of-range"
 	outofrange.Distance = 20 // beyond Bluetooth presence: link down
 
+	// In-band tone jamming at a level that usually survives sub-channel
+	// avoidance but often forces retries — the scenario bench-service uses
+	// to keep the failure/degradation paths exercised (Fig. 9 territory).
+	jammed := core.DefaultScenario()
+	jammed.Name = "jammed"
+	jammed.Env = acoustic.Cafe()
+	jammed.Jammer = &acoustic.Jammer{ToneHz: []float64{2800, 3400, 4100}, SPL: 62}
+
 	return map[string]core.Scenario{
 		"default":       core.DefaultScenario(),
 		"quiet":         quiet,
@@ -68,6 +76,7 @@ func BuiltinScenarios() map[string]core.Scenario {
 		"far":           far,
 		"attacker":      attacker,
 		"out-of-range":  outofrange,
+		"jammed":        jammed,
 	}
 }
 

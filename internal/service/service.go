@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"wearlock/internal/core"
+	"wearlock/internal/fault"
 	"wearlock/internal/sim"
 	"wearlock/internal/telemetry"
 )
@@ -69,6 +71,12 @@ type Config struct {
 	// Scenarios is the named scenario catalog; nil means
 	// BuiltinScenarios().
 	Scenarios map[string]core.Scenario
+	// Chaos, when non-nil, arms the fault schedule: every admitted session
+	// rolls its faults from (Seed, session sequence) and runs under the
+	// core resilience policy (enabled automatically if the core config
+	// left it off). pool-exhaust faults reject at admission with
+	// ErrQueueFull, like genuine overload.
+	Chaos *fault.Schedule
 }
 
 // DefaultConfig returns a daemon sized for the acceptance load: 64
@@ -177,12 +185,23 @@ func (sess *Session) Snapshot() View {
 		v.Outcome = res.Outcome.String()
 		v.Unlocked = res.Unlocked
 		v.Detail = res.Detail
-		v.BER = res.BER
-		v.EbN0dB = res.EbN0dB
+		// encoding/json refuses NaN/Inf after the status line is already
+		// written, truncating the response body — never let a degenerate
+		// measurement reach the wire.
+		v.BER = finiteOr(res.BER, -1)
+		v.EbN0dB = finiteOr(res.EbN0dB, 0)
 		v.UnlockDelayMS = float64(res.Timeline.Total().Microseconds()) / 1000
 	}
 	if !sess.finished.IsZero() {
 		v.WallMS = float64(sess.finished.Sub(sess.submitted).Microseconds()) / 1000
+	}
+	return v
+}
+
+// finiteOr replaces NaN/±Inf with a JSON-safe fallback.
+func finiteOr(v, fallback float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fallback
 	}
 	return v
 }
@@ -228,6 +247,9 @@ type metrics struct {
 	tracked       *telemetry.Gauge
 	gced          *telemetry.Counter
 	manualUnlocks *telemetry.Counter
+	retries       *telemetry.Counter
+	degraded      *telemetry.Counter
+	fallback      *telemetry.Counter
 	wallSeconds   *telemetry.Histogram
 	unlockDelay   *telemetry.Histogram
 	decodeSeconds *telemetry.Histogram
@@ -251,6 +273,12 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 			"Finished sessions dropped by the TTL garbage collector."),
 		manualUnlocks: reg.Counter("wearlockd_manual_unlocks_total",
 			"Simulated PIN fallbacks clearing a locked-out keyguard."),
+		retries: reg.Counter("wearlockd_retries_total",
+			"Unlock attempts beyond the first, summed over resilient sessions."),
+		degraded: reg.Counter("wearlockd_degraded_total",
+			"Sessions that unlocked only after stepping down the degradation ladder (robust mode or tone ACK)."),
+		fallback: reg.Counter("wearlockd_fallback_total",
+			"Sessions whose resilience ladder exhausted and fell back to manual PIN."),
 		wallSeconds: reg.Histogram("wearlockd_session_wall_seconds",
 			"Daemon wall clock per session, admission to finish.",
 			telemetry.ExponentialBuckets(0.001, 2, 14)),
@@ -305,6 +333,16 @@ func New(cfg Config) (*Service, error) {
 	}
 	if cfg.RequestTimeout <= 0 {
 		return nil, fmt.Errorf("service: request timeout must be positive")
+	}
+	if cfg.Chaos != nil {
+		if err := cfg.Chaos.Validate(); err != nil {
+			return nil, fmt.Errorf("service: chaos schedule: %w", err)
+		}
+		// Chaos without resilience would strand sessions in bare aborts;
+		// the ladder is what maps every fault to a defined end state.
+		if !cfg.Core.Resilience.Enabled {
+			cfg.Core.Resilience = core.DefaultResilience()
+		}
 	}
 	if err := cfg.Core.Validate(); err != nil {
 		return nil, fmt.Errorf("service: core config: %w", err)
@@ -372,6 +410,11 @@ func (s *Service) Scenarios() []string { return ScenarioNames(s.scenarios) }
 func (s *Service) runOnDevice(ctx context.Context, dev *devicePair, sc core.Scenario) (*core.Result, error) {
 	dev.mu.Lock()
 	defer dev.mu.Unlock()
+	if s.cfg.Core.Resilience.Enabled {
+		// The resilient path already maps lockouts and exhausted ladders
+		// onto the PIN fallback (and resynchronizes the OTP pair).
+		return dev.sys.UnlockResilientCtx(ctx, sc)
+	}
 	res, err := dev.sys.UnlockCtx(ctx, sc)
 	if err == nil && res.Outcome == core.OutcomeLockedOut {
 		dev.sys.ManualUnlock()
@@ -409,6 +452,18 @@ func (s *Service) Submit(req Request) (*Session, error) {
 		return nil, ErrDraining
 	}
 	s.seq++
+	if s.cfg.Chaos != nil {
+		// Faults derive from (seed, admission sequence) — the SeedFor
+		// contract — so a chaos run's fault pattern is a pure function of
+		// the schedule and the traffic order.
+		sf := fault.ForSession(s.cfg.Chaos, s.cfg.Seed, int64(s.seq))
+		if sf.PoolExhausted() {
+			s.mu.Unlock()
+			s.m.rejected.With("chaos_pool_exhausted").Inc()
+			return nil, ErrQueueFull
+		}
+		sc.Faults = sf
+	}
 	sess := &Session{
 		ID:        fmt.Sprintf("s-%08d", s.seq),
 		Scenario:  name,
@@ -481,6 +536,16 @@ func (s *Service) run(sess *Session, dev *devicePair, sc core.Scenario, timeout 
 		return
 	}
 	s.m.sessions.With(res.Outcome.String()).Inc()
+	if res.Attempts > 1 {
+		s.m.retries.Add(uint64(res.Attempts - 1))
+	}
+	if res.Unlocked && res.Degradation >= core.DegradeRobustMode {
+		s.m.degraded.Inc()
+	}
+	if res.Outcome == core.OutcomeFallbackPIN {
+		s.m.fallback.Inc()
+		s.m.manualUnlocks.Inc()
+	}
 	s.m.unlockDelay.Observe(res.Timeline.Total().Seconds())
 	if decode := res.Timeline.TotalFor("phase2/pre-processing") +
 		res.Timeline.TotalFor("phase2/demodulation"); decode > 0 {

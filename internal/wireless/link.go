@@ -80,6 +80,17 @@ func (t Transport) model() (transportModel, error) {
 	}
 }
 
+// FaultInjector perturbs the link one operation at a time. The fault
+// layer implements it structurally (this package never imports it): each
+// SendMessage/TransferFile consults the injector once, and a drop surfaces
+// as ErrLinkDown — exactly the failure mode a walked-out-of-range or
+// Bluetooth-congested watch produces in the field.
+type FaultInjector interface {
+	// LinkFault returns whether this operation is dropped, a latency
+	// multiplier (>= 1), and a fixed extra latency to add.
+	LinkFault() (drop bool, latencyMult float64, extra time.Duration)
+}
+
 // Link is a simulated bidirectional control link between two paired
 // devices.
 type Link struct {
@@ -89,6 +100,8 @@ type Link struct {
 	// Down forces the link absent regardless of distance (e.g. Bluetooth
 	// disabled), the first filter of the unlocking protocol.
 	Down bool
+	// Faults, when non-nil, perturbs individual operations (chaos runs).
+	Faults FaultInjector
 
 	// mu serializes rng: one link is shared by both protocol endpoints,
 	// and concurrent sends (an abort racing in-flight traffic) would
@@ -144,6 +157,26 @@ func (l *Link) jittered(median time.Duration, frac float64) time.Duration {
 	return time.Duration(float64(median) * mult)
 }
 
+// perturb applies the per-operation fault decision to a computed latency.
+// Drops report ErrLinkDown so callers take the same path as a genuinely
+// absent link.
+func (l *Link) perturb(latency time.Duration) (time.Duration, error) {
+	if l.Faults == nil {
+		return latency, nil
+	}
+	drop, mult, extra := l.Faults.LinkFault()
+	if drop {
+		return 0, ErrLinkDown
+	}
+	if mult > 1 {
+		latency = time.Duration(float64(latency) * mult)
+	}
+	if extra > 0 {
+		latency += extra
+	}
+	return latency, nil
+}
+
 // SendMessage simulates a one-way MessageAPI send of the given payload
 // size and returns its latency.
 func (l *Link) SendMessage(payloadBytes int) (time.Duration, error) {
@@ -161,7 +194,7 @@ func (l *Link) SendMessage(payloadBytes int) (time.Duration, error) {
 	// Payload serialization is negligible for control messages but not
 	// free for multi-kilobyte sensor traces.
 	latency += time.Duration(float64(payloadBytes) * m.perByteOverheads / m.throughputBps * float64(time.Second))
-	return latency, nil
+	return l.perturb(latency)
 }
 
 // TransferFile simulates a ChannelAPI bulk transfer (e.g. a recorded audio
@@ -182,7 +215,7 @@ func (l *Link) TransferFile(sizeBytes int) (time.Duration, error) {
 	transfer := time.Duration(float64(sizeBytes) * 8 * m.perByteOverheads / m.throughputBps * float64(time.Second))
 	// Throughput fluctuates too.
 	transfer = l.jittered(transfer, m.msgJitterFrac/2)
-	return setup + transfer, nil
+	return l.perturb(setup + transfer)
 }
 
 // RoundTrip simulates a request/response exchange of small control
