@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test race bench test-chaos fuzz-smoke bench-sim bench-service bench-chaos
+.PHONY: ci vet lint build test race bench test-chaos fuzz-smoke bench-sim bench-service bench-chaos bench-dsp
 
-ci: vet lint build race bench test-chaos bench-service
+ci: vet lint build race bench test-chaos bench-dsp bench-service
 
 vet:
 	$(GO) vet ./...
@@ -50,6 +50,12 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=10s ./internal/proto
 	$(GO) test -run='^$$' -fuzz=FuzzPayloadDecoders -fuzztime=10s ./internal/proto
 	$(GO) test -run='^$$' -fuzz=FuzzFaultSchedule -fuzztime=10s ./internal/fault
+
+# Regenerate BENCH_dsp.json and enforce the DSP fast-path regression
+# gate (DESIGN.md §10): per-pair speedup floors plus zero allocs/op on
+# every steady-state fast path.
+bench-dsp:
+	$(GO) run ./cmd/benchdsp -out BENCH_dsp.json -check
 
 # Regenerate the serial-vs-parallel sweep timings recorded in
 # BENCH_sim.json (see that file for the capture environment).

@@ -8,6 +8,11 @@
 // Usage:
 //
 //	benchsim [-out BENCH_sim.json] [-parallel 4] [-scale quick] [-seed 42] [-reps 3]
+//	         [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// With -cpuprofile the whole sweep runs under the CPU profiler; with
+// -memprofile a heap profile is written after the sweeps finish. Inspect
+// either with `go tool pprof <binary|''> <file>`.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"wearlock/internal/experiments"
@@ -51,8 +57,24 @@ func run() int {
 		scale    = flag.String("scale", "quick", "sweep scale: quick|full")
 		seed     = flag.Int64("seed", 42, "base seed")
 		reps     = flag.Int("reps", 3, "repetitions per measurement (best run kept)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweeps to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile after the sweeps to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsim: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsim: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	sc := experiments.ScaleQuick
 	if *scale == "full" {
@@ -108,6 +130,21 @@ func run() int {
 		return 1
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsim: memprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		runtime.GC() // settle live-heap accounting before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsim: memprofile: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", *memProf)
+	}
 	return 0
 }
 

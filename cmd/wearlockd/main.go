@@ -8,7 +8,11 @@
 //
 //	wearlockd [-addr :8547] [-devices 64] [-workers 0] [-queue 128]
 //	          [-session-ttl 2m] [-request-timeout 30s] [-seed 42]
-//	          [-chaos builtin | -chaos schedule.json]
+//	          [-chaos builtin | -chaos schedule.json] [-pprof]
+//
+// With -pprof the daemon additionally serves the Go profiling endpoints
+// under /debug/pprof/ (CPU profile, heap, goroutines, trace); see the
+// "Profiling wearlockd" section of the README. Off by default.
 //
 // With -chaos the daemon arms a deterministic fault schedule ("builtin"
 // for the default mix, or a JSON schedule file) and runs every session
@@ -32,6 +36,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -67,6 +72,7 @@ func run() int {
 		seed       = flag.Int64("seed", def.Seed, "base seed for the device fleet's random streams")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "max wait for in-flight sessions on shutdown")
 		chaos      = flag.String("chaos", "", "fault schedule: 'builtin' or a JSON schedule file path (empty = off)")
+		pprofOn    = flag.Bool("pprof", false, "serve Go profiling endpoints under /debug/pprof/ (off by default)")
 	)
 	flag.Parse()
 
@@ -98,9 +104,26 @@ func run() int {
 		logger.Print(err)
 		return 1
 	}
-	server := &http.Server{Handler: svc.Handler()}
+	handler := svc.Handler()
+	if *pprofOn {
+		// Mount the pprof handlers on an explicit mux rather than relying
+		// on net/http/pprof's DefaultServeMux registration, so profiling
+		// is genuinely absent from the server unless -pprof is set.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	server := &http.Server{Handler: handler}
 	logger.Printf("listening on %s (%d devices, queue %d, scenarios: %s)",
 		ln.Addr(), cfg.Devices, cfg.QueueDepth, strings.Join(svc.Scenarios(), " "))
+	if *pprofOn {
+		logger.Printf("pprof enabled at /debug/pprof/")
+	}
 	if cfg.Chaos != nil {
 		logger.Printf("chaos schedule %q armed (%d rules)", cfg.Chaos.Name, len(cfg.Chaos.Rules))
 	}

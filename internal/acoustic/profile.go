@@ -172,12 +172,18 @@ func applyPhaseRipple(buf *audio.Buffer, rmsRad, correlationHz float64, rng *ran
 		correlationHz = 450
 	}
 	size := dsp.NextPow2(n)
-	padded := make([]complex128, size)
-	for i, v := range buf.Samples {
-		padded[i] = complex(v, 0)
-	}
-	spec, err := dsp.FFT(padded)
+	rp, err := dsp.RealPlanFor(size)
 	if err != nil {
+		return err
+	}
+	// All transform scratch comes from the dsp pools: the simulator calls
+	// this once per recording, and batch sweeps run many recordings.
+	padded := dsp.GetFloat(size)
+	defer dsp.PutFloat(padded)
+	copy(padded, buf.Samples) // pool buffers arrive zeroed, so the tail is zero padding
+	spec := dsp.GetComplex(size)
+	defer dsp.PutComplex(spec)
+	if err := rp.Forward(spec, padded); err != nil {
 		return err
 	}
 	// Random phase at coarse grid points every correlationHz, linearly
@@ -201,13 +207,14 @@ func applyPhaseRipple(buf *audio.Buffer, rmsRad, correlationHz float64, rng *ran
 		spec[k] *= rot
 		spec[size-k] *= complex(real(rot), -imag(rot)) // Hermitian partner
 	}
-	out, err := dsp.IFFT(spec)
-	if err != nil {
+	scratch := dsp.GetComplex(size)
+	defer dsp.PutComplex(scratch)
+	out := dsp.GetFloat(size)
+	defer dsp.PutFloat(out)
+	if err := rp.Inverse(out, spec, scratch); err != nil {
 		return err
 	}
-	for i := range buf.Samples {
-		buf.Samples[i] = real(out[i])
-	}
+	copy(buf.Samples, out[:n])
 	return nil
 }
 

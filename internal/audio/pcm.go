@@ -69,8 +69,21 @@ func (b *Buffer) AppendSamples(samples []float64) {
 	b.Samples = append(b.Samples, samples...)
 }
 
-// AppendSilence appends n zero samples.
+// AppendSilence appends n zero samples. When the buffer has spare
+// capacity the samples are zeroed in place, so steady-state frame
+// assembly into a reused buffer allocates nothing.
 func (b *Buffer) AppendSilence(n int) {
+	if n <= 0 {
+		return
+	}
+	if need := len(b.Samples) + n; need <= cap(b.Samples) {
+		tail := b.Samples[len(b.Samples):need]
+		for i := range tail {
+			tail[i] = 0
+		}
+		b.Samples = b.Samples[:need]
+		return
+	}
 	b.Samples = append(b.Samples, make([]float64, n)...)
 }
 

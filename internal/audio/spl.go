@@ -20,6 +20,12 @@ func SPL(buf *Buffer) float64 {
 	return SPLFromPressure(dsp.RMS(buf.Samples))
 }
 
+// SPLOf returns the sound pressure level of a raw sample slice, avoiding
+// the Buffer wrapper on hot paths.
+func SPLOf(samples []float64) float64 {
+	return SPLFromPressure(dsp.RMS(samples))
+}
+
 // SPLFromPressure converts an RMS amplitude to dB SPL.
 func SPLFromPressure(rms float64) float64 {
 	if rms <= 0 {

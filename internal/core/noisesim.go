@@ -108,13 +108,20 @@ func InBandNoiseSPL(rec *audio.Buffer, lowHz, highHz float64) (float64, int64, e
 	windows := 0
 	var ops int64
 	segment := make([]float64, window)
+	rp, err := dsp.RealPlanFor(window)
+	if err != nil {
+		return 0, 0, err
+	}
+	// One pooled spectrum buffer serves all windows instead of a fresh
+	// allocation per transform.
+	spec := dsp.GetComplex(window)
+	defer dsp.PutComplex(spec)
 	for start := 0; start+window <= rec.Len(); start += window {
 		copy(segment, rec.Samples[start:start+window])
 		if err := dsp.ApplyWindow(segment, win); err != nil {
 			return 0, ops, err
 		}
-		spec, err := dsp.FFTReal(segment)
-		if err != nil {
+		if err := rp.Forward(spec, segment); err != nil {
 			return 0, ops, err
 		}
 		ops += window * 5
@@ -150,9 +157,14 @@ func averageSpectrum(samples []float64, window int) ([]float64, int64, error) {
 	half := window / 2
 	acc := make([]float64, half-2)
 	var ops int64
+	rp, err := dsp.RealPlanFor(window)
+	if err != nil {
+		return nil, 0, err
+	}
+	spec := dsp.GetComplex(window)
+	defer dsp.PutComplex(spec)
 	for w := 0; w < numWindows; w++ {
-		spec, err := dsp.FFTReal(samples[w*window : (w+1)*window])
-		if err != nil {
+		if err := rp.Forward(spec, samples[w*window:(w+1)*window]); err != nil {
 			return nil, ops, err
 		}
 		ops += int64(window) * 4

@@ -879,20 +879,17 @@ func (s *System) phase2ToneOnly(sc Scenario, res *Result, wl *wireless.Link, pat
 	}
 
 	// Goertzel detection on the watch: tone power must clearly beat two
-	// off-tone guard frequencies.
-	tonePower, err := dsp.Goertzel(rec.Samples, toneHz, float64(dataCfg.SampleRate))
-	if err != nil {
+	// off-tone guard frequencies. The batch form walks the recording once
+	// for all three bins instead of three times.
+	var powers [3]float64
+	if err := dsp.GoertzelBatch(powers[:], rec.Samples,
+		[]float64{toneHz, toneHz - 450, toneHz + 450}, float64(dataCfg.SampleRate)); err != nil {
 		return err
 	}
-	var guardPower float64
-	for _, guardHz := range []float64{toneHz - 450, toneHz + 450} {
-		p, err := dsp.Goertzel(rec.Samples, guardHz, float64(dataCfg.SampleRate))
-		if err != nil {
-			return err
-		}
-		if p > guardPower {
-			guardPower = p
-		}
+	tonePower := powers[0]
+	guardPower := powers[1]
+	if powers[2] > guardPower {
+		guardPower = powers[2]
 	}
 	detectTime := watch.ComputeTime(modem.Cost{ScalarOps: int64(rec.Len() * 3)})
 	res.Timeline.Add("phase2-tone/goertzel-detect", StepCompute, watch.Name, detectTime)

@@ -1,0 +1,52 @@
+package dsp
+
+import "testing"
+
+// BenchmarkDSP runs the shared old-vs-new fast-path pairs (benchcases.go),
+// the same cases cmd/benchdsp measures into BENCH_dsp.json. Run with
+// -benchmem to see the allocation contrast.
+func BenchmarkDSP(b *testing.B) {
+	cases, err := BenchCases()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range cases {
+		for variant, fn := range map[string]func() error{"old": c.Old, "new": c.New} {
+			b.Run(c.Name+"/"+variant, func(b *testing.B) {
+				if err := fn(); err != nil { // warm scratch before measuring
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := fn(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBenchCasesRun guards the fixtures themselves: every pair must
+// execute cleanly even when benchmarks are not being run, and the
+// zero-alloc claims embedded in the cases must hold.
+func TestBenchCasesRun(t *testing.T) {
+	cases, err := BenchCases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		if err := c.Old(); err != nil {
+			t.Errorf("%s/old: %v", c.Name, err)
+		}
+		if err := c.New(); err != nil {
+			t.Errorf("%s/new: %v", c.Name, err)
+		}
+		if c.RequireZeroAllocNew {
+			if allocs := testing.AllocsPerRun(20, func() { c.New() }); allocs != 0 {
+				t.Errorf("%s/new allocated %.1f objects per run, want 0", c.Name, allocs)
+			}
+		}
+	}
+}

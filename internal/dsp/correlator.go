@@ -1,0 +1,224 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Correlator performs repeated cross-correlations against a fixed template
+// without per-call allocation. The template's FFT is computed once per
+// transform size and cached for the lifetime of the Correlator, which is
+// the "pre-transform the preamble once per session" optimization the
+// detector hot path relies on: per frame, only the signal side is
+// transformed.
+//
+// Results are bit-identical to CrossCorrelate / NormalizedCrossCorrelate:
+// the same direct-vs-FFT threshold, the same transform order, and the same
+// normalization arithmetic.
+//
+// A Correlator is NOT safe for concurrent use; give each session (or
+// goroutine) its own. The constructor copies the template, so the caller
+// may reuse its slice.
+type Correlator struct {
+	template []float64
+	tEnergy  float64
+
+	// specs caches the template spectrum per FFT size. Preamble searches
+	// from a given session see at most a couple of distinct sizes.
+	specs map[int][]complex128
+
+	sig    []complex128 // signal spectrum scratch, grown to the largest size seen
+	padded []float64    // zero-padded real signal scratch
+}
+
+// NewCorrelator builds a reusable correlator for the given template.
+func NewCorrelator(template []float64) (*Correlator, error) {
+	if len(template) == 0 {
+		return nil, fmt.Errorf("dsp: empty correlation template")
+	}
+	c := &Correlator{
+		template: append([]float64(nil), template...),
+		specs:    make(map[int][]complex128),
+	}
+	for _, t := range c.template {
+		c.tEnergy += t * t
+	}
+	return c, nil
+}
+
+// TemplateLen reports the template length.
+func (c *Correlator) TemplateLen() int { return len(c.template) }
+
+// OutLen reports the correlation output length for a signal of the given
+// length: sigLen - len(template) + 1.
+func (c *Correlator) OutLen(sigLen int) int { return sigLen - len(c.template) + 1 }
+
+// CrossCorrelate writes the sliding cross-correlation of signal with the
+// template into dst, which must have length OutLen(len(signal)). After the
+// first call at a given transform size, no allocations occur.
+func (c *Correlator) CrossCorrelate(dst, signal []float64) error {
+	if len(signal) < len(c.template) {
+		return fmt.Errorf("dsp: signal length %d shorter than template %d", len(signal), len(c.template))
+	}
+	if want := c.OutLen(len(signal)); len(dst) != want {
+		return fmt.Errorf("dsp: correlation dst length %d, want %d", len(dst), want)
+	}
+	const directThreshold = 4096 // mirror CrossCorrelate's crossover
+	if len(c.template) <= 64 || len(signal)*len(c.template) <= directThreshold {
+		for i := range dst {
+			var sum float64
+			window := signal[i : i+len(c.template)]
+			for j, t := range c.template {
+				sum += window[j] * t
+			}
+			dst[i] = sum
+		}
+		return nil
+	}
+	return c.correlateFFT(dst, signal)
+}
+
+func (c *Correlator) correlateFFT(dst, signal []float64) error {
+	n := NextPow2(len(signal) + len(c.template))
+	rp, err := RealPlanFor(n)
+	if err != nil {
+		return err
+	}
+	spec, err := c.templateSpectrum(n, rp)
+	if err != nil {
+		return err
+	}
+	if cap(c.sig) < n {
+		c.sig = make([]complex128, n)
+	}
+	if cap(c.padded) < n {
+		c.padded = make([]float64, n)
+	}
+	a := c.sig[:n]
+	pad := c.padded[:n]
+	copy(pad, signal)
+	for i := len(signal); i < n; i++ {
+		pad[i] = 0
+	}
+	if err := rp.Forward(a, pad); err != nil {
+		return err
+	}
+	for i := range a {
+		a[i] *= complex(real(spec[i]), -imag(spec[i])) // conj(B): correlation theorem
+	}
+	if err := rp.p.Inverse(a, a); err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i] = real(a[i])
+	}
+	return nil
+}
+
+// templateSpectrum returns the cached n-point FFT of the template,
+// computing and caching it on first use at this size.
+func (c *Correlator) templateSpectrum(n int, rp *RealPlan) ([]complex128, error) {
+	if spec, ok := c.specs[n]; ok {
+		return spec, nil
+	}
+	pad := make([]float64, n)
+	copy(pad, c.template)
+	spec := make([]complex128, n)
+	if err := rp.Forward(spec, pad); err != nil {
+		return nil, err
+	}
+	c.specs[n] = spec
+	return spec, nil
+}
+
+// Normalized writes the normalized cross-correlation score at every lag
+// into dst (length OutLen(len(signal))), dividing the raw correlation by
+// the template norm times the local window norm exactly as
+// NormalizedCrossCorrelate does.
+func (c *Correlator) Normalized(dst, signal []float64) error {
+	tNorm := math.Sqrt(c.tEnergy)
+	if tNorm == 0 {
+		return fmt.Errorf("dsp: correlation template has zero energy")
+	}
+	if err := c.CrossCorrelate(dst, signal); err != nil {
+		return err
+	}
+	var wEnergy float64
+	for _, v := range signal[:len(c.template)] {
+		wEnergy += v * v
+	}
+	const epsilon = 1e-12
+	for i := range dst {
+		denom := tNorm * math.Sqrt(math.Max(wEnergy, 0))
+		if denom > epsilon {
+			dst[i] = dst[i] / denom
+		} else {
+			dst[i] = 0
+		}
+		if i+len(c.template) < len(signal) {
+			leaving := signal[i]
+			entering := signal[i+len(c.template)]
+			wEnergy += entering*entering - leaving*leaving
+		}
+	}
+	return nil
+}
+
+// CrossCorrelateInto is the scratchless-caller variant of CrossCorrelate:
+// it writes the sliding correlation into dst
+// (length len(signal)-len(template)+1) using pooled scratch, allocating
+// nothing in steady state. Results are bit-identical to CrossCorrelate.
+func CrossCorrelateInto(dst, signal, template []float64) error {
+	if len(template) == 0 {
+		return fmt.Errorf("dsp: empty correlation template")
+	}
+	if len(signal) < len(template) {
+		return fmt.Errorf("dsp: signal length %d shorter than template %d", len(signal), len(template))
+	}
+	if want := len(signal) - len(template) + 1; len(dst) != want {
+		return fmt.Errorf("dsp: correlation dst length %d, want %d", len(dst), want)
+	}
+	const directThreshold = 4096
+	if len(template) <= 64 || len(signal)*len(template) <= directThreshold {
+		for i := range dst {
+			var sum float64
+			window := signal[i : i+len(template)]
+			for j, t := range template {
+				sum += window[j] * t
+			}
+			dst[i] = sum
+		}
+		return nil
+	}
+	n := NextPow2(len(signal) + len(template))
+	p, err := planFor(n)
+	if err != nil {
+		return err
+	}
+	a := GetComplex(n)
+	defer PutComplex(a)
+	b := GetComplex(n)
+	defer PutComplex(b)
+	for i, v := range signal {
+		a[i] = complex(v, 0)
+	}
+	for i, v := range template {
+		b[i] = complex(v, 0)
+	}
+	if err := p.Forward(a, a); err != nil {
+		return err
+	}
+	if err := p.Forward(b, b); err != nil {
+		return err
+	}
+	for i := range a {
+		a[i] *= complex(real(b[i]), -imag(b[i]))
+	}
+	if err := p.Inverse(a, a); err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i] = real(a[i])
+	}
+	return nil
+}

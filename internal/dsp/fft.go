@@ -14,6 +14,7 @@ import (
 	"math"
 	"math/bits"
 	"sync"
+	"unsafe"
 )
 
 // Plan caches the bit-reversal permutation and twiddle factors for a fixed
@@ -82,11 +83,33 @@ func (p *Plan) check(dst, src []complex128) error {
 	if len(dst) != p.n || len(src) != p.n {
 		return fmt.Errorf("dsp: plan size %d does not match dst %d / src %d", p.n, len(dst), len(src))
 	}
+	if partialOverlap(dst, src) {
+		return fmt.Errorf("dsp: dst and src partially overlap; pass identical or disjoint slices")
+	}
 	return nil
 }
 
+// partialOverlap reports whether two equal-length slices share memory
+// without being the same slice. Such inputs would silently corrupt the
+// bit-reversal permutation: the in-place swap path applies only to exact
+// aliasing, and the copy path reads elements the permutation has already
+// overwritten. The uintptr comparisons are momentary (no pointer is kept),
+// so the slices cannot move mid-check.
+func partialOverlap(dst, src []complex128) bool {
+	if len(dst) == 0 || len(src) == 0 || &dst[0] == &src[0] {
+		return false
+	}
+	d0 := uintptr(unsafe.Pointer(&dst[0]))
+	s0 := uintptr(unsafe.Pointer(&src[0]))
+	const elem = unsafe.Sizeof(complex128(0))
+	dEnd := d0 + uintptr(len(dst))*elem
+	sEnd := s0 + uintptr(len(src))*elem
+	return d0 < sEnd && s0 < dEnd
+}
+
 // permute copies src into dst in bit-reversed order. It handles the aliased
-// (dst == &src) case by swapping in place.
+// (dst == &src) case by swapping in place; partially overlapping slices are
+// rejected by check before this runs.
 func (p *Plan) permute(dst, src []complex128) {
 	if &dst[0] == &src[0] {
 		for i, j := range p.rev {
@@ -102,12 +125,25 @@ func (p *Plan) permute(dst, src []complex128) {
 }
 
 func (p *Plan) butterflies(data []complex128, inverse bool) {
+	p.butterfliesFrom(data, 2, inverse)
+}
+
+// butterfliesFrom runs the butterfly stages for block sizes fromSize..n.
+// The k=0 butterfly of every block is peeled out of the twiddle loop: its
+// twiddle is exactly 1, so the complex multiply reduces to the identity
+// (for finite inputs, bit-for-bit up to the sign of exact zeros). RealPlan
+// enters at fromSize=8 after running its specialized real-input stages.
+func (p *Plan) butterfliesFrom(data []complex128, fromSize int, inverse bool) {
 	n := p.n
-	for size := 2; size <= n; size <<= 1 {
+	for size := fromSize; size <= n; size <<= 1 {
 		half := size >> 1
 		step := n / size
 		for start := 0; start < n; start += size {
-			for k := 0; k < half; k++ {
+			a0 := data[start]
+			b0 := data[start+half]
+			data[start] = a0 + b0
+			data[start+half] = a0 - b0
+			for k := 1; k < half; k++ {
 				w := p.twiddles[k*step]
 				if inverse {
 					w = complex(real(w), -imag(w))
@@ -176,20 +212,23 @@ func IFFT(x []complex128) ([]complex128, error) {
 }
 
 // FFTReal transforms a real-valued signal. The result has the same length
-// as the input and exhibits Hermitian symmetry: X[n-k] = conj(X[k]).
+// as the input and exhibits Hermitian symmetry: X[n-k] = conj(X[k]). It is
+// a thin allocating shim over RealPlan; hot paths should hold a RealPlan
+// (or call RealForward) with a reused destination buffer instead.
 func FFTReal(x []float64) ([]complex128, error) {
-	buf := make([]complex128, len(x))
-	for i, v := range x {
-		buf[i] = complex(v, 0)
+	if len(x) == 1 {
+		// Length-1 transform is the identity; RealPlan starts at 2.
+		return []complex128{complex(x[0], 0)}, nil
 	}
-	p, err := planFor(len(buf))
+	rp, err := RealPlanFor(len(x))
 	if err != nil {
 		return nil, err
 	}
-	if err := p.Forward(buf, buf); err != nil {
+	out := make([]complex128, len(x))
+	if err := rp.Forward(out, x); err != nil {
 		return nil, err
 	}
-	return buf, nil
+	return out, nil
 }
 
 // NextPow2 returns the smallest power of two that is >= n, with a minimum

@@ -151,12 +151,29 @@ func Convolve(a, b []float64) []float64 {
 		return nil
 	}
 	out := make([]float64, len(a)+len(b)-1)
+	if err := ConvolveInto(out, a, b); err != nil {
+		return nil
+	}
+	return out
+}
+
+// ConvolveInto writes the full linear convolution of a and b into dst,
+// which must have length len(a)+len(b)-1. Frequency-domain scratch comes
+// from the shared pool, so steady-state calls allocate nothing. Results
+// are bit-identical to Convolve.
+func ConvolveInto(dst, a, b []float64) error {
+	if len(a) == 0 || len(b) == 0 {
+		return fmt.Errorf("dsp: convolution with empty input")
+	}
+	if want := len(a) + len(b) - 1; len(dst) != want {
+		return fmt.Errorf("dsp: convolution dst length %d, want %d", len(dst), want)
+	}
 	// Frequency-domain convolution for large inputs.
 	if len(a)*len(b) > 1<<16 {
-		n := NextPow2(len(out))
+		n := NextPow2(len(dst))
 		if p, err := planFor(n); err == nil {
-			fa := make([]complex128, n)
-			fb := make([]complex128, n)
+			fa := GetComplex(n)
+			fb := GetComplex(n)
 			for i, v := range a {
 				fa[i] = complex(v, 0)
 			}
@@ -168,18 +185,25 @@ func Convolve(a, b []float64) []float64 {
 					fa[i] *= fb[i]
 				}
 				if p.Inverse(fa, fa) == nil {
-					for i := range out {
-						out[i] = real(fa[i])
+					for i := range dst {
+						dst[i] = real(fa[i])
 					}
-					return out
+					PutComplex(fa)
+					PutComplex(fb)
+					return nil
 				}
 			}
+			PutComplex(fa)
+			PutComplex(fb)
 		}
+	}
+	for i := range dst {
+		dst[i] = 0
 	}
 	for i, av := range a {
 		for j, bv := range b {
-			out[i+j] += av * bv
+			dst[i+j] += av * bv
 		}
 	}
-	return out
+	return nil
 }

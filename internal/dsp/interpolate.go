@@ -27,27 +27,69 @@ func InterpolateFFT(x []complex128, m int) ([]complex128, error) {
 		copy(out, x)
 		return out, nil
 	}
-	spec, err := FFT(x)
-	if err != nil {
+	out := make([]complex128, m)
+	scratch := GetComplex(n)
+	defer PutComplex(scratch)
+	if err := InterpolateFFTInto(out, x, scratch); err != nil {
 		return nil, err
-	}
-	padded := make([]complex128, m)
-	half := n / 2
-	copy(padded[:half], spec[:half])
-	copy(padded[m-half:], spec[half:])
-	// Split the Nyquist bin across the two halves to keep the interpolated
-	// sequence consistent with a real-valued underlying spectrum envelope.
-	padded[half] = spec[half] / 2
-	padded[m-half] = spec[half] / 2
-	out, err := IFFT(padded)
-	if err != nil {
-		return nil, err
-	}
-	scale := complex(float64(m)/float64(n), 0)
-	for i := range out {
-		out[i] *= scale
 	}
 	return out, nil
+}
+
+// InterpolateFFTInto is the scratch-accepting form of InterpolateFFT: it
+// writes the length-m interpolation of x into dst (m = len(dst)) using
+// scratch (length len(x)) for the forward spectrum, allocating nothing.
+// dst and scratch must not overlap x or each other. Results are
+// bit-identical to InterpolateFFT.
+func InterpolateFFTInto(dst, x, scratch []complex128) error {
+	n := len(x)
+	m := len(dst)
+	if n == 0 {
+		return fmt.Errorf("dsp: cannot interpolate empty sequence")
+	}
+	if m < n {
+		return fmt.Errorf("dsp: interpolation target %d shorter than input %d", m, n)
+	}
+	if n&(n-1) != 0 || m&(m-1) != 0 {
+		return fmt.Errorf("dsp: interpolation sizes %d -> %d must be powers of two", n, m)
+	}
+	if m == n {
+		copy(dst, x)
+		return nil
+	}
+	if len(scratch) != n {
+		return fmt.Errorf("dsp: interpolation scratch length %d, want %d", len(scratch), n)
+	}
+	p, err := planFor(n)
+	if err != nil {
+		return err
+	}
+	if err := p.Forward(scratch, x); err != nil {
+		return err
+	}
+	spec := scratch
+	half := n / 2
+	for i := range dst {
+		dst[i] = 0
+	}
+	copy(dst[:half], spec[:half])
+	copy(dst[m-half:], spec[half:])
+	// Split the Nyquist bin across the two halves to keep the interpolated
+	// sequence consistent with a real-valued underlying spectrum envelope.
+	dst[half] = spec[half] / 2
+	dst[m-half] = spec[half] / 2
+	mp, err := planFor(m)
+	if err != nil {
+		return err
+	}
+	if err := mp.Inverse(dst, dst); err != nil {
+		return err
+	}
+	scale := complex(float64(m)/float64(n), 0)
+	for i := range dst {
+		dst[i] *= scale
+	}
+	return nil
 }
 
 // InterpolateLinearComplex linearly interpolates known complex values at

@@ -1,0 +1,232 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// TestRealPlanMatchesComplexPlanBitExact is the load-bearing property: the
+// real-input fast path must produce exactly the bytes the complex plan
+// produces on the widened signal, not a close approximation. The golden
+// modem vectors and the chaos replay both depend on this.
+func TestRealPlanMatchesComplexPlanBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{2, 4, 8, 16, 64, 256, 1024, 4096} {
+		rp, err := NewRealPlan(n)
+		if err != nil {
+			t.Fatalf("NewRealPlan(%d): %v", n, err)
+		}
+		p, err := PlanFor(n)
+		if err != nil {
+			t.Fatalf("PlanFor(%d): %v", n, err)
+		}
+		for trial := 0; trial < 8; trial++ {
+			src := make([]float64, n)
+			for i := range src {
+				src[i] = rng.NormFloat64()
+			}
+			want := make([]complex128, n)
+			for i, v := range src {
+				want[i] = complex(v, 0)
+			}
+			if err := p.Forward(want, want); err != nil {
+				t.Fatalf("complex Forward: %v", err)
+			}
+			got := make([]complex128, n)
+			if err := rp.Forward(got, src); err != nil {
+				t.Fatalf("real Forward: %v", err)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d trial=%d bin %d: real path %v != complex path %v",
+						n, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRealPlanInverseMatchesComplexPlan checks the inverse fast path
+// against real(Plan.Inverse) bit for bit, including on non-Hermitian
+// spectra (the modulator hands those in).
+func TestRealPlanInverseMatchesComplexPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, n := range []int{2, 8, 256, 1024} {
+		rp, _ := NewRealPlan(n)
+		p, _ := PlanFor(n)
+		spec := make([]complex128, n)
+		for i := range spec {
+			spec[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		ref := make([]complex128, n)
+		if err := p.Inverse(ref, spec); err != nil {
+			t.Fatalf("complex Inverse: %v", err)
+		}
+		dst := make([]float64, n)
+		scratch := make([]complex128, n)
+		if err := rp.Inverse(dst, spec, scratch); err != nil {
+			t.Fatalf("real Inverse: %v", err)
+		}
+		for i := range dst {
+			if dst[i] != real(ref[i]) {
+				t.Fatalf("n=%d sample %d: real path %v != complex path %v", n, i, dst[i], real(ref[i]))
+			}
+		}
+	}
+}
+
+func TestRealPlanHermitianSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	const n = 512
+	src := make([]float64, n)
+	for i := range src {
+		src[i] = rng.NormFloat64()
+	}
+	spec := make([]complex128, n)
+	if err := RealForward(spec, src); err != nil {
+		t.Fatal(err)
+	}
+	if imag(spec[0]) != 0 {
+		t.Errorf("DC bin has imaginary part %g", imag(spec[0]))
+	}
+	for k := 1; k < n/2; k++ {
+		d := spec[n-k] - cmplx.Conj(spec[k])
+		if cmplx.Abs(d) > 1e-9 {
+			t.Errorf("bin %d breaks Hermitian symmetry by %g", k, cmplx.Abs(d))
+		}
+	}
+}
+
+func TestRealPlanParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	const n = 256
+	src := make([]float64, n)
+	var timeEnergy float64
+	for i := range src {
+		src[i] = rng.NormFloat64()
+		timeEnergy += src[i] * src[i]
+	}
+	spec := make([]complex128, n)
+	if err := RealForward(spec, src); err != nil {
+		t.Fatal(err)
+	}
+	var freqEnergy float64
+	for _, v := range spec {
+		freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	freqEnergy /= n
+	if rel := math.Abs(freqEnergy-timeEnergy) / timeEnergy; rel > 1e-12 {
+		t.Errorf("Parseval violated: time %g vs freq %g (rel %g)", timeEnergy, freqEnergy, rel)
+	}
+}
+
+func TestRealPlanRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	const n = 1024
+	src := make([]float64, n)
+	for i := range src {
+		src[i] = rng.NormFloat64()
+	}
+	spec := make([]complex128, n)
+	if err := RealForward(spec, src); err != nil {
+		t.Fatal(err)
+	}
+	back := make([]float64, n)
+	if err := RealInverse(back, spec); err != nil {
+		t.Fatal(err)
+	}
+	for i := range back {
+		if math.Abs(back[i]-src[i]) > 1e-10 {
+			t.Fatalf("sample %d: round trip %g != original %g", i, back[i], src[i])
+		}
+	}
+}
+
+func TestRealPlanRejectsBadSizes(t *testing.T) {
+	for _, n := range []int{-4, 0, 1, 3, 5, 7, 9, 12, 100, 255, 257} {
+		if _, err := NewRealPlan(n); err == nil {
+			t.Errorf("NewRealPlan(%d) unexpectedly succeeded", n)
+		}
+		if n < 0 {
+			continue
+		}
+		if err := RealForward(make([]complex128, n), make([]float64, n)); err == nil {
+			t.Errorf("RealForward with length %d unexpectedly succeeded", n)
+		}
+	}
+}
+
+// TestRealPlanSizeMismatch covers the dst/src length validation.
+func TestRealPlanSizeMismatch(t *testing.T) {
+	rp, err := NewRealPlan(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Size() != 16 {
+		t.Fatalf("Size() = %d, want 16", rp.Size())
+	}
+	if err := rp.Forward(make([]complex128, 8), make([]float64, 16)); err == nil {
+		t.Error("short dst accepted")
+	}
+	if err := rp.Forward(make([]complex128, 16), make([]float64, 8)); err == nil {
+		t.Error("short src accepted")
+	}
+	if err := rp.Inverse(make([]float64, 8), make([]complex128, 16), make([]complex128, 16)); err == nil {
+		t.Error("short dst accepted by Inverse")
+	}
+	if err := rp.Inverse(make([]float64, 16), make([]complex128, 16), make([]complex128, 8)); err == nil {
+		t.Error("short scratch accepted by Inverse")
+	}
+}
+
+// TestPlanRejectsPartialOverlap is the regression test for the permute
+// aliasing fix: overlapping-but-not-identical dst/src used to silently
+// corrupt the bit-reversal pass; now it must be rejected.
+func TestPlanRejectsPartialOverlap(t *testing.T) {
+	p, err := NewPlan(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backing := make([]complex128, 15)
+	dst := backing[0:8]
+	src := backing[4:12]
+	if err := p.Forward(dst, src); err == nil {
+		t.Error("Forward accepted partially overlapping dst/src")
+	}
+	if err := p.Inverse(dst, src); err == nil {
+		t.Error("Inverse accepted partially overlapping dst/src")
+	}
+	// One element of shared memory is still partial overlap.
+	if err := p.Forward(backing[0:8], backing[7:15]); err == nil {
+		t.Error("Forward accepted one-element overlap")
+	}
+
+	// Exact aliasing and disjoint slices must keep working.
+	rng := rand.New(rand.NewSource(61))
+	x := make([]complex128, 8)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	want := make([]complex128, 8)
+	if err := p.Forward(want, x); err != nil {
+		t.Fatalf("disjoint Forward rejected: %v", err)
+	}
+	if err := p.Forward(x, x); err != nil {
+		t.Fatalf("aliased Forward rejected: %v", err)
+	}
+	for i := range x {
+		if x[i] != want[i] {
+			t.Fatalf("aliased Forward diverges from copy path at bin %d", i)
+		}
+	}
+
+	rp, err := NewRealPlan(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.Inverse(make([]float64, 8), backing[0:8], backing[4:12]); err == nil {
+		t.Error("RealPlan.Inverse accepted partially overlapping src/scratch")
+	}
+}

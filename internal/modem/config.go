@@ -221,13 +221,19 @@ func (c Config) checkPilotSpacing() error {
 	return nil
 }
 
-// SortedPilots returns the pilot channels in ascending order.
+// SortedPilots returns the pilot channels in ascending order. The result
+// may alias the configuration's own slice; callers must not modify it.
 func (c Config) SortedPilots() []int {
 	return c.sortedPilots()
 }
 
-// sortedPilots returns the pilot channels in ascending order.
+// sortedPilots returns the pilot channels in ascending order. When the
+// configured slice is already sorted (every built-in layout), it is
+// returned as-is — allocation-free, read-only by convention.
 func (c Config) sortedPilots() []int {
+	if sort.IntsAreSorted(c.PilotChannels) {
+		return c.PilotChannels
+	}
 	pilots := append([]int(nil), c.PilotChannels...)
 	sort.Ints(pilots)
 	return pilots

@@ -107,18 +107,38 @@ func (m Modulation) Map(bits []byte) ([]complex128, error) {
 		return nil, fmt.Errorf("modem: %d bits not a multiple of %d for %s", len(bits), bps, m)
 	}
 	out := make([]complex128, len(bits)/bps)
-	for i := range out {
+	if err := m.MapInto(out, bits); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MapInto is the allocation-free form of Map: it writes one constellation
+// point per BitsPerSymbol-bit group of bits into dst, which must have
+// length len(bits)/BitsPerSymbol.
+func (m Modulation) MapInto(dst []complex128, bits []byte) error {
+	bps := m.BitsPerSymbol()
+	if bps == 0 {
+		return fmt.Errorf("modem: unknown modulation %d", int(m))
+	}
+	if len(bits)%bps != 0 {
+		return fmt.Errorf("modem: %d bits not a multiple of %d for %s", len(bits), bps, m)
+	}
+	if len(dst) != len(bits)/bps {
+		return fmt.Errorf("modem: map dst length %d, want %d", len(dst), len(bits)/bps)
+	}
+	for i := range dst {
 		group := bits[i*bps : (i+1)*bps]
 		var idx int
 		for _, b := range group {
 			if b > 1 {
-				return nil, fmt.Errorf("modem: bit value %d is not 0 or 1", b)
+				return fmt.Errorf("modem: bit value %d is not 0 or 1", b)
 			}
 			idx = idx<<1 | int(b)
 		}
-		out[i] = m.point(idx)
+		dst[i] = m.point(idx)
 	}
-	return out, nil
+	return nil
 }
 
 // point returns the constellation point for a symbol index. Phase schemes
@@ -157,9 +177,26 @@ func (m Modulation) Demap(points []complex128) ([]byte, error) {
 	if bps == 0 {
 		return nil, fmt.Errorf("modem: unknown modulation %d", int(m))
 	}
-	out := make([]byte, 0, len(points)*bps)
+	out := make([]byte, len(points)*bps)
+	if err := m.DemapInto(out, points); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DemapInto is the allocation-free form of Demap: it writes the
+// maximum-likelihood bits for each point into dst, which must have length
+// len(points)*BitsPerSymbol.
+func (m Modulation) DemapInto(dst []byte, points []complex128) error {
+	bps := m.BitsPerSymbol()
+	if bps == 0 {
+		return fmt.Errorf("modem: unknown modulation %d", int(m))
+	}
+	if len(dst) != len(points)*bps {
+		return fmt.Errorf("modem: demap dst length %d, want %d", len(dst), len(points)*bps)
+	}
 	size := 1 << bps
-	for _, p := range points {
+	for i, p := range points {
 		best := 0
 		bestDist := math.Inf(1)
 		for idx := 0; idx < size; idx++ {
@@ -170,10 +207,10 @@ func (m Modulation) Demap(points []complex128) ([]byte, error) {
 			}
 		}
 		for b := bps - 1; b >= 0; b-- {
-			out = append(out, byte(best>>b)&1)
+			dst[i*bps+(bps-1-b)] = byte(best>>b) & 1
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // distanceFor returns the decision metric between a received point and a

@@ -13,12 +13,25 @@ import (
 // silence detection, preamble detection (coarse synchronization), per-
 // symbol cyclic-prefix fine synchronization, FFT, pilot channel estimation
 // and equalization, and constellation de-mapping.
+//
+// A Demodulator caches per-session state (the pre-transformed preamble
+// template, sorted pilot and null channel sets) and is NOT safe for
+// concurrent use; give each session or goroutine its own.
 type Demodulator struct {
 	cfg      Config
 	plan     *dsp.Plan
+	rplan    *dsp.RealPlan
 	preamble *audio.Buffer
 	detector DetectorConfig
 	eqMethod EqualizerMethod
+
+	// corr holds the preamble template with its FFT cached per transform
+	// size, so the per-frame preamble search transforms only the signal.
+	corr *dsp.Correlator
+	// pilots and nulls are the sorted pilot and null channel sets,
+	// computed once instead of per symbol.
+	pilots []int
+	nulls  []int
 
 	// FineSyncEnabled gates Eq. 2 fine synchronization (on by default;
 	// the ablation benchmark switches it off).
@@ -37,7 +50,15 @@ func NewDemodulator(cfg Config) (*Demodulator, error) {
 	if err != nil {
 		return nil, err
 	}
+	rplan, err := dsp.RealPlanFor(cfg.FFTSize)
+	if err != nil {
+		return nil, err
+	}
 	preamble, err := Preamble(cfg)
+	if err != nil {
+		return nil, err
+	}
+	corr, err := dsp.NewCorrelator(preamble.Samples)
 	if err != nil {
 		return nil, err
 	}
@@ -50,9 +71,13 @@ func NewDemodulator(cfg Config) (*Demodulator, error) {
 	return &Demodulator{
 		cfg:             cfg,
 		plan:            plan,
+		rplan:           rplan,
 		preamble:        preamble,
 		detector:        detector,
 		eqMethod:        EqualizeFFTInterp,
+		corr:            corr,
+		pilots:          cfg.sortedPilots(),
+		nulls:           cfg.NullChannels(),
 		FineSyncEnabled: true,
 		FineSyncRange:   DefaultFineSyncRange,
 	}, nil
@@ -88,17 +113,61 @@ type RxResult struct {
 	DecodeCost Cost
 }
 
+// Clone returns a deep copy whose slices do not alias the receiver's.
+// Results produced by DemodulateInto alias the workspace; Clone detaches
+// them.
+func (r *RxResult) Clone() *RxResult {
+	out := *r
+	if r.Detection != nil {
+		det := *r.Detection
+		out.Detection = &det
+	}
+	if r.Bits != nil {
+		out.Bits = append([]byte(nil), r.Bits...)
+	}
+	if r.Points != nil {
+		out.Points = append([]complex128(nil), r.Points...)
+	}
+	if r.FineSyncOffsets != nil {
+		out.FineSyncOffsets = append([]int(nil), r.FineSyncOffsets...)
+	}
+	if r.SymbolPSNR != nil {
+		out.SymbolPSNR = append([]float64(nil), r.SymbolPSNR...)
+	}
+	return &out
+}
+
 // Demodulate decodes numBits payload bits from a recording. It returns an
-// *ErrNoSignal error when no frame is present.
+// *ErrNoSignal error when no frame is present. It is a thin shim over
+// DemodulateInto with a pooled workspace; the returned result owns its
+// slices.
 func (d *Demodulator) Demodulate(rec *audio.Buffer, numBits int) (*RxResult, error) {
+	ws := GetRxWorkspace()
+	defer PutRxWorkspace(ws)
+	res, err := d.DemodulateInto(rec, numBits, ws)
+	if res == nil {
+		return nil, err
+	}
+	return res.Clone(), err
+}
+
+// DemodulateInto is the allocation-free receive path: every buffer,
+// including the returned result's slices, is owned by ws. The result is
+// valid only until the workspace's next use; callers who need it longer
+// must Clone it. With a warmed workspace, steady-state frames allocate
+// zero bytes. Decoded bits and all reported metrics are bit-identical to
+// Demodulate.
+func (d *Demodulator) DemodulateInto(rec *audio.Buffer, numBits int, ws *RxWorkspace) (*RxResult, error) {
 	if numBits <= 0 {
 		return nil, fmt.Errorf("modem: numBits %d must be positive", numBits)
 	}
 	if rec.Rate != d.cfg.SampleRate {
 		return nil, fmt.Errorf("modem: recording rate %d does not match modem rate %d", rec.Rate, d.cfg.SampleRate)
 	}
-	res := &RxResult{}
-	det, cost, err := DetectPreamble(rec, d.preamble, d.detector)
+	ws.reset()
+	ws.ensure(d.cfg)
+	res := &ws.res
+	det, cost, err := d.detectPreambleInto(rec, ws)
 	res.Cost.Add(cost)
 	res.DetectCost.Add(cost)
 	if err != nil {
@@ -108,14 +177,13 @@ func (d *Demodulator) Demodulate(rec *audio.Buffer, numBits int) (*RxResult, err
 
 	numSymbols := d.cfg.NumSymbols(numBits)
 	base := det.PreambleStart + d.cfg.PreambleLen + d.cfg.PostPreambleGuard
-	bits := make([]byte, 0, numSymbols*d.cfg.BitsPerSymbol())
-	// One pooled spectrum scratch serves every symbol of the frame; each
+	// One spectrum scratch serves every symbol of the frame; each
 	// symbolSpectrum call overwrites it completely.
-	scratch := dsp.GetComplex(d.cfg.FFTSize)
-	defer dsp.PutComplex(scratch)
+	scratch := ws.spectrum[:d.cfg.FFTSize]
 	var psnrSum float64
 	var psnrCount int
 	drift := 0
+	bitsPerOFDM := d.cfg.BitsPerSymbol()
 	for s := 0; s < numSymbols; s++ {
 		cpStart := base + s*d.cfg.SymbolLen() + drift
 		if d.FineSyncEnabled {
@@ -132,43 +200,52 @@ func (d *Demodulator) Demodulate(rec *audio.Buffer, numBits int) (*RxResult, err
 			} else if drift < -d.cfg.CPLen {
 				drift = -d.cfg.CPLen
 			}
-			res.FineSyncOffsets = append(res.FineSyncOffsets, offset)
+			ws.offsets = append(ws.offsets, offset)
+			res.FineSyncOffsets = ws.offsets
 		}
 		spectrum, err := d.symbolSpectrum(scratch, rec.Samples, cpStart, res)
 		if err != nil {
 			return res, fmt.Errorf("modem: symbol %d: %w", s, err)
 		}
-		if psnr, err := PilotSNR(spectrum, d.cfg); err == nil {
-			res.SymbolPSNR = append(res.SymbolPSNR, psnr)
+		if psnr, err := pilotSNRWith(spectrum, d.cfg.PilotChannels, d.nulls); err == nil {
+			ws.symPSNR = append(ws.symPSNR, psnr)
+			res.SymbolPSNR = ws.symPSNR
 			psnrSum += psnr
 			psnrCount++
 		}
-		est, eqCost, err := EstimateChannel(spectrum, d.cfg, d.eqMethod)
+		est, eqCost, err := d.estimateChannelInto(ws, spectrum)
 		res.Cost.Add(eqCost)
 		res.DecodeCost.Add(eqCost)
 		if err != nil {
 			return res, fmt.Errorf("modem: symbol %d: %w", s, err)
 		}
-		points, eqCost2, err := Equalize(spectrum, est, d.cfg)
+		pointBase := len(ws.points)
+		if need := pointBase + len(d.cfg.DataChannels); cap(ws.points) >= need {
+			ws.points = ws.points[:need]
+		} else {
+			ws.points = append(ws.points, make([]complex128, len(d.cfg.DataChannels))...)
+		}
+		points := ws.points[pointBase:]
+		eqCost2, err := equalizeInto(points, spectrum, est, d.cfg.DataChannels)
 		res.Cost.Add(eqCost2)
 		res.DecodeCost.Add(eqCost2)
 		if err != nil {
 			return res, fmt.Errorf("modem: symbol %d: %w", s, err)
 		}
-		res.Points = append(res.Points, points...)
-		symBits, err := d.cfg.Modulation.Demap(points)
-		if err != nil {
+		res.Points = ws.points
+		symBits := ws.symBits[:bitsPerOFDM]
+		if err := d.cfg.Modulation.DemapInto(symBits, points); err != nil {
 			return res, fmt.Errorf("modem: symbol %d: %w", s, err)
 		}
 		demapOps := int64(len(points) * (1 << d.cfg.Modulation.BitsPerSymbol()))
 		res.Cost.ScalarOps += demapOps
 		res.DecodeCost.ScalarOps += demapOps
-		bits = append(bits, symBits...)
+		ws.bits = append(ws.bits, symBits...)
 	}
-	if len(bits) < numBits {
-		return res, fmt.Errorf("modem: decoded %d bits, need %d", len(bits), numBits)
+	if len(ws.bits) < numBits {
+		return res, fmt.Errorf("modem: decoded %d bits, need %d", len(ws.bits), numBits)
 	}
-	res.Bits = bits[:numBits]
+	res.Bits = ws.bits[:numBits]
 	if psnrCount > 0 {
 		res.PSNR = psnrSum / float64(psnrCount)
 		res.PSNRdB = dsp.DB(res.PSNR)
@@ -178,8 +255,9 @@ func (d *Demodulator) Demodulate(rec *audio.Buffer, numBits int) (*RxResult, err
 }
 
 // symbolSpectrum extracts one OFDM symbol body starting after the cyclic
-// prefix and transforms it to the frequency domain. buf is caller-owned
-// scratch of the plan's size; it is completely overwritten and returned.
+// prefix and transforms it to the frequency domain via the real-input
+// fast path. buf is caller-owned scratch of the plan's size; it is
+// completely overwritten and returned.
 func (d *Demodulator) symbolSpectrum(buf []complex128, samples []float64, cpStart int, res *RxResult) ([]complex128, error) {
 	bodyStart := cpStart + d.cfg.CPLen
 	bodyEnd := bodyStart + d.cfg.FFTSize
@@ -189,10 +267,7 @@ func (d *Demodulator) symbolSpectrum(buf []complex128, samples []float64, cpStar
 	if len(buf) != d.cfg.FFTSize {
 		return nil, fmt.Errorf("spectrum scratch of %d samples, want %d", len(buf), d.cfg.FFTSize)
 	}
-	for i := 0; i < d.cfg.FFTSize; i++ {
-		buf[i] = complex(samples[bodyStart+i], 0)
-	}
-	if err := d.plan.Forward(buf, buf); err != nil {
+	if err := d.rplan.Forward(buf, samples[bodyStart:bodyEnd]); err != nil {
 		return nil, err
 	}
 	res.Cost.FFTButterflies += fftCost(d.cfg.FFTSize)
@@ -228,12 +303,20 @@ func (d *Demodulator) AnalyzeProbe(rec *audio.Buffer) (*ProbeAnalysis, error) {
 	if rec.Rate != d.cfg.SampleRate {
 		return nil, fmt.Errorf("modem: recording rate %d does not match modem rate %d", rec.Rate, d.cfg.SampleRate)
 	}
+	ws := GetRxWorkspace()
+	defer PutRxWorkspace(ws)
+	ws.reset()
+	ws.ensure(d.cfg)
 	pa := &ProbeAnalysis{}
-	det, cost, err := DetectPreamble(rec, d.preamble, d.detector)
+	det, cost, err := d.detectPreambleInto(rec, ws)
 	pa.Cost.Add(cost)
 	if err != nil {
 		return pa, err
 	}
+	// The workspace (and the Detection aliasing it) goes back to the pool
+	// when this returns; hand the caller a detached copy.
+	detCopy := *det
+	det = &detCopy
 	pa.Detection = det
 
 	// Ambient noise spectrum from the recording head.
@@ -256,9 +339,7 @@ func (d *Demodulator) AnalyzeProbe(rec *audio.Buffer) (*ProbeAnalysis, error) {
 		cpStart += offset
 	}
 	dummy := &RxResult{}
-	scratch := dsp.GetComplex(d.cfg.FFTSize)
-	defer dsp.PutComplex(scratch)
-	spectrum, err := d.symbolSpectrum(scratch, rec.Samples, cpStart, dummy)
+	spectrum, err := d.symbolSpectrum(ws.spectrum[:d.cfg.FFTSize], rec.Samples, cpStart, dummy)
 	pa.Cost.Add(dummy.Cost)
 	if err != nil {
 		return pa, fmt.Errorf("modem: probe symbol: %w", err)
@@ -267,14 +348,14 @@ func (d *Demodulator) AnalyzeProbe(rec *audio.Buffer) (*ProbeAnalysis, error) {
 	for _, k := range append(append([]int(nil), d.cfg.DataChannels...), d.cfg.PilotChannels...) {
 		pa.ChannelGain[k] = cmplx.Abs(spectrum[k])
 	}
-	if psnr, err := PilotSNR(spectrum, d.cfg); err == nil {
+	if psnr, err := pilotSNRWith(spectrum, d.cfg.PilotChannels, d.nulls); err == nil {
 		pa.PSNR = psnr
 		pa.PSNRdB = dsp.DB(psnr)
 		pa.EbN0dB = EbN0FromPSNR(psnr, d.cfg)
 	}
 
 	// Delay profile of the preamble for NLOS detection.
-	profile, profCost, err := PreambleDelayProfile(rec, d.preamble, det)
+	profile, profCost, err := d.preambleDelayProfile(rec, det, ws)
 	pa.Cost.Add(profCost)
 	if err != nil {
 		return pa, fmt.Errorf("modem: delay profile: %w", err)
@@ -293,17 +374,14 @@ func (d *Demodulator) averageBinPower(samples []float64) (map[int]float64, Cost,
 	if len(samples) < n {
 		return nil, cost, fmt.Errorf("noise segment of %d samples shorter than one FFT window (%d)", len(samples), n)
 	}
-	pilots := d.cfg.sortedPilots()
+	pilots := d.pilots
 	lo, hi := pilots[0], pilots[len(pilots)-1]
 	acc := make(map[int]float64, hi-lo+1)
 	windows := 0
 	buf := dsp.GetComplex(n)
 	defer dsp.PutComplex(buf)
 	for start := 0; start+n <= len(samples); start += n {
-		for i := 0; i < n; i++ {
-			buf[i] = complex(samples[start+i], 0)
-		}
-		if err := d.plan.Forward(buf, buf); err != nil {
+		if err := d.rplan.Forward(buf, samples[start:start+n]); err != nil {
 			return nil, cost, err
 		}
 		cost.FFTButterflies += fftCost(n)

@@ -191,6 +191,171 @@ func DetectPreamble(rec *audio.Buffer, preamble *audio.Buffer, cfg DetectorConfi
 	return det, cost, nil
 }
 
+// detectPreambleInto is the demodulator's allocation-free preamble search:
+// the same two-stage front end as DetectPreamble, but the normalized
+// correlation runs against the session's pre-transformed preamble template
+// (d.corr) and every buffer is workspace-owned. The returned Detection
+// aliases the workspace. Decisions and scores are bit-identical to
+// DetectPreamble.
+func (d *Demodulator) detectPreambleInto(rec *audio.Buffer, ws *RxWorkspace) (*Detection, Cost, error) {
+	var cost Cost
+	preambleLen := d.preamble.Len()
+	if rec.Len() < preambleLen {
+		return nil, cost, &ErrNoSignal{Reason: fmt.Sprintf("recording of %d samples shorter than preamble %d", rec.Len(), preambleLen)}
+	}
+	cfg := d.detector
+	window := cfg.EnergyWindow
+	if window <= 0 {
+		window = DefaultFFTSize
+	}
+
+	levels, levelCost, err := d.bandLevelsInto(ws, rec, window, cfg.BandLowHz, cfg.BandHighHz)
+	cost.Add(levelCost)
+	if err != nil {
+		return nil, cost, fmt.Errorf("modem: energy detection: %w", err)
+	}
+	if len(levels) == 0 {
+		return nil, cost, &ErrNoSignal{Reason: "recording shorter than one energy window"}
+	}
+	noiseFloor := levels[0]
+	onsetWindow := -1
+	for i, level := range levels {
+		if level > noiseFloor+cfg.EnergyMarginDB {
+			onsetWindow = i
+			break
+		}
+		// Exponential floor tracking over quiet windows.
+		noiseFloor = 0.9*noiseFloor + 0.1*level
+	}
+	searchStart := 0
+	if onsetWindow >= 0 {
+		searchStart = (onsetWindow - 1) * window
+		if searchStart < 0 {
+			searchStart = 0
+		}
+	}
+	region := rec.Samples[searchStart:]
+	if len(region) < preambleLen {
+		return nil, cost, &ErrNoSignal{Reason: "signal onset too close to end of recording"}
+	}
+	ws.scores = growFloat(ws.scores, d.corr.OutLen(len(region)))
+	err = d.corr.Normalized(ws.scores, region)
+	cost.CorrelationMACs += correlationCost(len(region), preambleLen)
+	if err != nil {
+		return nil, cost, fmt.Errorf("modem: preamble correlation: %w", err)
+	}
+	lag, peak, err := dsp.PeakLag(ws.scores)
+	if err != nil {
+		return nil, cost, fmt.Errorf("modem: preamble correlation: %w", err)
+	}
+	if peak < cfg.CorrelationThreshold {
+		return nil, cost, &ErrNoSignal{Reason: fmt.Sprintf("correlation peak %.4f below threshold %.4f", peak, cfg.CorrelationThreshold)}
+	}
+	headEnd := searchStart
+	if headEnd < 2*preambleLen {
+		headEnd = searchStart + lag - preambleLen/4
+	}
+	if headEnd > rec.Len() {
+		headEnd = rec.Len()
+	}
+	if cfg.MinProminence > 0 && headEnd >= 2*preambleLen {
+		head := rec.Samples[:headEnd]
+		ws.scores = growFloat(ws.scores, d.corr.OutLen(len(head)))
+		err := d.corr.Normalized(ws.scores, head)
+		cost.CorrelationMACs += correlationCost(len(head), preambleLen)
+		if err == nil && len(ws.scores) > 0 {
+			var noiseRef float64
+			for _, s := range ws.scores {
+				if a := math.Abs(s); a > noiseRef {
+					noiseRef = a
+				}
+			}
+			if noiseRef > 0 && peak/noiseRef < cfg.MinProminence {
+				return nil, cost, &ErrNoSignal{Reason: fmt.Sprintf("correlation peak %.4f lacks prominence (%.2fx ambient floor, need %.2fx)", peak, peak/noiseRef, cfg.MinProminence)}
+			}
+		}
+	}
+	start := searchStart + lag
+
+	ws.det = Detection{
+		PreambleStart: start,
+		Score:         peak,
+		NoiseFloorSPL: noiseFloor,
+		SearchOffset:  searchStart,
+	}
+	sigEnd := start + preambleLen
+	if sigEnd > rec.Len() {
+		sigEnd = rec.Len()
+	}
+	if start <= sigEnd {
+		sig := rec.Samples[start:sigEnd]
+		ws.det.SignalSPL = audio.SPLOf(sig)
+		cost.ScalarOps += int64(len(sig))
+	}
+	return &ws.det, cost, nil
+}
+
+// bandLevelsInto is bandLevels with workspace-owned buffers and the
+// real-input FFT fast path; levels land in ws.levels. Bit-identical to
+// bandLevels.
+func (d *Demodulator) bandLevelsInto(ws *RxWorkspace, rec *audio.Buffer, window int, lowHz, highHz float64) ([]float64, Cost, error) {
+	var cost Cost
+	if lowHz <= 0 || highHz <= lowHz {
+		cost.ScalarOps += int64(rec.Len())
+		if window <= 0 || rec.Len() < window {
+			return nil, cost, nil
+		}
+		numWindows := rec.Len() / window
+		ws.levels = growFloat(ws.levels, numWindows)
+		for i := 0; i < numWindows; i++ {
+			ws.levels[i] = audio.SPLOf(rec.Samples[i*window : (i+1)*window])
+		}
+		return ws.levels, cost, nil
+	}
+	if window <= 0 || rec.Len() < window {
+		return nil, cost, nil
+	}
+	rplan, err := dsp.RealPlanFor(dsp.NextPow2(window))
+	if err != nil {
+		return nil, cost, err
+	}
+	n := rplan.Size()
+	binHz := float64(rec.Rate) / float64(n)
+	loBin := int(lowHz / binHz)
+	hiBin := int(highHz / binHz)
+	if loBin < 1 {
+		loBin = 1
+	}
+	if hiBin > n/2-1 {
+		hiBin = n/2 - 1
+	}
+	ws.fftBuf = growComplex(ws.fftBuf, n)
+	ws.fwin = growFloat(ws.fwin, n)
+	buf := ws.fftBuf[:n]
+	fwin := ws.fwin[:n]
+	for i := window; i < n; i++ {
+		fwin[i] = 0
+	}
+	numWindows := rec.Len() / window
+	ws.levels = growFloat(ws.levels, numWindows)
+	for w := 0; w < numWindows; w++ {
+		copy(fwin[:window], rec.Samples[w*window:])
+		if err := rplan.Forward(buf, fwin); err != nil {
+			return nil, cost, err
+		}
+		cost.FFTButterflies += fftCost(n)
+		var power float64
+		for k := loBin; k <= hiBin; k++ {
+			power += real(buf[k])*real(buf[k]) + imag(buf[k])*imag(buf[k])
+		}
+		// Convert band power to an equivalent RMS amplitude (positive
+		// and negative frequencies carry half the energy each).
+		rms := math.Sqrt(2 * power / float64(n*n))
+		ws.levels[w] = audio.SPLFromPressure(rms)
+	}
+	return ws.levels, cost, nil
+}
+
 // AmbientSegment returns the noise-only head of a recording before the
 // detected preamble, used for ambient noise measurement and the
 // Sound-Proof-style similarity filter. A small guard is trimmed before the

@@ -131,26 +131,70 @@ func EstimateChannel(spectrum []complex128, cfg Config, method EqualizerMethod) 
 	}
 }
 
+// estimateChannelInto is the demodulator's allocation-free channel
+// estimation path for the paper's FFT-interpolation method: pilot
+// positions come precomputed from the demodulator and every buffer is
+// workspace-owned. Ablation methods fall back to the allocating
+// EstimateChannel. Results are bit-identical to EstimateChannel.
+func (d *Demodulator) estimateChannelInto(ws *RxWorkspace, spectrum []complex128) (*ChannelEstimate, Cost, error) {
+	if d.eqMethod != EqualizeFFTInterp {
+		return EstimateChannel(spectrum, d.cfg, d.eqMethod)
+	}
+	var cost Cost
+	pilots := d.pilots
+	observed := ws.observed[:len(pilots)]
+	for i, k := range pilots {
+		if k >= len(spectrum) {
+			return nil, cost, fmt.Errorf("modem: pilot bin %d outside spectrum of %d bins", k, len(spectrum))
+		}
+		observed[i] = spectrum[k] * pilotValue(k) // divide by +/-1 pilot
+	}
+	first := pilots[0]
+	span := pilots[len(pilots)-1] - first + 1
+	spacing := pilots[1] - pilots[0]
+	target := len(observed) * spacing
+	ws.hbuf = growComplex(ws.hbuf, target)
+	if err := dsp.InterpolateFFTInto(ws.hbuf, observed, ws.iscratch[:len(observed)]); err != nil {
+		return nil, cost, fmt.Errorf("modem: pilot interpolation: %w", err)
+	}
+	cost.FFTButterflies += fftCost(len(observed)) + fftCost(target)
+	if target < span {
+		return nil, cost, fmt.Errorf("modem: interpolated estimate of %d bins does not cover span %d", target, span)
+	}
+	ws.est = ChannelEstimate{FirstBin: first, H: ws.hbuf[:span]}
+	return &ws.est, cost, nil
+}
+
 // Equalize divides the received data-channel observations by the channel
 // estimate, returning one complex point per configured data channel:
 // s_hat(k) = z(k) / H(k) (Sec. III-6).
 func Equalize(spectrum []complex128, est *ChannelEstimate, cfg Config) ([]complex128, Cost, error) {
-	var cost Cost
 	out := make([]complex128, len(cfg.DataChannels))
-	for i, k := range cfg.DataChannels {
+	cost, err := equalizeInto(out, spectrum, est, cfg.DataChannels)
+	if err != nil {
+		return nil, cost, err
+	}
+	return out, cost, nil
+}
+
+// equalizeInto writes one equalized point per data channel into dst
+// (length len(dataChannels)), bit-identically to Equalize.
+func equalizeInto(dst []complex128, spectrum []complex128, est *ChannelEstimate, dataChannels []int) (Cost, error) {
+	var cost Cost
+	for i, k := range dataChannels {
 		if k >= len(spectrum) {
-			return nil, cost, fmt.Errorf("modem: data bin %d outside spectrum", k)
+			return cost, fmt.Errorf("modem: data bin %d outside spectrum", k)
 		}
 		h, err := est.At(k)
 		if err != nil {
-			return nil, cost, err
+			return cost, err
 		}
 		if h == 0 || cmplx.IsNaN(h) {
-			out[i] = 0
+			dst[i] = 0
 			continue
 		}
-		out[i] = spectrum[k] / h
+		dst[i] = spectrum[k] / h
 	}
-	cost.ScalarOps += int64(len(out))
-	return out, cost, nil
+	cost.ScalarOps += int64(len(dst))
+	return cost, nil
 }

@@ -62,34 +62,49 @@ func (m *Modulator) PreambleWaveform() *audio.Buffer {
 
 // Modulate builds the full frame waveform for the given payload bits
 // (values 0/1). Bits that do not fill the last OFDM symbol are padded with
-// zeros.
+// zeros. It is a thin shim over ModulateInto with a pooled workspace.
 func (m *Modulator) Modulate(bits []byte) (*audio.Buffer, error) {
-	if len(bits) == 0 {
-		return nil, fmt.Errorf("modem: empty payload")
-	}
-	numSymbols := m.cfg.NumSymbols(len(bits))
 	frame, err := audio.NewBuffer(m.cfg.SampleRate, 0)
 	if err != nil {
 		return nil, err
 	}
-	if err := frame.Append(m.preamble); err != nil {
+	ws := GetTxWorkspace()
+	defer PutTxWorkspace(ws)
+	if err := m.ModulateInto(frame, bits, ws); err != nil {
 		return nil, err
 	}
+	return frame, nil
+}
+
+// ModulateInto builds the frame waveform into frame, whose samples are
+// reset (capacity retained) and whose rate is set to the modem's. With a
+// warmed workspace and a frame buffer of sufficient capacity, steady-state
+// calls allocate nothing. The output is bit-identical to Modulate.
+func (m *Modulator) ModulateInto(frame *audio.Buffer, bits []byte, ws *TxWorkspace) error {
+	if len(bits) == 0 {
+		return fmt.Errorf("modem: empty payload")
+	}
+	numSymbols := m.cfg.NumSymbols(len(bits))
+	ws.ensure(m.cfg, numSymbols)
+	frame.Rate = m.cfg.SampleRate
+	frame.Samples = frame.Samples[:0]
+	frame.AppendSamples(m.preamble.Samples)
 	frame.AppendSilence(m.cfg.PostPreambleGuard)
 
-	padded := make([]byte, numSymbols*m.cfg.BitsPerSymbol())
-	copy(padded, bits)
 	bitsPerOFDM := m.cfg.BitsPerSymbol()
+	padded := ws.padded[:numSymbols*bitsPerOFDM]
+	n := copy(padded, bits)
+	for i := n; i < len(padded); i++ {
+		padded[i] = 0
+	}
 	for s := 0; s < numSymbols; s++ {
 		symbolBits := padded[s*bitsPerOFDM : (s+1)*bitsPerOFDM]
-		wave, err := m.modulateSymbol(symbolBits)
-		if err != nil {
-			return nil, fmt.Errorf("modem: symbol %d: %w", s, err)
+		if err := m.modulateSymbolInto(frame, symbolBits, ws); err != nil {
+			return fmt.Errorf("modem: symbol %d: %w", s, err)
 		}
-		frame.AppendSamples(wave)
 		frame.AppendSilence(m.cfg.SymbolGuard)
 	}
-	return frame, nil
+	return nil
 }
 
 // ProbeSymbol builds the RTS channel-probing frame: the preamble followed
@@ -105,54 +120,57 @@ func (m *Modulator) ProbeSymbol() (*audio.Buffer, error) {
 		return nil, err
 	}
 	frame.AppendSilence(m.cfg.PostPreambleGuard)
-	spec := dsp.GetComplex(m.cfg.FFTSize)
-	defer dsp.PutComplex(spec)
+	ws := GetTxWorkspace()
+	defer PutTxWorkspace(ws)
+	ws.ensure(m.cfg, 1)
+	spec := ws.spec[:m.cfg.FFTSize]
+	for i := range spec {
+		spec[i] = 0
+	}
 	for _, k := range m.cfg.PilotChannels {
 		spec[k] = pilotValue(k)
 	}
 	for _, k := range m.cfg.DataChannels {
 		spec[k] = pilotValue(k)
 	}
-	wave, err := m.synthesize(spec)
-	if err != nil {
+	if err := m.synthesizeInto(frame, spec, ws); err != nil {
 		return nil, err
 	}
-	frame.AppendSamples(wave)
 	frame.AppendSilence(m.cfg.SymbolGuard)
 	return frame, nil
 }
 
-// modulateSymbol maps one OFDM symbol's bits onto the data sub-channels,
-// inserts pilots, and synthesizes the time-domain waveform.
-func (m *Modulator) modulateSymbol(bits []byte) ([]float64, error) {
-	points, err := m.cfg.Modulation.Map(bits)
-	if err != nil {
-		return nil, err
+// modulateSymbolInto maps one OFDM symbol's bits onto the data
+// sub-channels, inserts pilots, and appends the time-domain waveform to
+// frame.
+func (m *Modulator) modulateSymbolInto(frame *audio.Buffer, bits []byte, ws *TxWorkspace) error {
+	points := ws.points[:len(m.cfg.DataChannels)]
+	if err := m.cfg.Modulation.MapInto(points, bits); err != nil {
+		return err
 	}
-	if len(points) != len(m.cfg.DataChannels) {
-		return nil, fmt.Errorf("modem: %d constellation points for %d data channels", len(points), len(m.cfg.DataChannels))
+	spec := ws.spec[:m.cfg.FFTSize]
+	for i := range spec {
+		spec[i] = 0
 	}
-	spec := dsp.GetComplex(m.cfg.FFTSize)
-	defer dsp.PutComplex(spec)
 	for i, k := range m.cfg.DataChannels {
 		spec[k] = points[i]
 	}
 	for _, k := range m.cfg.PilotChannels {
 		spec[k] = pilotValue(k)
 	}
-	return m.synthesize(spec)
+	return m.synthesizeInto(frame, spec, ws)
 }
 
-// synthesize converts a sub-channel spectrum into the on-wire symbol:
-// IFFT, take the real part, prepend the cyclic prefix, fade the edges.
-func (m *Modulator) synthesize(spec []complex128) ([]float64, error) {
-	timeDomain := dsp.GetComplex(m.cfg.FFTSize)
-	defer dsp.PutComplex(timeDomain)
+// synthesizeInto converts a sub-channel spectrum into the on-wire symbol —
+// IFFT, take the real part, normalize to unit peak, prepend the cyclic
+// prefix — and appends it to frame. spec must be ws.spec or a disjoint
+// slice of the plan's size.
+func (m *Modulator) synthesizeInto(frame *audio.Buffer, spec []complex128, ws *TxWorkspace) error {
+	timeDomain := ws.time[:m.cfg.FFTSize]
 	if err := m.plan.Inverse(timeDomain, spec); err != nil {
-		return nil, err
+		return err
 	}
-	body := dsp.GetFloat(m.cfg.FFTSize)
-	defer dsp.PutFloat(body)
+	body := ws.body[:m.cfg.FFTSize]
 	var peak float64
 	for i, v := range timeDomain {
 		body[i] = real(v)
@@ -167,10 +185,9 @@ func (m *Modulator) synthesize(spec []complex128) ([]float64, error) {
 			body[i] /= peak
 		}
 	}
-	out := make([]float64, 0, m.cfg.CPLen+len(body))
-	out = append(out, body[len(body)-m.cfg.CPLen:]...) // cyclic prefix
-	out = append(out, body...)
-	return out, nil
+	frame.AppendSamples(body[len(body)-m.cfg.CPLen:]) // cyclic prefix
+	frame.AppendSamples(body)
+	return nil
 }
 
 // pilotValue returns the known unit-power pilot for sub-channel k. Phases

@@ -1,6 +1,7 @@
 package modem
 
 import (
+	"fmt"
 	"math"
 
 	"wearlock/internal/audio"
@@ -56,6 +57,51 @@ func PreambleDelayProfile(rec *audio.Buffer, preamble *audio.Buffer, det *Detect
 	profile := make([]float64, len(scores))
 	var peak float64
 	for i, s := range scores {
+		profile[i] = s * s // power-like profile
+		if profile[i] > peak {
+			peak = profile[i]
+		}
+	}
+	if peak > 0 {
+		for i := range profile {
+			profile[i] /= peak
+		}
+	}
+	return profile, cost, nil
+}
+
+// preambleDelayProfile is PreambleDelayProfile against the session's
+// pre-transformed preamble template, with the raw correlation landing in
+// workspace scratch. The returned profile is freshly allocated (the probe
+// analysis hands it to the caller); only the intermediate correlation is
+// allocation-free. Bit-identical to PreambleDelayProfile.
+func (d *Demodulator) preambleDelayProfile(rec *audio.Buffer, det *Detection, ws *RxWorkspace) ([]float64, Cost, error) {
+	var cost Cost
+	window := int(DelayProfileWindow * float64(rec.Rate))
+	start := det.PreambleStart
+	end := start + window + d.preamble.Len()
+	if end > rec.Len() {
+		end = rec.Len()
+	}
+	if end-start < d.preamble.Len() {
+		start = end - d.preamble.Len()
+		if start < 0 {
+			start = 0
+		}
+	}
+	region := rec.Samples[start:end]
+	if len(region) < d.preamble.Len() {
+		return nil, cost, fmt.Errorf("modem: delay-profile region of %d samples shorter than preamble %d", len(region), d.preamble.Len())
+	}
+	ws.scores = growFloat(ws.scores, d.corr.OutLen(len(region)))
+	err := d.corr.CrossCorrelate(ws.scores, region)
+	cost.CorrelationMACs += correlationCost(len(region), d.preamble.Len())
+	if err != nil {
+		return nil, cost, err
+	}
+	profile := make([]float64, len(ws.scores))
+	var peak float64
+	for i, s := range ws.scores {
 		profile[i] = s * s // power-like profile
 		if profile[i] > peak {
 			peak = profile[i]

@@ -15,11 +15,17 @@ import (
 // the configuration. The result is a linear power ratio; use dsp.DB for
 // decibels.
 func PilotSNR(spectrum []complex128, cfg Config) (float64, error) {
-	nulls := cfg.NullChannels()
+	return pilotSNRWith(spectrum, cfg.PilotChannels, cfg.NullChannels())
+}
+
+// pilotSNRWith is PilotSNR with the null-channel set precomputed, so the
+// per-symbol hot path skips rebuilding it (NullChannels allocates a map
+// and slice per call).
+func pilotSNRWith(spectrum []complex128, pilotChannels, nulls []int) (float64, error) {
 	if len(nulls) == 0 {
 		return 0, fmt.Errorf("modem: configuration has no null channels for noise estimation")
 	}
-	pilotPower, err := meanBinPower(spectrum, cfg.PilotChannels)
+	pilotPower, err := meanBinPower(spectrum, pilotChannels)
 	if err != nil {
 		return 0, err
 	}
