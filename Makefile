@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test race bench test-chaos fuzz-smoke bench-sim bench-service bench-chaos bench-dsp
+.PHONY: ci vet lint build test race bench test-chaos test-store fuzz-smoke bench-sim bench-service bench-chaos bench-dsp bench-store
 
-ci: vet lint build race bench test-chaos bench-dsp bench-service
+ci: vet lint build race bench test-chaos test-store bench-dsp bench-service bench-store
 
 vet:
 	$(GO) vet ./...
@@ -43,6 +43,16 @@ test-chaos:
 	$(GO) test -race -count=1 ./internal/core -run 'TestChaosGoldenReplay|TestBackoff|TestResilien|TestHOTP'
 	$(GO) test -race -count=1 ./internal/service -run 'TestChaos'
 
+# The durability suite: WAL framing/merge properties, corruption
+# taxonomy, the genuine kill -9 subprocess crash test, and the
+# service-level restart-chaos harness (50 deterministic kill/mangle/
+# recover cycles) plus the cross-restart golden replay — race-enabled
+# and never -short, so the real crash paths always run in CI.
+test-store:
+	$(GO) test -race -count=1 ./internal/store
+	$(GO) test -race -count=1 ./internal/otp -run 'TestRecovery|TestRestore|TestResync'
+	$(GO) test -race -count=1 ./internal/service -run 'TestDurable|TestRestart|TestCrossRestart|TestSubmitRejectsWhileRecovering|TestRecoveryFailure|TestReadyz'
+
 # Brief run of each fuzz target against its checked-in corpus plus a few
 # seconds of mutation.
 fuzz-smoke:
@@ -50,6 +60,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=10s ./internal/proto
 	$(GO) test -run='^$$' -fuzz=FuzzPayloadDecoders -fuzztime=10s ./internal/proto
 	$(GO) test -run='^$$' -fuzz=FuzzFaultSchedule -fuzztime=10s ./internal/fault
+	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=10s ./internal/store
 
 # Regenerate BENCH_dsp.json and enforce the DSP fast-path regression
 # gate (DESIGN.md §10): per-pair speedup floors plus zero allocs/op on
@@ -71,6 +82,15 @@ bench-sim:
 bench-service:
 	$(GO) run ./cmd/loadgen -selfhost -n 512 -c 64 -out BENCH_service.json
 	$(GO) run ./cmd/loadgen -selfhost -n 128 -c 16 -chaos builtin
+
+# Regenerate BENCH_store.json: cold-start WAL replay timings at
+# 1k/5k/10k records. Exits non-zero if replay scaling goes non-monotone
+# or the 10k replay misses its time gate. The second run drives a
+# durable selfhost daemon through loadgen's store-metrics consistency
+# gate (commit-per-session accounting, zero corruptions; no artifact).
+bench-store:
+	$(GO) run ./cmd/benchstore -out BENCH_store.json
+	$(GO) run ./cmd/loadgen -selfhost -n 128 -c 16 -state-dir $$(mktemp -d)
 
 # Regenerate the success-rate / latency vs fault-intensity curves in
 # BENCH_chaos.json.

@@ -1,0 +1,226 @@
+// Command benchstore measures cold-start recovery of the durable state
+// store: it populates a WAL with N realistic device-state records, then
+// times snapshot-load + WAL replay (store.Inspect, the read-only path,
+// so every iteration replays the identical bytes). The report doubles
+// as a regression gate: replay time must scale monotonically with WAL
+// size (within a noise tolerance) and the largest replay must finish
+// under -gate, because recovery time is downtime — wearlockd rejects
+// unlocks with 503 until the replay completes.
+//
+// Usage:
+//
+//	benchstore [-sizes 1000,5000,10000] [-iters 5] [-devices 64]
+//	           [-gate 2s] [-out BENCH_store.json]
+//
+// Exit status 1 when the gate or the monotonicity check fails.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"wearlock/internal/store"
+)
+
+type entry struct {
+	Records      int     `json:"records"`
+	WALBytes     int64   `json:"wal_bytes"`
+	ReplayMS     float64 `json:"replay_ms"`
+	RecordsPerMS float64 `json:"records_per_ms"`
+	Iters        int     `json:"iters"`
+}
+
+type report struct {
+	Date       string  `json:"date"`
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Devices    int     `json:"devices"`
+	Entries    []entry `json:"entries"`
+	GateMS     float64 `json:"gate_ms"`
+	GatePass   bool    `json:"gate_pass"`
+	Monotone   bool    `json:"monotone"`
+	Note       string  `json:"note"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func parseSizes(spec string) ([]int, error) {
+	var sizes []int
+	for _, part := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		sizes = append(sizes, n)
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] {
+			return nil, fmt.Errorf("sizes must be strictly increasing, got %v", sizes)
+		}
+	}
+	return sizes, nil
+}
+
+// populate writes n device records into a fresh store directory and
+// returns the WAL size. Compaction is disabled so the whole history
+// stays in the log — the point is an n-record replay. NoFsync keeps
+// population fast; replay cost is unaffected (reads don't fsync).
+func populate(dir string, n, devices int) (int64, error) {
+	s, err := store.Open(store.Options{Dir: dir, NoFsync: true})
+	if err != nil {
+		return 0, err
+	}
+	key := make([]byte, 16)
+	for i := 0; i < n; i++ {
+		id := i % devices
+		for b := range key {
+			key[b] = byte(id + b)
+		}
+		ds := store.DeviceState{
+			ID:          id,
+			Key:         key,
+			GenCounter:  uint64(i/devices + 1),
+			VerCounter:  uint64(i / devices),
+			GuardState:  i % 3,
+			NowUnixNano: int64(i) * int64(time.Millisecond),
+			RngDraws:    uint64(i),
+		}
+		if err := s.CommitDevice(ds); err != nil {
+			s.Close()
+			return 0, err
+		}
+	}
+	if err := s.Close(); err != nil {
+		return 0, err
+	}
+	fi, err := os.Stat(filepath.Join(dir, store.WALFileName))
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// measure replays the directory iters times via the read-only Inspect
+// path and returns the fastest replay (minimum filters scheduler noise;
+// the bytes are identical every iteration).
+func measure(dir string, iters int) (time.Duration, error) {
+	best := time.Duration(-1)
+	for i := 0; i < iters; i++ {
+		st, info, err := store.Inspect(dir)
+		if err != nil {
+			return 0, err
+		}
+		if info.Damaged() {
+			return 0, fmt.Errorf("freshly populated store reports damage: %+v", info)
+		}
+		if len(st.Devices) == 0 {
+			return 0, fmt.Errorf("replay recovered no devices")
+		}
+		if best < 0 || info.ReplayDuration < best {
+			best = info.ReplayDuration
+		}
+	}
+	return best, nil
+}
+
+func run() int {
+	var (
+		sizesSpec = flag.String("sizes", "1000,5000,10000", "comma-separated WAL record counts, strictly increasing")
+		iters     = flag.Int("iters", 5, "replay iterations per size (fastest wins)")
+		devices   = flag.Int("devices", 64, "distinct device IDs cycled through the records")
+		gate      = flag.Duration("gate", 2*time.Second, "hard ceiling for the largest size's replay")
+		out       = flag.String("out", "BENCH_store.json", "report path")
+	)
+	flag.Parse()
+
+	sizes, err := parseSizes(*sizesSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchstore: %v\n", err)
+		return 1
+	}
+
+	rep := report{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Devices:    *devices,
+		GateMS:     float64(gate.Milliseconds()),
+		Monotone:   true,
+		Note: "Cold-start WAL replay (store.Inspect: snapshot load + full log replay + merge), fastest of -iters runs. " +
+			"Replay time is unlock downtime: wearlockd answers 503 until recovery completes. " +
+			"Gate: largest size under gate_ms; monotone: replay time grows with record count (0.5x noise tolerance).",
+	}
+
+	for _, n := range sizes {
+		dir, err := os.MkdirTemp("", "benchstore-")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchstore: %v\n", err)
+			return 1
+		}
+		defer os.RemoveAll(dir)
+		walBytes, err := populate(dir, n, *devices)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchstore: populate %d: %v\n", n, err)
+			return 1
+		}
+		d, err := measure(dir, *iters)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchstore: replay %d: %v\n", n, err)
+			return 1
+		}
+		ms := float64(d) / float64(time.Millisecond)
+		rep.Entries = append(rep.Entries, entry{
+			Records:      n,
+			WALBytes:     walBytes,
+			ReplayMS:     ms,
+			RecordsPerMS: float64(n) / ms,
+			Iters:        *iters,
+		})
+		fmt.Printf("%7d records  %7.1f KiB WAL  replay %8.3f ms  (%.0f records/ms)\n",
+			n, float64(walBytes)/1024, ms, float64(n)/ms)
+	}
+
+	// Monotone scaling: more records must not replay meaningfully faster.
+	// The 0.5 factor absorbs timer and cache noise on small logs without
+	// letting a genuine inversion (e.g. replay silently skipping records)
+	// slip through.
+	for i := 1; i < len(rep.Entries); i++ {
+		prev, cur := rep.Entries[i-1], rep.Entries[i]
+		if cur.ReplayMS < 0.5*prev.ReplayMS {
+			rep.Monotone = false
+			fmt.Fprintf(os.Stderr, "benchstore: non-monotone: %d records replayed in %.3fms but %d records in %.3fms\n",
+				prev.Records, prev.ReplayMS, cur.Records, cur.ReplayMS)
+		}
+	}
+	last := rep.Entries[len(rep.Entries)-1]
+	rep.GatePass = last.ReplayMS <= rep.GateMS
+	if !rep.GatePass {
+		fmt.Fprintf(os.Stderr, "benchstore: gate failed: %d-record replay took %.1fms (limit %.0fms)\n",
+			last.Records, last.ReplayMS, rep.GateMS)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchstore: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchstore: %v\n", err)
+		return 1
+	}
+	fmt.Printf("gate: %d records in %.3fms (limit %.0fms) — %s; wrote %s\n",
+		last.Records, last.ReplayMS, rep.GateMS, map[bool]string{true: "pass", false: "FAIL"}[rep.GatePass && rep.Monotone], *out)
+	if !rep.GatePass || !rep.Monotone {
+		return 1
+	}
+	return 0
+}

@@ -11,6 +11,13 @@
 //
 //	loadgen -selfhost -n 512 -c 64 -out BENCH_service.json
 //
+// With -state-dir (selfhost) the daemon runs durable and the report
+// grows a store-consistency gate: wearlockd_wal_records_total must
+// cover every completed session, wearlockd_store_corruptions_total
+// must be zero, and wearlockd_recovery_seconds must be exposed:
+//
+//	loadgen -selfhost -n 256 -c 16 -state-dir /tmp/wearlockd-state
+//
 // Against a running daemon:
 //
 //	loadgen -addr http://localhost:8547 -n 1000 -c 32 -rate 200 \
@@ -20,6 +27,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -68,7 +76,18 @@ type record struct {
 	MetricsMatch   bool           `json:"metrics_match_observed"`
 	MetricsDetail  string         `json:"metrics_detail,omitempty"`
 	DaemonOutcomes map[string]int `json:"daemon_outcomes"`
+	Store          *storeReport   `json:"store,omitempty"`
 	Note           string         `json:"note"`
+}
+
+// storeReport is the durability slice of the consistency gate, present
+// only when the run drove a daemon with a -state-dir.
+type storeReport struct {
+	WALRecords      int     `json:"wal_records_total"`
+	Corruptions     int     `json:"store_corruptions_total"`
+	RecoverySeconds float64 `json:"recovery_seconds"`
+	Consistent      bool    `json:"consistent"`
+	Detail          string  `json:"detail,omitempty"`
 }
 
 func main() {
@@ -89,6 +108,7 @@ func run() int {
 		queue    = flag.Int("queue", 0, "selfhost: admission queue bound (0 = default)")
 		seed     = flag.Int64("seed", 42, "selfhost: daemon seed")
 		chaos    = flag.String("chaos", "", "selfhost: fault schedule ('builtin' or JSON file path, empty = off)")
+		stateDir = flag.String("state-dir", "", "selfhost: durable state directory; arms the store-metrics consistency gate")
 	)
 	flag.Parse()
 
@@ -120,10 +140,23 @@ func run() int {
 				cfg.Chaos = sch
 			}
 		}
+		cfg.StateDir = *stateDir
 		svc, err := service.New(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: selfhost: %v\n", err)
 			return 1
+		}
+		if *stateDir != "" {
+			// Drive no load until recovery completes — the gate below
+			// accounts durable records against completed sessions, so the
+			// run must start from a ready store.
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			err := svc.WaitReady(ctx)
+			cancel()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: selfhost recovery: %v\n", err)
+				return 1
+			}
 		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -213,6 +246,28 @@ func run() int {
 	for _, v := range outcomes {
 		completed += v
 	}
+
+	// Durability gate: with a state dir, every completed session must
+	// have left at least one durable WAL record behind, a clean run must
+	// report zero corruptions, and the recovery gauge must be exposed.
+	var storeRep *storeReport
+	if *stateDir != "" {
+		rep, err := scrapeStoreMetrics(client, base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: store metrics scrape: %v\n", err)
+			return 1
+		}
+		var problems []string
+		if rep.Corruptions != 0 {
+			problems = append(problems, fmt.Sprintf("wearlockd_store_corruptions_total=%d, want 0", rep.Corruptions))
+		}
+		if rep.WALRecords < completed {
+			problems = append(problems, fmt.Sprintf("wearlockd_wal_records_total=%d < %d completed sessions", rep.WALRecords, completed))
+		}
+		rep.Consistent = len(problems) == 0
+		rep.Detail = strings.Join(problems, "; ")
+		storeRep = &rep
+	}
 	rec := record{
 		Date:           time.Now().UTC().Format("2006-01-02"),
 		GOMAXPROCS:     runtime.GOMAXPROCS(0),
@@ -232,6 +287,7 @@ func run() int {
 		MetricsMatch:   match,
 		MetricsDetail:  diff,
 		DaemonOutcomes: daemonOutcomes,
+		Store:          storeRep,
 		Note: "Closed-loop (or -rate paced) synchronous unlock sessions against wearlockd's HTTP API. " +
 			"latency = client-observed wall clock incl. queueing; unlock_delay = simulated protocol timeline. " +
 			"metrics_match_observed compares /metrics outcome counters to client-side counts. " + detail,
@@ -258,7 +314,58 @@ func run() int {
 			return 1
 		}
 	}
+	if storeRep != nil && !storeRep.Consistent {
+		fmt.Fprintf(os.Stderr, "loadgen: store metrics inconsistent: %s\n", storeRep.Detail)
+		if *selfhost {
+			return 1
+		}
+	}
 	return 0
+}
+
+// scrapeStoreMetrics pulls the durability gauges/counters out of the
+// Prometheus text exposition. wearlockd_recovery_seconds must be
+// present whenever the daemon runs with a state dir; its absence is a
+// scrape failure, not a zero.
+func scrapeStoreMetrics(client *http.Client, base string) (storeReport, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return storeReport{}, err
+	}
+	defer resp.Body.Close()
+	var rep storeReport
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		name, valStr, ok := strings.Cut(sc.Text(), " ")
+		if !ok || strings.HasPrefix(name, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(valStr), 64)
+		if err != nil {
+			continue
+		}
+		switch name {
+		case "wearlockd_wal_records_total":
+			rep.WALRecords = int(v)
+		case "wearlockd_store_corruptions_total":
+			rep.Corruptions = int(v)
+		case "wearlockd_recovery_seconds":
+			rep.RecoverySeconds = v
+		default:
+			continue
+		}
+		seen[name] = true
+	}
+	if err := sc.Err(); err != nil {
+		return storeReport{}, err
+	}
+	for _, want := range []string{"wearlockd_wal_records_total", "wearlockd_store_corruptions_total", "wearlockd_recovery_seconds"} {
+		if !seen[want] {
+			return storeReport{}, fmt.Errorf("%s missing from /metrics", want)
+		}
+	}
+	return rep, nil
 }
 
 // unlockView is the slice of service.View loadgen needs, plus transport
@@ -390,5 +497,12 @@ func printReport(rec record) {
 	fmt.Printf("  metrics consistency: %v\n", rec.MetricsMatch)
 	if rec.MetricsDetail != "" && !rec.MetricsMatch {
 		fmt.Printf("    %s\n", rec.MetricsDetail)
+	}
+	if rec.Store != nil {
+		fmt.Printf("  store consistency: %v (%d WAL records, %d corruptions, recovery %.3fs)\n",
+			rec.Store.Consistent, rec.Store.WALRecords, rec.Store.Corruptions, rec.Store.RecoverySeconds)
+		if !rec.Store.Consistent {
+			fmt.Printf("    %s\n", rec.Store.Detail)
+		}
 	}
 }

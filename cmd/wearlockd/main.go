@@ -9,6 +9,16 @@
 //	wearlockd [-addr :8547] [-devices 64] [-workers 0] [-queue 128]
 //	          [-session-ttl 2m] [-request-timeout 30s] [-seed 42]
 //	          [-chaos builtin | -chaos schedule.json] [-pprof]
+//	          [-state-dir /var/lib/wearlockd] [-snapshot-every 1024]
+//
+// With -state-dir the daemon keeps pairing keys and HOTP counters in a
+// crash-safe WAL-backed store: every accepted session is fsynced before
+// it is reported done, startup replays snapshot + WAL before traffic is
+// admitted (GET /readyz answers 503 "recovering" until then, and 503
+// "failed" if the state cannot be recovered), and a graceful drain
+// compacts the log. Corrupted per-device state degrades to a forced
+// re-pair of that device only. Without -state-dir the fleet is
+// ephemeral, as before.
 //
 // With -pprof the daemon additionally serves the Go profiling endpoints
 // under /debug/pprof/ (CPU profile, heap, goroutines, trace); see the
@@ -25,6 +35,7 @@
 //	POST /v1/unlock           {"scenario":"cafe","wait":false,...}
 //	GET  /v1/sessions/{id}    poll an asynchronous session
 //	GET  /healthz             liveness + capacity + scenario catalog
+//	GET  /readyz              state recovery status (always "ok" when ephemeral)
 //	GET  /metrics             Prometheus text exposition
 package main
 
@@ -73,6 +84,9 @@ func run() int {
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "max wait for in-flight sessions on shutdown")
 		chaos      = flag.String("chaos", "", "fault schedule: 'builtin' or a JSON schedule file path (empty = off)")
 		pprofOn    = flag.Bool("pprof", false, "serve Go profiling endpoints under /debug/pprof/ (off by default)")
+		stateDir   = flag.String("state-dir", "", "durable state directory for pairing keys and HOTP counters (empty = ephemeral)")
+		snapEvery  = flag.Int("snapshot-every", 0, "compact the state WAL after this many records (0 = default 1024)")
+		noFsync    = flag.Bool("no-fsync", false, "UNSAFE: skip per-commit fsyncs; committed state no longer survives power loss")
 	)
 	flag.Parse()
 
@@ -83,6 +97,9 @@ func run() int {
 	cfg.SessionTTL = *sessionTTL
 	cfg.RequestTimeout = *reqTimeout
 	cfg.Seed = *seed
+	cfg.StateDir = *stateDir
+	cfg.SnapshotEvery = *snapEvery
+	cfg.NoFsync = *noFsync
 	if *chaos != "" {
 		sch, err := loadChaos(*chaos)
 		if err != nil {
@@ -128,6 +145,25 @@ func run() int {
 		logger.Printf("chaos schedule %q armed (%d rules)", cfg.Chaos.Name, len(cfg.Chaos.Rules))
 	}
 
+	// With a state dir, recovery runs concurrently with the listener (the
+	// HTTP layer answers 503 + /readyz "recovering" meanwhile). A failed
+	// recovery is fatal: the daemon would otherwise serve nothing but
+	// 503s forever.
+	recoveryFailed := make(chan error, 1)
+	if cfg.StateDir != "" {
+		logger.Printf("durable state in %s (recovering before admitting traffic; watch /readyz)", cfg.StateDir)
+		go func() {
+			if err := svc.WaitReady(context.Background()); err != nil {
+				recoveryFailed <- err
+				return
+			}
+			rec, _ := svc.Ready()
+			logger.Printf("state recovered in %s: %d WAL records, %d corruptions, %d devices re-paired",
+				rec.Duration.Round(time.Millisecond), rec.Store.RecoveredRecords,
+				rec.Store.Corruptions, len(rec.Repaired))
+		}()
+	}
+
 	// Serve until a termination signal, then drain before exiting so
 	// admitted sessions finish and clients polling them get answers.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -139,6 +175,10 @@ func run() int {
 	select {
 	case err := <-errCh:
 		logger.Printf("serve: %v", err)
+		return 1
+	case err := <-recoveryFailed:
+		logger.Printf("state recovery failed: %v", err)
+		_ = server.Close()
 		return 1
 	case <-ctx.Done():
 	}

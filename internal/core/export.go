@@ -1,0 +1,116 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"wearlock/internal/keyguard"
+	"wearlock/internal/otp"
+)
+
+// DeviceExport is the durable snapshot of one paired phone+watch System:
+// the pairing key, both HOTP counters, the verifier's failure budget, the
+// keyguard state machine, and the simulated clock. It is everything the
+// store layer must persist for a restarted daemon to rebuild the device
+// without desynchronizing the token stream.
+type DeviceExport struct {
+	Key          []byte         `json:"key"`
+	GenCounter   uint64         `json:"gen_counter"`
+	VerCounter   uint64         `json:"ver_counter"`
+	VerFailures  int            `json:"ver_failures"`
+	VerLockedOut bool           `json:"ver_locked_out"`
+	GuardState   keyguard.State `json:"guard_state"`
+	GuardFailures int           `json:"guard_failures"`
+	NowUnixNano  int64          `json:"now_unix_nano"`
+}
+
+// ExportState captures the system's durable state at a phase boundary.
+// Callers must not invoke it concurrently with an unlock session on the
+// same System (the service layer serializes per device).
+func (s *System) ExportState() DeviceExport {
+	vs := s.ver.Export()
+	gs, gf := s.guard.Export()
+	key := make([]byte, len(s.key))
+	copy(key, s.key)
+	return DeviceExport{
+		Key:           key,
+		GenCounter:    s.gen.Counter(),
+		VerCounter:    vs.Counter,
+		VerFailures:   vs.Failures,
+		VerLockedOut:  vs.LockedOut,
+		GuardState:    gs,
+		GuardFailures: gf,
+		NowUnixNano:   s.now.UnixNano(),
+	}
+}
+
+// RestoreState loads a durably-committed export into the system.
+//
+// When the export carries the same pairing key the system already holds,
+// counters may only move forward (a backward restore would re-accept
+// already-spent tokens) and the verifier is armed with the widened
+// post-recovery look-ahead. When the key differs, the export is a
+// re-pairing: the generator and verifier are rebuilt around the new key
+// at the exported counters, and forward-only does not apply because
+// tokens from the old key cannot verify under the new one.
+func (s *System) RestoreState(ex DeviceExport, resyncLookAhead int) error {
+	if len(ex.Key) == 0 {
+		return fmt.Errorf("core: restore without a pairing key")
+	}
+	vs := otp.VerifierState{Counter: ex.VerCounter, Failures: ex.VerFailures, LockedOut: ex.VerLockedOut}
+	if bytes.Equal(ex.Key, s.key) {
+		if err := s.gen.Advance(ex.GenCounter); err != nil {
+			return err
+		}
+		if err := s.ver.Restore(vs, resyncLookAhead); err != nil {
+			return err
+		}
+	} else {
+		gen, err := otp.NewGenerator(ex.Key, ex.GenCounter)
+		if err != nil {
+			return err
+		}
+		ver, err := otp.NewVerifier(ex.Key, 0)
+		if err != nil {
+			return err
+		}
+		if err := ver.Restore(vs, resyncLookAhead); err != nil {
+			return err
+		}
+		key := make([]byte, len(ex.Key))
+		copy(key, ex.Key)
+		s.key, s.gen, s.ver = key, gen, ver
+	}
+	if err := s.guard.Restore(ex.GuardState, ex.GuardFailures); err != nil {
+		return err
+	}
+	if ex.NowUnixNano > 0 {
+		if at := time.Unix(0, ex.NowUnixNano); at.After(s.now) {
+			s.now = at
+		}
+	}
+	return nil
+}
+
+// Repair re-pairs the device with a fresh key at counter zero — the
+// operator action behind "re-pair required" after the store detects
+// corruption affecting this device. Old tokens cannot verify under the
+// new key, so a corrupted (possibly regressed) counter never becomes a
+// replay window.
+func (s *System) Repair() error {
+	key := make([]byte, otp.KeySize)
+	for i := range key {
+		key[i] = byte(s.rng.Intn(256))
+	}
+	gen, err := otp.NewGenerator(key, 0)
+	if err != nil {
+		return err
+	}
+	ver, err := otp.NewVerifier(key, 0)
+	if err != nil {
+		return err
+	}
+	s.key, s.gen, s.ver = key, gen, ver
+	return nil
+}

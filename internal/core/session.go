@@ -124,6 +124,7 @@ type Result struct {
 // configuration, and executes unlock sessions against scenarios.
 type System struct {
 	cfg   Config
+	key   []byte // shared pairing secret (exported for durability)
 	gen   *otp.Generator
 	ver   *otp.Verifier
 	guard *keyguard.Keyguard
@@ -163,6 +164,7 @@ func NewSystem(cfg Config, rng *rand.Rand) (*System, error) {
 	}
 	return &System{
 		cfg:   cfg,
+		key:   key,
 		gen:   gen,
 		ver:   ver,
 		guard: keyguard.New(),

@@ -74,7 +74,10 @@ func ForSession(sch *Schedule, baseSeed, session int64) *SessionFaults {
 		return sf
 	}
 	for _, r := range sch.Rules {
-		if !r.covers(session) {
+		// Store-scoped kinds belong to the restart stream (ForRestart);
+		// skipping them without a draw keeps the session stream a pure
+		// function of the session rules alone.
+		if r.Kind.StoreScoped() || !r.covers(session) {
 			continue
 		}
 		// One arming draw per in-window rule, in rule order: the stream

@@ -49,11 +49,13 @@ const (
 	KindPoolExhaust   Kind = "pool-exhaust"
 )
 
-// Kinds returns every known fault kind in stable order.
+// Kinds returns every known fault kind in stable order, the session
+// kinds first, then the store-scoped restart kinds.
 func Kinds() []Kind {
 	return []Kind{
 		KindAcousticBurst, KindSNRCollapse, KindLinkDrop, KindLatencySpike,
 		KindMsgLoss, KindMsgDup, KindMsgReorder, KindDeviceSlow, KindPoolExhaust,
+		KindStoreFsyncLoss, KindStoreTornWrite, KindStoreBitFlip, KindStoreSnapOnly,
 	}
 }
 

@@ -1,0 +1,114 @@
+package fault
+
+import (
+	"math/rand"
+
+	"wearlock/internal/sim"
+)
+
+// restartSalt separates the restart-cycle fault stream from the
+// per-session stream (faultSalt) and every other SeedFor-derived stream
+// built from the same base seed.
+const restartSalt int64 = 0x72737472 // "rstr"
+
+// Store-scoped fault kinds. Unlike the session kinds, these strike the
+// durable state directory in the window between a crash and the next
+// startup — they are rolled once per restart cycle by ForRestart, and
+// session-level ForSession ignores them.
+//
+//	store-fsync-loss      the last appended WAL record vanishes (a disk
+//	                      that acknowledged a write it never persisted)
+//	store-torn-write      the final record is cut mid-frame (power loss
+//	                      during the append)
+//	store-bit-flip        one payload bit of a random record flips
+//	                      (media rot; recovery must distrust the device)
+//	store-stale-snapshot  the WAL disappears while an older snapshot
+//	                      survives (state rollback; nothing is trustable)
+const (
+	KindStoreFsyncLoss Kind = "store-fsync-loss"
+	KindStoreTornWrite Kind = "store-torn-write"
+	KindStoreBitFlip   Kind = "store-bit-flip"
+	KindStoreSnapOnly  Kind = "store-stale-snapshot"
+)
+
+// StoreScoped reports whether k is a restart-cycle store fault rather
+// than a session fault.
+func (k Kind) StoreScoped() bool {
+	switch k {
+	case KindStoreFsyncLoss, KindStoreTornWrite, KindStoreBitFlip, KindStoreSnapOnly:
+		return true
+	}
+	return false
+}
+
+// StorePlan is the armed store damage for one restart cycle. The restart
+// harness maps each flag onto the store package's deterministic mangles
+// (fault does not import store; the dependency points the other way
+// around the composition root, like every other injection point).
+type StorePlan struct {
+	// DropLastRecord removes the newest WAL record cleanly.
+	DropLastRecord bool
+	// TornTail cuts the final record mid-frame.
+	TornTail bool
+	// FlipBit flips one payload bit of a seed-chosen record.
+	FlipBit bool
+	// SnapshotOnly deletes the WAL, leaving a stale snapshot.
+	SnapshotOnly bool
+	// Seed parameterizes the mangles that need randomness (cut point,
+	// flipped bit), making the whole cycle's damage reproducible.
+	Seed int64
+}
+
+// Any reports whether the plan damages anything.
+func (p StorePlan) Any() bool {
+	return p.DropLastRecord || p.TornTail || p.FlipBit || p.SnapshotOnly
+}
+
+// ForRestart rolls the schedule's store-scoped rules for one restart
+// cycle. The decision stream derives from (baseSeed, restartSalt, cycle)
+// through sim.SeedFor, so a chaos run's damage sequence is a pure
+// function of (schedule, seed, cycle) — the same replay contract
+// ForSession gives sessions. Non-store rules are skipped without a draw,
+// so adding session rules to a schedule never shifts the restart stream.
+// A nil schedule arms nothing (the plan still carries a usable Seed).
+func ForRestart(sch *Schedule, baseSeed, cycle int64) StorePlan {
+	rng := rand.New(rand.NewSource(sim.SeedFor(baseSeed, restartSalt, cycle)))
+	plan := StorePlan{Seed: rng.Int63()}
+	if sch == nil {
+		return plan
+	}
+	for _, r := range sch.Rules {
+		if !r.Kind.StoreScoped() || !r.covers(cycle) {
+			continue
+		}
+		if rng.Float64() >= r.Prob {
+			continue
+		}
+		switch r.Kind {
+		case KindStoreFsyncLoss:
+			plan.DropLastRecord = true
+		case KindStoreTornWrite:
+			plan.TornTail = true
+		case KindStoreBitFlip:
+			plan.FlipBit = true
+		case KindStoreSnapOnly:
+			plan.SnapshotOnly = true
+		}
+	}
+	return plan
+}
+
+// DefaultStoreChaosSchedule is the builtin restart-damage mix: frequent
+// benign data loss (unsynced tail, torn append), occasional bit rot, and
+// rare state rollback. Roughly half the restart cycles see some damage.
+func DefaultStoreChaosSchedule() *Schedule {
+	return &Schedule{
+		Name: "builtin-store-chaos",
+		Rules: []Rule{
+			{Kind: KindStoreFsyncLoss, Prob: 0.25},
+			{Kind: KindStoreTornWrite, Prob: 0.25},
+			{Kind: KindStoreBitFlip, Prob: 0.20},
+			{Kind: KindStoreSnapOnly, Prob: 0.08},
+		},
+	}
+}

@@ -1,0 +1,81 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// ForRestart must be a pure function of (schedule, seed, cycle), and
+// different cycles must be able to arm different damage.
+func TestForRestartDeterministic(t *testing.T) {
+	sch := DefaultStoreChaosSchedule()
+	if err := sch.Validate(); err != nil {
+		t.Fatalf("builtin store schedule invalid: %v", err)
+	}
+	var plans []StorePlan
+	anyDamage := false
+	for cycle := int64(0); cycle < 64; cycle++ {
+		p := ForRestart(sch, 42, cycle)
+		q := ForRestart(sch, 42, cycle)
+		if !reflect.DeepEqual(p, q) {
+			t.Fatalf("cycle %d not deterministic: %+v vs %+v", cycle, p, q)
+		}
+		anyDamage = anyDamage || p.Any()
+		plans = append(plans, p)
+	}
+	if !anyDamage {
+		t.Fatal("64 cycles of the builtin store schedule armed no damage")
+	}
+	distinct := false
+	for i := 1; i < len(plans); i++ {
+		a, b := plans[i-1], plans[i]
+		a.Seed, b.Seed = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			distinct = true
+			break
+		}
+	}
+	if !distinct {
+		t.Fatal("every cycle armed the identical damage — cycle index is not reaching the stream")
+	}
+	// A different base seed must reshuffle the damage sequence.
+	other := ForRestart(sch, 43, 0)
+	if reflect.DeepEqual(other, plans[0]) {
+		t.Error("seed 42 and 43 produced identical cycle-0 plans (suspicious)")
+	}
+}
+
+// Store-scoped rules must not perturb the session fault stream: a
+// schedule with store rules appended arms sessions identically to one
+// without.
+func TestStoreRulesDoNotShiftSessionStream(t *testing.T) {
+	base := DefaultChaosSchedule()
+	mixed := DefaultChaosSchedule()
+	mixed.Rules = append(mixed.Rules, DefaultStoreChaosSchedule().Rules...)
+	if err := mixed.Validate(); err != nil {
+		t.Fatalf("mixed schedule invalid: %v", err)
+	}
+	for session := int64(0); session < 32; session++ {
+		a := ForSession(base, 42, session).Armed()
+		b := ForSession(mixed, 42, session).Armed()
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("session %d: armed %v with store rules vs %v without", session, b, a)
+		}
+		for _, k := range b {
+			if k.StoreScoped() {
+				t.Fatalf("session %d armed store-scoped kind %s", session, k)
+			}
+		}
+	}
+}
+
+// A nil schedule arms nothing but still hands the harness a usable seed.
+func TestForRestartNilSchedule(t *testing.T) {
+	p := ForRestart(nil, 7, 3)
+	if p.Any() {
+		t.Fatalf("nil schedule armed damage: %+v", p)
+	}
+	if p.Seed == ForRestart(nil, 7, 4).Seed {
+		t.Error("different cycles share a mangle seed")
+	}
+}

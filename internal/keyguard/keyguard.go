@@ -143,6 +143,38 @@ func (k *Keyguard) Stats() (unlocks, manualAuths int) {
 	return k.unlocks, k.manualAuths
 }
 
+// Export captures the durable part of the keyguard state: the lock state
+// and the consecutive-failure count. Lifetime statistics and the unlock
+// timestamp are operational, not durable.
+func (k *Keyguard) Export() (State, int) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.state, k.failures
+}
+
+// Restore loads a durably-committed lock state after a restart. A restored
+// "unlocked" state is conservatively demoted to locked: the screen relocks
+// on timeout anyway, and a crash must never leave a phone unlocked that
+// the user did not just unlock.
+func (k *Keyguard) Restore(state State, failures int) error {
+	switch state {
+	case StateLocked, StateUnlocked, StateLockedOut:
+	default:
+		return fmt.Errorf("keyguard: cannot restore unknown state %d", int(state))
+	}
+	if failures < 0 {
+		return fmt.Errorf("keyguard: cannot restore negative failure count %d", failures)
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if state == StateUnlocked {
+		state = StateLocked
+	}
+	k.state = state
+	k.failures = failures
+	return nil
+}
+
 // UnlockedAt returns when the screen last unlocked (zero if never).
 func (k *Keyguard) UnlockedAt() time.Time {
 	k.mu.Lock()

@@ -103,6 +103,16 @@ const DefaultLookAhead = 4
 // locked up after three consecutive failures".
 const DefaultMaxFailures = 3
 
+// DefaultResyncLookAhead is the widened look-ahead armed for the verifies
+// immediately after a crash recovery (Restore). A crash can lose the
+// commits of at most one in-flight session per device, and a resilient
+// session draws at most MaxRetries+1 tokens, so the generator may sit a
+// few counters past the last durably-committed verifier position; the
+// widened window lets the first post-recovery verify absorb that gap
+// without handing a steady-state attacker a larger keyspace (the window
+// narrows back to DefaultLookAhead on the first success).
+const DefaultResyncLookAhead = 16
+
 // Verifier validates received tokens against the shared key and a moving
 // counter, locking out after consecutive failures. It is safe for
 // concurrent use.
@@ -114,6 +124,10 @@ type Verifier struct {
 	maxFailures int
 	failures    int
 	lockedOut   bool
+	// resyncExtra widens the look-ahead window after Restore until the
+	// next successful verify (the RFC 4226 resynchronization parameter,
+	// temporarily enlarged because a crash may have lost counter commits).
+	resyncExtra int
 }
 
 // NewVerifier creates a verifier starting at the given counter.
@@ -155,7 +169,8 @@ func (v *Verifier) Verify(token uint32) (bool, error) {
 	if v.lockedOut {
 		return false, ErrLockedOut
 	}
-	for i := 0; i <= v.lookAhead; i++ {
+	window := v.lookAhead + v.resyncExtra
+	for i := 0; i <= window; i++ {
 		want, err := Token(v.key, v.counter+uint64(i))
 		if err != nil {
 			return false, err
@@ -163,6 +178,7 @@ func (v *Verifier) Verify(token uint32) (bool, error) {
 		if subtle.ConstantTimeEq(int32(want), int32(token)) == 1 {
 			v.counter += uint64(i) + 1
 			v.failures = 0
+			v.resyncExtra = 0
 			return true, nil
 		}
 	}
@@ -203,6 +219,47 @@ func (v *Verifier) Reset(counter uint64) {
 	v.failures = 0
 	v.lockedOut = false
 	v.counter = counter
+	v.resyncExtra = 0
+}
+
+// VerifierState is the durable snapshot of a Verifier: everything needed
+// to reconstruct replay protection after a process restart. The shared key
+// is pairing state and travels separately.
+type VerifierState struct {
+	Counter   uint64 `json:"counter"`
+	Failures  int    `json:"failures"`
+	LockedOut bool   `json:"locked_out"`
+}
+
+// Export captures the verifier's durable state.
+func (v *Verifier) Export() VerifierState {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return VerifierState{Counter: v.counter, Failures: v.failures, LockedOut: v.lockedOut}
+}
+
+// Restore loads a durably-committed state after a restart. The counter
+// only ever moves forward: restoring a state older than the verifier's
+// live position is refused, because moving back would re-accept tokens
+// that already verified once (a replay). extraLookAhead widens the accept
+// window for the verifies following recovery — a crash may have lost the
+// last in-flight session's counter commits, leaving the generator ahead
+// of the restored position — and is disarmed by the first successful
+// verify or an explicit Reset.
+func (v *Verifier) Restore(st VerifierState, extraLookAhead int) error {
+	if extraLookAhead < 0 {
+		return fmt.Errorf("otp: resync look-ahead %d must be non-negative", extraLookAhead)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if st.Counter < v.counter {
+		return fmt.Errorf("otp: restore would regress counter %d to %d", v.counter, st.Counter)
+	}
+	v.counter = st.Counter
+	v.failures = st.Failures
+	v.lockedOut = st.LockedOut
+	v.resyncExtra = extraLookAhead
+	return nil
 }
 
 // Generator is the phone-side token source sharing key and counter with a
@@ -240,4 +297,17 @@ func (g *Generator) Counter() uint64 {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.counter
+}
+
+// Advance fast-forwards the generator to a durably-committed counter
+// position after a restart. Like Verifier.Restore it is forward-only:
+// rewinding would re-issue tokens the verifier has already consumed.
+func (g *Generator) Advance(counter uint64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if counter < g.counter {
+		return fmt.Errorf("otp: advance would regress counter %d to %d", g.counter, counter)
+	}
+	g.counter = counter
+	return nil
 }

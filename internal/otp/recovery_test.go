@@ -1,0 +1,234 @@
+package otp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// acceptedToken records a token the live verifier accepted, and whether
+// the acceptance was durably committed before the most recent crash.
+type acceptedToken struct {
+	token     uint32
+	committed bool
+}
+
+// TestRecoveryProperty drives random interleavings of Verify / Reset /
+// commit / crash+Restore and checks the two durability invariants the
+// store layer depends on:
+//
+//  1. after every restore, the verifier's counter is >= the counter of
+//     the last durably-committed export (counters never regress), and
+//  2. a token that was accepted at-or-before the last committed export
+//     never verifies a second time after the crash.
+//
+// Tokens accepted after the last commit CAN replay after a crash — which
+// is exactly why the service layer commits before reporting a session
+// done (accepted => durable). The otp layer's contract is only that
+// durable state never moves backward.
+func TestRecoveryProperty(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		key := make([]byte, KeySize)
+		for i := range key {
+			key[i] = byte(rng.Intn(256))
+		}
+		gen, err := NewGenerator(key, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ver, err := NewVerifier(key, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		durable := ver.Export() // last committed state
+		var accepted []acceptedToken
+
+		commit := func() {
+			st := ver.Export()
+			if st.Counter < durable.Counter {
+				t.Fatalf("seed %d: live counter %d regressed below committed %d", seed, st.Counter, durable.Counter)
+			}
+			durable = st
+			for i := range accepted {
+				accepted[i].committed = true
+			}
+		}
+
+		for op := 0; op < 400; op++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // honest round trip: generate and verify
+				tok, err := gen.Next()
+				if err != nil {
+					t.Fatal(err)
+				}
+				ok, err := ver.Verify(tok)
+				if err == ErrLockedOut {
+					ver.Reset(gen.Counter())
+					continue
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok {
+					accepted = append(accepted, acceptedToken{token: tok})
+				}
+			case 4: // garbage token: burns a failure
+				if _, err := ver.Verify(rng.Uint32() & 0x7fffffff); err != nil && err != ErrLockedOut {
+					t.Fatal(err)
+				}
+			case 5: // PIN fallback resync
+				ver.Reset(gen.Counter())
+				// Reset renegotiates the counter: every previously accepted
+				// token is now behind the new position for good.
+				commit()
+			case 6, 7: // durable commit
+				commit()
+			default: // crash: lose everything since the last commit
+				restored, err := NewVerifier(key, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := restored.Restore(durable, DefaultResyncLookAhead); err != nil {
+					t.Fatal(err)
+				}
+				ver = restored
+
+				if got := ver.Counter(); got < durable.Counter {
+					t.Fatalf("seed %d op %d: restored counter %d < committed %d", seed, op, got, durable.Counter)
+				}
+				// Replay every committed-accepted token against a probe clone
+				// so the probes don't perturb the live failure budget.
+				for _, at := range accepted {
+					if !at.committed {
+						continue
+					}
+					probe, err := NewVerifier(key, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := probe.Restore(ver.Export(), DefaultResyncLookAhead); err != nil {
+						t.Fatal(err)
+					}
+					ok, err := probe.Verify(at.token)
+					if err != nil && err != ErrLockedOut {
+						t.Fatal(err)
+					}
+					if ok {
+						t.Fatalf("seed %d op %d: committed token %08x replayed after restore", seed, op, at.token)
+					}
+				}
+				// The generator survives the crash on the phone side; the
+				// widened window must absorb the committed-state gap as long
+				// as it is within DefaultResyncLookAhead.
+				if gap := gen.Counter() - ver.Counter(); gap <= DefaultResyncLookAhead {
+					tok, err := gen.Next()
+					if err != nil {
+						t.Fatal(err)
+					}
+					ok, err := ver.Verify(tok)
+					if err == ErrLockedOut {
+						ver.Reset(gen.Counter())
+						continue
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !ok {
+						t.Fatalf("seed %d op %d: resync window missed gap %d <= %d", seed, op, gap, DefaultResyncLookAhead)
+					}
+					accepted = append(accepted, acceptedToken{token: tok})
+				} else {
+					// Beyond the window the device needs a Reset; model it.
+					ver.Reset(gen.Counter())
+					commit()
+				}
+			}
+		}
+	}
+}
+
+// TestRestoreForwardOnly pins the refusal semantics: restoring a state
+// older than the live position is an error and leaves state untouched.
+func TestRestoreForwardOnly(t *testing.T) {
+	key := make([]byte, KeySize)
+	gen, _ := NewGenerator(key, 0)
+	ver, _ := NewVerifier(key, 0)
+	for i := 0; i < 5; i++ {
+		tok, err := gen.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, err := ver.Verify(tok); err != nil || !ok {
+			t.Fatalf("verify %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	stale := VerifierState{Counter: 2}
+	if err := ver.Restore(stale, DefaultResyncLookAhead); err == nil {
+		t.Fatal("Restore accepted a counter regression")
+	}
+	if got := ver.Counter(); got != 5 {
+		t.Fatalf("failed restore moved counter to %d", got)
+	}
+	if err := gen.Advance(2); err == nil {
+		t.Fatal("Advance accepted a counter regression")
+	}
+	if err := ver.Restore(VerifierState{Counter: 2}, -1); err == nil {
+		t.Fatal("Restore accepted a negative look-ahead")
+	}
+}
+
+// TestResyncWindowNarrowsAfterSuccess verifies the widened window is a
+// one-shot: the first successful verify disarms it, returning the
+// steady-state attacker keyspace to DefaultLookAhead.
+func TestResyncWindowNarrowsAfterSuccess(t *testing.T) {
+	key := []byte("0123456789abcdefghij")
+	gen, _ := NewGenerator(key, 0)
+	ver, _ := NewVerifier(key, 0)
+
+	// Put the generator DefaultLookAhead+3 ahead: outside the normal
+	// window, inside the resync window.
+	gap := uint64(DefaultLookAhead + 3)
+	for i := uint64(0); i < gap; i++ {
+		if _, err := gen.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fresh, _ := NewVerifier(key, 0)
+	if err := fresh.Restore(ver.Export(), DefaultResyncLookAhead); err != nil {
+		t.Fatal(err)
+	}
+	tok, err := gen.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := fresh.Verify(tok); err != nil || !ok {
+		t.Fatalf("resync verify: ok=%v err=%v", ok, err)
+	}
+
+	// Window is narrow again: a token gap+DefaultLookAhead+1 past the new
+	// position must miss.
+	ahead := fresh.Counter() + uint64(DefaultLookAhead) + 1
+	farTok, err := Token(key, ahead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := fresh.Verify(farTok); ok {
+		t.Fatal("resync window failed to narrow after first success")
+	}
+
+	// Reset also disarms the widened window.
+	armed, _ := NewVerifier(key, 0)
+	if err := armed.Restore(VerifierState{Counter: 0}, DefaultResyncLookAhead); err != nil {
+		t.Fatal(err)
+	}
+	armed.Reset(0)
+	wide, err := Token(key, uint64(DefaultLookAhead)+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := armed.Verify(wide); ok {
+		t.Fatal("Reset left the resync window armed")
+	}
+}

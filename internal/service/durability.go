@@ -1,0 +1,313 @@
+// Durability wiring: recovery of the durable device store at startup and
+// the per-session persistence the accepted⇒durable promise rests on.
+//
+// The protocol is:
+//
+//   - New() launches recoverState when Config.StateDir is set; Submit
+//     rejects with ErrRecovering until the ready channel closes, and the
+//     /readyz endpoint reports "recovering" over the same window.
+//   - Recovery opens the store (snapshot + WAL replay), fast-forwards
+//     every device's counted RNG stream to its persisted draw position,
+//     and restores counters with the widened post-recovery look-ahead so
+//     a watch that generated tokens the crash lost still resynchronizes.
+//   - Devices the store distrusts (their last durable record may have
+//     been destroyed by corruption) are re-paired with a fresh key at
+//     counter zero instead of resumed: a possibly regressed counter must
+//     never become a replay window. When recovery found damage, devices
+//     absent from the store entirely get the same treatment — "absent"
+//     no longer proves "never committed".
+//   - Every finished session commits its device state plus the fleet
+//     admission sequence before it is reported done.
+package service
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"wearlock/internal/core"
+	"wearlock/internal/keyguard"
+	"wearlock/internal/otp"
+	"wearlock/internal/store"
+)
+
+// Recovery summarizes what startup durable-state recovery found and did.
+// It is written once, before the ready channel closes; readers must gate
+// on Ready()/WaitReady.
+type Recovery struct {
+	// Enabled is true when a state directory was configured.
+	Enabled bool
+	// Err is the terminal recovery failure, if any. A non-nil Err makes
+	// Submit reject permanently: a daemon that cannot promise durability
+	// must not accept unlock traffic.
+	Err error
+	// Store is the store layer's replay report.
+	Store store.RecoveryInfo
+	// Repaired lists devices re-paired with a fresh key (distrusted by
+	// the store, or absent while the log showed damage).
+	Repaired []int
+	// Duration covers store open + replay + device restore + repairs.
+	Duration time.Duration
+}
+
+// recoverState restores durable state before the daemon accepts traffic.
+// It runs off New() so the HTTP listener can come up immediately and
+// answer /readyz with "recovering".
+func (s *Service) recoverState() {
+	defer close(s.ready)
+	start := time.Now()
+	s.recovery.Enabled = true
+
+	every := s.cfg.SnapshotEvery
+	if every <= 0 {
+		every = 1024
+	}
+	st, err := store.Open(store.Options{
+		Dir:           s.cfg.StateDir,
+		NoFsync:       s.cfg.NoFsync,
+		SnapshotEvery: every,
+	})
+	if err != nil {
+		s.recovery.Err = fmt.Errorf("service: opening durable store: %w", err)
+		s.recovery.Duration = time.Since(start)
+		return
+	}
+	s.store = st
+	info := st.Recovery()
+	state := st.State()
+	s.recovery.Store = info
+
+	// The admission sequence seeds per-session fault streams; resuming
+	// below the durable high-water mark would replay fault patterns (and
+	// reuse session IDs) from before the crash.
+	s.mu.Lock()
+	if state.Service.Seq > s.seq {
+		s.seq = state.Service.Seq
+	}
+	s.mu.Unlock()
+	if nd := state.Service.NextDev; nd > s.nextDev.Load() {
+		s.nextDev.Store(nd)
+	}
+
+	distrusted := make(map[int]bool, len(info.Distrusted))
+	for _, id := range info.Distrusted {
+		distrusted[id] = true
+	}
+
+	for _, dev := range s.devices {
+		dev.mu.Lock()
+		ds, ok := state.Devices[dev.id]
+		switch {
+		case ok && !distrusted[dev.id]:
+			rerr := dev.src.SkipTo(ds.RngDraws)
+			if rerr == nil {
+				rerr = dev.sys.RestoreState(toCoreExport(ds), otp.DefaultResyncLookAhead)
+			}
+			if rerr != nil {
+				// A record the merge layer accepted but the system refuses
+				// (impossible counters, bad key length) is corruption by
+				// another name; degrade to re-pair rather than abort.
+				s.repairDeviceLocked(dev, ds.RngDraws)
+			}
+		case ok:
+			// Distrusted: the store cannot prove the restored counter is
+			// current, so resuming could re-accept spent tokens.
+			s.repairDeviceLocked(dev, ds.RngDraws)
+		case info.Damaged():
+			// Absent from a damaged log: the device's records may be among
+			// the destroyed bytes. Rebuilding the original seed-derived
+			// pairing at counter zero would be a genuine replay window.
+			s.repairDeviceLocked(dev, dev.src.Draws())
+		}
+		dev.mu.Unlock()
+	}
+
+	if len(s.recovery.Repaired) > 0 {
+		// Fold the repairs into a snapshot so the corrupt WAL evidence
+		// (kept on disk until now) is retired in the same stroke that
+		// makes the fresh pairings durable.
+		if cerr := st.Compact(); cerr != nil && s.recovery.Err == nil {
+			s.recovery.Err = fmt.Errorf("service: compacting after repair: %w", cerr)
+		}
+	}
+
+	corruptions := uint64(info.Corruptions)
+	if info.WALMissing {
+		corruptions++
+	}
+	if corruptions > 0 {
+		s.m.corruptions.Add(corruptions)
+	}
+	s.recovery.Duration = time.Since(start)
+	s.m.recoverySeconds.Set(s.recovery.Duration.Seconds())
+}
+
+// repairDeviceLocked re-pairs one device (fresh key, counter zero) and
+// commits the new pairing. Caller holds dev.mu; failures are recorded on
+// the recovery report rather than returned — a device that cannot even
+// re-pair leaves the daemon unready (recovery.Err rejects Submit).
+func (s *Service) repairDeviceLocked(dev *devicePair, draws uint64) {
+	err := dev.src.SkipTo(draws)
+	if err == nil {
+		err = dev.sys.Repair()
+	}
+	if err == nil {
+		err = s.commitDeviceLocked(dev)
+	}
+	if err != nil {
+		if s.recovery.Err == nil {
+			s.recovery.Err = fmt.Errorf("service: re-pairing device %d: %w", dev.id, err)
+		}
+		return
+	}
+	s.recovery.Repaired = append(s.recovery.Repaired, dev.id)
+	s.m.repairs.Inc()
+}
+
+// toCoreExport converts a durable device record into the core layer's
+// restore input.
+func toCoreExport(ds store.DeviceState) core.DeviceExport {
+	return core.DeviceExport{
+		Key:           ds.Key,
+		GenCounter:    ds.GenCounter,
+		VerCounter:    ds.VerCounter,
+		VerFailures:   ds.VerFailures,
+		VerLockedOut:  ds.VerLockedOut,
+		GuardState:    keyguard.State(ds.GuardState),
+		GuardFailures: ds.GuardFailures,
+		NowUnixNano:   ds.NowUnixNano,
+	}
+}
+
+// exportDevice captures one device's durable record. Caller holds dev.mu.
+func (s *Service) exportDevice(dev *devicePair) store.DeviceState {
+	ex := dev.sys.ExportState()
+	return store.DeviceState{
+		ID:            dev.id,
+		Key:           ex.Key,
+		GenCounter:    ex.GenCounter,
+		VerCounter:    ex.VerCounter,
+		VerFailures:   ex.VerFailures,
+		VerLockedOut:  ex.VerLockedOut,
+		GuardState:    int(ex.GuardState),
+		GuardFailures: ex.GuardFailures,
+		NowUnixNano:   ex.NowUnixNano,
+		RngDraws:      dev.src.Draws(),
+	}
+}
+
+// commitDeviceLocked durably appends the device's current state without
+// the fleet record. Caller holds dev.mu.
+func (s *Service) commitDeviceLocked(dev *devicePair) error {
+	ds := s.exportDevice(dev)
+	if err := s.store.CommitDevice(ds); err != nil {
+		return err
+	}
+	s.m.walRecords.Inc()
+	return nil
+}
+
+// persistDevice commits a finished session's device state together with
+// the fleet admission state. Caller holds dev.mu. A nil store (no state
+// dir) is a no-op.
+func (s *Service) persistDevice(dev *devicePair) error {
+	if s.store == nil {
+		return nil
+	}
+	ds := s.exportDevice(dev)
+	sv := s.serviceState()
+	if err := s.store.Commit(&ds, &sv); err != nil {
+		return fmt.Errorf("service: persisting device %d: %w", dev.id, err)
+	}
+	s.m.walRecords.Inc()
+	return nil
+}
+
+// persistServiceSeq commits a fleet-only record after an admission that
+// consumed a sequence number without running a session (chaos and
+// queue-full rejections), so a restarted daemon does not replay the
+// rejected sequence's fault stream onto a different request. Best-effort:
+// a failed commit here loses no accepted work.
+func (s *Service) persistServiceSeq(seq uint64) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.CommitService(store.ServiceState{Seq: seq, NextDev: s.nextDev.Load()}); err != nil {
+		return
+	}
+	s.m.walRecords.Inc()
+}
+
+// serviceState snapshots the fleet-level durable record.
+func (s *Service) serviceState() store.ServiceState {
+	return store.ServiceState{Seq: s.currentSeq(), NextDev: s.nextDev.Load()}
+}
+
+// currentSeq reads the admission sequence under the service lock.
+func (s *Service) currentSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// Ready reports whether startup recovery has finished, and with what
+// result. Before the ready channel closes it returns (Recovery{}, false)
+// without touching the report (which recovery may still be writing).
+func (s *Service) Ready() (Recovery, bool) {
+	select {
+	case <-s.ready:
+		rec := s.recovery
+		rec.Repaired = append([]int(nil), s.recovery.Repaired...)
+		return rec, true
+	default:
+		return Recovery{}, false
+	}
+}
+
+// WaitReady blocks until startup recovery finishes (or ctx ends) and
+// returns its terminal error, if any.
+func (s *Service) WaitReady(ctx context.Context) error {
+	select {
+	case <-s.ready:
+		return s.recovery.Err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// StoreState returns a copy of the merged durable state, waiting for
+// recovery to finish first. ok is false when no store is configured or
+// recovery failed before opening one.
+func (s *Service) StoreState() (store.State, bool) {
+	<-s.ready
+	if s.store == nil {
+		return store.State{}, false
+	}
+	return s.store.State(), true
+}
+
+// Kill abandons the daemon without graceful drain — the restart-chaos
+// harness's in-process stand-in for SIGKILL. It stops admission, closes
+// the store out from under in-flight sessions (their commits fail, as a
+// real crash would lose them), then tears down the pool and GC. Unlike a
+// true kill -9 the worker goroutines do finish their current session
+// bodies; durability is exercised by the store being gone, not by
+// preempting Go code mid-statement.
+func (s *Service) Kill() {
+	<-s.ready
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	if s.store != nil {
+		s.store.Close()
+	}
+	s.pool.Close()
+	s.mu.Lock()
+	stopped := s.gcStop
+	s.gcStop = nil
+	s.mu.Unlock()
+	if stopped != nil {
+		close(stopped)
+		<-s.gcDone
+	}
+}

@@ -1,0 +1,326 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"wearlock/internal/store"
+)
+
+// durableConfig is testConfig plus a state directory. NoFsync keeps the
+// suite fast; kill -9 durability of the fsync path is covered by the
+// store package's subprocess test.
+func durableConfig(dir string) Config {
+	cfg := testConfig()
+	cfg.StateDir = dir
+	cfg.NoFsync = true
+	return cfg
+}
+
+// runSessionOn submits one session pinned to a device and waits for it.
+func runSessionOn(t *testing.T, s *Service, dev int) *Session {
+	t.Helper()
+	sess, err := s.Submit(Request{Device: dev})
+	if err != nil {
+		t.Fatalf("Submit device %d: %v", dev, err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := sess.Wait(ctx); err != nil {
+		t.Fatalf("session on device %d never finished: %v", dev, err)
+	}
+	return sess
+}
+
+// Graceful restart: a daemon that drained and snapshotted hands its
+// successor every counter, the same pairing keys, and a clean recovery
+// report; the successor keeps serving on the restored state.
+func TestDurableGracefulRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(dir)
+
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := s1.WaitReady(context.Background()); err != nil {
+		t.Fatalf("WaitReady: %v", err)
+	}
+	for round := 0; round < 2; round++ {
+		for dev := 0; dev < cfg.Devices; dev++ {
+			runSessionOn(t, s1, dev)
+		}
+	}
+	before, ok := s1.StoreState()
+	if !ok {
+		t.Fatal("no store state on a durable daemon")
+	}
+	if len(before.Devices) != cfg.Devices {
+		t.Fatalf("persisted %d devices, want %d", len(before.Devices), cfg.Devices)
+	}
+	if err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("restart New: %v", err)
+	}
+	defer func() { _ = s2.Shutdown(context.Background()) }()
+	if err := s2.WaitReady(context.Background()); err != nil {
+		t.Fatalf("restart WaitReady: %v", err)
+	}
+	rec, ready := s2.Ready()
+	if !ready || !rec.Enabled {
+		t.Fatalf("recovery report missing: ready=%v enabled=%v", ready, rec.Enabled)
+	}
+	if !rec.Store.SnapshotLoaded {
+		t.Error("graceful shutdown should have left a snapshot")
+	}
+	if rec.Store.Corruptions != 0 || len(rec.Repaired) != 0 {
+		t.Fatalf("clean restart reported damage: %+v", rec)
+	}
+	after, _ := s2.StoreState()
+	for id, b := range before.Devices {
+		a, ok := after.Devices[id]
+		if !ok {
+			t.Fatalf("device %d lost across restart", id)
+		}
+		if !bytes.Equal(a.Key, b.Key) {
+			t.Errorf("device %d pairing key changed across clean restart", id)
+		}
+		if a.GenCounter < b.GenCounter || a.VerCounter < b.VerCounter {
+			t.Errorf("device %d counters regressed: gen %d->%d ver %d->%d",
+				id, b.GenCounter, a.GenCounter, b.VerCounter, a.VerCounter)
+		}
+	}
+	// The restored fleet keeps serving, and its new sessions commit.
+	for dev := 0; dev < cfg.Devices; dev++ {
+		sess := runSessionOn(t, s2, dev)
+		if sess.Err() != nil {
+			t.Fatalf("post-restart session on device %d failed: %v", dev, sess.Err())
+		}
+	}
+	if got := s2.store.AppendedRecords(); got == 0 {
+		t.Error("post-restart sessions appended no WAL records")
+	}
+	final, _ := s2.StoreState()
+	for dev := 0; dev < cfg.Devices; dev++ {
+		if final.Devices[dev].GenCounter <= after.Devices[dev].GenCounter {
+			t.Errorf("device %d counter did not advance after restart sessions", dev)
+		}
+	}
+}
+
+// Bit rot between kill and restart: the successor detects the corruption,
+// re-pairs exactly the devices whose durable history can no longer be
+// trusted (fresh key, counter zero — old tokens cannot replay), keeps
+// every other device's counters monotone, and serves the whole fleet.
+func TestRestartAfterCorruptionRepairsDistrusted(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(dir)
+
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := s1.WaitReady(context.Background()); err != nil {
+		t.Fatalf("WaitReady: %v", err)
+	}
+	for round := 0; round < 3; round++ {
+		for dev := 0; dev < cfg.Devices; dev++ {
+			runSessionOn(t, s1, dev)
+		}
+	}
+	before, _ := s1.StoreState()
+	s1.Kill() // no compaction: the WAL is the only durable copy
+
+	applied, err := store.MangleFlipBit(dir, 7)
+	if err != nil || !applied {
+		t.Fatalf("MangleFlipBit: applied=%v err=%v", applied, err)
+	}
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("restart New: %v", err)
+	}
+	defer func() { _ = s2.Shutdown(context.Background()) }()
+	if err := s2.WaitReady(context.Background()); err != nil {
+		t.Fatalf("restart WaitReady: %v", err)
+	}
+	rec, _ := s2.Ready()
+	if rec.Store.Corruptions == 0 {
+		t.Fatalf("flipped bit not detected: %+v", rec.Store)
+	}
+	if len(rec.Repaired) == 0 {
+		t.Fatalf("corruption detected but nothing repaired: %+v", rec)
+	}
+	repaired := make(map[int]bool, len(rec.Repaired))
+	for _, id := range rec.Repaired {
+		repaired[id] = true
+	}
+	after, _ := s2.StoreState()
+	for dev := 0; dev < cfg.Devices; dev++ {
+		a, ok := after.Devices[dev]
+		if !ok {
+			t.Fatalf("device %d missing after recovery", dev)
+		}
+		b := before.Devices[dev]
+		if repaired[dev] {
+			if bytes.Equal(a.Key, b.Key) {
+				t.Errorf("repaired device %d kept its old pairing key", dev)
+			}
+			if a.GenCounter != 0 && a.GenCounter >= b.GenCounter {
+				t.Errorf("repaired device %d counter %d looks resumed, want fresh", dev, a.GenCounter)
+			}
+		} else {
+			if !bytes.Equal(a.Key, b.Key) {
+				t.Errorf("trusted device %d re-keyed without cause", dev)
+			}
+			if a.GenCounter < b.GenCounter {
+				t.Errorf("trusted device %d counter regressed %d -> %d", dev, b.GenCounter, a.GenCounter)
+			}
+		}
+	}
+	// Repair retired the corrupt WAL via compaction: a further restart
+	// must come up clean.
+	for dev := 0; dev < cfg.Devices; dev++ {
+		sess := runSessionOn(t, s2, dev)
+		if sess.Err() != nil {
+			t.Fatalf("post-repair session on device %d failed: %v", dev, sess.Err())
+		}
+	}
+	if err := s2.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	s3, err := New(cfg)
+	if err != nil {
+		t.Fatalf("third New: %v", err)
+	}
+	defer func() { _ = s3.Shutdown(context.Background()) }()
+	if err := s3.WaitReady(context.Background()); err != nil {
+		t.Fatalf("third WaitReady: %v", err)
+	}
+	rec3, _ := s3.Ready()
+	if rec3.Store.Corruptions != 0 || len(rec3.Repaired) != 0 {
+		t.Fatalf("damage evidence survived repair + compaction: %+v", rec3)
+	}
+}
+
+// The admission gate: submissions before recovery completes reject with
+// ErrRecovering and nothing else leaks through.
+func TestSubmitRejectsWhileRecovering(t *testing.T) {
+	s, err := New(testConfig()) // no state dir: ready is already closed
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	// Reopen the gate to pin the "recovery still running" window.
+	s.ready = make(chan struct{})
+	if _, err := s.Submit(Request{Device: -1}); !errors.Is(err, ErrRecovering) {
+		t.Fatalf("Submit during recovery: %v, want ErrRecovering", err)
+	}
+	if got := s.m.rejected.With("recovering").Value(); got != 1 {
+		t.Errorf("recovering rejections %d, want 1", got)
+	}
+	close(s.ready)
+	sess := runSessionOn(t, s, -1)
+	if sess.Err() != nil {
+		t.Fatalf("post-recovery session failed: %v", sess.Err())
+	}
+}
+
+// A daemon whose store cannot open stays unready forever: /readyz reports
+// failed, Submit rejects permanently — it must not accept unlock traffic
+// it cannot make durable.
+func TestRecoveryFailureFailsClosed(t *testing.T) {
+	parent := t.TempDir()
+	blocker := filepath.Join(parent, "notadir")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := durableConfig(filepath.Join(blocker, "state"))
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	if err := s.WaitReady(context.Background()); err == nil {
+		t.Fatal("WaitReady reported success with an unopenable store")
+	}
+	if _, err := s.Submit(Request{Device: -1}); !errors.Is(err, ErrRecovering) {
+		t.Fatalf("Submit after failed recovery: %v, want ErrRecovering", err)
+	}
+
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("/readyz status %d, want 503", resp.StatusCode)
+	}
+	var st ReadyStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != "failed" || st.Error == "" {
+		t.Fatalf("/readyz body %+v, want failed with error detail", st)
+	}
+}
+
+// /readyz happy path surfaces the recovery report.
+func TestReadyzReportsRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(dir)
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := s1.WaitReady(context.Background()); err != nil {
+		t.Fatalf("WaitReady: %v", err)
+	}
+	runSessionOn(t, s1, 0)
+	s1.Kill() // leave WAL records for the successor to replay
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("restart New: %v", err)
+	}
+	defer func() { _ = s2.Shutdown(context.Background()) }()
+	if err := s2.WaitReady(context.Background()); err != nil {
+		t.Fatalf("restart WaitReady: %v", err)
+	}
+	srv := httptest.NewServer(s2.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/readyz status %d, want 200", resp.StatusCode)
+	}
+	var st ReadyStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != "ok" {
+		t.Fatalf("/readyz status %q, want ok", st.Status)
+	}
+	if st.RecoveredRecords == 0 {
+		t.Error("/readyz reported zero recovered records after a killed session")
+	}
+	if st.Corruptions != 0 {
+		t.Errorf("/readyz reported %d corruptions on a clean kill", st.Corruptions)
+	}
+}

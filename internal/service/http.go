@@ -33,14 +33,51 @@ type errorBody struct {
 //	POST /v1/unlock           run an unlock session (429 on backpressure)
 //	GET  /v1/sessions/{id}    session status/result
 //	GET  /healthz             liveness, capacity, scenario catalog
+//	GET  /readyz              readiness: 503 "recovering" during startup replay
 //	GET  /metrics             Prometheus text exposition
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/unlock", s.handleUnlock)
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSession)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// ReadyStatus is the /readyz body.
+type ReadyStatus struct {
+	// Status is "ok", "recovering" (startup replay still running), or
+	// "failed" (recovery hit a terminal error; the daemon rejects traffic).
+	Status string `json:"status"`
+	// Recovery details, present once recovery finished with a state dir.
+	Error            string  `json:"error,omitempty"`
+	RecoverySeconds  float64 `json:"recovery_seconds,omitempty"`
+	RecoveredRecords int     `json:"recovered_records,omitempty"`
+	Corruptions      int     `json:"corruptions,omitempty"`
+	RepairedDevices  []int   `json:"repaired_devices,omitempty"`
+}
+
+func (s *Service) handleReady(w http.ResponseWriter, _ *http.Request) {
+	rec, ready := s.Ready()
+	switch {
+	case !ready:
+		writeJSON(w, http.StatusServiceUnavailable, ReadyStatus{Status: "recovering"})
+	case rec.Err != nil:
+		writeJSON(w, http.StatusServiceUnavailable, ReadyStatus{
+			Status: "failed",
+			Error:  rec.Err.Error(),
+		})
+	default:
+		st := ReadyStatus{Status: "ok"}
+		if rec.Enabled {
+			st.RecoverySeconds = rec.Duration.Seconds()
+			st.RecoveredRecords = rec.Store.RecoveredRecords
+			st.Corruptions = rec.Store.Corruptions
+			st.RepairedDevices = rec.Repaired
+		}
+		writeJSON(w, http.StatusOK, st)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -74,7 +111,7 @@ func (s *Service) handleUnlock(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
 		return
-	case errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrRecovering):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 		return
 	default: // unknown scenario/device

@@ -27,6 +27,7 @@ import (
 	"wearlock/internal/core"
 	"wearlock/internal/fault"
 	"wearlock/internal/sim"
+	"wearlock/internal/store"
 	"wearlock/internal/telemetry"
 )
 
@@ -43,6 +44,10 @@ var (
 	// ErrUnknownDevice rejects requests pinning an out-of-range device
 	// index. HTTP: 400.
 	ErrUnknownDevice = errors.New("service: unknown device")
+	// ErrRecovering rejects submissions while startup replay of the
+	// durable store is still running. HTTP: 503 (the /readyz endpoint
+	// reports "recovering" for the same window).
+	ErrRecovering = errors.New("service: recovering durable state")
 )
 
 // Config parameterizes the daemon.
@@ -77,6 +82,16 @@ type Config struct {
 	// left it off). pool-exhaust faults reject at admission with
 	// ErrQueueFull, like genuine overload.
 	Chaos *fault.Schedule
+	// StateDir, when non-empty, arms the durable store: device state is
+	// committed after every session, recovered (snapshot + WAL replay)
+	// before the daemon accepts traffic, and compacted on graceful drain.
+	StateDir string
+	// SnapshotEvery compacts the WAL after this many records; <= 0 means
+	// 1024. Only meaningful with StateDir.
+	SnapshotEvery int
+	// NoFsync skips per-commit fsyncs in the store — tests and
+	// benchmarks only (commits then survive kill -9 but not power loss).
+	NoFsync bool
 }
 
 // DefaultConfig returns a daemon sized for the acceptance load: 64
@@ -232,10 +247,14 @@ func (sess *Session) Err() error {
 
 // devicePair is one simulated phone↔watch pairing. mu serializes unlock
 // sessions: a System's OTP counters, keyguard, and clock are stateful.
+// src is the device's counted random source: its draw position is part
+// of the durable state, so a restarted daemon can fast-forward a fresh
+// stream to exactly where the crashed process left off.
 type devicePair struct {
 	id  int
 	mu  sync.Mutex
 	sys *core.System
+	src *sim.CountingSource
 }
 
 // metrics bundles the registry handles the hot path updates.
@@ -255,6 +274,11 @@ type metrics struct {
 	decodeSeconds *telemetry.Histogram
 	ber           *telemetry.Histogram
 	ebn0          *telemetry.Histogram
+
+	recoverySeconds *telemetry.FloatGauge
+	walRecords      *telemetry.Counter
+	corruptions     *telemetry.Counter
+	repairs         *telemetry.Counter
 }
 
 func newMetrics(reg *telemetry.Registry) *metrics {
@@ -294,6 +318,14 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 		ebn0: reg.Histogram("wearlockd_ebn0_db",
 			"Probe-estimated Eb/N0 over sessions that measured one.",
 			telemetry.LinearBuckets(-5, 5, 12)),
+		recoverySeconds: reg.FloatGauge("wearlockd_recovery_seconds",
+			"Startup durable-state recovery time (snapshot load + WAL replay + device restore); 0 when no state dir is configured."),
+		walRecords: reg.Counter("wearlockd_wal_records_total",
+			"Durable WAL records committed by this process."),
+		corruptions: reg.Counter("wearlockd_store_corruptions_total",
+			"Store corruption events detected at recovery (bit rot, lost framing, snapshot damage, missing WAL)."),
+		repairs: reg.Counter("wearlockd_store_repairs_total",
+			"Devices re-paired with a fresh key because recovery could not trust their durable counters."),
 	}
 }
 
@@ -320,6 +352,12 @@ type Service struct {
 	inflight sync.WaitGroup
 	gcStop   chan struct{}
 	gcDone   chan struct{}
+
+	// Durability (nil/zero when Config.StateDir is empty). ready closes
+	// once startup recovery finishes; Submit rejects until then.
+	store    *store.Store
+	ready    chan struct{}
+	recovery Recovery
 }
 
 // New builds the device fleet, starts the worker pool and the session
@@ -384,13 +422,24 @@ func New(cfg Config) (*Service, error) {
 		// Every device gets a private stream derived from (Seed, device):
 		// the same contract batch jobs use, so a device's session
 		// sequence is reproducible regardless of traffic interleaving on
-		// other devices.
-		rng := rand.New(rand.NewSource(sim.SeedFor(cfg.Seed, int64(i))))
-		sys, err := core.NewSystem(cfg.Core, rng)
+		// other devices. The counting wrapper is value-transparent; its
+		// draw position becomes part of the device's durable state.
+		src := sim.NewCountingSource(sim.SeedFor(cfg.Seed, int64(i)))
+		sys, err := core.NewSystem(cfg.Core, rand.New(src))
 		if err != nil {
 			return nil, fmt.Errorf("service: device %d: %w", i, err)
 		}
-		s.devices[i] = &devicePair{id: i, sys: sys}
+		s.devices[i] = &devicePair{id: i, sys: sys, src: src}
+	}
+
+	s.ready = make(chan struct{})
+	if cfg.StateDir != "" {
+		// Recovery runs off the constructor so the HTTP layer can come up
+		// immediately and report "recovering" on /readyz; Submit rejects
+		// with ErrRecovering until the replay completes.
+		go s.recoverState()
+	} else {
+		close(s.ready)
 	}
 
 	go s.gcLoop()
@@ -410,15 +459,25 @@ func (s *Service) Scenarios() []string { return ScenarioNames(s.scenarios) }
 func (s *Service) runOnDevice(ctx context.Context, dev *devicePair, sc core.Scenario) (*core.Result, error) {
 	dev.mu.Lock()
 	defer dev.mu.Unlock()
+	var res *core.Result
+	var err error
 	if s.cfg.Core.Resilience.Enabled {
 		// The resilient path already maps lockouts and exhausted ladders
 		// onto the PIN fallback (and resynchronizes the OTP pair).
-		return dev.sys.UnlockResilientCtx(ctx, sc)
+		res, err = dev.sys.UnlockResilientCtx(ctx, sc)
+	} else {
+		res, err = dev.sys.UnlockCtx(ctx, sc)
+		if err == nil && res.Outcome == core.OutcomeLockedOut {
+			dev.sys.ManualUnlock()
+			s.m.manualUnlocks.Inc()
+		}
 	}
-	res, err := dev.sys.UnlockCtx(ctx, sc)
-	if err == nil && res.Outcome == core.OutcomeLockedOut {
-		dev.sys.ManualUnlock()
-		s.m.manualUnlocks.Inc()
+	// Accepted ⇒ durable: the session is only reported done after its
+	// counter advances hit the platter. Sessions that errored still
+	// commit — whatever counters moved before the error must not be
+	// replayable after a crash either.
+	if cerr := s.persistDevice(dev); cerr != nil && err == nil {
+		err = cerr
 	}
 	return res, err
 }
@@ -439,6 +498,17 @@ func (s *Service) Submit(req Request) (*Session, error) {
 	if req.Device >= len(s.devices) {
 		return nil, fmt.Errorf("%w %d (fleet size %d)", ErrUnknownDevice, req.Device, len(s.devices))
 	}
+	select {
+	case <-s.ready:
+		if err := s.recovery.Err; err != nil {
+			// Recovery failed permanently; durability cannot be promised.
+			s.m.rejected.With("recovering").Inc()
+			return nil, fmt.Errorf("%w: %v", ErrRecovering, err)
+		}
+	default:
+		s.m.rejected.With("recovering").Inc()
+		return nil, ErrRecovering
+	}
 	dev := s.pickDevice(req.Device)
 	timeout := req.Timeout
 	if timeout <= 0 {
@@ -458,8 +528,13 @@ func (s *Service) Submit(req Request) (*Session, error) {
 		// the schedule and the traffic order.
 		sf := fault.ForSession(s.cfg.Chaos, s.cfg.Seed, int64(s.seq))
 		if sf.PoolExhausted() {
+			seq := s.seq
 			s.mu.Unlock()
 			s.m.rejected.With("chaos_pool_exhausted").Inc()
+			// The rejection consumed an admission sequence (= a fault
+			// stream); persist it so a restarted daemon doesn't replay
+			// this session's faults onto a different request.
+			s.persistServiceSeq(seq)
 			return nil, ErrQueueFull
 		}
 		sc.Faults = sf
@@ -481,6 +556,9 @@ func (s *Service) Submit(req Request) (*Session, error) {
 	if err := s.pool.TrySubmit(func() { s.run(sess, dev, sc, timeout) }); err != nil {
 		s.inflight.Done()
 		s.m.rejected.With("queue_full").Inc()
+		if s.cfg.Chaos != nil {
+			s.persistServiceSeq(s.currentSeq())
+		}
 		return nil, ErrQueueFull
 	}
 
@@ -588,10 +666,25 @@ func (s *Service) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("service: drain: %w", ctx.Err())
 	}
+	// s.store is written by the recovery goroutine; the ready channel is
+	// the happens-before edge that makes reading it here safe.
+	select {
+	case <-s.ready:
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain: %w", ctx.Err())
+	}
+	// Every session committed its own records; folding them into a
+	// snapshot now means the next startup replays one snapshot instead of
+	// the whole WAL.
+	if s.store != nil {
+		if err := s.store.Compact(); err != nil {
+			return fmt.Errorf("service: drain snapshot: %w", err)
+		}
+	}
+	return nil
 }
 
 // Shutdown drains, then stops the worker pool and the garbage collector.
@@ -606,6 +699,11 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	if stopped != nil {
 		close(stopped)
 		<-s.gcDone
+	}
+	if s.store != nil {
+		if cerr := s.store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
 	return err
 }

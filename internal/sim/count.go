@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// CountingSource wraps the standard math/rand source with a draw counter,
+// making a random stream's position part of a device's durable state: the
+// service layer persists Draws() alongside the OTP counters, and a
+// restarted daemon calls SkipTo to fast-forward a freshly seeded source to
+// the persisted position, so the post-restart stream continues exactly
+// where the crashed process left off.
+//
+// The count is exact because every consuming method of *rand.Rand funnels
+// into exactly one Int63 or Uint64 call per underlying state step (the
+// runtime source implements Int63 as a masked Uint64), so replaying n
+// Uint64 draws reproduces any mix of Float64/Intn/NormFloat64 consumption.
+//
+// CountingSource is not safe for concurrent use, matching *rand.Rand; the
+// service serializes all access per device.
+type CountingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+// NewCountingSource returns a counting source over rand.NewSource(seed),
+// positioned at draw zero.
+func NewCountingSource(seed int64) *CountingSource {
+	return &CountingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Int63 implements rand.Source.
+func (c *CountingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (c *CountingSource) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+// Seed implements rand.Source, resetting the draw count with the state.
+func (c *CountingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.n = 0
+}
+
+// Draws reports how many values have been drawn since seeding.
+func (c *CountingSource) Draws() uint64 { return c.n }
+
+// SkipTo advances the source until Draws() == n by discarding values. It
+// refuses to move backward: a persisted position behind the live one means
+// the durable state belongs to a different stream.
+func (c *CountingSource) SkipTo(n uint64) error {
+	if n < c.n {
+		return fmt.Errorf("sim: cannot rewind counting source from draw %d to %d", c.n, n)
+	}
+	for c.n < n {
+		c.src.Uint64()
+		c.n++
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// A counting source must be value-transparent: wrapping must not change
+// the stream rand.Rand produces.
+func TestCountingSourceTransparent(t *testing.T) {
+	plain := rand.New(rand.NewSource(99))
+	counted := rand.New(NewCountingSource(99))
+	for i := 0; i < 1000; i++ {
+		if a, b := plain.Uint64(), counted.Uint64(); a != b {
+			t.Fatalf("draw %d: plain %d, counted %d", i, a, b)
+		}
+	}
+}
+
+// SkipTo(n) on a fresh source must land on the same stream position as n
+// live draws through every consumption pattern rand.Rand offers —
+// including NormFloat64, whose rejection sampling consumes a variable
+// number of underlying values.
+func TestCountingSourceSkipToResumesStream(t *testing.T) {
+	consume := func(rng *rand.Rand, ops int) {
+		for i := 0; i < ops; i++ {
+			switch i % 5 {
+			case 0:
+				rng.Float64()
+			case 1:
+				rng.Intn(256)
+			case 2:
+				rng.NormFloat64()
+			case 3:
+				rng.Int63()
+			default:
+				rng.Uint64()
+			}
+		}
+	}
+
+	live := NewCountingSource(42)
+	liveRng := rand.New(live)
+	consume(liveRng, 137)
+
+	restored := NewCountingSource(42)
+	if err := restored.SkipTo(live.Draws()); err != nil {
+		t.Fatal(err)
+	}
+	restoredRng := rand.New(restored)
+	for i := 0; i < 200; i++ {
+		if a, b := liveRng.Uint64(), restoredRng.Uint64(); a != b {
+			t.Fatalf("post-skip draw %d diverged: %d vs %d", i, a, b)
+		}
+	}
+	if live.Draws() != restored.Draws() {
+		t.Fatalf("draw counts diverged: %d vs %d", live.Draws(), restored.Draws())
+	}
+}
+
+// SkipTo must refuse to rewind.
+func TestCountingSourceSkipToRejectsRewind(t *testing.T) {
+	c := NewCountingSource(7)
+	rand.New(c).Float64()
+	if err := c.SkipTo(0); err == nil {
+		t.Fatal("SkipTo rewound a source")
+	}
+}

@@ -1,0 +1,91 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Inspect must be read-only: probing a rolled-back directory (snapshot
+// present, WAL missing) must not create the WAL file, or the next real
+// Open would see the normal post-compaction shape and trust the stale
+// snapshot. This is exactly the mistake that lets a probe launder the
+// stale-snapshot fault into silent counter regression.
+func TestInspectPreservesRollbackEvidence(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, 0)
+	commitDev(t, s, 0, 5, 5)
+	commitDev(t, s, 1, 7, 7)
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	commitDev(t, s, 0, 9, 9)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if applied, err := MangleSnapshotOnly(dir); err != nil || !applied {
+		t.Fatalf("MangleSnapshotOnly: applied=%v err=%v", applied, err)
+	}
+
+	// Two inspections in a row both see the rollback.
+	for i := 0; i < 2; i++ {
+		st, info, err := Inspect(dir)
+		if err != nil {
+			t.Fatalf("Inspect %d: %v", i, err)
+		}
+		if !info.WALMissing {
+			t.Fatalf("Inspect %d: rollback not detected: %+v", i, info)
+		}
+		if len(info.Distrusted) != 2 {
+			t.Fatalf("Inspect %d: distrusted %v, want both devices", i, info.Distrusted)
+		}
+		if d := st.Devices[0]; d.GenCounter != 5 {
+			t.Fatalf("Inspect %d: snapshot state gen %d, want stale 5", i, d.GenCounter)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, WALFileName)); !os.IsNotExist(err) {
+		t.Fatalf("Inspect created the WAL file (stat err %v) — evidence consumed", err)
+	}
+
+	// The real Open still catches it.
+	s2 := openTest(t, dir, 0)
+	defer s2.Close()
+	info := s2.Recovery()
+	if !info.WALMissing || len(info.Distrusted) != 2 {
+		t.Fatalf("Open after Inspect lost the rollback evidence: %+v", info)
+	}
+}
+
+// Inspect must not truncate a torn tail either: the byte layout on disk
+// is exactly what the next Open receives.
+func TestInspectLeavesTornTailIntact(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, 0)
+	commitDev(t, s, 0, 1, 1)
+	commitDev(t, s, 0, 2, 2)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if applied, err := MangleTornTail(dir, 3); err != nil || !applied {
+		t.Fatalf("MangleTornTail: applied=%v err=%v", applied, err)
+	}
+	walPath := filepath.Join(dir, WALFileName)
+	before, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, info, err := Inspect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.TornTail {
+		t.Fatalf("torn tail not reported: %+v", info)
+	}
+	after, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("Inspect changed the WAL: %d -> %d bytes", len(before), len(after))
+	}
+}

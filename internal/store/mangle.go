@@ -1,0 +1,123 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Mangle helpers emulate disk-level damage on a CLOSED store directory —
+// the on-disk shadow of the fault schedule's store kinds. kill -9 alone
+// cannot lose OS-buffered writes, so the restart-chaos harness applies
+// these between kill and restart to model the crash modes fsync exists
+// for. All helpers are deterministic in (directory contents, seed).
+
+// mangleRand is a tiny splitmix64 so mangle choices are deterministic
+// without importing math/rand here.
+func mangleRand(seed int64) func(n int) int {
+	x := uint64(seed) ^ 0x6d616e676c65 // "mangle"
+	return func(n int) int {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		if n <= 0 {
+			return 0
+		}
+		return int(z % uint64(n))
+	}
+}
+
+// readWALRecords loads the WAL and returns its image plus the valid
+// record extents. A missing WAL returns ok=false (nothing to mangle).
+func readWALRecords(dir string) ([]byte, []recordAt, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, WALFileName))
+	if os.IsNotExist(err) {
+		return nil, nil, false, nil
+	}
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("store: reading WAL for mangle: %w", err)
+	}
+	res := replayWAL(data)
+	return data, res.records, true, nil
+}
+
+// MangleDropLastRecord truncates the WAL just before its final valid
+// record — the crash-before-fsync fault: the last commit's bytes never
+// reached the platter. Returns true when a record was dropped.
+func MangleDropLastRecord(dir string) (bool, error) {
+	_, records, ok, err := readWALRecords(dir)
+	if err != nil || !ok || len(records) == 0 {
+		return false, err
+	}
+	last := records[len(records)-1]
+	if err := os.Truncate(filepath.Join(dir, WALFileName), last.off); err != nil {
+		return false, fmt.Errorf("store: dropping last record: %w", err)
+	}
+	return true, nil
+}
+
+// MangleTornTail cuts the WAL mid-way through its final record — the
+// torn-write fault: power died with the append half flushed. The cut
+// point inside the record is seed-chosen. Returns true when a tear was
+// applied.
+func MangleTornTail(dir string, seed int64) (bool, error) {
+	_, records, ok, err := readWALRecords(dir)
+	if err != nil || !ok || len(records) == 0 {
+		return false, err
+	}
+	last := records[len(records)-1]
+	span := int(last.end - last.off)
+	// Cut somewhere strictly inside the frame: at least 1 byte written,
+	// at least 1 byte missing.
+	cut := last.off + 1 + int64(mangleRand(seed)(span-1))
+	if err := os.Truncate(filepath.Join(dir, WALFileName), cut); err != nil {
+		return false, fmt.Errorf("store: tearing tail: %w", err)
+	}
+	return true, nil
+}
+
+// MangleFlipBit flips one seed-chosen bit inside the payload of one
+// seed-chosen complete record — the bit-rot fault. Payload bytes (never
+// the header) are targeted so the damage always classifies as a CRC
+// failure on a complete record, which is the distrust path. Returns true
+// when a bit was flipped.
+func MangleFlipBit(dir string, seed int64) (bool, error) {
+	data, records, ok, err := readWALRecords(dir)
+	if err != nil || !ok || len(records) == 0 {
+		return false, err
+	}
+	r := mangleRand(seed)
+	rec := records[r(len(records))]
+	payloadLen := int(rec.end-rec.off) - frameHeaderLen
+	if payloadLen <= 0 {
+		return false, nil
+	}
+	pos := rec.off + frameHeaderLen + int64(r(payloadLen))
+	data[pos] ^= 1 << uint(r(8))
+	if err := os.WriteFile(filepath.Join(dir, WALFileName), data, 0o644); err != nil {
+		return false, fmt.Errorf("store: flipping bit: %w", err)
+	}
+	return true, nil
+}
+
+// MangleSnapshotOnly deletes the WAL, leaving only the snapshot — the
+// stale-snapshot fault (state rolled back to the last compaction, newer
+// evidence gone). Recovery must distrust every device. Returns true when
+// a WAL was removed alongside an existing snapshot.
+func MangleSnapshotOnly(dir string) (bool, error) {
+	if _, err := os.Stat(filepath.Join(dir, SnapshotFileName)); err != nil {
+		// No snapshot: deleting the WAL would model total loss, not
+		// rollback; skip so the fault stays the one scheduled.
+		return false, nil
+	}
+	err := os.Remove(filepath.Join(dir, WALFileName))
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("store: removing WAL: %w", err)
+	}
+	return true, nil
+}

@@ -1,0 +1,156 @@
+// Package store is wearlockd's crash-safe durable state layer: a
+// single-writer append-only write-ahead log with per-record CRC32C
+// framing and fsync-on-commit, periodically compacted into an atomically
+// swapped snapshot. Recovery replays WAL-over-snapshot, truncates benign
+// torn tails, and classifies bit-rot — any device whose last durable
+// record may have been lost to corruption is reported as distrusted so
+// the service can re-pair it (fresh key) instead of resuming from a
+// possibly regressed HOTP counter.
+package store
+
+import "bytes"
+
+// DeviceState is the durable record for one paired phone+watch: the
+// pairing key, both HOTP counters, failure budgets, the keyguard state
+// machine, the simulated clock, and the device RNG stream position
+// (sim.CountingSource draws), which together let a restarted daemon
+// rebuild the device bit-identically.
+type DeviceState struct {
+	ID            int    `json:"id"`
+	Key           []byte `json:"key"`
+	GenCounter    uint64 `json:"gen_counter"`
+	VerCounter    uint64 `json:"ver_counter"`
+	VerFailures   int    `json:"ver_failures"`
+	VerLockedOut  bool   `json:"ver_locked_out"`
+	GuardState    int    `json:"guard_state"`
+	GuardFailures int    `json:"guard_failures"`
+	NowUnixNano   int64  `json:"now_unix_nano"`
+	RngDraws      uint64 `json:"rng_draws"`
+}
+
+func (d *DeviceState) clone() *DeviceState {
+	c := *d
+	c.Key = append([]byte(nil), d.Key...)
+	return &c
+}
+
+// ServiceState is the durable fleet-level record: the admission sequence
+// (which seeds per-session fault streams) and the round-robin device
+// pointer.
+type ServiceState struct {
+	Seq     uint64 `json:"seq"`
+	NextDev uint64 `json:"next_dev"`
+}
+
+// Record is one WAL entry. Seq is the store's own monotone record
+// sequence (assigned at commit); Device and Service carry the actual
+// state and may both be present in a combined commit. Note marks
+// padding/diagnostic records that carry no state.
+type Record struct {
+	Seq     uint64        `json:"seq"`
+	Device  *DeviceState  `json:"device,omitempty"`
+	Service *ServiceState `json:"service,omitempty"`
+	Note    string        `json:"note,omitempty"`
+}
+
+// State is a point-in-time copy of the merged durable state.
+type State struct {
+	Devices map[int]DeviceState
+	Service ServiceState
+	LastSeq uint64
+}
+
+// mergedState is the store's live reduction of snapshot + WAL. Replay of
+// a damaged log can surface duplicated or stale records, so application
+// is made idempotent and monotone: counters and draw positions only move
+// forward (max-merge), while discrete fields follow the newest record
+// sequence; a record carrying a different pairing key replaces the
+// device wholesale, but only when its sequence is newer than everything
+// already applied for that device.
+type mergedState struct {
+	devices    map[int]*DeviceState
+	devSeq     map[int]uint64
+	service    ServiceState
+	serviceSeq uint64
+	lastSeq    uint64
+}
+
+func newMergedState() *mergedState {
+	return &mergedState{
+		devices: make(map[int]*DeviceState),
+		devSeq:  make(map[int]uint64),
+	}
+}
+
+func (m *mergedState) apply(rec *Record) {
+	if rec.Seq > m.lastSeq {
+		m.lastSeq = rec.Seq
+	}
+	if rec.Service != nil {
+		if rec.Service.Seq > m.service.Seq {
+			m.service.Seq = rec.Service.Seq
+		}
+		// NextDev wraps around the fleet, so monotone max does not apply;
+		// newest record wins.
+		if rec.Seq >= m.serviceSeq {
+			m.service.NextDev = rec.Service.NextDev
+			m.serviceSeq = rec.Seq
+		}
+	}
+	if rec.Device != nil {
+		m.applyDevice(rec.Seq, rec.Device)
+	}
+}
+
+func (m *mergedState) applyDevice(seq uint64, d *DeviceState) {
+	cur, ok := m.devices[d.ID]
+	if !ok {
+		m.devices[d.ID] = d.clone()
+		m.devSeq[d.ID] = seq
+		return
+	}
+	if !bytes.Equal(cur.Key, d.Key) {
+		// Re-pairing: the new key starts a fresh counter space. Only a
+		// strictly newer record may switch keys — a duplicated stale
+		// record must not resurrect a retired pairing.
+		if seq > m.devSeq[d.ID] {
+			m.devices[d.ID] = d.clone()
+			m.devSeq[d.ID] = seq
+		}
+		return
+	}
+	if d.GenCounter > cur.GenCounter {
+		cur.GenCounter = d.GenCounter
+	}
+	if d.VerCounter > cur.VerCounter {
+		cur.VerCounter = d.VerCounter
+	}
+	if d.RngDraws > cur.RngDraws {
+		cur.RngDraws = d.RngDraws
+	}
+	if d.NowUnixNano > cur.NowUnixNano {
+		cur.NowUnixNano = d.NowUnixNano
+	}
+	if seq >= m.devSeq[d.ID] {
+		cur.VerFailures = d.VerFailures
+		cur.VerLockedOut = d.VerLockedOut
+		cur.GuardState = d.GuardState
+		cur.GuardFailures = d.GuardFailures
+		m.devSeq[d.ID] = seq
+	}
+}
+
+// snapshot deep-copies the merged state for callers.
+func (m *mergedState) snapshot() State {
+	st := State{
+		Devices: make(map[int]DeviceState, len(m.devices)),
+		Service: m.service,
+		LastSeq: m.lastSeq,
+	}
+	for id, d := range m.devices {
+		c := *d
+		c.Key = append([]byte(nil), d.Key...)
+		st.Devices[id] = c
+	}
+	return st
+}

@@ -1,0 +1,456 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// On-disk layout inside the state directory.
+const (
+	WALFileName      = "wal.log"
+	SnapshotFileName = "snapshot.db"
+	snapshotTmpName  = "snapshot.tmp"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Dir is the state directory (created if missing).
+	Dir string
+	// NoFsync skips the fsync after each commit and compaction. Only for
+	// tests and benchmarks: without fsync, "committed" stops meaning
+	// "survives power loss" (it still survives kill -9, which only loses
+	// process memory, not OS page cache).
+	NoFsync bool
+	// SnapshotEvery compacts the WAL into a snapshot after this many
+	// appended records. 0 disables automatic compaction.
+	SnapshotEvery int
+}
+
+// RecoveryInfo reports what Open found and did.
+type RecoveryInfo struct {
+	// SnapshotLoaded is true when a valid snapshot was applied.
+	SnapshotLoaded bool
+	// SnapshotCorrupt is true when a snapshot file existed but failed
+	// framing/CRC/decoding; it counts as one corruption preceding the WAL.
+	SnapshotCorrupt bool
+	// WALMissing is true when a snapshot existed but the WAL file did
+	// not — state rollback evidence that distrusts every device.
+	WALMissing bool
+	// RecoveredRecords is how many valid WAL records were replayed
+	// (including ones skipped as older than the snapshot horizon).
+	RecoveredRecords int
+	// Corruptions counts bit-rot events (snapshot corruption included).
+	Corruptions int
+	// TornTail is true when a benign torn tail was truncated.
+	TornTail bool
+	// Distrusted lists device IDs whose last durable record may have been
+	// lost to corruption; the caller must re-pair them rather than trust
+	// their restored counters. A device whose ONLY records were destroyed
+	// vanishes from the merged state entirely and cannot be named here:
+	// whenever Damaged() is true, the caller must also re-pair any fleet
+	// device it expected to find but which is absent from State().
+	Distrusted []int
+	// ReplayDuration is how long snapshot load + WAL replay took.
+	ReplayDuration time.Duration
+}
+
+// Damaged reports whether recovery found any evidence of data loss
+// beyond a benign torn tail. When true, devices absent from the merged
+// state cannot be assumed never-committed.
+func (r RecoveryInfo) Damaged() bool {
+	return r.Corruptions > 0 || r.SnapshotCorrupt || r.WALMissing
+}
+
+// Store is the single-writer durable state store. All methods are safe
+// for concurrent use; commits are serialized internally.
+type Store struct {
+	mu       sync.Mutex
+	opts     Options
+	walPath  string
+	snapPath string
+	wal      *os.File
+	merged   *mergedState
+	recovery RecoveryInfo
+	// walRecords counts records currently in the WAL file (reset by
+	// compaction); appended counts lifetime appends since Open.
+	walRecords int
+	appended   uint64
+	closed     bool
+}
+
+// loaded is the outcome of reading a state directory: the merged state,
+// the recovery report, and the raw replay result (whose torn-tail offset
+// Open uses to truncate).
+type loaded struct {
+	merged   *mergedState
+	recovery RecoveryInfo
+	res      replayResult
+}
+
+// load reads and classifies a state directory without mutating it.
+func load(dir string) (loaded, error) {
+	l := loaded{merged: newMergedState()}
+	snapPath := filepath.Join(dir, SnapshotFileName)
+	walPath := filepath.Join(dir, WALFileName)
+
+	snapData, snapErr := os.ReadFile(snapPath)
+	snapExists := snapErr == nil
+	walData, walErr := os.ReadFile(walPath)
+	walExists := walErr == nil
+	if !walExists && !os.IsNotExist(walErr) {
+		return l, fmt.Errorf("store: reading WAL: %w", walErr)
+	}
+	if !snapExists && snapErr != nil && !os.IsNotExist(snapErr) {
+		return l, fmt.Errorf("store: reading snapshot: %w", snapErr)
+	}
+
+	var snapHorizon uint64
+	if snapExists {
+		if sp, ok := decodeSnapshot(snapData); ok {
+			for i := range sp.Devices {
+				l.merged.applyDevice(sp.LastSeq, &sp.Devices[i])
+			}
+			l.merged.service = sp.Service
+			l.merged.serviceSeq = sp.LastSeq
+			l.merged.lastSeq = sp.LastSeq
+			snapHorizon = sp.LastSeq
+			l.recovery.SnapshotLoaded = true
+		} else {
+			// Damaged snapshot: its devices are unrecoverable here; any
+			// device absent from the WAL simply comes back unpaired, which
+			// is re-pair-required by construction.
+			l.recovery.SnapshotCorrupt = true
+			l.recovery.Corruptions++
+		}
+		if !walExists {
+			// A snapshot without its WAL is rollback evidence (the fault
+			// schedule's stale-snapshot kind): every device's newest
+			// records are gone, so nothing can be trusted.
+			l.recovery.WALMissing = true
+		}
+	}
+
+	l.res = replayWAL(walData)
+	l.recovery.RecoveredRecords = len(l.res.records)
+	l.recovery.Corruptions += len(l.res.corruptions)
+	l.recovery.TornTail = l.res.tornTailAt >= 0
+
+	// Apply in file order; the merge guards make duplicated and stale
+	// records harmless. lastValid tracks each device's final valid record
+	// offset for the distrust rule below.
+	lastValid := make(map[int]int64)
+	for id := range l.merged.devices {
+		lastValid[id] = -1 // snapshot precedes the whole WAL
+	}
+	for i := range l.res.records {
+		ra := &l.res.records[i]
+		if ra.rec.Seq > snapHorizon {
+			l.merged.apply(&ra.rec)
+		} else if ra.rec.Device != nil {
+			// Already folded into the snapshot, but still evidence the
+			// device has a record at this offset.
+			if _, ok := l.merged.devices[ra.rec.Device.ID]; !ok {
+				l.merged.apply(&ra.rec)
+			}
+		}
+		if ra.rec.Device != nil {
+			lastValid[ra.rec.Device.ID] = ra.off
+		}
+	}
+
+	// Distrust rule: a corruption event may have destroyed any record
+	// written before it, so a device whose last valid record precedes the
+	// last corruption cannot prove its counters are current. Devices with
+	// valid records after the corruption re-proved themselves.
+	lastCorr := l.res.lastCorruption()
+	if l.recovery.SnapshotCorrupt && lastCorr < 0 {
+		lastCorr = -1 // corruption precedes the WAL; offset -1 records tie
+		for id, off := range lastValid {
+			if off < 0 {
+				l.recovery.Distrusted = append(l.recovery.Distrusted, id)
+			}
+		}
+	} else if lastCorr >= 0 {
+		for id, off := range lastValid {
+			if off < lastCorr {
+				l.recovery.Distrusted = append(l.recovery.Distrusted, id)
+			}
+		}
+	}
+	if l.recovery.WALMissing {
+		l.recovery.Distrusted = l.recovery.Distrusted[:0]
+		for id := range l.merged.devices {
+			l.recovery.Distrusted = append(l.recovery.Distrusted, id)
+		}
+	}
+	sort.Ints(l.recovery.Distrusted)
+	return l, nil
+}
+
+// Inspect reads a state directory read-only: no WAL creation, no
+// torn-tail truncation. Crucially it preserves the one-shot rollback
+// evidence — a snapshot whose WAL file is missing — which Open would
+// consume by creating an empty WAL (after which the directory is
+// indistinguishable from the normal post-compaction state). Diagnostic
+// tooling and the restart-chaos harness probe with Inspect so the next
+// real Open still sees what they saw.
+func Inspect(dir string) (State, RecoveryInfo, error) {
+	if dir == "" {
+		return State{}, RecoveryInfo{}, fmt.Errorf("store: empty state directory")
+	}
+	start := time.Now()
+	l, err := load(dir)
+	if err != nil {
+		return State{}, RecoveryInfo{}, err
+	}
+	l.recovery.ReplayDuration = time.Since(start)
+	return l.merged.snapshot(), l.recovery, nil
+}
+
+// Open recovers the durable state from dir (snapshot first, then WAL
+// replay), truncates a benign torn tail, and readies the directory for
+// appends. It never refuses to open over damage: damage degrades to
+// distrusted devices in RecoveryInfo.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("store: empty state directory")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating state dir: %w", err)
+	}
+	start := time.Now()
+	l, err := load(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		opts:     opts,
+		walPath:  filepath.Join(opts.Dir, WALFileName),
+		snapPath: filepath.Join(opts.Dir, SnapshotFileName),
+		merged:   l.merged,
+		recovery: l.recovery,
+	}
+
+	// Truncate the benign torn tail so appends land on a clean frame
+	// boundary. Corrupt mid-file regions are left in place: appends after
+	// them resync on replay, and the distrust evidence survives until the
+	// caller has committed repairs and compacted.
+	if l.res.tornTailAt >= 0 {
+		if err := os.Truncate(s.walPath, l.res.tornTailAt); err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("store: truncating torn tail: %w", err)
+		}
+	}
+
+	wal, err := os.OpenFile(s.walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening WAL: %w", err)
+	}
+	s.wal = wal
+	s.walRecords = len(l.res.records)
+	s.recovery.ReplayDuration = time.Since(start)
+	return s, nil
+}
+
+// Recovery returns what Open found.
+func (s *Store) Recovery() RecoveryInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info := s.recovery
+	info.Distrusted = append([]int(nil), s.recovery.Distrusted...)
+	return info
+}
+
+// State returns a deep copy of the merged durable state.
+func (s *Store) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.merged.snapshot()
+}
+
+// Device returns the merged state for one device.
+func (s *Store) Device(id int) (DeviceState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.merged.devices[id]
+	if !ok {
+		return DeviceState{}, false
+	}
+	c := *d
+	c.Key = append([]byte(nil), d.Key...)
+	return c, true
+}
+
+// AppendedRecords reports how many records this process has committed
+// since Open (the wearlockd_wal_records_total metric).
+func (s *Store) AppendedRecords() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appended
+}
+
+// CommitDevice durably appends one device state.
+func (s *Store) CommitDevice(d DeviceState) error {
+	return s.commit(Record{Device: &d})
+}
+
+// CommitService durably appends the fleet-level state.
+func (s *Store) CommitService(sv ServiceState) error {
+	return s.commit(Record{Service: &sv})
+}
+
+// Commit durably appends a combined record (either part may be nil).
+func (s *Store) Commit(d *DeviceState, sv *ServiceState) error {
+	var rec Record
+	if d != nil {
+		c := *d
+		rec.Device = &c
+	}
+	if sv != nil {
+		c := *sv
+		rec.Service = &c
+	}
+	return s.commit(rec)
+}
+
+// CommitNote appends a stateless marker record (used by the chaos tests
+// to position crash points between durable commits).
+func (s *Store) CommitNote(note string) error {
+	return s.commit(Record{Note: note})
+}
+
+func (s *Store) commit(rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: commit on closed store")
+	}
+	rec.Seq = s.merged.lastSeq + 1
+	payload, err := json.Marshal(&rec)
+	if err != nil {
+		return fmt.Errorf("store: encoding record: %w", err)
+	}
+	if len(payload) > MaxRecordSize {
+		return fmt.Errorf("store: record %d bytes exceeds max %d", len(payload), MaxRecordSize)
+	}
+	if _, err := s.wal.Write(frame(recordMagic, payload)); err != nil {
+		return fmt.Errorf("store: appending record: %w", err)
+	}
+	if !s.opts.NoFsync {
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("store: fsync: %w", err)
+		}
+	}
+	// Only now — after the bytes are durable — does the record enter the
+	// merged state the caller can observe. Commit-then-acknowledge is the
+	// service layer's accepted⇒durable discipline.
+	s.merged.apply(&rec)
+	s.walRecords++
+	s.appended++
+	if s.opts.SnapshotEvery > 0 && s.walRecords >= s.opts.SnapshotEvery {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// Compact folds the merged state into a fresh snapshot (tmp + fsync +
+// atomic rename + dir fsync) and truncates the WAL. A crash at any point
+// is safe: before the rename the old snapshot + full WAL stand; between
+// rename and truncate, replay skips WAL records at or below the snapshot
+// horizon.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: compact on closed store")
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	sp := snapshotPayload{
+		LastSeq: s.merged.lastSeq,
+		Service: s.merged.service,
+	}
+	ids := make([]int, 0, len(s.merged.devices))
+	for id := range s.merged.devices {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		d := s.merged.devices[id]
+		c := *d
+		c.Key = append([]byte(nil), d.Key...)
+		sp.Devices = append(sp.Devices, c)
+	}
+	payload, err := json.Marshal(&sp)
+	if err != nil {
+		return fmt.Errorf("store: encoding snapshot: %w", err)
+	}
+
+	tmpPath := filepath.Join(s.opts.Dir, snapshotTmpName)
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating snapshot tmp: %w", err)
+	}
+	if _, err := tmp.Write(frame(snapMagic, payload)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if !s.opts.NoFsync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: fsync snapshot: %w", err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: closing snapshot tmp: %w", err)
+	}
+	if err := os.Rename(tmpPath, s.snapPath); err != nil {
+		return fmt.Errorf("store: swapping snapshot: %w", err)
+	}
+	if !s.opts.NoFsync {
+		if err := syncDir(s.opts.Dir); err != nil {
+			return err
+		}
+	}
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncating WAL after snapshot: %w", err)
+	}
+	if !s.opts.NoFsync {
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("store: fsync truncated WAL: %w", err)
+		}
+	}
+	s.walRecords = 0
+	return nil
+}
+
+// Close releases the WAL handle. It does not compact; graceful shutdown
+// paths call Compact first so the next Open replays a snapshot instead
+// of the full log.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.wal.Close()
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: opening dir for fsync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: fsync dir: %w", err)
+	}
+	return nil
+}

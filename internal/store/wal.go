@@ -1,0 +1,189 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc32"
+)
+
+// WAL framing: every record is
+//
+//	magic "WLR1" | u32 LE payload length | u32 LE CRC32C(payload) | payload
+//
+// The CRC is Castagnoli (the polynomial with hardware support on both
+// amd64 and arm64). The snapshot file uses the same frame with its own
+// magic, so a snapshot misplaced into the WAL cannot masquerade as a
+// record.
+const (
+	frameHeaderLen = 12
+	// MaxRecordSize bounds a single record. A length field above this is
+	// framing damage, not a real record: device records are a few hundred
+	// bytes of JSON.
+	MaxRecordSize = 1 << 20
+)
+
+var (
+	recordMagic = []byte("WLR1")
+	snapMagic   = []byte("WLS1")
+	castagnoli  = crc32.MakeTable(crc32.Castagnoli)
+)
+
+// frame wraps a payload in the on-disk framing.
+func frame(magic, payload []byte) []byte {
+	buf := make([]byte, frameHeaderLen+len(payload))
+	copy(buf, magic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[8:], crc32.Checksum(payload, castagnoli))
+	copy(buf[frameHeaderLen:], payload)
+	return buf
+}
+
+// recordAt is one valid record with its file extent.
+type recordAt struct {
+	off int64
+	end int64
+	rec Record
+}
+
+// replayResult is the outcome of scanning a WAL image.
+type replayResult struct {
+	records []recordAt
+	// corruptions holds the offsets of bit-rot events: complete records
+	// with bad CRCs, lost framing with valid records after it, or valid
+	// CRCs over unparseable payloads. These distrust devices (see
+	// distrustAfter).
+	corruptions []int64
+	// tornTailAt is the offset of a benign torn tail — a record that
+	// extends past EOF with nothing valid after it, the expected artifact
+	// of a crash mid-append. The record was never fully written, so it was
+	// never fsynced, so it was never acknowledged: truncating it loses
+	// nothing durable and distrusts nobody. -1 when the tail is clean.
+	//
+	// A bit flip landing in the final record's length field is
+	// indistinguishable from a torn write and is classified benign; the
+	// CRC protects the payload, not the header. DESIGN.md §11 documents
+	// this residual window.
+	tornTailAt int64
+}
+
+// replayWAL scans a WAL image, returning every recoverable record in file
+// order plus the corruption taxonomy. It never fails: arbitrary damage
+// degrades to fewer records and more corruption events.
+func replayWAL(data []byte) replayResult {
+	res := replayResult{tornTailAt: -1}
+	n := len(data)
+	resync := func(from int) int {
+		idx := bytes.Index(data[from:], recordMagic)
+		if idx < 0 {
+			return -1
+		}
+		return from + idx
+	}
+	off := 0
+	for off < n {
+		if n-off < frameHeaderLen {
+			res.tornTailAt = int64(off)
+			break
+		}
+		if !bytes.Equal(data[off:off+4], recordMagic) {
+			next := resync(off + 1)
+			if next < 0 {
+				// Garbage to EOF with no recoverable record after it: the
+				// torn-tail shape.
+				res.tornTailAt = int64(off)
+				break
+			}
+			res.corruptions = append(res.corruptions, int64(off))
+			off = next
+			continue
+		}
+		length := binary.LittleEndian.Uint32(data[off+4:])
+		if length > MaxRecordSize {
+			next := resync(off + 1)
+			if next < 0 {
+				res.tornTailAt = int64(off)
+				break
+			}
+			res.corruptions = append(res.corruptions, int64(off))
+			off = next
+			continue
+		}
+		end := off + frameHeaderLen + int(length)
+		if end > n {
+			// Record extends past EOF. If a valid magic lies beyond this
+			// header the "tail" is actually mid-file damage.
+			next := resync(off + 1)
+			if next < 0 {
+				res.tornTailAt = int64(off)
+				break
+			}
+			res.corruptions = append(res.corruptions, int64(off))
+			off = next
+			continue
+		}
+		payload := data[off+frameHeaderLen : end]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[off+8:]) {
+			// A complete record with a bad CRC is bit-rot, never a torn
+			// write: torn writes end the file.
+			res.corruptions = append(res.corruptions, int64(off))
+			if end+len(recordMagic) <= n && bytes.Equal(data[end:end+4], recordMagic) {
+				off = end
+			} else if next := resync(off + 1); next >= 0 {
+				off = next
+			} else {
+				off = n
+			}
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			res.corruptions = append(res.corruptions, int64(off))
+			off = end
+			continue
+		}
+		res.records = append(res.records, recordAt{off: int64(off), end: int64(end), rec: rec})
+		off = end
+	}
+	return res
+}
+
+// lastCorruption returns the offset of the final corruption event, or -1.
+func (r replayResult) lastCorruption() int64 {
+	if len(r.corruptions) == 0 {
+		return -1
+	}
+	return r.corruptions[len(r.corruptions)-1]
+}
+
+// snapshotPayload is the compacted snapshot body: the full merged state
+// at compaction time plus the sequence horizon, which lets replay skip
+// WAL records already folded into the snapshot (a crash between the
+// snapshot rename and the WAL truncate leaves both populated).
+type snapshotPayload struct {
+	LastSeq uint64        `json:"last_seq"`
+	Service ServiceState  `json:"service"`
+	Devices []DeviceState `json:"devices"`
+}
+
+// decodeSnapshot parses a snapshot image. ok=false means the file is
+// damaged (framing, CRC, or JSON) and must be treated as a corruption
+// event that precedes every WAL record.
+func decodeSnapshot(data []byte) (snapshotPayload, bool) {
+	var sp snapshotPayload
+	if len(data) < frameHeaderLen || !bytes.Equal(data[:4], snapMagic) {
+		return sp, false
+	}
+	length := binary.LittleEndian.Uint32(data[4:])
+	if length > MaxRecordSize || frameHeaderLen+int(length) > len(data) {
+		return sp, false
+	}
+	payload := data[frameHeaderLen : frameHeaderLen+int(length)]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[8:]) {
+		return sp, false
+	}
+	if err := json.Unmarshal(payload, &sp); err != nil {
+		return sp, false
+	}
+	return sp, true
+}

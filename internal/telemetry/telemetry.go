@@ -223,6 +223,37 @@ func (g *Gauge) writeSamples(w io.Writer) {
 	fmt.Fprintf(w, "%s %d\n", g.name, g.Value())
 }
 
+// --- FloatGauge ---------------------------------------------------------
+
+// FloatGauge is an instantaneous float value (e.g. a recovery duration in
+// seconds). The value is stored as its IEEE-754 bit pattern in a uint64,
+// keeping reads and writes lock-free.
+type FloatGauge struct {
+	name string
+	help string
+	bits atomic.Uint64
+}
+
+// FloatGauge registers and returns a float-valued gauge.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	g := &FloatGauge{name: name, help: help}
+	r.register(g)
+	return g
+}
+
+// Set stores the value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value reads the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *FloatGauge) metricName() string { return g.name }
+func (g *FloatGauge) metricHelp() string { return g.help }
+func (g *FloatGauge) metricType() string { return "gauge" }
+func (g *FloatGauge) writeSamples(w io.Writer) {
+	fmt.Fprintf(w, "%s %s\n", g.name, formatFloat(g.Value()))
+}
+
 // --- Histogram ----------------------------------------------------------
 
 // Histogram counts observations into fixed buckets. Observe is lock-free;
