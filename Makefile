@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test race bench test-chaos test-store fuzz-smoke bench-sim bench-service bench-chaos bench-dsp bench-store
+.PHONY: ci vet lint build test race bench test-chaos test-store test-vtime fuzz-smoke bench-sim bench-service bench-chaos bench-dsp bench-store bench-vtime
 
-ci: vet lint build race bench test-chaos test-store bench-dsp bench-service bench-store
+ci: vet lint build race bench test-chaos test-store test-vtime bench-dsp bench-service bench-store bench-vtime
 
 vet:
 	$(GO) vet ./...
@@ -53,6 +53,15 @@ test-store:
 	$(GO) test -race -count=1 ./internal/otp -run 'TestRecovery|TestRestore|TestResync'
 	$(GO) test -race -count=1 ./internal/service -run 'TestDurable|TestRestart|TestCrossRestart|TestSubmitRejectsWhileRecovering|TestRecoveryFailure|TestReadyz'
 
+# The virtual-time suite (DESIGN.md §12): golden equivalence between the
+# serial and discrete-event engines (clean, builtin chaos, and the
+# checked-in chaos golden artifact), the timing-accounting regression,
+# the concurrent-engine race stress, and a fuzz smoke of the scheduler's
+# deterministic total order.
+test-vtime:
+	$(GO) test -race -count=1 ./internal/vtime
+	$(GO) test -run='^$$' -fuzz=FuzzVTimeSchedule -fuzztime=10s ./internal/vtime
+
 # Brief run of each fuzz target against its checked-in corpus plus a few
 # seconds of mutation.
 fuzz-smoke:
@@ -91,6 +100,14 @@ bench-service:
 bench-store:
 	$(GO) run ./cmd/benchstore -out BENCH_store.json
 	$(GO) run ./cmd/loadgen -selfhost -n 128 -c 16 -state-dir $$(mktemp -d)
+
+# Regenerate BENCH_vtime.json and enforce the virtual-time throughput
+# gate: the discrete-event engine must clear 100x the recorded
+# BENCH_service.json sessions/sec at GOMAXPROCS=1, and every replica
+# session must be bit-identical to the serial reference (divergence is
+# fatal regardless of throughput).
+bench-vtime:
+	$(GO) run ./cmd/benchvtime -out BENCH_vtime.json -check
 
 # Regenerate the success-rate / latency vs fault-intensity curves in
 # BENCH_chaos.json.

@@ -22,6 +22,15 @@
 //
 //	loadgen -addr http://localhost:8547 -n 1000 -c 32 -rate 200 \
 //	        -mix "default=4,cafe=2,samehand=1,out-of-range=1"
+//
+// With -virtual the same admission stream runs on the discrete-event
+// virtual-time engine instead of a daemon (DESIGN.md §12): no HTTP, no
+// wall-clock airtime — the report's unlock_delay percentiles are the
+// bit-identical protocol timelines the daemon would have produced,
+// available in a fraction of the wall time. -fleets replays the stream
+// across N identical device fleets for crowded-room capacity numbers:
+//
+//	loadgen -virtual -n 512 -fleets 64 -chaos builtin
 package main
 
 import (
@@ -43,9 +52,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wearlock/internal/core"
 	"wearlock/internal/fault"
 	"wearlock/internal/service"
 	"wearlock/internal/sim"
+	"wearlock/internal/vtime"
 )
 
 type latencySummary struct {
@@ -80,6 +91,128 @@ type record struct {
 	Note           string         `json:"note"`
 }
 
+// virtualRecord is the -virtual report: no transport, no daemon — the
+// throughput is the engine's logical session rate and unlock_delay is
+// the virtual protocol timeline, bit-identical to what a serial daemon
+// run would charge (see internal/vtime's equivalence suite).
+type virtualRecord struct {
+	Date        string         `json:"date"`
+	GOMAXPROCS  int            `json:"gomaxprocs"`
+	Virtual     bool           `json:"virtual"`
+	Requests    int            `json:"requests"`
+	Fleets      int            `json:"fleets"`
+	Devices     int            `json:"devices"`
+	Mix         string         `json:"mix"`
+	Chaos       string         `json:"chaos,omitempty"`
+	Sessions    int            `json:"sessions_total"`
+	WallSeconds float64        `json:"wall_seconds"`
+	Throughput  float64        `json:"sessions_per_sec"`
+	VirtualEndS float64        `json:"virtual_end_seconds"`
+	MemoHits    uint64         `json:"memo_hits"`
+	MemoMisses  uint64         `json:"memo_misses"`
+	Outcomes    map[string]int `json:"outcomes"`
+	UnlockDelay latencySummary `json:"unlock_delay"`
+	Note        string         `json:"note"`
+}
+
+// runVirtual replays the admission mix on the discrete-event engine:
+// request i becomes admission sequence i+1 round-robined over the
+// device fleet, faults derived from (seed, sequence) — the same
+// contract wearlockd applies — with the resilience ladder armed
+// whenever a fault schedule is, mirroring the daemon.
+func runVirtual(mix *service.Mix, catalog map[string]core.Scenario, n, devices, fleets int, seed int64, mixSpec, chaosSpec, out string) int {
+	if devices <= 0 {
+		devices = service.DefaultConfig().Devices
+	}
+	if fleets <= 0 {
+		fleets = 1
+	}
+	cfg := core.DefaultConfig()
+	var sch *fault.Schedule
+	if chaosSpec != "" {
+		if chaosSpec == "builtin" {
+			sch = fault.DefaultChaosSchedule()
+		} else {
+			var err error
+			if sch, err = fault.LoadSchedule(chaosSpec); err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+				return 1
+			}
+		}
+		cfg.Resilience = core.DefaultResilience()
+	}
+	picks := make([]vtime.Pick, n)
+	for i := range picks {
+		name := mix.Pick(uint64(i))
+		picks[i] = vtime.Pick{Name: name, Scenario: catalog[name]}
+	}
+	w := vtime.FleetWorkload(cfg, seed, fleets, devices, picks, sch)
+	start := time.Now()
+	rep, err := vtime.Run(w)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: virtual engine: %v\n", err)
+		return 1
+	}
+	wall := time.Since(start)
+
+	outcomes := map[string]int{}
+	var delays sim.Stats
+	for _, r := range rep.Results {
+		outcomes[r.Outcome.String()]++
+		delays.Add(float64(r.Timeline.Total().Nanoseconds()) / 1e6)
+	}
+	rec := virtualRecord{
+		Date:        time.Now().UTC().Format("2006-01-02"),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Virtual:     true,
+		Requests:    n,
+		Fleets:      fleets,
+		Devices:     devices,
+		Mix:         mixSpec,
+		Chaos:       chaosSpec,
+		Sessions:    len(w.Sessions),
+		WallSeconds: wall.Seconds(),
+		Throughput:  float64(len(w.Sessions)) / wall.Seconds(),
+		VirtualEndS: rep.VirtualEnd.Seconds(),
+		MemoHits:    rep.MemoHits,
+		MemoMisses:  rep.MemoMisses,
+		Outcomes:    outcomes,
+		UnlockDelay: summarize(&delays),
+		Note: "Virtual-time dry run: sessions executed on the discrete-event engine, no daemon or HTTP transport. " +
+			"unlock_delay is the virtual protocol timeline (bit-identical to a serial run per internal/vtime's " +
+			"equivalence suite); sessions_per_sec counts logical sessions, amortized across replica fleets by " +
+			"transition memoization.",
+	}
+
+	fmt.Printf("\n%d requests × %d fleets over %d devices  →  %.2fs wall, %.1f sessions/s (virtual end %.1fs)\n",
+		rec.Requests, rec.Fleets, rec.Devices, rec.WallSeconds, rec.Throughput, rec.VirtualEndS)
+	names := make([]string, 0, len(outcomes))
+	for k := range outcomes {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Printf("  %-22s %d\n", k, outcomes[k])
+	}
+	fmt.Printf("  unlock delay p50 %.1fms  p90 %.1fms  p99 %.1fms\n",
+		rec.UnlockDelay.P50MS, rec.UnlockDelay.P90MS, rec.UnlockDelay.P99MS)
+	fmt.Printf("  memo: %d hits / %d misses\n", rec.MemoHits, rec.MemoMisses)
+
+	if out != "" {
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	return 0
+}
+
 // storeReport is the durability slice of the consistency gate, present
 // only when the run drove a daemon with a -state-dir.
 type storeReport struct {
@@ -109,13 +242,19 @@ func run() int {
 		seed     = flag.Int64("seed", 42, "selfhost: daemon seed")
 		chaos    = flag.String("chaos", "", "selfhost: fault schedule ('builtin' or JSON file path, empty = off)")
 		stateDir = flag.String("state-dir", "", "selfhost: durable state directory; arms the store-metrics consistency gate")
+		virtual  = flag.Bool("virtual", false, "run the admission stream on the virtual-time engine instead of a daemon")
+		fleets   = flag.Int("fleets", 1, "virtual: replica device fleets to interleave")
 	)
 	flag.Parse()
 
-	mix, err := service.ParseMix(*mixSpec, service.BuiltinScenarios())
+	catalog := service.BuiltinScenarios()
+	mix, err := service.ParseMix(*mixSpec, catalog)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		return 1
+	}
+	if *virtual {
+		return runVirtual(mix, catalog, *n, *devices, *fleets, *seed, *mixSpec, *chaos, *out)
 	}
 
 	base := *addr

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"wearlock/internal/keyguard"
@@ -15,14 +16,14 @@ import (
 // store layer must persist for a restarted daemon to rebuild the device
 // without desynchronizing the token stream.
 type DeviceExport struct {
-	Key          []byte         `json:"key"`
-	GenCounter   uint64         `json:"gen_counter"`
-	VerCounter   uint64         `json:"ver_counter"`
-	VerFailures  int            `json:"ver_failures"`
-	VerLockedOut bool           `json:"ver_locked_out"`
-	GuardState   keyguard.State `json:"guard_state"`
-	GuardFailures int           `json:"guard_failures"`
-	NowUnixNano  int64          `json:"now_unix_nano"`
+	Key           []byte         `json:"key"`
+	GenCounter    uint64         `json:"gen_counter"`
+	VerCounter    uint64         `json:"ver_counter"`
+	VerFailures   int            `json:"ver_failures"`
+	VerLockedOut  bool           `json:"ver_locked_out"`
+	GuardState    keyguard.State `json:"guard_state"`
+	GuardFailures int            `json:"guard_failures"`
+	NowUnixNano   int64          `json:"now_unix_nano"`
 }
 
 // ExportState captures the system's durable state at a phase boundary.
@@ -91,6 +92,61 @@ func (s *System) RestoreState(ex DeviceExport, resyncLookAhead int) error {
 		}
 	}
 	return nil
+}
+
+// RebuildSystem materializes a System directly from an export: the exact
+// in-memory state a system holding this export would have, without
+// replaying the sessions that produced it. Unlike NewSystem, the pairing
+// key comes from the export and no bytes are drawn from rng — the caller
+// positions rng (typically a replayed sim.CountingSource) at the stream
+// offset the export was taken at, so the rebuilt system's next random
+// draw is the same draw the original would have made.
+//
+// The verifier is restored with zero extra look-ahead, so its acceptance
+// window is exactly the organic one; keyguard.Restore canonicalizes a
+// transient Unlocked state to Locked, which is behaviorally identical for
+// sessions (only LockedOut changes protocol behavior).
+func RebuildSystem(cfg Config, rng *rand.Rand, ex DeviceExport) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("core: system requires a random source")
+	}
+	if len(ex.Key) == 0 {
+		return nil, fmt.Errorf("core: rebuild without a pairing key")
+	}
+	key := make([]byte, len(ex.Key))
+	copy(key, ex.Key)
+	gen, err := otp.NewGenerator(key, ex.GenCounter)
+	if err != nil {
+		return nil, err
+	}
+	ver, err := otp.NewVerifier(key, 0)
+	if err != nil {
+		return nil, err
+	}
+	vs := otp.VerifierState{Counter: ex.VerCounter, Failures: ex.VerFailures, LockedOut: ex.VerLockedOut}
+	if err := ver.Restore(vs, 0); err != nil {
+		return nil, err
+	}
+	guard := keyguard.New()
+	if err := guard.Restore(ex.GuardState, ex.GuardFailures); err != nil {
+		return nil, err
+	}
+	now := time.Unix(1700000000, 0)
+	if ex.NowUnixNano > 0 {
+		now = time.Unix(0, ex.NowUnixNano)
+	}
+	return &System{
+		cfg:   cfg,
+		key:   key,
+		gen:   gen,
+		ver:   ver,
+		guard: guard,
+		rng:   rng,
+		now:   now,
+	}, nil
 }
 
 // Repair re-pairs the device with a fresh key at counter zero — the

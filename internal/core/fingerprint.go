@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Fingerprint renders the complete Result — outcome, modem and filter
+// diagnostics, every timeline step, every energy charge, and the
+// resilience state — into one canonical string. Floats are emitted as
+// IEEE-754 bit patterns, so two equal fingerprints mean the results are
+// bit-identical, not merely close: this is the equivalence artifact the
+// virtual-time engine is proven against, session by session.
+func (r *Result) Fingerprint() string {
+	var b strings.Builder
+	f := func(v float64) string { return fmt.Sprintf("%016x", math.Float64bits(v)) }
+	fmt.Fprintf(&b, "outcome=%d unlocked=%t detail=%q mode=%d\n", int(r.Outcome), r.Unlocked, r.Detail, int(r.Mode))
+	fmt.Fprintf(&b, "ber=%s psnr=%s ebn0=%s spl=%s chans=%v\n", f(r.BER), f(r.PSNRdB), f(r.EbN0dB), f(r.VolumeSPL), r.DataChannels)
+	fmt.Fprintf(&b, "motion=%s decision=%v noise=%s nlos=%t spread=%d dist=%s\n",
+		f(r.MotionScore), r.MotionDecision, f(r.NoiseSimilarity), r.NLOSDetected, int64(r.DelaySpread), f(r.EstimatedDistance))
+	fmt.Fprintf(&b, "attempts=%d degradation=%d\n", r.Attempts, int(r.Degradation))
+	if r.Timeline != nil {
+		for _, s := range r.Timeline.steps {
+			fmt.Fprintf(&b, "step %q kind=%d dev=%q dur=%d\n", s.Name, int(s.Kind), s.Device, int64(s.Duration))
+		}
+	}
+	if r.Energy != nil {
+		devices := make(map[string]bool)
+		for name := range r.Energy.computeJ {
+			devices[name] = true
+		}
+		for name := range r.Energy.radioJ {
+			devices[name] = true
+		}
+		names := make([]string, 0, len(devices))
+		for name := range devices {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(&b, "energy %q compute=%s radio=%s\n", name, f(r.Energy.computeJ[name]), f(r.Energy.radioJ[name]))
+		}
+	}
+	return b.String()
+}

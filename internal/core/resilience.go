@@ -197,88 +197,23 @@ func (s *System) UnlockResilientVia(ctx context.Context, sc Scenario, path Acous
 	return s.unlockResilient(ctx, sc, path)
 }
 
+// unlockResilient drives an UnlockMachine to completion. The stepwise
+// machine in machine.go is the single implementation of the ladder; this
+// serial walk and the virtual-time engine's event-at-a-time walk differ
+// only in when wall-clock time passes between steps, which the simulated
+// timeline never observes — that is the bit-identity contract the vtime
+// equivalence suite pins.
 func (s *System) unlockResilient(ctx context.Context, sc Scenario, fixed AcousticPath) (*Result, error) {
-	rc := s.cfg.Resilience
-	if !rc.Enabled {
-		if fixed != nil {
-			return s.UnlockViaCtx(ctx, sc, fixed)
-		}
-		return s.UnlockCtx(ctx, sc)
-	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-
-	timeline := &Timeline{}
-	energy := NewEnergyLedger()
-	var last *Result
-	level := DegradeNone
-	attempts := 0
-
-	for attempt := 0; attempt <= rc.MaxRetries; attempt++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		var opts attemptOpts
-		level, opts = s.rungFor(attempt, rc)
-		if attempt > 0 {
-			// Never reuse a HOTP counter: the generator advanced on every
-			// attempt that reached phase 2 even when delivery half-failed,
-			// so the verifier resynchronizes to the generator before the
-			// next token is cut. Without this, a string of half-delivered
-			// sessions walks the pair past the look-ahead window.
-			s.ver.Reset(s.gen.Counter())
-			wait := rc.Backoff(attempt-1, s.rng)
-			timeline.Add("resilience/backoff-wait", StepWait, "", wait)
-			s.now = s.now.Add(wait)
-		}
-
-		path := fixed
-		if path == nil {
-			probeCfg := s.dataConfig()
-			link, err := sc.AcousticLink(s.cfg.Band, probeCfg.SampleRate, s.rng)
-			if err != nil {
-				return nil, err
-			}
-			path = NewLinkPath(link)
-		}
-		r, err := s.unlockAttempt(ctx, sc, path, opts)
+	m := s.NewUnlockMachine(sc, fixed)
+	for {
+		st, err := m.Step(ctx)
 		if err != nil {
 			return nil, err
 		}
-		attempts++
-		timeline.Append(r.Timeline)
-		energy.Merge(r.Energy)
-		last = r
-
-		if r.Unlocked {
-			if level >= DegradeRobustMode && r.Outcome == OutcomeUnlocked {
-				r.Outcome = OutcomeDegradedUnlocked
-			}
-			break
-		}
-		if r.Outcome == OutcomeLockedOut || !retryable(r.Outcome) {
-			break
+		if st.Done {
+			return st.Final, nil
 		}
 	}
-
-	// Ladder exhausted (or keyguard locked out): manual PIN fallback. The
-	// session still ends in a defined state — the user types the PIN, the
-	// keyguard clears, and the OTP pair resynchronizes.
-	if last != nil && !last.Unlocked && (retryable(last.Outcome) || last.Outcome == OutcomeLockedOut) {
-		s.ManualUnlock()
-		timeline.Add("resilience/pin-entry", StepWait, "", 1500*time.Millisecond)
-		level = DegradePIN
-		last.Outcome = OutcomeFallbackPIN
-		last.Unlocked = false
-		last.Detail = fmt.Sprintf("resilience ladder exhausted after %d attempts; manual PIN", attempts)
-	}
-
-	last.Timeline = timeline
-	last.Energy = energy
-	last.Attempts = attempts
-	last.Degradation = level
-	return last, nil
 }
 
 // OTPCounters exposes the generator and verifier HOTP counters for

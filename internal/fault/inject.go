@@ -66,6 +66,18 @@ func CutLinkAfter(n int) *SessionFaults {
 // use — so the armed fault set is reproducible regardless of worker count
 // or traffic interleaving. A nil schedule arms nothing.
 func ForSession(sch *Schedule, baseSeed, session int64) *SessionFaults {
+	return ForSessionAt(sch, baseSeed, session, 0)
+}
+
+// ForSessionAt is ForSession for engines that track virtual time: rules
+// whose virtual window excludes at are skipped without an arming draw,
+// exactly like rules whose session window excludes the index — so the
+// decision stream stays a pure function of (schedule, seed, session,
+// active-rule set), and two sessions starting at the same virtual time
+// arm identical faults. ForSession is ForSessionAt at virtual time zero,
+// which leaves every schedule without virtual windows bit-identical to
+// its historical behavior.
+func ForSessionAt(sch *Schedule, baseSeed, session int64, at time.Duration) *SessionFaults {
 	sf := &SessionFaults{
 		rng:   rand.New(rand.NewSource(sim.SeedFor(baseSeed, faultSalt, session))),
 		armed: make(map[Kind]bool),
@@ -77,7 +89,7 @@ func ForSession(sch *Schedule, baseSeed, session int64) *SessionFaults {
 		// Store-scoped kinds belong to the restart stream (ForRestart);
 		// skipping them without a draw keeps the session stream a pure
 		// function of the session rules alone.
-		if r.Kind.StoreScoped() || !r.covers(session) {
+		if r.Kind.StoreScoped() || !r.covers(session) || !r.coversAt(at) {
 			continue
 		}
 		// One arming draw per in-window rule, in rule order: the stream

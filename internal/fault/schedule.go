@@ -21,6 +21,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"time"
 )
 
 // Kind names one fault class a schedule rule can arm.
@@ -84,6 +85,19 @@ type Rule struct {
 	From int64 `json:"from,omitempty"`
 	To   int64 `json:"to,omitempty"`
 
+	// FromVirtualMS/ToVirtualMS additionally bound the rule to a
+	// half-open window of engine virtual time, in milliseconds since the
+	// run began; both zero means always live. Virtual windows let a
+	// schedule model environments that change while a load is in flight
+	// (the café fills up at t=30s) instead of by admission count. Only
+	// engines that track virtual time (vtime, serial replay) resolve
+	// them — ForSession evaluates at virtual time zero, so a rule with
+	// FromVirtualMS > 0 never fires on the plain path. Same-kind rules
+	// may overlap in session window if their virtual windows are
+	// disjoint.
+	FromVirtualMS float64 `json:"from_virtual_ms,omitempty"`
+	ToVirtualMS   float64 `json:"to_virtual_ms,omitempty"`
+
 	// SNRDropDB is the extra acoustic path loss (snr-collapse) or the
 	// burst level above the planned receiver SPL (acoustic-burst).
 	SNRDropDB float64 `json:"snr_drop_db,omitempty"`
@@ -122,6 +136,35 @@ func (r Rule) covers(i int64) bool {
 	return i >= from && i < to
 }
 
+// virtualWindow returns the rule's effective virtual-time window.
+func (r Rule) virtualWindow() (from, to time.Duration) {
+	from = time.Duration(r.FromVirtualMS * float64(time.Millisecond))
+	to = time.Duration(math.MaxInt64)
+	if r.ToVirtualMS != 0 {
+		to = time.Duration(r.ToVirtualMS * float64(time.Millisecond))
+	}
+	return from, to
+}
+
+// coversAt reports whether virtual time at falls inside the rule's
+// virtual window. Rules without virtual bounds cover all of time.
+func (r Rule) coversAt(at time.Duration) bool {
+	from, to := r.virtualWindow()
+	return at >= from && at < to
+}
+
+// HasVirtualWindows reports whether any rule is bounded in virtual time —
+// the signal for virtual-time engines that a session's fault roll depends
+// on when it starts, not just on its index.
+func (s *Schedule) HasVirtualWindows() bool {
+	for _, r := range s.Rules {
+		if r.FromVirtualMS != 0 || r.ToVirtualMS != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Validate checks one rule in isolation.
 func (r Rule) Validate() error {
 	if !r.Kind.Valid() {
@@ -138,6 +181,17 @@ func (r Rule) Validate() error {
 	}
 	if r.To != 0 && r.To <= r.From {
 		return fmt.Errorf("fault: %s window [%d, %d) is empty", r.Kind, r.From, r.To)
+	}
+	for name, v := range map[string]float64{
+		"from_virtual_ms": r.FromVirtualMS,
+		"to_virtual_ms":   r.ToVirtualMS,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("fault: %s %s %v must be finite and non-negative", r.Kind, name, v)
+		}
+	}
+	if r.ToVirtualMS != 0 && r.ToVirtualMS <= r.FromVirtualMS {
+		return fmt.Errorf("fault: %s virtual window [%v, %v)ms is empty", r.Kind, r.FromVirtualMS, r.ToVirtualMS)
 	}
 	for name, v := range map[string]float64{
 		"snr_drop_db":  r.SNRDropDB,
@@ -189,14 +243,31 @@ func (s *Schedule) Validate() error {
 	for kind, rules := range byKind {
 		sort.Slice(rules, func(i, j int) bool { return rules[i].From < rules[j].From })
 		for i := 1; i < len(rules); i++ {
-			_, prevTo := rules[i-1].window()
-			if rules[i].From < prevTo {
-				return fmt.Errorf("fault: %s rules have overlapping session windows ([%d,%d) and [%d,%d))",
-					kind, rules[i-1].From, rules[i-1].To, rules[i].From, rules[i].To)
+			for j := 0; j < i; j++ {
+				if rulesOverlap(rules[j], rules[i]) {
+					return fmt.Errorf("fault: %s rules have overlapping windows ([%d,%d) and [%d,%d))",
+						kind, rules[j].From, rules[j].To, rules[i].From, rules[i].To)
+				}
 			}
 		}
 	}
 	return nil
+}
+
+// rulesOverlap reports whether two same-kind rules can both cover one
+// (session, virtual-time) point: their session windows intersect AND
+// their virtual windows intersect. The replay contract needs exactly one
+// arming decision per (kind, session, time), so Validate rejects any such
+// pair; disjoint virtual windows legitimately share a session range.
+func rulesOverlap(a, b Rule) bool {
+	aFrom, aTo := a.window()
+	bFrom, bTo := b.window()
+	if aFrom >= bTo || bFrom >= aTo {
+		return false
+	}
+	avFrom, avTo := a.virtualWindow()
+	bvFrom, bvTo := b.virtualWindow()
+	return avFrom < bvTo && bvFrom < avTo
 }
 
 // ParseSchedule decodes and validates a JSON fault schedule.

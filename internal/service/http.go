@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -107,8 +108,9 @@ func (s *Service) handleUnlock(w http.ResponseWriter, r *http.Request) {
 	case err == nil:
 	case errors.Is(err, ErrQueueFull):
 		// The queue drains at session pace — tell the client when a slot
-		// is plausibly free rather than inviting an immediate retry.
-		w.Header().Set("Retry-After", "1")
+		// is plausibly free rather than inviting an immediate retry: the
+		// backlog divided by the pool's observed drain rate.
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfter()))
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
 		return
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrRecovering):

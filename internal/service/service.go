@@ -29,6 +29,7 @@ import (
 	"wearlock/internal/sim"
 	"wearlock/internal/store"
 	"wearlock/internal/telemetry"
+	"wearlock/internal/vtime"
 )
 
 // Service errors the HTTP layer maps onto status codes.
@@ -92,6 +93,11 @@ type Config struct {
 	// NoFsync skips per-commit fsyncs in the store — tests and
 	// benchmarks only (commits then survive kill -9 but not power loss).
 	NoFsync bool
+	// Clock supplies time for session TTL GC, Retry-After math, and
+	// uptime. nil means the wall clock (daemon mode); tests and
+	// virtual-time benches inject vtime.NewManualClock so "wait for the
+	// TTL" becomes an Advance call instead of a sleep.
+	Clock vtime.Clock
 }
 
 // DefaultConfig returns a daemon sized for the acceptance load: 64
@@ -338,7 +344,13 @@ type Service struct {
 	nextDev   atomic.Uint64
 	reg       *telemetry.Registry
 	m         *metrics
+	clock     vtime.Clock
 	started   time.Time
+
+	// wallEWMA is the exponentially-weighted mean session wall time in
+	// nanoseconds (float64 bits), fed by every finished session; the
+	// Retry-After estimate reads it to predict queue drain pace.
+	wallEWMA atomic.Uint64
 
 	// unlock runs one session on a device; tests swap it to control
 	// timing precisely.
@@ -404,12 +416,17 @@ func New(cfg Config) (*Service, error) {
 		}
 	}
 
+	clock := cfg.Clock
+	if clock == nil {
+		clock = vtime.WallClock{}
+	}
 	s := &Service{
 		cfg:       cfg,
 		scenarios: scenarios,
 		pool:      sim.NewPool(cfg.Workers, cfg.QueueDepth),
 		reg:       telemetry.NewRegistry(),
-		started:   time.Now(),
+		clock:     clock,
+		started:   clock.Now(),
 		sessions:  make(map[string]*Session),
 		gcStop:    make(chan struct{}),
 		gcDone:    make(chan struct{}),
@@ -544,7 +561,7 @@ func (s *Service) Submit(req Request) (*Session, error) {
 		Scenario:  name,
 		Device:    dev.id,
 		state:     StateQueued,
-		submitted: time.Now(),
+		submitted: s.clock.Now(),
 		done:      make(chan struct{}),
 	}
 	// The inflight count covers queued work too, and is raised under mu
@@ -587,14 +604,14 @@ func (s *Service) run(sess *Session, dev *devicePair, sc core.Scenario, timeout 
 
 	sess.mu.Lock()
 	sess.state = StateRunning
-	sess.started = time.Now()
+	sess.started = s.clock.Now()
 	sess.mu.Unlock()
 
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	res, err := s.unlock(ctx, dev, sc)
 	cancel()
 
-	now := time.Now()
+	now := s.clock.Now()
 	sess.mu.Lock()
 	sess.finished = now
 	sess.result = res
@@ -609,6 +626,7 @@ func (s *Service) run(sess *Session, dev *devicePair, sc core.Scenario, timeout 
 	close(sess.done)
 
 	s.m.wallSeconds.Observe(wall.Seconds())
+	s.observeWall(wall)
 	if err != nil {
 		s.m.sessions.With("error").Inc()
 		return
@@ -635,6 +653,49 @@ func (s *Service) run(sess *Session, dev *devicePair, sc core.Scenario, timeout 
 	if res.EbN0dB != 0 {
 		s.m.ebn0.Observe(res.EbN0dB)
 	}
+}
+
+// observeWall folds one finished session's wall time into the EWMA the
+// Retry-After estimate reads. alpha 0.2 ≈ averaging the last ~10
+// sessions, quick enough to track load shifts, smooth enough to ignore
+// one slow ladder.
+func (s *Service) observeWall(wall time.Duration) {
+	const alpha = 0.2
+	for {
+		old := s.wallEWMA.Load()
+		prev := math.Float64frombits(old)
+		next := float64(wall)
+		if old != 0 {
+			next = alpha*float64(wall) + (1-alpha)*prev
+		}
+		if s.wallEWMA.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// RetryAfter estimates, in whole seconds, when a queue slot should free
+// up: the queued backlog divided by the worker pool's drain rate at the
+// observed mean session wall time, clamped to [1s, 30s]. Before any
+// session has finished it answers the historical 1 second.
+func (s *Service) RetryAfter() int {
+	mean := math.Float64frombits(s.wallEWMA.Load())
+	if mean <= 0 {
+		return 1
+	}
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	backlog := s.pool.Depth() + 1 // the slot the rejected request needs
+	secs := int(math.Ceil(float64(backlog) * mean / float64(workers) / float64(time.Second)))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
 }
 
 // Get looks a session up by ID.
@@ -724,7 +785,7 @@ func (s *Service) gcLoop() {
 		case <-stop:
 			return
 		case <-ticker.C:
-			s.gcOnce(time.Now())
+			s.gcOnce(s.clock.Now())
 		}
 	}
 }
@@ -782,7 +843,7 @@ func (s *Service) Health() Health {
 		QueueBound:      s.cfg.QueueDepth,
 		Inflight:        s.m.inflight.Value(),
 		TrackedSessions: tracked,
-		UptimeSeconds:   time.Since(s.started).Seconds(),
+		UptimeSeconds:   s.clock.Now().Sub(s.started).Seconds(),
 		Scenarios:       s.Scenarios(),
 	}
 }

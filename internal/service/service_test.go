@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"wearlock/internal/core"
+	"wearlock/internal/vtime"
 )
 
 // testConfig returns a small deterministic daemon configuration.
@@ -180,8 +181,10 @@ func TestDrainTimeout(t *testing.T) {
 // are never collected.
 func TestSessionGC(t *testing.T) {
 	cfg := testConfig()
-	cfg.SessionTTL = 30 * time.Millisecond
-	cfg.GCInterval = 5 * time.Millisecond
+	cfg.SessionTTL = time.Minute
+	cfg.GCInterval = time.Hour // the background loop stays quiet; the test drives sweeps
+	clock := vtime.NewManualClock(time.Unix(1700000000, 0))
+	cfg.Clock = clock
 	s, release := blockableService(t, cfg)
 	defer func() { _ = s.Shutdown(context.Background()) }()
 
@@ -189,8 +192,10 @@ func TestSessionGC(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
-	// The blocked session must survive arbitrarily many sweeps.
-	time.Sleep(60 * time.Millisecond)
+	// An in-flight session must survive a sweep no matter how far time
+	// has moved.
+	clock.Advance(time.Hour)
+	s.gcOnce(clock.Now())
 	if _, ok := s.Get(blocked.ID); !ok {
 		t.Fatal("GC collected a session still in flight")
 	}
@@ -199,18 +204,41 @@ func TestSessionGC(t *testing.T) {
 	if err := blocked.Wait(context.Background()); err != nil {
 		t.Fatalf("Wait: %v", err)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if _, ok := s.Get(blocked.ID); !ok {
-			break
-		}
-		time.Sleep(5 * time.Millisecond)
+	finished := clock.Now()
+	// Finished but within the TTL: still queryable.
+	s.gcOnce(finished.Add(cfg.SessionTTL / 2))
+	if _, ok := s.Get(blocked.ID); !ok {
+		t.Fatal("GC collected a session inside its TTL")
 	}
+	// One tick past the TTL: collected.
+	s.gcOnce(finished.Add(cfg.SessionTTL + time.Nanosecond))
 	if _, ok := s.Get(blocked.ID); ok {
 		t.Fatal("finished session not collected after TTL")
 	}
 	if s.m.gced.Value() == 0 {
 		t.Error("GC counter not incremented")
+	}
+}
+
+// TestRetryAfterEstimate pins the computed Retry-After: 1 s before any
+// history, backlog/drain-rate afterwards, clamped to [1, 30].
+func TestRetryAfterEstimate(t *testing.T) {
+	s, release := blockableService(t, testConfig()) // 2 workers
+	defer func() { close(release); _ = s.Shutdown(context.Background()) }()
+
+	if got := s.RetryAfter(); got != 1 {
+		t.Fatalf("RetryAfter with no history = %d, want 1", got)
+	}
+	s.observeWall(10 * time.Second)
+	// Empty queue: one slot to free, 2 workers draining ~10 s sessions.
+	if got := s.RetryAfter(); got != 5 {
+		t.Fatalf("RetryAfter = %d, want ceil(1*10s/2) = 5", got)
+	}
+	for i := 0; i < 64; i++ {
+		s.observeWall(10 * time.Minute)
+	}
+	if got := s.RetryAfter(); got != 30 {
+		t.Fatalf("RetryAfter = %d, want the 30 s clamp", got)
 	}
 }
 

@@ -1,0 +1,285 @@
+package vtime
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"wearlock/internal/core"
+	"wearlock/internal/fault"
+	"wearlock/internal/sim"
+)
+
+// StepRec is the virtual-time charge of one discrete session step: idle
+// time before the step's work (resilience backoff) and the time the work
+// itself occupied. Both engines record these per session; the equivalence
+// suite diffs them as the event trace when results diverge.
+type StepRec struct {
+	PreWait  time.Duration
+	Occupied time.Duration
+}
+
+// DeviceEnd is a device's terminal accounting, compared across engines.
+type DeviceEnd struct {
+	Draws      uint64
+	GenCounter uint64
+	VerCounter uint64
+}
+
+// Report is the output of either engine over a workload: one result and
+// one step trace per session (indexed by Session.Index), terminal
+// per-device state, and run accounting.
+type Report struct {
+	// Fingerprints holds each session's canonical core.Result rendering —
+	// the bit-identity artifact the equivalence suite compares.
+	Fingerprints []string
+	// Results holds the full result structs. Under the event engine,
+	// sessions that shared a memoized transition share the pointer; treat
+	// results as immutable.
+	Results    []*core.Result
+	Steps      [][]StepRec
+	DeviceEnds map[DeviceKey]DeviceEnd
+	VirtualEnd time.Duration
+	Events     uint64
+	MemoHits   uint64
+	MemoMisses uint64
+}
+
+// transition is one memoized session execution: the discrete step
+// charges, the canonical result, and the device state the session leaves
+// behind. Keyed by (pre-state key, request key), it is the unit of
+// sharing that lets one physical protocol run serve every device in the
+// same state receiving the same request — the flyweight that amortizes
+// the DSP across a crowded room of identical pairs.
+type transition struct {
+	steps   []StepRec
+	result  *core.Result
+	fp      string
+	post    core.DeviceExport
+	draws   uint64
+	postKey string
+}
+
+// ldev is a logical device: durable state plus, when this device has
+// physically executed a session, the live System to continue on. Devices
+// that only ever hit the memo never materialize a System at all.
+type ldev struct {
+	key      DeviceKey
+	sessions []*Session
+	next     int
+
+	draws    uint64
+	export   *core.DeviceExport
+	stateKey string
+
+	phys *core.System
+	src  *sim.CountingSource
+}
+
+// groupDevices buckets a workload's sessions per logical device in
+// LocalSeq execution order.
+func groupDevices(w *Workload) map[DeviceKey]*ldev {
+	devs := make(map[DeviceKey]*ldev)
+	for i := range w.Sessions {
+		s := &w.Sessions[i]
+		d := devs[s.Device]
+		if d == nil {
+			d = &ldev{key: s.Device, stateKey: freshStateKey(s.Device.Stream)}
+			devs[s.Device] = d
+		}
+		d.sessions = append(d.sessions, s)
+	}
+	for _, d := range devs {
+		sort.Slice(d.sessions, func(i, j int) bool {
+			if d.sessions[i].LocalSeq != d.sessions[j].LocalSeq {
+				return d.sessions[i].LocalSeq < d.sessions[j].LocalSeq
+			}
+			return d.sessions[i].Index < d.sessions[j].Index
+		})
+	}
+	return devs
+}
+
+// armFaults resolves a session's scenario and memo request key at its
+// virtual start time. The request key must uniquely determine the armed
+// faults: for schedules without virtual windows that is the derivation
+// seq alone; with virtual windows the exact start time joins the key.
+func armFaults(s *Session, at time.Duration) (core.Scenario, string) {
+	sc := s.Scenario
+	key := s.ScenKey
+	if s.Chaos != nil {
+		sc.Faults = fault.ForSessionAt(s.Chaos, s.ChaosSeed, s.ChaosSeq, at)
+		key = fmt.Sprintf("%s|c%d", key, s.ChaosSeq)
+		if s.Chaos.HasVirtualWindows() {
+			key = fmt.Sprintf("%s@%d", key, int64(at))
+		}
+	}
+	return sc, key
+}
+
+// Run executes the workload on the discrete-event engine to quiescence.
+// The event order — and therefore every result — is a pure function of
+// the workload: events fire in (virtual time, session index, step seq)
+// order, ultimately keyed off the sim.SeedFor admission contract, never
+// off goroutine scheduling. The transition memo lives for this one call:
+// its keys are only sound within a single (config, seed) universe, which
+// a workload is by definition.
+func Run(w Workload) (*Report, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	devs := groupDevices(&w)
+	memo := make(map[string]*transition)
+	rep := &Report{
+		Fingerprints: make([]string, len(w.Sessions)),
+		Results:      make([]*core.Result, len(w.Sessions)),
+		Steps:        make([][]StepRec, len(w.Sessions)),
+		DeviceEnds:   make(map[DeviceKey]DeviceEnd),
+	}
+	sched := NewScheduler()
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	var startSession func(d *ldev)
+	startSession = func(d *ldev) {
+		s := d.sessions[d.next]
+		now := sched.Now()
+		sc, reqKey := armFaults(s, now)
+		tk := d.stateKey + "\x00" + reqKey
+		tr, hit := memo[tk]
+		if hit {
+			rep.MemoHits++
+			// The cached transition carries the post state; a live System
+			// left at the pre state is now stale and must be dropped, to
+			// be rematerialized from the export if this device ever
+			// misses again.
+			d.phys, d.src = nil, nil
+		} else {
+			rep.MemoMisses++
+			var err error
+			tr, err = compute(&w, d, sc)
+			if err != nil {
+				fail(fmt.Errorf("vtime: session %d on device %+v: %w", s.Index, d.key, err))
+				return
+			}
+			memo[tk] = tr
+		}
+		rep.Fingerprints[s.Index] = tr.fp
+		rep.Results[s.Index] = tr.result
+		rep.Steps[s.Index] = tr.steps
+
+		// Every discrete step of the session becomes a scheduled event:
+		// the rung boundaries advance the virtual clock exactly as the
+		// serial walk's charged time would, and the final one commits the
+		// device state and releases the device for its next session.
+		t := now
+		for si := range tr.steps {
+			t += tr.steps[si].PreWait + tr.steps[si].Occupied
+			fire := func(time.Duration) {}
+			if si == len(tr.steps)-1 {
+				fire = func(end time.Duration) {
+					d.draws = tr.draws
+					post := tr.post
+					d.export = &post
+					d.stateKey = tr.postKey
+					d.next++
+					if end > rep.VirtualEnd {
+						rep.VirtualEnd = end
+					}
+					if d.next < len(d.sessions) {
+						nxt := d.sessions[d.next]
+						at := nxt.Admit
+						if at < end {
+							at = end
+						}
+						if err := sched.Schedule(at, nxt.Index, 0, func(time.Duration) { startSession(d) }); err != nil {
+							fail(err)
+						}
+					} else {
+						rep.DeviceEnds[d.key] = DeviceEnd{
+							Draws:      tr.draws,
+							GenCounter: tr.post.GenCounter,
+							VerCounter: tr.post.VerCounter,
+						}
+					}
+				}
+			}
+			if err := sched.Schedule(t, s.Index, uint64(si+1), fire); err != nil {
+				fail(err)
+				return
+			}
+		}
+	}
+
+	for _, d := range devs {
+		d := d
+		first := d.sessions[0]
+		if err := sched.Schedule(first.Admit, first.Index, 0, func(time.Duration) { startSession(d) }); err != nil {
+			return nil, err
+		}
+	}
+	if err := sched.Run(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	rep.Events = sched.Fired()
+	return rep, nil
+}
+
+// compute physically executes one session on the device, materializing
+// its System first if this device never ran one (or dropped it after a
+// memo hit): a fresh CountingSource is fast-forwarded to the device's
+// recorded draw position and the System rebuilt from its export, so the
+// continuation consumes exactly the stream the original device would
+// have.
+func compute(w *Workload, d *ldev, sc core.Scenario) (*transition, error) {
+	if d.phys == nil {
+		src := sim.NewCountingSource(sim.SeedFor(w.Seed, d.key.Stream))
+		var sys *core.System
+		var err error
+		if d.export == nil {
+			if d.draws != 0 {
+				return nil, fmt.Errorf("vtime: device with %d draws but no export", d.draws)
+			}
+			sys, err = core.NewSystem(w.Config, rand.New(src))
+		} else {
+			if serr := src.SkipTo(d.draws); serr != nil {
+				return nil, serr
+			}
+			sys, err = core.RebuildSystem(w.Config, rand.New(src), *d.export)
+		}
+		if err != nil {
+			return nil, err
+		}
+		d.phys, d.src = sys, src
+	}
+
+	m := d.phys.NewUnlockMachine(sc, nil)
+	var steps []StepRec
+	for !m.Done() {
+		st, err := m.Step(context.Background())
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, StepRec{PreWait: st.PreWait, Occupied: st.Occupied})
+	}
+	final := m.Final()
+	post := d.phys.ExportState()
+	draws := d.src.Draws()
+	return &transition{
+		steps:   steps,
+		result:  final,
+		fp:      final.Fingerprint(),
+		post:    post,
+		draws:   draws,
+		postKey: stateKeyFor(d.key.Stream, draws, post),
+	}, nil
+}

@@ -1,0 +1,196 @@
+package vtime_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wearlock/internal/core"
+	"wearlock/internal/fault"
+	"wearlock/internal/service"
+	"wearlock/internal/vtime"
+)
+
+const equivSeed = 20250805
+
+func resilientConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Resilience = core.DefaultResilience()
+	return cfg
+}
+
+// requireEquivalent runs both engines over the workload and fails with
+// the first differing event trace on any divergence.
+func requireEquivalent(t *testing.T, name string, w vtime.Workload) (*vtime.Report, *vtime.Report) {
+	t.Helper()
+	serial, err := vtime.RunSerial(w)
+	if err != nil {
+		t.Fatalf("%s: serial engine: %v", name, err)
+	}
+	event, err := vtime.Run(w)
+	if err != nil {
+		t.Fatalf("%s: event engine: %v", name, err)
+	}
+	if d := vtime.Diff(name, serial, event); d != "" {
+		t.Fatalf("engines diverged:\n%s", d)
+	}
+	for i, r := range event.Results {
+		if r == nil {
+			t.Fatalf("%s: session %d has no result", name, i)
+		}
+	}
+	return serial, event
+}
+
+// TestGoldenEquivalenceClean proves serial and event engines bit-identical
+// over a clean batch — per-session Result structs, attempts, degradation
+// ladder states, and HOTP counters all compared through the canonical
+// fingerprints and device terminal states.
+func TestGoldenEquivalenceClean(t *testing.T) {
+	w := vtime.BatchWorkload(resilientConfig(), core.DefaultScenario(), "default", 24, equivSeed, nil)
+	requireEquivalent(t, "clean-batch", w)
+}
+
+// TestGoldenEquivalenceChaosBuiltin is the clean test under the builtin
+// chaos schedule: retries, degradation rungs, and PIN fallbacks all flow
+// through the discrete-event path.
+func TestGoldenEquivalenceChaosBuiltin(t *testing.T) {
+	w := vtime.BatchWorkload(resilientConfig(), core.DefaultScenario(), "default", 24, equivSeed, fault.DefaultChaosSchedule())
+	serial, event := requireEquivalent(t, "chaos-builtin", w)
+	degraded, fallback := 0, 0
+	for i := range event.Results {
+		if serial.Results[i].Attempts != event.Results[i].Attempts ||
+			serial.Results[i].Degradation != event.Results[i].Degradation {
+			t.Fatalf("session %d resilience state diverged: serial (%d,%v) vs event (%d,%v)", i,
+				serial.Results[i].Attempts, serial.Results[i].Degradation,
+				event.Results[i].Attempts, event.Results[i].Degradation)
+		}
+		if event.Results[i].Degradation >= core.DegradeRobustMode {
+			degraded++
+		}
+		if event.Results[i].Outcome == core.OutcomeFallbackPIN {
+			fallback++
+		}
+	}
+	if degraded == 0 && fallback == 0 {
+		t.Fatal("chaos batch exercised no degradation — the equivalence proof is vacuous")
+	}
+}
+
+// TestGoldenEquivalenceChaosGoldenFile replays the checked-in chaos
+// golden artifact on the event engine: the same (schedule, seed,
+// sessions) triple core.RunBatch is pinned against must produce the same
+// outcome sequence through the discrete-event path, tying the vtime
+// engine to every existing golden replay suite.
+func TestGoldenEquivalenceChaosGoldenFile(t *testing.T) {
+	base := filepath.Join("..", "core", "testdata")
+	sch, err := fault.LoadSchedule(filepath.Join(base, "chaos_schedule.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(base, "chaos_golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var golden struct {
+		Seed     int64    `json:"seed"`
+		Sessions int      `json:"sessions"`
+		Outcomes []string `json:"outcomes"`
+	}
+	if err := json.Unmarshal(data, &golden); err != nil {
+		t.Fatal(err)
+	}
+
+	w := vtime.BatchWorkload(resilientConfig(), core.DefaultScenario(), "default", golden.Sessions, golden.Seed, sch)
+	_, event := requireEquivalent(t, "chaos-golden-file", w)
+	for i, want := range golden.Outcomes {
+		if got := event.Results[i].Outcome.String(); got != want {
+			t.Fatalf("session %d: event engine outcome %q, golden file %q — vtime drifted from the checked-in artifact", i, got, want)
+		}
+	}
+}
+
+// fleetPicks builds a service-mix scenario assignment without the test
+// depending on network layers: the default loadgen mix over the builtin
+// catalog.
+func fleetPicks(t *testing.T, n int) []vtime.Pick {
+	t.Helper()
+	catalog := service.BuiltinScenarios()
+	mix, err := service.ParseMix("default=4,quiet=2,cafe=2,samehand=1,walking=1,jammed=1,out-of-range=1", catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	picks := make([]vtime.Pick, n)
+	for i := range picks {
+		name := mix.Pick(uint64(i))
+		picks[i] = vtime.Pick{Name: name, Scenario: catalog[name]}
+	}
+	return picks
+}
+
+// TestFleetEquivalenceAndSharing is the crowded-room regime: F identical
+// fleets of device pairs running the same admission stream. It proves the
+// event engine bit-identical to the serial walk AND that replica fleets
+// actually share transitions (every fleet-0 session computes, every
+// replica session hits the memo) — the mechanism behind the bench gate.
+func TestFleetEquivalenceAndSharing(t *testing.T) {
+	const fleets, devices, requests = 3, 8, 40
+	w := vtime.FleetWorkload(resilientConfig(), equivSeed, fleets, devices, fleetPicks(t, requests), fault.DefaultChaosSchedule())
+	serial, event := requireEquivalent(t, "fleet", w)
+
+	perFleet := len(w.Sessions) / fleets
+	if perFleet*fleets != len(w.Sessions) {
+		t.Fatalf("fleet workload not replica-balanced: %d sessions over %d fleets", len(w.Sessions), fleets)
+	}
+	for f := 1; f < fleets; f++ {
+		for i := 0; i < perFleet; i++ {
+			if event.Fingerprints[f*perFleet+i] != event.Fingerprints[i] {
+				t.Fatalf("fleet %d session %d is not a replica of fleet 0 — the SeedFor contract broke", f, i)
+			}
+		}
+	}
+	if event.MemoMisses != uint64(perFleet) {
+		t.Errorf("event engine computed %d transitions for %d distinct sessions — replicas are not sharing", event.MemoMisses, perFleet)
+	}
+	if want := uint64(perFleet * (fleets - 1)); event.MemoHits != want {
+		t.Errorf("memo hits = %d, want %d (every replica session shared)", event.MemoHits, want)
+	}
+	if serial.VirtualEnd != event.VirtualEnd {
+		t.Errorf("virtual end diverged: serial %v, event %v", serial.VirtualEnd, event.VirtualEnd)
+	}
+}
+
+// TestVirtualWindowChaos pins ForSessionAt semantics end to end: a rule
+// live only in a virtual window must strike sessions that start inside it
+// and spare the rest, identically on both engines.
+func TestVirtualWindowChaos(t *testing.T) {
+	sch := &fault.Schedule{
+		Name: "virtual-window",
+		Rules: []fault.Rule{
+			{Kind: fault.KindLinkDrop, Prob: 1, OpProb: 1, ToVirtualMS: 4000},
+			{Kind: fault.KindLinkDrop, Prob: 0, FromVirtualMS: 4000},
+		},
+	}
+	if !sch.HasVirtualWindows() {
+		t.Fatal("schedule should report virtual windows")
+	}
+	cfg := resilientConfig()
+	picks := make([]vtime.Pick, 6)
+	for i := range picks {
+		picks[i] = vtime.Pick{Name: "default", Scenario: core.DefaultScenario()}
+	}
+	// One device serializes all sessions, so later sessions start beyond
+	// the 4 s window and must escape the total link drop.
+	w := vtime.FleetWorkload(cfg, equivSeed, 1, 1, picks, sch)
+	_, event := requireEquivalent(t, "virtual-window", w)
+
+	first := event.Results[0]
+	if first.Outcome != core.OutcomeFallbackPIN {
+		t.Fatalf("session 0 started at t=0 under a total link drop; outcome %v, want fallback-pin", first.Outcome)
+	}
+	last := event.Results[len(event.Results)-1]
+	if !last.Unlocked {
+		t.Fatalf("final session started after the fault window closed; outcome %v, want an unlock", last.Outcome)
+	}
+}

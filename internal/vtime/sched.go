@@ -1,0 +1,117 @@
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is one scheduled occurrence on the virtual timeline. Its position
+// in the total order is (At, Session, Seq) and nothing else — goroutine
+// scheduling, insertion order, and map iteration can never reorder a
+// replay. Session is the owning session's stable index (derived from the
+// workload, ultimately from the sim.SeedFor admission contract) and Seq
+// is the caller-assigned sequence number within that session, so two
+// events of one session at the same instant fire in protocol order.
+type Event struct {
+	At      time.Duration
+	Session int64
+	Seq     uint64
+	Fire    func(now time.Duration)
+}
+
+// before is the scheduler's strict total order.
+func (e *Event) before(o *Event) bool {
+	if e.At != o.At {
+		return e.At < o.At
+	}
+	if e.Session != o.Session {
+		return e.Session < o.Session
+	}
+	return e.Seq < o.Seq
+}
+
+// eventHeap is a min-heap over the (At, Session, Seq) order.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].before(h[j]) }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Scheduler is a single-threaded discrete-event scheduler over virtual
+// time. It is deliberately not safe for concurrent use: determinism comes
+// from there being exactly one event loop, and parallelism lives inside
+// events (batched DSP), not between them.
+type Scheduler struct {
+	h     eventHeap
+	now   time.Duration
+	fired uint64
+}
+
+// NewScheduler returns an empty scheduler at virtual time zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current virtual time: the timestamp of the event being
+// fired, or of the last event fired.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Pending returns the number of scheduled, not-yet-fired events.
+func (s *Scheduler) Pending() int { return len(s.h) }
+
+// Fired returns the number of events fired so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Schedule adds an event. Scheduling into the past is refused — the
+// virtual clock is monotone by construction, and an event that would
+// require rewinding it is always a logic error in the caller.
+func (s *Scheduler) Schedule(at time.Duration, session int64, seq uint64, fire func(now time.Duration)) error {
+	if at < s.now {
+		return fmt.Errorf("vtime: event (session %d, seq %d) scheduled at %v, before virtual now %v", session, seq, at, s.now)
+	}
+	if fire == nil {
+		return fmt.Errorf("vtime: event (session %d, seq %d) has no fire function", session, seq)
+	}
+	heap.Push(&s.h, &Event{At: at, Session: session, Seq: seq, Fire: fire})
+	return nil
+}
+
+// Step fires the single next event in the total order, advancing the
+// virtual clock to its timestamp. It returns false when no events remain.
+func (s *Scheduler) Step() (bool, error) {
+	if len(s.h) == 0 {
+		return false, nil
+	}
+	ev := heap.Pop(&s.h).(*Event)
+	if ev.At < s.now {
+		// Unreachable if Schedule's guard holds; kept as the monotonicity
+		// backstop the property tests pin.
+		return false, fmt.Errorf("vtime: clock would go backwards: event at %v, now %v", ev.At, s.now)
+	}
+	s.now = ev.At
+	s.fired++
+	ev.Fire(s.now)
+	return true, nil
+}
+
+// Run fires events until the queue is empty. Events may schedule further
+// events; Run returns when the virtual world has gone quiet.
+func (s *Scheduler) Run() error {
+	for {
+		more, err := s.Step()
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package vtime
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+type evKey struct {
+	at      time.Duration
+	session int64
+	seq     uint64
+}
+
+func (k evKey) less(o evKey) bool {
+	if k.at != o.at {
+		return k.at < o.at
+	}
+	if k.session != o.session {
+		return k.session < o.session
+	}
+	return k.seq < o.seq
+}
+
+// decodeEvents derives a deterministic event set from fuzz bytes: each
+// 6-byte chunk becomes (at, session, seq), bounded so ties are common.
+func decodeEvents(data []byte) []evKey {
+	var keys []evKey
+	seen := make(map[evKey]bool)
+	for i := 0; i+6 <= len(data) && len(keys) < 512; i += 6 {
+		at := time.Duration(binary.LittleEndian.Uint16(data[i:])) % 64 // few distinct timestamps → many ties
+		session := int64(data[i+2]) % 16
+		seq := uint64(binary.LittleEndian.Uint16(data[i+3:])) % 32
+		k := evKey{at: at * time.Millisecond, session: session, seq: seq}
+		if seen[k] {
+			continue // duplicate total-order keys would make "which fired first" unobservable
+		}
+		seen[k] = true
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// FuzzVTimeSchedule feeds random event sets to the scheduler and asserts
+// the replay contract: the fired order is the (At, Session, Seq) total
+// order, identical across shuffled insertion, with a monotone virtual
+// clock — same-timestamp ties broken by (session, seq) only, never by
+// insertion order.
+func FuzzVTimeSchedule(f *testing.F) {
+	f.Add([]byte{1, 0, 3, 5, 0, 0, 1, 0, 2, 4, 0, 0, 9, 0, 1, 1, 0, 0})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 2, 0, 0, 0})
+	f.Add(make([]byte, 6*64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		keys := decodeEvents(data)
+		if len(keys) == 0 {
+			return
+		}
+		want := append([]evKey(nil), keys...)
+		sort.Slice(want, func(i, j int) bool { return want[i].less(want[j]) })
+
+		run := func(insertion []evKey) []evKey {
+			s := NewScheduler()
+			var fired []evKey
+			for _, k := range insertion {
+				k := k
+				if err := s.Schedule(k.at, k.session, k.seq, func(now time.Duration) {
+					fired = append(fired, k)
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			last := time.Duration(0)
+			for {
+				more, err := s.Step()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !more {
+					break
+				}
+				if s.Now() < last {
+					t.Fatalf("virtual clock went backwards: %v after %v", s.Now(), last)
+				}
+				last = s.Now()
+			}
+			return fired
+		}
+
+		orderA := run(keys)
+		shuffled := append([]evKey(nil), keys...)
+		rng := rand.New(rand.NewSource(int64(len(data))*7919 + 17))
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		orderB := run(shuffled)
+
+		if len(orderA) != len(want) || len(orderB) != len(want) {
+			t.Fatalf("fired %d / %d events, scheduled %d", len(orderA), len(orderB), len(want))
+		}
+		for i := range want {
+			if orderA[i] != want[i] {
+				t.Fatalf("insertion-order run: position %d fired %+v, total order wants %+v", i, orderA[i], want[i])
+			}
+			if orderB[i] != want[i] {
+				t.Fatalf("shuffled run: position %d fired %+v, total order wants %+v — order depends on insertion", i, orderB[i], want[i])
+			}
+		}
+	})
+}
+
+// TestSchedulerRejectsPast pins the monotonicity guard: an event behind
+// the virtual clock is refused at Schedule time.
+func TestSchedulerRejectsPast(t *testing.T) {
+	s := NewScheduler()
+	if err := s.Schedule(10*time.Millisecond, 0, 0, func(time.Duration) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != 10*time.Millisecond {
+		t.Fatalf("now = %v, want 10ms", s.Now())
+	}
+	if err := s.Schedule(5*time.Millisecond, 0, 1, func(time.Duration) {}); err == nil {
+		t.Fatal("scheduling into the past succeeded")
+	}
+	if err := s.Schedule(10*time.Millisecond, 0, 1, func(time.Duration) {}); err != nil {
+		t.Fatalf("scheduling at the current instant should be allowed: %v", err)
+	}
+}
+
+// TestSchedulerEventsCanSchedule pins the discrete-event recursion: an
+// event scheduling a follow-up keeps Run going until quiescence.
+func TestSchedulerEventsCanSchedule(t *testing.T) {
+	s := NewScheduler()
+	var fired []time.Duration
+	var chain func(at time.Duration)
+	chain = func(at time.Duration) {
+		if err := s.Schedule(at, 0, uint64(len(fired)), func(now time.Duration) {
+			fired = append(fired, now)
+			if len(fired) < 5 {
+				chain(now + time.Millisecond)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chain(0)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 5 {
+		t.Fatalf("chain fired %d events, want 5", len(fired))
+	}
+	for i, at := range fired {
+		if at != time.Duration(i)*time.Millisecond {
+			t.Fatalf("chain event %d fired at %v", i, at)
+		}
+	}
+	if s.Fired() != 5 || s.Pending() != 0 {
+		t.Fatalf("accounting: fired=%d pending=%d", s.Fired(), s.Pending())
+	}
+}

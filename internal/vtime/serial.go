@@ -1,0 +1,125 @@
+package vtime
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"wearlock/internal/core"
+	"wearlock/internal/sim"
+)
+
+// RunSerial is the reference engine: it walks every session to completion
+// one at a time — no event queue, no memoization, every session
+// physically executed — while keeping the same per-device virtual-time
+// accounting (a device's next session starts when its previous one
+// finished or at its admission time, whichever is later). This is the
+// ground truth the event engine is proven bit-identical against.
+func RunSerial(w Workload) (*Report, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	devs := groupDevices(&w)
+	keys := make([]DeviceKey, 0, len(devs))
+	for k := range devs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Fleet != keys[j].Fleet {
+			return keys[i].Fleet < keys[j].Fleet
+		}
+		return keys[i].Stream < keys[j].Stream
+	})
+
+	rep := &Report{
+		Fingerprints: make([]string, len(w.Sessions)),
+		Results:      make([]*core.Result, len(w.Sessions)),
+		Steps:        make([][]StepRec, len(w.Sessions)),
+		DeviceEnds:   make(map[DeviceKey]DeviceEnd),
+	}
+	for _, k := range keys {
+		d := devs[k]
+		src := sim.NewCountingSource(sim.SeedFor(w.Seed, k.Stream))
+		sys, err := core.NewSystem(w.Config, rand.New(src))
+		if err != nil {
+			return nil, fmt.Errorf("vtime: serial device %+v: %w", k, err)
+		}
+		var cursor time.Duration
+		for _, s := range d.sessions {
+			start := s.Admit
+			if start < cursor {
+				start = cursor
+			}
+			sc, _ := armFaults(s, start)
+			m := sys.NewUnlockMachine(sc, nil)
+			var steps []StepRec
+			var charged time.Duration
+			for !m.Done() {
+				st, err := m.Step(context.Background())
+				if err != nil {
+					return nil, fmt.Errorf("vtime: serial session %d: %w", s.Index, err)
+				}
+				steps = append(steps, StepRec{PreWait: st.PreWait, Occupied: st.Occupied})
+				charged += st.PreWait + st.Occupied
+			}
+			final := m.Final()
+			rep.Fingerprints[s.Index] = final.Fingerprint()
+			rep.Results[s.Index] = final
+			rep.Steps[s.Index] = steps
+			cursor = start + charged
+		}
+		if cursor > rep.VirtualEnd {
+			rep.VirtualEnd = cursor
+		}
+		ex := sys.ExportState()
+		rep.DeviceEnds[k] = DeviceEnd{Draws: src.Draws(), GenCounter: ex.GenCounter, VerCounter: ex.VerCounter}
+	}
+	return rep, nil
+}
+
+// Diff compares two reports session by session and returns a description
+// of the first divergence — including both step-event traces — or the
+// empty string when the reports are bit-identical. The golden equivalence
+// suite prints this on failure.
+func Diff(name string, a, b *Report) string {
+	if len(a.Fingerprints) != len(b.Fingerprints) {
+		return fmt.Sprintf("%s: session counts differ: %d vs %d", name, len(a.Fingerprints), len(b.Fingerprints))
+	}
+	for i := range a.Fingerprints {
+		if a.Fingerprints[i] == b.Fingerprints[i] {
+			continue
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%s: first divergence at session %d\n", name, i)
+		fmt.Fprintf(&sb, "--- event trace A (%d steps)\n%s", len(a.Steps[i]), traceFor(a.Steps[i]))
+		fmt.Fprintf(&sb, "--- event trace B (%d steps)\n%s", len(b.Steps[i]), traceFor(b.Steps[i]))
+		fmt.Fprintf(&sb, "--- result A\n%s--- result B\n%s", a.Fingerprints[i], b.Fingerprints[i])
+		return sb.String()
+	}
+	for dev, ea := range a.DeviceEnds {
+		eb, ok := b.DeviceEnds[dev]
+		if !ok {
+			return fmt.Sprintf("%s: device %+v missing from B", name, dev)
+		}
+		if ea != eb {
+			return fmt.Sprintf("%s: device %+v terminal state diverged: A %+v vs B %+v", name, dev, ea, eb)
+		}
+	}
+	if a.VirtualEnd != b.VirtualEnd {
+		return fmt.Sprintf("%s: virtual end diverged: %v vs %v", name, a.VirtualEnd, b.VirtualEnd)
+	}
+	return ""
+}
+
+func traceFor(steps []StepRec) string {
+	var sb strings.Builder
+	var t time.Duration
+	for i, s := range steps {
+		t += s.PreWait + s.Occupied
+		fmt.Fprintf(&sb, "  step %d: prewait=%v occupied=%v (ends at +%v)\n", i, s.PreWait, s.Occupied, t)
+	}
+	return sb.String()
+}

@@ -1,0 +1,40 @@
+package vtime
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"wearlock/internal/core"
+	"wearlock/internal/keyguard"
+)
+
+// stateKey canonically encodes everything that determines a device's
+// future behavior: which random stream it consumes (the SeedFor
+// coordinate), how far into that stream it is, and the full durable
+// protocol state. Two devices with equal state keys are bit-identical
+// from here on — the equivalence class the transition memo shares work
+// across. The key is the full canonical encoding, not a hash, so equal
+// keys are exactly equal states (no collision risk can corrupt a replay).
+func stateKeyFor(stream int64, draws uint64, ex core.DeviceExport) string {
+	// A keyguard left Unlocked relocks on the next session's first touch
+	// and behaves identically to Locked everywhere (only LockedOut changes
+	// the protocol); keyguard.Restore canonicalizes the same way, so the
+	// digest must too or equal-behavior states would miss sharing.
+	guard := ex.GuardState
+	if guard == keyguard.StateUnlocked {
+		guard = keyguard.StateLocked
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "s%d|d%d|k%s|g%d|v%d|f%d|lo%t|gs%d|gf%d|t%d",
+		stream, draws, hex.EncodeToString(ex.Key),
+		ex.GenCounter, ex.VerCounter, ex.VerFailures, ex.VerLockedOut,
+		int(guard), ex.GuardFailures, ex.NowUnixNano)
+	return b.String()
+}
+
+// freshStateKey is the state of a device that has never run: no draws
+// consumed, protocol state implied entirely by the stream coordinate.
+func freshStateKey(stream int64) string {
+	return fmt.Sprintf("s%d|fresh", stream)
+}

@@ -1,0 +1,139 @@
+package vtime_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"wearlock/internal/core"
+	"wearlock/internal/fault"
+	"wearlock/internal/vtime"
+)
+
+// TestTimingAccountingRegression asserts, for every session of a chaotic
+// batch, that the virtual-time charges (PreWait+Occupied summed over the
+// discrete step events) equal the serial engine's charged-time total —
+// Result.Timeline.Total() — exactly, to the nanosecond. This is the test
+// that catches drift in resilience timeout capping: boundPhase truncation
+// must charge identically whether a session runs serially or event by
+// event.
+func TestTimingAccountingRegression(t *testing.T) {
+	const sessions = 32
+	w := vtime.BatchWorkload(resilientConfig(), core.DefaultScenario(), "default", sessions, equivSeed, fault.DefaultChaosSchedule())
+	event, err := vtime.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range event.Results {
+		var charged time.Duration
+		for _, st := range event.Steps[i] {
+			charged += st.PreWait + st.Occupied
+		}
+		if total := event.Results[i].Timeline.Total(); charged != total {
+			t.Errorf("session %d: events charged %v, timeline total %v (drift %v)", i, charged, total, charged-total)
+		}
+		var wait time.Duration
+		for _, st := range event.Steps[i] {
+			wait += st.PreWait
+		}
+		// PreWait is exactly the backoff wait the timeline recorded as
+		// resilience/backoff-wait steps; the PIN entry is Occupied.
+		if backoff := event.Results[i].Timeline.TotalFor("resilience/backoff-wait"); wait != backoff {
+			t.Errorf("session %d: PreWait sum %v != backoff-wait charge %v", i, wait, backoff)
+		}
+	}
+}
+
+// TestRaceStressConcurrentSessions interleaves over 1k sessions across
+// concurrently running engines under the race detector: engines must
+// share nothing mutable, and every run must reproduce the same reference
+// fingerprints. Each goroutine runs a replica-fleet workload whose
+// fleet-0 slice must equal the single-fleet reference.
+func TestRaceStressConcurrentSessions(t *testing.T) {
+	const (
+		engines  = 8
+		fleets   = 4
+		devices  = 4
+		requests = 36
+	)
+	picks := fleetPicks(t, requests)
+	cfg := resilientConfig()
+
+	ref, err := vtime.Run(vtime.FleetWorkload(cfg, equivSeed, 1, devices, picks, fault.DefaultChaosSchedule()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perFleet := len(ref.Fingerprints)
+	if perFleet*fleets*engines < 1000 {
+		t.Fatalf("stress shape too small: %d sessions", perFleet*fleets*engines)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, engines)
+	for g := 0; g < engines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := vtime.FleetWorkload(cfg, equivSeed, fleets, devices, picks, fault.DefaultChaosSchedule())
+			rep, err := vtime.Run(w)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < len(rep.Fingerprints); i++ {
+				if rep.Fingerprints[i] != ref.Fingerprints[i%perFleet] {
+					errs <- fmt.Errorf("concurrent run diverged at session %d", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestManualClock pins the injectable clock the service layer's GC and
+// Retry-After math run on.
+func TestManualClock(t *testing.T) {
+	start := time.Unix(1700000000, 0)
+	c := vtime.NewManualClock(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("manual clock starts at %v", c.Now())
+	}
+	if got := c.Advance(3 * time.Second); !got.Equal(start.Add(3 * time.Second)) {
+		t.Fatalf("advance returned %v", got)
+	}
+	c.Advance(-time.Hour)
+	if !c.Now().Equal(start.Add(3 * time.Second)) {
+		t.Fatal("negative advance moved the clock")
+	}
+	c.Set(start.Add(time.Second))
+	if !c.Now().Equal(start.Add(3 * time.Second)) {
+		t.Fatal("backward Set moved the clock")
+	}
+	c.Set(start.Add(time.Minute))
+	if !c.Now().Equal(start.Add(time.Minute)) {
+		t.Fatal("forward Set ignored")
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Advance(time.Millisecond)
+				_ = c.Now()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if (vtime.WallClock{}).Now().IsZero() {
+		t.Fatal("wall clock returned the zero time")
+	}
+}

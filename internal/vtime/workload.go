@@ -1,0 +1,164 @@
+package vtime
+
+import (
+	"fmt"
+	"time"
+
+	"wearlock/internal/core"
+	"wearlock/internal/fault"
+)
+
+// DeviceKey identifies one logical phone↔watch pair in a workload. Stream
+// is the device's random-stream coordinate: its private RNG is seeded
+// from sim.SeedFor(workload seed, Stream), the same contract the service
+// fleet and the batch engine use. Fleet distinguishes replicas: two
+// devices with equal Stream in different fleets consume identical random
+// streams and therefore behave identically — the crowded-room regime of
+// many pairs unlocking simultaneously, and the sharing the engine's
+// transition memo exploits.
+type DeviceKey struct {
+	Fleet  int
+	Stream int64
+}
+
+// Session is one unlock request in a workload: which device runs it, in
+// what order, starting no earlier than Admit on the virtual timeline, and
+// under which scenario and fault derivation.
+type Session struct {
+	// Index is the session's slot in the results array and its scheduler
+	// session ID (the replay tie-breaker). Indices must be unique and
+	// dense in [0, len(Sessions)).
+	Index int64
+	// Device is the logical device this session runs on; sessions on one
+	// device serialize in LocalSeq order.
+	Device   DeviceKey
+	LocalSeq int64
+	// Admit is the earliest virtual time the session may start.
+	Admit time.Duration
+	// Scenario is the base scenario; Faults are armed by the engine at
+	// session start (so virtual-window chaos sees the true start time).
+	Scenario core.Scenario
+	// ScenKey canonically names the scenario for transition memoization.
+	ScenKey string
+	// Chaos + ChaosSeed + ChaosSeq derive the session's faults via
+	// fault.ForSessionAt; nil Chaos runs clean.
+	Chaos     *fault.Schedule
+	ChaosSeed int64
+	ChaosSeq  int64
+}
+
+// Workload is a full evaluation load: a shared deployment configuration,
+// the base seed every stream derives from, and the session list.
+type Workload struct {
+	Config   core.Config
+	Seed     int64
+	Sessions []Session
+}
+
+// Validate checks structural invariants both engines rely on.
+func (w *Workload) Validate() error {
+	if err := w.Config.Validate(); err != nil {
+		return fmt.Errorf("vtime: workload config: %w", err)
+	}
+	if len(w.Sessions) == 0 {
+		return fmt.Errorf("vtime: workload has no sessions")
+	}
+	seen := make([]bool, len(w.Sessions))
+	for i := range w.Sessions {
+		s := &w.Sessions[i]
+		if s.Index < 0 || s.Index >= int64(len(w.Sessions)) {
+			return fmt.Errorf("vtime: session %d index %d outside [0, %d)", i, s.Index, len(w.Sessions))
+		}
+		if seen[s.Index] {
+			return fmt.Errorf("vtime: duplicate session index %d", s.Index)
+		}
+		seen[s.Index] = true
+		if s.Admit < 0 {
+			return fmt.Errorf("vtime: session %d admitted at negative virtual time %v", s.Index, s.Admit)
+		}
+		if err := s.Scenario.Validate(); err != nil {
+			return fmt.Errorf("vtime: session %d scenario: %w", s.Index, err)
+		}
+		if s.Chaos != nil {
+			if err := s.Chaos.Validate(); err != nil {
+				return fmt.Errorf("vtime: session %d chaos: %w", s.Index, err)
+			}
+		}
+	}
+	return nil
+}
+
+// BatchWorkload mirrors core.RunBatch semantics onto the virtual-time
+// engines: every session runs on its own fresh device whose stream
+// coordinate is the session index, with faults derived from (seed,
+// session index) — bit-for-bit the contract behind the checked-in chaos
+// golden artifacts.
+func BatchWorkload(cfg core.Config, scenario core.Scenario, scenKey string, sessions int, seed int64, chaos *fault.Schedule) Workload {
+	w := Workload{Config: cfg, Seed: seed, Sessions: make([]Session, sessions)}
+	for i := 0; i < sessions; i++ {
+		w.Sessions[i] = Session{
+			Index:     int64(i),
+			Device:    DeviceKey{Fleet: 0, Stream: int64(i)},
+			LocalSeq:  0,
+			Scenario:  scenario,
+			ScenKey:   scenKey,
+			Chaos:     chaos,
+			ChaosSeed: seed,
+			ChaosSeq:  int64(i),
+		}
+	}
+	return w
+}
+
+// Pick names one scenario assignment in a traffic mix (the caller builds
+// the list from service.ParseMix so vtime never imports service).
+type Pick struct {
+	Name     string
+	Scenario core.Scenario
+}
+
+// FleetWorkload mirrors wearlockd's admission semantics onto F identical
+// fleets: request i (0-based) becomes admission sequence i+1, lands on
+// device (i+1) mod devices — the service's round-robin — with faults from
+// (seed, sequence). Every fleet replays the same request stream against
+// the same device streams, so fleet f is an exact replica of fleet 0;
+// session indices are fleet-major, which makes fleet 0 the tie-break
+// winner at equal virtual times and therefore the fleet that computes
+// each transition the others share.
+//
+// Sequences whose faults arm pool-exhaust are skipped — the service
+// rejects them at admission — while still consuming their admission
+// sequence, exactly like wearlockd persisting the burned fault stream.
+// Admission-level faults are evaluated at virtual time zero.
+func FleetWorkload(cfg core.Config, seed int64, fleets, devices int, picks []Pick, chaos *fault.Schedule) Workload {
+	var accepted []Session
+	localSeq := make(map[int]int64, devices)
+	for i, p := range picks {
+		seq := int64(i + 1)
+		if chaos != nil && fault.ForSession(chaos, seed, seq).PoolExhausted() {
+			continue
+		}
+		dev := int(seq % int64(devices))
+		accepted = append(accepted, Session{
+			Device:    DeviceKey{Stream: int64(dev)},
+			LocalSeq:  localSeq[dev],
+			Scenario:  p.Scenario,
+			ScenKey:   p.Name,
+			Chaos:     chaos,
+			ChaosSeed: seed,
+			ChaosSeq:  seq,
+		})
+		localSeq[dev]++
+	}
+
+	perFleet := len(accepted)
+	w := Workload{Config: cfg, Seed: seed, Sessions: make([]Session, 0, perFleet*fleets)}
+	for f := 0; f < fleets; f++ {
+		for _, s := range accepted {
+			s.Index = int64(len(w.Sessions))
+			s.Device.Fleet = f
+			w.Sessions = append(w.Sessions, s)
+		}
+	}
+	return w
+}
