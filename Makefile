@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test race bench test-chaos test-store test-vtime fuzz-smoke bench-sim bench-service bench-chaos bench-dsp bench-store bench-vtime
+.PHONY: ci vet lint build test race bench test-chaos test-store test-vtime test-cluster fuzz-smoke bench-sim bench-service bench-chaos bench-dsp bench-store bench-vtime bench-cluster
 
-ci: vet lint build race bench test-chaos test-store test-vtime bench-dsp bench-service bench-store bench-vtime
+ci: vet lint build race bench test-chaos test-store test-vtime test-cluster bench-dsp bench-service bench-store bench-vtime bench-cluster
 
 vet:
 	$(GO) vet ./...
@@ -62,6 +62,17 @@ test-vtime:
 	$(GO) test -race -count=1 ./internal/vtime
 	$(GO) test -run='^$$' -fuzz=FuzzVTimeSchedule -fuzztime=10s ./internal/vtime
 
+# The cluster suite (DESIGN.md §13): ring/wire/aggregation unit tests,
+# the shard-mode ownership/fence/epoch contract, and the race-enabled
+# multi-daemon integration tests — real gateway and shards over loopback
+# HTTP, including the live-handoff chaos drill (a shard joins under
+# closed-loop load; zero counter regressions, zero accepted replays,
+# zero dropped requests).
+test-cluster:
+	$(GO) test -race -count=1 ./internal/cluster
+	$(GO) test -race -count=1 ./internal/service -run 'TestShard|TestRetryAfter'
+	$(GO) test -race -count=1 ./cmd/benchcluster
+
 # Brief run of each fuzz target against its checked-in corpus plus a few
 # seconds of mutation.
 fuzz-smoke:
@@ -70,6 +81,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzPayloadDecoders -fuzztime=10s ./internal/proto
 	$(GO) test -run='^$$' -fuzz=FuzzFaultSchedule -fuzztime=10s ./internal/fault
 	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=10s ./internal/store
+	$(GO) test -run='^$$' -fuzz=FuzzWireProtocol -fuzztime=10s ./internal/cluster
 
 # Regenerate BENCH_dsp.json and enforce the DSP fast-path regression
 # gate (DESIGN.md §10): per-pair speedup floors plus zero allocs/op on
@@ -108,6 +120,14 @@ bench-store:
 # fatal regardless of throughput).
 bench-vtime:
 	$(GO) run ./cmd/benchvtime -out BENCH_vtime.json -check
+
+# Regenerate BENCH_cluster.json and enforce the linear-scaling gate
+# (DESIGN.md §13): a 2-shard cluster must deliver >= 1.8x and a 4-shard
+# cluster >= 3.2x the 1-shard sessions/sec, and the live-handoff drill
+# must report zero HOTP counter regressions, zero accepted replays, and
+# zero requests dropped without a retryable 429/503 + Retry-After.
+bench-cluster:
+	$(GO) run ./cmd/benchcluster -out BENCH_cluster.json -check
 
 # Regenerate the success-rate / latency vs fault-intensity curves in
 # BENCH_chaos.json.

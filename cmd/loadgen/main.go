@@ -52,6 +52,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wearlock/internal/cluster"
 	"wearlock/internal/core"
 	"wearlock/internal/fault"
 	"wearlock/internal/service"
@@ -77,10 +78,12 @@ type record struct {
 	Mix            string         `json:"mix"`
 	Chaos          string         `json:"chaos,omitempty"`
 	Selfhost       bool           `json:"selfhost"`
+	Shards         int            `json:"shards,omitempty"`
 	WallSeconds    float64        `json:"wall_seconds"`
 	Throughput     float64        `json:"sessions_per_sec"`
 	Outcomes       map[string]int `json:"outcomes"`
 	Rejected429    int64          `json:"rejected_429"`
+	Deferred503    int64          `json:"deferred_503"`
 	HTTPErrors     int64          `json:"http_errors"`
 	Latency        latencySummary `json:"latency"`
 	UnlockDelay    latencySummary `json:"unlock_delay"`
@@ -244,6 +247,8 @@ func run() int {
 		stateDir = flag.String("state-dir", "", "selfhost: durable state directory; arms the store-metrics consistency gate")
 		virtual  = flag.Bool("virtual", false, "run the admission stream on the virtual-time engine instead of a daemon")
 		fleets   = flag.Int("fleets", 1, "virtual: replica device fleets to interleave")
+		shards   = flag.Int("selfhost-shards", 0, "boot an in-process cluster (gateway + this many shard daemons) and drive load through the gateway")
+		paceAir  = flag.Float64("pace", 0, "selfhost: airtime pacing factor (hold each device for pace × protocol timeline; 0 = off)")
 	)
 	flag.Parse()
 
@@ -258,7 +263,15 @@ func run() int {
 	}
 
 	base := *addr
-	if *selfhost {
+	if *shards > 0 {
+		b, cleanup, err := selfhostCluster(*shards, *devices, *queue, *seed, *stateDir, *paceAir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: selfhost cluster: %v\n", err)
+			return 1
+		}
+		defer cleanup()
+		base = b
+	} else if *selfhost {
 		cfg := service.DefaultConfig()
 		cfg.Seed = *seed
 		if *devices > 0 {
@@ -280,6 +293,7 @@ func run() int {
 			}
 		}
 		cfg.StateDir = *stateDir
+		cfg.PaceAirtime = *paceAir
 		svc, err := service.New(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: selfhost: %v\n", err)
@@ -326,6 +340,7 @@ func run() int {
 	var (
 		next      atomic.Int64
 		rejected  atomic.Int64
+		deferred  atomic.Int64
 		httpErrs  atomic.Int64
 		mu        sync.Mutex
 		outcomes  = map[string]int{}
@@ -348,8 +363,17 @@ func run() int {
 				}
 				scenario := mix.Pick(uint64(i))
 				view, code, err := doUnlock(client, base, scenario)
-				for err == nil && code == http.StatusTooManyRequests {
-					rejected.Add(1)
+				// 429 is queue backpressure; 503 with a Retry-After header is
+				// deferral (draining shard, fenced handoff range, gateway
+				// retry hint) — both carry a retry time, so neither is a
+				// dropped request.
+				for err == nil && (code == http.StatusTooManyRequests ||
+					(code == http.StatusServiceUnavailable && view.retryAfter != "")) {
+					if code == http.StatusTooManyRequests {
+						rejected.Add(1)
+					} else {
+						deferred.Add(1)
+					}
 					time.Sleep(retryAfter(view.retryAfter))
 					view, code, err = doUnlock(client, base, scenario)
 				}
@@ -415,11 +439,13 @@ func run() int {
 		RatePerSec:     *rate,
 		Mix:            *mixSpec,
 		Chaos:          *chaos,
-		Selfhost:       *selfhost,
+		Selfhost:       *selfhost || *shards > 0,
+		Shards:         *shards,
 		WallSeconds:    wall.Seconds(),
 		Throughput:     float64(completed) / wall.Seconds(),
 		Outcomes:       outcomes,
 		Rejected429:    rejected.Load(),
+		Deferred503:    deferred.Load(),
 		HTTPErrors:     httpErrs.Load(),
 		Latency:        summarize(&latencies),
 		UnlockDelay:    summarize(&delays),
@@ -449,13 +475,13 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "loadgen: daemon metrics disagree with observed outcomes: %s\n", diff)
 		// Only a freshly-booted daemon's counters must match exactly; an
 		// external daemon may carry traffic from before this run.
-		if *selfhost {
+		if *selfhost || *shards > 0 {
 			return 1
 		}
 	}
 	if storeRep != nil && !storeRep.Consistent {
 		fmt.Fprintf(os.Stderr, "loadgen: store metrics inconsistent: %s\n", storeRep.Detail)
-		if *selfhost {
+		if *selfhost || *shards > 0 {
 			return 1
 		}
 	}
@@ -476,21 +502,26 @@ func scrapeStoreMetrics(client *http.Client, base string) (storeReport, error) {
 	seen := map[string]bool{}
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
-		name, valStr, ok := strings.Cut(sc.Text(), " ")
-		if !ok || strings.HasPrefix(name, "#") {
+		// A gateway's aggregated exposition carries these series once per
+		// shard with a shard label; counters sum, the recovery gauge
+		// reports the slowest shard.
+		name, _, valStr, ok := splitSample(sc.Text())
+		if !ok {
 			continue
 		}
-		v, err := strconv.ParseFloat(strings.TrimSpace(valStr), 64)
+		v, err := strconv.ParseFloat(valStr, 64)
 		if err != nil {
 			continue
 		}
 		switch name {
 		case "wearlockd_wal_records_total":
-			rep.WALRecords = int(v)
+			rep.WALRecords += int(v)
 		case "wearlockd_store_corruptions_total":
-			rep.Corruptions = int(v)
+			rep.Corruptions += int(v)
 		case "wearlockd_recovery_seconds":
-			rep.RecoverySeconds = v
+			if v > rep.RecoverySeconds {
+				rep.RecoverySeconds = v
+			}
 		default:
 			continue
 		}
@@ -543,37 +574,152 @@ func retryAfter(header string) time.Duration {
 	return 100 * time.Millisecond
 }
 
-// scrapeOutcomes parses wearlockd_sessions_total{outcome="..."} counters
-// out of the Prometheus text exposition.
+// scrapeOutcomes parses wearlockd_sessions_total outcome counters out of
+// the Prometheus text exposition, summing over any extra labels (a
+// gateway's aggregate splits each outcome by shard).
 func scrapeOutcomes(client *http.Client, base string) (map[string]int, string, error) {
 	resp, err := client.Get(base + "/metrics")
 	if err != nil {
 		return nil, "", err
 	}
 	defer resp.Body.Close()
-	const prefix = `wearlockd_sessions_total{outcome="`
 	counts := map[string]int{}
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
 		line := sc.Text()
-		if !strings.HasPrefix(line, prefix) {
+		name, labels, valStr, ok := splitSample(line)
+		if !ok || name != "wearlockd_sessions_total" {
 			continue
 		}
-		rest := line[len(prefix):]
-		name, valStr, ok := strings.Cut(rest, `"} `)
+		outcome, ok := labelValue(labels, "outcome")
 		if !ok {
 			continue
 		}
-		v, err := strconv.ParseFloat(strings.TrimSpace(valStr), 64)
+		v, err := strconv.ParseFloat(valStr, 64)
 		if err != nil {
 			return nil, "", fmt.Errorf("bad counter line %q: %w", line, err)
 		}
-		counts[name] = int(v)
+		counts[outcome] += int(v)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, "", err
 	}
 	return counts, fmt.Sprintf("%d outcome counters scraped.", len(counts)), nil
+}
+
+// splitSample parses one exposition sample line, `name{labels} value` or
+// `name value`, tolerating a trailing timestamp.
+func splitSample(line string) (name, labels, value string, ok bool) {
+	if line == "" || strings.HasPrefix(line, "#") {
+		return "", "", "", false
+	}
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", "", "", false
+		}
+		name, labels, rest = line[:i], line[i+1:j], line[j+1:]
+	} else if i := strings.IndexByte(line, ' '); i >= 0 {
+		name, rest = line[:i], line[i:]
+	} else {
+		return "", "", "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", "", "", false
+	}
+	return name, labels, fields[0], true
+}
+
+// labelValue extracts one label's value out of a sample's label string.
+func labelValue(labels, key string) (string, bool) {
+	for _, part := range strings.Split(labels, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if ok && k == key {
+			return strings.Trim(v, `"`), true
+		}
+	}
+	return "", false
+}
+
+// selfhostCluster boots shard daemons plus a consistent-hash gateway
+// in-process and returns the gateway's base URL — the cluster equivalent
+// of -selfhost. With a -state-dir, each shard gets its own subdirectory.
+func selfhostCluster(n, devices, queue int, seed int64, stateDir string, pace float64) (string, func(), error) {
+	def := service.DefaultConfig()
+	if devices > 0 {
+		def.Devices = devices
+	}
+	if queue > 0 {
+		def.QueueDepth = queue
+	}
+	def.Seed = seed
+	def.PaceAirtime = pace
+
+	var cleanups []func()
+	cleanup := func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
+	var shardCfgs []cluster.ShardConfig
+	for i := 0; i < n; i++ {
+		cfg := def
+		cfg.ShardID = fmt.Sprintf("s%d", i)
+		if stateDir != "" {
+			cfg.StateDir = stateDir + "/" + cfg.ShardID
+		}
+		svc, err := service.New(cfg)
+		if err != nil {
+			cleanup()
+			return "", nil, fmt.Errorf("shard %s: %w", cfg.ShardID, err)
+		}
+		if cfg.StateDir != "" {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			err := svc.WaitReady(ctx)
+			cancel()
+			if err != nil {
+				cleanup()
+				return "", nil, fmt.Errorf("shard %s recovery: %w", cfg.ShardID, err)
+			}
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cleanup()
+			return "", nil, err
+		}
+		server := &http.Server{Handler: svc.Handler()}
+		go func() { _ = server.Serve(ln) }()
+		cleanups = append(cleanups, func() { _ = server.Close() })
+		shardCfgs = append(shardCfgs, cluster.ShardConfig{
+			Name:    cfg.ShardID,
+			BaseURL: "http://" + ln.Addr().String(),
+		})
+	}
+	gw, err := cluster.NewGateway(cluster.GatewayConfig{Shards: shardCfgs, TotalDevices: def.Devices})
+	if err != nil {
+		cleanup()
+		return "", nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	err = gw.Register(ctx)
+	cancel()
+	if err != nil {
+		cleanup()
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		cleanup()
+		return "", nil, err
+	}
+	server := &http.Server{Handler: gw.Handler()}
+	go func() { _ = server.Serve(ln) }()
+	cleanups = append(cleanups, func() { _ = server.Close() })
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("selfhost cluster on %s (%d shards, %d devices)\n", base, n, def.Devices)
+	return base, cleanup, nil
 }
 
 // compareOutcomes checks the daemon's counters cover exactly the

@@ -10,6 +10,15 @@
 //	          [-session-ttl 2m] [-request-timeout 30s] [-seed 42]
 //	          [-chaos builtin | -chaos schedule.json] [-pprof]
 //	          [-state-dir /var/lib/wearlockd] [-snapshot-every 1024]
+//	          [-shard-id s0] [-pace 0.3] [-addr-file /run/wearlockd.addr]
+//
+// With -addr :0 the kernel picks a free port; the daemon prints the
+// bound address ("listening host:port") on stdout and, with -addr-file,
+// writes it to a file so supervisors and tests can discover it. With
+// -shard-id the daemon identifies itself as a cluster shard (see
+// cmd/wearlock-gateway): it accepts a gateway's registration on
+// /cluster/v1/* and serves only its assigned device range. Standalone
+// daemons never see those endpoints fire and behave exactly as before.
 //
 // With -state-dir the daemon keeps pairing keys and HOTP counters in a
 // crash-safe WAL-backed store: every accepted session is fsynced before
@@ -87,6 +96,9 @@ func run() int {
 		stateDir   = flag.String("state-dir", "", "durable state directory for pairing keys and HOTP counters (empty = ephemeral)")
 		snapEvery  = flag.Int("snapshot-every", 0, "compact the state WAL after this many records (0 = default 1024)")
 		noFsync    = flag.Bool("no-fsync", false, "UNSAFE: skip per-commit fsyncs; committed state no longer survives power loss")
+		shardID    = flag.String("shard-id", "", "cluster shard identity (stamped on wearlockd_build_info and wire acks; empty = standalone)")
+		pace       = flag.Float64("pace", 0, "airtime pacing: hold each device for pace × protocol timeline after a session (0 = off)")
+		addrFile   = flag.String("addr-file", "", "write the bound listen address to this file (useful with -addr :0)")
 	)
 	flag.Parse()
 
@@ -100,6 +112,8 @@ func run() int {
 	cfg.StateDir = *stateDir
 	cfg.SnapshotEvery = *snapEvery
 	cfg.NoFsync = *noFsync
+	cfg.ShardID = *shardID
+	cfg.PaceAirtime = *pace
 	if *chaos != "" {
 		sch, err := loadChaos(*chaos)
 		if err != nil {
@@ -120,6 +134,17 @@ func run() int {
 	if err != nil {
 		logger.Print(err)
 		return 1
+	}
+	// Announce the bound address on stdout (and optionally to a file):
+	// with -addr :0 the kernel picks the port, and orchestration — the
+	// cluster integration tests, a gateway supervisor spawning shards —
+	// needs a machine-readable way to learn it.
+	fmt.Printf("listening %s\n", ln.Addr())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			logger.Print(err)
+			return 1
+		}
 	}
 	handler := svc.Handler()
 	if *pprofOn {

@@ -1,0 +1,387 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wearlock/internal/telemetry"
+)
+
+// ShardConfig names one shard daemon and where to reach it.
+type ShardConfig struct {
+	// Name is the routing identity ("s0", "s1", ...). It must be unique
+	// and must match the shard_id the shard stamps onto its metrics.
+	Name string `json:"name"`
+	// BaseURL is the shard's HTTP root, e.g. "http://127.0.0.1:8548".
+	BaseURL string `json:"base_url"`
+}
+
+// GatewayConfig parameterizes the gateway.
+type GatewayConfig struct {
+	// Shards is the initial membership. At least one.
+	Shards []ShardConfig
+	// TotalDevices is the global device-ID space the ring partitions.
+	TotalDevices int
+	// Replicas is the virtual-node count per shard; <= 0 means
+	// DefaultReplicas.
+	Replicas int
+	// Client issues every shard call; nil means a 30 s-timeout client
+	// (range exports wait out in-flight sessions, so the budget must
+	// cover a full session, not just an RTT).
+	Client *http.Client
+	// HeartbeatEvery is the liveness-probe period for StartHeartbeats;
+	// <= 0 means 2 s.
+	HeartbeatEvery time.Duration
+	// HeartbeatMisses marks a shard unhealthy after this many consecutive
+	// probe failures; <= 0 means 3.
+	HeartbeatMisses int
+}
+
+// shardHandle is the gateway's view of one shard.
+type shardHandle struct {
+	cfg ShardConfig
+
+	mu        sync.Mutex
+	ready     bool
+	misses    int
+	unhealthy bool
+	lastBeat  time.Time
+	lastErr   string
+}
+
+// gwMetrics bundles the gateway's own registry handles.
+type gwMetrics struct {
+	proxied    *telemetry.CounterVec
+	passthru   *telemetry.CounterVec
+	reroutes   *telemetry.Counter
+	errors     *telemetry.Counter
+	handoffs   *telemetry.Counter
+	moved      *telemetry.Counter
+	tailRecs   *telemetry.Counter
+	handoffSec *telemetry.FloatGauge
+	shardsUp   *telemetry.Gauge
+	epoch      *telemetry.Gauge
+}
+
+// Gateway consistent-hashes device IDs across shard daemons and proxies
+// the wearlockd HTTP API to the owning shard.
+type Gateway struct {
+	cfg    GatewayConfig
+	client *http.Client
+	reg    *telemetry.Registry
+	m      *gwMetrics
+
+	// nextDev assigns devices to requests that pinned none, round-robin
+	// over the global fleet so load spreads across every shard.
+	nextDev atomic.Uint64
+
+	mu        sync.RWMutex
+	ring      *Ring
+	table     map[int]string // cached bounded-load assignment of the current ring
+	shards    map[string]*shardHandle
+	overrides map[int]string // mid-handoff routing: device -> new owner
+	epoch     uint64
+	migrating bool
+}
+
+// NewGateway validates the topology and builds the routing ring. No
+// shard is contacted yet: call Register to run the handshake.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: gateway needs at least one shard")
+	}
+	if cfg.TotalDevices <= 0 {
+		return nil, fmt.Errorf("cluster: total device space %d must be positive", cfg.TotalDevices)
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = 2 * time.Second
+	}
+	if cfg.HeartbeatMisses <= 0 {
+		cfg.HeartbeatMisses = 3
+	}
+	g := &Gateway{
+		cfg:    cfg,
+		client: client,
+		reg:    telemetry.NewRegistry(),
+		ring:   NewRing(cfg.Replicas),
+		shards: make(map[string]*shardHandle),
+		epoch:  1,
+	}
+	for _, sc := range cfg.Shards {
+		if sc.BaseURL == "" {
+			return nil, fmt.Errorf("cluster: shard %q has no base URL", sc.Name)
+		}
+		if _, dup := g.shards[sc.Name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate shard name %q", sc.Name)
+		}
+		if err := g.ring.AddShard(sc.Name); err != nil {
+			return nil, err
+		}
+		g.shards[sc.Name] = &shardHandle{cfg: sc}
+	}
+	g.table = g.ring.Assignments(cfg.TotalDevices)
+	g.m = &gwMetrics{
+		proxied: g.reg.CounterVec("wearlock_gateway_proxied_total",
+			"Unlock requests proxied to shards, by terminal HTTP status class.", "status"),
+		passthru: g.reg.CounterVec("wearlock_gateway_backpressure_total",
+			"Shard backpressure passed through to clients, by status code.", "code"),
+		reroutes: g.reg.Counter("wearlock_gateway_reroutes_total",
+			"Requests re-resolved after a shard answered 421 (ownership race during handoff)."),
+		errors: g.reg.Counter("wearlock_gateway_shard_errors_total",
+			"Shard calls that failed at the transport layer (degraded to 503 + Retry-After)."),
+		handoffs: g.reg.Counter("wearlock_gateway_handoffs_total",
+			"Completed range handoffs."),
+		moved: g.reg.Counter("wearlock_gateway_handoff_devices_total",
+			"Devices moved between shards by handoffs."),
+		tailRecs: g.reg.Counter("wearlock_gateway_handoff_tail_records_total",
+			"WAL tail records replayed onto handoff targets after the snapshot pass."),
+		handoffSec: g.reg.FloatGauge("wearlock_gateway_handoff_seconds",
+			"Duration of the most recent handoff (snapshot ship + fence + tail replay + flip)."),
+		shardsUp: g.reg.Gauge("wearlock_gateway_shards",
+			"Registered shards currently passing heartbeats."),
+		epoch: g.reg.Gauge("wearlock_gateway_epoch",
+			"Topology generation; increments on every membership change."),
+	}
+	g.reg.Info("wearlock_gateway_build_info",
+		"Gateway build metadata; constant 1.",
+		map[string]string{"go_version": runtime.Version(), "wire_version": fmt.Sprint(WireVersion)})
+	g.m.epoch.Set(int64(g.epoch))
+	g.m.shardsUp.Set(int64(len(g.shards)))
+	return g, nil
+}
+
+// Registry exposes the gateway's own metrics registry.
+func (g *Gateway) Registry() *telemetry.Registry { return g.reg }
+
+// Epoch returns the current topology generation.
+func (g *Gateway) Epoch() uint64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.epoch
+}
+
+// wireCall performs one framed wire exchange with a shard.
+func wireCall[T any](ctx context.Context, client *http.Client, baseURL, path string, t MsgType, payload any, ack MsgType) (*T, error) {
+	body, err := Encode(t, payload)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, strings.TrimSuffix(baseURL, "/")+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", WireContentType)
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, MaxWireSize+wireHeaderLen+1))
+	if err != nil {
+		return nil, err
+	}
+	// Both 200 acks and non-200 MsgError bodies decode through the same
+	// path; DecodeAs surfaces the peer error either way.
+	out, derr := DecodeAs[T](data, ack)
+	if derr != nil && resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: shard answered %d: %v", resp.StatusCode, derr)
+	}
+	return out, derr
+}
+
+// call runs a wire exchange against a named shard.
+func call[T any](ctx context.Context, g *Gateway, shard string, path string, t MsgType, payload any, ack MsgType) (*T, error) {
+	h := g.handle(shard)
+	if h == nil {
+		return nil, fmt.Errorf("cluster: unknown shard %q", shard)
+	}
+	return wireCall[T](ctx, g.client, h.cfg.BaseURL, path, t, payload, ack)
+}
+
+func (g *Gateway) handle(name string) *shardHandle {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.shards[name]
+}
+
+// Register runs the handshake against every shard: protocol version,
+// epoch, and the device set the ring assigns it. Idempotent.
+func (g *Gateway) Register(ctx context.Context) error {
+	g.mu.RLock()
+	epoch := g.epoch
+	ring := g.ring
+	names := make([]string, 0, len(g.shards))
+	for name := range g.shards {
+		names = append(names, name)
+	}
+	g.mu.RUnlock()
+	sort.Strings(names)
+	for _, name := range names {
+		owned := ring.Owned(name, g.cfg.TotalDevices)
+		ack, err := call[RegisterResponse](ctx, g, name, "/cluster/v1/register", MsgRegister, &RegisterRequest{
+			ShardID:      name,
+			Epoch:        epoch,
+			TotalDevices: g.cfg.TotalDevices,
+			Owned:        owned,
+		}, MsgRegisterAck)
+		if err != nil {
+			return fmt.Errorf("cluster: registering shard %q: %w", name, err)
+		}
+		if ack.Devices < g.cfg.TotalDevices {
+			return fmt.Errorf("cluster: shard %q fleet %d smaller than device space %d",
+				name, ack.Devices, g.cfg.TotalDevices)
+		}
+		h := g.handle(name)
+		h.mu.Lock()
+		h.ready = ack.Ready
+		h.mu.Unlock()
+	}
+	return nil
+}
+
+// HeartbeatOnce probes every shard once and updates health state.
+func (g *Gateway) HeartbeatOnce(ctx context.Context) {
+	g.mu.RLock()
+	epoch := g.epoch
+	handles := make([]*shardHandle, 0, len(g.shards))
+	for _, h := range g.shards {
+		handles = append(handles, h)
+	}
+	g.mu.RUnlock()
+	up := 0
+	for _, h := range handles {
+		ack, err := wireCall[HeartbeatResponse](ctx, g.client, h.cfg.BaseURL,
+			"/cluster/v1/heartbeat", MsgHeartbeat, &HeartbeatRequest{Epoch: epoch}, MsgHeartbeatAck)
+		h.mu.Lock()
+		if err != nil {
+			h.misses++
+			h.lastErr = err.Error()
+			if h.misses >= g.cfg.HeartbeatMisses {
+				h.unhealthy = true
+			}
+		} else {
+			h.misses = 0
+			h.unhealthy = false
+			h.lastErr = ""
+			h.ready = ack.Ready
+			h.lastBeat = time.Now()
+		}
+		if !h.unhealthy {
+			up++
+		}
+		h.mu.Unlock()
+	}
+	g.m.shardsUp.Set(int64(up))
+}
+
+// StartHeartbeats launches the periodic liveness probe; the returned
+// stop function is idempotent.
+func (g *Gateway) StartHeartbeats() (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		ticker := time.NewTicker(g.cfg.HeartbeatEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				ctx, cancel := context.WithTimeout(context.Background(), g.cfg.HeartbeatEvery)
+				g.HeartbeatOnce(ctx)
+				cancel()
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// shardFor resolves a device's current owner, honoring mid-handoff
+// overrides.
+func (g *Gateway) shardFor(device int) string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if name, ok := g.overrides[device]; ok {
+		return name
+	}
+	return g.table[device]
+}
+
+// Topology is the /cluster/v1/topology response.
+type Topology struct {
+	Epoch     uint64           `json:"epoch"`
+	Devices   int              `json:"devices"`
+	Migrating bool             `json:"migrating"`
+	Shards    []TopologyShard  `json:"shards"`
+	Owners    map[string][]int `json:"owners"`
+}
+
+// TopologyShard is one shard's row in the topology report.
+type TopologyShard struct {
+	Name      string `json:"name"`
+	BaseURL   string `json:"base_url"`
+	Ready     bool   `json:"ready"`
+	Unhealthy bool   `json:"unhealthy"`
+	LastError string `json:"last_error,omitempty"`
+	Owned     int    `json:"owned"`
+}
+
+// Topology snapshots the routing state.
+func (g *Gateway) Topology() Topology {
+	g.mu.RLock()
+	table := g.table
+	epoch := g.epoch
+	migrating := g.migrating
+	names := make([]string, 0, len(g.shards))
+	for name := range g.shards {
+		names = append(names, name)
+	}
+	overrides := make(map[int]string, len(g.overrides))
+	for d, s := range g.overrides {
+		overrides[d] = s
+	}
+	g.mu.RUnlock()
+	sort.Strings(names)
+
+	owners := make(map[string][]int, len(names))
+	for d := 0; d < g.cfg.TotalDevices; d++ {
+		owner, ok := overrides[d]
+		if !ok {
+			owner = table[d]
+		}
+		owners[owner] = append(owners[owner], d)
+	}
+	top := Topology{Epoch: epoch, Devices: g.cfg.TotalDevices, Migrating: migrating, Owners: owners}
+	for _, name := range names {
+		h := g.handle(name)
+		h.mu.Lock()
+		top.Shards = append(top.Shards, TopologyShard{
+			Name:      name,
+			BaseURL:   h.cfg.BaseURL,
+			Ready:     h.ready,
+			Unhealthy: h.unhealthy,
+			LastError: h.lastErr,
+			Owned:     len(owners[name]),
+		})
+		h.mu.Unlock()
+	}
+	return top
+}
+
+// ErrMigrating is returned (as a 503 to clients) when routing cannot
+// settle during a topology change.
+var ErrMigrating = errors.New("cluster: range migrating, retry")

@@ -1,0 +1,215 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Handoff contract (DESIGN.md §13): moving a device range from shard A
+// to shard B reuses the durable-state machinery, never a bespoke copy of
+// live memory:
+//
+//  1. Snapshot ship (A still serving): export-range on A returns the
+//     range's durable records and the store's sequence high-water mark
+//     S. B replays them into its own WAL (commit-then-adopt: durable
+//     before acknowledged), but does not serve the devices yet.
+//  2. Fence + tail (A frozen for the range only): export-range with
+//     Fence=true makes A reject new submissions for the range with
+//     503 + Retry-After, wait out in-flight sessions (a session holds
+//     its device lock, so waiting on the lock IS the quiesce), commit
+//     each device's final state, and return only WAL records newer than
+//     S — the tail the snapshot pass missed.
+//  3. Adopt: B replays the tail and restores the in-memory devices from
+//     its merged durable state (RestoreState + RNG SkipTo, the exact
+//     path crash recovery takes). The store's idempotent monotone merge
+//     makes a duplicated record harmless and a counter regression
+//     structurally impossible: max-merge can only move counters forward.
+//  4. Flip + release: the gateway routes the range to B (override table
+//     first, ring at commit), then tells A to release it — subsequent
+//     strays to A answer 421 and are re-resolved, never dropped.
+//
+// A handoff that fails before step 3 completes leaves A authoritative:
+// the gateway unfences A by re-registering its unchanged assignment and
+// B's imported-but-unadopted records rot harmlessly in its store (the
+// next successful handoff's newer records out-merge them).
+
+// HandoffReport summarizes one completed range handoff.
+type HandoffReport struct {
+	From            string        `json:"from"`
+	To              string        `json:"to"`
+	Devices         []int         `json:"devices"`
+	SnapshotRecords int           `json:"snapshot_records"`
+	TailRecords     int           `json:"tail_records"`
+	Duration        time.Duration `json:"duration"`
+	FencedFor       time.Duration `json:"fenced_for"`
+}
+
+// AddShard joins a new shard to the ring and moves every range the new
+// membership assigns it, one (source → target) move at a time. On
+// success the topology epoch advances and all shards are re-registered
+// with their final assignments.
+func (g *Gateway) AddShard(ctx context.Context, sc ShardConfig) ([]HandoffReport, error) {
+	if sc.BaseURL == "" {
+		return nil, fmt.Errorf("cluster: shard %q has no base URL", sc.Name)
+	}
+	g.mu.Lock()
+	if g.migrating {
+		g.mu.Unlock()
+		return nil, fmt.Errorf("cluster: a topology change is already in progress")
+	}
+	if _, dup := g.shards[sc.Name]; dup {
+		g.mu.Unlock()
+		return nil, fmt.Errorf("cluster: shard %q already registered", sc.Name)
+	}
+	g.migrating = true
+	g.epoch++
+	epoch := g.epoch
+	g.shards[sc.Name] = &shardHandle{cfg: sc}
+	g.overrides = make(map[int]string)
+	next := g.ring.Clone()
+	if err := next.AddShard(sc.Name); err != nil {
+		delete(g.shards, sc.Name)
+		g.migrating = false
+		g.epoch--
+		g.mu.Unlock()
+		return nil, err
+	}
+	moves := g.ring.Moves(next, g.cfg.TotalDevices)
+	g.mu.Unlock()
+	g.m.epoch.Set(int64(epoch))
+
+	cleanup := func() {
+		g.mu.Lock()
+		delete(g.shards, sc.Name)
+		g.overrides = nil
+		g.migrating = false
+		g.mu.Unlock()
+	}
+
+	// Handshake the new shard with an empty assignment before touching
+	// any range: version skew or an undersized fleet must abort before
+	// the first fence, not after it.
+	ack, err := wireCall[RegisterResponse](ctx, g.client, sc.BaseURL,
+		"/cluster/v1/register", MsgRegister, &RegisterRequest{
+			ShardID:      sc.Name,
+			Epoch:        epoch,
+			TotalDevices: g.cfg.TotalDevices,
+			Owned:        nil,
+		}, MsgRegisterAck)
+	if err != nil {
+		cleanup()
+		return nil, fmt.Errorf("cluster: handshaking new shard %q: %w", sc.Name, err)
+	}
+	if ack.Devices < g.cfg.TotalDevices {
+		cleanup()
+		return nil, fmt.Errorf("cluster: new shard %q fleet %d smaller than device space %d",
+			sc.Name, ack.Devices, g.cfg.TotalDevices)
+	}
+
+	var reports []HandoffReport
+	for _, mv := range moves {
+		rep, err := g.handoff(ctx, epoch, mv)
+		if err != nil {
+			// Source stays authoritative for every unfinished move; undo the
+			// fence by re-registering the source's pre-change assignment and
+			// withdraw the new shard from routing.
+			g.unfence(ctx, epoch, mv)
+			cleanup()
+			_ = g.Register(ctx)
+			return reports, fmt.Errorf("cluster: handoff %s→%s: %w", mv.From, mv.To, err)
+		}
+		reports = append(reports, rep)
+	}
+
+	// Commit: the new ring becomes the routing truth, overrides retire.
+	g.mu.Lock()
+	g.ring = next
+	g.table = next.Assignments(g.cfg.TotalDevices)
+	g.overrides = nil
+	g.migrating = false
+	g.mu.Unlock()
+	// Re-register everyone so each shard's owned set matches the final
+	// ring exactly (registration is idempotent and epoch-guarded).
+	if err := g.Register(ctx); err != nil {
+		return reports, fmt.Errorf("cluster: post-handoff re-registration: %w", err)
+	}
+	return reports, nil
+}
+
+// handoff executes one move's four steps.
+func (g *Gateway) handoff(ctx context.Context, epoch uint64, mv Move) (HandoffReport, error) {
+	start := time.Now()
+	rep := HandoffReport{From: mv.From, To: mv.To, Devices: mv.Devices}
+
+	// 1. Snapshot ship, source still serving the range.
+	snap, err := call[ExportRangeResponse](ctx, g, mv.From, "/cluster/v1/export-range",
+		MsgExportRange, &ExportRangeRequest{Epoch: epoch, Devices: mv.Devices}, MsgExportRangeAck)
+	if err != nil {
+		return rep, fmt.Errorf("snapshot export: %w", err)
+	}
+	rep.SnapshotRecords = len(snap.Records)
+	if _, err := call[ImportRangeResponse](ctx, g, mv.To, "/cluster/v1/import-range",
+		MsgImportRange, &ImportRangeRequest{
+			Epoch: epoch, Devices: mv.Devices, Records: snap.Records,
+		}, MsgImportRangeAck); err != nil {
+		return rep, fmt.Errorf("snapshot import: %w", err)
+	}
+
+	// 2. Fence + tail: freeze the range on the source and collect what
+	// the snapshot pass missed.
+	fencedAt := time.Now()
+	tail, err := call[ExportRangeResponse](ctx, g, mv.From, "/cluster/v1/export-range",
+		MsgExportRange, &ExportRangeRequest{
+			Epoch: epoch, Devices: mv.Devices, Since: snap.LastSeq, Fence: true,
+		}, MsgExportRangeAck)
+	if err != nil {
+		return rep, fmt.Errorf("tail export: %w", err)
+	}
+	rep.TailRecords = len(tail.Records)
+
+	// 3. Adopt: the target replays the tail and starts serving.
+	if _, err := call[ImportRangeResponse](ctx, g, mv.To, "/cluster/v1/import-range",
+		MsgImportRange, &ImportRangeRequest{
+			Epoch: epoch, Devices: mv.Devices, Records: tail.Records, Adopt: true,
+		}, MsgImportRangeAck); err != nil {
+		return rep, fmt.Errorf("tail import: %w", err)
+	}
+
+	// 4. Flip routing for the moved devices, then release the source.
+	g.mu.Lock()
+	for _, d := range mv.Devices {
+		g.overrides[d] = mv.To
+	}
+	g.mu.Unlock()
+	rep.FencedFor = time.Since(fencedAt)
+	if _, err := call[ReleaseRangeResponse](ctx, g, mv.From, "/cluster/v1/release-range",
+		MsgReleaseRange, &ReleaseRangeRequest{Epoch: epoch, Devices: mv.Devices}, MsgReleaseRangeAck); err != nil {
+		// The target already owns the range and routing points at it; a
+		// failed release only costs the source a stale fence. Surface the
+		// error — the caller decides whether to retry the release.
+		return rep, fmt.Errorf("release (range already serving on %s): %w", mv.To, err)
+	}
+
+	rep.Duration = time.Since(start)
+	g.m.handoffs.Inc()
+	g.m.moved.Add(uint64(len(mv.Devices)))
+	g.m.tailRecs.Add(uint64(rep.TailRecords))
+	g.m.handoffSec.Set(rep.Duration.Seconds())
+	return rep, nil
+}
+
+// unfence restores the source's pre-handoff assignment after an aborted
+// move (best-effort: re-registration clears fences for owned devices).
+func (g *Gateway) unfence(ctx context.Context, epoch uint64, mv Move) {
+	g.mu.RLock()
+	owned := g.ring.Owned(mv.From, g.cfg.TotalDevices)
+	g.mu.RUnlock()
+	_, _ = call[RegisterResponse](ctx, g, mv.From, "/cluster/v1/register",
+		MsgRegister, &RegisterRequest{
+			ShardID:      mv.From,
+			Epoch:        epoch,
+			TotalDevices: g.cfg.TotalDevices,
+			Owned:        owned,
+		}, MsgRegisterAck)
+}

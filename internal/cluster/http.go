@@ -1,0 +1,395 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Client-facing HTTP surface: the gateway serves the same API shape as a
+// single wearlockd, so loadgen and clients work unchanged against a
+// cluster. Session IDs are namespaced "<shard>.<id>" on the way out and
+// routed back on lookup. Backpressure is passed through verbatim — a
+// shard's 429 or 503 with its Retry-After header reaches the client
+// untouched, and gateway-side failures (unreachable shard, mid-handoff
+// routing churn) degrade to 503 + Retry-After, never a dropped request.
+
+// unlockBody mirrors the wearlockd POST /v1/unlock request shape — the
+// gateway parses it only to resolve and pin the device before forwarding.
+type unlockBody struct {
+	Scenario  string `json:"scenario,omitempty"`
+	Device    *int   `json:"device,omitempty"`
+	Wait      *bool  `json:"wait,omitempty"`
+	TimeoutMS int    `json:"timeout_ms,omitempty"`
+}
+
+type gwError struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the gateway API:
+//
+//	POST /v1/unlock              proxy to the owning shard (device picked
+//	                             round-robin across the fleet when unpinned)
+//	GET  /v1/sessions/{id}       routed by the "<shard>." ID prefix
+//	GET  /healthz                per-shard health fan-in
+//	GET  /readyz                 ready only when every shard is ready
+//	GET  /metrics                gateway metrics + shard metrics with shard label
+//	GET  /cluster/v1/topology    epoch, membership, device assignments
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/unlock", g.handleUnlock)
+	mux.HandleFunc("GET /v1/sessions/{id}", g.handleSession)
+	mux.HandleFunc("GET /healthz", g.handleHealth)
+	mux.HandleFunc("GET /readyz", g.handleReady)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	mux.HandleFunc("GET /cluster/v1/topology", g.handleTopology)
+	mux.HandleFunc("POST /cluster/v1/shards", g.handleAddShard)
+	return mux
+}
+
+// addShardBody is the POST /cluster/v1/shards admin request: join a new
+// shard and rebalance, live, via snapshot-shipping handoff.
+type addShardBody struct {
+	Name    string `json:"name"`
+	BaseURL string `json:"base_url"`
+}
+
+func (g *Gateway) handleAddShard(w http.ResponseWriter, r *http.Request) {
+	var req addShardBody
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, gwError{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	if req.Name == "" || req.BaseURL == "" {
+		writeJSON(w, http.StatusBadRequest, gwError{Error: "name and base_url are required"})
+		return
+	}
+	reports, err := g.AddShard(r.Context(), ShardConfig{Name: req.Name, BaseURL: req.BaseURL})
+	if err != nil {
+		writeJSON(w, http.StatusConflict, gwError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"handoffs": reports,
+		"topology": g.Topology(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// unavailable answers 503 with a Retry-After — the no-request-dropped
+// guarantee's fallback when a shard cannot be reached.
+func unavailable(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, gwError{Error: msg})
+}
+
+func (g *Gateway) handleUnlock(w http.ResponseWriter, r *http.Request) {
+	var req unlockBody
+	if r.Body != nil && r.ContentLength != 0 {
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, gwError{Error: fmt.Sprintf("bad request body: %v", err)})
+			return
+		}
+	}
+	device := -1
+	if req.Device != nil {
+		device = *req.Device
+	}
+	if device >= g.cfg.TotalDevices {
+		writeJSON(w, http.StatusBadRequest, gwError{
+			Error: fmt.Sprintf("unknown device %d (cluster fleet size %d)", device, g.cfg.TotalDevices)})
+		return
+	}
+	if device < 0 {
+		// The gateway owns global round-robin: shards only round-robin
+		// within their own range, which would skew load under uneven
+		// ownership.
+		device = int(g.nextDev.Add(1) % uint64(g.cfg.TotalDevices))
+	}
+	req.Device = &device
+	body, err := json.Marshal(&req)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, gwError{Error: err.Error()})
+		return
+	}
+
+	shard := g.shardFor(device)
+	resp, err := g.forward(r.Context(), shard, http.MethodPost, "/v1/unlock", body)
+	if err != nil {
+		g.m.errors.Inc()
+		g.m.proxied.With("503").Inc()
+		unavailable(w, fmt.Sprintf("shard %s unreachable: %v", shard, err))
+		return
+	}
+	if resp.status == http.StatusMisdirectedRequest {
+		// Ownership race: the topology moved between resolve and dispatch.
+		// Re-resolve once against the current routing and retry.
+		g.m.reroutes.Inc()
+		if cur := g.shardFor(device); cur != shard {
+			resp, err = g.forward(r.Context(), cur, http.MethodPost, "/v1/unlock", body)
+			if err != nil {
+				g.m.errors.Inc()
+				g.m.proxied.With("503").Inc()
+				unavailable(w, fmt.Sprintf("shard %s unreachable: %v", cur, err))
+				return
+			}
+			shard = cur
+		}
+		if resp.status == http.StatusMisdirectedRequest {
+			g.m.proxied.With("503").Inc()
+			unavailable(w, ErrMigrating.Error())
+			return
+		}
+	}
+	g.m.proxied.With(fmt.Sprintf("%d", resp.status/100*100)).Inc()
+	if resp.status == http.StatusTooManyRequests || resp.status == http.StatusServiceUnavailable {
+		g.m.passthru.With(fmt.Sprintf("%d", resp.status)).Inc()
+	}
+	g.writeProxied(w, shard, resp)
+}
+
+func (g *Gateway) handleSession(w http.ResponseWriter, r *http.Request) {
+	shard, id, ok := strings.Cut(r.PathValue("id"), ".")
+	if !ok || g.handle(shard) == nil {
+		writeJSON(w, http.StatusNotFound, gwError{Error: "unknown session (cluster session IDs are \"<shard>.<id>\")"})
+		return
+	}
+	resp, err := g.forward(r.Context(), shard, http.MethodGet, "/v1/sessions/"+id, nil)
+	if err != nil {
+		g.m.errors.Inc()
+		unavailable(w, fmt.Sprintf("shard %s unreachable: %v", shard, err))
+		return
+	}
+	g.writeProxied(w, shard, resp)
+}
+
+// proxied is one shard response held for relay.
+type proxied struct {
+	status     int
+	retryAfter string
+	body       []byte
+}
+
+// forward issues one request to a shard and captures the response.
+func (g *Gateway) forward(ctx context.Context, shard, method, path string, body []byte) (proxied, error) {
+	h := g.handle(shard)
+	if h == nil {
+		return proxied{}, fmt.Errorf("no shard %q", shard)
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, h.cfg.BaseURL+path, rd)
+	if err != nil {
+		return proxied{}, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return proxied{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return proxied{}, err
+	}
+	return proxied{status: resp.StatusCode, retryAfter: resp.Header.Get("Retry-After"), body: data}, nil
+}
+
+// writeProxied relays a shard response, rewriting the session ID to its
+// cluster-namespaced form on success bodies.
+func (g *Gateway) writeProxied(w http.ResponseWriter, shard string, resp proxied) {
+	if resp.retryAfter != "" {
+		w.Header().Set("Retry-After", resp.retryAfter)
+	}
+	body := resp.body
+	if resp.status == http.StatusOK || resp.status == http.StatusAccepted {
+		if rewritten, ok := namespaceSessionID(body, shard); ok {
+			body = rewritten
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.status)
+	_, _ = w.Write(body)
+}
+
+// namespaceSessionID rewrites {"id":"s-..."} to {"id":"<shard>.s-..."}.
+func namespaceSessionID(body []byte, shard string) ([]byte, bool) {
+	var view map[string]any
+	if err := json.Unmarshal(body, &view); err != nil {
+		return nil, false
+	}
+	id, ok := view["id"].(string)
+	if !ok || id == "" {
+		return nil, false
+	}
+	view["id"] = shard + "." + id
+	out, err := json.Marshal(view)
+	if err != nil {
+		return nil, false
+	}
+	return append(out, '\n'), true
+}
+
+// shardProbe is one shard's /readyz or /healthz result.
+type shardProbe struct {
+	Status int             `json:"status"`
+	Body   json.RawMessage `json:"body,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// probeShards fans a GET across every shard concurrently.
+func (g *Gateway) probeShards(ctx context.Context, path string) map[string]shardProbe {
+	g.mu.RLock()
+	handles := make(map[string]*shardHandle, len(g.shards))
+	for name, h := range g.shards {
+		handles[name] = h
+	}
+	g.mu.RUnlock()
+	type result struct {
+		name  string
+		probe shardProbe
+	}
+	ch := make(chan result, len(handles))
+	for name, h := range handles {
+		go func(name string, h *shardHandle) {
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.cfg.BaseURL+path, nil)
+			if err != nil {
+				ch <- result{name, shardProbe{Error: err.Error()}}
+				return
+			}
+			resp, err := g.client.Do(req)
+			if err != nil {
+				ch <- result{name, shardProbe{Error: err.Error()}}
+				return
+			}
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			if !json.Valid(body) {
+				body = nil
+			}
+			ch <- result{name, shardProbe{Status: resp.StatusCode, Body: body}}
+		}(name, h)
+	}
+	out := make(map[string]shardProbe, len(handles))
+	for range handles {
+		r := <-ch
+		out[r.name] = r.probe
+	}
+	return out
+}
+
+func (g *Gateway) handleReady(w http.ResponseWriter, r *http.Request) {
+	probes := g.probeShards(r.Context(), "/readyz")
+	ready := true
+	for _, p := range probes {
+		if p.Error != "" || p.Status != http.StatusOK {
+			ready = false
+		}
+	}
+	status := "ok"
+	code := http.StatusOK
+	if !ready {
+		status = "degraded"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{"status": status, "shards": probes})
+}
+
+func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
+	probes := g.probeShards(r.Context(), "/healthz")
+	healthy := true
+	for _, p := range probes {
+		if p.Error != "" || p.Status != http.StatusOK {
+			healthy = false
+		}
+	}
+	top := g.Topology()
+	status := "ok"
+	code := http.StatusOK
+	if !healthy {
+		status = "degraded"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":  status,
+		"epoch":   top.Epoch,
+		"devices": top.Devices,
+		"shards":  probes,
+	})
+}
+
+func (g *Gateway) handleTopology(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, g.Topology())
+}
+
+// handleMetrics renders the gateway's own registry followed by every
+// shard's exposition with the shard label injected.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	g.mu.RLock()
+	handles := make(map[string]*shardHandle, len(g.shards))
+	for name, h := range g.shards {
+		handles[name] = h
+	}
+	g.mu.RUnlock()
+
+	byShard := make(map[string]string, len(handles))
+	type result struct{ name, text string }
+	ch := make(chan result, len(handles))
+	for name, h := range handles {
+		go func(name string, h *shardHandle) {
+			ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.cfg.BaseURL+"/metrics", nil)
+			if err != nil {
+				ch <- result{name, ""}
+				return
+			}
+			resp, err := g.client.Do(req)
+			if err != nil {
+				ch <- result{name, ""}
+				return
+			}
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+			resp.Body.Close()
+			ch <- result{name, string(body)}
+		}(name, h)
+	}
+	for range handles {
+		res := <-ch
+		if res.text != "" {
+			byShard[res.name] = res.text
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	g.reg.WritePrometheus(w)
+	io.WriteString(w, AggregateMetrics(byShard))
+	// Shards that failed to scrape are visible by absence; name them so a
+	// scrape gap is diagnosable from the exposition itself.
+	var missing []string
+	for name := range handles {
+		if _, ok := byShard[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(w, "# shard %s: metrics scrape failed\n", name)
+	}
+}

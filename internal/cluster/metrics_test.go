@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestInjectShardLabel pins the label-injection rewrite for every line
+// shape the exposition format produces.
+func TestInjectShardLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`wearlockd_sessions_total{outcome="unlocked"} 12`,
+			`wearlockd_sessions_total{shard="s0",outcome="unlocked"} 12`},
+		{`wearlockd_inflight 3`, `wearlockd_inflight{shard="s0"} 3`},
+		{`# HELP wearlockd_inflight Sessions running.`, `# HELP wearlockd_inflight Sessions running.`},
+		{`# TYPE wearlockd_inflight gauge`, `# TYPE wearlockd_inflight gauge`},
+		{``, ``},
+		{`not-a-sample-line`, `not-a-sample-line`},
+	}
+	for _, tc := range cases {
+		if got := InjectShardLabel(tc.in, "s0"); got != tc.want {
+			t.Errorf("InjectShardLabel(%q):\n got %q\nwant %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestAggregateMetrics checks the merged exposition: HELP/TYPE once per
+// family, every shard's samples labeled, shards folded in sorted order,
+// and the output stable across calls.
+func TestAggregateMetrics(t *testing.T) {
+	s0 := `# HELP wearlockd_sessions_total Sessions by outcome.
+# TYPE wearlockd_sessions_total counter
+wearlockd_sessions_total{outcome="unlocked"} 10
+# HELP wearlockd_inflight Sessions running.
+# TYPE wearlockd_inflight gauge
+wearlockd_inflight 1
+`
+	s1 := `# HELP wearlockd_sessions_total Sessions by outcome.
+# TYPE wearlockd_sessions_total counter
+wearlockd_sessions_total{outcome="unlocked"} 20
+wearlockd_sessions_total{outcome="token-mismatch"} 2
+`
+	got := AggregateMetrics(map[string]string{"s1": s1, "s0": s0})
+
+	if n := strings.Count(got, "# HELP wearlockd_sessions_total"); n != 1 {
+		t.Errorf("HELP emitted %d times, want 1\n%s", n, got)
+	}
+	if n := strings.Count(got, "# TYPE wearlockd_sessions_total"); n != 1 {
+		t.Errorf("TYPE emitted %d times, want 1\n%s", n, got)
+	}
+	for _, want := range []string{
+		`wearlockd_sessions_total{shard="s0",outcome="unlocked"} 10`,
+		`wearlockd_sessions_total{shard="s1",outcome="unlocked"} 20`,
+		`wearlockd_sessions_total{shard="s1",outcome="token-mismatch"} 2`,
+		`wearlockd_inflight{shard="s0"} 1`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("aggregate missing %q\n%s", want, got)
+		}
+	}
+	// Sorted shard fold: s0's sample precedes s1's within the family.
+	if strings.Index(got, `shard="s0",outcome`) > strings.Index(got, `shard="s1",outcome`) {
+		t.Errorf("shards not folded in sorted order\n%s", got)
+	}
+	if again := AggregateMetrics(map[string]string{"s0": s0, "s1": s1}); again != got {
+		t.Error("aggregate not deterministic across calls")
+	}
+}
+
+// TestAggregateMetricsHistogramFamily checks _bucket/_sum/_count samples
+// group under their family's single HELP/TYPE header.
+func TestAggregateMetricsHistogramFamily(t *testing.T) {
+	exp := `# HELP lat_seconds Latency.
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 4
+lat_seconds_sum 0.3
+lat_seconds_count 4
+`
+	got := AggregateMetrics(map[string]string{"s0": exp, "s1": exp})
+	if n := strings.Count(got, "# TYPE lat_seconds histogram"); n != 1 {
+		t.Errorf("histogram TYPE emitted %d times, want 1\n%s", n, got)
+	}
+	if !strings.Contains(got, `lat_seconds_bucket{shard="s1",le="0.1"} 4`) {
+		t.Errorf("bucket sample not labeled\n%s", got)
+	}
+}

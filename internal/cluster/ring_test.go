@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func ringOf(t *testing.T, replicas int, shards ...string) *Ring {
+	t.Helper()
+	r := NewRing(replicas)
+	for _, s := range shards {
+		if err := r.AddShard(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+// TestRingDeterminism pins the core routing contract: assignment is a
+// pure function of the membership set — independent of insertion order
+// and identical across separately built rings.
+func TestRingDeterminism(t *testing.T) {
+	a := ringOf(t, 0, "s0", "s1", "s2")
+	b := ringOf(t, 0, "s2", "s0", "s1")
+	if !reflect.DeepEqual(a.Assignments(64), b.Assignments(64)) {
+		t.Error("assignment depends on shard insertion order")
+	}
+	c := ringOf(t, 0, "s0", "s1", "s2")
+	if !reflect.DeepEqual(a.Assignments(64), c.Assignments(64)) {
+		t.Error("identical membership produced different assignments")
+	}
+}
+
+// TestRingBoundedBalance verifies the bounded-load guarantee: every
+// shard owns at most ceil(devices/shards), and every device is owned by
+// exactly one registered shard. Checked across fleet sizes and shard
+// counts, including non-divisible combinations.
+func TestRingBoundedBalance(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 4, 7} {
+		for _, devices := range []int{1, 16, 64, 100, 257} {
+			r := NewRing(0)
+			for i := 0; i < shards; i++ {
+				if err := r.AddShard(fmt.Sprintf("s%d", i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			asn := r.Assignments(devices)
+			if len(asn) != devices {
+				t.Fatalf("%d shards, %d devices: %d assigned", shards, devices, len(asn))
+			}
+			fair := (devices + shards - 1) / shards
+			counts := map[string]int{}
+			for d, s := range asn {
+				if !r.shards[s] {
+					t.Fatalf("device %d assigned to unknown shard %q", d, s)
+				}
+				counts[s]++
+			}
+			for s, n := range counts {
+				if n > fair {
+					t.Errorf("%d shards, %d devices: shard %s owns %d > fair share %d",
+						shards, devices, s, n, fair)
+				}
+			}
+		}
+	}
+}
+
+// TestRingOwnedPartition checks Owned() slices are disjoint, sorted, and
+// jointly cover the device space.
+func TestRingOwnedPartition(t *testing.T) {
+	r := ringOf(t, 0, "s0", "s1", "s2")
+	seen := map[int]string{}
+	for _, name := range r.Shards() {
+		prev := -1
+		for _, d := range r.Owned(name, 64) {
+			if d <= prev {
+				t.Fatalf("shard %s Owned not strictly ascending: %d after %d", name, d, prev)
+			}
+			prev = d
+			if other, dup := seen[d]; dup {
+				t.Fatalf("device %d owned by both %s and %s", d, other, name)
+			}
+			seen[d] = name
+		}
+	}
+	if len(seen) != 64 {
+		t.Fatalf("shards own %d of 64 devices", len(seen))
+	}
+}
+
+// TestRingMovesOnJoin checks the handoff plan when a shard joins: moves
+// name only devices whose owner changed, every move's target or source
+// involvement is consistent with the two assignments, and devices that
+// kept their owner are absent.
+func TestRingMovesOnJoin(t *testing.T) {
+	const devices = 64
+	cur := ringOf(t, 0, "s0", "s1")
+	next := cur.Clone()
+	if err := next.AddShard("s2"); err != nil {
+		t.Fatal(err)
+	}
+	before, after := cur.Assignments(devices), next.Assignments(devices)
+
+	moved := map[int]bool{}
+	for _, mv := range cur.Moves(next, devices) {
+		if mv.From == mv.To {
+			t.Fatalf("degenerate move %s→%s", mv.From, mv.To)
+		}
+		for _, d := range mv.Devices {
+			if moved[d] {
+				t.Fatalf("device %d in two moves", d)
+			}
+			moved[d] = true
+			if before[d] != mv.From || after[d] != mv.To {
+				t.Fatalf("device %d move %s→%s disagrees with assignments %s→%s",
+					d, mv.From, mv.To, before[d], after[d])
+			}
+		}
+	}
+	for d := 0; d < devices; d++ {
+		if before[d] != after[d] && !moved[d] {
+			t.Errorf("device %d changed owner %s→%s but is in no move", d, before[d], after[d])
+		}
+		if before[d] == after[d] && moved[d] {
+			t.Errorf("device %d kept owner %s but is in a move", d, before[d])
+		}
+	}
+	// A join must actually rebalance: the new shard receives its bounded
+	// fair share.
+	got := len(next.Owned("s2", devices))
+	fair := (devices + 2) / 3
+	if got == 0 || got > fair {
+		t.Errorf("joined shard owns %d devices, want 1..%d", got, fair)
+	}
+}
+
+// TestRingRemoveShard checks membership removal reroutes the removed
+// shard's devices and nobody else loses ownership involuntarily beyond
+// the rebalance bound.
+func TestRingRemoveShard(t *testing.T) {
+	r := ringOf(t, 0, "s0", "s1", "s2")
+	if err := r.RemoveShard("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RemoveShard("s1"); err == nil {
+		t.Error("double remove succeeded")
+	}
+	for d, s := range r.Assignments(64) {
+		if s == "s1" {
+			t.Fatalf("device %d still routed to removed shard", d)
+		}
+	}
+}
+
+// TestRingAddShardErrors pins the membership-error contract.
+func TestRingAddShardErrors(t *testing.T) {
+	r := ringOf(t, 0, "s0")
+	if err := r.AddShard("s0"); err == nil {
+		t.Error("duplicate AddShard succeeded")
+	}
+	if err := r.AddShard(""); err == nil {
+		t.Error("empty shard name accepted")
+	}
+}

@@ -1,0 +1,337 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"wearlock/internal/store"
+)
+
+// Wire protocol: every gateway↔shard control message is one framed
+// envelope,
+//
+//	magic "WLC1" | u8 version | u8 type | u32 LE payload length |
+//	u32 LE CRC32C(payload) | JSON payload
+//
+// carried as an HTTP request/response body with Content-Type
+// WireContentType. The frame exists so the protocol is explicit and
+// evolvable — version skew fails the handshake with a typed error
+// instead of a JSON shape mismatch deep inside a handoff — and so the
+// decoder has a crisp fuzz surface (FuzzWireProtocol): arbitrary bytes
+// must decode to an error, never a panic or a half-valid message.
+const (
+	// WireVersion is the protocol generation. A gateway and shard must
+	// agree exactly; there is no cross-version negotiation yet.
+	WireVersion = 1
+	// WireContentType labels framed wire bodies on the HTTP transport.
+	WireContentType = "application/x-wearlock-cluster"
+	// wireHeaderLen is magic(4) + version(1) + type(1) + length(4) + crc(4).
+	wireHeaderLen = 14
+	// MaxWireSize bounds one message. Range exports dominate: a full
+	// 64-device fleet's records are well under 100 KiB; 4 MiB leaves room
+	// for much larger fleets while keeping a hostile length field from
+	// allocating gigabytes.
+	MaxWireSize = 4 << 20
+)
+
+var wireMagic = []byte("WLC1")
+
+var wireCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// MsgType discriminates wire payloads.
+type MsgType uint8
+
+// Wire message types. Requests are even, their acks odd, so a stray
+// response can never parse as a request.
+const (
+	MsgRegister MsgType = iota + 1
+	MsgRegisterAck
+	MsgHeartbeat
+	MsgHeartbeatAck
+	MsgExportRange
+	MsgExportRangeAck
+	MsgImportRange
+	MsgImportRangeAck
+	MsgReleaseRange
+	MsgReleaseRangeAck
+	MsgError
+	msgTypeEnd // sentinel: first invalid type
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MsgRegister:
+		return "register"
+	case MsgRegisterAck:
+		return "register-ack"
+	case MsgHeartbeat:
+		return "heartbeat"
+	case MsgHeartbeatAck:
+		return "heartbeat-ack"
+	case MsgExportRange:
+		return "export-range"
+	case MsgExportRangeAck:
+		return "export-range-ack"
+	case MsgImportRange:
+		return "import-range"
+	case MsgImportRangeAck:
+		return "import-range-ack"
+	case MsgReleaseRange:
+		return "release-range"
+	case MsgReleaseRangeAck:
+		return "release-range-ack"
+	case MsgError:
+		return "error"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// payloadFor returns the empty payload struct for a type, nil for
+// unknown types.
+func payloadFor(t MsgType) any {
+	switch t {
+	case MsgRegister:
+		return &RegisterRequest{}
+	case MsgRegisterAck:
+		return &RegisterResponse{}
+	case MsgHeartbeat:
+		return &HeartbeatRequest{}
+	case MsgHeartbeatAck:
+		return &HeartbeatResponse{}
+	case MsgExportRange:
+		return &ExportRangeRequest{}
+	case MsgExportRangeAck:
+		return &ExportRangeResponse{}
+	case MsgImportRange:
+		return &ImportRangeRequest{}
+	case MsgImportRangeAck:
+		return &ImportRangeResponse{}
+	case MsgReleaseRange:
+		return &ReleaseRangeRequest{}
+	case MsgReleaseRangeAck:
+		return &ReleaseRangeResponse{}
+	case MsgError:
+		return &ErrorPayload{}
+	default:
+		return nil
+	}
+}
+
+// RegisterRequest is the gateway's handshake: it tells a shard who it is
+// in the cluster and which devices it owns. Registration is idempotent —
+// a gateway that restarts re-registers the same assignment.
+type RegisterRequest struct {
+	// ShardID is the name the gateway routes by and the label the shard
+	// stamps onto its metrics.
+	ShardID string `json:"shard_id"`
+	// Epoch is the gateway's topology generation. Shards reject control
+	// messages from older epochs than the one they last accepted.
+	Epoch uint64 `json:"epoch"`
+	// TotalDevices is the global fleet size (the device ID space).
+	TotalDevices int `json:"total_devices"`
+	// Owned is the device-ID set this shard serves. IDs outside it are
+	// answered 421 so the gateway can catch routing races.
+	Owned []int `json:"owned"`
+}
+
+// RegisterResponse acknowledges a registration.
+type RegisterResponse struct {
+	ShardID string `json:"shard_id"`
+	Epoch   uint64 `json:"epoch"`
+	// GoVersion/Commit mirror the shard's wearlockd_build_info labels.
+	GoVersion string `json:"go_version"`
+	// Devices is the shard's configured (global) fleet size, which must
+	// cover TotalDevices.
+	Devices int `json:"devices"`
+	// Ready reports whether durable-state recovery has finished.
+	Ready bool `json:"ready"`
+}
+
+// HeartbeatRequest is the gateway's liveness probe.
+type HeartbeatRequest struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// HeartbeatResponse reports a shard's pulse.
+type HeartbeatResponse struct {
+	ShardID    string `json:"shard_id"`
+	Epoch      uint64 `json:"epoch"`
+	Ready      bool   `json:"ready"`
+	Draining   bool   `json:"draining"`
+	Inflight   int64  `json:"inflight"`
+	OwnedCount int    `json:"owned_count"`
+}
+
+// ExportRangeRequest asks a shard to export durable state for a device
+// set. Two-phase use: the snapshot pass (Fence=false, Since=0) ships the
+// bulk while the shard keeps serving; the tail pass (Fence=true,
+// Since=<snapshot LastSeq>) fences the devices, waits out their
+// in-flight sessions, commits their final states, and returns only the
+// WAL records the snapshot pass missed.
+type ExportRangeRequest struct {
+	Epoch   uint64 `json:"epoch"`
+	Devices []int  `json:"devices"`
+	// Since is the store sequence horizon already shipped; only records
+	// newer than it are returned. 0 means everything.
+	Since uint64 `json:"since"`
+	// Fence freezes the devices first: new submissions are answered 503 +
+	// Retry-After until the range is released (or unfenced by a newer
+	// registration).
+	Fence bool `json:"fence"`
+}
+
+// ExportRangeResponse carries the exported records.
+type ExportRangeResponse struct {
+	ShardID string `json:"shard_id"`
+	// Records is the WAL slice (plus a final merged-state record per
+	// device, so a tail that compaction truncated can never under-ship).
+	// Replaying them in order through the store's monotone merge is the
+	// "WAL tail replay" half of the handoff.
+	Records []store.Record `json:"records"`
+	// LastSeq is the store's sequence high-water mark at export time —
+	// the Since horizon for the tail pass.
+	LastSeq uint64 `json:"last_seq"`
+	// Fenced reports how many of the requested devices are now fenced
+	// (tail pass only).
+	Fenced int `json:"fenced"`
+}
+
+// ImportRangeRequest ships exported records to the new owner. The target
+// replays them through its durable store (commit-then-adopt: the state
+// is on disk before the shard answers) and, when Adopt is set, restores
+// the in-memory devices and takes ownership.
+type ImportRangeRequest struct {
+	Epoch   uint64         `json:"epoch"`
+	Devices []int          `json:"devices"`
+	Records []store.Record `json:"records"`
+	// Adopt is set on the final (tail) import: restore devices from the
+	// merged state and start serving them.
+	Adopt bool `json:"adopt"`
+}
+
+// ImportRangeResponse acknowledges an import.
+type ImportRangeResponse struct {
+	ShardID  string `json:"shard_id"`
+	Imported int    `json:"imported"` // records replayed
+	Adopted  int    `json:"adopted"`  // devices now owned
+}
+
+// ReleaseRangeRequest tells the old owner the handoff committed: drop
+// the devices from its owned set (future submissions answer 421, the
+// routing-race signal, rather than 503).
+type ReleaseRangeRequest struct {
+	Epoch   uint64 `json:"epoch"`
+	Devices []int  `json:"devices"`
+}
+
+// ReleaseRangeResponse acknowledges a release.
+type ReleaseRangeResponse struct {
+	ShardID  string `json:"shard_id"`
+	Released int    `json:"released"`
+}
+
+// ErrorPayload is the wire-level error answer (protocol mismatch, stale
+// epoch, unknown devices).
+type ErrorPayload struct {
+	Error string `json:"error"`
+}
+
+// Message is one decoded wire envelope.
+type Message struct {
+	Type MsgType
+	// Payload is the typed body: *RegisterRequest for MsgRegister, etc.
+	Payload any
+}
+
+// Encode frames a message for the wire.
+func Encode(t MsgType, payload any) ([]byte, error) {
+	if t == 0 || t >= msgTypeEnd {
+		return nil, fmt.Errorf("cluster: encoding unknown message type %d", t)
+	}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encoding %s payload: %w", t, err)
+	}
+	if len(body) > MaxWireSize {
+		return nil, fmt.Errorf("cluster: %s payload %d bytes exceeds max %d", t, len(body), MaxWireSize)
+	}
+	buf := make([]byte, wireHeaderLen+len(body))
+	copy(buf, wireMagic)
+	buf[4] = WireVersion
+	buf[5] = byte(t)
+	binary.LittleEndian.PutUint32(buf[6:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(buf[10:], crc32.Checksum(body, wireCastagnoli))
+	copy(buf[wireHeaderLen:], body)
+	return buf, nil
+}
+
+// Decode parses one framed message. Every malformed input returns an
+// error; Decode never panics and never returns a partially-filled
+// message alongside a nil error (the FuzzWireProtocol contract).
+func Decode(data []byte) (Message, error) {
+	var m Message
+	if len(data) < wireHeaderLen {
+		return m, fmt.Errorf("cluster: wire frame %d bytes, need at least %d", len(data), wireHeaderLen)
+	}
+	if !bytes.Equal(data[:4], wireMagic) {
+		return m, fmt.Errorf("cluster: bad wire magic %q", data[:4])
+	}
+	if v := data[4]; v != WireVersion {
+		return m, fmt.Errorf("cluster: wire version %d, this build speaks %d", v, WireVersion)
+	}
+	t := MsgType(data[5])
+	length := binary.LittleEndian.Uint32(data[6:])
+	if length > MaxWireSize {
+		return m, fmt.Errorf("cluster: wire payload length %d exceeds max %d", length, MaxWireSize)
+	}
+	if int64(wireHeaderLen)+int64(length) != int64(len(data)) {
+		return m, fmt.Errorf("cluster: wire frame length mismatch: header says %d payload bytes, have %d",
+			length, len(data)-wireHeaderLen)
+	}
+	payload := data[wireHeaderLen:]
+	if crc32.Checksum(payload, wireCastagnoli) != binary.LittleEndian.Uint32(data[10:]) {
+		return m, fmt.Errorf("cluster: wire payload CRC mismatch")
+	}
+	body := payloadFor(t)
+	if body == nil {
+		return m, fmt.Errorf("cluster: unknown wire message type %d", uint8(t))
+	}
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(body); err != nil {
+		return m, fmt.Errorf("cluster: decoding %s payload: %w", t, err)
+	}
+	// Trailing JSON after the first value is framing damage, not a message.
+	if _, err := dec.Token(); err != io.EOF {
+		return m, fmt.Errorf("cluster: trailing data after %s payload", t)
+	}
+	m.Type = t
+	m.Payload = body
+	return m, nil
+}
+
+// DecodeAs decodes and asserts the expected type, unwrapping MsgError
+// into a Go error — the receive path every wire exchange shares.
+func DecodeAs[T any](data []byte, want MsgType) (*T, error) {
+	m, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if m.Type == MsgError {
+		return nil, fmt.Errorf("cluster: peer error: %s", m.Payload.(*ErrorPayload).Error)
+	}
+	if m.Type != want {
+		return nil, fmt.Errorf("cluster: expected %s, got %s", want, m.Type)
+	}
+	p, ok := m.Payload.(*T)
+	if !ok {
+		return nil, fmt.Errorf("cluster: %s payload has unexpected type %T", want, m.Payload)
+	}
+	return p, nil
+}

@@ -43,6 +43,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Gateway↔shard control protocol (see shard.go); inert until a
+	// gateway registers this daemon.
+	s.clusterRoutes(mux)
 	return mux
 }
 
@@ -112,6 +115,16 @@ func (s *Service) handleUnlock(w http.ResponseWriter, r *http.Request) {
 		// backlog divided by the pool's observed drain rate.
 		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfter()))
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+		return
+	case errors.Is(err, ErrFenced):
+		// The device is mid-handoff; the range serves elsewhere within
+		// seconds. Retry-After so the request is deferred, never dropped.
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfter()))
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	case errors.Is(err, ErrNotOwned):
+		// Routing race: the gateway re-resolves ownership on 421.
+		writeJSON(w, http.StatusMisdirectedRequest, errorBody{Error: err.Error()})
 		return
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrRecovering):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})

@@ -98,6 +98,19 @@ type Config struct {
 	// virtual-time benches inject vtime.NewManualClock so "wait for the
 	// TTL" becomes an Advance call instead of a sleep.
 	Clock vtime.Clock
+	// ShardID is this daemon's cluster identity: stamped onto
+	// wearlockd_build_info (the gateway's aggregated /metrics adds it as a
+	// shard label too) and echoed in wire acks. Empty means standalone.
+	ShardID string
+	// PaceAirtime, when positive, holds each session's device for
+	// PaceAirtime × the session's simulated protocol timeline after the
+	// CPU work finishes. The simulation computes a ~1.4 s acoustic
+	// exchange in ~20 ms of CPU; pacing restores the real channel's
+	// occupancy so a device (and its worker slot) is busy for wall-clock
+	// time proportional to airtime — which is what makes per-shard
+	// capacity worker-bounded and lets a cluster scale session throughput
+	// with shard count instead of raw CPU. 0 disables pacing.
+	PaceAirtime float64
 }
 
 // DefaultConfig returns a daemon sized for the acceptance load: 64
@@ -370,6 +383,10 @@ type Service struct {
 	store    *store.Store
 	ready    chan struct{}
 	recovery Recovery
+
+	// shard is the cluster-membership view (inert until a gateway
+	// registers this daemon; see shard.go).
+	shard shardState
 }
 
 // New builds the device fleet, starts the worker pool and the session
@@ -432,6 +449,12 @@ func New(cfg Config) (*Service, error) {
 		gcDone:    make(chan struct{}),
 	}
 	s.m = newMetrics(s.reg)
+	buildLabels := map[string]string{"go_version": runtime.Version()}
+	if cfg.ShardID != "" {
+		buildLabels["shard_id"] = cfg.ShardID
+	}
+	s.reg.Info("wearlockd_build_info",
+		"Daemon build and cluster-identity metadata; constant 1.", buildLabels)
 	s.unlock = s.runOnDevice
 
 	s.devices = make([]*devicePair, cfg.Devices)
@@ -476,6 +499,13 @@ func (s *Service) Scenarios() []string { return ScenarioNames(s.scenarios) }
 func (s *Service) runOnDevice(ctx context.Context, dev *devicePair, sc core.Scenario) (*core.Result, error) {
 	dev.mu.Lock()
 	defer dev.mu.Unlock()
+	// A session admitted before a handoff fence but scheduled after it
+	// must not advance counters the fenced tail export already shipped:
+	// the fence is re-checked under the device lock, where export
+	// quiesces.
+	if s.shardFenced(dev.id) {
+		return nil, ErrFenced
+	}
 	var res *core.Result
 	var err error
 	if s.cfg.Core.Resilience.Enabled {
@@ -495,6 +525,20 @@ func (s *Service) runOnDevice(ctx context.Context, dev *devicePair, sc core.Scen
 	// replayable after a crash either.
 	if cerr := s.persistDevice(dev); cerr != nil && err == nil {
 		err = cerr
+	}
+	// Airtime pacing holds the device (and this worker slot) for the
+	// scaled protocol timeline, modeling the acoustic channel's real
+	// occupancy. Done while dev.mu is held: the channel is busy, so the
+	// device is.
+	if s.cfg.PaceAirtime > 0 && res != nil {
+		if d := time.Duration(float64(res.Timeline.Total()) * s.cfg.PaceAirtime); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+			}
+		}
 	}
 	return res, err
 }
@@ -527,6 +571,14 @@ func (s *Service) Submit(req Request) (*Session, error) {
 		return nil, ErrRecovering
 	}
 	dev := s.pickDevice(req.Device)
+	if err := s.shardAdmit(dev.id); err != nil {
+		if errors.Is(err, ErrFenced) {
+			s.m.rejected.With("fenced").Inc()
+		} else {
+			s.m.rejected.With("not_owned").Inc()
+		}
+		return nil, err
+	}
 	timeout := req.Timeout
 	if timeout <= 0 {
 		timeout = s.cfg.RequestTimeout
@@ -587,10 +639,14 @@ func (s *Service) Submit(req Request) (*Session, error) {
 	return sess, nil
 }
 
-// pickDevice resolves a pinned device or rotates round-robin.
+// pickDevice resolves a pinned device or rotates round-robin — over the
+// shard's owned set when registered with a gateway, else the whole fleet.
 func (s *Service) pickDevice(pinned int) *devicePair {
 	if pinned >= 0 {
 		return s.devices[pinned]
+	}
+	if owned := s.shardOwnedList(); len(owned) > 0 {
+		return s.devices[owned[s.nextDev.Add(1)%uint64(len(owned))]]
 	}
 	return s.devices[s.nextDev.Add(1)%uint64(len(s.devices))]
 }

@@ -242,6 +242,54 @@ func TestRetryAfterEstimate(t *testing.T) {
 	}
 }
 
+// TestRetryAfterEdgeCases covers the drain-EWMA estimate's boundary
+// behavior: zero completed sessions (cold EWMA), sub-second sessions
+// hitting the lower clamp, the first observation seeding the EWMA
+// directly, and decay back from a spike.
+func TestRetryAfterEdgeCases(t *testing.T) {
+	s, release := blockableService(t, testConfig()) // 2 workers
+	defer func() { close(release); _ = s.Shutdown(context.Background()) }()
+
+	// Zero completed sessions: no drain history exists, so the estimate
+	// must fall back to the fixed 1 s, never 0 or a garbage division.
+	for i := 0; i < 3; i++ {
+		if got := s.RetryAfter(); got != 1 {
+			t.Fatalf("RetryAfter before any completion = %d, want 1", got)
+		}
+	}
+
+	// Sub-second sessions: backlog/drain rounds below one second; the
+	// answer clamps up to 1, because Retry-After: 0 invites a busy loop.
+	s.observeWall(10 * time.Millisecond)
+	if got := s.RetryAfter(); got != 1 {
+		t.Fatalf("RetryAfter with 10ms sessions = %d, want the 1 s clamp", got)
+	}
+
+	// The first observation seeds the EWMA with the raw value (no decay
+	// from a zero initial state that would underestimate for ~10 sessions).
+	s2, release2 := blockableService(t, testConfig())
+	defer func() { close(release2); _ = s2.Shutdown(context.Background()) }()
+	s2.observeWall(4 * time.Second)
+	if got := s2.RetryAfter(); got != 2 {
+		t.Fatalf("RetryAfter after one 4s session = %d, want ceil(1*4s/2) = 2", got)
+	}
+
+	// Decay: after a spike, fresh fast sessions pull the estimate back
+	// down within the EWMA's ~10-session window.
+	for i := 0; i < 64; i++ {
+		s2.observeWall(10 * time.Minute)
+	}
+	if got := s2.RetryAfter(); got != 30 {
+		t.Fatalf("RetryAfter at spike = %d, want the 30 s clamp", got)
+	}
+	for i := 0; i < 64; i++ {
+		s2.observeWall(100 * time.Millisecond)
+	}
+	if got := s2.RetryAfter(); got != 1 {
+		t.Fatalf("RetryAfter after recovery = %d, want 1", got)
+	}
+}
+
 // Unknown scenarios and out-of-range device pins are rejected without
 // side effects.
 func TestSubmitValidation(t *testing.T) {

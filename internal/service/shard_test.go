@@ -1,0 +1,218 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"wearlock/internal/cluster"
+)
+
+// shardPost sends one framed wire message to a daemon handler and
+// decodes the typed ack.
+func shardPost[T any](t *testing.T, h http.Handler, path string, mt cluster.MsgType, payload any, ack cluster.MsgType) (*T, int) {
+	t.Helper()
+	data, err := cluster.Encode(mt, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(data))
+	req.Header.Set("Content-Type", cluster.WireContentType)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	out, err := cluster.DecodeAs[T](rec.Body.Bytes(), ack)
+	if err != nil {
+		return nil, rec.Code
+	}
+	return out, rec.Code
+}
+
+// TestShardStandaloneServesEverything pins the compatibility contract: a
+// daemon that was never registered admits every device — shard mode is
+// invisible until a gateway speaks up.
+func TestShardStandaloneServesEverything(t *testing.T) {
+	s, release := blockableService(t, testConfig())
+	defer func() { close(release); _ = s.Shutdown(context.Background()) }()
+	for id := 0; id < 4; id++ {
+		if err := s.shardAdmit(id); err != nil {
+			t.Fatalf("standalone daemon rejected device %d: %v", id, err)
+		}
+	}
+	if s.shardID() != "standalone" {
+		t.Errorf("shardID = %q, want standalone", s.shardID())
+	}
+}
+
+// TestShardRegistrationOwnership registers a subset and checks admission
+// splits into owned (admit), not-owned (421 signal), and post-fence
+// (503 signal) classes.
+func TestShardRegistrationOwnership(t *testing.T) {
+	s, release := blockableService(t, testConfig())
+	defer func() { close(release); _ = s.Shutdown(context.Background()) }()
+	h := s.Handler()
+
+	ack, code := shardPost[cluster.RegisterResponse](t, h, "/cluster/v1/register",
+		cluster.MsgRegister, &cluster.RegisterRequest{ShardID: "standalone", Epoch: 1, TotalDevices: 4, Owned: []int{0, 1}},
+		cluster.MsgRegisterAck)
+	if code != http.StatusOK || ack == nil {
+		t.Fatalf("register answered %d", code)
+	}
+	if ack.Devices != 4 || !ack.Ready {
+		t.Errorf("register ack %+v", ack)
+	}
+
+	if err := s.shardAdmit(0); err != nil {
+		t.Errorf("owned device rejected: %v", err)
+	}
+	if err := s.shardAdmit(2); !errors.Is(err, ErrNotOwned) {
+		t.Errorf("unowned device error = %v, want ErrNotOwned", err)
+	}
+	s.shardFence([]int{1})
+	if err := s.shardAdmit(1); !errors.Is(err, ErrFenced) {
+		t.Errorf("fenced device error = %v, want ErrFenced", err)
+	}
+	// Re-registration clears every fence — the aborted-handoff unfence.
+	_, code = shardPost[cluster.RegisterResponse](t, h, "/cluster/v1/register",
+		cluster.MsgRegister, &cluster.RegisterRequest{ShardID: "standalone", Epoch: 2, TotalDevices: 4, Owned: []int{0, 1}},
+		cluster.MsgRegisterAck)
+	if code != http.StatusOK {
+		t.Fatalf("re-register answered %d", code)
+	}
+	if err := s.shardAdmit(1); err != nil {
+		t.Errorf("fence survived re-registration: %v", err)
+	}
+}
+
+// TestShardRegistrationRejections pins the 409 conflict cases: identity
+// mismatch, oversized device space, stale epoch.
+func TestShardRegistrationRejections(t *testing.T) {
+	cfg := testConfig()
+	cfg.ShardID = "s7"
+	s, release := blockableService(t, cfg)
+	defer func() { close(release); _ = s.Shutdown(context.Background()) }()
+	h := s.Handler()
+
+	if _, code := shardPost[cluster.RegisterResponse](t, h, "/cluster/v1/register",
+		cluster.MsgRegister, &cluster.RegisterRequest{ShardID: "s8", Epoch: 1, TotalDevices: 4},
+		cluster.MsgRegisterAck); code != http.StatusConflict {
+		t.Errorf("identity mismatch answered %d, want 409", code)
+	}
+	if _, code := shardPost[cluster.RegisterResponse](t, h, "/cluster/v1/register",
+		cluster.MsgRegister, &cluster.RegisterRequest{ShardID: "s7", Epoch: 1, TotalDevices: 1000},
+		cluster.MsgRegisterAck); code != http.StatusConflict {
+		t.Errorf("oversized device space answered %d, want 409", code)
+	}
+	if _, code := shardPost[cluster.RegisterResponse](t, h, "/cluster/v1/register",
+		cluster.MsgRegister, &cluster.RegisterRequest{ShardID: "s7", Epoch: 5, TotalDevices: 4, Owned: []int{0}},
+		cluster.MsgRegisterAck); code != http.StatusOK {
+		t.Fatalf("valid register answered %d", code)
+	}
+	if _, code := shardPost[cluster.RegisterResponse](t, h, "/cluster/v1/register",
+		cluster.MsgRegister, &cluster.RegisterRequest{ShardID: "s7", Epoch: 3, TotalDevices: 4, Owned: []int{0}},
+		cluster.MsgRegisterAck); code != http.StatusConflict {
+		t.Errorf("stale epoch answered %d, want 409", code)
+	}
+	if _, code := shardPost[cluster.RegisterResponse](t, h, "/cluster/v1/register",
+		cluster.MsgRegister, &cluster.RegisterRequest{ShardID: "s7", Epoch: 1, TotalDevices: 4, Owned: []int{99}},
+		cluster.MsgRegisterAck); code != http.StatusConflict {
+		t.Errorf("out-of-fleet ownership answered %d, want 409", code)
+	}
+}
+
+// TestShardUnlockHTTPStatuses drives the client-facing unlock endpoint
+// against a registered shard and pins the 421/503 mappings the gateway
+// routes on.
+func TestShardUnlockHTTPStatuses(t *testing.T) {
+	s, release := blockableService(t, testConfig())
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	close(release) // sessions complete immediately
+	h := s.Handler()
+
+	if _, code := shardPost[cluster.RegisterResponse](t, h, "/cluster/v1/register",
+		cluster.MsgRegister, &cluster.RegisterRequest{ShardID: "standalone", Epoch: 1, TotalDevices: 4, Owned: []int{0}},
+		cluster.MsgRegisterAck); code != http.StatusOK {
+		t.Fatalf("register answered %d", code)
+	}
+
+	unlock := func(body string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, "/v1/unlock", bytes.NewReader([]byte(body)))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+	if rec := unlock(`{"device":2}`); rec.Code != http.StatusMisdirectedRequest {
+		t.Errorf("not-owned unlock answered %d, want 421", rec.Code)
+	}
+	s.shardFence([]int{0})
+	rec := unlock(`{"device":0}`)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("fenced unlock answered %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("fenced 503 carries no Retry-After — that is a dropped request")
+	}
+}
+
+// TestShardHeartbeat checks the pulse message and its epoch gate.
+func TestShardHeartbeat(t *testing.T) {
+	s, release := blockableService(t, testConfig())
+	defer func() { close(release); _ = s.Shutdown(context.Background()) }()
+	h := s.Handler()
+
+	if _, code := shardPost[cluster.RegisterResponse](t, h, "/cluster/v1/register",
+		cluster.MsgRegister, &cluster.RegisterRequest{ShardID: "standalone", Epoch: 4, TotalDevices: 4, Owned: []int{0, 1, 2}},
+		cluster.MsgRegisterAck); code != http.StatusOK {
+		t.Fatalf("register answered %d", code)
+	}
+	ack, code := shardPost[cluster.HeartbeatResponse](t, h, "/cluster/v1/heartbeat",
+		cluster.MsgHeartbeat, &cluster.HeartbeatRequest{Epoch: 4}, cluster.MsgHeartbeatAck)
+	if code != http.StatusOK || ack == nil {
+		t.Fatalf("heartbeat answered %d", code)
+	}
+	if !ack.Ready || ack.OwnedCount != 3 || ack.Epoch != 4 {
+		t.Errorf("heartbeat ack %+v", ack)
+	}
+	if _, code := shardPost[cluster.HeartbeatResponse](t, h, "/cluster/v1/heartbeat",
+		cluster.MsgHeartbeat, &cluster.HeartbeatRequest{Epoch: 2}, cluster.MsgHeartbeatAck); code != http.StatusConflict {
+		t.Errorf("stale heartbeat answered %d, want 409", code)
+	}
+}
+
+// TestShardExportRequiresStore pins the durability precondition: range
+// transfer endpoints refuse on an ephemeral daemon.
+func TestShardExportRequiresStore(t *testing.T) {
+	s, release := blockableService(t, testConfig())
+	defer func() { close(release); _ = s.Shutdown(context.Background()) }()
+	h := s.Handler()
+	if _, code := shardPost[cluster.ExportRangeResponse](t, h, "/cluster/v1/export-range",
+		cluster.MsgExportRange, &cluster.ExportRangeRequest{Epoch: 1, Devices: []int{0}},
+		cluster.MsgExportRangeAck); code != http.StatusServiceUnavailable {
+		t.Errorf("ephemeral export answered %d, want 503", code)
+	}
+}
+
+// TestShardWireRejectsGarbage checks the cluster endpoints answer typed
+// wire errors, not panics, for non-wire bodies.
+func TestShardWireRejectsGarbage(t *testing.T) {
+	s, release := blockableService(t, testConfig())
+	defer func() { close(release); _ = s.Shutdown(context.Background()) }()
+	h := s.Handler()
+	for _, path := range []string{
+		"/cluster/v1/register", "/cluster/v1/heartbeat",
+		"/cluster/v1/export-range", "/cluster/v1/import-range", "/cluster/v1/release-range",
+	} {
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader([]byte("not a wire frame")))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s answered %d for garbage, want 400", path, rec.Code)
+		}
+		m, err := cluster.Decode(rec.Body.Bytes())
+		if err != nil || m.Type != cluster.MsgError {
+			t.Errorf("%s garbage answer is not a wire error frame (type %v, err %v)", path, m.Type, err)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// Range export/import: the cluster handoff path ships a device range
+// between shard stores as ordinary WAL records. The exporter re-scans
+// its on-disk log under the commit lock and filters to the requested
+// devices; the importer replays each record through its own commit path,
+// so the shipped state is durable on the target (its own WAL, its own
+// fsync) before the handoff acknowledges — the same accepted⇒durable
+// discipline every live commit follows. Sequence numbers are local to a
+// store: exported Seq values are informational, and the importer
+// reassigns its own. Correctness rests on two properties: records are
+// replayed in source order, and the merged-state reduction is idempotent
+// and monotone, so a record shipped twice (snapshot pass + tail pass
+// overlap) can never regress a counter.
+
+// ExportRange returns the durable records needed to reconstruct the
+// given devices elsewhere: every WAL record newer than since that
+// touches one of them, followed by one synthetic record per device
+// carrying its current merged state. The synthetic tail record exists
+// because compaction truncates the WAL — a range whose records were
+// folded into the snapshot would otherwise export empty — and because
+// the monotone merge makes the duplication harmless. The returned
+// horizon is the store's sequence high-water mark at export time; pass
+// it back as since on the tail pass to ship only what this call missed.
+func (s *Store) ExportRange(ids []int, since uint64) ([]Record, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, 0, fmt.Errorf("store: export on closed store")
+	}
+	want := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+
+	var out []Record
+	// Under s.mu no append or truncate can race this read, so the file is
+	// a consistent prefix of the committed history.
+	data, err := os.ReadFile(s.walPath)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, 0, fmt.Errorf("store: reading WAL for export: %w", err)
+	}
+	res := replayWAL(data)
+	for i := range res.records {
+		rec := res.records[i].rec
+		if rec.Seq <= since || rec.Device == nil || !want[rec.Device.ID] {
+			continue
+		}
+		rec.Device = rec.Device.clone()
+		rec.Service = nil // fleet-level state (seq, round-robin) is shard-local
+		out = append(out, rec)
+	}
+	for _, id := range ids {
+		if d, ok := s.merged.devices[id]; ok {
+			out = append(out, Record{Seq: s.merged.devSeq[id], Device: d.clone()})
+		}
+	}
+	return out, s.merged.lastSeq, nil
+}
+
+// ImportRecords replays exported records through the store's own commit
+// path, in order. Only device records are applied; each one is durable
+// (WAL append + fsync) before the next is considered, and the count of
+// applied records is returned.
+func (s *Store) ImportRecords(recs []Record) (int, error) {
+	applied := 0
+	for i := range recs {
+		if recs[i].Device == nil {
+			continue
+		}
+		if err := s.CommitDevice(*recs[i].Device); err != nil {
+			return applied, fmt.Errorf("store: importing record %d: %w", i, err)
+		}
+		applied++
+	}
+	return applied, nil
+}

@@ -1,0 +1,162 @@
+package store
+
+import (
+	"testing"
+)
+
+// TestExportRangeFilters checks the export carries only the requested
+// devices and only records past the Since horizon (plus the synthetic
+// merged-state tail records).
+func TestExportRangeFilters(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, 0)
+	defer s.Close()
+	commitDev(t, s, 0, 1, 1)
+	commitDev(t, s, 1, 1, 1)
+	commitDev(t, s, 2, 1, 1)
+	commitDev(t, s, 1, 2, 2)
+
+	recs, last, err := s.ExportRange([]int{1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != s.State().LastSeq {
+		t.Errorf("export horizon %d, want store LastSeq %d", last, s.State().LastSeq)
+	}
+	for _, r := range recs {
+		if r.Device == nil || r.Device.ID != 1 {
+			t.Fatalf("export leaked record %+v", r)
+		}
+		if r.Service != nil {
+			t.Error("export carried fleet-level service state")
+		}
+	}
+	// WAL holds two device-1 records; the synthetic merged tail adds one.
+	if len(recs) != 3 {
+		t.Errorf("exported %d records, want 3 (2 WAL + 1 synthetic)", len(recs))
+	}
+
+	// Tail pass: nothing new since the horizon — only the synthetic record
+	// remains, so an empty tail still ships current state.
+	tail, _, err := s.ExportRange([]int{1}, last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 1 {
+		t.Fatalf("tail export has %d records, want only the synthetic one", len(tail))
+	}
+	if tail[0].Device.GenCounter != 2 || tail[0].Device.VerCounter != 2 {
+		t.Errorf("synthetic record state %+v, want the merged counters", tail[0].Device)
+	}
+}
+
+// TestExportRangeSurvivesCompaction is the reason the synthetic tail
+// records exist: a range whose WAL records were folded into the snapshot
+// must still export its full merged state.
+func TestExportRangeSurvivesCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, 0)
+	defer s.Close()
+	commitDev(t, s, 0, 3, 5)
+	commitDev(t, s, 1, 1, 1)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, _, err := s.ExportRange([]int{0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("post-compaction export is empty")
+	}
+	final := recs[len(recs)-1].Device
+	if final.ID != 0 || final.GenCounter != 3 || final.VerCounter != 5 {
+		t.Errorf("post-compaction export state %+v, want merged counters 3/5", final)
+	}
+}
+
+// TestImportRecordsRoundTrip ships a range into a fresh store and checks
+// the merged state transfers, is durable across reopen, and that
+// re-importing the same records (the snapshot/tail overlap case) can
+// never regress a counter.
+func TestImportRecordsRoundTrip(t *testing.T) {
+	src := openTest(t, t.TempDir(), 0)
+	defer src.Close()
+	commitDev(t, src, 0, 1, 1)
+	commitDev(t, src, 0, 4, 6)
+	commitDev(t, src, 2, 2, 2)
+
+	recs, _, err := src.ExportRange([]int{0, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dstDir := t.TempDir()
+	dst := openTest(t, dstDir, 0)
+	applied, err := dst.ImportRecords(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != len(recs) {
+		t.Errorf("applied %d of %d records", applied, len(recs))
+	}
+	check := func(st State) {
+		t.Helper()
+		if d := st.Devices[0]; d.GenCounter != 4 || d.VerCounter != 6 {
+			t.Errorf("device 0 state %+v, want counters 4/6", d)
+		}
+		if d := st.Devices[2]; d.GenCounter != 2 || d.VerCounter != 2 {
+			t.Errorf("device 2 state %+v, want counters 2/2", d)
+		}
+	}
+	check(dst.State())
+
+	// Duplicate shipment: the monotone merge must make it a no-op.
+	if _, err := dst.ImportRecords(recs); err != nil {
+		t.Fatal(err)
+	}
+	check(dst.State())
+
+	// Durable: the import went through the WAL, so it survives reopen.
+	if err := dst.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := openTest(t, dstDir, 0)
+	defer re.Close()
+	check(re.State())
+}
+
+// TestImportRecordsStaleNeverRegresses replays an older exported state
+// over a newer local one: counters must keep their maxima.
+func TestImportRecordsStaleNeverRegresses(t *testing.T) {
+	src := openTest(t, t.TempDir(), 0)
+	defer src.Close()
+	commitDev(t, src, 0, 2, 3)
+	stale, _, err := src.ExportRange([]int{0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := openTest(t, t.TempDir(), 0)
+	defer dst.Close()
+	commitDev(t, dst, 0, 7, 9)
+	if _, err := dst.ImportRecords(stale); err != nil {
+		t.Fatal(err)
+	}
+	if d := dst.State().Devices[0]; d.GenCounter != 7 || d.VerCounter != 9 {
+		t.Errorf("stale import regressed counters to %d/%d, want 7/9", d.GenCounter, d.VerCounter)
+	}
+}
+
+// TestExportRangeClosedStore pins the closed-store error path.
+func TestExportRangeClosedStore(t *testing.T) {
+	s := openTest(t, t.TempDir(), 0)
+	commitDev(t, s, 0, 1, 1)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.ExportRange([]int{0}, 0); err == nil {
+		t.Error("export on closed store succeeded")
+	}
+}

@@ -254,6 +254,45 @@ func (g *FloatGauge) writeSamples(w io.Writer) {
 	fmt.Fprintf(w, "%s %s\n", g.name, formatFloat(g.Value()))
 }
 
+// --- Info ---------------------------------------------------------------
+
+// Info is a constant gauge carrying identity labels and the value 1 —
+// the Prometheus idiom for build/instance metadata (wearlockd_build_info
+// with go_version and shard_id labels, joined onto other series by the
+// scraper). Labels render sorted by key, so the sample line is stable.
+type Info struct {
+	name   string
+	help   string
+	labels []string // "key=quoted-value" pairs, sorted by key
+}
+
+// Info registers a constant metadata metric with the given label set.
+func (r *Registry) Info(name, help string, labels map[string]string) *Info {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	pairs := make([]string, 0, len(keys))
+	for _, k := range keys {
+		pairs = append(pairs, fmt.Sprintf("%s=%q", k, labels[k]))
+	}
+	i := &Info{name: name, help: help, labels: pairs}
+	r.register(i)
+	return i
+}
+
+func (i *Info) metricName() string { return i.name }
+func (i *Info) metricHelp() string { return i.help }
+func (i *Info) metricType() string { return "gauge" }
+func (i *Info) writeSamples(w io.Writer) {
+	if len(i.labels) == 0 {
+		fmt.Fprintf(w, "%s 1\n", i.name)
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} 1\n", i.name, strings.Join(i.labels, ","))
+}
+
 // --- Histogram ----------------------------------------------------------
 
 // Histogram counts observations into fixed buckets. Observe is lock-free;

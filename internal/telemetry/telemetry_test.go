@@ -146,3 +146,52 @@ func TestConcurrentUpdates(t *testing.T) {
 		t.Errorf("histogram sum %f, want %f", h.Sum(), 0.5*float64(want))
 	}
 }
+
+// TestInfoRendersConstantGauge pins the build-info idiom: constant 1,
+// labels sorted by key, gauge-typed, stable across writes.
+func TestInfoRendersConstantGauge(t *testing.T) {
+	r := NewRegistry()
+	r.Info("app_build_info", "Build metadata.", map[string]string{
+		"shard_id":   "s3",
+		"go_version": "go.test",
+	})
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	want := `app_build_info{go_version="go.test",shard_id="s3"} 1`
+	if !strings.Contains(out, want) {
+		t.Errorf("exposition missing %q:\n%s", want, out)
+	}
+	if !strings.Contains(out, "# TYPE app_build_info gauge") {
+		t.Errorf("info metric not typed as gauge:\n%s", out)
+	}
+	var b2 strings.Builder
+	r.WritePrometheus(&b2)
+	if b2.String() != out {
+		t.Error("info exposition not stable across writes")
+	}
+}
+
+// TestInfoNoLabels checks the degenerate no-label form.
+func TestInfoNoLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Info("bare_info", "No labels.", nil)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "bare_info 1") {
+		t.Errorf("exposition missing bare sample:\n%s", b.String())
+	}
+}
+
+// TestInfoDuplicatePanics keeps Info under the registry's single-name
+// invariant.
+func TestInfoDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Info("dup_info", "x", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Info name did not panic")
+		}
+	}()
+	r.Info("dup_info", "x", nil)
+}
