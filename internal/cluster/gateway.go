@@ -35,9 +35,9 @@ type GatewayConfig struct {
 	// Replicas is the virtual-node count per shard; <= 0 means
 	// DefaultReplicas.
 	Replicas int
-	// Client issues every shard call; nil means a 30 s-timeout client
-	// (range exports wait out in-flight sessions, so the budget must
-	// cover a full session, not just an RTT).
+	// Client issues proxy, registration, and heartbeat calls; nil means a
+	// 30 s-timeout client. Handoff calls use their own client sized by
+	// HandoffTimeout instead — see below.
 	Client *http.Client
 	// HeartbeatEvery is the liveness-probe period for StartHeartbeats;
 	// <= 0 means 2 s.
@@ -45,6 +45,16 @@ type GatewayConfig struct {
 	// HeartbeatMisses marks a shard unhealthy after this many consecutive
 	// probe failures; <= 0 means 3.
 	HeartbeatMisses int
+	// HandoffTimeout bounds each handoff wire call and the abort path's
+	// recovery re-registration. A fenced tail export waits out every
+	// in-flight session in the move (airtime pacing holds a device for
+	// its whole protocol timeline), so this must cover MoveChunk paced
+	// sessions plus commit time, not just an RTT. <= 0 means 2 minutes.
+	HandoffTimeout time.Duration
+	// MoveChunk caps the devices moved per handoff step: larger moves
+	// are split so a single fence+tail export never quiesces more than
+	// this many devices in one call. <= 0 means 16.
+	MoveChunk int
 }
 
 // shardHandle is the gateway's view of one shard.
@@ -78,8 +88,13 @@ type gwMetrics struct {
 type Gateway struct {
 	cfg    GatewayConfig
 	client *http.Client
-	reg    *telemetry.Registry
-	m      *gwMetrics
+	// handoffClient carries handoff wire calls: same transport, but a
+	// budget sized for a fenced range export that waits out in-flight
+	// paced sessions (cfg.HandoffTimeout), not the proxy client's
+	// RTT-scale timeout.
+	handoffClient *http.Client
+	reg           *telemetry.Registry
+	m             *gwMetrics
 
 	// nextDev assigns devices to requests that pinned none, round-robin
 	// over the global fleet so load spreads across every shard.
@@ -87,9 +102,10 @@ type Gateway struct {
 
 	mu        sync.RWMutex
 	ring      *Ring
-	table     map[int]string // cached bounded-load assignment of the current ring
+	table     map[int]string // effective assignment: the ring's, plus committed moves of an aborted join
 	shards    map[string]*shardHandle
 	overrides map[int]string // mid-handoff routing: device -> new owner
+	pending   *pendingJoin   // aborted join with committed moves; resumable via AddShard
 	epoch     uint64
 	migrating bool
 }
@@ -113,13 +129,20 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	if cfg.HeartbeatMisses <= 0 {
 		cfg.HeartbeatMisses = 3
 	}
+	if cfg.HandoffTimeout <= 0 {
+		cfg.HandoffTimeout = 2 * time.Minute
+	}
+	if cfg.MoveChunk <= 0 {
+		cfg.MoveChunk = 16
+	}
 	g := &Gateway{
-		cfg:    cfg,
-		client: client,
-		reg:    telemetry.NewRegistry(),
-		ring:   NewRing(cfg.Replicas),
-		shards: make(map[string]*shardHandle),
-		epoch:  1,
+		cfg:           cfg,
+		client:        client,
+		handoffClient: &http.Client{Transport: client.Transport, Timeout: cfg.HandoffTimeout},
+		reg:           telemetry.NewRegistry(),
+		ring:          NewRing(cfg.Replicas),
+		shards:        make(map[string]*shardHandle),
+		epoch:         1,
 	}
 	for _, sc := range cfg.Shards {
 		if sc.BaseURL == "" {
@@ -195,10 +218,15 @@ func wireCall[T any](ctx context.Context, client *http.Client, baseURL, path str
 		return nil, err
 	}
 	// Both 200 acks and non-200 MsgError bodies decode through the same
-	// path; DecodeAs surfaces the peer error either way.
+	// path; DecodeAs surfaces the peer error either way. A non-200 is a
+	// failed exchange even when an ack body decodes: an intermediary or
+	// buggy shard answering 5xx with a stale ack must not read as success.
 	out, derr := DecodeAs[T](data, ack)
-	if derr != nil && resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("cluster: shard answered %d: %v", resp.StatusCode, derr)
+	if resp.StatusCode != http.StatusOK {
+		if derr != nil {
+			return nil, fmt.Errorf("cluster: shard answered %d: %v", resp.StatusCode, derr)
+		}
+		return nil, fmt.Errorf("cluster: shard answered %d carrying a %s ack", resp.StatusCode, ack)
 	}
 	return out, derr
 }
@@ -212,6 +240,19 @@ func call[T any](ctx context.Context, g *Gateway, shard string, path string, t M
 	return wireCall[T](ctx, g.client, h.cfg.BaseURL, path, t, payload, ack)
 }
 
+// hcall runs a handoff wire exchange against a named shard: the handoff
+// client with a per-call HandoffTimeout budget, since a fenced export
+// quiesces a whole move's devices before answering.
+func hcall[T any](ctx context.Context, g *Gateway, shard string, path string, t MsgType, payload any, ack MsgType) (*T, error) {
+	h := g.handle(shard)
+	if h == nil {
+		return nil, fmt.Errorf("cluster: unknown shard %q", shard)
+	}
+	ctx, cancel := context.WithTimeout(ctx, g.cfg.HandoffTimeout)
+	defer cancel()
+	return wireCall[T](ctx, g.handoffClient, h.cfg.BaseURL, path, t, payload, ack)
+}
+
 func (g *Gateway) handle(name string) *shardHandle {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
@@ -219,11 +260,22 @@ func (g *Gateway) handle(name string) *shardHandle {
 }
 
 // Register runs the handshake against every shard: protocol version,
-// epoch, and the device set the ring assigns it. Idempotent.
+// epoch, and the device set the effective routing (table plus any
+// mid-handoff overrides) assigns it. Idempotent. Deriving from the
+// table rather than the ring matters after an aborted join: committed
+// moves live only in the table until the join resumes, and registering
+// the ring's view would re-grant sources ranges whose counters have
+// moved on.
 func (g *Gateway) Register(ctx context.Context) error {
 	g.mu.RLock()
 	epoch := g.epoch
-	ring := g.ring
+	assign := make(map[int]string, len(g.table))
+	for d, s := range g.table {
+		assign[d] = s
+	}
+	for d, s := range g.overrides {
+		assign[d] = s
+	}
 	names := make([]string, 0, len(g.shards))
 	for name := range g.shards {
 		names = append(names, name)
@@ -231,7 +283,7 @@ func (g *Gateway) Register(ctx context.Context) error {
 	g.mu.RUnlock()
 	sort.Strings(names)
 	for _, name := range names {
-		owned := ring.Owned(name, g.cfg.TotalDevices)
+		owned := ownedIn(assign, name)
 		ack, err := call[RegisterResponse](ctx, g, name, "/cluster/v1/register", MsgRegister, &RegisterRequest{
 			ShardID:      name,
 			Epoch:        epoch,
@@ -308,6 +360,19 @@ func (g *Gateway) StartHeartbeats() (stop func()) {
 		}
 	}()
 	return func() { once.Do(func() { close(done) }) }
+}
+
+// ownedIn lists the devices an assignment table maps to the named
+// shard, ascending.
+func ownedIn(assign map[int]string, name string) []int {
+	var owned []int
+	for d, s := range assign {
+		if s == name {
+			owned = append(owned, d)
+		}
+	}
+	sort.Ints(owned)
+	return owned
 }
 
 // shardFor resolves a device's current owner, honoring mid-handoff

@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestWireCallRejectsNon200Ack pins the control-plane status contract: a
+// non-200 answer is a failed exchange even when its body decodes as the
+// expected ack, so an intermediary or buggy shard replaying a stale ack
+// with a 5xx cannot read as success.
+func TestWireCallRejectsNon200Ack(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := Encode(MsgHeartbeatAck, &HeartbeatResponse{ShardID: "s0", Ready: true})
+		if err != nil {
+			t.Errorf("encoding ack: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", WireContentType)
+		w.WriteHeader(http.StatusBadGateway)
+		_, _ = w.Write(body)
+	}))
+	defer srv.Close()
+
+	_, err := wireCall[HeartbeatResponse](context.Background(), srv.Client(), srv.URL,
+		"/cluster/v1/heartbeat", MsgHeartbeat, &HeartbeatRequest{Epoch: 1}, MsgHeartbeatAck)
+	if err == nil {
+		t.Fatal("non-200 response with a decodable ack body was accepted as success")
+	}
+	if !strings.Contains(err.Error(), "502") {
+		t.Errorf("error %q does not name the HTTP status", err)
+	}
+}
+
+// TestWireCallAcceptsOKAck is the matching positive case.
+func TestWireCallAcceptsOKAck(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := Encode(MsgHeartbeatAck, &HeartbeatResponse{ShardID: "s0", Ready: true})
+		if err != nil {
+			t.Errorf("encoding ack: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", WireContentType)
+		_, _ = w.Write(body)
+	}))
+	defer srv.Close()
+
+	ack, err := wireCall[HeartbeatResponse](context.Background(), srv.Client(), srv.URL,
+		"/cluster/v1/heartbeat", MsgHeartbeat, &HeartbeatRequest{Epoch: 1}, MsgHeartbeatAck)
+	if err != nil {
+		t.Fatalf("200 ack rejected: %v", err)
+	}
+	if ack.ShardID != "s0" || !ack.Ready {
+		t.Errorf("ack = %+v, want shard s0 ready", ack)
+	}
+}
+
+// TestChunkMoves checks the move splitter preserves order, membership,
+// and the per-chunk bound.
+func TestChunkMoves(t *testing.T) {
+	moves := []Move{
+		{From: "a", To: "c", Devices: []int{0, 1, 2, 3, 4}},
+		{From: "b", To: "c", Devices: []int{5, 6}},
+	}
+	got := chunkMoves(moves, 2)
+	if len(got) != 4 {
+		t.Fatalf("chunked into %d moves, want 4: %+v", len(got), got)
+	}
+	var flat []int
+	for _, mv := range got {
+		if len(mv.Devices) == 0 || len(mv.Devices) > 2 {
+			t.Errorf("chunk %+v violates the 1..2 device bound", mv)
+		}
+		flat = append(flat, mv.Devices...)
+	}
+	want := []int{0, 1, 2, 3, 4, 5, 6}
+	if len(flat) != len(want) {
+		t.Fatalf("chunks cover %v, want %v", flat, want)
+	}
+	for i, d := range want {
+		if flat[i] != d {
+			t.Fatalf("chunks cover %v, want %v", flat, want)
+		}
+	}
+	if out := chunkMoves(moves, 0); len(out) != len(moves) {
+		t.Errorf("chunkMoves with max 0 rewrote the plan: %+v", out)
+	}
+}

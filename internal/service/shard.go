@@ -321,19 +321,30 @@ func (s *Service) handleClusterExport(w http.ResponseWriter, r *http.Request) {
 	if req.Fence {
 		s.shardFence(req.Devices)
 		fenced = len(req.Devices)
-		// Quiesce + final commit, one device at a time. After this loop no
-		// session can mutate the range: new admissions see the fence in
-		// Submit, and already-queued sessions see it under dev.mu and fail
-		// without touching counters.
-		for _, id := range req.Devices {
-			dev := s.devices[id]
-			dev.mu.Lock()
-			cerr := s.commitDeviceLocked(dev)
-			dev.mu.Unlock()
-			if cerr != nil {
-				wireError(w, http.StatusInternalServerError, cerr)
-				return
-			}
+		// Quiesce + final commit, all devices concurrently: each worker
+		// blocks on its device's lock, and airtime pacing holds dev.mu for
+		// a whole protocol timeline, so a sequential walk would cost the
+		// SUM of in-flight sessions and blow the gateway's call budget on
+		// large ranges — concurrent, it costs the max. The store serializes
+		// the commits internally. After the wait no session can mutate the
+		// range: new admissions see the fence in Submit, and already-queued
+		// sessions see it under dev.mu and fail without touching counters.
+		var wg sync.WaitGroup
+		cerrs := make([]error, len(req.Devices))
+		for i, id := range req.Devices {
+			wg.Add(1)
+			go func(i, id int) {
+				defer wg.Done()
+				dev := s.devices[id]
+				dev.mu.Lock()
+				cerrs[i] = s.commitDeviceLocked(dev)
+				dev.mu.Unlock()
+			}(i, id)
+		}
+		wg.Wait()
+		if cerr := errors.Join(cerrs...); cerr != nil {
+			wireError(w, http.StatusInternalServerError, cerr)
+			return
 		}
 	}
 	recs, lastSeq, err := s.store.ExportRange(req.Devices, req.Since)
