@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test race bench test-chaos test-store test-vtime test-cluster fuzz-smoke bench-sim bench-service bench-chaos bench-dsp bench-store bench-vtime bench-cluster
+.PHONY: ci vet lint lint-scenarios build test race bench test-chaos test-store test-vtime test-cluster fuzz-smoke bench-sim bench-service bench-chaos bench-dsp bench-store bench-vtime bench-cluster
 
-ci: vet lint build race bench test-chaos test-store test-vtime test-cluster bench-dsp bench-service bench-store bench-vtime bench-cluster
+ci: vet lint lint-scenarios build race bench test-chaos test-store test-vtime test-cluster bench-dsp bench-service bench-store bench-vtime bench-cluster
 
 vet:
 	$(GO) vet ./...
@@ -18,6 +18,15 @@ lint:
 	else \
 		echo "lint: staticcheck not installed, skipping (go vet still ran)"; \
 	fi
+
+# The scenario-registry conformance gate: every spec reachable through a
+# consumer tag with a well-typed payload, unique well-formed instance
+# names, collision-free axis matrices and seed salts, resolvable deps —
+# plus the golden-stability proof that the registry reproduces the
+# pre-registry per-scenario fingerprint streams byte for byte, serial
+# and parallel.
+lint-scenarios:
+	$(GO) test -count=1 ./internal/scenario/... ./internal/scenariolint
 
 build:
 	$(GO) build ./...
@@ -82,6 +91,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzFaultSchedule -fuzztime=10s ./internal/fault
 	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=10s ./internal/store
 	$(GO) test -run='^$$' -fuzz=FuzzWireProtocol -fuzztime=10s ./internal/cluster
+	$(GO) test -run='^$$' -fuzz=FuzzScenarioSpec -fuzztime=10s ./internal/scenario
 
 # Regenerate BENCH_dsp.json and enforce the DSP fast-path regression
 # gate (DESIGN.md §10): per-pair speedup floors plus zero allocs/op on

@@ -17,18 +17,15 @@ import (
 	"wearlock/internal/dsp"
 	"wearlock/internal/experiments"
 	"wearlock/internal/motion"
+	"wearlock/internal/scenario/catalog"
 )
 
 // benchExperiment runs a registered experiment once per iteration.
 func benchExperiment(b *testing.B, name string) {
 	b.Helper()
-	runner, ok := experiments.Registry()[name]
-	if !ok {
-		b.Fatalf("unknown experiment %q", name)
-	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		table, err := runner(experiments.ScaleQuick, int64(i)+1)
+		table, err := catalog.RunExperiment(name, experiments.Options{Scale: experiments.ScaleQuick, Seed: int64(i) + 1})
 		if err != nil {
 			b.Fatalf("%s: %v", name, err)
 		}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"wearlock/internal/experiments"
+	"wearlock/internal/scenario/catalog"
 )
 
 type timing struct {
@@ -152,7 +153,7 @@ func timeRun(name string, sc experiments.Scale, seed int64, workers, reps int) (
 	best := time.Duration(0)
 	for i := 0; i < reps; i++ {
 		start := time.Now()
-		if _, err := experiments.Run(name, experiments.Options{Scale: sc, Seed: seed, Parallel: workers}); err != nil {
+		if _, err := catalog.RunExperiment(name, experiments.Options{Scale: sc, Seed: seed, Parallel: workers}); err != nil {
 			return 0, err
 		}
 		elapsed := time.Since(start)

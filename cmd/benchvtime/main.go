@@ -36,7 +36,7 @@ import (
 	"time"
 
 	"wearlock/internal/core"
-	"wearlock/internal/fault"
+	"wearlock/internal/scenario/catalog"
 	"wearlock/internal/service"
 	"wearlock/internal/vtime"
 )
@@ -80,8 +80,8 @@ func run() int {
 		devices    = flag.Int("devices", 64, "device pairs per fleet")
 		fleets     = flag.Int("fleets", 192, "replica fleets in the event-engine run")
 		seed       = flag.Int64("seed", 42, "workload seed (device streams + fault derivation)")
-		mixSpec    = flag.String("mix", "default=4,quiet=2,cafe=2,samehand=1,walking=1,jammed=1,out-of-range=1", "weighted scenario mix")
-		chaosSpec  = flag.String("chaos", "", "fault schedule ('builtin' or JSON file path, empty = off)")
+		mixSpec    = flag.String("mix", catalog.DefaultMixSpec(), "weighted scenario mix over registered scenario names")
+		chaosSpec  = flag.String("chaos", "", "fault schedule (registered chaos name or JSON file path, empty = off)")
 		baseline   = flag.String("baseline", "BENCH_service.json", "wearlockd throughput artifact to gate against")
 		minSpeedup = flag.Float64("min-speedup", 100, "required sessions/sec multiple over the baseline")
 		out        = flag.String("out", "", "write the report JSON to this path")
@@ -90,8 +90,8 @@ func run() int {
 	flag.Parse()
 	runtime.GOMAXPROCS(1)
 
-	catalog := service.BuiltinScenarios()
-	mix, err := service.ParseMix(*mixSpec, catalog)
+	scenarios := catalog.ServiceScenarios()
+	mix, err := service.ParseMix(*mixSpec, scenarios)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchvtime: %v\n", err)
 		return 1
@@ -99,20 +99,18 @@ func run() int {
 	picks := make([]vtime.Pick, *requests)
 	for i := range picks {
 		name := mix.Pick(uint64(i))
-		picks[i] = vtime.Pick{Name: name, Scenario: catalog[name]}
+		picks[i] = vtime.Pick{Name: name, Scenario: scenarios[name]}
 	}
 
 	// Mirror wearlockd: the classic single-attempt protocol on clean runs,
 	// the resilience ladder armed whenever a fault schedule is.
 	cfg := core.DefaultConfig()
-	var chaos *fault.Schedule
-	if *chaosSpec != "" {
-		if *chaosSpec == "builtin" {
-			chaos = fault.DefaultChaosSchedule()
-		} else if chaos, err = fault.LoadSchedule(*chaosSpec); err != nil {
-			fmt.Fprintf(os.Stderr, "benchvtime: %v\n", err)
-			return 1
-		}
+	chaos, err := catalog.ResolveChaos(*chaosSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchvtime: %v\n", err)
+		return 1
+	}
+	if chaos != nil {
 		cfg.Resilience = core.DefaultResilience()
 	}
 

@@ -54,7 +54,7 @@ import (
 
 	"wearlock/internal/cluster"
 	"wearlock/internal/core"
-	"wearlock/internal/fault"
+	"wearlock/internal/scenario/catalog"
 	"wearlock/internal/service"
 	"wearlock/internal/sim"
 	"wearlock/internal/vtime"
@@ -123,7 +123,7 @@ type virtualRecord struct {
 // device fleet, faults derived from (seed, sequence) — the same
 // contract wearlockd applies — with the resilience ladder armed
 // whenever a fault schedule is, mirroring the daemon.
-func runVirtual(mix *service.Mix, catalog map[string]core.Scenario, n, devices, fleets int, seed int64, mixSpec, chaosSpec, out string) int {
+func runVirtual(mix *service.Mix, scenarios map[string]core.Scenario, n, devices, fleets int, seed int64, mixSpec, chaosSpec, out string) int {
 	if devices <= 0 {
 		devices = service.DefaultConfig().Devices
 	}
@@ -131,23 +131,18 @@ func runVirtual(mix *service.Mix, catalog map[string]core.Scenario, n, devices, 
 		fleets = 1
 	}
 	cfg := core.DefaultConfig()
-	var sch *fault.Schedule
-	if chaosSpec != "" {
-		if chaosSpec == "builtin" {
-			sch = fault.DefaultChaosSchedule()
-		} else {
-			var err error
-			if sch, err = fault.LoadSchedule(chaosSpec); err != nil {
-				fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
-				return 1
-			}
-		}
+	sch, err := catalog.ResolveChaos(chaosSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		return 1
+	}
+	if sch != nil {
 		cfg.Resilience = core.DefaultResilience()
 	}
 	picks := make([]vtime.Pick, n)
 	for i := range picks {
 		name := mix.Pick(uint64(i))
-		picks[i] = vtime.Pick{Name: name, Scenario: catalog[name]}
+		picks[i] = vtime.Pick{Name: name, Scenario: scenarios[name]}
 	}
 	w := vtime.FleetWorkload(cfg, seed, fleets, devices, picks, sch)
 	start := time.Now()
@@ -216,6 +211,19 @@ func runVirtual(mix *service.Mix, catalog map[string]core.Scenario, n, devices, 
 	return 0
 }
 
+// resolveMix resolves a -mix flag value against the scenario registry.
+// It runs before any daemon boots or any request is sent, so an
+// unregistered scenario name is a startup error listing every registered
+// name — not a mid-run HTTP 400 after traffic already flowed.
+func resolveMix(spec string) (*service.Mix, map[string]core.Scenario, error) {
+	scenarios := catalog.ServiceScenarios()
+	mix, err := service.ParseMix(spec, scenarios)
+	if err != nil {
+		return nil, nil, err
+	}
+	return mix, scenarios, nil
+}
+
 // storeReport is the durability slice of the consistency gate, present
 // only when the run drove a daemon with a -state-dir.
 type storeReport struct {
@@ -237,13 +245,13 @@ func run() int {
 		n        = flag.Int("n", 256, "total requests")
 		c        = flag.Int("c", 32, "concurrent client workers")
 		rate     = flag.Float64("rate", 0, "open-loop arrival rate per second (0 = closed loop)")
-		mixSpec  = flag.String("mix", "default=4,quiet=2,cafe=2,samehand=1,walking=1,jammed=1,out-of-range=1", "weighted scenario mix")
+		mixSpec  = flag.String("mix", catalog.DefaultMixSpec(), "weighted scenario mix over registered scenario names")
 		timeout  = flag.Duration("timeout", 60*time.Second, "per-request client timeout")
 		out      = flag.String("out", "", "also write the report JSON to this path")
 		devices  = flag.Int("devices", 0, "selfhost: fleet size (0 = default)")
 		queue    = flag.Int("queue", 0, "selfhost: admission queue bound (0 = default)")
 		seed     = flag.Int64("seed", 42, "selfhost: daemon seed")
-		chaos    = flag.String("chaos", "", "selfhost: fault schedule ('builtin' or JSON file path, empty = off)")
+		chaos    = flag.String("chaos", "", "selfhost: fault schedule (registered chaos name or JSON file path, empty = off)")
 		stateDir = flag.String("state-dir", "", "selfhost: durable state directory; arms the store-metrics consistency gate")
 		virtual  = flag.Bool("virtual", false, "run the admission stream on the virtual-time engine instead of a daemon")
 		fleets   = flag.Int("fleets", 1, "virtual: replica device fleets to interleave")
@@ -252,14 +260,13 @@ func run() int {
 	)
 	flag.Parse()
 
-	catalog := service.BuiltinScenarios()
-	mix, err := service.ParseMix(*mixSpec, catalog)
+	mix, scenarios, err := resolveMix(*mixSpec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		return 1
 	}
 	if *virtual {
-		return runVirtual(mix, catalog, *n, *devices, *fleets, *seed, *mixSpec, *chaos, *out)
+		return runVirtual(mix, scenarios, *n, *devices, *fleets, *seed, *mixSpec, *chaos, *out)
 	}
 
 	base := *addr
@@ -280,18 +287,12 @@ func run() int {
 		if *queue > 0 {
 			cfg.QueueDepth = *queue
 		}
-		if *chaos != "" {
-			if *chaos == "builtin" {
-				cfg.Chaos = fault.DefaultChaosSchedule()
-			} else {
-				sch, err := fault.LoadSchedule(*chaos)
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
-					return 1
-				}
-				cfg.Chaos = sch
-			}
+		sch, err := catalog.ResolveChaos(*chaos)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			return 1
 		}
+		cfg.Chaos = sch
 		cfg.StateDir = *stateDir
 		cfg.PaceAirtime = *paceAir
 		svc, err := service.New(cfg)

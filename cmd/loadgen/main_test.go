@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"wearlock/internal/scenario/catalog"
+)
+
+// The registry's default mix must resolve — it is the -mix flag default,
+// so a registry regression here would brick every bare loadgen run.
+func TestResolveMixRegistryDefault(t *testing.T) {
+	spec := catalog.DefaultMixSpec()
+	mix, scenarios, err := resolveMix(spec)
+	if err != nil {
+		t.Fatalf("default mix %q did not resolve: %v", spec, err)
+	}
+	for _, name := range mix.Names() {
+		if _, ok := scenarios[name]; !ok {
+			t.Errorf("mix name %q missing from resolved scenario map", name)
+		}
+	}
+	if !strings.Contains(spec, "default=4") {
+		t.Errorf("default mix %q lost the historical default=4 weight", spec)
+	}
+}
+
+// Parametric registry instances are first-class mix members.
+func TestResolveMixParametricInstance(t *testing.T) {
+	if _, _, err := resolveMix("default=2,cafe/dist=0.6=1"); err != nil {
+		t.Fatalf("parametric instance rejected: %v", err)
+	}
+}
+
+// An unregistered name fails fast, before any daemon boots, and the
+// error carries the registered names so the fix is in the message.
+func TestResolveMixUnknownNameFailsFast(t *testing.T) {
+	_, _, err := resolveMix("default=4,no-such-scenario=1")
+	if err == nil {
+		t.Fatal("unregistered scenario name accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "no-such-scenario") {
+		t.Errorf("error %q does not name the offending scenario", msg)
+	}
+	for _, want := range []string{"default", "cafe", "jammed/spl=78"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not list registered scenario %q", msg, want)
+		}
+	}
+}

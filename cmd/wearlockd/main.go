@@ -63,21 +63,12 @@ import (
 	"syscall"
 	"time"
 
-	"wearlock/internal/fault"
+	"wearlock/internal/scenario/catalog"
 	"wearlock/internal/service"
 )
 
 func main() {
 	os.Exit(run())
-}
-
-// loadChaos resolves the -chaos flag: the builtin schedule by name, or a
-// JSON schedule file.
-func loadChaos(spec string) (*fault.Schedule, error) {
-	if spec == "builtin" {
-		return fault.DefaultChaosSchedule(), nil
-	}
-	return fault.LoadSchedule(spec)
 }
 
 func run() int {
@@ -91,7 +82,7 @@ func run() int {
 		reqTimeout = flag.Duration("request-timeout", def.RequestTimeout, "per-session deadline")
 		seed       = flag.Int64("seed", def.Seed, "base seed for the device fleet's random streams")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "max wait for in-flight sessions on shutdown")
-		chaos      = flag.String("chaos", "", "fault schedule: 'builtin' or a JSON schedule file path (empty = off)")
+		chaos      = flag.String("chaos", "", "fault schedule: a registered chaos name or a JSON schedule file path (empty = off)")
 		pprofOn    = flag.Bool("pprof", false, "serve Go profiling endpoints under /debug/pprof/ (off by default)")
 		stateDir   = flag.String("state-dir", "", "durable state directory for pairing keys and HOTP counters (empty = ephemeral)")
 		snapEvery  = flag.Int("snapshot-every", 0, "compact the state WAL after this many records (0 = default 1024)")
@@ -114,14 +105,12 @@ func run() int {
 	cfg.NoFsync = *noFsync
 	cfg.ShardID = *shardID
 	cfg.PaceAirtime = *pace
-	if *chaos != "" {
-		sch, err := loadChaos(*chaos)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "wearlockd: %v\n", err)
-			return 1
-		}
-		cfg.Chaos = sch
+	sch, err := catalog.ResolveChaos(*chaos)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wearlockd: %v\n", err)
+		return 1
 	}
+	cfg.Chaos = sch
 
 	logger := log.New(os.Stderr, "wearlockd: ", log.LstdFlags)
 	svc, err := service.New(cfg)

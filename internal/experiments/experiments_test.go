@@ -350,28 +350,9 @@ func TestAblationShapes(t *testing.T) {
 	}
 }
 
-func TestRegistryComplete(t *testing.T) {
-	names := Names()
-	want := []string{
-		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-		"table1", "table2", "casestudy",
-		"ablation-finesync", "ablation-equalizer", "ablation-motionfilter",
-		"ext-distancebound", "ext-ultrasound96k",
-		"chaos",
-	}
-	got := map[string]bool{}
-	for _, n := range names {
-		got[n] = true
-	}
-	for _, n := range want {
-		if !got[n] {
-			t.Errorf("registry missing %q", n)
-		}
-	}
-	if len(names) != len(want) {
-		t.Errorf("registry has %d entries, want %d", len(names), len(want))
-	}
-}
+// The registry-completeness check lives in internal/scenariolint now:
+// every experiment is a scenario.Spec in internal/scenario/catalog, and
+// the lint asserts the full expected name set is registered.
 
 func TestPINModel(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))

@@ -9,30 +9,44 @@ import (
 // render byte-identical tables, because every grid point's RNG derives
 // from (seed, figure, point) and aggregation folds in point order.
 func TestFigureParallelDeterminism(t *testing.T) {
-	for _, name := range []string{"fig4", "fig7", "fig10"} {
-		name := name
-		t.Run(name, func(t *testing.T) {
-			serial, err := Run(name, Options{Scale: ScaleQuick, Seed: 7, Parallel: 1})
+	// Direct generator calls, not registry resolution: this package sits
+	// below internal/scenario/catalog, whose tests cover name lookup.
+	sweeps := []struct {
+		name string
+		run  func(Options) (*Table, error)
+	}{
+		{"fig4", renderSweep(Fig4Opts)},
+		{"fig7", renderSweep(Fig7Opts)},
+		{"fig10", renderSweep(Fig10Opts)},
+	}
+	for _, sweep := range sweeps {
+		sweep := sweep
+		t.Run(sweep.name, func(t *testing.T) {
+			serial, err := sweep.run(Options{Scale: ScaleQuick, Seed: 7, Parallel: 1})
 			if err != nil {
-				t.Fatalf("%s serial: %v", name, err)
+				t.Fatalf("%s serial: %v", sweep.name, err)
 			}
 			for _, workers := range []int{4, 8} {
-				par, err := Run(name, Options{Scale: ScaleQuick, Seed: 7, Parallel: workers})
+				par, err := sweep.run(Options{Scale: ScaleQuick, Seed: 7, Parallel: workers})
 				if err != nil {
-					t.Fatalf("%s parallel=%d: %v", name, workers, err)
+					t.Fatalf("%s parallel=%d: %v", sweep.name, workers, err)
 				}
 				if got, want := par.Render(), serial.Render(); got != want {
-					t.Errorf("%s: parallel=%d table differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", name, workers, want, got)
+					t.Errorf("%s: parallel=%d table differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", sweep.name, workers, want, got)
 				}
 			}
 		})
 	}
 }
 
-// TestRunUnknownName rejects unregistered experiments.
-func TestRunUnknownName(t *testing.T) {
-	if _, err := Run("fig99", Options{}); err == nil {
-		t.Fatal("Run accepted an unknown experiment name")
+// renderSweep adapts a typed figure generator to its rendered table.
+func renderSweep[T interface{ Table() *Table }](run func(Options) (T, error)) func(Options) (*Table, error) {
+	return func(o Options) (*Table, error) {
+		r, err := run(o)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
 	}
 }
 

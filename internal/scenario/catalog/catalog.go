@@ -1,0 +1,224 @@
+// Package catalog registers every scenario the repository ships —
+// paper-figure experiments, the daemon's service scenarios, and chaos
+// schedules — in one declarative scenario.Registry, and gives each
+// consumer a typed resolution surface:
+//
+//   - cmd/experiments resolves TagExperiment instances (RunExperiment,
+//     ExperimentNames, the -catalog dump);
+//   - cmd/loadgen and wearlockd resolve TagService instances into the
+//     daemon's scenario map (ServiceScenarios) and the default traffic
+//     mix (DefaultMixSpec);
+//   - the -chaos flag on wearlockd/loadgen/benchvtime resolves TagChaos
+//     instances by name, falling back to a JSON schedule file
+//     (ResolveChaos).
+//
+// Registration happens once, at first use; internal/scenariolint keeps
+// the registry conformant (reachable tags, unique well-formed names,
+// collision-free axis matrices) in CI, so a malformed entry fails the
+// build instead of panicking in a daemon.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"wearlock/internal/core"
+	"wearlock/internal/experiments"
+	"wearlock/internal/fault"
+	"wearlock/internal/scenario"
+)
+
+// Consumer-binding tags: carrying one of these is what makes a spec
+// reachable. scenariolint rejects specs with none of them, and rejects
+// tags outside KnownTags entirely.
+const (
+	// TagExperiment binds a spec to cmd/experiments (-run/-list/-catalog).
+	TagExperiment = "experiment"
+	// TagService binds a spec to the service catalog: wearlockd serves
+	// it, cmd/loadgen -mix weights resolve against it.
+	TagService = "service-mix"
+	// TagChaos binds a spec to -chaos name selection on wearlockd,
+	// loadgen, and benchvtime.
+	TagChaos = "chaos"
+)
+
+// Descriptive tags (no consumer binding of their own).
+const (
+	TagFigure     = "figure"
+	TagTable      = "table"
+	TagAblation   = "ablation"
+	TagExtension  = "extension"
+	TagAttack     = "attack"
+	TagCaseStudy  = "casestudy"
+	TagResilience = "resilience"
+	TagStore      = "store"
+)
+
+// ConsumerTags maps each consumer-binding tag to the entry point that
+// consumes it — the reachability contract scenariolint enforces.
+func ConsumerTags() map[string]string {
+	return map[string]string{
+		TagExperiment: "cmd/experiments -run (and -list/-catalog)",
+		TagService:    "cmd/loadgen -mix / wearlockd scenario catalog",
+		TagChaos:      "-chaos <name> on wearlockd, loadgen, benchvtime",
+	}
+}
+
+// KnownTags is the closed tag vocabulary: consumer tags plus the
+// descriptive ones. A tag outside this set fails scenariolint.
+func KnownTags() map[string]string {
+	out := ConsumerTags()
+	for tag, desc := range map[string]string{
+		TagFigure:     "reproduces a numbered figure of the paper",
+		TagTable:      "reproduces a numbered table of the paper",
+		TagAblation:   "design-choice ablation",
+		TagExtension:  "beyond-paper extension",
+		TagAttack:     "adversarial scenario",
+		TagCaseStudy:  "user case study",
+		TagResilience: "exercises the degradation ladder",
+		TagStore:      "durable-store fault regime",
+	} {
+		out[tag] = desc
+	}
+	return out
+}
+
+// ExperimentRunner is the payload of TagExperiment specs.
+type ExperimentRunner func(p scenario.Params, opts experiments.Options) (*experiments.Table, error)
+
+// ServiceSpec is the payload of TagService specs: a builder from axis
+// params to the concrete physical scenario, plus the weight the instance
+// carries in the default load-generator mix (0 = not in the default mix).
+type ServiceSpec struct {
+	Build  func(p scenario.Params) core.Scenario
+	Weight int
+}
+
+// ChaosBuilder is the payload of TagChaos specs.
+type ChaosBuilder func(p scenario.Params) (*fault.Schedule, error)
+
+var (
+	once sync.Once
+	reg  *scenario.Registry
+)
+
+// Default returns the process-wide registry, built on first use.
+func Default() *scenario.Registry {
+	once.Do(func() {
+		reg = scenario.NewRegistry()
+		registerExperiments(reg)
+		registerService(reg)
+		registerChaos(reg)
+	})
+	return reg
+}
+
+// RunExperiment resolves a registered experiment instance by name and
+// executes it. Unknown names fail with the registered list — the
+// contract cmd/experiments surfaces verbatim.
+func RunExperiment(name string, opts experiments.Options) (*experiments.Table, error) {
+	inst, ok := Default().Lookup(name)
+	if !ok || !inst.Spec.HasTag(TagExperiment) {
+		return nil, fmt.Errorf("catalog: unknown experiment %q (registered: %s)",
+			name, strings.Join(ExperimentNames(), ", "))
+	}
+	run, ok := inst.Spec.Payload.(ExperimentRunner)
+	if !ok {
+		return nil, fmt.Errorf("catalog: experiment %q has payload %T, want ExperimentRunner", name, inst.Spec.Payload)
+	}
+	return run(inst.Params, opts)
+}
+
+// ExperimentNames lists every registered experiment instance, sorted.
+func ExperimentNames() []string { return Default().Names(TagExperiment) }
+
+// ServiceScenarios materializes every TagService instance into the
+// name-to-scenario map the daemon and the load generator share. Each
+// scenario's Name field is the full instance name, so telemetry and
+// session views stay tied to the registry entry that produced them.
+func ServiceScenarios() map[string]core.Scenario {
+	out := map[string]core.Scenario{}
+	for _, inst := range Default().Instances(TagService) {
+		spec, ok := inst.Spec.Payload.(ServiceSpec)
+		if !ok {
+			// scenariolint rejects this registry; fail loudly if it is
+			// somehow reached first.
+			panic(fmt.Sprintf("catalog: service spec %q has payload %T", inst.Spec.Name, inst.Spec.Payload))
+		}
+		sc := spec.Build(inst.Params)
+		sc.Name = inst.Name
+		out[inst.Name] = sc
+	}
+	return out
+}
+
+// DefaultMixSpec renders the default load-generator traffic mix from the
+// registry: every weighted service spec's bare (all-default) instance,
+// heaviest first (ties by name), in loadgen's "name=weight,..." syntax.
+// Parametric variants are registered and addressable but enter a mix
+// only when weighted explicitly — the default traffic model matches the
+// legacy hard-coded string weight for weight.
+func DefaultMixSpec() string {
+	type entry struct {
+		name   string
+		weight int
+	}
+	var entries []entry
+	for _, inst := range Default().Instances(TagService) {
+		if inst.Name != inst.Spec.Name {
+			continue // non-default axis point
+		}
+		if spec, ok := inst.Spec.Payload.(ServiceSpec); ok && spec.Weight > 0 {
+			entries = append(entries, entry{inst.Name, spec.Weight})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].weight != entries[j].weight {
+			return entries[i].weight > entries[j].weight
+		}
+		return entries[i].name < entries[j].name
+	})
+	parts := make([]string, len(entries))
+	for i, e := range entries {
+		parts[i] = fmt.Sprintf("%s=%d", e.name, e.weight)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ChaosNames lists every registered chaos-schedule instance, sorted.
+func ChaosNames() []string { return Default().Names(TagChaos) }
+
+// ChaosSchedule builds the schedule behind one registered chaos
+// instance name.
+func ChaosSchedule(name string) (*fault.Schedule, error) {
+	inst, ok := Default().Lookup(name)
+	if !ok || !inst.Spec.HasTag(TagChaos) {
+		return nil, fmt.Errorf("catalog: unknown chaos schedule %q (registered: %s)",
+			name, strings.Join(ChaosNames(), ", "))
+	}
+	build, ok := inst.Spec.Payload.(ChaosBuilder)
+	if !ok {
+		return nil, fmt.Errorf("catalog: chaos spec %q has payload %T, want ChaosBuilder", name, inst.Spec.Payload)
+	}
+	return build(inst.Params)
+}
+
+// ResolveChaos resolves a -chaos flag value: empty means off, a
+// registered chaos instance name wins, anything else is read as a JSON
+// schedule file. A failed file read reports the registered names too,
+// so a misspelled name is diagnosed at startup, not mid-run.
+func ResolveChaos(spec string) (*fault.Schedule, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	if inst, ok := Default().Lookup(spec); ok && inst.Spec.HasTag(TagChaos) {
+		return ChaosSchedule(spec)
+	}
+	sch, err := fault.LoadSchedule(spec)
+	if err != nil {
+		return nil, fmt.Errorf("%w (registered chaos schedules: %s)", err, strings.Join(ChaosNames(), ", "))
+	}
+	return sch, nil
+}

@@ -1,0 +1,156 @@
+package catalog_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"wearlock/internal/experiments"
+	"wearlock/internal/fault"
+	"wearlock/internal/scenario/catalog"
+)
+
+func TestRegistryScale(t *testing.T) {
+	n := len(catalog.Default().Instances())
+	if n < 30 {
+		t.Fatalf("registry holds %d instances, want >= 30 (parametric expansion counted)", n)
+	}
+}
+
+func TestServiceScenariosValidate(t *testing.T) {
+	m := catalog.ServiceScenarios()
+	for name, sc := range m {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("scenario %q invalid: %v", name, err)
+		}
+		if sc.Name != name {
+			t.Errorf("scenario %q carries Name %q, want the instance name", name, sc.Name)
+		}
+	}
+	// The legacy catalog's names must all still resolve: mixes and
+	// clients built against the old daemon keep working.
+	for _, legacy := range []string{
+		"default", "quiet", "cafe", "classroom", "samehand", "cover-speaker",
+		"walking", "far", "attacker", "out-of-range", "jammed",
+	} {
+		if _, ok := m[legacy]; !ok {
+			t.Errorf("legacy scenario name %q missing from the registry catalog", legacy)
+		}
+	}
+	// And the parametric expansions exist.
+	for _, expanded := range []string{"cafe/dist=0.6", "far/dist=5", "jammed/spl=78", "attacker/act=sitting"} {
+		if _, ok := m[expanded]; !ok {
+			t.Errorf("parametric instance %q missing", expanded)
+		}
+	}
+}
+
+func TestDefaultMixSpecWeights(t *testing.T) {
+	spec := catalog.DefaultMixSpec()
+	want := map[string]string{
+		"default": "4", "quiet": "2", "cafe": "2",
+		"samehand": "1", "walking": "1", "jammed": "1", "out-of-range": "1",
+	}
+	got := map[string]string{}
+	for _, part := range strings.Split(spec, ",") {
+		name, w, ok := strings.Cut(part, "=")
+		if !ok {
+			t.Fatalf("bad mix element %q in %q", part, spec)
+		}
+		got[name] = w
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("DefaultMixSpec() = %q, want weights %v", spec, want)
+	}
+	if !strings.HasPrefix(spec, "default=4") {
+		t.Fatalf("heaviest entry should lead: %q", spec)
+	}
+}
+
+func TestResolveChaosRegistryNames(t *testing.T) {
+	sch, err := catalog.ResolveChaos("builtin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fault.DefaultChaosSchedule(); !reflect.DeepEqual(sch, want) {
+		t.Fatalf("builtin resolved to %+v, want the default chaos schedule", sch)
+	}
+
+	scaled, err := catalog.ResolveChaos("builtin/intensity=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := fault.DefaultChaosSchedule()
+	for i, r := range scaled.Rules {
+		if r.Prob != base.Rules[i].Prob*0.5 {
+			t.Fatalf("rule %d prob %v, want %v scaled by 0.5", i, r.Prob, base.Rules[i].Prob)
+		}
+	}
+
+	if _, err := catalog.ResolveChaos("builtin-store"); err != nil {
+		t.Fatal(err)
+	}
+	all, err := catalog.ResolveChaos("builtin-all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Rules) != len(base.Rules)+len(fault.DefaultStoreChaosSchedule().Rules) {
+		t.Fatalf("builtin-all has %d rules", len(all.Rules))
+	}
+
+	if _, err := catalog.ResolveChaos(""); err != nil {
+		t.Fatal("empty spec must mean off, not error")
+	}
+}
+
+func TestResolveChaosFileAndErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sched.json")
+	data, err := json.Marshal(fault.DefaultChaosSchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := catalog.ResolveChaos(path); err != nil {
+		t.Fatalf("file schedule: %v", err)
+	}
+
+	_, err = catalog.ResolveChaos("bulitin")
+	if err == nil {
+		t.Fatal("misspelled chaos name accepted")
+	}
+	if !strings.Contains(err.Error(), "builtin") || !strings.Contains(err.Error(), "builtin-store") {
+		t.Fatalf("error should list registered names: %v", err)
+	}
+}
+
+func TestRunExperimentUnknownListsNames(t *testing.T) {
+	_, err := catalog.RunExperiment("fig99", experiments.Options{Scale: experiments.ScaleQuick, Seed: 1})
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	for _, want := range []string{"fig4", "table1", "chaos", "ext-ultrasound96k"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error should list registered experiments (missing %q): %v", want, err)
+		}
+	}
+	// A registered service instance is not an experiment.
+	if _, err := catalog.RunExperiment("cafe", experiments.Options{}); err == nil {
+		t.Fatal("service instance accepted as experiment")
+	}
+}
+
+func TestRunExperimentQuick(t *testing.T) {
+	table, err := catalog.RunExperiment("fig11", experiments.Options{Scale: experiments.ScaleQuick, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) == 0 {
+		t.Fatal("fig11 produced no rows")
+	}
+}

@@ -1,0 +1,54 @@
+package catalog
+
+import (
+	"wearlock/internal/fault"
+	"wearlock/internal/scenario"
+)
+
+// registerChaos declares the selectable fault schedules — what the
+// hard-coded `-chaos builtin` switch used to be. The intensity axis on
+// "builtin" exposes the same probability ramp the chaos sweep uses, so a
+// daemon can run at a registered fractional intensity
+// ("builtin/intensity=0.5") without a schedule file.
+func registerChaos(r *scenario.Registry) {
+	r.MustRegister(&scenario.Spec{
+		Name: "builtin",
+		Desc: "hostile-world session mix: jamming bursts, SNR collapse, flaky radio, lossy messaging, slow devices, admission pressure",
+		Tags: []string{TagChaos, TagResilience},
+		Axes: []scenario.Axis{
+			{Name: "intensity", Values: []scenario.Value{
+				scenario.Def(scenario.Float(1)), scenario.Float(0.75), scenario.Float(0.5), scenario.Float(0.25),
+			}},
+		},
+		Payload: ChaosBuilder(func(p scenario.Params) (*fault.Schedule, error) {
+			sch := fault.DefaultChaosSchedule()
+			if in := p.Float("intensity", 1); in != 1 {
+				return sch.Scaled(in)
+			}
+			return sch, nil
+		}),
+	})
+	r.MustRegister(&scenario.Spec{
+		Name: "builtin-store",
+		Desc: "restart-cycle store damage: unsynced tails, torn appends, bit rot, stale snapshots",
+		Tags: []string{TagChaos, TagStore},
+		Payload: ChaosBuilder(func(scenario.Params) (*fault.Schedule, error) {
+			return fault.DefaultStoreChaosSchedule(), nil
+		}),
+	})
+	r.MustRegister(&scenario.Spec{
+		Name: "builtin-all",
+		Desc: "builtin session chaos plus builtin store chaos in one schedule (for durable daemons under kill/recover drills)",
+		Tags: []string{TagChaos, TagResilience, TagStore},
+		Deps: []string{"builtin", "builtin-store"},
+		Payload: ChaosBuilder(func(scenario.Params) (*fault.Schedule, error) {
+			sch := fault.DefaultChaosSchedule()
+			sch.Name = "builtin-all"
+			sch.Rules = append(sch.Rules, fault.DefaultStoreChaosSchedule().Rules...)
+			if err := sch.Validate(); err != nil {
+				return nil, err
+			}
+			return sch, nil
+		}),
+	})
+}

@@ -1,0 +1,94 @@
+package catalog
+
+import (
+	"fmt"
+
+	"wearlock/internal/experiments"
+	"wearlock/internal/scenario"
+)
+
+// tabler adapts the common experiments signature — a result carrying a
+// Table() — into an ExperimentRunner.
+type tabler interface{ Table() *experiments.Table }
+
+func optsRunner[T tabler](fn func(experiments.Options) (T, error)) ExperimentRunner {
+	return func(_ scenario.Params, opts experiments.Options) (*experiments.Table, error) {
+		r, err := fn(opts)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	}
+}
+
+func serialRunner[T tabler](fn func(experiments.Scale, int64) (T, error)) ExperimentRunner {
+	return func(_ scenario.Params, opts experiments.Options) (*experiments.Table, error) {
+		r, err := fn(opts.Scale, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	}
+}
+
+// registerExperiments declares every table and figure of the paper's
+// evaluation plus the ablations and extensions — the entries that used
+// to live in internal/experiments' private registry map. The grid
+// sweeps honor Options.Parallel through the batch engine; the
+// sequential protocol studies run serially regardless.
+func registerExperiments(r *scenario.Registry) {
+	type entry struct {
+		name string
+		desc string
+		tags []string
+		deps []string
+		run  ExperimentRunner
+	}
+	fig := func(extra ...string) []string { return append([]string{TagExperiment, TagFigure}, extra...) }
+	entries := []entry{
+		{"fig4", "receiver SPL vs distance per volume setting", fig(), nil, optsRunner(experiments.Fig4Opts)},
+		{"fig5", "BER vs Eb/N0 for all six modulations", fig(), nil, optsRunner(experiments.Fig5Opts)},
+		{"fig6", "offloading vs local processing (time and energy)", fig(), nil, serialRunner(experiments.Fig6)},
+		{"fig7", "BER vs distance per transmission mode (near-ultrasound)", fig(), nil, optsRunner(experiments.Fig7Opts)},
+		{"fig8", "BER under adaptive modulation per BER constraint", fig(), nil, optsRunner(experiments.Fig8Opts)},
+		{"fig9", "BER under jamming with/without sub-channel selection", fig(), nil, optsRunner(experiments.Fig9Opts)},
+		{"fig10", "computation delay of each phase on each device", fig(), nil, optsRunner(experiments.Fig10Opts)},
+		{"fig11", "communication delay over Bluetooth and WiFi", fig(), nil, serialRunner(experiments.Fig11)},
+		{"fig12", "total unlock delay vs manual PIN entry", fig(), nil, serialRunner(experiments.Fig12)},
+		{"table1", "field-test BER across locations, hand positions, bands", []string{TagExperiment, TagTable}, nil, serialRunner(experiments.Table1)},
+		{"table2", "sensor-based filtering DTW scores and cost", []string{TagExperiment, TagTable}, nil, serialRunner(experiments.Table2)},
+		{"chaos", "success/latency vs fault intensity under the resilience ladder", []string{TagExperiment, TagResilience}, []string{"builtin"}, optsRunner(experiments.ChaosOpts)},
+		{"casestudy", "five participants, ten attempts each, plus the covered-speaker control", []string{TagExperiment, TagCaseStudy}, nil, runCaseStudy},
+		{"ablation-finesync", "fine synchronization disabled", []string{TagExperiment, TagAblation}, nil, serialRunner(experiments.AblationFineSync)},
+		{"ablation-equalizer", "channel equalizer disabled", []string{TagExperiment, TagAblation}, nil, serialRunner(experiments.AblationEqualizer)},
+		{"ablation-motionfilter", "motion pre-filter disabled", []string{TagExperiment, TagAblation}, []string{"attacker"}, serialRunner(experiments.AblationMotionFilter)},
+		{"ext-distancebound", "acoustic time-of-flight distance bounding", []string{TagExperiment, TagExtension, TagAttack}, nil, serialRunner(experiments.ExtDistanceBounding)},
+		{"ext-ultrasound96k", "96 kHz near-ultrasound extension", []string{TagExperiment, TagExtension}, nil, serialRunner(experiments.ExtUltrasound96k)},
+	}
+	for _, e := range entries {
+		r.MustRegister(&scenario.Spec{
+			Name:    e.name,
+			Desc:    e.desc,
+			Tags:    e.tags,
+			Deps:    e.deps,
+			Payload: e.run,
+		})
+	}
+}
+
+// runCaseStudy reproduces the Sec. VI case study and appends the
+// covered-speaker control trial as a note, exactly as the legacy
+// registry entry did.
+func runCaseStudy(_ scenario.Params, o experiments.Options) (*experiments.Table, error) {
+	r, err := experiments.CaseStudy(o.Scale, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := r.Table()
+	succ, att, err := experiments.CoveredSpeakerTrial(o.Scale, o.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("covered-speaker control: %d/%d successes (paper: 3/10)", succ, att))
+	return t, nil
+}

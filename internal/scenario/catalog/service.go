@@ -1,0 +1,147 @@
+package catalog
+
+import (
+	"wearlock/internal/acoustic"
+	"wearlock/internal/core"
+	"wearlock/internal/motion"
+	"wearlock/internal/scenario"
+)
+
+// registerService declares the named physical situations the daemon
+// serves — the catalog that used to be service.BuiltinScenarios() —
+// now as declarative specs. The bare-name instances build byte-identical
+// scenarios to the legacy map (the migration golden suite in
+// internal/scenariolint pins that down); the parametric axes add the
+// sweep surface the legacy registry could not express: every non-default
+// axis value expands into its own instance ("cafe/dist=0.6",
+// "jammed/spl=78") that wearlockd serves and -mix can weight.
+func registerService(r *scenario.Registry) {
+	svc := func(weight int, build func(p scenario.Params) core.Scenario) ServiceSpec {
+		return ServiceSpec{Build: build, Weight: weight}
+	}
+
+	r.MustRegister(&scenario.Spec{
+		Name: "default", Desc: "watch on wrist, phone in the other hand at 15 cm, office ambience",
+		Tags:    []string{TagService},
+		Payload: svc(4, func(scenario.Params) core.Scenario { return core.DefaultScenario() }),
+	})
+	r.MustRegister(&scenario.Spec{
+		Name: "quiet", Desc: "quiet room, nominal geometry",
+		Tags: []string{TagService},
+		Payload: svc(2, func(scenario.Params) core.Scenario {
+			sc := core.DefaultScenario()
+			sc.Env = acoustic.QuietRoom()
+			return sc
+		}),
+	})
+	r.MustRegister(&scenario.Spec{
+		Name: "cafe", Desc: "noisy cafe ambience; dist sweeps the phone-to-watch separation",
+		Tags: []string{TagService},
+		Axes: []scenario.Axis{
+			{Name: "dist", Values: []scenario.Value{
+				scenario.Def(scenario.Float(0.3)), scenario.Float(0.6), scenario.Float(1.0),
+			}},
+		},
+		Payload: svc(2, func(p scenario.Params) core.Scenario {
+			sc := core.DefaultScenario()
+			sc.Env = acoustic.Cafe()
+			sc.Distance = p.Float("dist", 0.3)
+			return sc
+		}),
+	})
+	r.MustRegister(&scenario.Spec{
+		Name: "classroom", Desc: "classroom ambience, sitting",
+		Tags: []string{TagService},
+		Payload: svc(0, func(scenario.Params) core.Scenario {
+			sc := core.DefaultScenario()
+			sc.Env = acoustic.Classroom()
+			sc.Activity = motion.Sitting
+			return sc
+		}),
+	})
+	r.MustRegister(&scenario.Spec{
+		Name: "samehand", Desc: "phone held by the watch hand: body in the direct acoustic path (NLOS)",
+		Tags: []string{TagService},
+		Payload: svc(1, func(scenario.Params) core.Scenario {
+			sc := core.DefaultScenario()
+			sc.SameHand = true
+			return sc
+		}),
+	})
+	r.MustRegister(&scenario.Spec{
+		Name: "cover-speaker", Desc: "participant grip covering the phone speaker: severe direct-path blocking",
+		Tags: []string{TagService},
+		Payload: svc(0, func(scenario.Params) core.Scenario {
+			sc := core.DefaultScenario()
+			sc.CoverSpeaker = true
+			return sc
+		}),
+	})
+	r.MustRegister(&scenario.Spec{
+		Name: "walking", Desc: "walking through a grocery store at 25 cm",
+		Tags: []string{TagService},
+		Payload: svc(1, func(scenario.Params) core.Scenario {
+			sc := core.DefaultScenario()
+			sc.Activity = motion.Walking
+			sc.Env = acoustic.GroceryStore()
+			sc.Distance = 0.25
+			return sc
+		}),
+	})
+	r.MustRegister(&scenario.Spec{
+		Name: "far", Desc: "past the 1 m secure boundary; dist sweeps how far past",
+		Tags: []string{TagService},
+		Axes: []scenario.Axis{
+			{Name: "dist", Values: []scenario.Value{
+				scenario.Def(scenario.Float(1.5)), scenario.Float(2.5), scenario.Float(5),
+			}},
+		},
+		Payload: svc(0, func(p scenario.Params) core.Scenario {
+			sc := core.DefaultScenario()
+			sc.Distance = p.Float("dist", 1.5)
+			return sc
+		}),
+	})
+	r.MustRegister(&scenario.Spec{
+		Name: "attacker", Desc: "off-body phone: the motion filter's target; act sweeps the thief's gait",
+		Tags: []string{TagService, TagAttack},
+		Axes: []scenario.Axis{
+			{Name: "act", Values: []scenario.Value{
+				scenario.Def(scenario.String("walking")), scenario.String("sitting"),
+			}},
+		},
+		Payload: svc(0, func(p scenario.Params) core.Scenario {
+			sc := core.DefaultScenario()
+			sc.SameBody = false
+			sc.Activity = motion.Walking
+			if p.String("act", "walking") == "sitting" {
+				sc.Activity = motion.Sitting
+			}
+			return sc
+		}),
+	})
+	r.MustRegister(&scenario.Spec{
+		Name: "out-of-range", Desc: "beyond Bluetooth presence: the link-down path",
+		Tags: []string{TagService},
+		Payload: svc(1, func(scenario.Params) core.Scenario {
+			sc := core.DefaultScenario()
+			sc.Distance = 20
+			return sc
+		}),
+	})
+	r.MustRegister(&scenario.Spec{
+		Name: "jammed", Desc: "in-band tone jamming in a cafe; spl sweeps the jammer level",
+		Tags: []string{TagService, TagResilience},
+		Axes: []scenario.Axis{
+			{Name: "spl", Values: []scenario.Value{
+				scenario.Def(scenario.Float(62)), scenario.Float(70), scenario.Float(78),
+			}},
+		},
+		Payload: svc(1, func(p scenario.Params) core.Scenario {
+			sc := core.DefaultScenario()
+			sc.Env = acoustic.Cafe()
+			sc.Jammer = &acoustic.Jammer{ToneHz: []float64{2800, 3400, 4100}, SPL: p.Float("spl", 62)}
+			return sc
+		}),
+	})
+}

@@ -1,0 +1,142 @@
+package scenario
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// FuzzScenarioSpec throws randomized axis matrices at the expander and
+// checks the contract the registry is built on: expansion is
+// deterministic, instance names and salts are collision-free, and
+// re-expanding under a shuffled axis declaration order yields the
+// identical instance set.
+func FuzzScenarioSpec(f *testing.F) {
+	f.Add(uint64(1), uint8(2), uint8(3))
+	f.Add(uint64(42), uint8(0), uint8(1))
+	f.Add(uint64(7), uint8(4), uint8(2))
+	f.Add(uint64(0xdeadbeef), uint8(3), uint8(5))
+	f.Fuzz(func(t *testing.T, seed uint64, nAxes, nVals uint8) {
+		spec := synthSpec(seed, int(nAxes%5), int(nVals%6))
+		insts, err := spec.Expand()
+		if err != nil {
+			// The synthesizer only emits well-formed specs; any rejection
+			// is a bug in it or in Validate.
+			t.Fatalf("synth spec rejected: %v (spec %+v)", err, spec)
+		}
+
+		// Deterministic: expanding again is identical.
+		again, err := spec.Expand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(insts, again) {
+			t.Fatal("re-expansion of the same spec differs")
+		}
+
+		// Collision-free names and salts.
+		names := map[string]bool{}
+		salts := map[int64]string{}
+		for _, in := range insts {
+			if names[in.Name] {
+				t.Fatalf("duplicate instance name %q", in.Name)
+			}
+			names[in.Name] = true
+			if prev, dup := salts[in.Salt()]; dup {
+				t.Fatalf("salt collision between %q and %q", prev, in.Name)
+			}
+			salts[in.Salt()] = in.Name
+		}
+
+		// Expected cardinality: product of axis sizes.
+		wantN := 1
+		for _, ax := range spec.Axes {
+			wantN *= len(ax.Values)
+		}
+		if len(insts) != wantN {
+			t.Fatalf("expanded to %d instances, want %d", len(insts), wantN)
+		}
+
+		// Axis-order independence: reverse the declaration order.
+		shuffled := &Spec{Name: spec.Name, Tags: spec.Tags, Payload: spec.Payload}
+		for i := len(spec.Axes) - 1; i >= 0; i-- {
+			shuffled.Axes = append(shuffled.Axes, spec.Axes[i])
+		}
+		sinsts, err := shuffled.Expand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compare names and params only: the Spec pointers differ by
+		// construction, the instance set must not.
+		if !reflect.DeepEqual(project(insts), project(sinsts)) {
+			t.Fatalf("shuffled axis order changed the expansion:\n%v\nvs\n%v", project(insts), project(sinsts))
+		}
+	})
+}
+
+// project strips the Spec back-pointer so instance sets from distinct
+// spec values can be compared structurally.
+func project(insts []Instance) []Instance {
+	out := make([]Instance, len(insts))
+	for i, in := range insts {
+		out[i] = Instance{Name: in.Name, Params: in.Params}
+	}
+	return out
+}
+
+// synthSpec builds a structurally valid spec whose shape is a pure
+// function of (seed, nAxes, nVals): axis names drawn from a fixed pool,
+// value types and defaults chosen by a splitmix-style walk.
+func synthSpec(seed uint64, nAxes, nVals int) *Spec {
+	next := func() uint64 {
+		seed += 0x9e3779b97f4a7c15
+		z := seed
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	spec := &Spec{
+		Name:    fmt.Sprintf("synth%d", next()%10),
+		Tags:    []string{"service-mix"},
+		Payload: struct{}{},
+	}
+	for a := 0; a < nAxes; a++ {
+		ax := Axis{Name: fmt.Sprintf("ax%c", 'a'+a)}
+		n := 1 + nVals
+		defAt := -1
+		if next()%2 == 0 {
+			defAt = int(next() % uint64(n))
+		}
+		for v := 0; v < n; v++ {
+			var val Value
+			switch next() % 4 {
+			case 0:
+				val = Int(int(next()%1000) - 500)
+			case 1:
+				val = Float(float64(int(next()%2000)-1000) / 8)
+			case 2:
+				val = String(fmt.Sprintf("v%d", next()%1000))
+			default:
+				val = Bool(v%2 == 0)
+			}
+			// Bool only supports two distinct labels; widen anything that
+			// would collide with an earlier label in this axis.
+			for _, prev := range ax.Values {
+				if prev.Label == val.Label {
+					val = Int(1000 + v + int(next()%1000)*10)
+				}
+			}
+			for _, prev := range ax.Values {
+				if prev.Label == val.Label {
+					val = String(fmt.Sprintf("u%d-%d", v, next()))
+				}
+			}
+			if v == defAt {
+				val = Def(val)
+			}
+			ax.Values = append(ax.Values, val)
+		}
+		spec.Axes = append(spec.Axes, ax)
+	}
+	return spec
+}

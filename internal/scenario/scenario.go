@@ -1,0 +1,369 @@
+// Package scenario is the declarative registry every scenario-shaped
+// thing in the repository — paper-figure experiments, the daemon's
+// service scenarios, chaos schedules — is registered in and resolved
+// from. It replaces three hand-rolled registries (the experiments map,
+// loadgen's hard-coded mix string, and the builtin-chaos name switch)
+// with one tast-style catalog: each entry is a Spec carrying a name,
+// attribute tags that bind it to a consumer, dependencies, and typed
+// parametric axes; an expander deterministically unrolls the axis matrix
+// into concrete Instances with stable names like "cafe/snr=-6".
+//
+// The determinism contract mirrors the batch engine's seeding contract
+// (DESIGN.md "Seeding contract"): an Instance's identity is its canonical
+// name, and its RNG salt is derived from that name alone (Instance.Salt,
+// fed to sim.SeedFor by consumers), never from expansion order. Adding,
+// removing, or reordering axes and specs therefore never shifts the
+// random streams of the instances that remain — the property the
+// migration bit-identity suite in internal/scenariolint pins down.
+//
+// The conformance rules (internal/scenariolint) are part of the design:
+// every registered spec must be reachable from a real consumer via its
+// tags, names must be unique and well-formed, and axis matrices must be
+// non-empty and collision-free. `make lint-scenarios` enforces them in CI.
+package scenario
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Value is one typed point on a parametric axis. Rendered as
+// "axis=Label" inside an instance name; a Default value is the axis's
+// resting point and contributes no name segment, so every spec keeps a
+// bare-name instance as long as each axis declares one default.
+type Value struct {
+	// Label is the name segment rendering ("-6", "on", "street").
+	Label string
+	// Raw is the typed payload handed to builders through Params.
+	Raw any
+	// Default marks the value whose segment is omitted from the name.
+	Default bool
+}
+
+// String declares a string-valued axis point.
+func String(s string) Value { return Value{Label: s, Raw: s} }
+
+// Int declares an integer-valued axis point.
+func Int(i int) Value { return Value{Label: strconv.Itoa(i), Raw: i} }
+
+// Float declares a float-valued axis point.
+func Float(f float64) Value {
+	return Value{Label: strconv.FormatFloat(f, 'g', -1, 64), Raw: f}
+}
+
+// Bool declares a boolean axis point, rendered "on"/"off".
+func Bool(b bool) Value {
+	label := "off"
+	if b {
+		label = "on"
+	}
+	return Value{Label: label, Raw: b}
+}
+
+// Def marks v as its axis's default (name segment omitted).
+func Def(v Value) Value {
+	v.Default = true
+	return v
+}
+
+// Axis is one parametric dimension of a spec: a name and the typed
+// values the expander sweeps it over.
+type Axis struct {
+	Name   string
+	Values []Value
+}
+
+// Params maps axis names to the Raw value chosen for one instance.
+type Params map[string]any
+
+// Float reads a float64 axis value, falling back to def when the axis is
+// absent (the spec does not declare it).
+func (p Params) Float(name string, def float64) float64 {
+	if v, ok := p[name].(float64); ok {
+		return v
+	}
+	return def
+}
+
+// Int reads an int axis value with a fallback.
+func (p Params) Int(name string, def int) int {
+	if v, ok := p[name].(int); ok {
+		return v
+	}
+	return def
+}
+
+// Bool reads a bool axis value with a fallback.
+func (p Params) Bool(name string, def bool) bool {
+	if v, ok := p[name].(bool); ok {
+		return v
+	}
+	return def
+}
+
+// String reads a string axis value with a fallback.
+func (p Params) String(name, def string) string {
+	if v, ok := p[name].(string); ok {
+		return v
+	}
+	return def
+}
+
+// Spec is one declarative registry entry. Exactly one consumer payload
+// rides on it (a core scenario builder, an experiment runner, a chaos
+// schedule builder — the catalog package defines the concrete types);
+// the framework treats it opaquely.
+type Spec struct {
+	// Name is the base instance name; axis segments append to it.
+	Name string
+	// Desc is the one-line catalog description.
+	Desc string
+	// Tags are the spec's attributes. At least one must be a
+	// consumer-binding tag (see internal/scenario/catalog), or the spec
+	// is unreachable and scenariolint rejects the registry.
+	Tags []string
+	// Deps names other specs this one builds on (an attack scenario
+	// depends on the honest baseline it perturbs). Purely declarative:
+	// the lint resolves them, consumers may use them for grouping.
+	Deps []string
+	// Axes is the parametric matrix; empty means the spec expands to
+	// exactly its bare-name instance.
+	Axes []Axis
+	// Payload is the consumer-typed body.
+	Payload any
+}
+
+// Instance is one concrete expansion of a spec: a full canonical name
+// plus the axis values that produced it.
+type Instance struct {
+	Spec   *Spec
+	Name   string
+	Params Params
+}
+
+// Salt derives the instance's RNG salt from its canonical name alone
+// (FNV-1a 64), so consumers can seed per-instance streams with
+// sim.SeedFor(baseSeed, inst.Salt()) and expansion order can never shift
+// them.
+func (i Instance) Salt() int64 { return NameSalt(i.Name) }
+
+// NameSalt is the FNV-1a 64 fold Instance.Salt uses, exported so
+// consumers that carry only the instance name can derive the same salt.
+func NameSalt(name string) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return int64(h)
+}
+
+var (
+	// Spec and axis names: lowercase alphanumeric segments with interior
+	// dots and dashes ("fig4", "out-of-range", "ext-ultrasound96k").
+	nameRe = regexp.MustCompile(`^[a-z0-9][a-z0-9.-]*$`)
+	// Axis value labels additionally admit signs ("-6", "+3", "0.5").
+	labelRe = regexp.MustCompile(`^[a-z0-9+._-]+$`)
+)
+
+// ValidName reports whether s is a well-formed spec or axis name.
+func ValidName(s string) bool { return nameRe.MatchString(s) }
+
+// ValidLabel reports whether s is a well-formed axis value label.
+func ValidLabel(s string) bool { return labelRe.MatchString(s) }
+
+// Validate checks the spec in isolation: well-formed names, non-empty
+// collision-free axes, at most one default per axis, and a payload.
+func (s *Spec) Validate() error {
+	if !ValidName(s.Name) {
+		return fmt.Errorf("scenario: bad spec name %q", s.Name)
+	}
+	if s.Payload == nil {
+		return fmt.Errorf("scenario: spec %q has no payload", s.Name)
+	}
+	for _, tag := range s.Tags {
+		if !ValidName(tag) {
+			return fmt.Errorf("scenario: spec %q: bad tag %q", s.Name, tag)
+		}
+	}
+	seenAxes := map[string]bool{}
+	for _, ax := range s.Axes {
+		if !ValidName(ax.Name) {
+			return fmt.Errorf("scenario: spec %q: bad axis name %q", s.Name, ax.Name)
+		}
+		if seenAxes[ax.Name] {
+			return fmt.Errorf("scenario: spec %q: duplicate axis %q", s.Name, ax.Name)
+		}
+		seenAxes[ax.Name] = true
+		if len(ax.Values) == 0 {
+			return fmt.Errorf("scenario: spec %q: axis %q has no values", s.Name, ax.Name)
+		}
+		defaults := 0
+		seenLabels := map[string]bool{}
+		for _, v := range ax.Values {
+			if !ValidLabel(v.Label) {
+				return fmt.Errorf("scenario: spec %q: axis %q: bad value label %q", s.Name, ax.Name, v.Label)
+			}
+			if seenLabels[v.Label] {
+				return fmt.Errorf("scenario: spec %q: axis %q: duplicate value %q", s.Name, ax.Name, v.Label)
+			}
+			seenLabels[v.Label] = true
+			if v.Default {
+				defaults++
+			}
+		}
+		if defaults > 1 {
+			return fmt.Errorf("scenario: spec %q: axis %q has %d default values, want at most 1", s.Name, ax.Name, defaults)
+		}
+	}
+	return nil
+}
+
+// HasTag reports whether the spec carries tag.
+func (s *Spec) HasTag(tag string) bool {
+	for _, t := range s.Tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Expand unrolls the spec's axis matrix into concrete instances. The
+// result is a pure function of the spec's *set* of axes: axes are
+// iterated in sorted-name order for both naming and enumeration, so two
+// specs whose axis declarations differ only in order expand to the
+// identical instance list. Within an axis, declared value order is kept
+// (it is part of the value set, not of ordering between axes).
+func (s *Spec) Expand() ([]Instance, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	axes := append([]Axis(nil), s.Axes...)
+	sort.Slice(axes, func(i, j int) bool { return axes[i].Name < axes[j].Name })
+
+	instances := []Instance{{Spec: s, Name: s.Name, Params: Params{}}}
+	for _, ax := range axes {
+		next := make([]Instance, 0, len(instances)*len(ax.Values))
+		for _, inst := range instances {
+			for _, v := range ax.Values {
+				name := inst.Name
+				if !v.Default {
+					name += "/" + ax.Name + "=" + v.Label
+				}
+				params := make(Params, len(inst.Params)+1)
+				for k, val := range inst.Params {
+					params[k] = val
+				}
+				params[ax.Name] = v.Raw
+				next = append(next, Instance{Spec: s, Name: name, Params: params})
+			}
+		}
+		instances = next
+	}
+	seen := make(map[string]bool, len(instances))
+	for _, inst := range instances {
+		if seen[inst.Name] {
+			return nil, fmt.Errorf("scenario: spec %q expands to colliding instance name %q", s.Name, inst.Name)
+		}
+		seen[inst.Name] = true
+	}
+	// Instances sort by name so every consumer sees one canonical order
+	// regardless of axis declaration or registration sequence.
+	sort.Slice(instances, func(i, j int) bool { return instances[i].Name < instances[j].Name })
+	return instances, nil
+}
+
+// Registry holds registered specs and their expanded instances.
+type Registry struct {
+	specs  []*Spec
+	byName map[string]Instance
+	order  []string // sorted instance names
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]Instance{}}
+}
+
+// Register validates, expands, and adds one spec. Instance names must
+// not collide with anything already registered — including another
+// spec's bare name, since axis segments use '/' which bare names cannot
+// contain.
+func (r *Registry) Register(s *Spec) error {
+	instances, err := s.Expand()
+	if err != nil {
+		return err
+	}
+	for _, other := range r.specs {
+		if other.Name == s.Name {
+			return fmt.Errorf("scenario: duplicate spec name %q", s.Name)
+		}
+	}
+	for _, inst := range instances {
+		if _, dup := r.byName[inst.Name]; dup {
+			return fmt.Errorf("scenario: instance name %q already registered", inst.Name)
+		}
+	}
+	r.specs = append(r.specs, s)
+	for _, inst := range instances {
+		r.byName[inst.Name] = inst
+		r.order = append(r.order, inst.Name)
+	}
+	sort.Strings(r.order)
+	return nil
+}
+
+// MustRegister is Register, panicking on error. The catalog package uses
+// it at build time; scenariolint fails CI before any such panic could
+// reach a user.
+func (r *Registry) MustRegister(s *Spec) {
+	if err := r.Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Specs returns the registered specs in registration order.
+func (r *Registry) Specs() []*Spec { return append([]*Spec(nil), r.specs...) }
+
+// Lookup resolves a full instance name ("cafe", "cafe/dist=0.6").
+func (r *Registry) Lookup(name string) (Instance, bool) {
+	inst, ok := r.byName[name]
+	return inst, ok
+}
+
+// Instances returns every instance whose spec carries at least one of
+// the given tags (no tags = all instances), sorted by name.
+func (r *Registry) Instances(tags ...string) []Instance {
+	out := make([]Instance, 0, len(r.order))
+	for _, name := range r.order {
+		inst := r.byName[name]
+		if len(tags) == 0 {
+			out = append(out, inst)
+			continue
+		}
+		for _, tag := range tags {
+			if inst.Spec.HasTag(tag) {
+				out = append(out, inst)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Names returns the instance names selected by Instances(tags...).
+func (r *Registry) Names(tags ...string) []string {
+	insts := r.Instances(tags...)
+	out := make([]string, len(insts))
+	for i, inst := range insts {
+		out[i] = inst.Name
+	}
+	return out
+}

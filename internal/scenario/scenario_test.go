@@ -1,0 +1,185 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+func payload() any { return struct{ ok bool }{true} }
+
+func TestExpandBareSpec(t *testing.T) {
+	s := &Spec{Name: "cafe", Desc: "x", Tags: []string{"service"}, Payload: payload()}
+	insts, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 1 || insts[0].Name != "cafe" || len(insts[0].Params) != 0 {
+		t.Fatalf("bare spec expansion = %+v, want single bare instance", insts)
+	}
+}
+
+func TestExpandMatrixNamesAndParams(t *testing.T) {
+	s := &Spec{
+		Name: "cafe", Tags: []string{"service"}, Payload: payload(),
+		Axes: []Axis{
+			{Name: "snr", Values: []Value{Def(Int(0)), Int(-6)}},
+			{Name: "pace", Values: []Value{Def(Bool(false)), Bool(true)}},
+		},
+	}
+	insts, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]Params{}
+	for _, in := range insts {
+		got[in.Name] = in.Params
+	}
+	// Segments render in sorted-axis order so a shuffled declaration
+	// cannot rename instances.
+	want := []string{"cafe", "cafe/snr=-6", "cafe/pace=on", "cafe/pace=on/snr=-6"}
+	if len(got) != len(want) {
+		t.Fatalf("expanded to %d instances, want %d: %v", len(got), len(want), got)
+	}
+	for _, name := range want {
+		if _, ok := got[name]; !ok {
+			t.Fatalf("missing instance %q in %v", name, got)
+		}
+	}
+	p := got["cafe/pace=on/snr=-6"]
+	if p.Int("snr", 99) != -6 || !p.Bool("pace", false) {
+		t.Fatalf("params for combined instance = %v", p)
+	}
+	if p := got["cafe"]; p.Int("snr", 99) != 0 || p.Bool("pace", true) {
+		t.Fatalf("default instance params = %v, want defaults materialized", p)
+	}
+}
+
+// Expansion must be a pure function of the axis *set*: shuffling axis
+// declaration order yields the identical instance list, and every salt
+// depends on the name alone.
+func TestExpandOrderIndependent(t *testing.T) {
+	a := &Spec{
+		Name: "s", Tags: []string{"service"}, Payload: payload(),
+		Axes: []Axis{
+			{Name: "b", Values: []Value{Def(Int(1)), Int(2)}},
+			{Name: "a", Values: []Value{Def(String("x")), String("y")}},
+		},
+	}
+	b := &Spec{
+		Name: "s", Tags: []string{"service"}, Payload: payload(),
+		Axes: []Axis{a.Axes[1], a.Axes[0]},
+	}
+	ia, err := a.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := b.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ia) != len(ib) {
+		t.Fatalf("expansions differ in size: %d vs %d", len(ia), len(ib))
+	}
+	for i := range ia {
+		if ia[i].Name != ib[i].Name || !reflect.DeepEqual(ia[i].Params, ib[i].Params) {
+			t.Fatalf("instance %d differs under shuffled axes: %+v vs %+v", i, ia[i], ib[i])
+		}
+		if ia[i].Salt() != ib[i].Salt() {
+			t.Fatalf("salt for %q differs under shuffled axes", ia[i].Name)
+		}
+	}
+}
+
+func TestSaltIsNameDerived(t *testing.T) {
+	x := Instance{Name: "cafe/snr=-6"}
+	if x.Salt() != NameSalt("cafe/snr=-6") {
+		t.Fatal("Salt must equal NameSalt(Name)")
+	}
+	if NameSalt("cafe") == NameSalt("cafe/snr=-6") {
+		t.Fatal("distinct names should salt differently")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []*Spec{
+		{Name: "Bad Name", Payload: payload()},
+		{Name: "ok", Payload: nil},
+		{Name: "ok", Payload: payload(), Tags: []string{"BAD TAG"}},
+		{Name: "ok", Payload: payload(), Axes: []Axis{{Name: "a"}}},
+		{Name: "ok", Payload: payload(), Axes: []Axis{{Name: "a", Values: []Value{Int(1), Int(1)}}}},
+		{Name: "ok", Payload: payload(), Axes: []Axis{{Name: "a", Values: []Value{Def(Int(1)), Def(Int(2))}}}},
+		{Name: "ok", Payload: payload(), Axes: []Axis{
+			{Name: "a", Values: []Value{Int(1)}},
+			{Name: "a", Values: []Value{Int(2)}},
+		}},
+		{Name: "ok", Payload: payload(), Axes: []Axis{{Name: "a", Values: []Value{{Label: "no spaces ok?", Raw: 1}}}}},
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d (%+v): Validate accepted an invalid spec", i, s)
+		}
+	}
+}
+
+// Two defaults on one axis would collide on the bare name; a non-default
+// axis whose labels repeat collides too. Both must fail at Expand.
+func TestExpandCollisionRejected(t *testing.T) {
+	s := &Spec{
+		Name: "ok", Payload: payload(),
+		Axes: []Axis{{Name: "a", Values: []Value{
+			{Label: "1", Raw: 1, Default: false},
+			{Label: "1", Raw: 2, Default: false},
+		}}},
+	}
+	if _, err := s.Expand(); err == nil {
+		t.Fatal("Expand accepted colliding labels")
+	}
+}
+
+func TestRegistryRegisterAndLookup(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(&Spec{Name: "a", Tags: []string{"service"}, Payload: payload()}); err != nil {
+		t.Fatal(err)
+	}
+	err := r.Register(&Spec{
+		Name: "b", Tags: []string{"chaos"}, Payload: payload(),
+		Axes: []Axis{{Name: "x", Values: []Value{Def(Int(0)), Int(1)}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(&Spec{Name: "a", Payload: payload()}); err == nil {
+		t.Fatal("duplicate spec name accepted")
+	}
+	if _, ok := r.Lookup("b/x=1"); !ok {
+		t.Fatal("parametric instance not resolvable by full name")
+	}
+	if _, ok := r.Lookup("b/x=0"); ok {
+		t.Fatal("default segment should be omitted from the name")
+	}
+	if got := r.Names(); !reflect.DeepEqual(got, []string{"a", "b", "b/x=1"}) {
+		t.Fatalf("Names() = %v", got)
+	}
+	if got := r.Names("chaos"); !reflect.DeepEqual(got, []string{"b", "b/x=1"}) {
+		t.Fatalf("Names(chaos) = %v", got)
+	}
+	if got := r.Names("service"); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("Names(service) = %v", got)
+	}
+}
+
+func TestRegistryInstanceNameCollisionAcrossSpecs(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(&Spec{
+		Name: "a", Payload: payload(), Tags: []string{"service"},
+		Axes: []Axis{{Name: "x", Values: []Value{Int(1)}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A second spec expanding to the same full name must be rejected.
+	if err := r.Register(&Spec{
+		Name: "a", Payload: payload(), Tags: []string{"service"},
+	}); err == nil {
+		t.Fatal("expected duplicate-spec rejection")
+	}
+}

@@ -1,0 +1,148 @@
+// Package scenariolint is the conformance gate for the declarative
+// scenario registry (internal/scenario). It checks the properties the
+// consumers silently rely on — reachability through a consumer-binding
+// tag, unique well-formed instance names, non-empty collision-free axis
+// matrices, resolvable deps — and reports every violation at once, so a
+// broken registration fails `make lint-scenarios` with the full list
+// instead of panicking in whichever daemon touches the registry first.
+//
+// The checks are generic over a Registry plus a tag vocabulary; the
+// repository's concrete contract (internal/scenario/catalog's tags and
+// payload types) is wired up in this package's tests, which is what
+// `make lint-scenarios` runs.
+package scenariolint
+
+import (
+	"fmt"
+	"sort"
+
+	"wearlock/internal/scenario"
+)
+
+// Config parameterizes a lint run with the registry's tag contract.
+type Config struct {
+	// KnownTags is the closed tag vocabulary; any tag outside it is a
+	// violation. Values are human descriptions (unused by the checks).
+	KnownTags map[string]string
+	// ConsumerTags is the subset of KnownTags that binds a spec to a
+	// real consumer. Every spec must carry at least one, and every
+	// consumer tag must be carried by at least one spec — a tag with no
+	// scenarios means a consumer with an empty catalog.
+	ConsumerTags map[string]string
+	// MinInstances, when positive, is the floor on total expanded
+	// instances across the registry.
+	MinInstances int
+	// CheckPayload, when set, validates each spec's payload against the
+	// consumer contract (e.g. an "experiment" spec must carry an
+	// ExperimentRunner). Return an error to report a violation.
+	CheckPayload func(s *scenario.Spec) error
+}
+
+// Check runs every conformance check and returns all violations found,
+// one human-readable problem per entry. An empty slice means the
+// registry conforms.
+func Check(reg *scenario.Registry, cfg Config) []string {
+	var problems []string
+	report := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	specs := reg.Specs()
+	if len(specs) == 0 {
+		report("registry is empty")
+		return problems
+	}
+
+	specNames := make(map[string]bool, len(specs))
+	for _, s := range specs {
+		specNames[s.Name] = true
+	}
+
+	// Instance names and salts must be unique across the whole registry,
+	// not just within one spec's matrix: instance names address mixes and
+	// -run lists, salts seed RNG streams.
+	instNames := make(map[string]string)
+	salts := make(map[int64]string)
+	total := 0
+
+	for _, s := range specs {
+		// Validate covers name/label well-formedness, duplicate axes, and
+		// empty value lists; surface it as a lint problem, not a panic.
+		if err := s.Validate(); err != nil {
+			report("spec %q: %v", s.Name, err)
+			continue
+		}
+
+		consumerBound := false
+		for _, tag := range s.Tags {
+			if _, ok := cfg.KnownTags[tag]; !ok {
+				report("spec %q: unknown tag %q (known: %s)", s.Name, tag, sortedKeys(cfg.KnownTags))
+			}
+			if _, ok := cfg.ConsumerTags[tag]; ok {
+				consumerBound = true
+			}
+		}
+		if !consumerBound {
+			report("spec %q: no consumer-binding tag (want one of %s) — nothing can reach it", s.Name, sortedKeys(cfg.ConsumerTags))
+		}
+
+		for _, dep := range s.Deps {
+			if !specNames[dep] {
+				report("spec %q: dep %q is not a registered spec", s.Name, dep)
+			}
+		}
+
+		if cfg.CheckPayload != nil {
+			if err := cfg.CheckPayload(s); err != nil {
+				report("spec %q: %v", s.Name, err)
+			}
+		}
+
+		insts, err := s.Expand()
+		if err != nil {
+			report("spec %q: expansion failed: %v", s.Name, err)
+			continue
+		}
+		if len(insts) == 0 {
+			report("spec %q: expands to zero instances", s.Name)
+			continue
+		}
+		total += len(insts)
+		for _, inst := range insts {
+			if prev, dup := instNames[inst.Name]; dup {
+				report("instance name %q produced by both spec %q and spec %q", inst.Name, prev, s.Name)
+			} else {
+				instNames[inst.Name] = s.Name
+			}
+			if prev, dup := salts[inst.Salt()]; dup {
+				report("instance %q: seed salt %d collides with instance %q", inst.Name, inst.Salt(), prev)
+			} else {
+				salts[inst.Salt()] = inst.Name
+			}
+		}
+	}
+
+	// Reachability in the other direction: a consumer tag nobody carries
+	// means that consumer resolves an empty catalog at runtime.
+	for tag, consumer := range cfg.ConsumerTags {
+		if len(reg.Instances(tag)) == 0 {
+			report("consumer tag %q (%s): no registered scenarios", tag, consumer)
+		}
+	}
+
+	if cfg.MinInstances > 0 && total < cfg.MinInstances {
+		report("registry holds %d instances, floor is %d", total, cfg.MinInstances)
+	}
+
+	sort.Strings(problems)
+	return problems
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,198 @@
+package scenariolint
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"wearlock/internal/fault"
+	"wearlock/internal/scenario"
+	"wearlock/internal/scenario/catalog"
+)
+
+// catalogConfig is the repository's concrete conformance contract: the
+// catalog's closed tag vocabulary, its consumer bindings, the instance
+// floor, and the payload type each consumer tag demands.
+func catalogConfig() Config {
+	return Config{
+		KnownTags:    catalog.KnownTags(),
+		ConsumerTags: catalog.ConsumerTags(),
+		MinInstances: 30,
+		CheckPayload: func(s *scenario.Spec) error {
+			switch {
+			case s.HasTag(catalog.TagExperiment):
+				if _, ok := s.Payload.(catalog.ExperimentRunner); !ok {
+					return fmt.Errorf("experiment payload is %T, want catalog.ExperimentRunner", s.Payload)
+				}
+			case s.HasTag(catalog.TagService):
+				spec, ok := s.Payload.(catalog.ServiceSpec)
+				if !ok {
+					return fmt.Errorf("service payload is %T, want catalog.ServiceSpec", s.Payload)
+				}
+				if spec.Build == nil {
+					return fmt.Errorf("service payload has nil Build")
+				}
+				if spec.Weight < 0 {
+					return fmt.Errorf("service payload has negative default-mix weight %d", spec.Weight)
+				}
+			case s.HasTag(catalog.TagChaos):
+				if _, ok := s.Payload.(catalog.ChaosBuilder); !ok {
+					return fmt.Errorf("chaos payload is %T, want catalog.ChaosBuilder", s.Payload)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// The headline gate: the shipped registry conforms, with zero problems.
+func TestCatalogConforms(t *testing.T) {
+	problems := Check(catalog.Default(), catalogConfig())
+	for _, p := range problems {
+		t.Errorf("lint: %s", p)
+	}
+}
+
+// The registry must stay at or above the parametric-expansion floor the
+// refactor shipped with.
+func TestCatalogInstanceFloor(t *testing.T) {
+	if n := len(catalog.Default().Instances()); n < 30 {
+		t.Fatalf("registry holds %d instances, want >= 30", n)
+	}
+}
+
+// Every paper table/figure, ablation, and extension must stay
+// registered — the completeness check that used to live in
+// internal/experiments as TestRegistryComplete.
+func TestExperimentCompleteness(t *testing.T) {
+	want := []string{
+		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+		"table1", "table2", "chaos", "casestudy",
+		"ablation-finesync", "ablation-equalizer", "ablation-motionfilter",
+		"ext-distancebound", "ext-ultrasound96k",
+	}
+	got := map[string]bool{}
+	for _, name := range catalog.ExperimentNames() {
+		got[name] = true
+	}
+	for _, name := range want {
+		if !got[name] {
+			t.Errorf("experiment %q missing from the registry", name)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("registry has %d experiments, want %d: %v", len(got), len(want), catalog.ExperimentNames())
+	}
+}
+
+// Every consumer-facing name resolution must go through the registry:
+// the legacy selection switches are gone, so the registered chaos names
+// must cover the historical "builtin" spelling.
+func TestChaosBuiltinStillRegistered(t *testing.T) {
+	names := map[string]bool{}
+	for _, name := range catalog.ChaosNames() {
+		names[name] = true
+	}
+	for _, want := range []string{"builtin", "builtin-store", "builtin-all"} {
+		if !names[want] {
+			t.Errorf("chaos schedule %q missing from the registry (have %v)", want, catalog.ChaosNames())
+		}
+	}
+}
+
+// ---- synthetic broken registries: each lint check must actually fire ----
+
+// lintProblems registers the given specs on a fresh registry and lints
+// it under the catalog contract with no instance floor.
+func lintProblems(t *testing.T, specs ...*scenario.Spec) []string {
+	t.Helper()
+	reg := scenario.NewRegistry()
+	for _, s := range specs {
+		if err := reg.Register(s); err != nil {
+			t.Fatalf("Register(%q): %v", s.Name, err)
+		}
+	}
+	cfg := catalogConfig()
+	cfg.MinInstances = 0
+	return Check(reg, cfg)
+}
+
+func requireProblem(t *testing.T, problems []string, substr string) {
+	t.Helper()
+	for _, p := range problems {
+		if strings.Contains(p, substr) {
+			return
+		}
+	}
+	t.Errorf("no lint problem mentions %q; got %v", substr, problems)
+}
+
+func okSpec(name string, tags ...string) *scenario.Spec {
+	if len(tags) == 0 {
+		tags = []string{catalog.TagChaos}
+	}
+	return &scenario.Spec{
+		Name:    name,
+		Desc:    "synthetic",
+		Tags:    tags,
+		Payload: catalog.ChaosBuilder(func(scenario.Params) (*fault.Schedule, error) { return nil, nil }),
+	}
+}
+
+func TestLintEmptyRegistry(t *testing.T) {
+	requireProblem(t, lintProblems(t), "registry is empty")
+}
+
+func TestLintUnknownTag(t *testing.T) {
+	s := okSpec("synthetic")
+	s.Tags = append(s.Tags, "made-up-tag")
+	requireProblem(t, lintProblems(t, s), `unknown tag "made-up-tag"`)
+}
+
+func TestLintUnreachableSpec(t *testing.T) {
+	s := okSpec("synthetic", catalog.TagFigure) // descriptive only: nothing consumes it
+	requireProblem(t, lintProblems(t, s), "no consumer-binding tag")
+}
+
+func TestLintUnresolvedDep(t *testing.T) {
+	s := okSpec("synthetic")
+	s.Deps = []string{"nowhere"}
+	requireProblem(t, lintProblems(t, s), `dep "nowhere" is not a registered spec`)
+}
+
+func TestLintPayloadMismatch(t *testing.T) {
+	s := okSpec("synthetic", catalog.TagExperiment)
+	requireProblem(t, lintProblems(t, s), "want catalog.ExperimentRunner")
+}
+
+func TestLintInstanceFloor(t *testing.T) {
+	reg := scenario.NewRegistry()
+	if err := reg.Register(okSpec("synthetic")); err != nil {
+		t.Fatal(err)
+	}
+	cfg := catalogConfig()
+	cfg.MinInstances = 5
+	requireProblem(t, Check(reg, cfg), "floor is 5")
+}
+
+func TestLintSpecInvalidatedAfterRegistration(t *testing.T) {
+	// Register keeps the spec pointer, so a later mutation can corrupt
+	// an already-registered spec; the lint still catches it.
+	s := okSpec("synthetic")
+	reg := scenario.NewRegistry()
+	if err := reg.Register(s); err != nil {
+		t.Fatal(err)
+	}
+	s.Name = "NOT-VALID"
+	cfg := catalogConfig()
+	cfg.MinInstances = 0
+	requireProblem(t, Check(reg, cfg), "bad spec name")
+}
+
+func TestLintConsumerTagWithoutScenarios(t *testing.T) {
+	// A registry holding only chaos specs leaves the experiment and
+	// service consumers with empty catalogs — both must be reported.
+	problems := lintProblems(t, okSpec("synthetic"))
+	requireProblem(t, problems, `consumer tag "experiment"`)
+	requireProblem(t, problems, `consumer tag "service-mix"`)
+}

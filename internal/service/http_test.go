@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"wearlock/internal/core"
+	"wearlock/internal/scenario/catalog"
 )
 
 func startTestServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
@@ -264,7 +265,7 @@ func TestHTTPBadRequests(t *testing.T) {
 }
 
 func TestParseMix(t *testing.T) {
-	scenarios := BuiltinScenarios()
+	scenarios := catalog.ServiceScenarios()
 	m, err := ParseMix("default=3,samehand=1", scenarios)
 	if err != nil {
 		t.Fatalf("ParseMix: %v", err)
@@ -290,19 +291,17 @@ func TestParseMix(t *testing.T) {
 	}
 }
 
-func TestBuiltinScenariosValid(t *testing.T) {
-	for name, sc := range BuiltinScenarios() {
-		if err := sc.Validate(); err != nil {
-			t.Errorf("scenario %q invalid: %v", name, err)
-		}
-	}
-	names := ScenarioNames(BuiltinScenarios())
+// Per-scenario physical validity now lives with the registry
+// (internal/scenario/catalog); here we only check the name listing the
+// HTTP catalog endpoint serves.
+func TestScenarioNamesSorted(t *testing.T) {
+	names := ScenarioNames(catalog.ServiceScenarios())
 	for i := 1; i < len(names); i++ {
 		if names[i-1] >= names[i] {
 			t.Errorf("names unsorted at %d: %v", i, names)
 		}
 	}
-	if fmt.Sprint(names) == "" {
+	if fmt.Sprint(names) == "" || len(names) == 0 {
 		t.Error("empty catalog")
 	}
 }

@@ -6,79 +6,14 @@ import (
 	"strconv"
 	"strings"
 
-	"wearlock/internal/acoustic"
 	"wearlock/internal/core"
-	"wearlock/internal/motion"
 )
 
-// BuiltinScenarios returns the named physical situations the daemon
-// serves out of the box. The mix covers every interesting terminal
-// outcome: nominal unlocks, NLOS accommodation, filter aborts for
-// off-body attackers, and the out-of-range link-down path.
-func BuiltinScenarios() map[string]core.Scenario {
-	quiet := core.DefaultScenario()
-	quiet.Name = "quiet"
-	quiet.Env = acoustic.QuietRoom()
-
-	cafe := core.DefaultScenario()
-	cafe.Name = "cafe"
-	cafe.Env = acoustic.Cafe()
-	cafe.Distance = 0.3
-
-	classroom := core.DefaultScenario()
-	classroom.Name = "classroom"
-	classroom.Env = acoustic.Classroom()
-	classroom.Activity = motion.Sitting
-
-	samehand := core.DefaultScenario()
-	samehand.Name = "samehand"
-	samehand.SameHand = true
-
-	cover := core.DefaultScenario()
-	cover.Name = "cover-speaker"
-	cover.CoverSpeaker = true
-
-	walking := core.DefaultScenario()
-	walking.Name = "walking"
-	walking.Activity = motion.Walking
-	walking.Env = acoustic.GroceryStore()
-	walking.Distance = 0.25
-
-	far := core.DefaultScenario()
-	far.Name = "far"
-	far.Distance = 1.5 // past the 1 m secure boundary: mostly undecodable
-
-	attacker := core.DefaultScenario()
-	attacker.Name = "attacker"
-	attacker.SameBody = false // off-body phone: the motion filter's target
-	attacker.Activity = motion.Walking
-
-	outofrange := core.DefaultScenario()
-	outofrange.Name = "out-of-range"
-	outofrange.Distance = 20 // beyond Bluetooth presence: link down
-
-	// In-band tone jamming at a level that usually survives sub-channel
-	// avoidance but often forces retries — the scenario bench-service uses
-	// to keep the failure/degradation paths exercised (Fig. 9 territory).
-	jammed := core.DefaultScenario()
-	jammed.Name = "jammed"
-	jammed.Env = acoustic.Cafe()
-	jammed.Jammer = &acoustic.Jammer{ToneHz: []float64{2800, 3400, 4100}, SPL: 62}
-
-	return map[string]core.Scenario{
-		"default":       core.DefaultScenario(),
-		"quiet":         quiet,
-		"cafe":          cafe,
-		"classroom":     classroom,
-		"samehand":      samehand,
-		"cover-speaker": cover,
-		"walking":       walking,
-		"far":           far,
-		"attacker":      attacker,
-		"out-of-range":  outofrange,
-		"jammed":        jammed,
-	}
-}
+// The daemon's scenario catalog is no longer defined here: the physical
+// situations the service serves are declarative specs in
+// internal/scenario/catalog (tag "service-mix"), and Config.Scenarios
+// defaults to catalog.ServiceScenarios(). This file keeps only the mix
+// machinery that weights registered names into a traffic model.
 
 // ScenarioNames lists the keys of a scenario map in sorted order.
 func ScenarioNames(m map[string]core.Scenario) []string {
@@ -100,6 +35,10 @@ type Mix struct {
 
 // ParseMix parses "name=weight,name=weight,..." (a bare "name" means
 // weight 1) and validates every name against the available scenarios.
+// Parametric registry instances carry '=' inside their names (e.g.
+// "cafe/dist=0.6"), so a part that is itself a registered name is taken
+// whole with weight 1; otherwise the weight is whatever follows the
+// last '='.
 func ParseMix(spec string, available map[string]core.Scenario) (*Mix, error) {
 	m := &Mix{}
 	for _, part := range strings.Split(spec, ",") {
@@ -107,14 +46,15 @@ func ParseMix(spec string, available map[string]core.Scenario) (*Mix, error) {
 		if part == "" {
 			continue
 		}
-		name, weightStr, found := strings.Cut(part, "=")
-		weight := 1
-		if found {
-			w, err := strconv.Atoi(weightStr)
-			if err != nil || w <= 0 {
-				return nil, fmt.Errorf("service: mix weight %q must be a positive integer", weightStr)
+		name, weight := part, 1
+		if _, ok := available[part]; !ok {
+			if i := strings.LastIndexByte(part, '='); i >= 0 {
+				w, err := strconv.Atoi(part[i+1:])
+				if err != nil || w <= 0 {
+					return nil, fmt.Errorf("service: mix weight %q must be a positive integer", part[i+1:])
+				}
+				name, weight = part[:i], w
 			}
-			weight = w
 		}
 		if _, ok := available[name]; !ok {
 			return nil, fmt.Errorf("service: unknown scenario %q (available: %s)",

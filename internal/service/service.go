@@ -26,6 +26,7 @@ import (
 
 	"wearlock/internal/core"
 	"wearlock/internal/fault"
+	"wearlock/internal/scenario/catalog"
 	"wearlock/internal/sim"
 	"wearlock/internal/store"
 	"wearlock/internal/telemetry"
@@ -74,8 +75,9 @@ type Config struct {
 	Seed int64
 	// Core is the WearLock deployment configuration every device runs.
 	Core core.Config
-	// Scenarios is the named scenario catalog; nil means
-	// BuiltinScenarios().
+	// Scenarios is the named scenario catalog; nil means every
+	// service-tagged instance of the declarative registry
+	// (catalog.ServiceScenarios()).
 	Scenarios map[string]core.Scenario
 	// Chaos, when non-nil, arms the fault schedule: every admitted session
 	// rolls its faults from (Seed, session sequence) and runs under the
@@ -425,7 +427,7 @@ func New(cfg Config) (*Service, error) {
 	}
 	scenarios := cfg.Scenarios
 	if scenarios == nil {
-		scenarios = BuiltinScenarios()
+		scenarios = catalog.ServiceScenarios()
 	}
 	for name, sc := range scenarios {
 		if err := sc.Validate(); err != nil {

@@ -8,6 +8,7 @@ import (
 
 	"wearlock/internal/core"
 	"wearlock/internal/fault"
+	"wearlock/internal/scenario/catalog"
 	"wearlock/internal/service"
 	"wearlock/internal/vtime"
 )
@@ -112,19 +113,21 @@ func TestGoldenEquivalenceChaosGoldenFile(t *testing.T) {
 }
 
 // fleetPicks builds a service-mix scenario assignment without the test
-// depending on network layers: the default loadgen mix over the builtin
-// catalog.
+// depending on network layers: the historical default loadgen mix over
+// the registered scenario catalog. The mix string stays a literal here —
+// the golden equivalence streams below must not move if the registry's
+// default mix ever changes.
 func fleetPicks(t *testing.T, n int) []vtime.Pick {
 	t.Helper()
-	catalog := service.BuiltinScenarios()
-	mix, err := service.ParseMix("default=4,quiet=2,cafe=2,samehand=1,walking=1,jammed=1,out-of-range=1", catalog)
+	scenarios := catalog.ServiceScenarios()
+	mix, err := service.ParseMix("default=4,quiet=2,cafe=2,samehand=1,walking=1,jammed=1,out-of-range=1", scenarios)
 	if err != nil {
 		t.Fatal(err)
 	}
 	picks := make([]vtime.Pick, n)
 	for i := range picks {
 		name := mix.Pick(uint64(i))
-		picks[i] = vtime.Pick{Name: name, Scenario: catalog[name]}
+		picks[i] = vtime.Pick{Name: name, Scenario: scenarios[name]}
 	}
 	return picks
 }
