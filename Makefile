@@ -90,6 +90,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzPayloadDecoders -fuzztime=10s ./internal/proto
 	$(GO) test -run='^$$' -fuzz=FuzzFaultSchedule -fuzztime=10s ./internal/fault
 	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=10s ./internal/store
+	$(GO) test -run='^$$' -fuzz=FuzzSegmentedReplay -fuzztime=10s ./internal/store
 	$(GO) test -run='^$$' -fuzz=FuzzWireProtocol -fuzztime=10s ./internal/cluster
 	$(GO) test -run='^$$' -fuzz=FuzzScenarioSpec -fuzztime=10s ./internal/scenario
 
@@ -115,12 +116,17 @@ bench-service:
 	$(GO) run ./cmd/loadgen -selfhost -n 128 -c 16 -chaos builtin
 
 # Regenerate BENCH_store.json: cold-start WAL replay timings at
-# 1k/5k/10k records. Exits non-zero if replay scaling goes non-monotone
-# or the 10k replay misses its time gate. The second run drives a
-# durable selfhost daemon through loadgen's store-metrics consistency
-# gate (commit-per-session accounting, zero corruptions; no artifact).
+# 1k/5k/10k records, plus the commit-throughput gate (group committer
+# must clear 5x the per-record-fsync baseline at 64 writers), the
+# parallel-replay gate (checkpoint-skipping segmented replay must clear
+# 2x the serial full decode, bit-identical state), and — via -check —
+# the 50-cycle kill -9 chaos drill (every acked commit survives, zero
+# counter regressions). Exits non-zero if any gate fails. The second
+# run drives a durable selfhost daemon through loadgen's store-metrics
+# consistency gate (commit-per-session accounting, zero corruptions,
+# group-commit histograms present; no artifact).
 bench-store:
-	$(GO) run ./cmd/benchstore -out BENCH_store.json
+	$(GO) run ./cmd/benchstore -check -out BENCH_store.json
 	$(GO) run ./cmd/loadgen -selfhost -n 128 -c 16 -state-dir $$(mktemp -d)
 
 # Regenerate BENCH_vtime.json and enforce the virtual-time throughput

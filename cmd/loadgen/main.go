@@ -230,6 +230,9 @@ type storeReport struct {
 	WALRecords      int     `json:"wal_records_total"`
 	Corruptions     int     `json:"store_corruptions_total"`
 	RecoverySeconds float64 `json:"recovery_seconds"`
+	FsyncDisabled   bool    `json:"fsync_disabled"`
+	Commits         int     `json:"commit_count"`
+	MeanBatchSize   float64 `json:"mean_batch_size"`
 	Consistent      bool    `json:"consistent"`
 	Detail          string  `json:"detail,omitempty"`
 }
@@ -422,11 +425,24 @@ func run() int {
 			return 1
 		}
 		var problems []string
+		if rep.FsyncDisabled {
+			// A no-fsync run can report every other number perfectly and
+			// still lose acknowledged sessions at the wall socket; the gate
+			// refuses to certify it rather than grading it.
+			problems = append(problems, "wearlockd_fsync_disabled=1: commits are not power-loss durable, refusing to certify")
+		}
 		if rep.Corruptions != 0 {
 			problems = append(problems, fmt.Sprintf("wearlockd_store_corruptions_total=%d, want 0", rep.Corruptions))
 		}
 		if rep.WALRecords < completed {
 			problems = append(problems, fmt.Sprintf("wearlockd_wal_records_total=%d < %d completed sessions", rep.WALRecords, completed))
+		}
+		if completed > 0 {
+			if rep.Commits == 0 {
+				problems = append(problems, "wearlockd_wal_batch_size_count=0: the group committer recorded no batches")
+			} else if rep.MeanBatchSize < 1 {
+				problems = append(problems, fmt.Sprintf("wearlockd_wal_batch_size mean=%.3f < 1: batches smaller than their own records", rep.MeanBatchSize))
+			}
 		}
 		rep.Consistent = len(problems) == 0
 		rep.Detail = strings.Join(problems, "; ")
@@ -500,12 +516,14 @@ func scrapeStoreMetrics(client *http.Client, base string) (storeReport, error) {
 	}
 	defer resp.Body.Close()
 	var rep storeReport
+	var batchSum, batchCount, commitCount float64
 	seen := map[string]bool{}
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
 		// A gateway's aggregated exposition carries these series once per
-		// shard with a shard label; counters sum, the recovery gauge
-		// reports the slowest shard.
+		// shard with a shard label; counters (and histogram sums/counts)
+		// sum, the recovery gauge reports the slowest shard, and the
+		// fsync-disabled gauge trips if any shard runs unsafe.
 		name, _, valStr, ok := splitSample(sc.Text())
 		if !ok {
 			continue
@@ -523,6 +541,16 @@ func scrapeStoreMetrics(client *http.Client, base string) (storeReport, error) {
 			if v > rep.RecoverySeconds {
 				rep.RecoverySeconds = v
 			}
+		case "wearlockd_fsync_disabled":
+			if v > 0 {
+				rep.FsyncDisabled = true
+			}
+		case "wearlockd_commit_seconds_count":
+			commitCount += v
+		case "wearlockd_wal_batch_size_sum":
+			batchSum += v
+		case "wearlockd_wal_batch_size_count":
+			batchCount += v
 		default:
 			continue
 		}
@@ -531,11 +559,20 @@ func scrapeStoreMetrics(client *http.Client, base string) (storeReport, error) {
 	if err := sc.Err(); err != nil {
 		return storeReport{}, err
 	}
-	for _, want := range []string{"wearlockd_wal_records_total", "wearlockd_store_corruptions_total", "wearlockd_recovery_seconds"} {
+	for _, want := range []string{
+		"wearlockd_wal_records_total", "wearlockd_store_corruptions_total", "wearlockd_recovery_seconds",
+		"wearlockd_fsync_disabled", "wearlockd_commit_seconds_count", "wearlockd_wal_batch_size_sum",
+		"wearlockd_wal_batch_size_count",
+	} {
 		if !seen[want] {
 			return storeReport{}, fmt.Errorf("%s missing from /metrics", want)
 		}
 	}
+	rep.Commits = int(batchCount)
+	if batchCount > 0 {
+		rep.MeanBatchSize = batchSum / batchCount
+	}
+	_ = commitCount // presence-checked above; the latency distribution itself is informational
 	return rep, nil
 }
 
@@ -785,8 +822,9 @@ func printReport(rec record) {
 		fmt.Printf("    %s\n", rec.MetricsDetail)
 	}
 	if rec.Store != nil {
-		fmt.Printf("  store consistency: %v (%d WAL records, %d corruptions, recovery %.3fs)\n",
-			rec.Store.Consistent, rec.Store.WALRecords, rec.Store.Corruptions, rec.Store.RecoverySeconds)
+		fmt.Printf("  store consistency: %v (%d WAL records, %d corruptions, recovery %.3fs, %d commit batches, mean batch %.2f)\n",
+			rec.Store.Consistent, rec.Store.WALRecords, rec.Store.Corruptions, rec.Store.RecoverySeconds,
+			rec.Store.Commits, rec.Store.MeanBatchSize)
 		if !rec.Store.Consistent {
 			fmt.Printf("    %s\n", rec.Store.Detail)
 		}

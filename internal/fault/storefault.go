@@ -24,18 +24,23 @@ const restartSalt int64 = 0x72737472 // "rstr"
 //	                      (media rot; recovery must distrust the device)
 //	store-stale-snapshot  the WAL disappears while an older snapshot
 //	                      survives (state rollback; nothing is trustable)
+//	store-drop-segment    one interior sealed WAL segment vanishes (a
+//	                      fault only the segmented log can suffer; the
+//	                      hole must classify as corruption, never as a
+//	                      normal post-compaction shape)
 const (
-	KindStoreFsyncLoss Kind = "store-fsync-loss"
-	KindStoreTornWrite Kind = "store-torn-write"
-	KindStoreBitFlip   Kind = "store-bit-flip"
-	KindStoreSnapOnly  Kind = "store-stale-snapshot"
+	KindStoreFsyncLoss   Kind = "store-fsync-loss"
+	KindStoreTornWrite   Kind = "store-torn-write"
+	KindStoreBitFlip     Kind = "store-bit-flip"
+	KindStoreSnapOnly    Kind = "store-stale-snapshot"
+	KindStoreDropSegment Kind = "store-drop-segment"
 )
 
 // StoreScoped reports whether k is a restart-cycle store fault rather
 // than a session fault.
 func (k Kind) StoreScoped() bool {
 	switch k {
-	case KindStoreFsyncLoss, KindStoreTornWrite, KindStoreBitFlip, KindStoreSnapOnly:
+	case KindStoreFsyncLoss, KindStoreTornWrite, KindStoreBitFlip, KindStoreSnapOnly, KindStoreDropSegment:
 		return true
 	}
 	return false
@@ -54,6 +59,8 @@ type StorePlan struct {
 	FlipBit bool
 	// SnapshotOnly deletes the WAL, leaving a stale snapshot.
 	SnapshotOnly bool
+	// DropSegment removes one interior sealed WAL segment.
+	DropSegment bool
 	// Seed parameterizes the mangles that need randomness (cut point,
 	// flipped bit), making the whole cycle's damage reproducible.
 	Seed int64
@@ -61,7 +68,7 @@ type StorePlan struct {
 
 // Any reports whether the plan damages anything.
 func (p StorePlan) Any() bool {
-	return p.DropLastRecord || p.TornTail || p.FlipBit || p.SnapshotOnly
+	return p.DropLastRecord || p.TornTail || p.FlipBit || p.SnapshotOnly || p.DropSegment
 }
 
 // ForRestart rolls the schedule's store-scoped rules for one restart
@@ -93,6 +100,8 @@ func ForRestart(sch *Schedule, baseSeed, cycle int64) StorePlan {
 			plan.FlipBit = true
 		case KindStoreSnapOnly:
 			plan.SnapshotOnly = true
+		case KindStoreDropSegment:
+			plan.DropSegment = true
 		}
 	}
 	return plan

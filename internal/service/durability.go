@@ -62,10 +62,19 @@ func (s *Service) recoverState() {
 	if every <= 0 {
 		every = 1024
 	}
+	if s.cfg.NoFsync {
+		s.m.fsyncDisabled.Set(1)
+	}
 	st, err := store.Open(store.Options{
-		Dir:           s.cfg.StateDir,
-		NoFsync:       s.cfg.NoFsync,
-		SnapshotEvery: every,
+		Dir:            s.cfg.StateDir,
+		NoFsync:        s.cfg.NoFsync,
+		SnapshotEvery:  every,
+		SegmentBytes:   s.cfg.WALSegmentBytes,
+		CommitMaxBatch: s.cfg.CommitMaxBatch,
+		CommitMaxDelay: s.cfg.CommitMaxDelay,
+		OnCommitBatch: func(n int) {
+			s.m.walBatchSize.Observe(float64(n))
+		},
 	})
 	if err != nil {
 		s.recovery.Err = fmt.Errorf("service: opening durable store: %w", err)
@@ -207,20 +216,41 @@ func (s *Service) commitDeviceLocked(dev *devicePair) error {
 	return nil
 }
 
-// persistDevice commits a finished session's device state together with
-// the fleet admission state. Caller holds dev.mu. A nil store (no state
-// dir) is a no-op.
-func (s *Service) persistDevice(dev *devicePair) error {
-	if s.store == nil {
+// pendingCommit is one session's in-flight durable commit: the handle
+// plus the enqueue timestamp feeding the commit-latency histogram. A
+// zero pendingCommit (no store configured) awaits to nil immediately.
+type pendingCommit struct {
+	h     *store.CommitHandle
+	start time.Time
+}
+
+// await blocks until the commit is durable and records its latency.
+func (c pendingCommit) await(s *Service, devID int) error {
+	if c.h == nil {
 		return nil
 	}
-	ds := s.exportDevice(dev)
-	sv := s.serviceState()
-	if err := s.store.Commit(&ds, &sv); err != nil {
-		return fmt.Errorf("service: persisting device %d: %w", dev.id, err)
+	err := c.h.Wait()
+	s.m.commitSeconds.Observe(time.Since(c.start).Seconds())
+	if err != nil {
+		return fmt.Errorf("service: persisting device %d: %w", devID, err)
 	}
 	s.m.walRecords.Inc()
 	return nil
+}
+
+// persistDeviceAsync enqueues a finished session's device state together
+// with the fleet admission state on the store's group committer. Caller
+// holds dev.mu — the exported snapshot is the session's own — but the
+// returned commit is awaited after the lock is released, so commits
+// across devices batch into shared fsyncs. A nil store (no state dir)
+// returns a no-op commit.
+func (s *Service) persistDeviceAsync(dev *devicePair) pendingCommit {
+	if s.store == nil {
+		return pendingCommit{}
+	}
+	ds := s.exportDevice(dev)
+	sv := s.serviceState()
+	return pendingCommit{h: s.store.CommitAsync(&ds, &sv), start: time.Now()}
 }
 
 // persistServiceSeq commits a fleet-only record after an admission that

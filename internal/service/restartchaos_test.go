@@ -46,6 +46,13 @@ func applyStorePlan(t *testing.T, dir string, plan fault.StorePlan) (applied []s
 			applied = append(applied, "snapshot-only")
 		}
 	}
+	if plan.DropSegment {
+		if ok, err := store.MangleDropSegment(dir, plan.Seed); err != nil {
+			t.Fatalf("MangleDropSegment: %v", err)
+		} else if ok {
+			applied = append(applied, "drop-segment")
+		}
+	}
 	return applied
 }
 
@@ -69,17 +76,26 @@ func TestRestartChaos50Cycles(t *testing.T) {
 	dir := t.TempDir()
 	cfg := durableConfig(dir)
 	cfg.Devices = 3
+	// A tiny segment threshold forces rolls (and checkpoint footers)
+	// every few commits, so the cycles also land kills and mangles at
+	// segment boundaries — the crash windows segmentation introduced.
+	cfg.WALSegmentBytes = 2048
 	// The resilience ladder absorbs ordinary channel noise (a noisy
 	// realization can corrupt a token in the air); a genuine desync still
 	// fails, because no amount of retrying verifies under a wrong key or
 	// an unhealable counter state.
 	cfg.Core.Resilience = core.DefaultResilience()
 	sch := fault.DefaultStoreChaosSchedule()
+	// Appending the segment-drop rule keeps the builtin rules' per-cycle
+	// decisions byte-stable (ForRestart draws in rule order) while adding
+	// the vanished-segment fault only a segmented log can suffer.
+	sch.Rules = append(sch.Rules, fault.Rule{Kind: fault.KindStoreDropSegment, Prob: 0.15})
 
 	// floor is each device's last recovered durable state: the regression
 	// baseline that must survive any tail damage.
 	floor := make(map[int]store.DeviceState)
-	var totalDamage, totalRepairs int
+	var totalRepairs int
+	damageByKind := make(map[string]int)
 
 	const cycles = 50
 	for cycle := 0; cycle < cycles; cycle++ {
@@ -161,8 +177,9 @@ func TestRestartChaos50Cycles(t *testing.T) {
 			cancel()
 		}
 		plan := fault.ForRestart(sch, cfg.Seed, int64(cycle))
-		damage := applyStorePlan(t, dir, plan)
-		totalDamage += len(damage)
+		for _, kind := range applyStorePlan(t, dir, plan) {
+			damageByKind[kind]++
+		}
 
 		// Re-derive the floor from the bytes actually on disk: in-flight
 		// commits that won the race against Kill are durable, ones that
@@ -197,11 +214,18 @@ func TestRestartChaos50Cycles(t *testing.T) {
 		}
 	}
 
+	totalDamage := 0
+	for _, n := range damageByKind {
+		totalDamage += n
+	}
 	if totalDamage == 0 {
 		t.Fatal("50 cycles of the builtin store schedule applied no damage — harness is not exercising recovery")
 	}
-	t.Logf("restart chaos: %d cycles, %d mangles applied, %d device repairs, zero regressions/desyncs",
-		cycles, totalDamage, totalRepairs)
+	if damageByKind["drop-segment"] == 0 {
+		t.Fatal("50 cycles never dropped a sealed segment — the segmented-log fault went unexercised")
+	}
+	t.Logf("restart chaos: %d cycles, %d mangles applied (%v), %d device repairs, zero regressions/desyncs",
+		cycles, totalDamage, damageByKind, totalRepairs)
 }
 
 // TestCrossRestartGoldenReplay extends the chaos replay contract across

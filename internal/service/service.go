@@ -94,7 +94,20 @@ type Config struct {
 	SnapshotEvery int
 	// NoFsync skips per-commit fsyncs in the store — tests and
 	// benchmarks only (commits then survive kill -9 but not power loss).
+	// The daemon exports wearlockd_fsync_disabled=1 so load gates can
+	// refuse to certify runs whose durability was faked.
 	NoFsync bool
+	// WALSegmentBytes rolls the store's WAL to a fresh segment at this
+	// size; <= 0 uses the store default (4 MiB). Only meaningful with
+	// StateDir.
+	WALSegmentBytes int64
+	// CommitMaxBatch caps how many concurrent session commits share one
+	// fsync; <= 0 uses the store default (256).
+	CommitMaxBatch int
+	// CommitMaxDelay bounds how long the store's group committer keeps
+	// absorbing arrivals into a growing batch; <= 0 uses the store
+	// default (~2ms). A lone commit never waits.
+	CommitMaxDelay time.Duration
 	// Clock supplies time for session TTL GC, Retry-After math, and
 	// uptime. nil means the wall clock (daemon mode); tests and
 	// virtual-time benches inject vtime.NewManualClock so "wait for the
@@ -300,6 +313,9 @@ type metrics struct {
 	walRecords      *telemetry.Counter
 	corruptions     *telemetry.Counter
 	repairs         *telemetry.Counter
+	commitSeconds   *telemetry.Histogram
+	walBatchSize    *telemetry.Histogram
+	fsyncDisabled   *telemetry.Gauge
 }
 
 func newMetrics(reg *telemetry.Registry) *metrics {
@@ -347,6 +363,14 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 			"Store corruption events detected at recovery (bit rot, lost framing, snapshot damage, missing WAL)."),
 		repairs: reg.Counter("wearlockd_store_repairs_total",
 			"Devices re-paired with a fresh key because recovery could not trust their durable counters."),
+		commitSeconds: reg.Histogram("wearlockd_commit_seconds",
+			"Durable commit latency per session: enqueue on the group committer to fsynced.",
+			telemetry.ExponentialBuckets(0.00005, 2, 14)),
+		walBatchSize: reg.Histogram("wearlockd_wal_batch_size",
+			"Records per group-commit batch (one fsync each).",
+			telemetry.ExponentialBuckets(1, 2, 10)),
+		fsyncDisabled: reg.Gauge("wearlockd_fsync_disabled",
+			"1 when the store runs with fsync disabled (-no-fsync): commits do not survive power loss and consistency gates must not certify the run."),
 	}
 }
 
@@ -498,14 +522,22 @@ func (s *Service) Scenarios() []string { return ScenarioNames(s.scenarios) }
 // runOnDevice is the production unlock path: serialize on the device,
 // run the protocol session, and clear lockouts like a user typing their
 // PIN would, so a device pair survives hostile traffic.
+//
+// The durable commit is enqueued while the device lock is held (the
+// exported state must be the session's own), but awaited after the lock
+// is released: the next session on this device can start its CPU work
+// while this one's batch is still in flight to the disk, and commits
+// from concurrent devices share fsyncs in the store's group committer.
+// The accepted⇒durable promise is untouched — this session is not
+// reported done until its handle resolves.
 func (s *Service) runOnDevice(ctx context.Context, dev *devicePair, sc core.Scenario) (*core.Result, error) {
 	dev.mu.Lock()
-	defer dev.mu.Unlock()
 	// A session admitted before a handoff fence but scheduled after it
 	// must not advance counters the fenced tail export already shipped:
 	// the fence is re-checked under the device lock, where export
 	// quiesces.
 	if s.shardFenced(dev.id) {
+		dev.mu.Unlock()
 		return nil, ErrFenced
 	}
 	var res *core.Result
@@ -525,13 +557,11 @@ func (s *Service) runOnDevice(ctx context.Context, dev *devicePair, sc core.Scen
 	// counter advances hit the platter. Sessions that errored still
 	// commit — whatever counters moved before the error must not be
 	// replayable after a crash either.
-	if cerr := s.persistDevice(dev); cerr != nil && err == nil {
-		err = cerr
-	}
+	commit := s.persistDeviceAsync(dev)
 	// Airtime pacing holds the device (and this worker slot) for the
 	// scaled protocol timeline, modeling the acoustic channel's real
 	// occupancy. Done while dev.mu is held: the channel is busy, so the
-	// device is.
+	// device is. The commit rides the channel-occupancy window.
 	if s.cfg.PaceAirtime > 0 && res != nil {
 		if d := time.Duration(float64(res.Timeline.Total()) * s.cfg.PaceAirtime); d > 0 {
 			t := time.NewTimer(d)
@@ -541,6 +571,11 @@ func (s *Service) runOnDevice(ctx context.Context, dev *devicePair, sc core.Scen
 				t.Stop()
 			}
 		}
+	}
+	dev.mu.Unlock()
+
+	if cerr := commit.await(s, dev.id); cerr != nil && err == nil {
+		err = cerr
 	}
 	return res, err
 }

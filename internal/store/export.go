@@ -1,6 +1,7 @@
 package store
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 )
@@ -27,6 +28,10 @@ import (
 // the monotone merge makes the duplication harmless. The returned
 // horizon is the store's sequence high-water mark at export time; pass
 // it back as since on the tail pass to ship only what this call missed.
+//
+// The scan walks every WAL segment in replay order. Checkpoint footers
+// are skipped: they are derived state, and the synthetic tail records
+// already carry the merged view they would contribute.
 func (s *Store) ExportRange(ids []int, since uint64) ([]Record, uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -39,21 +44,36 @@ func (s *Store) ExportRange(ids []int, since uint64) ([]Record, uint64, error) {
 	}
 
 	var out []Record
-	// Under s.mu no append or truncate can race this read, so the file is
-	// a consistent prefix of the committed history.
-	data, err := os.ReadFile(s.walPath)
-	if err != nil && !os.IsNotExist(err) {
-		return nil, 0, fmt.Errorf("store: reading WAL for export: %w", err)
+	// Under s.mu no append, seal, or compact can race this read, so the
+	// segment set is a consistent prefix of the committed history.
+	segs, err := listSegments(s.opts.Dir)
+	if err != nil {
+		return nil, 0, err
 	}
-	res := replayWAL(data)
-	for i := range res.records {
-		rec := res.records[i].rec
-		if rec.Seq <= since || rec.Device == nil || !want[rec.Device.ID] {
-			continue
+	for _, seg := range segs {
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, 0, fmt.Errorf("store: reading WAL for export: %w", err)
 		}
-		rec.Device = rec.Device.clone()
-		rec.Service = nil // fleet-level state (seq, round-robin) is shard-local
-		out = append(out, rec)
+		sc := scanWAL(data, true)
+		for _, f := range sc.frames {
+			if f.kind != frameRecord {
+				continue
+			}
+			var rec Record
+			if err := json.Unmarshal(f.payload, &rec); err != nil {
+				continue // damaged payloads degrade the export, never fail it
+			}
+			if rec.Seq <= since || rec.Device == nil || !want[rec.Device.ID] {
+				continue
+			}
+			rec.Device = rec.Device.clone()
+			rec.Service = nil // fleet-level state (seq, round-robin) is shard-local
+			out = append(out, rec)
+		}
 	}
 	for _, id := range ids {
 		if d, ok := s.merged.devices[id]; ok {
@@ -64,19 +84,31 @@ func (s *Store) ExportRange(ids []int, since uint64) ([]Record, uint64, error) {
 }
 
 // ImportRecords replays exported records through the store's own commit
-// path, in order. Only device records are applied; each one is durable
-// (WAL append + fsync) before the next is considered, and the count of
-// applied records is returned.
+// path, in order. Only device records are applied. The whole batch is
+// enqueued on the group committer before any handle is awaited — source
+// order is preserved by the FIFO commit queue, and the records share
+// fsyncs — but every record is durable (WAL append + fsync) before this
+// returns. The count of applied records is returned.
 func (s *Store) ImportRecords(recs []Record) (int, error) {
-	applied := 0
+	handles := make([]*CommitHandle, 0, len(recs))
+	idx := make([]int, 0, len(recs))
 	for i := range recs {
 		if recs[i].Device == nil {
 			continue
 		}
-		if err := s.CommitDevice(*recs[i].Device); err != nil {
-			return applied, fmt.Errorf("store: importing record %d: %w", i, err)
+		handles = append(handles, s.CommitDeviceAsync(*recs[i].Device))
+		idx = append(idx, i)
+	}
+	applied := 0
+	var firstErr error
+	for j, h := range handles {
+		if err := h.Wait(); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("store: importing record %d: %w", idx[j], err)
+			}
+			continue
 		}
 		applied++
 	}
-	return applied, nil
+	return applied, firstErr
 }

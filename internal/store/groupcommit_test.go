@@ -1,0 +1,408 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func readAll(path string) ([]byte, error)     { return os.ReadFile(path) }
+func writeAll(path string, data []byte) error { return os.WriteFile(path, data, 0o644) }
+func removeFile(path string) error            { return os.Remove(path) }
+func baseName(path string) string             { return filepath.Base(path) }
+
+// saveDir snapshots every WAL file's bytes by base name.
+func saveDir(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	paths, err := WALFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := make(map[string][]byte, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		saved[filepath.Base(p)] = data
+	}
+	return saved
+}
+
+// restoreWALFiles writes every saved WAL file back, recreating removed
+// segments and restoring truncated ones.
+func restoreWALFiles(t *testing.T, dir string, saved map[string][]byte) {
+	t.Helper()
+	for name, data := range saved {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// 64 goroutines committing interleaved device updates through the group
+// committer: every Wait must succeed, and the merged state must land on
+// each device's maximum counters, exactly as per-record commits would.
+func TestGroupCommitConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, 0)
+	const writers, perWriter, devices = 64, 20, 8
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := w % devices
+			for i := 1; i <= perWriter; i++ {
+				c := uint64(w*perWriter + i)
+				if err := s.CommitDevice(DeviceState{ID: id, Key: []byte("key"), GenCounter: c, VerCounter: c}); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", w, err)
+		}
+	}
+	if got := s.AppendedRecords(); got != writers*perWriter {
+		t.Fatalf("appended %d records, want %d", got, writers*perWriter)
+	}
+	want := make(map[int]uint64)
+	for w := 0; w < writers; w++ {
+		id := w % devices
+		c := uint64(w*perWriter + perWriter)
+		if c > want[id] {
+			want[id] = c
+		}
+	}
+	check := func(st State, label string) {
+		for id, c := range want {
+			if d := st.Devices[id]; d.GenCounter != c || d.VerCounter != c {
+				t.Fatalf("%s: device %d = %+v, want counters %d", label, id, d, c)
+			}
+		}
+	}
+	check(s.State(), "live")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTest(t, dir, 0)
+	defer s2.Close()
+	if info := s2.Recovery(); info.Corruptions != 0 || info.RecoveredRecords != writers*perWriter {
+		t.Fatalf("reopen after concurrent commits: %+v", info)
+	}
+	check(s2.State(), "reopened")
+}
+
+// Concurrent enqueuers against a real-fsync store must actually share
+// fsyncs: the OnCommitBatch feed has to account for every record, and —
+// with fsync latency creating queue depth — at least one batch must
+// carry more than one record.
+func TestGroupCommitBatchesShareFsync(t *testing.T) {
+	dir := t.TempDir()
+	var mu sync.Mutex
+	var batches []int
+	s, err := Open(Options{Dir: dir, OnCommitBatch: func(n int) {
+		mu.Lock()
+		batches = append(batches, n)
+		mu.Unlock()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const n = 128
+	handles := make([]*CommitHandle, n)
+	for i := 0; i < n; i++ {
+		handles[i] = s.CommitDeviceAsync(DeviceState{ID: i % 4, Key: []byte("key"), GenCounter: uint64(i + 1)})
+	}
+	for i, h := range handles {
+		if err := h.Wait(); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	total, max := 0, 0
+	for _, b := range batches {
+		total += b
+		if b > max {
+			max = b
+		}
+	}
+	if total != n {
+		t.Fatalf("batch sizes sum to %d, want %d", total, n)
+	}
+	if max < 2 {
+		t.Fatalf("no batching observed across %d batches (max size %d)", len(batches), max)
+	}
+}
+
+// Compact racing the group committer: a writer streams commits while the
+// main goroutine compacts repeatedly. Records must be neither lost (the
+// final counter survives reopen) nor double-applied (monotone merge makes
+// duplication invisible, so instead we assert every Wait succeeded and
+// the final counter is exactly the last committed value).
+func TestCompactRacingGroupCommitter(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, NoFsync: true, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 400
+	done := make(chan error, 1)
+	go func() {
+		for i := 1; i <= total; i++ {
+			if err := s.CommitDevice(DeviceState{ID: 1, Key: []byte("key"), GenCounter: uint64(i), VerCounter: uint64(i)}); err != nil {
+				done <- fmt.Errorf("commit %d: %w", i, err)
+				return
+			}
+		}
+		done <- nil
+	}()
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			s2 := openTest(t, dir, 0)
+			defer s2.Close()
+			if info := s2.Recovery(); info.Damaged() {
+				t.Fatalf("reopen after compact race: %+v", info)
+			}
+			if d, _ := s2.Device(1); d.GenCounter != total || d.VerCounter != total {
+				t.Fatalf("device after compact race: %+v, want %d", d, total)
+			}
+			return
+		default:
+			if err := s.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// Segment rolling round trip: a tiny threshold forces many rolls; reopen
+// must recover the identical state with zero corruption, and the
+// parallel replay must be bit-identical to the serial reference and to
+// the checkpoint-free full decode.
+func TestSegmentRollReopenAndReplayIdentity(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, NoFsync: true, SegmentBytes: 384})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 60; i++ {
+		id := int(i % 5)
+		if err := s.Commit(&DeviceState{ID: id, Key: []byte("key"), GenCounter: i, VerCounter: i},
+			&ServiceState{Seq: i, NextDev: i % 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := WALFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 3 {
+		t.Fatalf("tiny threshold produced only %d segments", len(paths))
+	}
+
+	serial, serInfo, err := InspectParallel(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, parInfo, err := InspectParallel(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, fullInfo, err := InspectFullDecode(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("parallel replay diverged from serial:\n%+v\n%+v", serial, par)
+	}
+	if !reflect.DeepEqual(serial, full) {
+		t.Fatalf("checkpointed replay diverged from full decode:\n%+v\n%+v", serial, full)
+	}
+	for _, info := range []RecoveryInfo{serInfo, parInfo, fullInfo} {
+		if info.Corruptions != 0 || len(info.Distrusted) != 0 || info.TornTail {
+			t.Fatalf("clean segmented log reported damage: %+v", info)
+		}
+	}
+	if serInfo.Segments != len(paths) {
+		t.Fatalf("Segments = %d, want %d", serInfo.Segments, len(paths))
+	}
+
+	s2, err := Open(Options{Dir: dir, NoFsync: true, SegmentBytes: 384})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if d, _ := s2.Device(0); d.GenCounter != 60 {
+		t.Fatalf("device 0 after segmented reopen: %+v", d)
+	}
+	if st := s2.State(); st.Service.Seq != 60 {
+		t.Fatalf("service after segmented reopen: %+v", st.Service)
+	}
+}
+
+// Compact must drop sealed segments whole: after compaction only the
+// active segment remains, and reopen replays snapshot + suffix.
+func TestCompactDropsSealedSegments(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, NoFsync: true, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 40; i++ {
+		commitDev(t, s, int(i%3), i, i)
+	}
+	before, _ := WALFiles(dir)
+	if len(before) < 3 {
+		t.Fatalf("setup produced only %d segments", len(before))
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := WALFiles(dir)
+	if len(after) != 1 {
+		t.Fatalf("compact left %d WAL files: %v", len(after), after)
+	}
+	commitDev(t, s, 0, 41, 41)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTest(t, dir, 0)
+	defer s2.Close()
+	if info := s2.Recovery(); !info.SnapshotLoaded || info.Damaged() {
+		t.Fatalf("reopen after segment-dropping compact: %+v", info)
+	}
+	if d, _ := s2.Device(0); d.GenCounter != 41 {
+		t.Fatalf("post-compact commit lost: %+v", d)
+	}
+}
+
+// Crash shapes around the seal and compact windows, emulated at the file
+// level (kill -9 leaves exactly these directory states):
+//
+//  1. after the checkpoint footer fsync but before the next segment is
+//     created — the footer sits mid-log in the final file;
+//  2. after compaction's snapshot rename but before the sealed segments
+//     are removed — stale segments under a fresh snapshot;
+//  3. after the removals but before the active-segment truncate — the
+//     pre-compaction active bytes under a fresh snapshot.
+//
+// All three must recover the identical, undamaged state.
+func TestSealAndCompactCrashWindows(t *testing.T) {
+	build := func(t *testing.T) (string, State) {
+		dir := t.TempDir()
+		s, err := Open(Options{Dir: dir, NoFsync: true, SegmentBytes: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(1); i <= 30; i++ {
+			commitDev(t, s, int(i%3), i, i)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		st, info, err := Inspect(dir)
+		if err != nil || info.Damaged() {
+			t.Fatalf("baseline damaged: %+v err=%v", info, err)
+		}
+		return dir, st
+	}
+	verify := func(t *testing.T, dir string, want State, label string) {
+		t.Helper()
+		st, info, err := Inspect(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if info.Damaged() || len(info.Distrusted) != 0 {
+			t.Fatalf("%s: recovery damaged: %+v", label, info)
+		}
+		if !reflect.DeepEqual(st.Devices, want.Devices) {
+			t.Fatalf("%s: state diverged:\n%+v\n%+v", label, st.Devices, want.Devices)
+		}
+	}
+
+	t.Run("footer-without-successor", func(t *testing.T) {
+		dir, want := build(t)
+		// Remove the empty active segment the last seal created: the log now
+		// ends with a sealed file whose tail is a checkpoint footer.
+		paths, _ := WALFiles(dir)
+		lastData, err := readAll(paths[len(paths)-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lastData) == 0 {
+			if err := removeFile(paths[len(paths)-1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		verify(t, dir, want, "footer-without-successor")
+	})
+
+	t.Run("snapshot-renamed-segments-remain", func(t *testing.T) {
+		dir, want := build(t)
+		saved := saveDir(t, dir)
+		s, err := Open(Options{Dir: dir, NoFsync: true, SegmentBytes: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Undo the removals and the truncate: fresh snapshot + full old log.
+		restoreWALFiles(t, dir, saved)
+		verify(t, dir, want, "snapshot-renamed-segments-remain")
+	})
+
+	t.Run("removed-but-not-truncated", func(t *testing.T) {
+		dir, want := build(t)
+		saved := saveDir(t, dir)
+		s, err := Open(Options{Dir: dir, NoFsync: true, SegmentBytes: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Undo only the truncate: put the active segment's old bytes back.
+		paths, _ := WALFiles(dir)
+		active := paths[len(paths)-1]
+		for name, data := range saved {
+			if name == baseName(active) {
+				if err := writeAll(active, data); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		verify(t, dir, want, "removed-but-not-truncated")
+	})
+}

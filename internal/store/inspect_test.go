@@ -2,7 +2,6 @@ package store
 
 import (
 	"os"
-	"path/filepath"
 	"testing"
 )
 
@@ -43,8 +42,8 @@ func TestInspectPreservesRollbackEvidence(t *testing.T) {
 			t.Fatalf("Inspect %d: snapshot state gen %d, want stale 5", i, d.GenCounter)
 		}
 	}
-	if _, err := os.Stat(filepath.Join(dir, WALFileName)); !os.IsNotExist(err) {
-		t.Fatalf("Inspect created the WAL file (stat err %v) — evidence consumed", err)
+	if paths, err := WALFiles(dir); err != nil || len(paths) != 0 {
+		t.Fatalf("Inspect created WAL files %v (err %v) — evidence consumed", paths, err)
 	}
 
 	// The real Open still catches it.
@@ -69,7 +68,7 @@ func TestInspectLeavesTornTailIntact(t *testing.T) {
 	if applied, err := MangleTornTail(dir, 3); err != nil || !applied {
 		t.Fatalf("MangleTornTail: applied=%v err=%v", applied, err)
 	}
-	walPath := filepath.Join(dir, WALFileName)
+	walPath := activeWAL(t, dir)
 	before, err := os.ReadFile(walPath)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,204 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzSegmentedReplay checks the segmentation invariant: a record stream
+// split across segment files at arbitrary frame boundaries replays to
+// exactly the same state, recovery classification, and distrust set as
+// the same bytes in one file — including under the layout-equivalent
+// mangles (payload bit rot anywhere, a torn tail in the final region).
+//
+// The fuzzer drives record count, per-record device/sequence shape,
+// split points, and the mangle from its input bytes; the harness builds
+// both layouts, applies the identical damage to both, and diffs the two
+// Inspect results field by field.
+func FuzzSegmentedReplay(f *testing.F) {
+	f.Add([]byte{3, 1, 0})
+	f.Add([]byte{8, 2, 5, 0xff, 1, 7})
+	f.Add([]byte{16, 3, 2, 9, 4, 0x80, 2, 1})
+	f.Add([]byte{20, 4, 0, 0, 0, 0, 3, 0xaa, 0x55})
+
+	f.Fuzz(func(t *testing.T, seed []byte) {
+		next := func() byte {
+			if len(seed) == 0 {
+				return 0
+			}
+			b := seed[0]
+			seed = seed[1:]
+			return b
+		}
+
+		nRecs := int(next()%24) + 1
+		frames := make([][]byte, nRecs)
+		for i := 0; i < nRecs; i++ {
+			b := next()
+			rec := Record{
+				Seq: uint64(i + 1),
+				Device: &DeviceState{
+					ID:         int(b % 5),
+					Key:        []byte{'k', b % 3}, // occasional re-pairing
+					GenCounter: uint64(b),
+					VerCounter: uint64(i),
+				},
+			}
+			if b&0x10 != 0 {
+				rec.Service = &ServiceState{Seq: uint64(i), NextDev: uint64(b % 5)}
+			}
+			payload, err := json.Marshal(&rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			frames[i] = frame(recordMagic, payload)
+		}
+
+		// Split the frame stream into 1..6 segments at frame boundaries.
+		nSegs := int(next()%6) + 1
+		if nSegs > nRecs {
+			nSegs = nRecs
+		}
+		cuts := []int{0}
+		for s := 1; s < nSegs; s++ {
+			c := int(next()) % nRecs
+			cuts = append(cuts, c)
+		}
+		cuts = append(cuts, nRecs)
+		// normalize to a sorted unique boundary list
+		for i := 1; i < len(cuts); i++ {
+			for j := i; j > 0 && cuts[j] < cuts[j-1]; j-- {
+				cuts[j], cuts[j-1] = cuts[j-1], cuts[j]
+			}
+		}
+
+		single := t.TempDir()
+		segmented := t.TempDir()
+		var whole bytes.Buffer
+		for _, fr := range frames {
+			whole.Write(fr)
+		}
+		if err := os.WriteFile(filepath.Join(single, WALFileName), whole.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		segIdx := 0
+		for c := 0; c+1 < len(cuts); c++ {
+			lo, hi := cuts[c], cuts[c+1]
+			var buf bytes.Buffer
+			for _, fr := range frames[lo:hi] {
+				buf.Write(fr)
+			}
+			// Empty cut ranges still produce a (legal) empty segment file.
+			name := segmentName(segIdx)
+			segIdx++
+			if err := os.WriteFile(filepath.Join(segmented, name), buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Layout-equivalent mangle, applied at the same global offset in
+		// both: 0 = none, 1 = flip a payload bit, 2 = tear the global tail.
+		mangle := next() % 3
+		switch mangle {
+		case 1:
+			if nRecs > 0 {
+				pick := int(next()) % nRecs
+				var off int64
+				for i := 0; i < pick; i++ {
+					off += int64(len(frames[i]))
+				}
+				payloadLen := len(frames[pick]) - frameHeaderLen
+				if payloadLen > 0 {
+					pos := off + int64(frameHeaderLen) + int64(int(next())%payloadLen)
+					bit := byte(1) << (next() % 8)
+					flipAt(t, single, pos, bit)
+					flipAt(t, segmented, pos, bit)
+				}
+			}
+		case 2:
+			total := int64(whole.Len())
+			if total > 1 {
+				cut := 1 + int64(next())%(total-1)
+				tearAt(t, single, cut)
+				tearAt(t, segmented, cut)
+			}
+		}
+
+		stA, infoA, err := Inspect(single)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stB, infoB, err := Inspect(segmented)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(stA, stB) {
+			t.Fatalf("states diverged (mangle %d):\nsingle:    %+v\nsegmented: %+v", mangle, stA, stB)
+		}
+		if !reflect.DeepEqual(infoA.Distrusted, infoB.Distrusted) {
+			t.Fatalf("distrust diverged (mangle %d): %v vs %v", mangle, infoA.Distrusted, infoB.Distrusted)
+		}
+		if infoA.RecoveredRecords != infoB.RecoveredRecords ||
+			infoA.Corruptions != infoB.Corruptions ||
+			infoA.TornTail != infoB.TornTail {
+			t.Fatalf("recovery classification diverged (mangle %d):\nsingle:    %+v\nsegmented: %+v",
+				mangle, infoA, infoB)
+		}
+	})
+}
+
+// flipAt XORs one bit at a global WAL offset, resolved across the
+// directory's files in replay order.
+func flipAt(t *testing.T, dir string, pos int64, bit byte) {
+	t.Helper()
+	paths, err := WALFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pos < int64(len(data)) {
+			data[pos] ^= bit
+			if err := os.WriteFile(p, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		pos -= int64(len(data))
+	}
+}
+
+// tearAt truncates the directory's WAL at a global offset: the holding
+// file is cut and every later file removed, the shape a crash leaves.
+func tearAt(t *testing.T, dir string, pos int64) {
+	t.Helper()
+	paths, err := WALFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range paths {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pos <= fi.Size() {
+			if err := os.Truncate(p, pos); err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range paths[i+1:] {
+				if err := os.Remove(q); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return
+		}
+		pos -= fi.Size()
+	}
+}

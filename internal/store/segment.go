@@ -1,0 +1,108 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Segmented WAL layout. The log is a sequence of fixed-prefix files
+//
+//	wal.00000, wal.00001, ... wal.NNNNN
+//
+// replayed in index order; the highest-numbered file is the active
+// segment receiving appends. Rolling is create-only: the committer
+// appends a checkpoint footer (a WLS1-framed full-state snapshot) to the
+// active segment, fsyncs it, creates the next segment, and only then
+// switches — there is no rename, so no crash window in which the active
+// file is missing. A directory whose numbered segments have an interior
+// hole therefore holds rollback evidence, never a normal shape.
+//
+// The pre-segmentation single-file layout (wal.log) is still read: it
+// sorts before wal.00000, and a store opened on a legacy directory
+// appends to wal.log until the first roll creates wal.00000.
+const (
+	segmentPrefix = "wal."
+	// DefaultSegmentBytes is the roll threshold for the active segment.
+	DefaultSegmentBytes = int64(4 << 20)
+	// DefaultCommitMaxBatch caps how many records share one fsync.
+	DefaultCommitMaxBatch = 256
+	// DefaultCommitMaxDelay bounds how long the group committer keeps
+	// absorbing arrivals into a growing batch before forcing the fsync.
+	DefaultCommitMaxDelay = 2 * time.Millisecond
+)
+
+// noSegment marks a directory with no WAL files at all; legacySegment is
+// the index assigned to the single-file wal.log layout, which replays
+// before every numbered segment.
+const (
+	noSegment     = -2
+	legacySegment = -1
+)
+
+// segmentName returns the file name for a segment index.
+func segmentName(idx int) string {
+	if idx < 0 {
+		return WALFileName
+	}
+	return fmt.Sprintf("%s%05d", segmentPrefix, idx)
+}
+
+// segFile is one on-disk WAL file in replay order.
+type segFile struct {
+	idx  int
+	path string
+}
+
+// listSegments returns the directory's WAL files in replay order: the
+// legacy wal.log first (if present), then numbered segments ascending.
+// A missing directory lists as empty rather than erroring, so Inspect
+// stays usable on paths that were never opened.
+func listSegments(dir string) ([]segFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("store: listing WAL segments: %w", err)
+	}
+	var segs []segFile
+	for _, e := range entries {
+		name := e.Name()
+		if name == WALFileName {
+			segs = append(segs, segFile{idx: legacySegment, path: filepath.Join(dir, name)})
+			continue
+		}
+		suffix := strings.TrimPrefix(name, segmentPrefix)
+		if suffix == name || suffix == "" {
+			continue
+		}
+		idx, err := strconv.Atoi(suffix)
+		if err != nil || idx < 0 || suffix[0] == '+' {
+			continue
+		}
+		segs = append(segs, segFile{idx: idx, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].idx < segs[j].idx })
+	return segs, nil
+}
+
+// WALFiles returns the paths of dir's WAL files in replay order (the
+// legacy wal.log first if present, then wal.NNNNN ascending). Tooling
+// sizes and inspects the log through this instead of hard-coding the
+// layout.
+func WALFiles(dir string) ([]string, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]string, len(segs))
+	for i, sf := range segs {
+		paths[i] = sf.path
+	}
+	return paths, nil
+}

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
 )
 
-// On-disk layout inside the state directory.
+// On-disk layout inside the state directory. WALFileName is the legacy
+// single-file log; segmented stores append to wal.NNNNN (see segment.go).
 const (
 	WALFileName      = "wal.log"
 	SnapshotFileName = "snapshot.db"
@@ -29,6 +31,26 @@ type Options struct {
 	// SnapshotEvery compacts the WAL into a snapshot after this many
 	// appended records. 0 disables automatic compaction.
 	SnapshotEvery int
+	// SegmentBytes rolls the WAL to a fresh wal.NNNNN segment once the
+	// active one reaches this size; sealing appends a checkpoint footer
+	// so replay can skip everything before it. <=0 uses
+	// DefaultSegmentBytes.
+	SegmentBytes int64
+	// CommitMaxBatch caps how many queued records the group committer
+	// folds into one fsync. <=0 uses DefaultCommitMaxBatch.
+	CommitMaxBatch int
+	// CommitMaxDelay bounds how long the committer keeps absorbing new
+	// arrivals into a still-growing batch before forcing the fsync. It
+	// never delays a lone commit: queue depth 1 commits immediately.
+	// <=0 uses DefaultCommitMaxDelay.
+	CommitMaxDelay time.Duration
+	// ReplayWorkers fans recovery's decode/apply phase across this many
+	// goroutines. <=0 uses GOMAXPROCS.
+	ReplayWorkers int
+	// OnCommitBatch, if set, is called after every durable batch with
+	// the number of records it carried (the wearlockd_wal_batch_size
+	// feed). Called from the committer goroutine.
+	OnCommitBatch func(n int)
 }
 
 // RecoveryInfo reports what Open found and did.
@@ -38,11 +60,14 @@ type RecoveryInfo struct {
 	// SnapshotCorrupt is true when a snapshot file existed but failed
 	// framing/CRC/decoding; it counts as one corruption preceding the WAL.
 	SnapshotCorrupt bool
-	// WALMissing is true when a snapshot existed but the WAL file did
-	// not — state rollback evidence that distrusts every device.
+	// WALMissing is true when a snapshot existed but no WAL file did —
+	// state rollback evidence that distrusts every device.
 	WALMissing bool
+	// Segments is how many WAL files the directory held.
+	Segments int
 	// RecoveredRecords is how many valid WAL records were replayed
-	// (including ones skipped as older than the snapshot horizon).
+	// (including ones skipped as older than the snapshot or checkpoint
+	// horizon).
 	RecoveredRecords int
 	// Corruptions counts bit-rot events (snapshot corruption included).
 	Corruptions int
@@ -66,145 +91,100 @@ func (r RecoveryInfo) Damaged() bool {
 	return r.Corruptions > 0 || r.SnapshotCorrupt || r.WALMissing
 }
 
-// Store is the single-writer durable state store. All methods are safe
-// for concurrent use; commits are serialized internally.
+// CommitHandle is one in-flight commit's ticket: Wait blocks until the
+// record's batch has been appended and fsynced (or failed). The
+// accepted⇒durable contract lives here — nothing may be acknowledged to
+// a caller before Wait returns nil.
+type CommitHandle struct {
+	done chan struct{}
+	err  error
+}
+
+// Wait blocks until the commit is durable and returns its outcome.
+func (h *CommitHandle) Wait() error {
+	<-h.done
+	return h.err
+}
+
+func failedHandle(err error) *CommitHandle {
+	h := &CommitHandle{done: make(chan struct{}), err: err}
+	close(h.done)
+	return h
+}
+
+// pending is one queued commit awaiting its batch.
+type pending struct {
+	rec Record
+	h   *CommitHandle
+	// err records a per-record pre-append failure (encode/size); ok marks
+	// records that made it into the batch's frame buffer.
+	err error
+	ok  bool
+}
+
+// Store is the durable state store. All methods are safe for concurrent
+// use. Commits are batched: callers enqueue records and a single
+// committer goroutine appends each batch with one fsync, so N concurrent
+// commits cost one disk flush instead of N without ever acknowledging a
+// record before its bytes are durable.
 type Store struct {
 	mu       sync.Mutex
 	opts     Options
-	walPath  string
 	snapPath string
 	wal      *os.File
+	segIndex int
+	segBytes int64
 	merged   *mergedState
 	recovery RecoveryInfo
-	// walRecords counts records currently in the WAL file (reset by
+	// walRecords counts records currently in the WAL files (reset by
 	// compaction); appended counts lifetime appends since Open.
 	walRecords int
 	appended   uint64
 	closed     bool
-}
 
-// loaded is the outcome of reading a state directory: the merged state,
-// the recovery report, and the raw replay result (whose torn-tail offset
-// Open uses to truncate).
-type loaded struct {
-	merged   *mergedState
-	recovery RecoveryInfo
-	res      replayResult
-}
-
-// load reads and classifies a state directory without mutating it.
-func load(dir string) (loaded, error) {
-	l := loaded{merged: newMergedState()}
-	snapPath := filepath.Join(dir, SnapshotFileName)
-	walPath := filepath.Join(dir, WALFileName)
-
-	snapData, snapErr := os.ReadFile(snapPath)
-	snapExists := snapErr == nil
-	walData, walErr := os.ReadFile(walPath)
-	walExists := walErr == nil
-	if !walExists && !os.IsNotExist(walErr) {
-		return l, fmt.Errorf("store: reading WAL: %w", walErr)
-	}
-	if !snapExists && snapErr != nil && !os.IsNotExist(snapErr) {
-		return l, fmt.Errorf("store: reading snapshot: %w", snapErr)
-	}
-
-	var snapHorizon uint64
-	if snapExists {
-		if sp, ok := decodeSnapshot(snapData); ok {
-			for i := range sp.Devices {
-				l.merged.applyDevice(sp.LastSeq, &sp.Devices[i])
-			}
-			l.merged.service = sp.Service
-			l.merged.serviceSeq = sp.LastSeq
-			l.merged.lastSeq = sp.LastSeq
-			snapHorizon = sp.LastSeq
-			l.recovery.SnapshotLoaded = true
-		} else {
-			// Damaged snapshot: its devices are unrecoverable here; any
-			// device absent from the WAL simply comes back unpaired, which
-			// is re-pair-required by construction.
-			l.recovery.SnapshotCorrupt = true
-			l.recovery.Corruptions++
-		}
-		if !walExists {
-			// A snapshot without its WAL is rollback evidence (the fault
-			// schedule's stale-snapshot kind): every device's newest
-			// records are gone, so nothing can be trusted.
-			l.recovery.WALMissing = true
-		}
-	}
-
-	l.res = replayWAL(walData)
-	l.recovery.RecoveredRecords = len(l.res.records)
-	l.recovery.Corruptions += len(l.res.corruptions)
-	l.recovery.TornTail = l.res.tornTailAt >= 0
-
-	// Apply in file order; the merge guards make duplicated and stale
-	// records harmless. lastValid tracks each device's final valid record
-	// offset for the distrust rule below.
-	lastValid := make(map[int]int64)
-	for id := range l.merged.devices {
-		lastValid[id] = -1 // snapshot precedes the whole WAL
-	}
-	for i := range l.res.records {
-		ra := &l.res.records[i]
-		if ra.rec.Seq > snapHorizon {
-			l.merged.apply(&ra.rec)
-		} else if ra.rec.Device != nil {
-			// Already folded into the snapshot, but still evidence the
-			// device has a record at this offset.
-			if _, ok := l.merged.devices[ra.rec.Device.ID]; !ok {
-				l.merged.apply(&ra.rec)
-			}
-		}
-		if ra.rec.Device != nil {
-			lastValid[ra.rec.Device.ID] = ra.off
-		}
-	}
-
-	// Distrust rule: a corruption event may have destroyed any record
-	// written before it, so a device whose last valid record precedes the
-	// last corruption cannot prove its counters are current. Devices with
-	// valid records after the corruption re-proved themselves.
-	lastCorr := l.res.lastCorruption()
-	if l.recovery.SnapshotCorrupt && lastCorr < 0 {
-		lastCorr = -1 // corruption precedes the WAL; offset -1 records tie
-		for id, off := range lastValid {
-			if off < 0 {
-				l.recovery.Distrusted = append(l.recovery.Distrusted, id)
-			}
-		}
-	} else if lastCorr >= 0 {
-		for id, off := range lastValid {
-			if off < lastCorr {
-				l.recovery.Distrusted = append(l.recovery.Distrusted, id)
-			}
-		}
-	}
-	if l.recovery.WALMissing {
-		l.recovery.Distrusted = l.recovery.Distrusted[:0]
-		for id := range l.merged.devices {
-			l.recovery.Distrusted = append(l.recovery.Distrusted, id)
-		}
-	}
-	sort.Ints(l.recovery.Distrusted)
-	return l, nil
+	// Group-commit queue. qmu orders enqueues against shutdown; notifyC
+	// wakes the committer; quitC/doneC bound its lifecycle.
+	qmu     sync.Mutex
+	queue   []pending
+	qclosed bool
+	notifyC chan struct{}
+	quitC   chan struct{}
+	doneC   chan struct{}
 }
 
 // Inspect reads a state directory read-only: no WAL creation, no
 // torn-tail truncation. Crucially it preserves the one-shot rollback
-// evidence — a snapshot whose WAL file is missing — which Open would
-// consume by creating an empty WAL (after which the directory is
+// evidence — a snapshot whose WAL files are missing — which Open would
+// consume by creating an empty segment (after which the directory is
 // indistinguishable from the normal post-compaction state). Diagnostic
 // tooling and the restart-chaos harness probe with Inspect so the next
 // real Open still sees what they saw.
 func Inspect(dir string) (State, RecoveryInfo, error) {
+	return InspectParallel(dir, 0)
+}
+
+// InspectParallel is Inspect with an explicit replay worker count
+// (0 = GOMAXPROCS, 1 = the serial reference). benchstore runs both and
+// asserts bit-identical states.
+func InspectParallel(dir string, workers int) (State, RecoveryInfo, error) {
+	return inspect(dir, replayOptions{workers: workers})
+}
+
+// InspectFullDecode replays with the pre-checkpoint baseline semantics:
+// every record frame is JSON-decoded and applied over snapshot.db alone;
+// checkpoint footers are CRC-verified but carry no state. On a clean log
+// the result is bit-identical to Inspect — benchstore measures the
+// replay speedup against this.
+func InspectFullDecode(dir string, workers int) (State, RecoveryInfo, error) {
+	return inspect(dir, replayOptions{workers: workers, fullDecode: true})
+}
+
+func inspect(dir string, opt replayOptions) (State, RecoveryInfo, error) {
 	if dir == "" {
 		return State{}, RecoveryInfo{}, fmt.Errorf("store: empty state directory")
 	}
 	start := time.Now()
-	l, err := load(dir)
+	l, err := loadDir(dir, opt)
 	if err != nil {
 		return State{}, RecoveryInfo{}, err
 	}
@@ -212,47 +192,72 @@ func Inspect(dir string) (State, RecoveryInfo, error) {
 	return l.merged.snapshot(), l.recovery, nil
 }
 
-// Open recovers the durable state from dir (snapshot first, then WAL
-// replay), truncates a benign torn tail, and readies the directory for
-// appends. It never refuses to open over damage: damage degrades to
-// distrusted devices in RecoveryInfo.
+// Open recovers the durable state from dir (snapshot first, then
+// segmented WAL replay), truncates a benign torn tail, readies the
+// active segment for appends, and starts the group committer. It never
+// refuses to open over damage: damage degrades to distrusted devices in
+// RecoveryInfo.
 func Open(opts Options) (*Store, error) {
 	if opts.Dir == "" {
 		return nil, fmt.Errorf("store: empty state directory")
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.CommitMaxBatch <= 0 {
+		opts.CommitMaxBatch = DefaultCommitMaxBatch
+	}
+	if opts.CommitMaxDelay <= 0 {
+		opts.CommitMaxDelay = DefaultCommitMaxDelay
 	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating state dir: %w", err)
 	}
 	start := time.Now()
-	l, err := load(opts.Dir)
+	l, err := loadDir(opts.Dir, replayOptions{workers: opts.ReplayWorkers})
 	if err != nil {
 		return nil, err
 	}
 	s := &Store{
 		opts:     opts,
-		walPath:  filepath.Join(opts.Dir, WALFileName),
 		snapPath: filepath.Join(opts.Dir, SnapshotFileName),
 		merged:   l.merged,
 		recovery: l.recovery,
+		notifyC:  make(chan struct{}, 1),
+		quitC:    make(chan struct{}),
+		doneC:    make(chan struct{}),
 	}
 
 	// Truncate the benign torn tail so appends land on a clean frame
 	// boundary. Corrupt mid-file regions are left in place: appends after
 	// them resync on replay, and the distrust evidence survives until the
 	// caller has committed repairs and compacted.
-	if l.res.tornTailAt >= 0 {
-		if err := os.Truncate(s.walPath, l.res.tornTailAt); err != nil && !os.IsNotExist(err) {
+	if l.tornPath != "" {
+		if err := os.Truncate(l.tornPath, l.tornAt); err != nil && !os.IsNotExist(err) {
 			return nil, fmt.Errorf("store: truncating torn tail: %w", err)
 		}
 	}
 
-	wal, err := os.OpenFile(s.walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	idx := l.lastIdx
+	if idx == noSegment {
+		idx = 0
+	}
+	wal, err := os.OpenFile(filepath.Join(opts.Dir, segmentName(idx)),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("store: opening WAL: %w", err)
+		return nil, fmt.Errorf("store: opening WAL segment: %w", err)
+	}
+	fi, err := wal.Stat()
+	if err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("store: sizing WAL segment: %w", err)
 	}
 	s.wal = wal
-	s.walRecords = len(l.res.records)
+	s.segIndex = idx
+	s.segBytes = fi.Size()
+	s.walRecords = l.records
 	s.recovery.ReplayDuration = time.Since(start)
+	go s.committer()
 	return s, nil
 }
 
@@ -295,83 +300,272 @@ func (s *Store) AppendedRecords() uint64 {
 
 // CommitDevice durably appends one device state.
 func (s *Store) CommitDevice(d DeviceState) error {
-	return s.commit(Record{Device: &d})
+	return s.CommitDeviceAsync(d).Wait()
+}
+
+// CommitDeviceAsync enqueues one device state and returns its handle.
+func (s *Store) CommitDeviceAsync(d DeviceState) *CommitHandle {
+	return s.enqueue(Record{Device: d.clone()})
 }
 
 // CommitService durably appends the fleet-level state.
 func (s *Store) CommitService(sv ServiceState) error {
-	return s.commit(Record{Service: &sv})
+	c := sv
+	return s.enqueue(Record{Service: &c}).Wait()
 }
 
 // Commit durably appends a combined record (either part may be nil).
 func (s *Store) Commit(d *DeviceState, sv *ServiceState) error {
+	return s.CommitAsync(d, sv).Wait()
+}
+
+// CommitAsync enqueues a combined record for the group committer and
+// returns immediately with its handle. The caller may release whatever
+// serialization it holds before Wait — batching across concurrent
+// enqueuers is the whole point — but must not acknowledge anything
+// until Wait returns nil.
+func (s *Store) CommitAsync(d *DeviceState, sv *ServiceState) *CommitHandle {
 	var rec Record
 	if d != nil {
-		c := *d
-		rec.Device = &c
+		rec.Device = d.clone()
 	}
 	if sv != nil {
 		c := *sv
 		rec.Service = &c
 	}
-	return s.commit(rec)
+	return s.enqueue(rec)
 }
 
 // CommitNote appends a stateless marker record (used by the chaos tests
 // to position crash points between durable commits).
 func (s *Store) CommitNote(note string) error {
-	return s.commit(Record{Note: note})
+	return s.enqueue(Record{Note: note}).Wait()
 }
 
-func (s *Store) commit(rec Record) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return fmt.Errorf("store: commit on closed store")
+// enqueue hands one record to the committer.
+func (s *Store) enqueue(rec Record) *CommitHandle {
+	h := &CommitHandle{done: make(chan struct{})}
+	s.qmu.Lock()
+	if s.qclosed {
+		s.qmu.Unlock()
+		return failedHandle(fmt.Errorf("store: commit on closed store"))
 	}
-	rec.Seq = s.merged.lastSeq + 1
-	payload, err := json.Marshal(&rec)
-	if err != nil {
-		return fmt.Errorf("store: encoding record: %w", err)
+	s.queue = append(s.queue, pending{rec: rec, h: h})
+	s.qmu.Unlock()
+	select {
+	case s.notifyC <- struct{}{}:
+	default:
 	}
-	if len(payload) > MaxRecordSize {
-		return fmt.Errorf("store: record %d bytes exceeds max %d", len(payload), MaxRecordSize)
+	return h
+}
+
+// takeUpTo dequeues at most max pending commits, in arrival order.
+func (s *Store) takeUpTo(max int) []pending {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	n := len(s.queue)
+	if n == 0 {
+		return nil
 	}
-	if _, err := s.wal.Write(frame(recordMagic, payload)); err != nil {
-		return fmt.Errorf("store: appending record: %w", err)
+	if n > max {
+		n = max
 	}
-	if !s.opts.NoFsync {
-		if err := s.wal.Sync(); err != nil {
-			return fmt.Errorf("store: fsync: %w", err)
+	batch := make([]pending, n)
+	copy(batch, s.queue[:n])
+	rem := copy(s.queue, s.queue[n:])
+	for i := rem; i < len(s.queue); i++ {
+		s.queue[i] = pending{} // release resolved handles
+	}
+	s.queue = s.queue[:rem]
+	return batch
+}
+
+// committer is the single batching goroutine: it drains the queue into
+// batches, appends each batch with one write and one fsync, and only
+// then releases the batch's waiters. On shutdown it commits whatever is
+// already enqueued before exiting, so a graceful Close never strands an
+// accepted record.
+func (s *Store) committer() {
+	defer close(s.doneC)
+	for {
+		select {
+		case <-s.notifyC:
+			s.drainQueue(false)
+		case <-s.quitC:
+			s.drainQueue(true)
+			return
 		}
 	}
-	// Only now — after the bytes are durable — does the record enter the
-	// merged state the caller can observe. Commit-then-acknowledge is the
-	// service layer's accepted⇒durable discipline.
-	s.merged.apply(&rec)
-	s.walRecords++
-	s.appended++
-	if s.opts.SnapshotEvery > 0 && s.walRecords >= s.opts.SnapshotEvery {
-		return s.compactLocked()
+}
+
+// drainQueue commits batches until the queue is empty. While a batch is
+// still below CommitMaxBatch, it lingers — yielding the processor and
+// re-draining — for at most CommitMaxDelay, stopping the moment a yield
+// brings nothing new. A lone commit on an idle store therefore pays one
+// Gosched (sub-microsecond against a ~100µs fsync), never a timer wait.
+//
+// The unconditional first yield matters on a single P: the committer is
+// woken in the runnext slot the instant one writer enqueues, and a
+// sub-sysmon-quantum fsync never releases the P to the other runnable
+// writers — without the yield the system locks into one-record batches
+// (one fsync per commit, the exact regime group commit exists to
+// escape) while 63 writers sit runnable but unscheduled.
+func (s *Store) drainQueue(final bool) {
+	for {
+		batch := s.takeUpTo(s.opts.CommitMaxBatch)
+		if batch == nil {
+			return
+		}
+		if !final && len(batch) < s.opts.CommitMaxBatch {
+			deadline := time.Now().Add(s.opts.CommitMaxDelay)
+			for len(batch) < s.opts.CommitMaxBatch && time.Now().Before(deadline) {
+				runtime.Gosched()
+				more := s.takeUpTo(s.opts.CommitMaxBatch - len(batch))
+				if more == nil {
+					break // nothing new arrived: stop lingering, fsync now
+				}
+				batch = append(batch, more...)
+			}
+		}
+		s.commitBatch(batch)
 	}
+}
+
+// commitBatch appends one batch under the state lock: assign sequence
+// numbers, marshal every record into one contiguous buffer, one write,
+// one fsync, then apply all records to the merged state and resolve the
+// waiters. A failed write or fsync applies nothing and fails every
+// waiter — a record is observable if and only if it is durable. Segment
+// rolls and compaction piggyback on the batch that crosses the
+// threshold; their errors propagate to that batch's waiters exactly as
+// the single-record commit path reported them.
+func (s *Store) commitBatch(batch []pending) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		for i := range batch {
+			resolve(&batch[i], fmt.Errorf("store: commit on closed store"))
+		}
+		return
+	}
+	var buf []byte
+	seq := s.merged.lastSeq
+	live := 0
+	for i := range batch {
+		p := &batch[i]
+		p.rec.Seq = seq + 1
+		payload, err := json.Marshal(&p.rec)
+		if err != nil {
+			p.err = fmt.Errorf("store: encoding record: %w", err)
+			continue
+		}
+		if len(payload) > MaxRecordSize {
+			p.err = fmt.Errorf("store: record %d bytes exceeds max %d", len(payload), MaxRecordSize)
+			continue
+		}
+		seq++
+		buf = append(buf, frame(recordMagic, payload)...)
+		p.ok = true
+		live++
+	}
+	var err error
+	if live > 0 {
+		if _, werr := s.wal.Write(buf); werr != nil {
+			err = fmt.Errorf("store: appending batch: %w", werr)
+		} else if !s.opts.NoFsync {
+			if serr := s.wal.Sync(); serr != nil {
+				err = fmt.Errorf("store: fsync: %w", serr)
+			}
+		}
+		if err == nil {
+			// Only now — after the bytes are durable — do the records enter
+			// the merged state callers can observe. Commit-then-acknowledge
+			// is the service layer's accepted⇒durable discipline.
+			for i := range batch {
+				if batch[i].ok {
+					s.merged.apply(&batch[i].rec)
+				}
+			}
+			s.walRecords += live
+			s.appended += uint64(live)
+			s.segBytes += int64(len(buf))
+			if s.opts.OnCommitBatch != nil {
+				s.opts.OnCommitBatch(live)
+			}
+			if s.segBytes >= s.opts.SegmentBytes {
+				err = s.sealLocked()
+			}
+			if err == nil && s.opts.SnapshotEvery > 0 && s.walRecords >= s.opts.SnapshotEvery {
+				err = s.compactLocked()
+			}
+		}
+	}
+	s.mu.Unlock()
+	for i := range batch {
+		p := &batch[i]
+		if p.err != nil {
+			resolve(p, p.err)
+		} else {
+			resolve(p, err)
+		}
+	}
+}
+
+func resolve(p *pending, err error) {
+	if p.h == nil {
+		return
+	}
+	p.h.err = err
+	close(p.h.done)
+	p.h = nil
+}
+
+// sealLocked closes out the active segment: it appends a checkpoint
+// footer (the full merged state, WLS1-framed), fsyncs, creates the next
+// segment, fsyncs the directory, and switches appends over. Create-only
+// rolling means a crash anywhere in this sequence is benign: a torn
+// footer is an ordinary torn tail, and a durable footer with no
+// successor segment just leaves a mid-file checkpoint that appends
+// continue after.
+func (s *Store) sealLocked() error {
+	sp := s.snapshotPayloadLocked()
+	payload, err := json.Marshal(&sp)
+	if err != nil {
+		return fmt.Errorf("store: encoding checkpoint: %w", err)
+	}
+	if len(payload) <= MaxRecordSize {
+		if _, err := s.wal.Write(frame(snapMagic, payload)); err != nil {
+			return fmt.Errorf("store: appending checkpoint: %w", err)
+		}
+		if !s.opts.NoFsync {
+			if err := s.wal.Sync(); err != nil {
+				return fmt.Errorf("store: fsync checkpoint: %w", err)
+			}
+		}
+	}
+	next := s.segIndex + 1
+	f, err := os.OpenFile(filepath.Join(s.opts.Dir, segmentName(next)),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating WAL segment: %w", err)
+	}
+	if !s.opts.NoFsync {
+		if err := syncDir(s.opts.Dir); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := s.wal.Close(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: closing sealed segment: %w", err)
+	}
+	s.wal = f
+	s.segIndex = next
+	s.segBytes = 0
 	return nil
 }
 
-// Compact folds the merged state into a fresh snapshot (tmp + fsync +
-// atomic rename + dir fsync) and truncates the WAL. A crash at any point
-// is safe: before the rename the old snapshot + full WAL stand; between
-// rename and truncate, replay skips WAL records at or below the snapshot
-// horizon.
-func (s *Store) Compact() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return fmt.Errorf("store: compact on closed store")
-	}
-	return s.compactLocked()
-}
-
-func (s *Store) compactLocked() error {
+func (s *Store) snapshotPayloadLocked() snapshotPayload {
 	sp := snapshotPayload{
 		LastSeq: s.merged.lastSeq,
 		Service: s.merged.service,
@@ -387,6 +581,27 @@ func (s *Store) compactLocked() error {
 		c.Key = append([]byte(nil), d.Key...)
 		sp.Devices = append(sp.Devices, c)
 	}
+	return sp
+}
+
+// Compact folds the merged state into a fresh snapshot (tmp + fsync +
+// atomic rename + dir fsync), drops every sealed segment whole, and
+// truncates the active one. A crash at any point is safe: before the
+// rename the old snapshot + full log stand; after it, replay skips
+// records at or below the snapshot horizon, and sealed segments are
+// removed oldest-first so an interrupted removal leaves a contiguous,
+// snapshot-covered suffix.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: compact on closed store")
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	sp := s.snapshotPayloadLocked()
 	payload, err := json.Marshal(&sp)
 	if err != nil {
 		return fmt.Errorf("store: encoding snapshot: %w", err)
@@ -418,6 +633,23 @@ func (s *Store) compactLocked() error {
 			return err
 		}
 	}
+	segs, err := listSegments(s.opts.Dir)
+	if err != nil {
+		return err
+	}
+	for _, sf := range segs {
+		if sf.idx == s.segIndex {
+			continue
+		}
+		if err := os.Remove(sf.path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("store: dropping sealed segment: %w", err)
+		}
+	}
+	if !s.opts.NoFsync {
+		if err := syncDir(s.opts.Dir); err != nil {
+			return err
+		}
+	}
 	if err := s.wal.Truncate(0); err != nil {
 		return fmt.Errorf("store: truncating WAL after snapshot: %w", err)
 	}
@@ -427,13 +659,24 @@ func (s *Store) compactLocked() error {
 		}
 	}
 	s.walRecords = 0
+	s.segBytes = 0
 	return nil
 }
 
-// Close releases the WAL handle. It does not compact; graceful shutdown
-// paths call Compact first so the next Open replays a snapshot instead
-// of the full log.
+// Close stops the committer — committing anything already enqueued, so
+// a graceful shutdown strands no accepted record — and releases the WAL
+// handle. It does not compact; graceful shutdown paths call Compact
+// first so the next Open replays a snapshot instead of the full log.
+// Commits enqueued after Close starts fail with a closed-store error.
 func (s *Store) Close() error {
+	s.qmu.Lock()
+	already := s.qclosed
+	s.qclosed = true
+	s.qmu.Unlock()
+	if !already {
+		close(s.quitC)
+	}
+	<-s.doneC
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {

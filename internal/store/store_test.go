@@ -23,6 +23,19 @@ func commitDev(t *testing.T, s *Store, id int, gen, ver uint64) {
 	}
 }
 
+// activeWAL returns the path of the active (last) WAL file.
+func activeWAL(t *testing.T, dir string) string {
+	t.Helper()
+	paths, err := WALFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no WAL files")
+	}
+	return paths[len(paths)-1]
+}
+
 func TestCommitReopenRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	s := openTest(t, dir, 0)
@@ -90,7 +103,8 @@ func TestCrashBetweenRenameAndTruncate(t *testing.T) {
 	s := openTest(t, dir, 0)
 	commitDev(t, s, 0, 5, 5)
 	commitDev(t, s, 1, 2, 2)
-	walBefore, err := os.ReadFile(filepath.Join(dir, WALFileName))
+	walPath := activeWAL(t, dir)
+	walBefore, err := os.ReadFile(walPath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +115,7 @@ func TestCrashBetweenRenameAndTruncate(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Undo the truncate: put the pre-compaction WAL back.
-	if err := os.WriteFile(filepath.Join(dir, WALFileName), walBefore, 0o644); err != nil {
+	if err := os.WriteFile(walPath, walBefore, 0o644); err != nil {
 		t.Fatal(err)
 	}
 
@@ -187,7 +201,7 @@ func TestBitFlipDistrustsOnlyStaleDevices(t *testing.T) {
 	// Flip a bit in device 0's second record specifically: its merged
 	// counter silently regresses to 1, which is exactly what distrust
 	// must catch.
-	walPath := filepath.Join(dir, WALFileName)
+	walPath := activeWAL(t, dir)
 	data, err := os.ReadFile(walPath)
 	if err != nil {
 		t.Fatal(err)
@@ -240,7 +254,7 @@ func TestDistrustEvidenceSurvivesSecondCrash(t *testing.T) {
 	commitDev(t, s, 1, 1, 1)
 	s.Close()
 
-	walPath := filepath.Join(dir, WALFileName)
+	walPath := activeWAL(t, dir)
 	data, _ := os.ReadFile(walPath)
 	res := replayWAL(data)
 	data[res.records[1].off+frameHeaderLen+2] ^= 0x08
@@ -331,9 +345,22 @@ func TestMangleDeterminism(t *testing.T) {
 	if _, err := MangleFlipBit(dirB, 1234); err != nil {
 		t.Fatal(err)
 	}
-	a, _ := os.ReadFile(filepath.Join(dirA, WALFileName))
-	b, _ := os.ReadFile(filepath.Join(dirB, WALFileName))
-	if !bytes.Equal(a, b) {
+	concat := func(dir string) []byte {
+		paths, err := WALFiles(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []byte
+		for _, p := range paths {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, data...)
+		}
+		return all
+	}
+	if !bytes.Equal(concat(dirA), concat(dirB)) {
 		t.Fatal("same seed produced different mangles")
 	}
 }

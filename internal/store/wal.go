@@ -46,6 +46,132 @@ type recordAt struct {
 	rec Record
 }
 
+// frameKind distinguishes the two frame types sharing the WAL byte
+// stream: ordinary records (WLR1) and checkpoint footers (WLS1) — full
+// merged-state snapshots the committer embeds when sealing a segment so
+// replay can skip decoding everything before them.
+type frameKind uint8
+
+const (
+	frameRecord frameKind = iota
+	frameCheckpoint
+)
+
+// frameAt is one CRC-valid frame with its extent; the payload aliases
+// the scanned image and has not been JSON-decoded yet.
+type frameAt struct {
+	kind    frameKind
+	off     int64
+	end     int64
+	payload []byte
+}
+
+// scanResult is the frame-level outcome of scanning one WAL image:
+// every CRC-valid frame in file order plus the corruption taxonomy of
+// replayResult, but without the JSON decode (that is replay phase two).
+type scanResult struct {
+	frames      []frameAt
+	corruptions []int64
+	tornTailAt  int64
+}
+
+// scanWAL is the phase-one scanner: a sequential CRC/frame walk over a
+// WAL image. With checkpoints=false only WLR1 frames are legal (the
+// pre-segmentation contract replayWAL preserves, where snapshot bytes in
+// the WAL classify as corruption); with checkpoints=true the WLS1
+// checkpoint footers written at segment seals are recognized as frames
+// in their own right.
+func scanWAL(data []byte, checkpoints bool) scanResult {
+	res := scanResult{tornTailAt: -1}
+	n := len(data)
+	kindAt := func(off int) (frameKind, bool) {
+		if bytes.Equal(data[off:off+4], recordMagic) {
+			return frameRecord, true
+		}
+		if checkpoints && bytes.Equal(data[off:off+4], snapMagic) {
+			return frameCheckpoint, true
+		}
+		return 0, false
+	}
+	resync := func(from int) int {
+		idx := bytes.Index(data[from:], recordMagic)
+		if checkpoints {
+			if j := bytes.Index(data[from:], snapMagic); j >= 0 && (idx < 0 || j < idx) {
+				idx = j
+			}
+		}
+		if idx < 0 {
+			return -1
+		}
+		return from + idx
+	}
+	off := 0
+	for off < n {
+		if n-off < frameHeaderLen {
+			res.tornTailAt = int64(off)
+			break
+		}
+		kind, ok := kindAt(off)
+		if !ok {
+			next := resync(off + 1)
+			if next < 0 {
+				// Garbage to EOF with no recoverable frame after it: the
+				// torn-tail shape.
+				res.tornTailAt = int64(off)
+				break
+			}
+			res.corruptions = append(res.corruptions, int64(off))
+			off = next
+			continue
+		}
+		length := binary.LittleEndian.Uint32(data[off+4:])
+		if length > MaxRecordSize {
+			next := resync(off + 1)
+			if next < 0 {
+				res.tornTailAt = int64(off)
+				break
+			}
+			res.corruptions = append(res.corruptions, int64(off))
+			off = next
+			continue
+		}
+		end := off + frameHeaderLen + int(length)
+		if end > n {
+			// Frame extends past EOF. If a valid magic lies beyond this
+			// header the "tail" is actually mid-file damage.
+			next := resync(off + 1)
+			if next < 0 {
+				res.tornTailAt = int64(off)
+				break
+			}
+			res.corruptions = append(res.corruptions, int64(off))
+			off = next
+			continue
+		}
+		payload := data[off+frameHeaderLen : end]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[off+8:]) {
+			// A complete frame with a bad CRC is bit-rot, never a torn
+			// write: torn writes end the file.
+			res.corruptions = append(res.corruptions, int64(off))
+			if end+len(recordMagic) <= n {
+				if _, ok := kindAt(end); ok {
+					off = end
+					continue
+				}
+			}
+			if next := resync(off + 1); next >= 0 {
+				off = next
+			} else {
+				off = n
+			}
+			continue
+		}
+		res.frames = append(res.frames, frameAt{kind: kind, off: int64(off), end: int64(end), payload: payload})
+		off = end
+	}
+	return res
+}
+
 // replayResult is the outcome of scanning a WAL image.
 type replayResult struct {
 	records []recordAt
@@ -69,82 +195,30 @@ type replayResult struct {
 
 // replayWAL scans a WAL image, returning every recoverable record in file
 // order plus the corruption taxonomy. It never fails: arbitrary damage
-// degrades to fewer records and more corruption events.
+// degrades to fewer records and more corruption events. This is the
+// single-image contract (checkpoint footers are not legal frames here);
+// segmented recovery goes through loadDir, which scans and decodes in
+// two phases.
 func replayWAL(data []byte) replayResult {
-	res := replayResult{tornTailAt: -1}
-	n := len(data)
-	resync := func(from int) int {
-		idx := bytes.Index(data[from:], recordMagic)
-		if idx < 0 {
-			return -1
-		}
-		return from + idx
-	}
-	off := 0
-	for off < n {
-		if n-off < frameHeaderLen {
-			res.tornTailAt = int64(off)
-			break
-		}
-		if !bytes.Equal(data[off:off+4], recordMagic) {
-			next := resync(off + 1)
-			if next < 0 {
-				// Garbage to EOF with no recoverable record after it: the
-				// torn-tail shape.
-				res.tornTailAt = int64(off)
-				break
-			}
-			res.corruptions = append(res.corruptions, int64(off))
-			off = next
-			continue
-		}
-		length := binary.LittleEndian.Uint32(data[off+4:])
-		if length > MaxRecordSize {
-			next := resync(off + 1)
-			if next < 0 {
-				res.tornTailAt = int64(off)
-				break
-			}
-			res.corruptions = append(res.corruptions, int64(off))
-			off = next
-			continue
-		}
-		end := off + frameHeaderLen + int(length)
-		if end > n {
-			// Record extends past EOF. If a valid magic lies beyond this
-			// header the "tail" is actually mid-file damage.
-			next := resync(off + 1)
-			if next < 0 {
-				res.tornTailAt = int64(off)
-				break
-			}
-			res.corruptions = append(res.corruptions, int64(off))
-			off = next
-			continue
-		}
-		payload := data[off+frameHeaderLen : end]
-		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[off+8:]) {
-			// A complete record with a bad CRC is bit-rot, never a torn
-			// write: torn writes end the file.
-			res.corruptions = append(res.corruptions, int64(off))
-			if end+len(recordMagic) <= n && bytes.Equal(data[end:end+4], recordMagic) {
-				off = end
-			} else if next := resync(off + 1); next >= 0 {
-				off = next
-			} else {
-				off = n
-			}
-			continue
+	sc := scanWAL(data, false)
+	res := replayResult{tornTailAt: sc.tornTailAt}
+	// Interleave frame-level corruption events with JSON-decode failures
+	// so the list stays in file-offset order, exactly as the single-pass
+	// scanner produced it.
+	ci := 0
+	for _, f := range sc.frames {
+		for ci < len(sc.corruptions) && sc.corruptions[ci] < f.off {
+			res.corruptions = append(res.corruptions, sc.corruptions[ci])
+			ci++
 		}
 		var rec Record
-		if err := json.Unmarshal(payload, &rec); err != nil {
-			res.corruptions = append(res.corruptions, int64(off))
-			off = end
+		if err := json.Unmarshal(f.payload, &rec); err != nil {
+			res.corruptions = append(res.corruptions, f.off)
 			continue
 		}
-		res.records = append(res.records, recordAt{off: int64(off), end: int64(end), rec: rec})
-		off = end
+		res.records = append(res.records, recordAt{off: f.off, end: f.end, rec: rec})
 	}
+	res.corruptions = append(res.corruptions, sc.corruptions[ci:]...)
 	return res
 }
 
