@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint lint-scenarios build test race bench test-chaos test-store test-vtime test-cluster fuzz-smoke bench-sim bench-service bench-chaos bench-dsp bench-store bench-vtime bench-cluster
+.PHONY: ci vet lint lint-scenarios build test race bench test-chaos test-store test-vtime test-cluster test-replica fuzz-smoke bench-sim bench-service bench-chaos bench-dsp bench-store bench-vtime bench-cluster bench-failover
 
-ci: vet lint lint-scenarios build race bench test-chaos test-store test-vtime test-cluster bench-dsp bench-service bench-store bench-vtime bench-cluster
+ci: vet lint lint-scenarios build race bench test-chaos test-store test-vtime test-cluster test-replica bench-dsp bench-service bench-store bench-vtime bench-cluster bench-failover
 
 vet:
 	$(GO) vet ./...
@@ -82,6 +82,17 @@ test-cluster:
 	$(GO) test -race -count=1 ./internal/service -run 'TestShard|TestRetryAfter'
 	$(GO) test -race -count=1 ./cmd/benchcluster
 
+# The replication suite (DESIGN.md §16): WAL tail subscription
+# semantics, the shipper/receiver stream protocol under chaos
+# (drop/dup/truncate with snapshot resync), fencing both directions,
+# manual-clock heartbeat-loss failover, and the end-to-end
+# primary/standby promotion tests — race-enabled.
+test-replica:
+	$(GO) test -race -count=1 ./internal/replica
+	$(GO) test -race -count=1 ./internal/store -run 'TestTail'
+	$(GO) test -race -count=1 ./internal/cluster -run 'TestHeartbeat|TestFailover|TestGatewayReadyz'
+	$(GO) test -race -count=1 ./internal/service -run 'TestReplica'
+
 # Brief run of each fuzz target against its checked-in corpus plus a few
 # seconds of mutation.
 fuzz-smoke:
@@ -92,6 +103,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=10s ./internal/store
 	$(GO) test -run='^$$' -fuzz=FuzzSegmentedReplay -fuzztime=10s ./internal/store
 	$(GO) test -run='^$$' -fuzz=FuzzWireProtocol -fuzztime=10s ./internal/cluster
+	$(GO) test -run='^$$' -fuzz=FuzzReplicaStream -fuzztime=10s ./internal/replica
 	$(GO) test -run='^$$' -fuzz=FuzzScenarioSpec -fuzztime=10s ./internal/scenario
 
 # Regenerate BENCH_dsp.json and enforce the DSP fast-path regression
@@ -144,6 +156,18 @@ bench-vtime:
 # zero requests dropped without a retryable 429/503 + Retry-After.
 bench-cluster:
 	$(GO) run ./cmd/benchcluster -out BENCH_cluster.json -check
+
+# Regenerate BENCH_failover.json and enforce the warm-standby gate: 25
+# seeded kill/failover cycles with zero acked-but-lost sessions, zero
+# counter regressions, zero accepted replays — plus the downtime ratio
+# (client-observed promotion unavailability must be < 10% of a
+# cold-restart replay of the same padded store). The second run drives
+# loadgen's scripted mid-load failover availability gate: every failure
+# across the kill is a retryable 503, the burst is bounded, and every
+# 200-acked unlock survives promotion (no artifact).
+bench-failover:
+	$(GO) run ./cmd/benchfailover -out BENCH_failover.json -check
+	$(GO) run ./cmd/loadgen -selfhost -n 256 -c 16 -devices 16 -failover 500ms
 
 # Regenerate the success-rate / latency vs fault-intensity curves in
 # BENCH_chaos.json.

@@ -44,6 +44,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -57,6 +58,7 @@ import (
 	"wearlock/internal/scenario/catalog"
 	"wearlock/internal/service"
 	"wearlock/internal/sim"
+	"wearlock/internal/store"
 	"wearlock/internal/vtime"
 )
 
@@ -70,28 +72,29 @@ type latencySummary struct {
 }
 
 type record struct {
-	Date           string         `json:"date"`
-	GOMAXPROCS     int            `json:"gomaxprocs"`
-	Requests       int            `json:"requests"`
-	Concurrency    int            `json:"concurrency"`
-	RatePerSec     float64        `json:"rate_per_sec"` // 0 = closed loop
-	Mix            string         `json:"mix"`
-	Chaos          string         `json:"chaos,omitempty"`
-	Selfhost       bool           `json:"selfhost"`
-	Shards         int            `json:"shards,omitempty"`
-	WallSeconds    float64        `json:"wall_seconds"`
-	Throughput     float64        `json:"sessions_per_sec"`
-	Outcomes       map[string]int `json:"outcomes"`
-	Rejected429    int64          `json:"rejected_429"`
-	Deferred503    int64          `json:"deferred_503"`
-	HTTPErrors     int64          `json:"http_errors"`
-	Latency        latencySummary `json:"latency"`
-	UnlockDelay    latencySummary `json:"unlock_delay"`
-	MetricsMatch   bool           `json:"metrics_match_observed"`
-	MetricsDetail  string         `json:"metrics_detail,omitempty"`
-	DaemonOutcomes map[string]int `json:"daemon_outcomes"`
-	Store          *storeReport   `json:"store,omitempty"`
-	Note           string         `json:"note"`
+	Date           string          `json:"date"`
+	GOMAXPROCS     int             `json:"gomaxprocs"`
+	Requests       int             `json:"requests"`
+	Concurrency    int             `json:"concurrency"`
+	RatePerSec     float64         `json:"rate_per_sec"` // 0 = closed loop
+	Mix            string          `json:"mix"`
+	Chaos          string          `json:"chaos,omitempty"`
+	Selfhost       bool            `json:"selfhost"`
+	Shards         int             `json:"shards,omitempty"`
+	WallSeconds    float64         `json:"wall_seconds"`
+	Throughput     float64         `json:"sessions_per_sec"`
+	Outcomes       map[string]int  `json:"outcomes"`
+	Rejected429    int64           `json:"rejected_429"`
+	Deferred503    int64           `json:"deferred_503"`
+	HTTPErrors     int64           `json:"http_errors"`
+	Latency        latencySummary  `json:"latency"`
+	UnlockDelay    latencySummary  `json:"unlock_delay"`
+	MetricsMatch   bool            `json:"metrics_match_observed"`
+	MetricsDetail  string          `json:"metrics_detail,omitempty"`
+	DaemonOutcomes map[string]int  `json:"daemon_outcomes"`
+	Store          *storeReport    `json:"store,omitempty"`
+	Failover       *failoverReport `json:"failover,omitempty"`
+	Note           string          `json:"note"`
 }
 
 // virtualRecord is the -virtual report: no transport, no daemon — the
@@ -260,6 +263,7 @@ func run() int {
 		fleets   = flag.Int("fleets", 1, "virtual: replica device fleets to interleave")
 		shards   = flag.Int("selfhost-shards", 0, "boot an in-process cluster (gateway + this many shard daemons) and drive load through the gateway")
 		paceAir  = flag.Float64("pace", 0, "selfhost: airtime pacing factor (hold each device for pace × protocol timeline; 0 = off)")
+		failover = flag.Duration("failover", 0, "selfhost: kill the primary this long into the run and promote a warm standby mid-load; arms the availability gate")
 	)
 	flag.Parse()
 
@@ -273,7 +277,22 @@ func run() int {
 	}
 
 	base := *addr
-	if *shards > 0 {
+	var rig *failoverRig
+	if *failover > 0 {
+		if *shards > 0 {
+			fmt.Fprintln(os.Stderr, "loadgen: -failover drives a single primary/standby pair; drop -selfhost-shards")
+			return 1
+		}
+		r, err := newFailoverRig(*devices, *queue, *seed, *stateDir, *paceAir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: failover rig: %v\n", err)
+			return 1
+		}
+		defer r.close()
+		rig = r
+		base = r.base
+		fmt.Printf("failover rig on %s (primary + warm standby; kill at +%s)\n", base, *failover)
+	} else if *shards > 0 {
 		b, cleanup, err := selfhostCluster(*shards, *devices, *queue, *seed, *stateDir, *paceAir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: selfhost cluster: %v\n", err)
@@ -351,7 +370,16 @@ func run() int {
 		latencies sim.Stats
 		delays    sim.Stats
 	)
+	var (
+		foMu          sync.Mutex
+		ackedByDevice = map[int]int{}
+		first503      time.Time
+		last503       time.Time
+	)
 	start := time.Now()
+	if rig != nil {
+		rig.armKill(*failover)
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < *c; w++ {
 		wg.Add(1)
@@ -377,6 +405,15 @@ func run() int {
 						rejected.Add(1)
 					} else {
 						deferred.Add(1)
+						if rig != nil {
+							now := time.Now()
+							foMu.Lock()
+							if first503.IsZero() {
+								first503 = now
+							}
+							last503 = now
+							foMu.Unlock()
+						}
 					}
 					time.Sleep(retryAfter(view.retryAfter))
 					view, code, err = doUnlock(client, base, scenario)
@@ -396,18 +433,34 @@ func run() int {
 					delays.Add(view.UnlockDelayMS)
 				}
 				mu.Unlock()
+				if rig != nil && view.Unlocked {
+					foMu.Lock()
+					ackedByDevice[view.Device]++
+					foMu.Unlock()
+				}
 			}
 		}()
 	}
 	wg.Wait()
 	wall := time.Since(start)
 
-	daemonOutcomes, detail, err := scrapeOutcomes(client, base)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "loadgen: metrics scrape: %v\n", err)
-		return 1
+	// The metrics-consistency gate certifies a daemon whose counters
+	// cover the whole run; a scripted failover kills the primary and its
+	// counters with it, so the failover run certifies availability
+	// instead (below) and skips the scrape.
+	var daemonOutcomes map[string]int
+	detail, diff := "", ""
+	match := true
+	if rig == nil {
+		daemonOutcomes, detail, err = scrapeOutcomes(client, base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: metrics scrape: %v\n", err)
+			return 1
+		}
+		match, diff = compareOutcomes(outcomes, daemonOutcomes)
+	} else {
+		detail = "metrics certification skipped: the scripted failover took the primary's counters with it. "
 	}
-	match, diff := compareOutcomes(outcomes, daemonOutcomes)
 
 	completed := 0
 	for _, v := range outcomes {
@@ -418,7 +471,7 @@ func run() int {
 	// have left at least one durable WAL record behind, a clean run must
 	// report zero corruptions, and the recovery gauge must be exposed.
 	var storeRep *storeReport
-	if *stateDir != "" {
+	if *stateDir != "" && rig == nil {
 		rep, err := scrapeStoreMetrics(client, base)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: store metrics scrape: %v\n", err)
@@ -448,6 +501,15 @@ func run() int {
 		rep.Detail = strings.Join(problems, "; ")
 		storeRep = &rep
 	}
+
+	// Availability gate: the scripted failover must have promoted the
+	// standby, every failed request must have been a retryable 503, the
+	// 503 burst must be bounded, and every 200-acked unlock must be
+	// covered by the promoted follower's verifier counters.
+	var foRep *failoverReport
+	if rig != nil {
+		foRep = rig.evaluate(*failover, ackedByDevice, httpErrs.Load(), deferred.Load(), first503, last503)
+	}
 	rec := record{
 		Date:           time.Now().UTC().Format("2006-01-02"),
 		GOMAXPROCS:     runtime.GOMAXPROCS(0),
@@ -470,6 +532,7 @@ func run() int {
 		MetricsDetail:  diff,
 		DaemonOutcomes: daemonOutcomes,
 		Store:          storeRep,
+		Failover:       foRep,
 		Note: "Closed-loop (or -rate paced) synchronous unlock sessions against wearlockd's HTTP API. " +
 			"latency = client-observed wall clock incl. queueing; unlock_delay = simulated protocol timeline. " +
 			"metrics_match_observed compares /metrics outcome counters to client-side counts. " + detail,
@@ -501,6 +564,15 @@ func run() int {
 		if *selfhost || *shards > 0 {
 			return 1
 		}
+	}
+	if foRep != nil {
+		if !foRep.Pass {
+			fmt.Fprintf(os.Stderr, "loadgen: availability gate failed: %s\n", foRep.Detail)
+			return 1
+		}
+		fmt.Printf("availability gate pass: promoted standby, %d deferred 503s in a %.0f ms burst, "+
+			"%d acked unlocks all covered after promotion\n",
+			foRep.Deferred503, foRep.BurstSpanMS, foRep.AckedUnlocks)
 	}
 	return 0
 }
@@ -581,6 +653,8 @@ func scrapeStoreMetrics(client *http.Client, base string) (storeReport, error) {
 type unlockView struct {
 	State         string  `json:"state"`
 	Outcome       string  `json:"outcome"`
+	Device        int     `json:"device"`
+	Unlocked      bool    `json:"unlocked"`
 	WallMS        float64 `json:"wall_ms"`
 	UnlockDelayMS float64 `json:"unlock_delay_ms"`
 	retryAfter    string
@@ -829,4 +903,281 @@ func printReport(rec record) {
 			fmt.Printf("    %s\n", rec.Store.Detail)
 		}
 	}
+}
+
+// failoverReport is the -failover availability gate's outcome: the
+// scripted mid-load failover must promote the warm standby, every
+// failed request must have been a retryable 503, the 503 burst must be
+// bounded, and every 200-acked unlock must be covered by the promoted
+// follower's verifier counters (no acked session lost, no replay
+// accepted).
+type failoverReport struct {
+	KillAfterS         float64 `json:"kill_after_seconds"`
+	Promoted           bool    `json:"promoted"`
+	Deferred503        int64   `json:"deferred_503"`
+	BurstSpanMS        float64 `json:"burst_span_ms"`
+	AckedUnlocks       int     `json:"acked_unlocks"`
+	NonRetryableErrors int64   `json:"non_retryable_errors"`
+	KeyChanges         int     `json:"key_changes"`
+	CounterRegressions int     `json:"counter_regressions"`
+	LostOrReplayed     int     `json:"lost_or_replayed"`
+	Pass               bool    `json:"pass"`
+	Detail             string  `json:"detail,omitempty"`
+}
+
+// failoverRig is the -failover harness: a durable primary with an
+// attached warm standby of the same fleet behind a registered gateway,
+// heartbeats driven on a manual clock at wall speed so detection costs
+// real milliseconds. The load loop sees only the gateway URL; the rig
+// kills the primary on schedule and the gateway fences + promotes.
+type failoverRig struct {
+	base              string
+	primary, follower *service.Service
+	gw                *cluster.Gateway
+	clock             *vtime.ManualClock
+	primarySrv        *http.Server
+	initial           store.State
+	killT             *time.Timer
+	stopHB            chan struct{}
+	hbWG              sync.WaitGroup
+	cleanup           []func()
+}
+
+func newFailoverRig(devices, queue int, seed int64, stateDir string, pace float64) (*failoverRig, error) {
+	r := &failoverRig{stopHB: make(chan struct{})}
+	ok := false
+	defer func() {
+		if !ok {
+			r.close()
+		}
+	}()
+
+	if stateDir == "" {
+		dir, err := os.MkdirTemp("", "loadgen-failover-*")
+		if err != nil {
+			return nil, err
+		}
+		r.cleanup = append(r.cleanup, func() { _ = os.RemoveAll(dir) })
+		stateDir = dir
+	}
+	mkCfg := func(sub string, follow bool) service.Config {
+		cfg := service.DefaultConfig()
+		cfg.Seed = seed
+		if devices > 0 {
+			cfg.Devices = devices
+		}
+		if queue > 0 {
+			cfg.QueueDepth = queue
+		}
+		cfg.PaceAirtime = pace
+		cfg.ShardID = "s0"
+		cfg.StateDir = filepath.Join(stateDir, sub)
+		cfg.NoFsync = true // the failover run certifies availability, not power-loss durability
+		cfg.Follow = follow
+		return cfg
+	}
+	boot := func(cfg service.Config) (*service.Service, string, *http.Server, error) {
+		svc, err := service.New(cfg)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		r.cleanup = append(r.cleanup, func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			_ = svc.Shutdown(ctx)
+			cancel()
+		})
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		err = svc.WaitReady(ctx)
+		cancel()
+		if err != nil {
+			return nil, "", nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, "", nil, err
+		}
+		srv := &http.Server{Handler: svc.Handler()}
+		go func() { _ = srv.Serve(ln) }()
+		r.cleanup = append(r.cleanup, func() { _ = srv.Close() })
+		return svc, "http://" + ln.Addr().String(), srv, nil
+	}
+
+	var primaryURL, followerURL string
+	var err error
+	r.primary, primaryURL, r.primarySrv, err = boot(mkCfg("primary", false))
+	if err != nil {
+		return nil, fmt.Errorf("primary: %w", err)
+	}
+	var fsrv *http.Server
+	r.follower, followerURL, fsrv, err = boot(mkCfg("standby", true))
+	_ = fsrv
+	if err != nil {
+		return nil, fmt.Errorf("standby: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	err = r.follower.FollowPrimary(ctx, primaryURL, followerURL)
+	cancel()
+	if err != nil {
+		return nil, fmt.Errorf("FollowPrimary: %w", err)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for !r.primary.ReplicaAttached() {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("standby never attached: %+v", r.primary.ReplicaStatus())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	r.clock = vtime.NewManualClock(time.Unix(1_700_000_000, 0))
+	fleet := service.DefaultConfig().Devices
+	if devices > 0 {
+		fleet = devices
+	}
+	r.gw, err = cluster.NewGateway(cluster.GatewayConfig{
+		Shards:          []cluster.ShardConfig{{Name: "s0", BaseURL: primaryURL}},
+		TotalDevices:    fleet,
+		HeartbeatMisses: 2,
+		Standbys:        map[string]string{"s0": followerURL},
+		Clock:           r.clock,
+		Client:          &http.Client{Timeout: 10 * time.Second},
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel = context.WithTimeout(context.Background(), 30*time.Second)
+	err = r.gw.Register(ctx)
+	cancel()
+	if err != nil {
+		return nil, fmt.Errorf("gateway register: %w", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	gsrv := &http.Server{Handler: r.gw.Handler()}
+	go func() { _ = gsrv.Serve(ln) }()
+	r.cleanup = append(r.cleanup, func() { _ = gsrv.Close() })
+	r.base = "http://" + ln.Addr().String()
+
+	// Pre-load snapshot: the pairing-key and counter floor every device
+	// must still satisfy after promotion.
+	if st, ok := r.primary.StoreState(); ok {
+		r.initial = st
+	}
+
+	r.hbWG.Add(1)
+	go func() {
+		defer r.hbWG.Done()
+		tick := time.NewTicker(3 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-r.stopHB:
+				return
+			case <-tick.C:
+				r.clock.Advance(time.Second)
+				hctx, hcancel := context.WithTimeout(context.Background(), 10*time.Second)
+				r.gw.HeartbeatOnce(hctx)
+				hcancel()
+			}
+		}
+	}()
+	ok = true
+	return r, nil
+}
+
+// armKill schedules the primary's death: its listener is torn down
+// first so in-flight responses die at the transport (clients see a
+// retryable gateway 503, never a half-written error), then the daemon
+// is killed without any graceful drain.
+func (r *failoverRig) armKill(after time.Duration) {
+	r.killT = time.AfterFunc(after, func() {
+		_ = r.primarySrv.Close()
+		r.primary.Kill()
+	})
+}
+
+func (r *failoverRig) close() {
+	if r.killT != nil {
+		r.killT.Stop()
+	}
+	select {
+	case <-r.stopHB:
+	default:
+		close(r.stopHB)
+	}
+	r.hbWG.Wait()
+	for i := len(r.cleanup) - 1; i >= 0; i-- {
+		r.cleanup[i]()
+	}
+}
+
+// evaluate grades the availability gate after the load loop drained.
+func (r *failoverRig) evaluate(killAfter time.Duration, acked map[int]int, nonRetryable, deferred int64, first503, last503 time.Time) *failoverReport {
+	rep := &failoverReport{
+		KillAfterS:         killAfter.Seconds(),
+		Deferred503:        deferred,
+		NonRetryableErrors: nonRetryable,
+	}
+	for _, n := range acked {
+		rep.AckedUnlocks += n
+	}
+	if !first503.IsZero() {
+		rep.BurstSpanMS = float64(last503.Sub(first503)) / float64(time.Millisecond)
+	}
+	var problems []string
+	rep.Promoted = r.follower.ReplicaStatus().Role == "promoted"
+	if !rep.Promoted {
+		problems = append(problems, fmt.Sprintf("standby role %q, want promoted (did the run outlast -failover?)", r.follower.ReplicaStatus().Role))
+	}
+	if nonRetryable > 0 {
+		problems = append(problems, fmt.Sprintf("%d non-retryable errors; every failure across the kill must be a retryable 503", nonRetryable))
+	}
+	const burstMax = 2500 * time.Millisecond
+	if !first503.IsZero() && last503.Sub(first503) > burstMax {
+		problems = append(problems, fmt.Sprintf("503 burst spanned %.0f ms, want <= %v", rep.BurstSpanMS, burstMax))
+	}
+	final, ok := r.follower.StoreState()
+	if !ok {
+		problems = append(problems, "promoted standby has no store state")
+	} else {
+		for id, b := range r.initial.Devices {
+			a, present := final.Devices[id]
+			if !present {
+				rep.LostOrReplayed++
+				continue
+			}
+			if !bytes.Equal(a.Key, b.Key) {
+				rep.KeyChanges++
+			}
+			if a.GenCounter < b.GenCounter || a.VerCounter < b.VerCounter {
+				rep.CounterRegressions++
+			}
+		}
+		// Client-observed survival: each acked unlock advanced the
+		// device's verifier exactly once, so the follower's counter delta
+		// must cover the acked count — fewer means an acked session was
+		// lost or a replayed token was double-counted.
+		for id, n := range acked {
+			delta := final.Devices[id].VerCounter - r.initial.Devices[id].VerCounter
+			if uint64(n) > delta {
+				rep.LostOrReplayed++
+			}
+		}
+		if rep.KeyChanges > 0 {
+			problems = append(problems, fmt.Sprintf("%d pairing keys changed across promotion", rep.KeyChanges))
+		}
+		if rep.CounterRegressions > 0 {
+			problems = append(problems, fmt.Sprintf("%d device counters regressed across promotion", rep.CounterRegressions))
+		}
+		if rep.LostOrReplayed > 0 {
+			problems = append(problems, fmt.Sprintf("%d devices acked more unlocks than their counters advanced (lost ack or accepted replay)", rep.LostOrReplayed))
+		}
+	}
+	if rep.AckedUnlocks == 0 {
+		problems = append(problems, "no acked unlocks observed — the gate exercised nothing")
+	}
+	rep.Pass = len(problems) == 0
+	rep.Detail = strings.Join(problems, "; ")
+	return rep
 }

@@ -9,8 +9,16 @@
 //
 //	wearlock-gateway -shard s0=http://127.0.0.1:9101 \
 //	                 -shard s1=http://127.0.0.1:9102 \
+//	                 [-standby s0=http://127.0.0.1:9201]
 //	                 [-addr :8547] [-devices 64] [-replicas 128]
-//	                 [-heartbeat 2s] [-addr-file /run/gateway.addr]
+//	                 [-heartbeat 2s] [-heartbeat-misses 3]
+//	                 [-addr-file /run/gateway.addr]
+//
+// Each -standby names a warm wearlockd started with -follow replicating
+// that shard's primary. When the primary misses -heartbeat-misses
+// consecutive probes, the gateway fences the topology epoch, promotes
+// the standby via /replica/v1/promote, and re-points the shard's
+// routing at it — clients keep using the same gateway URL throughout.
 //
 // Each -shard flag names one wearlockd started with a matching
 // -shard-id. On startup the gateway registers the topology with every
@@ -75,7 +83,10 @@ func run() int {
 		regWait   = flag.Duration("register-wait", 60*time.Second, "how long to retry shard registration before giving up")
 		addrFile  = flag.String("addr-file", "", "write the bound listen address to this file (useful with -addr :0)")
 	)
+	var standbys shardFlags
 	flag.Var(&shards, "shard", "shard as name=url (repeatable; name must match the daemon's -shard-id)")
+	flag.Var(&standbys, "standby", "warm standby as name=url (repeatable; name is the shard it protects, url a wearlockd started with -follow). On heartbeat loss the gateway fences the epoch, promotes the standby, and re-points the shard's routing at it.")
+	misses := flag.Int("heartbeat-misses", 0, "consecutive heartbeat misses before a shard is unhealthy (and failed over, with -standby); 0 = default 3")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "wearlock-gateway: ", log.LstdFlags)
@@ -83,12 +94,18 @@ func run() int {
 		logger.Print("at least one -shard name=url is required")
 		return 1
 	}
+	standbyMap := make(map[string]string, len(standbys))
+	for _, sc := range standbys {
+		standbyMap[sc.Name] = sc.BaseURL
+	}
 
 	gw, err := cluster.NewGateway(cluster.GatewayConfig{
-		Shards:         shards,
-		TotalDevices:   *devices,
-		Replicas:       *replicas,
-		HeartbeatEvery: *heartbeat,
+		Shards:          shards,
+		TotalDevices:    *devices,
+		Replicas:        *replicas,
+		HeartbeatEvery:  *heartbeat,
+		HeartbeatMisses: *misses,
+		Standbys:        standbyMap,
 	})
 	if err != nil {
 		logger.Print(err)

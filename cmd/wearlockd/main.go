@@ -12,6 +12,19 @@
 //	          [-state-dir /var/lib/wearlockd] [-snapshot-every 1024]
 //	          [-wal-segment-bytes 4194304] [-commit-max-delay 2ms]
 //	          [-shard-id s0] [-pace 0.3] [-addr-file /run/wearlockd.addr]
+//	          [-follow -replica-of http://primary:8547 [-advertise URL]]
+//	          [-replica-max-lag 0]
+//
+// With -follow the daemon boots as a warm standby: it refuses unlock
+// traffic (503 + Retry-After), attaches to -replica-of, and applies the
+// primary's replication stream — snapshot bootstrap plus the live
+// group-commit WAL tail — into its own durable store, keeping its
+// in-memory fleet warm. A gateway configured with -standby (see
+// cmd/wearlock-gateway) promotes it on heartbeat loss; promotion fences
+// the old primary's epoch, so a half-dead primary can never acknowledge
+// a session the promoted standby won't honor. -replica-max-lag relaxes
+// the primary-side ack coupling from synchronous (0) to a bounded
+// window of records.
 //
 // With -addr :0 the kernel picks a free port; the daemon prints the
 // bound address ("listening host:port") on stdout and, with -addr-file,
@@ -108,6 +121,10 @@ func run() int {
 		shardID    = flag.String("shard-id", "", "cluster shard identity (stamped on wearlockd_build_info and wire acks; empty = standalone)")
 		pace       = flag.Float64("pace", 0, "airtime pacing: hold each device for pace × protocol timeline after a session (0 = off)")
 		addrFile   = flag.String("addr-file", "", "write the bound listen address to this file (useful with -addr :0)")
+		follow     = flag.Bool("follow", false, "boot as a warm standby: refuse unlock traffic and apply a primary's replication stream (requires -state-dir)")
+		replicaOf  = flag.String("replica-of", "", "primary base URL to attach to (with -follow); retried until the primary answers")
+		advertise  = flag.String("advertise", "", "base URL the primary should ship to (with -follow; default http://<bound addr>)")
+		replicaLag = flag.Int("replica-max-lag", 0, "bounded-lag replication ack window in records when a follower attaches to THIS daemon (0 = synchronous)")
 	)
 	flag.Parse()
 
@@ -125,6 +142,8 @@ func run() int {
 	cfg.CommitMaxDelay = *commitMaxD
 	cfg.ShardID = *shardID
 	cfg.PaceAirtime = *pace
+	cfg.Follow = *follow
+	cfg.ReplicaMaxLag = *replicaLag
 	sch, err := catalog.ResolveChaos(*chaos)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wearlockd: %v\n", err)
@@ -209,6 +228,38 @@ func run() int {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- server.Serve(ln) }()
+
+	// Follower mode: after the listener is up (the primary must be able
+	// to reach us), attach to the primary and keep retrying while it
+	// boots. The stream itself is primary-driven from then on.
+	if *follow {
+		if *replicaOf == "" {
+			logger.Print("-follow requires -replica-of <primary URL>")
+			_ = server.Close()
+			return 1
+		}
+		self := *advertise
+		if self == "" {
+			self = "http://" + ln.Addr().String()
+		}
+		go func() {
+			for {
+				actx, cancel := context.WithTimeout(ctx, 15*time.Second)
+				err := svc.FollowPrimary(actx, strings.TrimSuffix(*replicaOf, "/"), self)
+				cancel()
+				if err == nil {
+					logger.Printf("following %s (shipping to %s)", *replicaOf, self)
+					return
+				}
+				logger.Printf("attach to primary: %v (retrying)", err)
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(time.Second):
+				}
+			}
+		}()
+	}
 
 	select {
 	case err := <-errCh:

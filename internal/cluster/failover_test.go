@@ -1,0 +1,290 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"wearlock/internal/vtime"
+)
+
+// stubShard is a minimal wire-speaking shard daemon for failover tests:
+// register, heartbeat, and (for standbys) promote. Killing it flips it
+// to answering nothing, like a crashed process whose port is gone.
+type stubShard struct {
+	mu       sync.Mutex
+	alive    bool
+	promote  func(*PromoteRequest) (int, any) // optional override; nil = ack
+	promotes []PromoteRequest
+	srv      *httptest.Server
+}
+
+func newStubShard(t *testing.T) *stubShard {
+	t.Helper()
+	s := &stubShard{alive: true}
+	s.srv = httptest.NewServer(http.HandlerFunc(s.handle))
+	t.Cleanup(s.srv.Close)
+	return s
+}
+
+func (s *stubShard) url() string { return s.srv.URL }
+
+func (s *stubShard) kill() {
+	s.mu.Lock()
+	s.alive = false
+	s.mu.Unlock()
+}
+
+func (s *stubShard) promoteCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.promotes)
+}
+
+func (s *stubShard) answer(w http.ResponseWriter, status int, t MsgType, payload any) {
+	body, err := Encode(t, payload)
+	if err != nil {
+		panic(err)
+	}
+	w.Header().Set("Content-Type", WireContentType)
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+func (s *stubShard) handle(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	alive := s.alive
+	s.mu.Unlock()
+	if !alive {
+		http.Error(w, "dead", http.StatusBadGateway)
+		return
+	}
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	msg, err := Decode(data)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	switch r.URL.Path {
+	case "/cluster/v1/register":
+		req := msg.Payload.(*RegisterRequest)
+		s.answer(w, http.StatusOK, MsgRegisterAck, &RegisterResponse{
+			ShardID: req.ShardID, Epoch: req.Epoch, Devices: req.TotalDevices, Ready: true,
+		})
+	case "/cluster/v1/heartbeat":
+		req := msg.Payload.(*HeartbeatRequest)
+		s.answer(w, http.StatusOK, MsgHeartbeatAck, &HeartbeatResponse{
+			ShardID: "stub", Epoch: req.Epoch, Ready: true,
+		})
+	case "/replica/v1/promote":
+		req := msg.Payload.(*PromoteRequest)
+		s.mu.Lock()
+		s.promotes = append(s.promotes, *req)
+		override := s.promote
+		s.mu.Unlock()
+		if override != nil {
+			status, payload := override(req)
+			if ep, ok := payload.(*ErrorPayload); ok {
+				s.answer(w, status, MsgError, ep)
+				return
+			}
+			s.answer(w, status, MsgPromoteAck, payload)
+			return
+		}
+		s.answer(w, http.StatusOK, MsgPromoteAck, &PromoteResponse{
+			ShardID: req.ShardID, Epoch: req.Epoch, Devices: len(req.Owned),
+		})
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// failoverGateway builds a registered gateway over one primary stub with
+// one standby stub, on a manual clock: tests drive HeartbeatOnce
+// directly, so the whole loss→fence→promote→re-point decision runs
+// without a single wall-clock sleep.
+func failoverGateway(t *testing.T, primary, standby *stubShard, misses int) (*Gateway, *vtime.ManualClock) {
+	t.Helper()
+	clock := vtime.NewManualClock(time.Unix(1000, 0))
+	g, err := NewGateway(GatewayConfig{
+		Shards:          []ShardConfig{{Name: "s0", BaseURL: primary.url()}},
+		TotalDevices:    8,
+		HeartbeatMisses: misses,
+		Standbys:        map[string]string{"s0": standby.url()},
+		Clock:           clock,
+		Client:          &http.Client{Timeout: 2 * time.Second},
+	})
+	if err != nil {
+		t.Fatalf("NewGateway: %v", err)
+	}
+	if err := g.Register(context.Background()); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	return g, clock
+}
+
+// Heartbeat loss drives a full failover: below the miss threshold
+// nothing moves; at the threshold the gateway fences the epoch,
+// promotes the standby with the full owned set, and re-points the
+// shard's routing — all inside the same HeartbeatOnce call.
+func TestHeartbeatLossTriggersFailover(t *testing.T) {
+	primary := newStubShard(t)
+	standby := newStubShard(t)
+	g, clock := failoverGateway(t, primary, standby, 3)
+	epoch0 := g.Epoch()
+
+	// Healthy beats: no failover, health clean.
+	for i := 0; i < 3; i++ {
+		clock.Advance(time.Second)
+		g.HeartbeatOnce(context.Background())
+	}
+	if n := standby.promoteCount(); n != 0 {
+		t.Fatalf("healthy primary failed over %d times", n)
+	}
+
+	primary.kill()
+	// Two misses: suspect, not yet unhealthy, routing unchanged.
+	for i := 0; i < 2; i++ {
+		clock.Advance(time.Second)
+		g.HeartbeatOnce(context.Background())
+	}
+	if n := standby.promoteCount(); n != 0 {
+		t.Fatalf("failover fired below the miss threshold (%d promotes)", n)
+	}
+	top := g.Topology()
+	if top.Shards[0].Unhealthy {
+		t.Fatal("shard marked unhealthy below the miss threshold")
+	}
+	if top.Shards[0].BaseURL != primary.url() {
+		t.Fatal("routing moved before the failover decision")
+	}
+
+	// Third miss: threshold crossed, failover runs inside this beat.
+	clock.Advance(time.Second)
+	g.HeartbeatOnce(context.Background())
+	if n := standby.promoteCount(); n != 1 {
+		t.Fatalf("failover promoted %d times, want 1", n)
+	}
+	req := standby.promotes[0]
+	if req.ShardID != "s0" || req.TotalDevices != 8 || len(req.Owned) != 8 {
+		t.Fatalf("promote order malformed: %+v", req)
+	}
+	if req.Epoch <= epoch0 {
+		t.Fatalf("promote epoch %d not fenced past %d", req.Epoch, epoch0)
+	}
+	if g.Epoch() != req.Epoch {
+		t.Fatalf("gateway epoch %d does not match the fenced promote epoch %d", g.Epoch(), req.Epoch)
+	}
+
+	top = g.Topology()
+	if top.Shards[0].BaseURL != standby.url() {
+		t.Fatalf("routing still at %s, want the promoted standby %s", top.Shards[0].BaseURL, standby.url())
+	}
+	if top.Shards[0].Unhealthy {
+		t.Fatal("promoted shard slot still marked unhealthy")
+	}
+	if top.Shards[0].Failovers != 1 {
+		t.Fatalf("failover count %d, want 1", top.Shards[0].Failovers)
+	}
+	if top.Shards[0].Standby != "" {
+		t.Fatal("consumed standby still configured (the move is one-way)")
+	}
+
+	// Beats now reach the promoted standby: health stays green, and a
+	// later loss of the new primary has no standby left to promote.
+	clock.Advance(time.Second)
+	g.HeartbeatOnce(context.Background())
+	if top := g.Topology(); top.Shards[0].Unhealthy {
+		t.Fatal("promoted primary failing heartbeats")
+	}
+	standby.kill()
+	for i := 0; i < 5; i++ {
+		clock.Advance(time.Second)
+		g.HeartbeatOnce(context.Background())
+	}
+	top = g.Topology()
+	if !top.Shards[0].Unhealthy {
+		t.Fatal("dead promoted primary not marked unhealthy")
+	}
+	if n := standby.promoteCount(); n != 1 {
+		t.Fatalf("gateway promoted %d times with no standby armed", n)
+	}
+}
+
+// A promote that fails (standby still bootstrapping, say) is retried on
+// every further beat past the threshold until it lands; routing moves
+// only on success. SetStandby re-arms protection after a failover
+// consumed the standby.
+func TestFailoverRetriesUntilPromoteLands(t *testing.T) {
+	primary := newStubShard(t)
+	standby := newStubShard(t)
+	refusals := 2
+	standby.promote = func(req *PromoteRequest) (int, any) {
+		if refusals > 0 {
+			refusals--
+			return http.StatusServiceUnavailable, &ErrorPayload{Error: "still bootstrapping"}
+		}
+		return http.StatusOK, &PromoteResponse{ShardID: req.ShardID, Epoch: req.Epoch}
+	}
+	g, clock := failoverGateway(t, primary, standby, 2)
+	primary.kill()
+
+	// Beats 1-2 cross the threshold and issue the first (refused)
+	// promote; beats 3-4 retry until it lands.
+	for i := 0; i < 4; i++ {
+		clock.Advance(time.Second)
+		g.HeartbeatOnce(context.Background())
+		if refusals > 0 && g.Topology().Shards[0].BaseURL != primary.url() {
+			t.Fatal("routing moved on a refused promote")
+		}
+	}
+	if n := standby.promoteCount(); n != 3 {
+		t.Fatalf("promote attempts %d, want 3 (two refusals + one success)", n)
+	}
+	if got := g.Topology().Shards[0].BaseURL; got != standby.url() {
+		t.Fatalf("routing at %s after successful promote, want %s", got, standby.url())
+	}
+
+	// Re-arm: a fresh standby can be configured onto the same slot.
+	next := newStubShard(t)
+	if err := g.SetStandby("s0", next.url()); err != nil {
+		t.Fatalf("SetStandby: %v", err)
+	}
+	standby.kill()
+	for i := 0; i < 2; i++ {
+		clock.Advance(time.Second)
+		g.HeartbeatOnce(context.Background())
+	}
+	if n := next.promoteCount(); n != 1 {
+		t.Fatalf("re-armed standby promoted %d times, want 1", n)
+	}
+	if got := g.Topology().Shards[0].BaseURL; got != next.url() {
+		t.Fatalf("routing at %s after second failover, want %s", got, next.url())
+	}
+}
+
+// A standby that identifies as the wrong shard is refused: the gateway
+// keeps routing at the (dead) primary rather than pointing a shard's
+// traffic at an imposter.
+func TestFailoverRefusesMismatchedStandby(t *testing.T) {
+	primary := newStubShard(t)
+	standby := newStubShard(t)
+	standby.promote = func(req *PromoteRequest) (int, any) {
+		return http.StatusOK, &PromoteResponse{ShardID: "s9", Epoch: req.Epoch}
+	}
+	g, clock := failoverGateway(t, primary, standby, 1)
+	primary.kill()
+	clock.Advance(time.Second)
+	g.HeartbeatOnce(context.Background())
+	if got := g.Topology().Shards[0].BaseURL; got != primary.url() {
+		t.Fatalf("routing moved to a standby that identifies as another shard: %s", got)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"wearlock/internal/telemetry"
+	"wearlock/internal/vtime"
 )
 
 // ShardConfig names one shard daemon and where to reach it.
@@ -55,6 +56,18 @@ type GatewayConfig struct {
 	// are split so a single fence+tail export never quiesces more than
 	// this many devices in one call. <= 0 means 16.
 	MoveChunk int
+	// Standbys maps a shard name to the base URL of its warm standby (a
+	// wearlockd started with -follow replicating that shard's primary).
+	// When a shard with a standby goes unhealthy — HeartbeatMisses
+	// consecutive probe failures — the gateway fences the epoch, promotes
+	// the standby, and re-points the shard's routing at it. Shards
+	// without an entry keep today's behavior (unhealthy, no failover).
+	Standbys map[string]string
+	// Clock supplies time for heartbeat bookkeeping (last-beat stamps,
+	// suspect ages). nil means the wall clock; the heartbeat-loss tests
+	// inject vtime.NewManualClock and drive HeartbeatOnce directly so a
+	// failover decision needs no wall-clock sleeps.
+	Clock vtime.Clock
 }
 
 // shardHandle is the gateway's view of one shard.
@@ -62,11 +75,22 @@ type shardHandle struct {
 	cfg ShardConfig
 
 	mu        sync.Mutex
+	baseURL   string // current routing target; swapped by failover
 	ready     bool
 	misses    int
 	unhealthy bool
+	failing   bool // a failover attempt is in flight
+	failovers int  // completed promotions onto this shard's slot
 	lastBeat  time.Time
 	lastErr   string
+}
+
+// url returns the shard's current routing target. It differs from
+// cfg.BaseURL after a failover promoted the standby into this slot.
+func (h *shardHandle) url() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.baseURL
 }
 
 // gwMetrics bundles the gateway's own registry handles.
@@ -81,6 +105,7 @@ type gwMetrics struct {
 	handoffSec *telemetry.FloatGauge
 	shardsUp   *telemetry.Gauge
 	epoch      *telemetry.Gauge
+	failovers  *telemetry.Counter
 }
 
 // Gateway consistent-hashes device IDs across shard daemons and proxies
@@ -100,7 +125,10 @@ type Gateway struct {
 	// over the global fleet so load spreads across every shard.
 	nextDev atomic.Uint64
 
+	clock vtime.Clock
+
 	mu        sync.RWMutex
+	standbys  map[string]string // shard name -> unpromoted standby URL
 	ring      *Ring
 	table     map[int]string // effective assignment: the ring's, plus committed moves of an aborted join
 	shards    map[string]*shardHandle
@@ -135,11 +163,17 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	if cfg.MoveChunk <= 0 {
 		cfg.MoveChunk = 16
 	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = vtime.WallClock{}
+	}
 	g := &Gateway{
 		cfg:           cfg,
 		client:        client,
 		handoffClient: &http.Client{Transport: client.Transport, Timeout: cfg.HandoffTimeout},
 		reg:           telemetry.NewRegistry(),
+		clock:         clock,
+		standbys:      make(map[string]string),
 		ring:          NewRing(cfg.Replicas),
 		shards:        make(map[string]*shardHandle),
 		epoch:         1,
@@ -154,7 +188,16 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		if err := g.ring.AddShard(sc.Name); err != nil {
 			return nil, err
 		}
-		g.shards[sc.Name] = &shardHandle{cfg: sc}
+		g.shards[sc.Name] = &shardHandle{cfg: sc, baseURL: sc.BaseURL}
+	}
+	for name, url := range cfg.Standbys {
+		if _, ok := g.shards[name]; !ok {
+			return nil, fmt.Errorf("cluster: standby for unknown shard %q", name)
+		}
+		if url == "" {
+			return nil, fmt.Errorf("cluster: shard %q has an empty standby URL", name)
+		}
+		g.standbys[name] = strings.TrimSuffix(url, "/")
 	}
 	g.table = g.ring.Assignments(cfg.TotalDevices)
 	g.m = &gwMetrics{
@@ -178,6 +221,8 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 			"Registered shards currently passing heartbeats."),
 		epoch: g.reg.Gauge("wearlock_gateway_epoch",
 			"Topology generation; increments on every membership change."),
+		failovers: g.reg.Counter("wearlock_gateway_failovers_total",
+			"Completed failovers: a warm standby promoted and routed in place of an unhealthy primary."),
 	}
 	g.reg.Info("wearlock_gateway_build_info",
 		"Gateway build metadata; constant 1.",
@@ -237,7 +282,7 @@ func call[T any](ctx context.Context, g *Gateway, shard string, path string, t M
 	if h == nil {
 		return nil, fmt.Errorf("cluster: unknown shard %q", shard)
 	}
-	return wireCall[T](ctx, g.client, h.cfg.BaseURL, path, t, payload, ack)
+	return wireCall[T](ctx, g.client, h.url(), path, t, payload, ack)
 }
 
 // hcall runs a handoff wire exchange against a named shard: the handoff
@@ -250,7 +295,7 @@ func hcall[T any](ctx context.Context, g *Gateway, shard string, path string, t 
 	}
 	ctx, cancel := context.WithTimeout(ctx, g.cfg.HandoffTimeout)
 	defer cancel()
-	return wireCall[T](ctx, g.handoffClient, h.cfg.BaseURL, path, t, payload, ack)
+	return wireCall[T](ctx, g.handoffClient, h.url(), path, t, payload, ack)
 }
 
 func (g *Gateway) handle(name string) *shardHandle {
@@ -305,18 +350,23 @@ func (g *Gateway) Register(ctx context.Context) error {
 	return nil
 }
 
-// HeartbeatOnce probes every shard once and updates health state.
+// HeartbeatOnce probes every shard once and updates health state. A
+// shard crossing the miss threshold with a configured warm standby
+// triggers a failover: fence the epoch, promote the standby, re-point
+// routing (see failover.go). The decision is purely miss-count driven,
+// so tests advance it by calling this directly — no wall clock involved.
 func (g *Gateway) HeartbeatOnce(ctx context.Context) {
 	g.mu.RLock()
 	epoch := g.epoch
-	handles := make([]*shardHandle, 0, len(g.shards))
-	for _, h := range g.shards {
-		handles = append(handles, h)
+	handles := make(map[string]*shardHandle, len(g.shards))
+	for name, h := range g.shards {
+		handles[name] = h
 	}
 	g.mu.RUnlock()
 	up := 0
-	for _, h := range handles {
-		ack, err := wireCall[HeartbeatResponse](ctx, g.client, h.cfg.BaseURL,
+	var failed []string
+	for name, h := range handles {
+		ack, err := wireCall[HeartbeatResponse](ctx, g.client, h.url(),
 			"/cluster/v1/heartbeat", MsgHeartbeat, &HeartbeatRequest{Epoch: epoch}, MsgHeartbeatAck)
 		h.mu.Lock()
 		if err != nil {
@@ -324,13 +374,20 @@ func (g *Gateway) HeartbeatOnce(ctx context.Context) {
 			h.lastErr = err.Error()
 			if h.misses >= g.cfg.HeartbeatMisses {
 				h.unhealthy = true
+				// Re-arm on every beat past the threshold: a promote call
+				// that failed (standby still bootstrapping, say) is retried
+				// until it lands or no standby is configured.
+				if !h.failing && g.standbyFor(name) != "" {
+					h.failing = true
+					failed = append(failed, name)
+				}
 			}
 		} else {
 			h.misses = 0
 			h.unhealthy = false
 			h.lastErr = ""
 			h.ready = ack.Ready
-			h.lastBeat = time.Now()
+			h.lastBeat = g.clock.Now()
 		}
 		if !h.unhealthy {
 			up++
@@ -338,6 +395,16 @@ func (g *Gateway) HeartbeatOnce(ctx context.Context) {
 		h.mu.Unlock()
 	}
 	g.m.shardsUp.Set(int64(up))
+	for _, name := range failed {
+		h := handles[name]
+		err := g.Failover(ctx, name)
+		h.mu.Lock()
+		h.failing = false
+		if err != nil {
+			h.lastErr = err.Error()
+		}
+		h.mu.Unlock()
+	}
 }
 
 // StartHeartbeats launches the periodic liveness probe; the returned
@@ -403,6 +470,10 @@ type TopologyShard struct {
 	Unhealthy bool   `json:"unhealthy"`
 	LastError string `json:"last_error,omitempty"`
 	Owned     int    `json:"owned"`
+	// Standby is the configured (unpromoted) warm-standby URL, if any.
+	Standby string `json:"standby,omitempty"`
+	// Failovers counts promotions that re-pointed this shard's routing.
+	Failovers int `json:"failovers,omitempty"`
 }
 
 // Topology snapshots the routing state.
@@ -436,11 +507,13 @@ func (g *Gateway) Topology() Topology {
 		h.mu.Lock()
 		top.Shards = append(top.Shards, TopologyShard{
 			Name:      name,
-			BaseURL:   h.cfg.BaseURL,
+			BaseURL:   h.baseURL,
 			Ready:     h.ready,
 			Unhealthy: h.unhealthy,
 			LastError: h.lastErr,
 			Owned:     len(owners[name]),
+			Standby:   g.standbyFor(name),
+			Failovers: h.failovers,
 		})
 		h.mu.Unlock()
 	}

@@ -109,7 +109,7 @@ func (g *Gateway) AddShard(ctx context.Context, sc ShardConfig) ([]HandoffReport
 		// the new shard via the table; the plan picks up at moves[done:].
 		pend = g.pending
 		pend.sc = sc
-		g.shards[sc.Name] = &shardHandle{cfg: sc}
+		g.shards[sc.Name] = &shardHandle{cfg: sc, baseURL: sc.BaseURL}
 	case g.pending != nil:
 		name := g.pending.sc.Name
 		g.mu.Unlock()
@@ -124,7 +124,7 @@ func (g *Gateway) AddShard(ctx context.Context, sc ShardConfig) ([]HandoffReport
 			g.mu.Unlock()
 			return nil, err
 		}
-		g.shards[sc.Name] = &shardHandle{cfg: sc}
+		g.shards[sc.Name] = &shardHandle{cfg: sc, baseURL: sc.BaseURL}
 		pend = &pendingJoin{
 			sc:    sc,
 			next:  next,

@@ -192,7 +192,7 @@ func (g *Gateway) forward(ctx context.Context, shard, method, path string, body 
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, h.cfg.BaseURL+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, h.url()+path, rd)
 	if err != nil {
 		return proxied{}, err
 	}
@@ -268,7 +268,7 @@ func (g *Gateway) probeShards(ctx context.Context, path string) map[string]shard
 	ch := make(chan result, len(handles))
 	for name, h := range handles {
 		go func(name string, h *shardHandle) {
-			req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.cfg.BaseURL+path, nil)
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.url()+path, nil)
 			if err != nil {
 				ch <- result{name, shardProbe{Error: err.Error()}}
 				return
@@ -294,13 +294,81 @@ func (g *Gateway) probeShards(ctx context.Context, path string) map[string]shard
 	return out
 }
 
+// ShardReadiness is one shard's row in the gateway /readyz fan-in. The
+// state names the actual failure mode — a shard mid-WAL-replay, a shard
+// whose recovery failed terminally, and a shard that is simply not
+// answering are different operational situations and are reported as
+// such, never collapsed into one "degraded".
+type ShardReadiness struct {
+	// State: "ok", "recovering" (startup replay running), "failed"
+	// (terminal recovery error), "following" (routing points at an
+	// unpromoted standby), "unreachable" (probe did not complete), or
+	// "degraded" (answered non-OK without a recognizable status).
+	State string `json:"state"`
+	// Reason is the human-readable cause for any non-ok state.
+	Reason string `json:"reason,omitempty"`
+	// Misses is the consecutive heartbeat-miss count; Suspect marks a
+	// shard missing beats but still under the failover threshold.
+	Misses  int  `json:"misses,omitempty"`
+	Suspect bool `json:"suspect,omitempty"`
+	// Unhealthy mirrors the heartbeat verdict (threshold crossed).
+	Unhealthy bool `json:"unhealthy,omitempty"`
+	// Failovers counts standby promotions into this shard's slot.
+	Failovers int `json:"failovers,omitempty"`
+	// Body is the shard's own /readyz response, when one arrived.
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// classifyReadiness maps one shard probe to its readiness row.
+func classifyReadiness(p shardProbe) ShardReadiness {
+	if p.Error != "" {
+		return ShardReadiness{State: "unreachable", Reason: p.Error}
+	}
+	var body struct {
+		Status string `json:"status"`
+		Error  string `json:"error,omitempty"`
+	}
+	_ = json.Unmarshal(p.Body, &body)
+	switch body.Status {
+	case "ok":
+		return ShardReadiness{State: "ok", Body: p.Body}
+	case "recovering":
+		return ShardReadiness{State: "recovering",
+			Reason: "startup replay of the durable store is still running", Body: p.Body}
+	case "failed":
+		reason := "recovery hit a terminal error"
+		if body.Error != "" {
+			reason = body.Error
+		}
+		return ShardReadiness{State: "failed", Reason: reason, Body: p.Body}
+	case "following":
+		return ShardReadiness{State: "following",
+			Reason: "warm standby awaiting promotion; unlock traffic refused", Body: p.Body}
+	default:
+		return ShardReadiness{State: "degraded",
+			Reason: fmt.Sprintf("shard answered HTTP %d without a recognizable status", p.Status),
+			Body:   p.Body}
+	}
+}
+
 func (g *Gateway) handleReady(w http.ResponseWriter, r *http.Request) {
 	probes := g.probeShards(r.Context(), "/readyz")
+	shards := make(map[string]ShardReadiness, len(probes))
 	ready := true
-	for _, p := range probes {
-		if p.Error != "" || p.Status != http.StatusOK {
+	for name, p := range probes {
+		row := classifyReadiness(p)
+		if h := g.handle(name); h != nil {
+			h.mu.Lock()
+			row.Misses = h.misses
+			row.Suspect = h.misses > 0 && !h.unhealthy
+			row.Unhealthy = h.unhealthy
+			row.Failovers = h.failovers
+			h.mu.Unlock()
+		}
+		if row.State != "ok" {
 			ready = false
 		}
+		shards[name] = row
 	}
 	status := "ok"
 	code := http.StatusOK
@@ -308,7 +376,7 @@ func (g *Gateway) handleReady(w http.ResponseWriter, r *http.Request) {
 		status = "degraded"
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{"status": status, "shards": probes})
+	writeJSON(w, code, map[string]any{"status": status, "shards": shards})
 }
 
 func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -355,7 +423,7 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		go func(name string, h *shardHandle) {
 			ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
 			defer cancel()
-			req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.cfg.BaseURL+"/metrics", nil)
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.url()+"/metrics", nil)
 			if err != nil {
 				ch <- result{name, ""}
 				return

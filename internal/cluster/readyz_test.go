@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// readyStub answers /readyz with a fixed status code and body — one
+// shard frozen in a particular lifecycle state.
+func readyStub(t *testing.T, code int, body string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/readyz" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		_, _ = w.Write([]byte(body))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// The gateway /readyz fan-in distinguishes WHY a shard is not ready —
+// recovering, failed, following, unreachable — per shard, with a
+// human-readable reason, instead of collapsing everything into one
+// undifferentiated "degraded".
+func TestGatewayReadyzDistinguishesReasons(t *testing.T) {
+	okShard := readyStub(t, 200, `{"status":"ok"}`)
+	recovering := readyStub(t, 503, `{"status":"recovering"}`)
+	failed := readyStub(t, 503, `{"status":"failed","error":"wal segment 3 unreadable"}`)
+	following := readyStub(t, 200, `{"status":"following"}`)
+	unreachable := httptest.NewServer(http.NotFoundHandler())
+	unreachable.Close() // port gone: probes fail at the transport
+
+	g, err := NewGateway(GatewayConfig{
+		Shards: []ShardConfig{
+			{Name: "ok", BaseURL: okShard.URL},
+			{Name: "rec", BaseURL: recovering.URL},
+			{Name: "bad", BaseURL: failed.URL},
+			{Name: "fol", BaseURL: following.URL},
+			{Name: "gone", BaseURL: unreachable.URL},
+		},
+		TotalDevices: 10,
+	})
+	if err != nil {
+		t.Fatalf("NewGateway: %v", err)
+	}
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz status %d with unready shards, want 503", resp.StatusCode)
+	}
+	var body struct {
+		Status string                    `json:"status"`
+		Shards map[string]ShardReadiness `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "degraded" {
+		t.Errorf("overall status %q, want degraded", body.Status)
+	}
+	want := map[string]string{
+		"ok": "ok", "rec": "recovering", "bad": "failed", "fol": "following", "gone": "unreachable",
+	}
+	for name, state := range want {
+		row, ok := body.Shards[name]
+		if !ok {
+			t.Fatalf("shard %q missing from /readyz", name)
+		}
+		if row.State != state {
+			t.Errorf("shard %q state %q, want %q", name, row.State, state)
+		}
+		if state != "ok" && row.Reason == "" {
+			t.Errorf("shard %q (%s) has no reason", name, state)
+		}
+	}
+	if body.Shards["bad"].Reason != "wal segment 3 unreadable" {
+		t.Errorf("failed shard reason %q does not surface the shard's own error", body.Shards["bad"].Reason)
+	}
+
+	// All-ok topology reads ready.
+	g2, err := NewGateway(GatewayConfig{
+		Shards:       []ShardConfig{{Name: "ok", BaseURL: okShard.URL}},
+		TotalDevices: 10,
+	})
+	if err != nil {
+		t.Fatalf("NewGateway: %v", err)
+	}
+	srv2 := httptest.NewServer(g2.Handler())
+	defer srv2.Close()
+	resp2, err := http.Get(srv2.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz with all shards ok answered %d, want 200", resp2.StatusCode)
+	}
+}

@@ -59,6 +59,12 @@ const (
 	MsgReleaseRange
 	MsgReleaseRangeAck
 	MsgError
+	MsgReplicaRegister
+	MsgReplicaRegisterAck
+	MsgReplicaAppend
+	MsgReplicaAppendAck
+	MsgPromote
+	MsgPromoteAck
 	msgTypeEnd // sentinel: first invalid type
 )
 
@@ -87,6 +93,18 @@ func (t MsgType) String() string {
 		return "release-range-ack"
 	case MsgError:
 		return "error"
+	case MsgReplicaRegister:
+		return "replica-register"
+	case MsgReplicaRegisterAck:
+		return "replica-register-ack"
+	case MsgReplicaAppend:
+		return "replica-append"
+	case MsgReplicaAppendAck:
+		return "replica-append-ack"
+	case MsgPromote:
+		return "promote"
+	case MsgPromoteAck:
+		return "promote-ack"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -118,6 +136,18 @@ func payloadFor(t MsgType) any {
 		return &ReleaseRangeResponse{}
 	case MsgError:
 		return &ErrorPayload{}
+	case MsgReplicaRegister:
+		return &ReplicaRegisterRequest{}
+	case MsgReplicaRegisterAck:
+		return &ReplicaRegisterResponse{}
+	case MsgReplicaAppend:
+		return &ReplicaAppendRequest{}
+	case MsgReplicaAppendAck:
+		return &ReplicaAppendResponse{}
+	case MsgPromote:
+		return &PromoteRequest{}
+	case MsgPromoteAck:
+		return &PromoteResponse{}
 	default:
 		return nil
 	}
@@ -234,6 +264,91 @@ type ReleaseRangeRequest struct {
 type ReleaseRangeResponse struct {
 	ShardID  string `json:"shard_id"`
 	Released int    `json:"released"`
+}
+
+// ReplicaRegisterRequest is a follower's attach handshake to the
+// primary it wants to follow. The primary answers by starting (or
+// restarting) a shipper: a snapshot bootstrap covering everything past
+// AppliedSeq, then the live WAL tail stream.
+type ReplicaRegisterRequest struct {
+	// FollowerURL is the base URL the primary ships batches to.
+	FollowerURL string `json:"follower_url"`
+	// FollowerID labels the follower in the primary's logs and metrics.
+	FollowerID string `json:"follower_id"`
+	// AppliedSeq is the highest source record sequence the follower has
+	// already durably applied (0 for a fresh follower — source sequence
+	// progress is not persisted across follower restarts, so a restarted
+	// follower re-bootstraps from scratch; the monotone merge makes the
+	// re-ship idempotent).
+	AppliedSeq uint64 `json:"applied_seq"`
+}
+
+// ReplicaRegisterResponse acknowledges an attach.
+type ReplicaRegisterResponse struct {
+	ShardID string `json:"shard_id"`
+	// LastSeq is the primary's record high-water mark at attach time.
+	LastSeq uint64 `json:"last_seq"`
+}
+
+// ReplicaAppendRequest ships one replication batch, primary → follower.
+// Reset batches carry snapshot-bootstrap records and may arrive at any
+// BatchSeq (the follower adopts BatchSeq+1 as its next expectation);
+// live batches must arrive strictly in BatchSeq order — a duplicate
+// (BatchSeq at or below the last applied) is acknowledged without
+// re-applying beyond the idempotent merge, a gap is refused so the
+// shipper resyncs from a snapshot.
+type ReplicaAppendRequest struct {
+	// Epoch is the primary's shard epoch; a promoted follower refuses
+	// older epochs with 409 (the fencing signal back to a stale primary).
+	Epoch   uint64 `json:"epoch"`
+	ShardID string `json:"shard_id"`
+	// BatchSeq is the source committer's batch sequence.
+	BatchSeq uint64 `json:"batch_seq"`
+	// Reset marks a snapshot-bootstrap chunk (resync), not a live batch.
+	Reset bool `json:"reset,omitempty"`
+	// FirstSeq/LastSeq bound the source record sequences in Records. On
+	// live batches the records are consecutive, so a truncated or padded
+	// body is detectable as corruption.
+	FirstSeq uint64         `json:"first_seq"`
+	LastSeq  uint64         `json:"last_seq"`
+	Records  []store.Record `json:"records"`
+}
+
+// ReplicaAppendResponse acknowledges a durably applied batch: the
+// records are in the follower's own WAL (its own fsync) before this is
+// sent — the replicated half of accepted⇒durable⇒replicated-or-fenced.
+type ReplicaAppendResponse struct {
+	FollowerID string `json:"follower_id"`
+	// AppliedSeq is the follower's source-sequence high-water mark.
+	AppliedSeq uint64 `json:"applied_seq"`
+	// ExpectedBatch is the next live BatchSeq the follower will accept.
+	ExpectedBatch uint64 `json:"expected_batch"`
+}
+
+// PromoteRequest is the gateway's failover order to a standby: adopt
+// the shard identity at a freshly fenced epoch and start serving. The
+// follower finishes reconciling its in-memory devices from its durable
+// store (cheap — it warmed them on every applied batch), installs the
+// ownership registration, and refuses further replica appends from any
+// older epoch.
+type PromoteRequest struct {
+	// Epoch is the fenced topology generation: strictly newer than any
+	// epoch the dead primary could still stamp on a straggling batch.
+	Epoch        uint64 `json:"epoch"`
+	ShardID      string `json:"shard_id"`
+	TotalDevices int    `json:"total_devices"`
+	Owned        []int  `json:"owned"`
+}
+
+// PromoteResponse acknowledges a promotion (idempotent: a retried
+// promote at the same or older epoch answers with the current state).
+type PromoteResponse struct {
+	ShardID string `json:"shard_id"`
+	Epoch   uint64 `json:"epoch"`
+	// AppliedSeq is the source-sequence high-water mark at promotion.
+	AppliedSeq uint64 `json:"applied_seq"`
+	// Devices is how many devices the promoted shard now owns.
+	Devices int `json:"devices"`
 }
 
 // ErrorPayload is the wire-level error answer (protocol mismatch, stale

@@ -86,10 +86,11 @@ func ForSessionAt(sch *Schedule, baseSeed, session int64, at time.Duration) *Ses
 		return sf
 	}
 	for _, r := range sch.Rules {
-		// Store-scoped kinds belong to the restart stream (ForRestart);
-		// skipping them without a draw keeps the session stream a pure
+		// Store-scoped kinds belong to the restart stream (ForRestart) and
+		// replication-scoped kinds to the batch stream (ForReplication);
+		// skipping both without a draw keeps the session stream a pure
 		// function of the session rules alone.
-		if r.Kind.StoreScoped() || !r.covers(session) || !r.coversAt(at) {
+		if r.Kind.StoreScoped() || r.Kind.ReplScoped() || !r.covers(session) || !r.coversAt(at) {
 			continue
 		}
 		// One arming draw per in-window rule, in rule order: the stream

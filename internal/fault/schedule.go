@@ -51,12 +51,16 @@ const (
 )
 
 // Kinds returns every known fault kind in stable order, the session
-// kinds first, then the store-scoped restart kinds.
+// kinds first, then the store-scoped restart kinds, then the
+// replication-stream kinds. New kinds append at the end: schedule
+// validity must never depend on list position.
 func Kinds() []Kind {
 	return []Kind{
 		KindAcousticBurst, KindSNRCollapse, KindLinkDrop, KindLatencySpike,
 		KindMsgLoss, KindMsgDup, KindMsgReorder, KindDeviceSlow, KindPoolExhaust,
 		KindStoreFsyncLoss, KindStoreTornWrite, KindStoreBitFlip, KindStoreSnapOnly,
+		KindStoreDropSegment,
+		KindReplDropBatch, KindReplDupBatch, KindReplTruncBatch,
 	}
 }
 

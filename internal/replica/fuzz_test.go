@@ -1,0 +1,153 @@
+package replica
+
+import (
+	"errors"
+	"testing"
+
+	"wearlock/internal/cluster"
+	"wearlock/internal/store"
+)
+
+// FuzzReplicaStream drives a Receiver with an adversarial reordering of
+// a fixed canonical batch stream — in-order sends, duplicates, gaps,
+// and truncated copies, chosen by the fuzz input — and checks the
+// replication contract:
+//
+//   - the receiver never panics and never returns an unclassified
+//     error: everything it refuses is ErrOutOfSync (resyncable) or
+//     ErrCorrupt (never applied);
+//   - no device counter on the follower store ever regresses, no
+//     matter how the batches arrive;
+//   - a final snapshot resync (what the shipper does after any refusal)
+//     always converges the follower to the canonical end state.
+func FuzzReplicaStream(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0, 1, 2, 3, 0, 1, 2, 3})
+	f.Add([]byte{3, 3, 2, 2, 1, 1, 0, 0})
+	f.Add([]byte{2, 0, 3, 0, 1, 0, 2, 0, 3, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		const devices = 3
+		const liveBatches = 8
+
+		// Canonical history: a reset base, then liveBatches live batches
+		// of one record per device with strictly rising counters.
+		key := func(id int) []byte { return []byte{0xB0, byte(id)} }
+		devState := func(id, round int) *store.DeviceState {
+			return &store.DeviceState{
+				ID: id, Key: key(id),
+				GenCounter: uint64(round), VerCounter: uint64(round), RngDraws: uint64(4 * round),
+			}
+		}
+		reset := &cluster.ReplicaAppendRequest{
+			Epoch: 1, ShardID: "s0", BatchSeq: 0, Reset: true, FirstSeq: 1, LastSeq: devices,
+		}
+		for id := 0; id < devices; id++ {
+			reset.Records = append(reset.Records, store.Record{Seq: uint64(id + 1), Device: devState(id, 1)})
+		}
+		var live []*cluster.ReplicaAppendRequest
+		seq := uint64(devices)
+		for b := 0; b < liveBatches; b++ {
+			req := &cluster.ReplicaAppendRequest{
+				Epoch: 1, ShardID: "s0", BatchSeq: uint64(b + 1), FirstSeq: seq + 1,
+			}
+			for id := 0; id < devices; id++ {
+				seq++
+				req.Records = append(req.Records, store.Record{Seq: seq, Device: devState(id, b+2)})
+			}
+			req.LastSeq = seq
+			live = append(live, req)
+		}
+
+		fs, err := store.Open(store.Options{Dir: t.TempDir(), NoFsync: true})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		defer fs.Close()
+		recv := NewReceiver(ReceiverConfig{Store: fs, FollowerID: "fuzz"})
+
+		apply := func(req *cluster.ReplicaAppendRequest) error {
+			_, err := recv.Apply(req)
+			if err != nil && !errors.Is(err, ErrOutOfSync) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("unclassified receiver error: %v", err)
+			}
+			return err
+		}
+		floor := make(map[int]uint64, devices)
+		checkNoRegress := func() {
+			for id := 0; id < devices; id++ {
+				d, ok := fs.Device(id)
+				if !ok {
+					continue
+				}
+				if d.GenCounter < floor[id] {
+					t.Fatalf("device %d counter regressed %d -> %d", id, floor[id], d.GenCounter)
+				}
+				floor[id] = d.GenCounter
+			}
+		}
+
+		if err := apply(reset); err != nil {
+			t.Fatalf("initial reset refused: %v", err)
+		}
+		next := 0 // next in-order live batch
+		for _, b := range data {
+			switch b % 4 {
+			case 0: // ship the next batch in order
+				if next < len(live) {
+					if err := apply(live[next]); err != nil {
+						t.Fatalf("in-order batch %d refused: %v", live[next].BatchSeq, err)
+					}
+					next++
+				}
+			case 1: // duplicate an already-applied batch
+				if next > 0 {
+					dup := live[int(b>>2)%next]
+					if err := apply(dup); err != nil {
+						t.Fatalf("duplicate batch %d refused: %v", dup.BatchSeq, err)
+					}
+				}
+			case 2: // skip ahead: the gap must be refused as out-of-sync
+				if next+1 < len(live) {
+					if err := apply(live[next+1]); !errors.Is(err, ErrOutOfSync) {
+						t.Fatalf("gapped batch %d: %v, want ErrOutOfSync", live[next+1].BatchSeq, err)
+					}
+				}
+			case 3: // ship a truncated copy: corruption, never applied
+				if next < len(live) {
+					trunc := *live[next]
+					trunc.Records = trunc.Records[:len(trunc.Records)-1]
+					if err := apply(&trunc); !errors.Is(err, ErrCorrupt) {
+						t.Fatalf("truncated batch %d: %v, want ErrCorrupt", trunc.BatchSeq, err)
+					}
+				}
+			}
+			checkNoRegress()
+		}
+
+		// The shipper's recovery move: a fresh snapshot resync carrying
+		// the canonical end state. Whatever the stream did, the follower
+		// must land exactly there.
+		final := &cluster.ReplicaAppendRequest{
+			Epoch: 1, ShardID: "s0", BatchSeq: 100, Reset: true, FirstSeq: seq, LastSeq: seq,
+		}
+		for id := 0; id < devices; id++ {
+			final.Records = append(final.Records, store.Record{Seq: seq, Device: devState(id, liveBatches+1)})
+		}
+		if err := apply(final); err != nil {
+			t.Fatalf("final resync refused: %v", err)
+		}
+		for id := 0; id < devices; id++ {
+			d, ok := fs.Device(id)
+			if !ok {
+				t.Fatalf("device %d missing after final resync", id)
+			}
+			want := uint64(liveBatches + 1)
+			if d.GenCounter != want || d.VerCounter != want || d.RngDraws != 4*want {
+				t.Fatalf("device %d did not converge: %+v, want counters %d", id, d, want)
+			}
+		}
+	})
+}

@@ -328,6 +328,10 @@ func (s *Service) Kill() {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	// The shipper dies with the process: close it first so sessions
+	// blocked in the replication wait are released (their commits already
+	// failed with the store) instead of hanging on a dead stream.
+	s.replClose()
 	if s.store != nil {
 		s.store.Close()
 	}

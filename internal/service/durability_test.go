@@ -39,7 +39,7 @@ func runSessionOn(t *testing.T, s *Service, dev int) *Session {
 	return sess
 }
 
-// Graceful restart: a daemon that drained and snapshotted hands its
+// Graceful restart: a daemon that drained and sealed its WAL hands its
 // successor every counter, the same pairing keys, and a clean recovery
 // report; the successor keeps serving on the restored state.
 func TestDurableGracefulRestart(t *testing.T) {
@@ -81,8 +81,12 @@ func TestDurableGracefulRestart(t *testing.T) {
 	if !ready || !rec.Enabled {
 		t.Fatalf("recovery report missing: ready=%v enabled=%v", ready, rec.Enabled)
 	}
-	if !rec.Store.SnapshotLoaded {
-		t.Error("graceful shutdown should have left a snapshot")
+	// Graceful drain seals the active segment (fsynced checkpoint footer
+	// + roll) instead of compacting, so the successor fast-forwards from
+	// the checkpoint: every replayed record is skipped as already folded,
+	// and the directory holds the sealed segment plus the fresh one.
+	if rec.Store.Segments < 2 {
+		t.Errorf("graceful shutdown should have sealed and rolled the WAL, found %d segments", rec.Store.Segments)
 	}
 	if rec.Store.Corruptions != 0 || len(rec.Repaired) != 0 {
 		t.Fatalf("clean restart reported damage: %+v", rec)

@@ -46,13 +46,17 @@ func (s *Service) Handler() http.Handler {
 	// Gateway↔shard control protocol (see shard.go); inert until a
 	// gateway registers this daemon.
 	s.clusterRoutes(mux)
+	// Warm-standby replication control (see replica.go).
+	s.replicaRoutes(mux)
 	return mux
 }
 
 // ReadyStatus is the /readyz body.
 type ReadyStatus struct {
-	// Status is "ok", "recovering" (startup replay still running), or
-	// "failed" (recovery hit a terminal error; the daemon rejects traffic).
+	// Status is "ok", "recovering" (startup replay still running),
+	// "failed" (recovery hit a terminal error; the daemon rejects
+	// traffic), or "following" (healthy warm standby applying a primary's
+	// stream; unlock traffic is refused until promotion).
 	Status string `json:"status"`
 	// Recovery details, present once recovery finished with a state dir.
 	Error            string  `json:"error,omitempty"`
@@ -74,6 +78,9 @@ func (s *Service) handleReady(w http.ResponseWriter, _ *http.Request) {
 		})
 	default:
 		st := ReadyStatus{Status: "ok"}
+		if s.isFollowing() {
+			st.Status = "following"
+		}
 		if rec.Enabled {
 			st.RecoverySeconds = rec.Duration.Seconds()
 			st.RecoveredRecords = rec.Store.RecoveredRecords
@@ -125,6 +132,12 @@ func (s *Service) handleUnlock(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrNotOwned):
 		// Routing race: the gateway re-resolves ownership on 421.
 		writeJSON(w, http.StatusMisdirectedRequest, errorBody{Error: err.Error()})
+		return
+	case errors.Is(err, ErrFollowing):
+		// Warm standby: the primary (or its promoted successor) serves.
+		// Retry-After because promotion flips this daemon live in seconds.
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfter()))
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 		return
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrRecovering):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})

@@ -1,0 +1,558 @@
+// Replica mode: warm-standby replication and fenced promotion.
+//
+// A primary wearlockd accepts a follower's attach handshake
+// (/replica/v1/register) and starts an internal/replica Shipper that
+// streams its durable history — snapshot bootstrap, then the live
+// group-commit tail — to the follower's /replica/v1/append endpoint.
+// Session acknowledgement couples to the stream: after its commit is
+// locally durable, a session waits until the follower has acked its
+// record (synchronous mode, or within the bounded-lag window), so the
+// service contract becomes accepted ⇒ durable ⇒ replicated-or-fenced.
+//
+// A follower (Config.Follow) refuses unlock traffic with 503 while it
+// applies the stream through its own durable store, warming its
+// in-memory devices after every batch so promotion has almost nothing
+// left to do. The gateway's /replica/v1/promote order — carrying a
+// freshly fenced epoch — finishes the reconcile, installs the shard
+// registration, and flips the follower into a serving primary; any
+// straggling append from the old primary is refused with 409, which the
+// old primary's shipper surfaces as a fence to its own waiters.
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"wearlock/internal/cluster"
+	"wearlock/internal/otp"
+	"wearlock/internal/replica"
+	"wearlock/internal/store"
+)
+
+// ErrFollowing rejects unlock submissions on a warm standby: the
+// follower's counters belong to the primary's stream until promotion.
+// HTTP: 503 + Retry-After.
+var ErrFollowing = errors.New("service: following a primary (not serving)")
+
+// replState is the service's replication role, both directions.
+type replState struct {
+	mu sync.Mutex
+	// Primary side: the shipper streaming to the attached follower.
+	shipper     *replica.Shipper
+	followerURL string
+	// Follower side.
+	recv      *replica.Receiver
+	following bool
+	promoted  bool
+}
+
+// replicaRoutes mounts the replication control endpoints.
+func (s *Service) replicaRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /replica/v1/register", s.handleReplicaRegister)
+	mux.HandleFunc("POST /replica/v1/append", s.handleReplicaAppend)
+	mux.HandleFunc("POST /replica/v1/promote", s.handleReplicaPromote)
+	mux.HandleFunc("GET /replica/v1/status", s.handleReplicaStatus)
+}
+
+// isFollowing reports whether the daemon is an unpromoted standby.
+func (s *Service) isFollowing() bool {
+	s.repl.mu.Lock()
+	defer s.repl.mu.Unlock()
+	return s.repl.following && !s.repl.promoted
+}
+
+// ReplicaInfo is the /replica/v1/status body and the bench harness's
+// in-process view of replication progress.
+type ReplicaInfo struct {
+	// Role is "standalone", "primary" (shipper attached or attaching),
+	// "follower", or "promoted".
+	Role     string                  `json:"role"`
+	Shipper  *replica.ShipperStatus  `json:"shipper,omitempty"`
+	Receiver *replica.ReceiverStatus `json:"receiver,omitempty"`
+}
+
+// ReplicaStatus reports the daemon's replication role and progress.
+func (s *Service) ReplicaStatus() ReplicaInfo {
+	s.repl.mu.Lock()
+	defer s.repl.mu.Unlock()
+	info := ReplicaInfo{Role: "standalone"}
+	switch {
+	case s.repl.promoted:
+		info.Role = "promoted"
+	case s.repl.following:
+		info.Role = "follower"
+	case s.repl.shipper != nil:
+		info.Role = "primary"
+	}
+	if s.repl.shipper != nil {
+		st := s.repl.shipper.Status()
+		info.Shipper = &st
+	}
+	if s.repl.recv != nil {
+		st := s.repl.recv.Status()
+		info.Receiver = &st
+	}
+	return info
+}
+
+func (s *Service) handleReplicaStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.ReplicaStatus())
+}
+
+// ReplicaAttached reports whether this primary's follower has finished
+// bootstrapping and is riding the live tail (the promotable state).
+func (s *Service) ReplicaAttached() bool {
+	s.repl.mu.Lock()
+	sh := s.repl.shipper
+	s.repl.mu.Unlock()
+	return sh != nil && sh.Attached()
+}
+
+// replClose tears the shipper down (shutdown/kill paths). Idempotent.
+func (s *Service) replClose() {
+	s.repl.mu.Lock()
+	sh := s.repl.shipper
+	s.repl.shipper = nil
+	s.repl.mu.Unlock()
+	if sh != nil {
+		sh.Close()
+	}
+}
+
+// replWaitReplicated holds a session's acknowledgement until its
+// durable record is covered by the follower's acks. Called after the
+// local commit resolved (the handle's Seq is only valid then). No
+// shipper — standalone mode — waits on nothing.
+func (s *Service) replWaitReplicated(ctx context.Context, c pendingCommit) error {
+	if c.h == nil {
+		return nil
+	}
+	s.repl.mu.Lock()
+	sh := s.repl.shipper
+	s.repl.mu.Unlock()
+	if sh == nil {
+		return nil
+	}
+	if err := sh.WaitReplicated(ctx, c.h.Seq()); err != nil {
+		if errors.Is(err, replica.ErrFenced) {
+			// A newer epoch owns the shard: this primary must fail the
+			// session rather than acknowledge state the cluster has moved
+			// past. The client retries through the gateway, which routes to
+			// the promoted follower.
+			return ErrFenced
+		}
+		return fmt.Errorf("service: awaiting replication: %w", err)
+	}
+	return nil
+}
+
+// --- Primary side -------------------------------------------------------
+
+// handleReplicaRegister starts (or restarts) shipping to a follower.
+func (s *Service) handleReplicaRegister(w http.ResponseWriter, r *http.Request) {
+	req, err := readWire[cluster.ReplicaRegisterRequest](r, cluster.MsgReplicaRegister)
+	if err != nil {
+		wireError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.shardClusterReady(); err != nil {
+		wireError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	if s.isFollowing() {
+		wireError(w, http.StatusConflict, errors.New("service: a follower cannot accept followers"))
+		return
+	}
+	if req.FollowerURL == "" {
+		wireError(w, http.StatusBadRequest, errors.New("service: replica registration without follower URL"))
+		return
+	}
+	devices := make([]int, len(s.devices))
+	for i := range devices {
+		devices[i] = i
+	}
+	sh := replica.StartShipper(replica.ShipperConfig{
+		Store:   s.store,
+		Devices: devices,
+		ServiceState: func() store.ServiceState {
+			return s.serviceState()
+		},
+		Epoch: func() uint64 {
+			epoch, _ := s.shardSnapshot()
+			return epoch
+		},
+		ShardID: s.shardID(),
+		Send:    s.replicaSender(req.FollowerURL),
+		MaxLag:  uint64(s.cfg.ReplicaMaxLag),
+		Chaos:   s.cfg.Chaos,
+		Seed:    s.cfg.Seed,
+		OnState: func(state string) {
+			if state == "attached" {
+				s.m.replAttached.Set(1)
+			} else {
+				s.m.replAttached.Set(0)
+			}
+			if state == "detached" {
+				s.m.replDetaches.Inc()
+			}
+		},
+	})
+	s.repl.mu.Lock()
+	old := s.repl.shipper
+	s.repl.shipper = sh
+	s.repl.followerURL = req.FollowerURL
+	s.repl.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	writeWire(w, http.StatusOK, cluster.MsgReplicaRegisterAck, &cluster.ReplicaRegisterResponse{
+		ShardID: s.shardID(),
+		LastSeq: s.store.State().LastSeq,
+	})
+}
+
+// replicaSender builds the shipper's transport: one framed POST per
+// batch, with the follower's typed refusals mapped back onto the
+// replica package's sentinel errors.
+func (s *Service) replicaSender(followerURL string) func(context.Context, *cluster.ReplicaAppendRequest) (*cluster.ReplicaAppendResponse, error) {
+	url := followerURL + "/replica/v1/append"
+	return func(ctx context.Context, req *cluster.ReplicaAppendRequest) (*cluster.ReplicaAppendResponse, error) {
+		body, err := cluster.Encode(cluster.MsgReplicaAppend, req)
+		if err != nil {
+			return nil, err
+		}
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		hreq.Header.Set("Content-Type", cluster.WireContentType)
+		hres, err := s.replClient.Do(hreq)
+		if err != nil {
+			return nil, err
+		}
+		defer hres.Body.Close()
+		data, err := io.ReadAll(io.LimitReader(hres.Body, cluster.MaxWireSize+64))
+		if err != nil {
+			return nil, err
+		}
+		if hres.StatusCode != http.StatusOK {
+			detail := wirePeerError(data)
+			switch hres.StatusCode {
+			case http.StatusConflict:
+				return nil, fmt.Errorf("%w: %s", replica.ErrFenced, detail)
+			case http.StatusPreconditionFailed:
+				return nil, fmt.Errorf("%w: %s", replica.ErrOutOfSync, detail)
+			case http.StatusUnprocessableEntity:
+				return nil, fmt.Errorf("%w: %s", replica.ErrCorrupt, detail)
+			default:
+				return nil, fmt.Errorf("service: replica append: HTTP %d: %s", hres.StatusCode, detail)
+			}
+		}
+		return cluster.DecodeAs[cluster.ReplicaAppendResponse](data, cluster.MsgReplicaAppendAck)
+	}
+}
+
+// wirePeerError extracts the peer's error text from a framed MsgError
+// body, falling back to the raw bytes.
+func wirePeerError(data []byte) string {
+	if m, err := cluster.Decode(data); err == nil {
+		if p, ok := m.Payload.(*cluster.ErrorPayload); ok {
+			return p.Error
+		}
+	}
+	if len(data) > 200 {
+		data = data[:200]
+	}
+	return string(data)
+}
+
+// --- Follower side ------------------------------------------------------
+
+// errPromoted fences a stale primary's appends after promotion.
+var errPromoted = errors.New("service: promoted; stale primary fenced")
+
+// replReceiverLocked lazily builds the follower's stream receiver (the
+// store exists only after recovery; callers have passed
+// shardClusterReady). Caller holds s.repl.mu.
+func (s *Service) replReceiverLocked() *replica.Receiver {
+	if s.repl.recv == nil {
+		s.repl.recv = replica.NewReceiver(replica.ReceiverConfig{
+			Store:      s.store,
+			FollowerID: s.shardID(),
+			OnApplied:  s.replWarmDevices,
+		})
+	}
+	return s.repl.recv
+}
+
+// replReceiver is replReceiverLocked behind the lock.
+func (s *Service) replReceiver() *replica.Receiver {
+	s.repl.mu.Lock()
+	defer s.repl.mu.Unlock()
+	return s.replReceiverLocked()
+}
+
+// replApply applies one shipped batch while holding repl.mu — the same
+// lock promotion takes. That mutual exclusion is a fencing invariant,
+// not a convenience: a batch that slipped in between the promote's
+// reconcile and its promoted-flag flip could advance durable counters
+// the freshly promoted verifier has not seen, which is exactly the
+// replay window promotion must never open.
+func (s *Service) replApply(req *cluster.ReplicaAppendRequest) (*cluster.ReplicaAppendResponse, error) {
+	s.repl.mu.Lock()
+	defer s.repl.mu.Unlock()
+	if s.repl.promoted {
+		return nil, errPromoted
+	}
+	return s.replReceiverLocked().Apply(req)
+}
+
+// replWarmDevices fast-forwards the in-memory devices a batch touched
+// to their merged durable state, so the standby stays one short
+// reconcile away from serving instead of paying a full SkipTo-from-zero
+// replay at promotion. Failures are tolerated here — promotion repeats
+// the restore and repairs what it cannot trust.
+func (s *Service) replWarmDevices(ids []int) {
+	for _, id := range ids {
+		if id < 0 || id >= len(s.devices) {
+			continue
+		}
+		ds, ok := s.store.Device(id)
+		if !ok {
+			continue
+		}
+		dev := s.devices[id]
+		dev.mu.Lock()
+		if ds.RngDraws >= dev.src.Draws() {
+			if err := dev.src.SkipTo(ds.RngDraws); err == nil {
+				_ = dev.sys.RestoreState(toCoreExport(ds), otp.DefaultResyncLookAhead)
+			}
+		}
+		dev.mu.Unlock()
+	}
+	s.m.replAppliedBatches.Inc()
+}
+
+// handleReplicaAppend applies one shipped batch on the follower.
+// Refusal statuses are the shipper's control signals: 409 fences a
+// stale primary (promoted standby or newer epoch), 412 reports a
+// sequence gap (shipper resyncs), 422 reports a corrupt body (never
+// applied).
+func (s *Service) handleReplicaAppend(w http.ResponseWriter, r *http.Request) {
+	req, err := readWire[cluster.ReplicaAppendRequest](r, cluster.MsgReplicaAppend)
+	if err != nil {
+		wireError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !s.cfg.Follow {
+		wireError(w, http.StatusConflict, errors.New("service: not a follower (-follow)"))
+		return
+	}
+	if err := s.shardClusterReady(); err != nil {
+		wireError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	if err := s.shardEpochGate(req.Epoch); err != nil {
+		wireError(w, http.StatusConflict, err)
+		return
+	}
+	resp, err := s.replApply(req)
+	switch {
+	case err == nil:
+		writeWire(w, http.StatusOK, cluster.MsgReplicaAppendAck, resp)
+	case errors.Is(err, errPromoted):
+		wireError(w, http.StatusConflict, err)
+	case errors.Is(err, replica.ErrOutOfSync):
+		wireError(w, http.StatusPreconditionFailed, err)
+	case errors.Is(err, replica.ErrCorrupt):
+		wireError(w, http.StatusUnprocessableEntity, err)
+	default:
+		wireError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// handleReplicaPromote executes the gateway's failover order: final
+// device reconcile from the durable store, adopt the fleet-level
+// admission sequence, install the ownership registration at the fenced
+// epoch, and start serving. Idempotent: a retried promote (the gateway
+// lost the first ack) answers with the current state.
+func (s *Service) handleReplicaPromote(w http.ResponseWriter, r *http.Request) {
+	req, err := readWire[cluster.PromoteRequest](r, cluster.MsgPromote)
+	if err != nil {
+		wireError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !s.cfg.Follow {
+		wireError(w, http.StatusConflict, errors.New("service: not a follower (-follow)"))
+		return
+	}
+	if err := s.shardClusterReady(); err != nil {
+		wireError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	// Serialize against in-flight appends: once this lock is held, no
+	// batch can be mid-apply, and the promoted flag set below fences
+	// everything that arrives later.
+	s.repl.mu.Lock()
+	defer s.repl.mu.Unlock()
+	if s.repl.promoted {
+		epoch, owned := s.shardSnapshot()
+		writeWire(w, http.StatusOK, cluster.MsgPromoteAck, &cluster.PromoteResponse{
+			ShardID: s.shardID(), Epoch: epoch, AppliedSeq: s.replAppliedSeqLocked(), Devices: owned,
+		})
+		return
+	}
+	if err := s.shardEpochGate(req.Epoch); err != nil {
+		wireError(w, http.StatusConflict, err)
+		return
+	}
+	if err := s.promoteReconcile(req.Owned); err != nil {
+		wireError(w, http.StatusInternalServerError, err)
+		return
+	}
+	// The admission sequence seeds per-session fault streams and session
+	// IDs; the promoted daemon must resume above the primary's durable
+	// high-water mark, exactly like crash recovery does.
+	st := s.store.State()
+	s.mu.Lock()
+	if st.Service.Seq > s.seq {
+		s.seq = st.Service.Seq
+	}
+	s.mu.Unlock()
+	if nd := st.Service.NextDev; nd > s.nextDev.Load() {
+		s.nextDev.Store(nd)
+	}
+	if err := s.shardApplyRegistration(&cluster.RegisterRequest{
+		ShardID:      req.ShardID,
+		Epoch:        req.Epoch,
+		TotalDevices: req.TotalDevices,
+		Owned:        req.Owned,
+	}); err != nil {
+		wireError(w, http.StatusConflict, err)
+		return
+	}
+	s.repl.promoted = true
+	s.repl.following = false
+	s.m.replPromotions.Inc()
+	writeWire(w, http.StatusOK, cluster.MsgPromoteAck, &cluster.PromoteResponse{
+		ShardID:    s.shardID(),
+		Epoch:      req.Epoch,
+		AppliedSeq: s.replAppliedSeqLocked(),
+		Devices:    len(req.Owned),
+	})
+}
+
+// replAppliedSeqLocked reads the receiver's source-sequence high-water
+// mark; caller holds repl.mu.
+func (s *Service) replAppliedSeqLocked() uint64 {
+	if s.repl.recv == nil {
+		return 0
+	}
+	return s.repl.recv.AppliedSeq()
+}
+
+// promoteReconcile restores every owned device from the merged durable
+// state — the same SkipTo + RestoreState path crash recovery uses, but
+// over already-warmed devices, so the expensive stream fast-forward was
+// paid incrementally during replication, not here in the downtime
+// window. A device the stream never mentioned keeps its seed-fresh
+// pairing (both sides derive it identically from the shared base
+// seed); a device whose restored state the core refuses is re-paired
+// with a fresh key rather than trusted.
+func (s *Service) promoteReconcile(owned []int) error {
+	for _, id := range owned {
+		if id < 0 || id >= len(s.devices) {
+			return fmt.Errorf("service: promotion owns device %d outside fleet [0,%d)", id, len(s.devices))
+		}
+	}
+	for _, id := range owned {
+		ds, ok := s.store.Device(id)
+		if !ok {
+			continue
+		}
+		dev := s.devices[id]
+		dev.mu.Lock()
+		rerr := errors.New("service: device stream position behind durable state")
+		if ds.RngDraws >= dev.src.Draws() {
+			rerr = dev.src.SkipTo(ds.RngDraws)
+		}
+		if rerr == nil {
+			rerr = dev.sys.RestoreState(toCoreExport(ds), otp.DefaultResyncLookAhead)
+		}
+		if rerr != nil {
+			// Mirror recovery's discipline: a counter that cannot be
+			// trusted must never become a replay window — re-pair instead.
+			rerr = dev.src.SkipTo(dev.src.Draws())
+			if rerr == nil {
+				rerr = dev.sys.Repair()
+			}
+			if rerr == nil {
+				rerr = s.commitDeviceLocked(dev)
+			}
+			if rerr != nil {
+				dev.mu.Unlock()
+				return fmt.Errorf("service: promoting device %d: %w", id, rerr)
+			}
+			s.m.repairs.Inc()
+		}
+		dev.mu.Unlock()
+	}
+	return nil
+}
+
+// FollowPrimary announces this follower to its primary and asks it to
+// start shipping. Call after the HTTP listener is up (selfURL must be
+// reachable from the primary). The stream itself is primary-driven;
+// this returns once the attach handshake is acknowledged.
+func (s *Service) FollowPrimary(ctx context.Context, primaryURL, selfURL string) error {
+	if !s.cfg.Follow {
+		return errors.New("service: FollowPrimary on a non-follower (set Config.Follow)")
+	}
+	if err := s.WaitReady(ctx); err != nil {
+		return fmt.Errorf("service: follower not ready: %w", err)
+	}
+	if s.store == nil {
+		return errors.New("service: follower requires a durable state dir")
+	}
+	recv := s.replReceiver()
+	body, err := cluster.Encode(cluster.MsgReplicaRegister, &cluster.ReplicaRegisterRequest{
+		FollowerURL: selfURL,
+		FollowerID:  s.shardID(),
+		AppliedSeq:  recv.AppliedSeq(),
+	})
+	if err != nil {
+		return err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, primaryURL+"/replica/v1/register", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", cluster.WireContentType)
+	hres, err := s.replClient.Do(hreq)
+	if err != nil {
+		return fmt.Errorf("service: attaching to primary: %w", err)
+	}
+	defer hres.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(hres.Body, cluster.MaxWireSize+64))
+	if err != nil {
+		return err
+	}
+	if hres.StatusCode != http.StatusOK {
+		return fmt.Errorf("service: attaching to primary: HTTP %d: %s", hres.StatusCode, wirePeerError(data))
+	}
+	if _, err := cluster.DecodeAs[cluster.ReplicaRegisterResponse](data, cluster.MsgReplicaRegisterAck); err != nil {
+		return err
+	}
+	return nil
+}
+
+// newReplClient builds the replication HTTP client.
+func newReplClient() *http.Client {
+	return &http.Client{Timeout: 10 * time.Second}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"net/http"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -117,6 +118,17 @@ type Config struct {
 	// wearlockd_build_info (the gateway's aggregated /metrics adds it as a
 	// shard label too) and echoed in wire acks. Empty means standalone.
 	ShardID string
+	// Follow boots the daemon as a warm standby: it refuses unlock
+	// traffic (503 ErrFollowing) and instead applies a primary's
+	// replication stream via /replica/v1/append until a promote order
+	// flips it into a serving primary. Requires StateDir.
+	Follow bool
+	// ReplicaMaxLag is the bounded-lag acknowledgement window when this
+	// daemon ships to a follower: a session is acknowledged once the
+	// follower's acks trail its commit by at most this many records.
+	// 0 is synchronous replication (the follower must cover the exact
+	// commit before the ack). Ignored until a follower attaches.
+	ReplicaMaxLag int
 	// PaceAirtime, when positive, holds each session's device for
 	// PaceAirtime × the session's simulated protocol timeline after the
 	// CPU work finishes. The simulation computes a ~1.4 s acoustic
@@ -316,6 +328,11 @@ type metrics struct {
 	commitSeconds   *telemetry.Histogram
 	walBatchSize    *telemetry.Histogram
 	fsyncDisabled   *telemetry.Gauge
+
+	replAttached       *telemetry.Gauge
+	replDetaches       *telemetry.Counter
+	replAppliedBatches *telemetry.Counter
+	replPromotions     *telemetry.Counter
 }
 
 func newMetrics(reg *telemetry.Registry) *metrics {
@@ -371,6 +388,14 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 			telemetry.ExponentialBuckets(1, 2, 10)),
 		fsyncDisabled: reg.Gauge("wearlockd_fsync_disabled",
 			"1 when the store runs with fsync disabled (-no-fsync): commits do not survive power loss and consistency gates must not certify the run."),
+		replAttached: reg.Gauge("wearlockd_replica_attached",
+			"1 while a follower is attached and riding the live commit tail (the promotable state)."),
+		replDetaches: reg.Counter("wearlockd_replica_detaches_total",
+			"Times the shipper gave up on an unreachable follower and released waiters (the documented allowed-loss window opens)."),
+		replAppliedBatches: reg.Counter("wearlockd_replica_applied_batches_total",
+			"Replication batches this follower applied durably (resets + live)."),
+		replPromotions: reg.Counter("wearlockd_replica_promotions_total",
+			"Promote orders this daemon executed (follower → serving primary)."),
 	}
 }
 
@@ -413,6 +438,11 @@ type Service struct {
 	// shard is the cluster-membership view (inert until a gateway
 	// registers this daemon; see shard.go).
 	shard shardState
+
+	// repl is the warm-standby replication role (replica.go); replClient
+	// carries both directions' control traffic.
+	repl       replState
+	replClient *http.Client
 }
 
 // New builds the device fleet, starts the worker pool and the session
@@ -475,6 +505,15 @@ func New(cfg Config) (*Service, error) {
 		gcDone:    make(chan struct{}),
 	}
 	s.m = newMetrics(s.reg)
+	s.replClient = newReplClient()
+	if cfg.Follow {
+		if cfg.StateDir == "" {
+			return nil, fmt.Errorf("service: follower mode requires a durable state dir")
+		}
+		// Following starts immediately: the standby must refuse unlock
+		// traffic even before FollowPrimary's handshake lands.
+		s.repl.following = true
+	}
 	buildLabels := map[string]string{"go_version": runtime.Version()}
 	if cfg.ShardID != "" {
 		buildLabels["shard_id"] = cfg.ShardID
@@ -577,6 +616,14 @@ func (s *Service) runOnDevice(ctx context.Context, dev *devicePair, sc core.Scen
 	if cerr := commit.await(s, dev.id); cerr != nil && err == nil {
 		err = cerr
 	}
+	if err == nil {
+		// Accepted ⇒ durable ⇒ replicated-or-fenced: with a follower
+		// attached, the session also waits until the standby's acks cover
+		// its commit (or trail it by at most the bounded-lag window). A
+		// fence here fails the session rather than acknowledge state the
+		// cluster has moved past.
+		err = s.replWaitReplicated(ctx, commit)
+	}
 	return res, err
 }
 
@@ -606,6 +653,10 @@ func (s *Service) Submit(req Request) (*Session, error) {
 	default:
 		s.m.rejected.With("recovering").Inc()
 		return nil, ErrRecovering
+	}
+	if s.isFollowing() {
+		s.m.rejected.With("following").Inc()
+		return nil, ErrFollowing
 	}
 	dev := s.pickDevice(req.Device)
 	if err := s.shardAdmit(dev.id); err != nil {
@@ -830,12 +881,14 @@ func (s *Service) Drain(ctx context.Context) error {
 	case <-ctx.Done():
 		return fmt.Errorf("service: drain: %w", ctx.Err())
 	}
-	// Every session committed its own records; folding them into a
-	// snapshot now means the next startup replays one snapshot instead of
-	// the whole WAL.
+	// Every session committed its own records; sealing the active WAL
+	// segment writes an fsynced checkpoint footer, so the next startup
+	// fast-forwards from the checkpoint instead of replaying the whole
+	// segment — at a fraction of a full compaction's shutdown cost (a
+	// footer append + fsync, not a rewrite of the entire state).
 	if s.store != nil {
-		if err := s.store.Compact(); err != nil {
-			return fmt.Errorf("service: drain snapshot: %w", err)
+		if err := s.store.Seal(); err != nil {
+			return fmt.Errorf("service: drain seal: %w", err)
 		}
 	}
 	return nil
@@ -845,6 +898,9 @@ func (s *Service) Drain(ctx context.Context) error {
 // The service cannot be restarted afterwards.
 func (s *Service) Shutdown(ctx context.Context) error {
 	err := s.Drain(ctx)
+	// Stop shipping before the store closes: the shipper's waiters are
+	// released and its goroutine exits instead of spinning on a dead tail.
+	s.replClose()
 	s.pool.Close()
 	s.mu.Lock()
 	stopped := s.gcStop

@@ -83,6 +83,39 @@ func (s *Store) ExportRange(ids []int, since uint64) ([]Record, uint64, error) {
 	return out, s.merged.lastSeq, nil
 }
 
+// ImportAll replays records through the store's own commit path, in
+// order, keeping every part — device, service, and note — unlike the
+// handoff-oriented ImportRecords, which applies device state only.
+// Replication uses it so a promoted follower inherits the primary's
+// fleet-level admission sequence (which seeds per-session fault
+// streams and session IDs) along with the devices. Sequence numbers
+// are reassigned locally, as with every import.
+func (s *Store) ImportAll(recs []Record) (int, error) {
+	handles := make([]*CommitHandle, 0, len(recs))
+	idx := make([]int, 0, len(recs))
+	for i := range recs {
+		if recs[i].Device == nil && recs[i].Service == nil && recs[i].Note == "" {
+			continue
+		}
+		rec := recs[i].clone()
+		rec.Seq = 0 // the committer assigns the local sequence
+		handles = append(handles, s.enqueue(rec))
+		idx = append(idx, i)
+	}
+	applied := 0
+	var firstErr error
+	for j, h := range handles {
+		if err := h.Wait(); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("store: importing record %d: %w", idx[j], err)
+			}
+			continue
+		}
+		applied++
+	}
+	return applied, firstErr
+}
+
 // ImportRecords replays exported records through the store's own commit
 // path, in order. Only device records are applied. The whole batch is
 // enqueued on the group committer before any handle is awaited — source

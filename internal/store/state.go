@@ -53,6 +53,20 @@ type Record struct {
 	Note    string        `json:"note,omitempty"`
 }
 
+// clone deep-copies a record (tail subscribers receive copies so the
+// committer's batch buffer can be reused).
+func (r *Record) clone() Record {
+	c := *r
+	if r.Device != nil {
+		c.Device = r.Device.clone()
+	}
+	if r.Service != nil {
+		sv := *r.Service
+		c.Service = &sv
+	}
+	return c
+}
+
 // State is a point-in-time copy of the merged durable state.
 type State struct {
 	Devices map[int]DeviceState

@@ -98,12 +98,21 @@ func (r RecoveryInfo) Damaged() bool {
 type CommitHandle struct {
 	done chan struct{}
 	err  error
+	seq  uint64
 }
 
 // Wait blocks until the commit is durable and returns its outcome.
 func (h *CommitHandle) Wait() error {
 	<-h.done
 	return h.err
+}
+
+// Seq returns the record sequence number the committer assigned. Valid
+// only after Wait has returned nil; the replication shipper uses it to
+// wait for this specific record to be acknowledged by the follower.
+func (h *CommitHandle) Seq() uint64 {
+	<-h.done
+	return h.seq
 }
 
 func failedHandle(err error) *CommitHandle {
@@ -141,6 +150,10 @@ type Store struct {
 	walRecords int
 	appended   uint64
 	closed     bool
+	// tailSeq numbers durable batches; tailSubs holds the live tail
+	// subscriptions (see tail.go). Both guarded by mu.
+	tailSeq  uint64
+	tailSubs map[*TailSub]struct{}
 
 	// Group-commit queue. qmu orders enqueues against shutdown; notifyC
 	// wakes the committer; quitC/doneC bound its lifecycle.
@@ -484,7 +497,20 @@ func (s *Store) commitBatch(batch []pending) {
 			for i := range batch {
 				if batch[i].ok {
 					s.merged.apply(&batch[i].rec)
+					batch[i].h.seq = batch[i].rec.Seq
 				}
+			}
+			s.tailSeq++
+			if len(s.tailSubs) > 0 {
+				cb := CommittedBatch{BatchSeq: s.tailSeq, Records: make([]Record, 0, live)}
+				for i := range batch {
+					if batch[i].ok {
+						cb.Records = append(cb.Records, batch[i].rec.clone())
+					}
+				}
+				cb.FirstSeq = cb.Records[0].Seq
+				cb.LastSeq = cb.Records[len(cb.Records)-1].Seq
+				s.publishTailLocked(cb)
 			}
 			s.walRecords += live
 			s.appended += uint64(live)
@@ -582,6 +608,21 @@ func (s *Store) snapshotPayloadLocked() snapshotPayload {
 		sp.Devices = append(sp.Devices, c)
 	}
 	return sp
+}
+
+// Seal closes out the active WAL segment with an fsynced checkpoint
+// footer and rolls appends to a fresh segment. A graceful drain calls
+// this before exit so a planned restart — or a follower bootstrapping
+// from the segment set — replays from the checkpoint instead of
+// re-scanning the live tail, without paying Compact's full snapshot
+// rewrite on the shutdown path.
+func (s *Store) Seal() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: seal on closed store")
+	}
+	return s.sealLocked()
 }
 
 // Compact folds the merged state into a fresh snapshot (tmp + fsync +
@@ -683,6 +724,7 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.closeTailsLocked()
 	return s.wal.Close()
 }
 

@@ -1,0 +1,118 @@
+package store
+
+// WAL tail subscription: the replication primary's feed. The group
+// committer publishes every durable batch — after the fsync, in commit
+// order, tagged with a monotone batch sequence — to each subscriber's
+// buffered channel. Publication never blocks the committer: a
+// subscriber that falls behind its buffer is marked lagged and its
+// channel is closed, and the shipper recovers by resubscribing and
+// re-shipping a snapshot (ExportRange), which the idempotent monotone
+// merge makes safe to overlap with live batches.
+
+// CommittedBatch is one durable group-commit batch as seen by a tail
+// subscriber. Records are deep copies; Seq values are the source
+// store's record sequence numbers, consecutive within the batch.
+type CommittedBatch struct {
+	// BatchSeq is the committer's batch sequence: monotone, gapless
+	// across every batch that carried at least one live record.
+	BatchSeq uint64
+	// FirstSeq/LastSeq bound the record sequences in this batch.
+	FirstSeq uint64
+	LastSeq  uint64
+	Records  []Record
+}
+
+// TailSub is one subscription to the committer's batch stream.
+type TailSub struct {
+	s    *Store
+	ch   chan CommittedBatch
+	base uint64
+	// guarded by s.mu
+	lagged bool
+	closed bool
+}
+
+// C delivers committed batches in commit order. The channel is closed
+// when the subscription lags (check Lagged), the subscriber calls
+// Close, or the store shuts down.
+func (t *TailSub) C() <-chan CommittedBatch { return t.ch }
+
+// Base is the committer's batch sequence at subscription time: the
+// first batch delivered on C has BatchSeq == Base()+1, and a snapshot
+// exported after subscribing covers everything at or before it.
+func (t *TailSub) Base() uint64 { return t.base }
+
+// Lagged reports whether the committer dropped this subscription
+// because its channel buffer was full. Once lagged, the channel is
+// closed and the subscriber must resync from a snapshot.
+func (t *TailSub) Lagged() bool {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	return t.lagged
+}
+
+// Close detaches the subscription. Safe to call more than once and
+// concurrently with publication.
+func (t *TailSub) Close() {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	t.s.dropTailLocked(t)
+}
+
+// SubscribeTail registers a tail subscriber whose channel buffers up
+// to buf batches (minimum 1). Subscribe before ExportRange: every
+// batch committed after this call is delivered on the channel, and the
+// export then covers everything earlier, so the union has no gap and
+// the overlap is idempotent under the monotone merge.
+func (s *Store) SubscribeTail(buf int) *TailSub {
+	if buf < 1 {
+		buf = 1
+	}
+	t := &TailSub{ch: make(chan CommittedBatch, buf)}
+	t.s = s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t.base = s.tailSeq
+	if s.closed {
+		t.closed = true
+		close(t.ch)
+		return t
+	}
+	if s.tailSubs == nil {
+		s.tailSubs = make(map[*TailSub]struct{})
+	}
+	s.tailSubs[t] = struct{}{}
+	return t
+}
+
+// publishTailLocked hands one durable batch to every subscriber.
+// Called by the committer with s.mu held, immediately after the batch
+// was applied to the merged state, so delivery order equals commit
+// order.
+func (s *Store) publishTailLocked(cb CommittedBatch) {
+	for t := range s.tailSubs {
+		select {
+		case t.ch <- cb:
+		default:
+			t.lagged = true
+			s.dropTailLocked(t)
+		}
+	}
+}
+
+// dropTailLocked removes a subscription and closes its channel once.
+func (s *Store) dropTailLocked(t *TailSub) {
+	if t.closed {
+		return
+	}
+	t.closed = true
+	delete(s.tailSubs, t)
+	close(t.ch)
+}
+
+// closeTailsLocked detaches every subscriber (store shutdown).
+func (s *Store) closeTailsLocked() {
+	for t := range s.tailSubs {
+		s.dropTailLocked(t)
+	}
+}
